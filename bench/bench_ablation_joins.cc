@@ -1,0 +1,76 @@
+// Ablation A (SS III-G): the three join realizations of the distance
+// phases — plain textbook join, broadcast join, and grouping-before-join
+// with early termination (the paper's default). All three return identical
+// outliers; they differ wildly in shuffle volume and time, especially at
+// low eps where more points need checking.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/dbscout.h"
+#include "datasets/geo.h"
+
+int main(int argc, char** argv) {
+  using namespace dbscout;
+  const size_t n = bench::FlagU64(argc, argv, "n", 60000);
+  const int min_pts =
+      static_cast<int>(bench::FlagU64(argc, argv, "min-pts", 100));
+  const double budget_s =
+      static_cast<double>(bench::FlagU64(argc, argv, "budget-s", 120));
+  bench::PrintBanner("Ablation A: join strategies (SS III-G)",
+                     "broadcast join vs grouping-before-join vs plain join");
+  std::printf("OSM-like n=%zu, minPts=%d (plain join skipped after a run "
+              "exceeds %gs)\n\n",
+              n, min_pts, budget_s);
+
+  const PointSet points = datasets::OsmLike(n, 51);
+  dataflow::ExecutionContext ctx(0, 64);
+
+  analysis::Table table({"eps", "Strategy", "Time (s)", "Shuffled records",
+                         "Distance comps", "Outliers"});
+  bool plain_alive = true;
+  for (double eps : {2.5e5, 5e5, 1e6, 2e6}) {
+    for (core::JoinStrategy join :
+         {core::JoinStrategy::kGrouped, core::JoinStrategy::kBroadcast,
+          core::JoinStrategy::kPlain}) {
+      if (join == core::JoinStrategy::kPlain && !plain_alive) {
+        table.AddRow({StrFormat("%g", eps), core::JoinStrategyName(join), "-",
+                      "-", "-", "-"});
+        continue;
+      }
+      core::Params params;
+      params.eps = eps;
+      params.min_pts = min_pts;
+      params.engine = core::Engine::kParallel;
+      params.join = join;
+      auto r = core::DetectParallel(points, params, &ctx);
+      if (!r.ok()) {
+        std::fprintf(stderr, "eps=%g %s failed: %s\n", eps,
+                     core::JoinStrategyName(join),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      uint64_t distance_comps = 0;
+      for (const auto& phase : r->phases) {
+        distance_comps += phase.distance_computations;
+      }
+      if (join == core::JoinStrategy::kPlain &&
+          r->total_seconds > budget_s) {
+        plain_alive = false;
+      }
+      table.AddRow({StrFormat("%g", eps), core::JoinStrategyName(join),
+                    StrFormat("%.2f", r->total_seconds),
+                    std::to_string(r->shuffled_records),
+                    std::to_string(distance_comps),
+                    std::to_string(r->num_outliers())});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): grouped join dominates at low eps (up to "
+      "~5x over the unoptimized join, fewer comparisons thanks to early "
+      "termination); broadcast join shines at high eps; all strategies "
+      "agree on the outliers.\n");
+  return 0;
+}

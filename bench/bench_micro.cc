@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the building blocks underneath
+// the paper's end-to-end numbers: grid construction (Algorithm 1+2),
+// neighbor-stencil application, cell-map lookups, kd-tree k-NN (the LOF
+// substrate), dataflow shuffles, and the sequential detector itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/dbscout.h"
+#include "core/incremental.h"
+#include "dataflow/pair_ops.h"
+#include "datasets/geo.h"
+#include "grid/cell_map.h"
+#include "grid/grid.h"
+#include "index/kdtree.h"
+
+namespace {
+
+using namespace dbscout;
+
+PointSet MakePoints(size_t n) {
+  return datasets::OsmLike(n, 77);
+}
+
+void BM_GridBuild(benchmark::State& state) {
+  const PointSet points = MakePoints(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto g = grid::Grid::Build(points, 1e6);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GridBuild)->Arg(10000)->Arg(100000);
+
+void BM_NeighborStencilApply(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const PointSet points = MakePoints(20000);
+  auto g = grid::Grid::Build(points, 1e6);
+  auto stencil = grid::GetNeighborStencil(d == 2 ? 2 : d);
+  // Apply the 2D data's stencil lookups against a real grid.
+  auto stencil2 = grid::GetNeighborStencil(2);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (uint32_t c = 0; c < g->num_cells(); ++c) {
+      g->ForEachNeighborCell(c, **stencil2, [&](uint32_t) { ++hits; });
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * g->num_cells() *
+                          (*stencil)->size());
+}
+BENCHMARK(BM_NeighborStencilApply)->Arg(2);
+
+void BM_CellMapLookup(benchmark::State& state) {
+  const PointSet points = MakePoints(50000);
+  auto g = grid::Grid::Build(points, 1e6);
+  const grid::CellMap map = grid::CellMap::BuildDense(*g, 100);
+  for (auto _ : state) {
+    size_t dense = 0;
+    for (uint32_t c = 0; c < g->num_cells(); ++c) {
+      dense += map.TypeOf(g->CoordOf(c)) == grid::CellType::kDense;
+    }
+    benchmark::DoNotOptimize(dense);
+  }
+  state.SetItemsProcessed(state.iterations() * g->num_cells());
+}
+BENCHMARK(BM_CellMapLookup);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  const PointSet points = MakePoints(static_cast<size_t>(state.range(0)));
+  const index::KdTree tree = index::KdTree::Build(points);
+  Rng rng(5);
+  for (auto _ : state) {
+    const uint32_t q = static_cast<uint32_t>(rng.NextBounded(points.size()));
+    auto knn = tree.Knn(points[q], 6, q);
+    benchmark::DoNotOptimize(knn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(10000)->Arg(100000);
+
+void BM_ReduceByKeyShuffle(benchmark::State& state) {
+  dataflow::ExecutionContext ctx(0, 16);
+  Rng rng(6);
+  std::vector<std::pair<uint32_t, uint32_t>> records;
+  records.reserve(200000);
+  for (size_t i = 0; i < 200000; ++i) {
+    records.emplace_back(static_cast<uint32_t>(rng.NextBounded(10000)), 1u);
+  }
+  auto ds = dataflow::Dataset<std::pair<uint32_t, uint32_t>>::FromVector(
+      &ctx, records, 16);
+  for (auto _ : state) {
+    auto reduced =
+        ReduceByKey(ds, [](uint32_t a, uint32_t b) { return a + b; });
+    benchmark::DoNotOptimize(reduced);
+  }
+  state.SetItemsProcessed(state.iterations() * records.size());
+}
+BENCHMARK(BM_ReduceByKeyShuffle);
+
+void BM_CellCoordHash(benchmark::State& state) {
+  std::vector<grid::CellCoord> coords;
+  Rng rng(4);
+  for (int i = 0; i < 4096; ++i) {
+    grid::CellCoord c = grid::CellCoord::Zero(3);
+    for (size_t k = 0; k < 3; ++k) {
+      c[k] = static_cast<int64_t>(rng.NextBounded(1 << 20)) - (1 << 19);
+    }
+    coords.push_back(c);
+  }
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (const auto& c : coords) {
+      acc ^= c.Hash();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * coords.size());
+}
+BENCHMARK(BM_CellCoordHash);
+
+void BM_StencilEnumeration(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto count = grid::CountNeighborOffsets(d);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_StencilEnumeration)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_IncrementalAdd(benchmark::State& state) {
+  const PointSet points = MakePoints(20000);
+  core::Params params;
+  params.eps = 1e6;
+  params.min_pts = 100;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto det = core::IncrementalDetector::Create(2, params);
+    state.ResumeTiming();
+    for (size_t i = 0; i < points.size(); ++i) {
+      auto added = det->Add(points[i]);
+      benchmark::DoNotOptimize(added);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_IncrementalAdd);
+
+void BM_DetectSequential(benchmark::State& state) {
+  const PointSet points = MakePoints(static_cast<size_t>(state.range(0)));
+  core::Params params;
+  params.eps = 1e6;
+  params.min_pts = 100;
+  for (auto _ : state) {
+    auto r = core::DetectSequential(points, params);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DetectSequential)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Reproduces Table I: the neighbor-cell constant k_d per dimensionality
+// against the loose upper bound of Lemma 3, plus the enumeration cost.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "grid/neighborhood.h"
+
+int main(int argc, char** argv) {
+  using namespace dbscout;
+  const size_t max_d = bench::FlagU64(argc, argv, "max-d", 9);
+  bench::PrintBanner("Table I: neighbor-cell constant k_d",
+                     "SS II, Table I (upper bound vs actual k_d, d=2..9)");
+
+  analysis::Table table(
+      {"d", "Upper bound", "Actual k_d", "Enumeration (ms)"});
+  for (size_t d = 2; d <= max_d && d <= kMaxDims; ++d) {
+    WallTimer timer;
+    const Result<uint64_t> kd = grid::CountNeighborOffsets(d);
+    const double ms = timer.ElapsedMillis();
+    if (!kd.ok()) {
+      std::fprintf(stderr, "d=%zu failed: %s\n", d,
+                   kd.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({std::to_string(d),
+                  std::to_string(grid::NeighborUpperBound(d)),
+                  std::to_string(*kd), StrFormat("%.2f", ms)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Reproduces Table II + Fig. 10: average running time of DBSCOUT,
+// RP-DBSCAN, and DDLOF as the number of input points grows — Geolife plus
+// OpenStreetMap samples from 1% to 1000% (the >100% versions built by
+// duplication with small noise, exactly as in SS IV-A2).
+//
+// Sizes are scaled to one machine (flag --base-n, default 200k points =
+// the "100%" OpenStreetMap-like dataset). Missing values in the paper mean
+// "out of memory or >4h"; here an algorithm is skipped (printed "-") once
+// a run exceeds --budget-s seconds, reproducing those gaps honestly.
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "analysis/table.h"
+#include "baselines/ddlof.h"
+#include "baselines/rp_dbscan.h"
+#include "bench_util.h"
+#include "core/dbscout.h"
+#include "datasets/geo.h"
+
+namespace {
+
+using namespace dbscout;
+
+struct Timings {
+  std::optional<double> dbscout;
+  std::optional<double> rp_dbscan;
+  std::optional<double> ddlof;
+};
+
+std::string Cell(const std::optional<double>& t) {
+  return t ? StrFormat("%.1f", *t) : std::string("-");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t base_n = bench::FlagU64(argc, argv, "base-n", 200000);
+  const double budget_s =
+      static_cast<double>(bench::FlagU64(argc, argv, "budget-s", 120));
+  const double osm_eps = bench::FlagDouble(argc, argv, "osm-eps", 1e6);
+  const double geolife_eps = bench::FlagDouble(argc, argv, "geolife-eps", 300);
+  const int min_pts = static_cast<int>(bench::FlagU64(argc, argv, "min-pts",
+                                                      100));
+  bench::PrintBanner(
+      "Table II + Fig. 10: scalability vs number of points",
+      "SS IV-B1 (DBSCOUT linear; RP-DBSCAN slower, dies at 500%; DDLOF "
+      "dies above 25%)");
+  std::printf("base-n=%zu (the 100%% OSM-like sample), eps(OSM)=%g, "
+              "eps(Geolife)=%g, minPts=%d, budget=%gs/run\n\n",
+              base_n, osm_eps, geolife_eps, min_pts, budget_s);
+
+  dataflow::ExecutionContext ctx(0, 64);
+  core::Params dbscout_params;
+  dbscout_params.min_pts = min_pts;
+  dbscout_params.engine = core::Engine::kParallel;
+  dbscout_params.join = core::JoinStrategy::kGrouped;
+
+  baselines::RpDbscanParams rp_params;
+  rp_params.min_pts = min_pts;
+  rp_params.rho = 0.01;
+  rp_params.num_partitions = 8;
+
+  baselines::DdlofParams ddlof_params;
+  ddlof_params.k = 6;
+  ddlof_params.num_partitions = 16;
+
+  bool dbscout_alive = true;
+  bool rp_alive = true;
+  bool ddlof_alive = true;
+
+  auto run_all = [&](const PointSet& points, double eps) {
+    Timings t;
+    if (dbscout_alive) {
+      dbscout_params.eps = eps;
+      auto r = core::DetectParallel(points, dbscout_params, &ctx);
+      if (r.ok()) {
+        t.dbscout = r->total_seconds;
+        dbscout_alive = r->total_seconds <= budget_s;
+      }
+    }
+    if (rp_alive) {
+      rp_params.eps = eps;
+      auto r = baselines::RpDbscan(points, rp_params);
+      if (r.ok()) {
+        t.rp_dbscan = r->seconds;
+        rp_alive = r->seconds <= budget_s;
+      }
+    }
+    if (ddlof_alive) {
+      auto r = baselines::Ddlof(points, ddlof_params);
+      if (r.ok()) {
+        t.ddlof = r->seconds;
+        ddlof_alive = r->seconds <= budget_s;
+      }
+    }
+    return t;
+  };
+
+  analysis::Table table({"Dataset", "Points", "DBSCOUT (s)", "RP-DBSCAN (s)",
+                         "DDLOF (s)"});
+
+  // Geolife row. The paper's DDLOF could not finish Geolife within 4 hours
+  // because of the skew; the budget mechanism reproduces that behaviour
+  // when DDLOF's replication blows past the time budget.
+  {
+    const PointSet geolife = datasets::GeolifeLike(base_n, 11);
+    const Timings t = run_all(geolife, geolife_eps);
+    table.AddRow({"Geolife", HumanCount(static_cast<double>(geolife.size())),
+                  Cell(t.dbscout), Cell(t.rp_dbscan), Cell(t.ddlof)});
+    // Table II runs DDLOF only on OpenStreetMap samples below; reset the
+    // alive flags so a Geolife blow-up does not hide the OSM columns.
+    dbscout_alive = rp_alive = ddlof_alive = true;
+  }
+
+  const PointSet osm = datasets::OsmLike(base_n, 12);
+  const struct {
+    const char* label;
+    double fraction;  // <= 1: sample; > 1: duplication factor
+  } sizes[] = {
+      {"OpenStreetMap (1%)", 0.01},  {"OpenStreetMap (25%)", 0.25},
+      {"OpenStreetMap (50%)", 0.50}, {"OpenStreetMap (75%)", 0.75},
+      {"OpenStreetMap", 1.0},        {"OpenStreetMap (200%)", 2.0},
+      {"OpenStreetMap (500%)", 5.0}, {"OpenStreetMap (1000%)", 10.0},
+  };
+  for (const auto& size : sizes) {
+    PointSet points =
+        size.fraction <= 1.0
+            ? datasets::SampleFraction(osm, size.fraction, 13)
+            : datasets::ScaleWithNoise(
+                  osm, static_cast<size_t>(size.fraction), osm_eps / 100.0,
+                  13);
+    const Timings t = run_all(points, osm_eps);
+    table.AddRow({size.label, HumanCount(static_cast<double>(points.size())),
+                  Cell(t.dbscout), Cell(t.rp_dbscan), Cell(t.ddlof)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): DBSCOUT grows linearly and stays fastest; "
+      "RP-DBSCAN trails it (up to ~10x at 200%%) and cannot reach 500%%; "
+      "DDLOF is orders of magnitude slower and stops after 25%%.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Reproduces Table III: F1-score of the outlier class for DBSCOUT vs LOF,
+// Isolation Forest, and One-Class SVM on nine labelled 2D datasets.
+// Parameter selection follows the paper: DBSCOUT fixes minPts and reads
+// eps off the k-distance elbow (no knowledge of the true contamination);
+// LOF grid-searches K and is told the exact contamination, as are IF and
+// OC-SVM (their nu).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "analysis/kdistance.h"
+#include "analysis/metrics.h"
+#include "analysis/table.h"
+#include "baselines/isolation_forest.h"
+#include "baselines/lof.h"
+#include "baselines/ocsvm.h"
+#include "bench_util.h"
+#include "core/dbscout.h"
+#include "datasets/shapes.h"
+#include "datasets/synthetic.h"
+
+namespace {
+
+using namespace dbscout;
+
+struct Case {
+  datasets::LabeledDataset data;
+  int min_pts;
+};
+
+double F1Of(const datasets::LabeledDataset& data,
+            const std::vector<uint32_t>& predicted) {
+  return analysis::ConfusionFromIndices(data.labels, predicted).F1();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 71);
+  bench::PrintBanner("Table III: F1-score comparison",
+                     "SS IV-C1 (DBSCOUT better or on par with LOF; both far "
+                     "ahead of IF and OC-SVM)");
+
+  std::vector<Case> cases;
+  cases.push_back({datasets::Blobs(4000, 0.01, seed), 5});
+  cases.push_back({datasets::BlobsVariedDensity(4000, 0.01, seed + 1), 5});
+  cases.push_back({datasets::Circles(4000, 0.01, seed + 2), 5});
+  cases.push_back({datasets::Moons(4000, 0.01, seed + 3), 5});
+  cases.push_back({datasets::ClutoT4Like(8000, seed + 4), 10});
+  cases.push_back({datasets::ClutoT5Like(8000, seed + 5), 10});
+  cases.push_back({datasets::ClutoT7Like(10000, seed + 6), 10});
+  cases.push_back({datasets::ClutoT8Like(8000, seed + 7), 10});
+  cases.push_back({datasets::CureT2Like(4200, seed + 8), 10});
+
+  analysis::Table table({"Dataset", "Algorithm", "Parameters", "F1-score"});
+  for (const Case& c : cases) {
+    const double contamination = c.data.Contamination();
+
+    // DBSCOUT: minPts fixed, eps from the k-distance elbow.
+    auto curve = analysis::ComputeKDistance(c.data.points, c.min_pts);
+    if (!curve.ok()) {
+      std::fprintf(stderr, "%s: k-distance failed\n", c.data.name.c_str());
+      return 1;
+    }
+    core::Params params;
+    params.eps = curve->SuggestEpsUpper();
+    params.min_pts = c.min_pts;
+    auto detection = core::Detect(c.data.points, params);
+    if (!detection.ok()) {
+      std::fprintf(stderr, "%s: DBSCOUT failed\n", c.data.name.c_str());
+      return 1;
+    }
+    table.AddRow({c.data.name, "DBSCOUT",
+                  StrFormat("eps=%.4g, minPts=%d", params.eps, c.min_pts),
+                  StrFormat("%.5f", F1Of(c.data, detection->outliers))});
+
+    // LOF: grid search over K, contamination given.
+    double best_lof = 0.0;
+    int best_k = 0;
+    for (int k : {5, 10, 16, 27, 50, 77, 106}) {
+      if (static_cast<size_t>(k) >= c.data.points.size()) {
+        continue;
+      }
+      auto lof = baselines::Lof(c.data.points, k);
+      if (!lof.ok()) {
+        continue;
+      }
+      const double f1 = F1Of(c.data, lof->TopFraction(contamination));
+      if (f1 > best_lof) {
+        best_lof = f1;
+        best_k = k;
+      }
+    }
+    table.AddRow({c.data.name, "LOF",
+                  StrFormat("K=%d, nu=%.2g", best_k, contamination),
+                  StrFormat("%.5f", best_lof)});
+
+    // Isolation Forest: contamination given.
+    baselines::IsolationForestParams if_params;
+    if_params.seed = seed + 100;
+    auto forest = baselines::IsolationForest(c.data.points, if_params);
+    if (!forest.ok()) {
+      std::fprintf(stderr, "%s: IF failed\n", c.data.name.c_str());
+      return 1;
+    }
+    table.AddRow({c.data.name, "IF", StrFormat("nu=%.2g", contamination),
+                  StrFormat("%.5f",
+                            F1Of(c.data, forest->TopFraction(contamination)))});
+
+    // One-Class SVM: nu = contamination.
+    baselines::OneClassSvmParams svm_params;
+    svm_params.nu = std::max(0.001, contamination);
+    svm_params.seed = seed + 200;
+    auto svm = baselines::OneClassSvm(c.data.points, svm_params);
+    if (!svm.ok()) {
+      std::fprintf(stderr, "%s: OC-SVM failed\n", c.data.name.c_str());
+      return 1;
+    }
+    table.AddRow(
+        {c.data.name, "OC-SVM", StrFormat("nu=%.2g", contamination),
+         StrFormat("%.5f",
+                   F1Of(c.data, svm->BottomFraction(contamination)))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): DBSCOUT generally better or on par with "
+      "LOF (despite not knowing the contamination); IF and OC-SVM far "
+      "behind on the shaped datasets.\n");
+  return 0;
+}

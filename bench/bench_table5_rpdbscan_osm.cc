@@ -1,0 +1,76 @@
+// Reproduces Table V: RP-DBSCAN detection accuracy on OpenStreetMap —
+// TP/FP/FN of RP-DBSCAN's outliers against DBSCOUT's exact output across
+// the OSM eps sweep. Same expected signature as Table IV: a consistent
+// proportion of false positives, a tiny share of false negatives.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/compare.h"
+#include "analysis/table.h"
+#include "baselines/rp_dbscan.h"
+#include "bench_util.h"
+#include "core/dbscout.h"
+#include "datasets/geo.h"
+
+int main(int argc, char** argv) {
+  using namespace dbscout;
+  const size_t n = bench::FlagU64(argc, argv, "n", 200000);
+  const int min_pts =
+      static_cast<int>(bench::FlagU64(argc, argv, "min-pts", 100));
+  const double rho = bench::FlagDouble(argc, argv, "rho", 0.3);
+  bench::PrintBanner("Table V: RP-DBSCAN detection accuracy on OpenStreetMap",
+                     "SS IV-C2 (FP-heavy superset, ~0.01% FN)");
+  std::printf("OSM-like n=%zu, minPts=%d, rho=%g\n", n, min_pts, rho);
+  std::printf(
+      "NOTE: the paper uses rho=0.01 on billions of points, where sub-cells "
+      "hold many points each. At this dataset size rho=0.01 produces "
+      "singleton sub-cells (the summary degenerates to the exact data, zero "
+      "error); the default rho here is chosen to match the paper's sub-cell "
+      "occupancy regime instead. Pass --rho=0.01 to see the degenerate "
+      "case.\n\n");
+
+  const PointSet points = datasets::OsmLike(n, 42);
+
+  analysis::Table table(
+      {"eps", "DBSCOUT", "RP-DBSCAN", "TP", "FP", "FN", "FP rate"});
+  for (double eps : {2.5e5, 5e5, 1e6, 2e6}) {
+    core::Params params;
+    params.eps = eps;
+    params.min_pts = min_pts;
+    auto exact = core::DetectSequential(points, params);
+    if (!exact.ok()) {
+      std::fprintf(stderr, "DBSCOUT eps=%g failed: %s\n", eps,
+                   exact.status().ToString().c_str());
+      return 1;
+    }
+    baselines::RpDbscanParams rp_params;
+    rp_params.eps = eps;
+    rp_params.min_pts = min_pts;
+    rp_params.rho = rho;
+    rp_params.num_partitions = 8;
+    auto approx = baselines::RpDbscan(points, rp_params);
+    if (!approx.ok()) {
+      std::fprintf(stderr, "RP-DBSCAN eps=%g failed: %s\n", eps,
+                   approx.status().ToString().c_str());
+      return 1;
+    }
+    const auto diff =
+        analysis::CompareOutlierSets(exact->outliers, approx->outliers);
+    const double fp_rate =
+        approx->outliers.empty()
+            ? 0.0
+            : static_cast<double>(diff.fp) /
+                  static_cast<double>(approx->outliers.size());
+    table.AddRow({StrFormat("%g", eps),
+                  std::to_string(exact->outliers.size()),
+                  std::to_string(approx->outliers.size()),
+                  std::to_string(diff.tp), std::to_string(diff.fp),
+                  std::to_string(diff.fn),
+                  StrFormat("%.1f%%", 100.0 * fp_rate)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): a superset at every eps; FP a consistent "
+      "share of RP-DBSCAN's output, FN near zero.\n");
+  return 0;
+}

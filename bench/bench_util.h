@@ -1,0 +1,54 @@
+#ifndef DBSCOUT_BENCH_BENCH_UTIL_H_
+#define DBSCOUT_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/str_util.h"
+
+namespace dbscout::bench {
+
+/// Parses "--name=value" from argv; returns `fallback` when absent or
+/// malformed. Benchmarks accept size knobs so the full paper-scale sweep
+/// can be requested on bigger machines (defaults are sized for a laptop).
+inline uint64_t FlagU64(int argc, char** argv, const char* name,
+                        uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      const Result<uint64_t> parsed = ParseUint64(argv[i] + prefix.size());
+      if (parsed.ok()) {
+        return *parsed;
+      }
+    }
+  }
+  return fallback;
+}
+
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      const Result<double> parsed = ParseDouble(argv[i] + prefix.size());
+      if (parsed.ok()) {
+        return *parsed;
+      }
+    }
+  }
+  return fallback;
+}
+
+/// Header line shared by all harnesses, so the bench log is self-describing.
+inline void PrintBanner(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("DBSCOUT reproduction | %s\n", experiment);
+  std::printf("paper reference: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace dbscout::bench
+
+#endif  // DBSCOUT_BENCH_BENCH_UTIL_H_

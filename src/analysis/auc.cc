@@ -1,0 +1,80 @@
+#include "analysis/auc.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dbscout::analysis {
+
+double RocAuc(std::span<const uint8_t> truth,
+              std::span<const double> scores) {
+  const size_t n = truth.size();
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] < scores[b];
+  });
+  // Rank sum of the positive class with average ranks over ties.
+  double positive_rank_sum = 0.0;
+  uint64_t positives = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      ++j;
+    }
+    const double average_rank = 0.5 * static_cast<double>(i + 1 + j);
+    for (size_t k = i; k < j; ++k) {
+      if (truth[order[k]]) {
+        positive_rank_sum += average_rank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const uint64_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) {
+    return 0.5;
+  }
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+double AveragePrecision(std::span<const uint8_t> truth,
+                        std::span<const double> scores) {
+  const size_t n = truth.size();
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) {
+      return scores[a] > scores[b];
+    }
+    // Pessimistic tie-break: negatives ranked ahead of positives.
+    return truth[a] < truth[b];
+  });
+  uint64_t positives_total = 0;
+  for (uint8_t t : truth) {
+    positives_total += t;
+  }
+  if (positives_total == 0) {
+    return 0.0;
+  }
+  double ap = 0.0;
+  uint64_t true_positives = 0;
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (truth[order[rank]]) {
+      ++true_positives;
+      ap += static_cast<double>(true_positives) /
+            static_cast<double>(rank + 1);
+    }
+  }
+  return ap / static_cast<double>(positives_total);
+}
+
+}  // namespace dbscout::analysis

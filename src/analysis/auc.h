@@ -1,0 +1,25 @@
+#ifndef DBSCOUT_ANALYSIS_AUC_H_
+#define DBSCOUT_ANALYSIS_AUC_H_
+
+#include <cstdint>
+#include <span>
+
+namespace dbscout::analysis {
+
+/// Area under the ROC curve for score-based detectors (larger score = more
+/// anomalous), computed rank-based (Mann-Whitney U) with average ranks for
+/// ties. Returns 0.5 when either class is empty. Complements the F1 of
+/// Table III with a threshold-free quality measure for LOF / IF / OC-SVM
+/// style scores.
+double RocAuc(std::span<const uint8_t> truth, std::span<const double> scores);
+
+/// Average precision (area under the precision-recall curve, step-wise),
+/// the usual summary for heavily imbalanced outlier problems. Ties are
+/// broken pessimistically (negatives first), so the value is a lower
+/// bound. Returns 0 when there are no positives.
+double AveragePrecision(std::span<const uint8_t> truth,
+                        std::span<const double> scores);
+
+}  // namespace dbscout::analysis
+
+#endif  // DBSCOUT_ANALYSIS_AUC_H_

@@ -1,0 +1,28 @@
+#include "analysis/compare.h"
+
+namespace dbscout::analysis {
+
+OutlierDiff CompareOutlierSets(std::span<const uint32_t> reference,
+                               std::span<const uint32_t> candidate) {
+  OutlierDiff diff;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < reference.size() && j < candidate.size()) {
+    if (reference[i] == candidate[j]) {
+      ++diff.tp;
+      ++i;
+      ++j;
+    } else if (reference[i] < candidate[j]) {
+      ++diff.fn;
+      ++i;
+    } else {
+      ++diff.fp;
+      ++j;
+    }
+  }
+  diff.fn += reference.size() - i;
+  diff.fp += candidate.size() - j;
+  return diff;
+}
+
+}  // namespace dbscout::analysis

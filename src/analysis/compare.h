@@ -1,0 +1,24 @@
+#ifndef DBSCOUT_ANALYSIS_COMPARE_H_
+#define DBSCOUT_ANALYSIS_COMPARE_H_
+
+#include <cstdint>
+#include <span>
+
+namespace dbscout::analysis {
+
+/// Agreement of a candidate outlier set against a reference (exact) one —
+/// the TP/FP/FN split of Tables IV and V, where DBSCOUT's exact output is
+/// the reference and RP-DBSCAN's is the candidate.
+struct OutlierDiff {
+  uint64_t tp = 0;  // in both sets
+  uint64_t fp = 0;  // candidate only
+  uint64_t fn = 0;  // reference only
+};
+
+/// Both spans must be sorted ascending and duplicate-free.
+OutlierDiff CompareOutlierSets(std::span<const uint32_t> reference,
+                               std::span<const uint32_t> candidate);
+
+}  // namespace dbscout::analysis
+
+#endif  // DBSCOUT_ANALYSIS_COMPARE_H_

@@ -1,0 +1,95 @@
+#include "analysis/kdistance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "index/kdtree.h"
+
+namespace dbscout::analysis {
+
+namespace {
+
+/// Normalized distance of curve point i to the chord through the curve's
+/// endpoints; the quantity both elbow locators maximize.
+double ChordDistance(const std::vector<double>& d, size_t i) {
+  const double x_span = static_cast<double>(d.size() - 1);
+  const double y_span = std::max(1e-300, d.front() - d.back());
+  const double x = static_cast<double>(i) / x_span;
+  const double y = (d[i] - d.back()) / y_span;
+  // Chord runs from (0,1) to (1,0); distance ~ |x + y - 1|.
+  return std::abs(x + y - 1.0);
+}
+
+}  // namespace
+
+double KDistanceCurve::SuggestEps() const {
+  const size_t n = distances.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  if (n < 3) {
+    return distances.back();
+  }
+  double best = -1.0;
+  size_t best_index = n - 1;
+  for (size_t i = 0; i < n; ++i) {
+    const double dist = ChordDistance(distances, i);
+    if (dist > best) {
+      best = dist;
+      best_index = i;
+    }
+  }
+  return distances[best_index];
+}
+
+double KDistanceCurve::SuggestEpsUpper(double headroom) const {
+  // A curvature-region walk is unreliable here: on contaminated data the
+  // chord distance stays high from the knee all the way up the outlier
+  // cliff, so the "region" bleeds into outlier-scale distances. A fixed
+  // headroom over the knee is the transparent automation of "choose eps in
+  // the uppermost part of the elbow zone" and needs no labels.
+  return headroom * SuggestEps();
+}
+
+Result<KDistanceCurve> ComputeKDistance(const PointSet& points, int k,
+                                        size_t sample, uint64_t seed) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  const size_t n = points.size();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  if (static_cast<size_t>(k) >= n) {
+    return Status::InvalidArgument("k must be < number of points");
+  }
+  KDistanceCurve curve;
+  curve.k = k;
+  const index::KdTree tree = index::KdTree::Build(points);
+
+  std::vector<uint32_t> queries;
+  if (sample > 0 && sample < n) {
+    Rng rng(seed);
+    queries.reserve(sample);
+    for (size_t i = 0; i < sample; ++i) {
+      queries.push_back(static_cast<uint32_t>(rng.NextBounded(n)));
+    }
+  } else {
+    queries.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      queries[i] = static_cast<uint32_t>(i);
+    }
+  }
+  curve.distances.reserve(queries.size());
+  for (uint32_t i : queries) {
+    const auto knn = tree.Knn(points[i], static_cast<size_t>(k),
+                              static_cast<int64_t>(i));
+    curve.distances.push_back(knn.empty() ? 0.0 : knn.back().distance);
+  }
+  std::sort(curve.distances.begin(), curve.distances.end(),
+            std::greater<double>());
+  return curve;
+}
+
+}  // namespace dbscout::analysis

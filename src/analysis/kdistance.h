@@ -1,0 +1,41 @@
+#ifndef DBSCOUT_ANALYSIS_KDISTANCE_H_
+#define DBSCOUT_ANALYSIS_KDISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout::analysis {
+
+/// The sorted k-distance curve of a dataset: for each point, the distance
+/// to its k-th nearest neighbor (self excluded), sorted descending. Plotting
+/// it and reading eps off the elbow is the standard DBSCAN/DBSCOUT
+/// parameter-selection recipe the paper uses for Table III.
+struct KDistanceCurve {
+  int k = 0;
+  /// Descending k-distances (one per point, or per sampled point).
+  std::vector<double> distances;
+
+  /// The suggested eps: the value at the point of maximum curvature (the
+  /// knee), located by the maximum distance to the chord between the
+  /// curve's endpoints.
+  double SuggestEps() const;
+
+  /// The paper's variant (SS IV-C1): eps "in the uppermost part of the
+  /// elbow zone", automated as the knee value times a small headroom
+  /// factor. Label-free; more robust than the bare knee when clusters have
+  /// heterogeneous densities and the elbow is gradual.
+  double SuggestEpsUpper(double headroom = 1.25) const;
+};
+
+/// Computes the curve; when sample > 0 and smaller than the dataset, only
+/// `sample` random points are evaluated (the curve's shape, not its exact
+/// membership, is what matters).
+Result<KDistanceCurve> ComputeKDistance(const PointSet& points, int k,
+                                        size_t sample = 0, uint64_t seed = 1);
+
+}  // namespace dbscout::analysis
+
+#endif  // DBSCOUT_ANALYSIS_KDISTANCE_H_

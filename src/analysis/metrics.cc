@@ -1,0 +1,36 @@
+#include "analysis/metrics.h"
+
+namespace dbscout::analysis {
+
+BinaryConfusion ConfusionFromIndices(std::span<const uint8_t> truth,
+                                     std::span<const uint32_t> predicted) {
+  std::vector<uint8_t> labels(truth.size(), 0);
+  for (uint32_t i : predicted) {
+    if (i < labels.size()) {
+      labels[i] = 1;
+    }
+  }
+  return ConfusionFromLabels(truth, labels);
+}
+
+BinaryConfusion ConfusionFromLabels(std::span<const uint8_t> truth,
+                                    std::span<const uint8_t> predicted) {
+  BinaryConfusion c;
+  const size_t n = truth.size();
+  for (size_t i = 0; i < n; ++i) {
+    const bool actual = truth[i] != 0;
+    const bool guessed = i < predicted.size() && predicted[i] != 0;
+    if (actual && guessed) {
+      ++c.tp;
+    } else if (!actual && guessed) {
+      ++c.fp;
+    } else if (actual && !guessed) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+}  // namespace dbscout::analysis

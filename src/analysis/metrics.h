@@ -1,0 +1,47 @@
+#ifndef DBSCOUT_ANALYSIS_METRICS_H_
+#define DBSCOUT_ANALYSIS_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dbscout::analysis {
+
+/// Binary confusion counts for the outlier class (positive = outlier).
+struct BinaryConfusion {
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  uint64_t fn = 0;
+  uint64_t tn = 0;
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  /// F1 of the outlier class — the quality metric of Table III.
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Confusion of predicted outlier indices against 0/1 ground-truth labels.
+/// `predicted` must contain valid indices into `truth`; duplicates are
+/// counted once.
+BinaryConfusion ConfusionFromIndices(std::span<const uint8_t> truth,
+                                     std::span<const uint32_t> predicted);
+
+/// Confusion of two aligned 0/1 label vectors (1 = outlier).
+BinaryConfusion ConfusionFromLabels(std::span<const uint8_t> truth,
+                                    std::span<const uint8_t> predicted);
+
+}  // namespace dbscout::analysis
+
+#endif  // DBSCOUT_ANALYSIS_METRICS_H_

@@ -1,0 +1,30 @@
+#ifndef DBSCOUT_ANALYSIS_TABLE_H_
+#define DBSCOUT_ANALYSIS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dbscout::analysis {
+
+/// Minimal fixed-width ASCII table renderer used by the benchmark
+/// harnesses to print paper-style result tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to their widest cell.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbscout::analysis
+
+#endif  // DBSCOUT_ANALYSIS_TABLE_H_

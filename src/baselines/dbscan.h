@@ -1,0 +1,35 @@
+#ifndef DBSCOUT_BASELINES_DBSCAN_H_
+#define DBSCOUT_BASELINES_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout::baselines {
+
+/// Output of exact DBSCAN clustering.
+struct DbscanResult {
+  /// Per-point cluster id; kNoise (-1) for noise points.
+  std::vector<int32_t> cluster;
+  size_t num_clusters = 0;
+  size_t num_core = 0;
+  double seconds = 0.0;
+
+  static constexpr int32_t kNoise = -1;
+
+  /// Indices of noise points, ascending. DBSCAN noise coincides exactly
+  /// with the outlier set of Definition 3 — the property DBSCOUT builds on.
+  std::vector<uint32_t> Noise() const;
+};
+
+/// Exact DBSCAN (Ester et al. 1996) accelerated with the same epsilon-grid
+/// DBSCOUT uses (Gunawan-style). This is the "naive approach" of the paper's
+/// introduction: it computes the full clustering even when only the outliers
+/// are needed, paying an extra cluster-expansion pass that DBSCOUT skips.
+Result<DbscanResult> Dbscan(const PointSet& points, double eps, int min_pts);
+
+}  // namespace dbscout::baselines
+
+#endif  // DBSCOUT_BASELINES_DBSCAN_H_

@@ -1,0 +1,182 @@
+#include "baselines/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace dbscout::baselines {
+namespace {
+
+/// Average unsuccessful-search path length of a BST with n nodes; the
+/// normalizer c(n) of the isolation-forest score.
+double AveragePathLength(double n) {
+  if (n <= 1.0) {
+    return 0.0;
+  }
+  const double harmonic = std::log(n - 1.0) + 0.5772156649015329;
+  return 2.0 * harmonic - 2.0 * (n - 1.0) / n;
+}
+
+/// One isolation tree node. Leaves carry the size of the point subset that
+/// reached them (left < 0 marks a leaf).
+struct TreeNode {
+  int32_t left = -1;
+  int32_t right = -1;
+  uint16_t split_dim = 0;
+  double split_value = 0.0;
+  uint32_t size = 0;
+};
+
+class IsolationTree {
+ public:
+  IsolationTree(const PointSet& points, std::vector<uint32_t> sample,
+                int max_depth, Rng* rng)
+      : points_(&points) {
+    BuildNode(std::move(sample), 0, max_depth, rng);
+  }
+
+  /// Path length of `p`, with the standard c(leaf size) adjustment.
+  double PathLength(std::span<const double> p) const {
+    int32_t node = 0;
+    int depth = 0;
+    for (;;) {
+      const TreeNode& tn = nodes_[node];
+      if (tn.left < 0) {
+        return depth + AveragePathLength(static_cast<double>(tn.size));
+      }
+      node = p[tn.split_dim] < tn.split_value ? tn.left : tn.right;
+      ++depth;
+    }
+  }
+
+ private:
+  int32_t BuildNode(std::vector<uint32_t> sample, int depth, int max_depth,
+                    Rng* rng) {
+    const int32_t id = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[id].size = static_cast<uint32_t>(sample.size());
+    if (sample.size() <= 1 || depth >= max_depth) {
+      return id;
+    }
+    // Pick a random dimension with non-zero extent; if all are degenerate
+    // the subset is identical points -> leaf.
+    const size_t d = points_->dims();
+    uint16_t dim = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    bool found = false;
+    for (size_t attempt = 0; attempt < 2 * d; ++attempt) {
+      dim = static_cast<uint16_t>(rng->NextBounded(d));
+      lo = hi = points_->at(sample[0], dim);
+      for (uint32_t i : sample) {
+        lo = std::min(lo, points_->at(i, dim));
+        hi = std::max(hi, points_->at(i, dim));
+      }
+      if (hi > lo) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return id;
+    }
+    const double split = rng->Uniform(lo, hi);
+    std::vector<uint32_t> left_sample;
+    std::vector<uint32_t> right_sample;
+    for (uint32_t i : sample) {
+      (points_->at(i, dim) < split ? left_sample : right_sample).push_back(i);
+    }
+    if (left_sample.empty() || right_sample.empty()) {
+      return id;  // degenerate split (split == hi with duplicates)
+    }
+    sample.clear();
+    sample.shrink_to_fit();
+    const int32_t left = BuildNode(std::move(left_sample), depth + 1,
+                                   max_depth, rng);
+    const int32_t right = BuildNode(std::move(right_sample), depth + 1,
+                                    max_depth, rng);
+    nodes_[id].left = left;
+    nodes_[id].right = right;
+    nodes_[id].split_dim = dim;
+    nodes_[id].split_value = split;
+    return id;
+  }
+
+  const PointSet* points_;
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace
+
+std::vector<uint32_t> IsolationForestResult::TopFraction(
+    double contamination) const {
+  const size_t n = scores.size();
+  const size_t count = std::min(
+      n, static_cast<size_t>(std::ceil(contamination * static_cast<double>(n))));
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::partial_sort(
+      order.begin(), order.begin() + count, order.end(),
+      [this](uint32_t a, uint32_t b) { return scores[a] > scores[b]; });
+  std::vector<uint32_t> top(order.begin(), order.begin() + count);
+  std::sort(top.begin(), top.end());
+  return top;
+}
+
+Result<IsolationForestResult> IsolationForest(
+    const PointSet& points, const IsolationForestParams& params) {
+  if (params.num_trees < 1) {
+    return Status::InvalidArgument("num_trees must be >= 1");
+  }
+  if (params.subsample < 2) {
+    return Status::InvalidArgument("subsample must be >= 2");
+  }
+  WallTimer timer;
+  IsolationForestResult result;
+  const size_t n = points.size();
+  result.scores.assign(n, 0.5);
+  if (n < 2) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  Rng rng(params.seed);
+  const size_t psi = std::min(params.subsample, n);
+  const int max_depth =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(psi)))) + 1;
+
+  std::vector<IsolationTree> trees;
+  trees.reserve(params.num_trees);
+  std::vector<uint32_t> all(n);
+  for (size_t i = 0; i < n; ++i) {
+    all[i] = static_cast<uint32_t>(i);
+  }
+  for (int t = 0; t < params.num_trees; ++t) {
+    // Partial Fisher-Yates: draw psi distinct indices.
+    std::vector<uint32_t> sample(all);
+    for (size_t i = 0; i < psi; ++i) {
+      const size_t j = i + rng.NextBounded(n - i);
+      std::swap(sample[i], sample[j]);
+    }
+    sample.resize(psi);
+    trees.emplace_back(points, std::move(sample), max_depth, &rng);
+  }
+
+  const double c = AveragePathLength(static_cast<double>(psi));
+  for (size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (const auto& tree : trees) {
+      total += tree.PathLength(points[i]);
+    }
+    const double mean = total / static_cast<double>(trees.size());
+    result.scores[i] = std::pow(2.0, c > 0.0 ? -mean / c : 0.0);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dbscout::baselines

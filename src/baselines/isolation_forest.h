@@ -1,0 +1,37 @@
+#ifndef DBSCOUT_BASELINES_ISOLATION_FOREST_H_
+#define DBSCOUT_BASELINES_ISOLATION_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout::baselines {
+
+/// Configuration of the Isolation Forest baseline (Liu et al., ICDM'08).
+struct IsolationForestParams {
+  int num_trees = 100;
+  /// Subsample size per tree (the canonical psi = 256).
+  size_t subsample = 256;
+  uint64_t seed = 3;
+};
+
+/// Output of an Isolation Forest run. Scores follow the standard
+/// normalization s(x) = 2^(-E[h(x)]/c(psi)) in (0, 1]; larger = more
+/// anomalous (0.5 is the "no structure" baseline).
+struct IsolationForestResult {
+  std::vector<double> scores;
+  double seconds = 0.0;
+
+  /// The ceil(contamination * n) highest-scoring points, ascending by index.
+  std::vector<uint32_t> TopFraction(double contamination) const;
+};
+
+/// Trains an isolation forest on `points` and scores every point.
+Result<IsolationForestResult> IsolationForest(
+    const PointSet& points, const IsolationForestParams& params);
+
+}  // namespace dbscout::baselines
+
+#endif  // DBSCOUT_BASELINES_ISOLATION_FOREST_H_

@@ -1,0 +1,102 @@
+#include "baselines/lof.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "index/kdtree.h"
+
+namespace dbscout::baselines {
+namespace {
+
+// Cap for the local reachability density of points whose k neighbors are
+// all duplicates (sum of reachability distances is zero).
+constexpr double kMaxLrd = 1e12;
+
+}  // namespace
+
+std::vector<uint32_t> LofResult::TopFraction(double contamination) const {
+  const size_t n = scores.size();
+  const size_t count = std::min(
+      n, static_cast<size_t>(std::ceil(contamination * static_cast<double>(n))));
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                    [this](uint32_t a, uint32_t b) {
+                      return scores[a] > scores[b];
+                    });
+  std::vector<uint32_t> top(order.begin(), order.begin() + count);
+  std::sort(top.begin(), top.end());
+  return top;
+}
+
+std::vector<uint32_t> LofResult::AboveThreshold(double threshold) const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > threshold) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+Result<LofResult> Lof(const PointSet& points, int k) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  const size_t n = points.size();
+  if (n > 0 && static_cast<size_t>(k) >= n) {
+    return Status::InvalidArgument("k must be < number of points");
+  }
+  WallTimer timer;
+  LofResult result;
+  result.scores.assign(n, 1.0);
+  if (n == 0) {
+    return result;
+  }
+
+  const index::KdTree tree = index::KdTree::Build(points);
+
+  // Pass 1: k nearest neighbors (excluding self) and k-distance per point.
+  std::vector<std::vector<index::Neighbor>> knn(n);
+  std::vector<double> k_distance(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    knn[i] = tree.Knn(points[i], static_cast<size_t>(k),
+                      static_cast<int64_t>(i));
+    k_distance[i] = knn[i].empty() ? 0.0 : knn[i].back().distance;
+  }
+
+  // Pass 2: local reachability density.
+  std::vector<double> lrd(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (const auto& nb : knn[i]) {
+      reach_sum += std::max(k_distance[nb.index], nb.distance);
+    }
+    if (reach_sum <= 0.0 || knn[i].empty()) {
+      lrd[i] = kMaxLrd;
+    } else {
+      lrd[i] = std::min(kMaxLrd,
+                        static_cast<double>(knn[i].size()) / reach_sum);
+    }
+  }
+
+  // Pass 3: LOF score = mean neighbor lrd / own lrd.
+  for (size_t i = 0; i < n; ++i) {
+    if (knn[i].empty()) {
+      continue;
+    }
+    double neighbor_lrd_sum = 0.0;
+    for (const auto& nb : knn[i]) {
+      neighbor_lrd_sum += lrd[nb.index];
+    }
+    result.scores[i] =
+        neighbor_lrd_sum / (static_cast<double>(knn[i].size()) * lrd[i]);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dbscout::baselines

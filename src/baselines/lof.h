@@ -1,0 +1,36 @@
+#ifndef DBSCOUT_BASELINES_LOF_H_
+#define DBSCOUT_BASELINES_LOF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout::baselines {
+
+/// Output of a Local Outlier Factor run. Scores near 1 mean inlier; the
+/// larger the score, the more isolated the point relative to its k
+/// neighborhood.
+struct LofResult {
+  std::vector<double> scores;
+  double seconds = 0.0;
+
+  /// The ceil(contamination * n) highest-scoring points, ascending by
+  /// index — the usual way LOF is turned into a labeling when the outlier
+  /// proportion is known (how the paper configures LOF for Table III).
+  std::vector<uint32_t> TopFraction(double contamination) const;
+
+  /// All points with score > threshold, ascending by index.
+  std::vector<uint32_t> AboveThreshold(double threshold) const;
+};
+
+/// Exact LOF (Breunig et al. 2000) over a kd-tree: k-distance, reachability
+/// distance, local reachability density, and the LOF ratio. Duplicate-heavy
+/// data (zero k-distance) is handled by capping the local reachability
+/// density, matching scikit-learn's behavior closely enough for ranking.
+Result<LofResult> Lof(const PointSet& points, int k);
+
+}  // namespace dbscout::baselines
+
+#endif  // DBSCOUT_BASELINES_LOF_H_

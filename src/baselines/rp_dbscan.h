@@ -1,0 +1,63 @@
+#ifndef DBSCOUT_BASELINES_RP_DBSCAN_H_
+#define DBSCOUT_BASELINES_RP_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout::baselines {
+
+/// Configuration of the RP-DBSCAN-like approximate parallel DBSCAN.
+struct RpDbscanParams {
+  double eps = 1.0;
+  int min_pts = 100;
+  /// Approximation granularity: sub-cells have side rho * (eps/sqrt(d)).
+  /// The authors' suggested default, used for all of the paper's
+  /// experiments, is 0.01.
+  double rho = 0.01;
+  /// Random partitions whose per-partition sub-cell dictionaries are built
+  /// independently and then merged (the source of RP-DBSCAN's negative
+  /// partition-count scaling in Fig. 13).
+  size_t num_partitions = 8;
+  uint64_t seed = 7;
+
+  Status Validate() const;
+};
+
+/// Output of an RP-DBSCAN run.
+struct RpDbscanResult {
+  /// Per-point outlier labels (1 = noise/outlier).
+  std::vector<uint8_t> is_outlier;
+  /// Outlier indices, ascending.
+  std::vector<uint32_t> outliers;
+  size_t num_clusters = 0;
+  size_t num_cells = 0;
+  /// Non-empty sub-cells in the merged two-level dictionary.
+  size_t num_subcells = 0;
+  /// Total sub-cell entries across per-partition dictionaries before the
+  /// merge — grows with the partition count for the same data.
+  size_t merged_entries = 0;
+  double seconds = 0.0;
+};
+
+/// Approximate parallel DBSCAN in the style of RP-DBSCAN (Song & Lee,
+/// SIGMOD'18): points are randomly partitioned; every partition builds a
+/// two-level cell dictionary (eps-cells subdivided into rho-granular
+/// sub-cells, each summarized by one representative point and a count);
+/// dictionaries are merged and broadcast; core/noise decisions then use the
+/// sub-cell summaries instead of the raw points.
+///
+/// The rho-approximation makes the outlier set inexact in exactly the way
+/// the paper measures (Tables IV-V): coverage checks only see sub-cell
+/// representatives, so some truly covered points are missed (false-positive
+/// outliers, a superset tendency), while counts attributed to a whole
+/// sub-cell through its representative occasionally promote a true outlier
+/// to core (rare false negatives).
+Result<RpDbscanResult> RpDbscan(const PointSet& points,
+                                const RpDbscanParams& params);
+
+}  // namespace dbscout::baselines
+
+#endif  // DBSCOUT_BASELINES_RP_DBSCAN_H_

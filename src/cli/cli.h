@@ -1,0 +1,24 @@
+#ifndef DBSCOUT_CLI_CLI_H_
+#define DBSCOUT_CLI_CLI_H_
+
+#include <ostream>
+
+namespace dbscout::cli {
+
+/// Entry point of the `dbscout` command-line tool (tools/dbscout_main.cc is
+/// a thin wrapper). Streams are injected so tests can drive the tool
+/// in-process. Returns a process exit code.
+///
+/// Commands:
+///   detect    run DBSCOUT on a CSV/binary point file
+///   kdist     k-distance curve and suggested eps (parameter selection)
+///   generate  write one of the library's datasets to a file
+///   compare   diff two outlier-index files (TP/FP/FN)
+///   evaluate  score predicted outliers against 0/1 ground-truth labels
+///   help      usage
+int RunCli(int argc, const char* const* argv, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace dbscout::cli
+
+#endif  // DBSCOUT_CLI_CLI_H_

@@ -1,0 +1,49 @@
+#ifndef DBSCOUT_CLI_FLAGS_H_
+#define DBSCOUT_CLI_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbscout::cli {
+
+/// Parsed command line of the form:
+///   dbscout <command> --flag=value --switch ...
+/// Flags are "--name=value" or bare "--name" (value ""). Positional
+/// arguments after the command are rejected (every input is a named flag,
+/// which keeps invocations self-describing in shell history).
+class Flags {
+ public:
+  /// Parses argv[1..); argv[1] is the command. Fails on malformed tokens.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  bool Has(const std::string& name) const {
+    return values_.find(name) != values_.end();
+  }
+
+  /// Typed getters: error when present-but-malformed, fallback when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  Result<uint64_t> GetUint(const std::string& name, uint64_t fallback) const;
+  bool GetBool(const std::string& name) const { return Has(name); }
+
+  /// Returns an error naming any flag not in `allowed` (typo protection).
+  Status CheckAllowed(const std::vector<std::string>& allowed) const;
+
+  /// Returns an error naming any flag of `required` that is missing.
+  Status CheckRequired(const std::vector<std::string>& required) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dbscout::cli
+
+#endif  // DBSCOUT_CLI_FLAGS_H_

@@ -1,0 +1,103 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace dbscout {
+
+Result<NumericCsv> ParseNumericCsv(std::string_view text,
+                                   const CsvOptions& options) {
+  NumericCsv out;
+  size_t line_no = 0;
+  size_t begin = 0;
+  int rows_to_skip = options.skip_rows;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view line = text.substr(begin, end - begin);
+    const bool last = end == text.size();
+    begin = end + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (rows_to_skip > 0) {
+      --rows_to_skip;
+      if (last) break;
+      continue;
+    }
+    if (Trim(line).empty()) {
+      if (last) break;
+      if (options.allow_blank_lines) continue;
+      return Status::InvalidArgument(
+          StrFormat("blank line at line %zu", line_no));
+    }
+    const auto fields = Split(line, options.separator);
+    if (out.rows == 0) {
+      out.cols = fields.size();
+    } else if (fields.size() != out.cols) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_no,
+                    fields.size(), out.cols));
+    }
+    for (const auto& field : fields) {
+      Result<double> value = ParseDouble(field);
+      if (!value.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: %s", line_no, value.status().message().c_str()));
+      }
+      out.values.push_back(*value);
+    }
+    ++out.rows;
+    if (last) break;
+  }
+  return out;
+}
+
+Result<NumericCsv> ReadNumericCsv(const std::string& path,
+                                  const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failure: " + path);
+  }
+  const std::string text = buffer.str();
+  Result<NumericCsv> parsed = ParseNumericCsv(text, options);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+Status WriteNumericCsv(const std::string& path, const double* values,
+                       size_t rows, size_t cols, char separator) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot create file: " + path);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c != 0) {
+        std::fputc(separator, f);
+      }
+      std::fprintf(f, "%.17g", values[r * cols + c]);
+    }
+    std::fputc('\n', f);
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IoError("write failure: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dbscout

@@ -1,0 +1,46 @@
+#ifndef DBSCOUT_COMMON_CSV_H_
+#define DBSCOUT_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbscout {
+
+/// Options for ReadNumericCsv.
+struct CsvOptions {
+  char separator = ',';
+  /// Skip this many leading lines (e.g. a header row).
+  int skip_rows = 0;
+  /// When true, blank lines anywhere in the file are skipped; otherwise a
+  /// blank line is an error.
+  bool allow_blank_lines = true;
+};
+
+/// A parsed numeric CSV: `values` holds rows*cols doubles row-major.
+struct NumericCsv {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> values;
+};
+
+/// Reads a strictly numeric CSV file. Every data row must have the same
+/// number of fields; malformed numbers or ragged rows produce
+/// InvalidArgument with the offending line number.
+Result<NumericCsv> ReadNumericCsv(const std::string& path,
+                                  const CsvOptions& options = {});
+
+/// Parses numeric CSV from an in-memory buffer (same contract as
+/// ReadNumericCsv).
+Result<NumericCsv> ParseNumericCsv(std::string_view text,
+                                   const CsvOptions& options = {});
+
+/// Writes rows*cols doubles (row-major) as CSV with "%.17g" precision so a
+/// write/read round-trip is lossless.
+Status WriteNumericCsv(const std::string& path, const double* values,
+                       size_t rows, size_t cols, char separator = ',');
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_COMMON_CSV_H_

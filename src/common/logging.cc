@@ -1,0 +1,77 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace dbscout {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message) {
+  static std::mutex mu;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t now_t = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&now_t, &tm_buf);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
+
+  // Strip directories from __FILE__ for compact output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    std::fprintf(stderr, "%s %s.%03d %s:%d] %s\n", LevelTag(level), ts,
+                 static_cast<int>(ms), base, line, message.c_str());
+    std::fflush(stderr);
+  }
+  if (level == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace dbscout

@@ -1,0 +1,71 @@
+#ifndef DBSCOUT_COMMON_LOGGING_H_
+#define DBSCOUT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dbscout {
+
+/// Severity levels for the library logger. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum level; messages below it are dropped. The default
+/// is kInfo. Thread-safe.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr (thread-safe); aborts on kFatal.
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+/// Stream-style log-message collector used by the DBSCOUT_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dbscout
+
+/// Stream-style logging: DBSCOUT_LOG(kInfo) << "built grid with " << n;
+#define DBSCOUT_LOG(level)                                             \
+  if (::dbscout::LogLevel::level < ::dbscout::GetLogLevel()) {         \
+  } else                                                               \
+    ::dbscout::internal::LogMessage(::dbscout::LogLevel::level,        \
+                                    __FILE__, __LINE__)                \
+        .stream()
+
+/// Always-on invariant check (enabled in release builds too); logs the failed
+/// condition and aborts.
+#define DBSCOUT_CHECK(cond)                                          \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::dbscout::internal::LogMessage(::dbscout::LogLevel::kFatal,     \
+                                    __FILE__, __LINE__)              \
+            .stream()                                                \
+        << "Check failed: " #cond " "
+
+#endif  // DBSCOUT_COMMON_LOGGING_H_

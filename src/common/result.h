@@ -1,0 +1,89 @@
+#ifndef DBSCOUT_COMMON_RESULT_H_
+#define DBSCOUT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dbscout {
+
+/// Result<T> carries either a value of type T or a non-OK Status. It is the
+/// return type of fallible library functions that produce a value.
+///
+/// Usage:
+///   Result<PointSet> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   PointSet points = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status. Constructing from an OK
+  /// status without a value is a programming error and is normalized to
+  /// kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); enforced with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ holds a value.
+};
+
+#define DBSCOUT_MACRO_CONCAT_INNER_(a, b) a##b
+#define DBSCOUT_MACRO_CONCAT_(a, b) DBSCOUT_MACRO_CONCAT_INNER_(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// Status to the caller.
+#define DBSCOUT_ASSIGN_OR_RETURN(lhs, expr) \
+  DBSCOUT_ASSIGN_OR_RETURN_IMPL_(           \
+      DBSCOUT_MACRO_CONCAT_(dbscout_result_tmp_, __LINE__), lhs, expr)
+
+#define DBSCOUT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_COMMON_RESULT_H_

@@ -1,0 +1,98 @@
+#ifndef DBSCOUT_COMMON_STATUS_H_
+#define DBSCOUT_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dbscout {
+
+/// Error categories used across the library. Modeled after the
+/// Status idiom common in database systems (RocksDB, Arrow): library
+/// functions never throw across the public API; they return a Status
+/// (or a Result<T>, see result.h) instead.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIoError = 2,
+  kNotFound = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying either success (ok) or an error code plus a
+/// human-readable message. Copyable and movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// non-empty message is allowed but discouraged.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is constructible from Status).
+#define DBSCOUT_RETURN_IF_ERROR(expr)               \
+  do {                                              \
+    ::dbscout::Status dbscout_status_tmp_ = (expr); \
+    if (!dbscout_status_tmp_.ok()) {                \
+      return dbscout_status_tmp_;                   \
+    }                                               \
+  } while (false)
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_COMMON_STATUS_H_

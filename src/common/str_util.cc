@@ -1,0 +1,110 @@
+#include "common/str_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dbscout {
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t begin = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.push_back(text.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty numeric field");
+  }
+  // strtod needs NUL termination; copy into a small buffer.
+  char buf[64];
+  if (trimmed.size() >= sizeof(buf)) {
+    return Status::InvalidArgument("numeric field too long: " +
+                                   std::string(trimmed));
+  }
+  std::memcpy(buf, trimmed.data(), trimmed.size());
+  buf[trimmed.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + trimmed.size() || errno == ERANGE) {
+    return Status::InvalidArgument("malformed number: " + std::string(trimmed));
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  const std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty integer field");
+  }
+  uint64_t value = 0;
+  for (char c : trimmed) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed integer: " +
+                                     std::string(trimmed));
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::OutOfRange("integer overflow: " + std::string(trimmed));
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::string HumanCount(double value) {
+  const char* suffix = "";
+  if (value >= 1e9) {
+    value /= 1e9;
+    suffix = "B";
+  } else if (value >= 1e6) {
+    value /= 1e6;
+    suffix = "M";
+  } else if (value >= 1e3) {
+    value /= 1e3;
+    suffix = "k";
+  }
+  return StrFormat("%.2f%s", value, suffix);
+}
+
+}  // namespace dbscout

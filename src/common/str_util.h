@@ -1,0 +1,34 @@
+#ifndef DBSCOUT_COMMON_STR_UTIL_H_
+#define DBSCOUT_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbscout {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a double; rejects trailing garbage, empty input, and NaN text is
+/// accepted only as produced by the writer ("nan").
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a non-negative integer.
+Result<uint64_t> ParseUint64(std::string_view text);
+
+/// Human-readable count, e.g. 1234567 -> "1.23M".
+std::string HumanCount(double value);
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_COMMON_STR_UTIL_H_

@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dbscout {
+namespace {
+
+// Tracks whether the current thread is already running inside a pool task so
+// nested ParallelFor calls can fall back to inline execution.
+thread_local bool t_inside_pool_task = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_task = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutting down with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForChunked(count, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+  });
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t count, const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (t_inside_pool_task || threads_.size() == 1 || count == 1) {
+    fn(0, count);
+    return;
+  }
+  const size_t num_chunks = std::min(count, threads_.size());
+  const size_t chunk = (count + num_chunks - 1) / num_chunks;
+  std::atomic<size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(count, begin + chunk);
+    Submit([&, begin, end] {
+      fn(begin, end);
+      if (done.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done.load() == num_chunks; });
+}
+
+}  // namespace dbscout

@@ -1,0 +1,59 @@
+#ifndef DBSCOUT_COMMON_THREAD_POOL_H_
+#define DBSCOUT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbscout {
+
+/// Fixed-size worker pool. Tasks are arbitrary void() callables; WaitIdle()
+/// blocks until every submitted task has finished. The pool is the execution
+/// substrate of the dataflow engine (dataflow/context.h).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues one task. Tasks must not throw; a throwing task aborts the
+  /// process (the library itself is exception-free).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, count), distributing contiguous chunks over the
+  /// workers, and waits for completion. Reentrant calls (fn itself calling
+  /// ParallelFor on the same pool) run inline to avoid deadlock.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Runs fn(chunk_begin, chunk_end) over ~num_threads contiguous chunks and
+  /// waits. Lower overhead than per-index ParallelFor.
+  void ParallelForChunked(
+      size_t count, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_COMMON_THREAD_POOL_H_

@@ -1,0 +1,62 @@
+#include "core/dbscout.h"
+
+#include <thread>
+
+#include "common/str_util.h"
+
+namespace dbscout::core {
+
+Status Params::Validate() const {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument(StrFormat("eps must be > 0, got %g", eps));
+  }
+  if (min_pts < 1) {
+    return Status::InvalidArgument(
+        StrFormat("min_pts must be >= 1, got %d", min_pts));
+  }
+  return Status::OK();
+}
+
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kSequential:
+      return "sequential";
+    case Engine::kParallel:
+      return "parallel";
+    case Engine::kSharedMemory:
+      return "shared-memory";
+  }
+  return "unknown";
+}
+
+const char* JoinStrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kPlain:
+      return "plain";
+    case JoinStrategy::kBroadcast:
+      return "broadcast";
+    case JoinStrategy::kGrouped:
+      return "grouped";
+  }
+  return "unknown";
+}
+
+Result<Detection> Detect(const PointSet& points, const Params& params) {
+  switch (params.engine) {
+    case Engine::kSequential:
+      return DetectSequential(points, params);
+    case Engine::kSharedMemory: {
+      ThreadPool pool(std::thread::hardware_concurrency());
+      return DetectSharedMemory(points, params, &pool);
+    }
+    case Engine::kParallel: {
+      dataflow::ExecutionContext ctx(
+          /*num_threads=*/0,
+          /*default_partitions=*/params.num_partitions);
+      return DetectParallel(points, params, &ctx);
+    }
+  }
+  return Status::Internal("unknown engine");
+}
+
+}  // namespace dbscout::core

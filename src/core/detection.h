@@ -1,0 +1,62 @@
+#ifndef DBSCOUT_CORE_DETECTION_H_
+#define DBSCOUT_CORE_DETECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbscout::core {
+
+/// Final classification of each input point. The three kinds partition the
+/// dataset: core points (Definition 2), outliers (Definition 3), and border
+/// points (non-core points within eps of some core point).
+enum class PointKind : uint8_t {
+  kCore = 0,
+  kBorder = 1,
+  kOutlier = 2,
+};
+
+/// Wall time and work counters for one of the five DBSCOUT phases.
+struct PhaseStats {
+  std::string name;
+  double seconds = 0.0;
+  /// Point-to-point distance evaluations performed in this phase.
+  uint64_t distance_computations = 0;
+  /// Records produced by this phase (emitted pairs for the join phases).
+  uint64_t records = 0;
+};
+
+/// Output of a DBSCOUT run.
+struct Detection {
+  /// Per-point classification, index-aligned with the input PointSet.
+  std::vector<PointKind> kinds;
+  /// Indices of outlier points, ascending.
+  std::vector<uint32_t> outliers;
+
+  size_t num_core = 0;
+  size_t num_border = 0;
+
+  // Grid statistics.
+  size_t num_cells = 0;
+  size_t num_dense_cells = 0;
+  size_t num_core_cells = 0;
+
+  /// Distance to the nearest core point within the neighbor-cell horizon,
+  /// per point; only filled when Params::compute_scores is set. 0 for core
+  /// points; <= eps for border points; > eps for outliers, with +infinity
+  /// when no core point exists within the horizon at all. Ranks outliers
+  /// by how far outside any dense region they sit.
+  std::vector<double> core_distance;
+
+  /// Per-phase timings/counters, in execution order.
+  std::vector<PhaseStats> phases;
+  /// Records moved by shuffles (parallel engine only).
+  uint64_t shuffled_records = 0;
+  double total_seconds = 0.0;
+
+  size_t num_outliers() const { return outliers.size(); }
+};
+
+}  // namespace dbscout::core
+
+#endif  // DBSCOUT_CORE_DETECTION_H_

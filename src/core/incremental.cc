@@ -1,0 +1,146 @@
+#include "core/incremental.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace dbscout::core {
+
+Result<IncrementalDetector> IncrementalDetector::Create(size_t dims,
+                                                        const Params& params) {
+  DBSCOUT_RETURN_IF_ERROR(params.Validate());
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::InvalidArgument(
+        StrFormat("dims=%zu out of supported range [1, %zu]", dims, kMaxDims));
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(const grid::NeighborStencil* stencil,
+                           grid::GetNeighborStencil(dims));
+  return IncrementalDetector(dims, params, stencil);
+}
+
+IncrementalDetector::IncrementalDetector(size_t dims, const Params& params,
+                                         const grid::NeighborStencil* stencil)
+    : params_(params),
+      stencil_(stencil),
+      side_(params.eps / std::sqrt(static_cast<double>(dims))),
+      eps2_(params.eps * params.eps),
+      points_(dims) {}
+
+grid::CellCoord IncrementalDetector::CoordOf(
+    std::span<const double> p) const {
+  grid::CellCoord coord = grid::CellCoord::Zero(points_.dims());
+  for (size_t k = 0; k < p.size(); ++k) {
+    coord[k] = static_cast<int64_t>(std::floor(p[k] / side_));
+  }
+  return coord;
+}
+
+void IncrementalDetector::Promote(uint32_t q) {
+  is_core_[q] = 1;
+  if (kinds_[q] != PointKind::kCore) {
+    num_core_ += 1;
+    kinds_[q] = PointKind::kCore;
+  }
+  const grid::CellCoord home = CoordOf(points_[q]);
+  ++cells_[home].core_points;
+  // Rescue: every current outlier within eps of the new core point becomes
+  // a border point (Definition 3).
+  const auto qv = points_[q];
+  for (const grid::CellOffset& offset : stencil_->offsets) {
+    const grid::CellCoord neighbor =
+        home.Translated({offset.data(), points_.dims()});
+    auto it = cells_.find(neighbor);
+    if (it == cells_.end()) {
+      continue;
+    }
+    for (uint32_t r : it->second.points) {
+      if (kinds_[r] == PointKind::kOutlier &&
+          PointSet::SquaredDistance(qv, points_[r]) <= eps2_) {
+        kinds_[r] = PointKind::kBorder;
+      }
+    }
+  }
+}
+
+Result<uint32_t> IncrementalDetector::Add(std::span<const double> point) {
+  if (point.size() != points_.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("point has %zu dims, detector expects %zu", point.size(),
+                  points_.dims()));
+  }
+  for (double v : point) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite coordinate");
+    }
+    if (std::abs(std::floor(v / side_)) > 4.0e18) {
+      return Status::OutOfRange("cell index overflow");
+    }
+  }
+  const uint32_t x = static_cast<uint32_t>(points_.size());
+  points_.Add(point);
+  kinds_.push_back(PointKind::kOutlier);  // provisional
+  neighbor_counts_.push_back(1);          // itself
+  is_core_.push_back(0);
+
+  const grid::CellCoord home = CoordOf(point);
+  const uint32_t min_pts = static_cast<uint32_t>(params_.min_pts);
+
+  // One stencil scan: count x's neighbors, bump theirs, and collect the
+  // points whose count just crossed minPts.
+  std::vector<uint32_t> promoted;
+  bool covered_by_core = false;
+  for (const grid::CellOffset& offset : stencil_->offsets) {
+    const grid::CellCoord neighbor =
+        home.Translated({offset.data(), points_.dims()});
+    auto it = cells_.find(neighbor);
+    if (it == cells_.end()) {
+      continue;
+    }
+    for (uint32_t q : it->second.points) {
+      if (PointSet::SquaredDistance(point, points_[q]) > eps2_) {
+        continue;
+      }
+      ++neighbor_counts_[x];
+      covered_by_core |= is_core_[q] != 0;
+      if (++neighbor_counts_[q] == min_pts) {
+        promoted.push_back(q);
+      }
+    }
+  }
+  // Register x only now, so the scan above never saw it.
+  cells_[home].points.push_back(x);
+
+  for (uint32_t q : promoted) {
+    Promote(q);
+  }
+  if (neighbor_counts_[x] >= min_pts) {
+    Promote(x);
+  } else if (covered_by_core || !promoted.empty()) {
+    // Any point promoted by this insertion is within eps of x by
+    // construction, so x is covered either way.
+    kinds_[x] = PointKind::kBorder;
+  }
+  return x;
+}
+
+Status IncrementalDetector::AddBatch(const PointSet& batch) {
+  if (batch.dims() != points_.dims()) {
+    return Status::InvalidArgument("batch dims mismatch");
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    DBSCOUT_RETURN_IF_ERROR(Add(batch[i]).status());
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> IncrementalDetector::Outliers() const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < kinds_.size(); ++i) {
+    if (kinds_[i] == PointKind::kOutlier) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace dbscout::core

@@ -1,0 +1,432 @@
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "core/dbscout.h"
+#include "dataflow/dataset.h"
+#include "dataflow/pair_ops.h"
+#include "grid/cell_coord.h"
+#include "grid/cell_map.h"
+#include "grid/neighborhood.h"
+
+namespace dbscout::core {
+namespace {
+
+using dataflow::Broadcast;
+using dataflow::Dataset;
+using dataflow::ExecutionContext;
+using grid::CellCoord;
+using grid::CellCoordHash;
+using grid::CellMap;
+using grid::CellType;
+using grid::NeighborStencil;
+
+/// (cell coordinates, point id) — the records of the grid dataset G
+/// produced by Algorithm 1.
+using GridRecord = std::pair<CellCoord, uint32_t>;
+
+// Largest |cell index| we accept before int64 overflow becomes possible
+// when translating by stencil offsets.
+constexpr double kMaxCellIndex = 4.0e18;
+
+struct PhaseScope {
+  PhaseScope(Detection* detection, std::string name)
+      : detection(detection), name(std::move(name)) {}
+  ~PhaseScope() {
+    detection->phases.push_back(
+        {name, timer.ElapsedSeconds(), distances.load(), records.load()});
+  }
+  Detection* detection;
+  std::string name;
+  WallTimer timer;
+  std::atomic<uint64_t> distances{0};
+  std::atomic<uint64_t> records{0};
+};
+
+}  // namespace
+
+Result<Detection> DetectParallel(const PointSet& points, const Params& params,
+                                 ExecutionContext* ctx) {
+  DBSCOUT_RETURN_IF_ERROR(params.Validate());
+  if (params.compute_scores) {
+    return Status::InvalidArgument(
+        "compute_scores is supported by the sequential and shared-memory "
+        "engines only (the dataflow engine's AND-reduction discards "
+        "distances)");
+  }
+  const size_t d = points.dims();
+  if (d < 1 || d > kMaxDims) {
+    return Status::InvalidArgument(
+        StrFormat("dims=%zu out of supported range [1, %zu]", d, kMaxDims));
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(const NeighborStencil* stencil,
+                           grid::GetNeighborStencil(d));
+  WallTimer total_timer;
+  const uint64_t shuffle_base = ctx->Summary().shuffled_records;
+
+  Detection out;
+  const size_t n = points.size();
+  const double eps2 = params.eps * params.eps;
+  const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
+  const double side = params.eps / std::sqrt(static_cast<double>(d));
+  const size_t parts = params.num_partitions == 0 ? ctx->default_partitions()
+                                                  : params.num_partitions;
+
+  // Input validation pass (the sequential Grid::Build performs the same
+  // checks; here there is no Grid object, so validate up front).
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = points[i];
+    for (size_t k = 0; k < d; ++k) {
+      if (!std::isfinite(p[k])) {
+        return Status::InvalidArgument(
+            StrFormat("point %zu has non-finite coordinate %zu", i, k));
+      }
+      if (std::abs(std::floor(p[k] / side)) > kMaxCellIndex) {
+        return Status::OutOfRange(
+            StrFormat("point %zu: cell index overflow", i));
+      }
+    }
+  }
+
+  const PointSet* pts = &points;  // outlives every task of this call
+  auto cell_of = [pts, d, side](uint32_t i) {
+    CellCoord coord = CellCoord::Zero(d);
+    const auto p = (*pts)[i];
+    for (size_t k = 0; k < d; ++k) {
+      coord[k] = static_cast<int64_t>(std::floor(p[k] / side));
+    }
+    return coord;
+  };
+  auto sqdist = [pts](uint32_t a, uint32_t b) {
+    return PointSet::SquaredDistance((*pts)[a], (*pts)[b]);
+  };
+
+  // ---- Phase 1: grid definition (Algorithm 1). -------------------------
+  Dataset<GridRecord> g;
+  {
+    PhaseScope phase(&out, "grid");
+    auto ids = Dataset<uint32_t>::Iota(ctx, static_cast<uint32_t>(n), parts);
+    g = ids.Map([cell_of](uint32_t i) { return GridRecord(cell_of(i), i); },
+                "CreateGrid");
+    phase.records = n;
+  }
+
+  // ---- Phase 2: dense cell map construction (Algorithm 2). -------------
+  Broadcast<CellMap> cell_map;
+  {
+    PhaseScope phase(&out, "dense_cell_map");
+    auto ones = g.Map(
+        [](const GridRecord& rec) { return std::make_pair(rec.first, 1u); },
+        "CellOnes");
+    auto counts =
+        ReduceByKey(ones, [](uint32_t a, uint32_t b) { return a + b; }, parts,
+                    CellCoordHash(), "CountCells");
+    CellMap map;
+    counts.ForEach([&map, &params](const std::pair<CellCoord, uint32_t>& kv) {
+      map.Insert(kv.first, kv.second, params.min_pts);
+    });
+    out.num_cells = map.size();
+    out.num_dense_cells = map.CountByType(CellType::kDense);
+    phase.records = out.num_cells;
+    cell_map = Broadcast<CellMap>(std::move(map));
+  }
+
+  // ---- Phase 3: core points identification (Algorithm 3). --------------
+  std::vector<uint8_t> is_core(n, 0);
+  {
+    PhaseScope phase(&out, "core_points");
+    auto is_dense_cell = [cell_map](const GridRecord& rec) {
+      return cell_map->TypeOf(rec.first) == CellType::kDense;
+    };
+    // C_d: points of dense cells are core outright (Lemma 1).
+    auto dense_core =
+        g.Filter(is_dense_cell, "FilterDense")
+            .Map([](const GridRecord& rec) { return rec.second; },
+                 "DenseCoreIds");
+    auto non_dense = g.Filter(
+        [is_dense_cell](const GridRecord& rec) { return !is_dense_cell(rec); },
+        "FilterNonDense");
+
+    // Emit the points to check on every non-empty neighboring cell. The
+    // paper's Algorithm 3 emits (N, (C, p)); since p determines its home
+    // cell C, the records here carry only (N, p), halving shuffle volume.
+    auto emit_to_neighbors =
+        [cell_map, stencil](const GridRecord& rec,
+                            std::vector<std::pair<CellCoord, uint32_t>>* sink) {
+          for (const grid::CellOffset& offset : stencil->offsets) {
+            const CellCoord neighbor =
+                rec.first.Translated({offset.data(), rec.first.dims()});
+            if (cell_map->Contains(neighbor)) {
+              sink->push_back({neighbor, rec.second});
+            }
+          }
+        };
+
+    Dataset<std::pair<uint32_t, uint32_t>> contributions;  // (point, count)
+    switch (params.join) {
+      case JoinStrategy::kPlain: {
+        auto to_check = non_dense.FlatMap<std::pair<CellCoord, uint32_t>>(
+            emit_to_neighbors, "EmitToCheck");
+        auto joined = Join(g, to_check, parts, CellCoordHash(), "JoinGrid");
+        contributions = joined.Map(
+            [&phase, sqdist, eps2](
+                const std::pair<CellCoord,
+                                std::pair<uint32_t, uint32_t>>& rec) {
+              phase.distances.fetch_add(1, std::memory_order_relaxed);
+              const uint32_t q = rec.second.first;
+              const uint32_t p = rec.second.second;
+              return std::make_pair(p, sqdist(p, q) <= eps2 ? 1u : 0u);
+            },
+            "DistanceOnes");
+        break;
+      }
+      case JoinStrategy::kGrouped: {
+        auto to_check = non_dense.FlatMap<std::pair<CellCoord, uint32_t>>(
+            emit_to_neighbors, "EmitToCheck");
+        auto checks_grouped =
+            GroupByKey(to_check, parts, CellCoordHash(), "GroupChecks");
+        auto grid_grouped = GroupByKey(g, parts, CellCoordHash(), "GroupGrid");
+        auto joined = Join(grid_grouped, checks_grouped, parts,
+                           CellCoordHash(), "JoinGrouped");
+        contributions =
+            joined.FlatMap<std::pair<uint32_t, uint32_t>>(
+                [&phase, sqdist, eps2, min_pts](
+                    const std::pair<
+                        CellCoord,
+                        std::pair<std::vector<uint32_t>,
+                                  std::vector<uint32_t>>>& rec,
+                    std::vector<std::pair<uint32_t, uint32_t>>* sink) {
+                  const auto& cell_points = rec.second.first;
+                  uint64_t comparisons = 0;
+                  for (uint32_t p : rec.second.second) {
+                    uint32_t count = 0;
+                    for (uint32_t q : cell_points) {
+                      ++comparisons;
+                      if (sqdist(p, q) <= eps2 && ++count >= min_pts) {
+                        break;  // early termination (SS III-G2)
+                      }
+                    }
+                    if (count > 0) {
+                      sink->push_back({p, count});
+                    }
+                  }
+                  phase.distances.fetch_add(comparisons,
+                                            std::memory_order_relaxed);
+                },
+                "GroupedDistances");
+        break;
+      }
+      case JoinStrategy::kBroadcast: {
+        auto to_check = non_dense.FlatMap<std::pair<CellCoord, uint32_t>>(
+            emit_to_neighbors, "EmitToCheck");
+        auto local = CollectGrouped(to_check, CellCoordHash());
+        Broadcast<decltype(local)> checks_by_cell(std::move(local));
+        contributions =
+            g.FlatMap<std::pair<uint32_t, uint32_t>>(
+                [&phase, checks_by_cell, sqdist, eps2](
+                    const GridRecord& rec,
+                    std::vector<std::pair<uint32_t, uint32_t>>* sink) {
+                  auto it = checks_by_cell->find(rec.first);
+                  if (it == checks_by_cell->end()) {
+                    return;
+                  }
+                  const uint32_t q = rec.second;
+                  uint64_t comparisons = 0;
+                  for (uint32_t p : it->second) {
+                    ++comparisons;
+                    if (sqdist(p, q) <= eps2) {
+                      sink->push_back({p, 1u});
+                    }
+                  }
+                  phase.distances.fetch_add(comparisons,
+                                            std::memory_order_relaxed);
+                },
+                "BroadcastDistances");
+        break;
+      }
+    }
+    auto counts = ReduceByKey(
+        contributions, [](uint32_t a, uint32_t b) { return a + b; }, parts,
+        std::hash<uint32_t>(), "SumNeighbors");
+    auto core_nd =
+        counts
+            .Filter([min_pts](const std::pair<uint32_t, uint32_t>& kv) {
+              return kv.second >= min_pts;
+            })
+            .Map([](const std::pair<uint32_t, uint32_t>& kv) {
+              return kv.first;
+            });
+    // C = C_d UNION C_nd; collect the core flags to the driver.
+    auto all_core = dense_core.Union(core_nd, "UnionCore");
+    all_core.ForEach([&is_core](uint32_t p) { is_core[p] = 1; });
+    phase.records = all_core.Count();
+  }
+
+  // ---- Phase 4: core cell map construction (Algorithm 4). --------------
+  Broadcast<CellMap> core_map;
+  {
+    PhaseScope phase(&out, "core_cell_map");
+    CellMap updated = *cell_map;  // dense cells already rank as core
+    for (size_t i = 0; i < n; ++i) {
+      if (is_core[i]) {
+        updated.MarkCore(cell_of(static_cast<uint32_t>(i)));
+      }
+    }
+    out.num_core_cells = updated.CountByType(CellType::kCore) +
+                         updated.CountByType(CellType::kDense);
+    phase.records = out.num_core_cells;
+    core_map = Broadcast<CellMap>(std::move(updated));
+  }
+
+  // ---- Phase 5: outliers identification (Algorithm 5). -----------------
+  std::vector<uint32_t> outliers;
+  {
+    PhaseScope phase(&out, "outliers");
+    Broadcast<std::vector<uint8_t>> core_flags(is_core);
+    auto non_core = g.Filter(
+        [core_map](const GridRecord& rec) {
+          return !core_map->IsCoreCell(rec.first);
+        },
+        "FilterNonCore");
+    // O_ncn: no neighboring core cell at all -> outright outliers.
+    auto o_ncn =
+        non_core
+            .Filter(
+                [core_map, stencil](const GridRecord& rec) {
+                  return !core_map->HasCoreNeighbor(rec.first, *stencil);
+                },
+                "FilterNoCoreNeighbor")
+            .Map([](const GridRecord& rec) { return rec.second; });
+
+    // Points of non-core cells, emitted on their neighboring *core* cells.
+    auto emit_to_core_neighbors =
+        [core_map, stencil](const GridRecord& rec,
+                            std::vector<std::pair<CellCoord, uint32_t>>* sink) {
+          for (const grid::CellOffset& offset : stencil->offsets) {
+            const CellCoord neighbor =
+                rec.first.Translated({offset.data(), rec.first.dims()});
+            if (core_map->IsCoreCell(neighbor)) {
+              sink->push_back({neighbor, rec.second});
+            }
+          }
+        };
+    auto core_points = g.Filter(
+        [core_flags](const GridRecord& rec) {
+          return (*core_flags)[rec.second] != 0;
+        },
+        "FilterCorePoints");
+
+    Dataset<std::pair<uint32_t, uint8_t>> flags;  // (point, outlier flag)
+    switch (params.join) {
+      case JoinStrategy::kPlain: {
+        auto to_check = non_core.FlatMap<std::pair<CellCoord, uint32_t>>(
+            emit_to_core_neighbors, "EmitToCheck2");
+        auto joined =
+            Join(core_points, to_check, parts, CellCoordHash(), "JoinCore");
+        flags = joined.Map(
+            [&phase, sqdist, eps2](
+                const std::pair<CellCoord, std::pair<uint32_t, uint32_t>>&
+                    rec) {
+              phase.distances.fetch_add(1, std::memory_order_relaxed);
+              const uint32_t q = rec.second.first;   // core point
+              const uint32_t p = rec.second.second;  // point to check
+              return std::make_pair(
+                  p, static_cast<uint8_t>(sqdist(p, q) > eps2 ? 1 : 0));
+            },
+            "OutlierFlags");
+        break;
+      }
+      case JoinStrategy::kGrouped: {
+        auto to_check = non_core.FlatMap<std::pair<CellCoord, uint32_t>>(
+            emit_to_core_neighbors, "EmitToCheck2");
+        auto checks_grouped =
+            GroupByKey(to_check, parts, CellCoordHash(), "GroupChecks2");
+        auto core_grouped =
+            GroupByKey(core_points, parts, CellCoordHash(), "GroupCore");
+        auto joined = Join(core_grouped, checks_grouped, parts,
+                           CellCoordHash(), "JoinGrouped2");
+        flags = joined.FlatMap<std::pair<uint32_t, uint8_t>>(
+            [&phase, sqdist, eps2](
+                const std::pair<CellCoord,
+                                std::pair<std::vector<uint32_t>,
+                                          std::vector<uint32_t>>>& rec,
+                std::vector<std::pair<uint32_t, uint8_t>>* sink) {
+              const auto& core_in_cell = rec.second.first;
+              for (uint32_t p : rec.second.second) {
+                uint8_t flag = 1;
+                for (uint32_t q : core_in_cell) {
+                  phase.distances.fetch_add(1, std::memory_order_relaxed);
+                  if (sqdist(p, q) <= eps2) {
+                    flag = 0;  // early termination (SS III-G2)
+                    break;
+                  }
+                }
+                sink->push_back({p, flag});
+              }
+            },
+            "GroupedFlags");
+        break;
+      }
+      case JoinStrategy::kBroadcast: {
+        auto to_check = non_core.FlatMap<std::pair<CellCoord, uint32_t>>(
+            emit_to_core_neighbors, "EmitToCheck2");
+        auto local = CollectGrouped(to_check, CellCoordHash());
+        Broadcast<decltype(local)> checks_by_cell(std::move(local));
+        flags = core_points.FlatMap<std::pair<uint32_t, uint8_t>>(
+            [&phase, checks_by_cell, sqdist, eps2](
+                const GridRecord& rec,
+                std::vector<std::pair<uint32_t, uint8_t>>* sink) {
+              auto it = checks_by_cell->find(rec.first);
+              if (it == checks_by_cell->end()) {
+                return;
+              }
+              const uint32_t q = rec.second;
+              for (uint32_t p : it->second) {
+                phase.distances.fetch_add(1, std::memory_order_relaxed);
+                sink->push_back(
+                    {p, static_cast<uint8_t>(sqdist(p, q) > eps2 ? 1 : 0)});
+              }
+            },
+            "BroadcastFlags");
+        break;
+      }
+    }
+    auto reduced = ReduceByKey(
+        flags, [](uint8_t a, uint8_t b) { return static_cast<uint8_t>(a & b); },
+        parts, std::hash<uint32_t>(), "AndFlags");
+    auto o_cn = reduced
+                    .Filter([](const std::pair<uint32_t, uint8_t>& kv) {
+                      return kv.second != 0;
+                    })
+                    .Map([](const std::pair<uint32_t, uint8_t>& kv) {
+                      return kv.first;
+                    });
+    auto all = o_ncn.Union(o_cn, "UnionOutliers");
+    outliers = all.Collect();
+    phase.records = outliers.size();
+  }
+
+  // Finalize labels.
+  std::sort(outliers.begin(), outliers.end());
+  out.outliers = std::move(outliers);
+  out.kinds.assign(n, PointKind::kBorder);
+  for (size_t i = 0; i < n; ++i) {
+    if (is_core[i]) {
+      out.kinds[i] = PointKind::kCore;
+      ++out.num_core;
+    }
+  }
+  for (uint32_t p : out.outliers) {
+    out.kinds[p] = PointKind::kOutlier;
+  }
+  out.num_border = n - out.num_core - out.outliers.size();
+  out.shuffled_records = ctx->Summary().shuffled_records - shuffle_base;
+  out.total_seconds = total_timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dbscout::core

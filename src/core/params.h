@@ -1,0 +1,75 @@
+#ifndef DBSCOUT_CORE_PARAMS_H_
+#define DBSCOUT_CORE_PARAMS_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace dbscout::core {
+
+/// Which implementation runs the five DBSCOUT phases.
+enum class Engine {
+  /// Single-threaded direct implementation over the CSR grid; the fastest
+  /// single-machine path and the reference oracle for tests.
+  kSequential,
+  /// Dataflow implementation following Algorithms 1-5 of the paper
+  /// (MAP / FLATMAP / FILTER / REDUCEBYKEY / JOIN / BROADCAST / UNION),
+  /// executed on the in-process engine in src/dataflow.
+  kParallel,
+  /// Shared-memory multi-threaded implementation over the CSR grid: the
+  /// single-machine CPU-parallel design point the paper contrasts with in
+  /// SS V (Wang et al. [33]) — no shuffles, one shared grid, phases 3 and
+  /// 5 parallelized over cells.
+  kSharedMemory,
+};
+
+/// Join realization for the two distance-checking phases of the parallel
+/// engine (SS III-G of the paper).
+enum class JoinStrategy {
+  /// The textbook Algorithms 3 and 5: FLATMAP emit + hash JOIN + REDUCEBYKEY.
+  kPlain,
+  /// SS III-G1: collect the points-to-check into a driver-side map, broadcast
+  /// it, and realize the join as a FLATMAP over the main dataset. Fastest at
+  /// high eps; can exhaust memory when too many points need checking.
+  kBroadcast,
+  /// SS III-G2 (the paper's default for all experiments): GROUPBYKEY both
+  /// operands before the join, compute distances group-locally, and
+  /// early-terminate a point once it reaches minPts neighbors (phase 3) or
+  /// finds one core point within eps (phase 5).
+  kGrouped,
+};
+
+/// User-facing knobs of the detector. eps and min_pts follow Definitions
+/// 1-3; the remaining fields select and tune the execution engine.
+struct Params {
+  /// Radius of the dense-region hypersphere (Definition 1). Must be > 0.
+  double eps = 1.0;
+  /// Minimum number of points (the point itself included) within eps for a
+  /// point to be core (Definition 2). Must be >= 1.
+  int min_pts = 5;
+
+  Engine engine = Engine::kSequential;
+  JoinStrategy join = JoinStrategy::kGrouped;
+
+  /// Partition count for the parallel engine (0 = the execution context's
+  /// default). Ignored by the sequential engine.
+  size_t num_partitions = 0;
+
+  /// When true, the sequential and shared-memory engines additionally fill
+  /// Detection::core_distance: for every non-core point, the distance to
+  /// its nearest core point within the neighbor-cell horizon (how far
+  /// outside a dense region it sits — an outlierness degree for ranking
+  /// and interpretation). Disables the phase-5 early exit, so detection
+  /// does more distance computations.
+  bool compute_scores = false;
+
+  /// Validates eps/min_pts ranges.
+  Status Validate() const;
+};
+
+const char* EngineName(Engine engine);
+const char* JoinStrategyName(JoinStrategy strategy);
+
+}  // namespace dbscout::core
+
+#endif  // DBSCOUT_CORE_PARAMS_H_

@@ -1,0 +1,215 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/dbscout.h"
+#include "grid/cell_map.h"
+#include "grid/grid.h"
+#include "grid/neighborhood.h"
+
+namespace dbscout::core {
+namespace {
+
+using grid::Grid;
+using grid::NeighborStencil;
+
+}  // namespace
+
+Result<Detection> DetectSequential(const PointSet& points,
+                                   const Params& params) {
+  DBSCOUT_RETURN_IF_ERROR(params.Validate());
+  WallTimer total_timer;
+  Detection out;
+  const size_t n = points.size();
+  const double eps2 = params.eps * params.eps;
+  const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
+
+  // Phase 1: grid partitioning and point-cell assignment (Algorithm 1).
+  WallTimer phase_timer;
+  DBSCOUT_ASSIGN_OR_RETURN(Grid g, Grid::Build(points, params.eps));
+  DBSCOUT_ASSIGN_OR_RETURN(const NeighborStencil* stencil,
+                           grid::GetNeighborStencil(points.dims()));
+  out.num_cells = g.num_cells();
+  out.phases.push_back({"grid", phase_timer.ElapsedSeconds(), 0, n});
+
+  // Phase 2: dense cell map (Algorithm 2). Dense <=> count >= minPts; every
+  // point of a dense cell is core (Lemma 1).
+  phase_timer.Reset();
+  const uint32_t num_cells = static_cast<uint32_t>(g.num_cells());
+  std::vector<uint8_t> cell_dense(num_cells, 0);
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (g.CellSize(c) >= min_pts) {
+      cell_dense[c] = 1;
+      ++out.num_dense_cells;
+    }
+  }
+  out.phases.push_back(
+      {"dense_cell_map", phase_timer.ElapsedSeconds(), 0, num_cells});
+
+  // Phase 3: core point identification. Points in dense cells are core
+  // outright; points in non-dense cells count neighbors within eps across
+  // the k_d neighboring cells, with early termination at minPts (the
+  // sequential analogue of the grouped-join optimization, SS III-G2).
+  phase_timer.Reset();
+  std::vector<uint8_t> is_core(n, 0);
+  uint64_t phase3_distances = 0;
+  std::vector<uint32_t> neighbor_cells;  // reused across cells
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    const auto cell_points = g.PointsInCell(c);
+    if (cell_dense[c]) {
+      for (uint32_t p : cell_points) {
+        is_core[p] = 1;
+      }
+      continue;
+    }
+    neighbor_cells.clear();
+    g.ForEachNeighborCell(c, *stencil,
+                          [&](uint32_t nc) { neighbor_cells.push_back(nc); });
+    for (uint32_t p : cell_points) {
+      const auto pv = points[p];
+      uint32_t count = 0;
+      for (uint32_t nc : neighbor_cells) {
+        for (uint32_t q : g.PointsInCell(nc)) {
+          ++phase3_distances;
+          if (PointSet::SquaredDistance(pv, points[q]) <= eps2) {
+            if (++count >= min_pts) {
+              is_core[p] = 1;
+              break;
+            }
+          }
+        }
+        if (is_core[p]) {
+          break;
+        }
+      }
+    }
+  }
+  out.phases.push_back(
+      {"core_points", phase_timer.ElapsedSeconds(), phase3_distances, n});
+
+  // Phase 4: core cell map (Algorithm 4). A cell is core when it contains a
+  // core point; dense cells are core by Lemma 1. For non-dense core cells we
+  // additionally record the core-point sublist used by phase 5.
+  phase_timer.Reset();
+  std::vector<uint8_t> cell_core(num_cells, 0);
+  std::unordered_map<uint32_t, std::vector<uint32_t>> sparse_core_points;
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (cell_dense[c]) {
+      cell_core[c] = 1;
+      continue;
+    }
+    for (uint32_t p : g.PointsInCell(c)) {
+      if (is_core[p]) {
+        cell_core[c] = 1;
+        sparse_core_points[c].push_back(p);
+      }
+    }
+  }
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    out.num_core_cells += cell_core[c];
+  }
+  out.phases.push_back(
+      {"core_cell_map", phase_timer.ElapsedSeconds(), 0, num_cells});
+
+  // Phase 5: outlier identification (Algorithm 5). No point of a core cell
+  // is an outlier (Lemma 2); points of non-core cells are outliers iff no
+  // core point in a neighboring core cell lies within eps, with early
+  // termination on the first core point found. With compute_scores set,
+  // the early exit is disabled and the minimum core distance is tracked
+  // for every non-core point (including border points of core cells, which
+  // Lemma 2 would otherwise let us skip entirely).
+  phase_timer.Reset();
+  const bool scores = params.compute_scores;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (scores) {
+    out.core_distance.assign(n, 0.0);
+  }
+  out.kinds.assign(n, PointKind::kBorder);
+  uint64_t phase5_distances = 0;
+  std::vector<uint32_t> core_neighbor_cells;
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (cell_core[c] && !scores) {
+      continue;
+    }
+    core_neighbor_cells.clear();
+    g.ForEachNeighborCell(c, *stencil, [&](uint32_t nc) {
+      if (cell_core[nc]) {
+        core_neighbor_cells.push_back(nc);
+      }
+    });
+    if (core_neighbor_cells.empty()) {
+      // O_ncn: non-core cell with no core neighbor — all points outliers.
+      for (uint32_t p : g.PointsInCell(c)) {
+        out.kinds[p] = PointKind::kOutlier;
+        if (scores) {
+          out.core_distance[p] = kInf;
+        }
+      }
+      continue;
+    }
+    for (uint32_t p : g.PointsInCell(c)) {
+      if (is_core[p]) {
+        continue;  // core points keep distance 0
+      }
+      const auto pv = points[p];
+      bool outlier = true;
+      double best = kInf;
+      auto scan = [&](uint32_t q) {
+        ++phase5_distances;
+        const double d2 = PointSet::SquaredDistance(pv, points[q]);
+        if (d2 <= eps2) {
+          outlier = false;
+        }
+        best = std::min(best, d2);
+      };
+      for (uint32_t nc : core_neighbor_cells) {
+        if (cell_dense[nc]) {
+          // Every point of a dense cell is core.
+          for (uint32_t q : g.PointsInCell(nc)) {
+            scan(q);
+            if (!outlier && !scores) {
+              break;
+            }
+          }
+        } else {
+          for (uint32_t q : sparse_core_points[nc]) {
+            scan(q);
+            if (!outlier && !scores) {
+              break;
+            }
+          }
+        }
+        if (!outlier && !scores) {
+          break;
+        }
+      }
+      if (outlier && !cell_core[c]) {
+        out.kinds[p] = PointKind::kOutlier;
+      }
+      if (scores) {
+        out.core_distance[p] = std::sqrt(best);
+      }
+    }
+  }
+  out.phases.push_back(
+      {"outliers", phase_timer.ElapsedSeconds(), phase5_distances, n});
+
+  // Finalize labels and summary counts.
+  for (uint32_t p = 0; p < n; ++p) {
+    if (is_core[p]) {
+      out.kinds[p] = PointKind::kCore;
+      ++out.num_core;
+    } else if (out.kinds[p] == PointKind::kOutlier) {
+      out.outliers.push_back(p);
+    } else {
+      ++out.num_border;
+    }
+  }
+  out.total_seconds = total_timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dbscout::core

@@ -1,0 +1,209 @@
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/dbscout.h"
+#include "grid/grid.h"
+#include "grid/neighborhood.h"
+
+namespace dbscout::core {
+namespace {
+
+using grid::Grid;
+using grid::NeighborStencil;
+
+}  // namespace
+
+Result<Detection> DetectSharedMemory(const PointSet& points,
+                                     const Params& params, ThreadPool* pool) {
+  DBSCOUT_RETURN_IF_ERROR(params.Validate());
+  WallTimer total_timer;
+  Detection out;
+  const size_t n = points.size();
+  const double eps2 = params.eps * params.eps;
+  const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
+
+  // Phase 1: grid (single-threaded; hash-map insertion order must stay
+  // deterministic so cell ids are reproducible).
+  WallTimer phase_timer;
+  DBSCOUT_ASSIGN_OR_RETURN(Grid g, Grid::Build(points, params.eps));
+  DBSCOUT_ASSIGN_OR_RETURN(const NeighborStencil* stencil,
+                           grid::GetNeighborStencil(points.dims()));
+  out.num_cells = g.num_cells();
+  out.phases.push_back({"grid", phase_timer.ElapsedSeconds(), 0, n});
+
+  // Phase 2: dense flags.
+  phase_timer.Reset();
+  const uint32_t num_cells = static_cast<uint32_t>(g.num_cells());
+  std::vector<uint8_t> cell_dense(num_cells, 0);
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (g.CellSize(c) >= min_pts) {
+      cell_dense[c] = 1;
+      ++out.num_dense_cells;
+    }
+  }
+  out.phases.push_back(
+      {"dense_cell_map", phase_timer.ElapsedSeconds(), 0, num_cells});
+
+  // Phase 3: core points, parallel over cells. Each cell's points are
+  // written only by the worker owning that cell chunk: no races.
+  phase_timer.Reset();
+  std::vector<uint8_t> is_core(n, 0);
+  std::atomic<uint64_t> phase3_distances{0};
+  pool->ParallelForChunked(num_cells, [&](size_t begin, size_t end) {
+    uint64_t local_distances = 0;
+    std::vector<uint32_t> neighbor_cells;
+    for (size_t c = begin; c < end; ++c) {
+      const auto cell_points = g.PointsInCell(static_cast<uint32_t>(c));
+      if (cell_dense[c]) {
+        for (uint32_t p : cell_points) {
+          is_core[p] = 1;
+        }
+        continue;
+      }
+      neighbor_cells.clear();
+      g.ForEachNeighborCell(static_cast<uint32_t>(c), *stencil,
+                            [&](uint32_t nc) {
+                              neighbor_cells.push_back(nc);
+                            });
+      for (uint32_t p : cell_points) {
+        const auto pv = points[p];
+        uint32_t count = 0;
+        for (uint32_t nc : neighbor_cells) {
+          for (uint32_t q : g.PointsInCell(nc)) {
+            ++local_distances;
+            if (PointSet::SquaredDistance(pv, points[q]) <= eps2 &&
+                ++count >= min_pts) {
+              is_core[p] = 1;
+              break;
+            }
+          }
+          if (is_core[p]) {
+            break;
+          }
+        }
+      }
+    }
+    phase3_distances.fetch_add(local_distances, std::memory_order_relaxed);
+  });
+  out.phases.push_back(
+      {"core_points", phase_timer.ElapsedSeconds(), phase3_distances.load(),
+       n});
+
+  // Phase 4: core cells and per-cell core sublists (parallel over cells;
+  // each slot written by one worker).
+  phase_timer.Reset();
+  std::vector<uint8_t> cell_core(num_cells, 0);
+  std::vector<std::vector<uint32_t>> sparse_core_points(num_cells);
+  pool->ParallelForChunked(num_cells, [&](size_t begin, size_t end) {
+    for (size_t c = begin; c < end; ++c) {
+      if (cell_dense[c]) {
+        cell_core[c] = 1;
+        continue;
+      }
+      for (uint32_t p : g.PointsInCell(static_cast<uint32_t>(c))) {
+        if (is_core[p]) {
+          cell_core[c] = 1;
+          sparse_core_points[c].push_back(p);
+        }
+      }
+    }
+  });
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    out.num_core_cells += cell_core[c];
+  }
+  out.phases.push_back(
+      {"core_cell_map", phase_timer.ElapsedSeconds(), 0, num_cells});
+
+  // Phase 5: outliers, parallel over non-core cells (over all cells when
+  // compute_scores is set, mirroring the sequential engine).
+  phase_timer.Reset();
+  const bool scores = params.compute_scores;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (scores) {
+    out.core_distance.assign(n, 0.0);
+  }
+  out.kinds.assign(n, PointKind::kBorder);
+  std::atomic<uint64_t> phase5_distances{0};
+  pool->ParallelForChunked(num_cells, [&](size_t begin, size_t end) {
+    uint64_t local_distances = 0;
+    std::vector<uint32_t> core_neighbor_cells;
+    for (size_t c = begin; c < end; ++c) {
+      if (cell_core[c] && !scores) {
+        continue;
+      }
+      core_neighbor_cells.clear();
+      g.ForEachNeighborCell(static_cast<uint32_t>(c), *stencil,
+                            [&](uint32_t nc) {
+                              if (cell_core[nc]) {
+                                core_neighbor_cells.push_back(nc);
+                              }
+                            });
+      for (uint32_t p : g.PointsInCell(static_cast<uint32_t>(c))) {
+        if (is_core[p]) {
+          continue;  // core points keep distance 0
+        }
+        bool outlier = true;
+        double best = kInf;
+        const auto pv = points[p];
+        auto scan = [&](uint32_t q) {
+          ++local_distances;
+          const double d2 = PointSet::SquaredDistance(pv, points[q]);
+          if (d2 <= eps2) {
+            outlier = false;
+          }
+          best = std::min(best, d2);
+        };
+        for (uint32_t nc : core_neighbor_cells) {
+          if (cell_dense[nc]) {
+            for (uint32_t q : g.PointsInCell(nc)) {
+              scan(q);
+              if (!outlier && !scores) {
+                break;
+              }
+            }
+          } else {
+            for (uint32_t q : sparse_core_points[nc]) {
+              scan(q);
+              if (!outlier && !scores) {
+                break;
+              }
+            }
+          }
+          if (!outlier && !scores) {
+            break;
+          }
+        }
+        if (outlier && !cell_core[c]) {
+          out.kinds[p] = PointKind::kOutlier;
+        }
+        if (scores) {
+          out.core_distance[p] = std::sqrt(best);
+        }
+      }
+    }
+    phase5_distances.fetch_add(local_distances, std::memory_order_relaxed);
+  });
+  out.phases.push_back(
+      {"outliers", phase_timer.ElapsedSeconds(), phase5_distances.load(), n});
+
+  // Finalize labels (sequential; outliers collected in index order).
+  for (size_t p = 0; p < n; ++p) {
+    if (is_core[p]) {
+      out.kinds[p] = PointKind::kCore;
+      ++out.num_core;
+    } else if (out.kinds[p] == PointKind::kOutlier) {
+      out.outliers.push_back(static_cast<uint32_t>(p));
+    } else {
+      ++out.num_border;
+    }
+  }
+  out.total_seconds = total_timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dbscout::core

@@ -1,0 +1,96 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/str_util.h"
+
+namespace dbscout {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'B', 'S', 'C'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Result<PointSet> LoadPointsCsv(const std::string& path,
+                               const CsvOptions& options) {
+  DBSCOUT_ASSIGN_OR_RETURN(NumericCsv csv, ReadNumericCsv(path, options));
+  if (csv.rows == 0) {
+    return Status::InvalidArgument(path + ": no data rows");
+  }
+  return PointSet::FromRowMajor(csv.cols, std::move(csv.values));
+}
+
+Status SavePointsCsv(const std::string& path, const PointSet& points) {
+  return WriteNumericCsv(path, points.values().data(), points.size(),
+                         points.dims());
+}
+
+Status SavePointsBinary(const std::string& path, const PointSet& points) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot create file: " + path);
+  }
+  const uint32_t dims = static_cast<uint32_t>(points.dims());
+  const uint64_t count = points.size();
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+      std::fwrite(&dims, sizeof(dims), 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+    return Status::IoError("header write failure: " + path);
+  }
+  const auto& values = points.values();
+  if (!values.empty() &&
+      std::fwrite(values.data(), sizeof(double), values.size(), f.get()) !=
+          values.size()) {
+    return Status::IoError("data write failure: " + path);
+  }
+  return Status::OK();
+}
+
+Result<PointSet> LoadPointsBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t dims = 0;
+  uint64_t count = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(path + ": not a DBSC binary point file");
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s: unsupported version %u", path.c_str(), version));
+  }
+  if (std::fread(&dims, sizeof(dims), 1, f.get()) != 1 ||
+      std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+    return Status::IoError(path + ": truncated header");
+  }
+  if (dims == 0) {
+    return Status::InvalidArgument(path + ": dims must be >= 1");
+  }
+  std::vector<double> values(count * dims);
+  if (!values.empty() &&
+      std::fread(values.data(), sizeof(double), values.size(), f.get()) !=
+          values.size()) {
+    return Status::IoError(path + ": truncated data section");
+  }
+  return PointSet::FromRowMajor(dims, std::move(values));
+}
+
+}  // namespace dbscout

@@ -1,0 +1,32 @@
+#ifndef DBSCOUT_DATA_IO_H_
+#define DBSCOUT_DATA_IO_H_
+
+#include <string>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout {
+
+/// Loads a PointSet from a numeric CSV file; every row is one point, every
+/// column one dimension.
+Result<PointSet> LoadPointsCsv(const std::string& path,
+                               const CsvOptions& options = {});
+
+/// Writes a PointSet as CSV (lossless round-trip).
+Status SavePointsCsv(const std::string& path, const PointSet& points);
+
+/// Loads a PointSet from the compact binary format written by
+/// SavePointsBinary. The format is:
+///   magic "DBSC" | uint32 version | uint32 dims | uint64 count |
+///   count*dims little-endian float64.
+Result<PointSet> LoadPointsBinary(const std::string& path);
+
+/// Writes a PointSet in the binary format above. Roughly 3x smaller and 10x
+/// faster than CSV for large experiment datasets.
+Status SavePointsBinary(const std::string& path, const PointSet& points);
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_DATA_IO_H_

@@ -1,0 +1,79 @@
+#include "data/point_stream.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace dbscout {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'B', 'S', 'C'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Result<PointFileReader> PointFileReader::Open(const std::string& path) {
+  PointFileReader reader;
+  reader.path_ = path;
+  reader.file_.reset(std::fopen(path.c_str(), "rb"));
+  if (reader.file_ == nullptr) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t dims = 0;
+  uint64_t count = 0;
+  std::FILE* f = reader.file_.get();
+  if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(path + ": not a DBSC binary point file");
+  }
+  if (std::fread(&version, sizeof(version), 1, f) != 1 ||
+      version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s: unsupported version %u", path.c_str(), version));
+  }
+  if (std::fread(&dims, sizeof(dims), 1, f) != 1 ||
+      std::fread(&count, sizeof(count), 1, f) != 1) {
+    return Status::IoError(path + ": truncated header");
+  }
+  if (dims == 0) {
+    return Status::InvalidArgument(path + ": dims must be >= 1");
+  }
+  reader.dims_ = dims;
+  reader.num_points_ = count;
+  reader.data_offset_ = std::ftell(f);
+  if (reader.data_offset_ < 0) {
+    return Status::IoError(path + ": ftell failed");
+  }
+  return reader;
+}
+
+Result<size_t> PointFileReader::ReadBatch(size_t max_points, PointSet* batch) {
+  *batch = PointSet(dims_);
+  if (max_points == 0 || position_ >= num_points_) {
+    return size_t{0};
+  }
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(max_points, num_points_ - position_));
+  std::vector<double> buffer(want * dims_);
+  const size_t got = std::fread(buffer.data(), sizeof(double) * dims_, want,
+                                file_.get());
+  if (got != want) {
+    return Status::IoError(path_ + ": truncated data section");
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(*batch,
+                           PointSet::FromRowMajor(dims_, std::move(buffer)));
+  position_ += want;
+  return want;
+}
+
+Status PointFileReader::Rewind() {
+  if (std::fseek(file_.get(), data_offset_, SEEK_SET) != 0) {
+    return Status::IoError(path_ + ": seek failed");
+  }
+  position_ = 0;
+  return Status::OK();
+}
+
+}  // namespace dbscout

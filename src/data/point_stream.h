@@ -1,0 +1,60 @@
+#ifndef DBSCOUT_DATA_POINT_STREAM_H_
+#define DBSCOUT_DATA_POINT_STREAM_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout {
+
+/// Streaming reader for the DBSC binary point format (data/io.h): reads the
+/// header eagerly, then delivers points in bounded batches so callers can
+/// process files far larger than memory. The substrate of the out-of-core
+/// detector (src/external).
+class PointFileReader {
+ public:
+  /// Opens `path` and validates the header.
+  static Result<PointFileReader> Open(const std::string& path);
+
+  PointFileReader(PointFileReader&&) noexcept = default;
+  PointFileReader& operator=(PointFileReader&&) noexcept = default;
+
+  size_t dims() const { return dims_; }
+  uint64_t num_points() const { return num_points_; }
+  /// Index of the next point ReadBatch will deliver.
+  uint64_t position() const { return position_; }
+
+  /// Reads up to `max_points` points into `*batch` (replacing its previous
+  /// contents; the batch keeps this file's dims). Returns the number of
+  /// points read — 0 at end of file. Fails on a truncated data section.
+  Result<size_t> ReadBatch(size_t max_points, PointSet* batch);
+
+  /// Rewinds to the first point (for multi-pass algorithms).
+  Status Rewind();
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+    }
+  };
+
+  PointFileReader() = default;
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string path_;
+  size_t dims_ = 0;
+  uint64_t num_points_ = 0;
+  uint64_t position_ = 0;
+  long data_offset_ = 0;  // NOLINT(runtime/int) — ftell/fseek interface
+};
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_DATA_POINT_STREAM_H_

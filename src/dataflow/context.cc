@@ -1,0 +1,44 @@
+#include "dataflow/context.h"
+
+#include <algorithm>
+
+namespace dbscout::dataflow {
+
+ExecutionContext::ExecutionContext(size_t num_threads,
+                                   size_t default_partitions) {
+  size_t threads = num_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  default_partitions_ =
+      default_partitions == 0 ? 2 * threads : default_partitions;
+}
+
+void ExecutionContext::RecordStage(StageMetrics metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.push_back(std::move(metrics));
+}
+
+std::vector<StageMetrics> ExecutionContext::stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+MetricsSummary ExecutionContext::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSummary summary;
+  summary.stages = stages_.size();
+  for (const auto& stage : stages_) {
+    summary.seconds += stage.seconds;
+    summary.shuffled_records += stage.shuffled_records;
+  }
+  return summary;
+}
+
+void ExecutionContext::ResetMetrics() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.clear();
+}
+
+}  // namespace dbscout::dataflow

@@ -1,0 +1,75 @@
+#ifndef DBSCOUT_DATAFLOW_CONTEXT_H_
+#define DBSCOUT_DATAFLOW_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace dbscout::dataflow {
+
+/// Per-transformation accounting, the analogue of one Spark stage row in the
+/// web UI. Aggregated by ExecutionContext.
+struct StageMetrics {
+  std::string name;
+  double seconds = 0.0;
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  /// Records moved across partitions by a shuffle (ReduceByKey, GroupByKey,
+  /// Join, Repartition); 0 for narrow transformations.
+  uint64_t shuffled_records = 0;
+};
+
+/// Totals over a sequence of stages.
+struct MetricsSummary {
+  double seconds = 0.0;
+  uint64_t shuffled_records = 0;
+  size_t stages = 0;
+};
+
+/// Execution environment for datasets: a worker pool (the "executors") and a
+/// metrics sink. One context typically lives for a whole experiment; the
+/// default partition count plays the role of Spark's RDD partitioning knob
+/// and is the variable swept by the Fig. 13 reproduction.
+class ExecutionContext {
+ public:
+  /// `num_threads` = 0 selects the hardware concurrency.
+  /// `default_partitions` = 0 selects 2x the thread count.
+  explicit ExecutionContext(size_t num_threads = 0,
+                            size_t default_partitions = 0);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  ThreadPool& pool() { return *pool_; }
+  size_t default_partitions() const { return default_partitions_; }
+  void set_default_partitions(size_t n) {
+    default_partitions_ = n == 0 ? 1 : n;
+  }
+
+  /// Appends one stage record (thread-safe).
+  void RecordStage(StageMetrics metrics);
+
+  /// Snapshot of all recorded stages.
+  std::vector<StageMetrics> stages() const;
+
+  /// Aggregate of all recorded stages.
+  MetricsSummary Summary() const;
+
+  /// Clears recorded stages (e.g. between benchmark repetitions).
+  void ResetMetrics();
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  size_t default_partitions_;
+  mutable std::mutex mu_;
+  std::vector<StageMetrics> stages_;
+};
+
+}  // namespace dbscout::dataflow
+
+#endif  // DBSCOUT_DATAFLOW_CONTEXT_H_

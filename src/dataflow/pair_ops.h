@@ -1,0 +1,294 @@
+#ifndef DBSCOUT_DATAFLOW_PAIR_OPS_H_
+#define DBSCOUT_DATAFLOW_PAIR_OPS_H_
+
+#include <atomic>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "dataflow/dataset.h"
+
+namespace dbscout::dataflow {
+
+/// Key-value ("wide") transformations over Dataset<std::pair<K, V>>. Each op
+/// performs a hash shuffle: every input partition is split into B buckets by
+/// hash(key) % B, bucket b of every partition is concatenated into output
+/// partition b, and the per-key work happens bucket-locally. This mirrors
+/// the hash-partitioned shuffle of Spark and is what makes the partition
+/// count a genuine performance knob (Fig. 13).
+
+namespace internal {
+
+/// Hash-partitions every record of `in` into `buckets` output groups.
+/// Returns shuffle[input_partition][bucket].
+template <typename K, typename V, typename Hash>
+std::vector<std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
+    ExecutionContext* ctx, const Dataset<std::pair<K, V>>& in, size_t buckets,
+    const Hash& hash, uint64_t* shuffled) {
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> shuffle(
+      in.num_partitions());
+  std::atomic<uint64_t> moved{0};
+  ctx->pool().ParallelFor(in.num_partitions(), [&](size_t p) {
+    auto& local = shuffle[p];
+    local.resize(buckets);
+    for (const auto& kv : in.partition(p)) {
+      local[hash(kv.first) % buckets].push_back(kv);
+    }
+    moved.fetch_add(in.partition(p).size(), std::memory_order_relaxed);
+  });
+  *shuffled = moved.load();
+  return shuffle;
+}
+
+}  // namespace internal
+
+/// REDUCEBYKEY: combines all values sharing a key with `reduce(v1, v2)`.
+/// Output has `num_partitions` partitions (0 = keep input partition count).
+template <typename K, typename V, typename Reduce,
+          typename Hash = std::hash<K>>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& in,
+                                     Reduce reduce, size_t num_partitions = 0,
+                                     const Hash& hash = Hash(),
+                                     const char* name = "ReduceByKey") {
+  ExecutionContext* ctx = in.context();
+  WallTimer timer;
+  const size_t buckets =
+      num_partitions == 0 ? std::max<size_t>(1, in.num_partitions())
+                          : num_partitions;
+  uint64_t shuffled = 0;
+  auto shuffle = internal::ShuffleByKey(ctx, in, buckets, hash, &shuffled);
+
+  typename Dataset<std::pair<K, V>>::Partitions out(buckets);
+  std::atomic<uint64_t> out_records{0};
+  ctx->pool().ParallelFor(buckets, [&](size_t b) {
+    std::unordered_map<K, V, Hash> acc(16, hash);
+    for (const auto& per_part : shuffle) {
+      for (const auto& kv : per_part[b]) {
+        auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
+        if (!inserted) {
+          it->second = reduce(it->second, kv.second);
+        }
+      }
+    }
+    out[b].reserve(acc.size());
+    for (auto& kv : acc) {
+      out[b].emplace_back(kv.first, std::move(kv.second));
+    }
+    out_records.fetch_add(out[b].size(), std::memory_order_relaxed);
+  });
+
+  auto result =
+      Dataset<std::pair<K, V>>::FromPartitions(ctx, std::move(out));
+  StageMetrics m;
+  m.name = name;
+  m.seconds = timer.ElapsedSeconds();
+  m.records_in = shuffled;
+  m.records_out = out_records.load();
+  m.shuffled_records = shuffled;
+  ctx->RecordStage(std::move(m));
+  return result;
+}
+
+/// GROUPBYKEY: gathers all values per key into one vector.
+template <typename K, typename V, typename Hash = std::hash<K>>
+Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+    const Dataset<std::pair<K, V>>& in, size_t num_partitions = 0,
+    const Hash& hash = Hash(), const char* name = "GroupByKey") {
+  ExecutionContext* ctx = in.context();
+  WallTimer timer;
+  const size_t buckets =
+      num_partitions == 0 ? std::max<size_t>(1, in.num_partitions())
+                          : num_partitions;
+  uint64_t shuffled = 0;
+  auto shuffle = internal::ShuffleByKey(ctx, in, buckets, hash, &shuffled);
+
+  typename Dataset<std::pair<K, std::vector<V>>>::Partitions out(buckets);
+  std::atomic<uint64_t> out_records{0};
+  ctx->pool().ParallelFor(buckets, [&](size_t b) {
+    std::unordered_map<K, std::vector<V>, Hash> acc(16, hash);
+    for (const auto& per_part : shuffle) {
+      for (const auto& kv : per_part[b]) {
+        acc[kv.first].push_back(kv.second);
+      }
+    }
+    out[b].reserve(acc.size());
+    for (auto& kv : acc) {
+      out[b].emplace_back(kv.first, std::move(kv.second));
+    }
+    out_records.fetch_add(out[b].size(), std::memory_order_relaxed);
+  });
+
+  auto result = Dataset<std::pair<K, std::vector<V>>>::FromPartitions(
+      ctx, std::move(out));
+  StageMetrics m;
+  m.name = name;
+  m.seconds = timer.ElapsedSeconds();
+  m.records_in = shuffled;
+  m.records_out = out_records.load();
+  m.shuffled_records = shuffled;
+  ctx->RecordStage(std::move(m));
+  return result;
+}
+
+/// JOIN: inner hash join; emits (k, (v, w)) for every matching pair, i.e.
+/// the full per-key cross product, exactly like Spark's join.
+template <typename K, typename V, typename W, typename Hash = std::hash<K>>
+Dataset<std::pair<K, std::pair<V, W>>> Join(
+    const Dataset<std::pair<K, V>>& left,
+    const Dataset<std::pair<K, W>>& right, size_t num_partitions = 0,
+    const Hash& hash = Hash(), const char* name = "Join") {
+  ExecutionContext* ctx = left.context();
+  WallTimer timer;
+  const size_t buckets =
+      num_partitions == 0
+          ? std::max<size_t>({size_t{1}, left.num_partitions(),
+                              right.num_partitions()})
+          : num_partitions;
+  uint64_t shuffled_left = 0;
+  uint64_t shuffled_right = 0;
+  auto left_shuffle =
+      internal::ShuffleByKey(ctx, left, buckets, hash, &shuffled_left);
+  auto right_shuffle =
+      internal::ShuffleByKey(ctx, right, buckets, hash, &shuffled_right);
+
+  typename Dataset<std::pair<K, std::pair<V, W>>>::Partitions out(buckets);
+  std::atomic<uint64_t> out_records{0};
+  ctx->pool().ParallelFor(buckets, [&](size_t b) {
+    std::unordered_multimap<K, V, Hash> build(16, hash);
+    for (const auto& per_part : left_shuffle) {
+      for (const auto& kv : per_part[b]) {
+        build.emplace(kv.first, kv.second);
+      }
+    }
+    for (const auto& per_part : right_shuffle) {
+      for (const auto& kw : per_part[b]) {
+        auto [begin, end] = build.equal_range(kw.first);
+        for (auto it = begin; it != end; ++it) {
+          out[b].emplace_back(kw.first,
+                              std::make_pair(it->second, kw.second));
+        }
+      }
+    }
+    out_records.fetch_add(out[b].size(), std::memory_order_relaxed);
+  });
+
+  auto result = Dataset<std::pair<K, std::pair<V, W>>>::FromPartitions(
+      ctx, std::move(out));
+  StageMetrics m;
+  m.name = name;
+  m.seconds = timer.ElapsedSeconds();
+  m.records_in = shuffled_left + shuffled_right;
+  m.records_out = out_records.load();
+  m.shuffled_records = shuffled_left + shuffled_right;
+  ctx->RecordStage(std::move(m));
+  return result;
+}
+
+/// COUNTBYKEY: number of records per key (the word-count pattern of
+/// Algorithm 2).
+template <typename K, typename V, typename Hash = std::hash<K>>
+Dataset<std::pair<K, uint64_t>> CountByKey(
+    const Dataset<std::pair<K, V>>& in, size_t num_partitions = 0,
+    const Hash& hash = Hash(), const char* name = "CountByKey") {
+  auto ones = in.Map(
+      [](const std::pair<K, V>& kv) {
+        return std::make_pair(kv.first, uint64_t{1});
+      },
+      "CountByKeyOnes");
+  return ReduceByKey(
+      ones, [](uint64_t a, uint64_t b) { return a + b; }, num_partitions,
+      hash, name);
+}
+
+/// KEYS / VALUES projections.
+template <typename K, typename V>
+Dataset<K> Keys(const Dataset<std::pair<K, V>>& in,
+                const char* name = "Keys") {
+  return in.Map([](const std::pair<K, V>& kv) { return kv.first; }, name);
+}
+
+template <typename K, typename V>
+Dataset<V> Values(const Dataset<std::pair<K, V>>& in,
+                  const char* name = "Values") {
+  return in.Map([](const std::pair<K, V>& kv) { return kv.second; }, name);
+}
+
+/// COGROUP: for every key present on either side, the pair of value lists
+/// (possibly empty on one side) — the general two-input grouping that JOIN
+/// and outer joins derive from.
+template <typename K, typename V, typename W, typename Hash = std::hash<K>>
+Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
+    const Dataset<std::pair<K, V>>& left,
+    const Dataset<std::pair<K, W>>& right, size_t num_partitions = 0,
+    const Hash& hash = Hash(), const char* name = "CoGroup") {
+  ExecutionContext* ctx = left.context();
+  WallTimer timer;
+  const size_t buckets =
+      num_partitions == 0
+          ? std::max<size_t>({size_t{1}, left.num_partitions(),
+                              right.num_partitions()})
+          : num_partitions;
+  uint64_t shuffled_left = 0;
+  uint64_t shuffled_right = 0;
+  auto left_shuffle =
+      internal::ShuffleByKey(ctx, left, buckets, hash, &shuffled_left);
+  auto right_shuffle =
+      internal::ShuffleByKey(ctx, right, buckets, hash, &shuffled_right);
+
+  using Group = std::pair<std::vector<V>, std::vector<W>>;
+  typename Dataset<std::pair<K, Group>>::Partitions out(buckets);
+  std::atomic<uint64_t> out_records{0};
+  ctx->pool().ParallelFor(buckets, [&](size_t b) {
+    std::unordered_map<K, Group, Hash> acc(16, hash);
+    for (const auto& per_part : left_shuffle) {
+      for (const auto& kv : per_part[b]) {
+        acc[kv.first].first.push_back(kv.second);
+      }
+    }
+    for (const auto& per_part : right_shuffle) {
+      for (const auto& kw : per_part[b]) {
+        acc[kw.first].second.push_back(kw.second);
+      }
+    }
+    out[b].reserve(acc.size());
+    for (auto& kv : acc) {
+      out[b].emplace_back(kv.first, std::move(kv.second));
+    }
+    out_records.fetch_add(out[b].size(), std::memory_order_relaxed);
+  });
+  auto result =
+      Dataset<std::pair<K, Group>>::FromPartitions(ctx, std::move(out));
+  StageMetrics m;
+  m.name = name;
+  m.seconds = timer.ElapsedSeconds();
+  m.records_in = shuffled_left + shuffled_right;
+  m.records_out = out_records.load();
+  m.shuffled_records = shuffled_left + shuffled_right;
+  ctx->RecordStage(std::move(m));
+  return result;
+}
+
+/// Collects a pair dataset into a driver-side hash map (last write wins for
+/// duplicate keys). The building block of the broadcast-join optimization.
+template <typename K, typename V, typename Hash = std::hash<K>>
+std::unordered_map<K, V, Hash> CollectAsMap(
+    const Dataset<std::pair<K, V>>& in, const Hash& hash = Hash()) {
+  std::unordered_map<K, V, Hash> out(16, hash);
+  in.ForEach([&out](const std::pair<K, V>& kv) { out[kv.first] = kv.second; });
+  return out;
+}
+
+/// Collects a pair dataset into a driver-side multimap-as-map-of-vectors.
+template <typename K, typename V, typename Hash = std::hash<K>>
+std::unordered_map<K, std::vector<V>, Hash> CollectGrouped(
+    const Dataset<std::pair<K, V>>& in, const Hash& hash = Hash()) {
+  std::unordered_map<K, std::vector<V>, Hash> out(16, hash);
+  in.ForEach(
+      [&out](const std::pair<K, V>& kv) { out[kv.first].push_back(kv.second); });
+  return out;
+}
+
+}  // namespace dbscout::dataflow
+
+#endif  // DBSCOUT_DATAFLOW_PAIR_OPS_H_

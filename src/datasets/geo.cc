@@ -1,0 +1,191 @@
+#include "datasets/geo.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dbscout::datasets {
+
+PointSet GeolifeLike(size_t n, uint64_t seed) {
+  PointSet out(3);
+  out.Reserve(n);
+  Rng rng(seed);
+
+  // One dominant city (Beijing analogue) and a handful of minor ones.
+  struct City {
+    double x, y, sigma, weight;
+  };
+  const std::vector<City> cities = {
+      // The dominant, heavily tracked city. Its center is deliberately away
+      // from round coordinates so its mass does not straddle a grid-cell
+      // corner at typical eps values (the real Geolife packs ~40% of the
+      // points into the single most populous cell).
+      {3137.0, 2941.0, 2000.0, 0.70},
+      {60000.0, 40000.0, 1500.0, 0.10},
+      {-80000.0, 20000.0, 1200.0, 0.07},
+      {30000.0, -70000.0, 1800.0, 0.05},
+      {-50000.0, -60000.0, 900.0, 0.03},
+  };
+  const double noise_fraction = 0.015;  // sparse global GPS glitches
+  const double walk_fraction = 0.35;    // share of city points on trajectories
+
+  // Trajectory state: a random walk that occasionally teleports to a city.
+  double walk_x = 0.0;
+  double walk_y = 0.0;
+  int walk_remaining = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(noise_fraction)) {
+      out.Add({rng.Uniform(-100000.0, 100000.0),
+               rng.Uniform(-100000.0, 100000.0), rng.Uniform(0.0, 3000.0)});
+      continue;
+    }
+    // Pick a city by weight.
+    double pick = rng.NextDouble() * 0.95;
+    const City* city = &cities.back();
+    for (const auto& c : cities) {
+      if (pick < c.weight) {
+        city = &c;
+        break;
+      }
+      pick -= c.weight;
+    }
+    double x;
+    double y;
+    if (rng.NextBool(walk_fraction)) {
+      // Trajectory point: continue (or start) a random walk in the city.
+      if (walk_remaining == 0) {
+        walk_x = rng.Gaussian(city->x, city->sigma);
+        walk_y = rng.Gaussian(city->y, city->sigma);
+        walk_remaining = 50 + static_cast<int>(rng.NextBounded(200));
+      }
+      walk_x += rng.Gaussian(0.0, 30.0);
+      walk_y += rng.Gaussian(0.0, 30.0);
+      --walk_remaining;
+      x = walk_x;
+      y = walk_y;
+    } else {
+      x = rng.Gaussian(city->x, city->sigma);
+      y = rng.Gaussian(city->y, city->sigma);
+    }
+    const double altitude = rng.Gaussian(120.0, 40.0);
+    out.Add({x, y, altitude});
+  }
+  return out;
+}
+
+PointSet OsmLike(size_t n, uint64_t seed) {
+  PointSet out(2);
+  out.Reserve(n);
+  Rng rng(seed);
+
+  // Power-law-weighted city centers over a web-mercator-like extent.
+  const size_t num_cities = 600;
+  struct City {
+    double x, y, sigma;
+  };
+  std::vector<City> cities;
+  cities.reserve(num_cities);
+  std::vector<double> cdf(num_cities);
+  double total = 0.0;
+  for (size_t c = 0; c < num_cities; ++c) {
+    City city;
+    city.x = rng.Uniform(-2e7, 2e7);
+    city.y = rng.Uniform(-1e7, 1e7);
+    // Sizes from ~2e4 (town) to ~3e5 (metropolis).
+    city.sigma = 2e4 * std::pow(15.0, rng.NextDouble());
+    cities.push_back(city);
+    // Zipf-ish weights: w_c ~ 1 / (c+1)^0.8.
+    total += 1.0 / std::pow(static_cast<double>(c + 1), 0.8);
+    cdf[c] = total;
+  }
+
+  const double noise_fraction = 0.008;  // isolated GPS fixes: the outliers
+  const double road_fraction = 0.25;    // inter-city road traces
+
+  double road_x = 0.0;
+  double road_y = 0.0;
+  double road_dx = 0.0;
+  double road_dy = 0.0;
+  int road_remaining = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(noise_fraction)) {
+      out.Add({rng.Uniform(-2e7, 2e7), rng.Uniform(-1e7, 1e7)});
+      continue;
+    }
+    if (rng.NextBool(road_fraction)) {
+      if (road_remaining == 0) {
+        // New road segment: from one city toward another.
+        const auto& a = cities[rng.NextBounded(num_cities)];
+        const auto& b = cities[rng.NextBounded(num_cities)];
+        road_x = a.x;
+        road_y = a.y;
+        const double len =
+            std::max(1.0, std::hypot(b.x - a.x, b.y - a.y));
+        const int steps = 200 + static_cast<int>(rng.NextBounded(600));
+        road_dx = (b.x - a.x) / len * (len / steps);
+        road_dy = (b.y - a.y) / len * (len / steps);
+        road_remaining = steps;
+      }
+      road_x += road_dx + rng.Gaussian(0.0, 2e3);
+      road_y += road_dy + rng.Gaussian(0.0, 2e3);
+      --road_remaining;
+      out.Add({road_x, road_y});
+      continue;
+    }
+    // City point: inverse-CDF sample of the Zipf weights.
+    const double pick = rng.NextDouble() * total;
+    size_t lo = 0;
+    size_t hi = num_cities - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < pick) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const auto& city = cities[lo];
+    out.Add({rng.Gaussian(city.x, city.sigma),
+             rng.Gaussian(city.y, city.sigma)});
+  }
+  return out;
+}
+
+PointSet SampleFraction(const PointSet& points, double fraction,
+                        uint64_t seed) {
+  PointSet out(points.dims());
+  Rng rng(seed);
+  const size_t n = points.size();
+  out.Reserve(static_cast<size_t>(fraction * static_cast<double>(n)) + 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(fraction)) {
+      out.Add(points[i]);
+    }
+  }
+  return out;
+}
+
+PointSet ScaleWithNoise(const PointSet& points, size_t factor, double jitter,
+                        uint64_t seed) {
+  PointSet out(points.dims());
+  Rng rng(seed);
+  const size_t n = points.size();
+  const size_t d = points.dims();
+  out.Reserve(n * factor);
+  std::vector<double> p(d);
+  for (size_t rep = 0; rep < factor; ++rep) {
+    for (size_t i = 0; i < n; ++i) {
+      const auto src = points[i];
+      for (size_t k = 0; k < d; ++k) {
+        p[k] = rep == 0 ? src[k] : src[k] + rng.Uniform(-jitter, jitter);
+      }
+      out.Add(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace dbscout::datasets

@@ -1,0 +1,47 @@
+#ifndef DBSCOUT_DATASETS_GEO_H_
+#define DBSCOUT_DATASETS_GEO_H_
+
+#include <cstdint>
+
+#include "data/point_set.h"
+
+namespace dbscout::datasets {
+
+/// Generators standing in for the two real GPS datasets of the scalability
+/// study (DESIGN.md documents the substitution):
+///
+///  - Geolife: 24.9M 3D points (lat, lon, altitude) heavily skewed on
+///    Beijing — at large eps, ~40%% of the points fall into the single most
+///    populous cell (SS IV-B2 of the paper).
+///  - OpenStreetMap: 2.77B 2D GPS points spread over the planet.
+///
+/// Both are reproduced parametrically at configurable size with the same
+/// structural traits: a few dominant dense regions, trajectory-shaped
+/// filaments, and a thin veil of global noise whose members are the
+/// outliers the eps sweeps of Figs. 11-12 count.
+
+/// Geolife-like: 3D, one dominant "city" holding ~70%% of the points at
+/// sigma ~2000 units, several secondary cities, trajectory random walks,
+/// and ~1.5%% global uniform noise. Meaningful eps range: 25 - 200.
+PointSet GeolifeLike(size_t n, uint64_t seed);
+
+/// OpenStreetMap-like: 2D, ~thousands of power-law-weighted city clusters
+/// over a +-2e7 coordinate range, road filaments between cities, and
+/// ~0.8%% uniform noise. Meaningful eps range: 2.5e5 - 2e6.
+PointSet OsmLike(size_t n, uint64_t seed);
+
+/// Uniform random sample of `fraction` of the points (the paper's 1%%-75%%
+/// OpenStreetMap samples).
+PointSet SampleFraction(const PointSet& points, double fraction,
+                        uint64_t seed);
+
+/// Enlarges a dataset by an integer `factor` through duplication, applying
+/// small random jitter (+-jitter per coordinate) to each replica "to avoid
+/// creating too many overlaps" — exactly how the paper built its 200%%-1000%%
+/// OpenStreetMap versions (SS IV-A2).
+PointSet ScaleWithNoise(const PointSet& points, size_t factor, double jitter,
+                        uint64_t seed);
+
+}  // namespace dbscout::datasets
+
+#endif  // DBSCOUT_DATASETS_GEO_H_

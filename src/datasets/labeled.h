@@ -1,0 +1,40 @@
+#ifndef DBSCOUT_DATASETS_LABELED_H_
+#define DBSCOUT_DATASETS_LABELED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/point_set.h"
+
+namespace dbscout::datasets {
+
+/// A generated dataset with ground-truth outlier labels, the unit of the
+/// quality experiments (Table III).
+struct LabeledDataset {
+  std::string name;
+  PointSet points;
+  /// 1 = ground-truth outlier, 0 = inlier; index-aligned with points.
+  std::vector<uint8_t> labels;
+
+  size_t NumOutliers() const {
+    size_t count = 0;
+    for (uint8_t label : labels) {
+      count += label;
+    }
+    return count;
+  }
+
+  /// Fraction of ground-truth outliers (the contamination handed to the
+  /// score-based detectors).
+  double Contamination() const {
+    return points.empty()
+               ? 0.0
+               : static_cast<double>(NumOutliers()) /
+                     static_cast<double>(points.size());
+  }
+};
+
+}  // namespace dbscout::datasets
+
+#endif  // DBSCOUT_DATASETS_LABELED_H_

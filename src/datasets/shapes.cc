@@ -1,0 +1,164 @@
+#include "datasets/shapes.h"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dbscout::datasets {
+namespace {
+
+/// One weighted cluster shape: Sample draws a point of the shape.
+struct Shape {
+  double weight;
+  std::function<void(Rng*, double*, double*)> sample;
+};
+
+/// Builds a scene: inliers drawn from the weighted shapes, noise uniform
+/// over [0,100]^2 (the CLUTO datasets live in a ~[0,700]x[0,500] box; the
+/// absolute scale is irrelevant, the density contrast is what matters).
+LabeledDataset BuildScene(const char* name, size_t n, double noise_fraction,
+                          uint64_t seed, const std::vector<Shape>& shapes) {
+  LabeledDataset ds;
+  ds.name = name;
+  ds.points = PointSet(2);
+  Rng rng(seed);
+  double total_weight = 0.0;
+  for (const auto& shape : shapes) {
+    total_weight += shape.weight;
+  }
+  const size_t noise = static_cast<size_t>(std::llround(
+      noise_fraction * static_cast<double>(n)));
+  const size_t inliers = n - noise;
+  for (size_t i = 0; i < inliers; ++i) {
+    double pick = rng.Uniform(0.0, total_weight);
+    const Shape* chosen = &shapes.back();
+    for (const auto& shape : shapes) {
+      if (pick < shape.weight) {
+        chosen = &shape;
+        break;
+      }
+      pick -= shape.weight;
+    }
+    double x = 0.0;
+    double y = 0.0;
+    chosen->sample(&rng, &x, &y);
+    ds.points.Add({x, y});
+    ds.labels.push_back(0);
+  }
+  for (size_t i = 0; i < noise; ++i) {
+    ds.points.Add({rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)});
+    ds.labels.push_back(1);
+  }
+  return ds;
+}
+
+Shape SineBand(double x0, double x1, double y0, double amplitude,
+               double period, double thickness, double weight) {
+  return {weight, [=](Rng* rng, double* x, double* y) {
+            *x = rng->Uniform(x0, x1);
+            *y = y0 + amplitude * std::sin(2.0 * M_PI * (*x - x0) / period) +
+                 rng->Gaussian(0.0, thickness);
+          }};
+}
+
+Shape Bar(double x0, double y0, double x1, double y1, double thickness,
+          double weight) {
+  return {weight, [=](Rng* rng, double* x, double* y) {
+            const double t = rng->NextDouble();
+            *x = x0 + t * (x1 - x0) + rng->Gaussian(0.0, thickness);
+            *y = y0 + t * (y1 - y0) + rng->Gaussian(0.0, thickness);
+          }};
+}
+
+Shape Ellipse(double cx, double cy, double rx, double ry, double angle,
+              double weight) {
+  return {weight, [=](Rng* rng, double* x, double* y) {
+            // Uniform over the ellipse interior.
+            const double r = std::sqrt(rng->NextDouble());
+            const double theta = rng->Uniform(0.0, 2.0 * M_PI);
+            const double ex = r * rx * std::cos(theta);
+            const double ey = r * ry * std::sin(theta);
+            *x = cx + ex * std::cos(angle) - ey * std::sin(angle);
+            *y = cy + ex * std::sin(angle) + ey * std::cos(angle);
+          }};
+}
+
+Shape Blob(double cx, double cy, double sigma, double weight) {
+  return {weight, [=](Rng* rng, double* x, double* y) {
+            *x = rng->Gaussian(cx, sigma);
+            *y = rng->Gaussian(cy, sigma);
+          }};
+}
+
+Shape Spiral(double cx, double cy, double r0, double r1, double turns,
+             double thickness, double weight) {
+  return {weight, [=](Rng* rng, double* x, double* y) {
+            const double t = rng->NextDouble();
+            const double theta = 2.0 * M_PI * turns * t;
+            const double radius = r0 + (r1 - r0) * t;
+            *x = cx + radius * std::cos(theta) + rng->Gaussian(0.0, thickness);
+            *y = cy + radius * std::sin(theta) + rng->Gaussian(0.0, thickness);
+          }};
+}
+
+}  // namespace
+
+LabeledDataset ClutoT4Like(size_t n, uint64_t seed) {
+  return BuildScene(
+      "Cluto-t4-8k", n, 0.10, seed,
+      {
+          SineBand(10, 90, 70, 8.0, 55.0, 1.2, 3.0),
+          SineBand(10, 90, 45, 8.0, 55.0, 1.2, 3.0),
+          Ellipse(30, 20, 12, 6, 0.4, 2.0),
+          Bar(60, 12, 90, 28, 1.5, 2.0),
+      });
+}
+
+LabeledDataset ClutoT5Like(size_t n, uint64_t seed) {
+  std::vector<Shape> shapes;
+  for (int gx = 0; gx < 3; ++gx) {
+    for (int gy = 0; gy < 3; ++gy) {
+      shapes.push_back(Blob(20.0 + 30.0 * gx, 20.0 + 30.0 * gy, 2.5, 1.0));
+    }
+  }
+  shapes.push_back(Bar(5, 5, 95, 95, 1.0, 2.5));
+  shapes.push_back(Bar(5, 95, 95, 5, 1.0, 2.5));
+  return BuildScene("Cluto-t5-8k", n, 0.15, seed, shapes);
+}
+
+LabeledDataset ClutoT7Like(size_t n, uint64_t seed) {
+  return BuildScene(
+      "Cluto-t7-10k", n, 0.08, seed,
+      {
+          Spiral(35, 50, 5, 30, 1.5, 1.5, 3.0),
+          Spiral(65, 50, 5, 30, 1.5, 1.5, 3.0),
+          SineBand(5, 95, 12, 5.0, 60.0, 1.5, 2.0),
+          Ellipse(50, 85, 18, 6, 0.0, 2.0),
+      });
+}
+
+LabeledDataset ClutoT8Like(size_t n, uint64_t seed) {
+  return BuildScene(
+      "Cluto-t8-8k", n, 0.04, seed,
+      {
+          Ellipse(25, 70, 18, 4, 0.5, 2.5),
+          Ellipse(70, 65, 16, 5, -0.7, 2.5),
+          Ellipse(30, 25, 20, 5, -0.3, 2.5),
+          Ellipse(72, 22, 14, 4, 0.9, 2.5),
+      });
+}
+
+LabeledDataset CureT2Like(size_t n, uint64_t seed) {
+  return BuildScene(
+      "Cure-t2-4k", n, 0.05, seed,
+      {
+          Ellipse(35, 55, 25, 14, 0.0, 5.0),
+          Ellipse(78, 70, 10, 6, 0.3, 2.0),
+          Blob(75, 30, 2.0, 1.0),
+          Blob(88, 42, 2.0, 1.0),
+      });
+}
+
+}  // namespace dbscout::datasets

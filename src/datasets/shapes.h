@@ -1,0 +1,36 @@
+#ifndef DBSCOUT_DATASETS_SHAPES_H_
+#define DBSCOUT_DATASETS_SHAPES_H_
+
+#include <cstdint>
+
+#include "datasets/labeled.h"
+
+namespace dbscout::datasets {
+
+/// Parametric stand-ins for the CLUTO/Chameleon and CURE benchmark files
+/// used in Table III (the original point files are not redistributable;
+/// DESIGN.md documents the substitution). Each generator reproduces the
+/// flavor of its namesake: irregularly shaped, arbitrarily oriented dense
+/// clusters drowned in a known fraction of uniform background noise, with
+/// exact labels (noise = outlier).
+
+/// cluto-t4.8k-like: sinusoidal bands, an ellipse, and a bar, ~10%% noise.
+LabeledDataset ClutoT4Like(size_t n, uint64_t seed);
+
+/// cluto-t5.8k-like: a grid of compact blobs crossed by two lines, ~15%%
+/// noise.
+LabeledDataset ClutoT5Like(size_t n, uint64_t seed);
+
+/// cluto-t7.10k-like: spiral arms and curved regions, ~8%% noise.
+LabeledDataset ClutoT7Like(size_t n, uint64_t seed);
+
+/// cluto-t8.8k-like: a few elongated rotated clusters, ~4%% noise.
+LabeledDataset ClutoT8Like(size_t n, uint64_t seed);
+
+/// cure-t2-4k-like: ellipses of very different sizes plus two small dense
+/// satellites, ~5%% noise.
+LabeledDataset CureT2Like(size_t n, uint64_t seed);
+
+}  // namespace dbscout::datasets
+
+#endif  // DBSCOUT_DATASETS_SHAPES_H_

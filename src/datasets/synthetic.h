@@ -1,0 +1,31 @@
+#ifndef DBSCOUT_DATASETS_SYNTHETIC_H_
+#define DBSCOUT_DATASETS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "datasets/labeled.h"
+
+namespace dbscout::datasets {
+
+/// Generators for the small labelled 2D datasets of the quality study
+/// (Table III): scikit-learn-style blobs/circles/moons with a known
+/// fraction of uniform outliers sprinkled over an expanded bounding box.
+/// All generators are deterministic in `seed`.
+
+/// Isotropic Gaussian blobs of equal density ("Blobs", n ~ 4000,
+/// contamination 0.01 in the paper).
+LabeledDataset Blobs(size_t n, double contamination, uint64_t seed);
+
+/// Gaussian blobs of visibly different densities ("Blobs-vd").
+LabeledDataset BlobsVariedDensity(size_t n, double contamination,
+                                  uint64_t seed);
+
+/// Two concentric circles with small radial jitter ("Circles").
+LabeledDataset Circles(size_t n, double contamination, uint64_t seed);
+
+/// Two interleaving half-moons ("Moons").
+LabeledDataset Moons(size_t n, double contamination, uint64_t seed);
+
+}  // namespace dbscout::datasets
+
+#endif  // DBSCOUT_DATASETS_SYNTHETIC_H_

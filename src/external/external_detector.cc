@@ -1,0 +1,382 @@
+#include "external/external_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "data/point_stream.h"
+#include "grid/cell_coord.h"
+#include "grid/grid.h"
+#include "grid/neighborhood.h"
+
+namespace dbscout::external {
+namespace {
+
+using grid::CellCoord;
+using grid::CellCoordHash;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// One spilled record: the point's file position followed by d coordinates.
+struct SpillWriter {
+  FilePtr file;
+  std::string path;
+  std::vector<char> buffer;
+
+  Status Append(uint32_t index, std::span<const double> coords) {
+    const size_t record = sizeof(uint32_t) + coords.size() * sizeof(double);
+    if (buffer.size() + record > (1u << 20)) {
+      DBSCOUT_RETURN_IF_ERROR(Flush());
+    }
+    const size_t offset = buffer.size();
+    buffer.resize(offset + record);
+    std::memcpy(buffer.data() + offset, &index, sizeof(uint32_t));
+    std::memcpy(buffer.data() + offset + sizeof(uint32_t), coords.data(),
+                coords.size() * sizeof(double));
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (!buffer.empty() &&
+        std::fwrite(buffer.data(), 1, buffer.size(), file.get()) !=
+            buffer.size()) {
+      return Status::IoError("spill write failure: " + path);
+    }
+    buffer.clear();
+    return Status::OK();
+  }
+};
+
+/// Contiguous range of dim-0 cell-slabs owned by one stripe.
+struct Stripe {
+  int64_t slab_lo = 0;
+  int64_t slab_hi = 0;  // inclusive
+};
+
+}  // namespace
+
+Status ExternalParams::Validate() const {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument("eps must be > 0");
+  }
+  if (min_pts < 1) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (batch_points == 0) {
+    return Status::InvalidArgument("batch_points must be >= 1");
+  }
+  if (target_stripe_points == 0) {
+    return Status::InvalidArgument("target_stripe_points must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<ExternalDetection> DetectExternal(const std::string& binary_path,
+                                         const ExternalParams& params) {
+  DBSCOUT_RETURN_IF_ERROR(params.Validate());
+  WallTimer timer;
+  DBSCOUT_ASSIGN_OR_RETURN(PointFileReader reader,
+                           PointFileReader::Open(binary_path));
+  const size_t d = reader.dims();
+  if (d > kMaxDims) {
+    return Status::InvalidArgument(
+        StrFormat("dims=%zu out of supported range [1, %zu]", d, kMaxDims));
+  }
+  if (reader.num_points() > UINT32_MAX) {
+    return Status::OutOfRange("more than 2^32-1 points");
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(const grid::NeighborStencil* stencil,
+                           grid::GetNeighborStencil(std::max<size_t>(d, 1)));
+  const double side = params.eps / std::sqrt(static_cast<double>(d));
+  const int64_t radius =
+      static_cast<int64_t>(std::ceil(std::sqrt(static_cast<double>(d))));
+  const int64_t halo = 2 * radius;
+  const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
+
+  ExternalDetection out;
+
+  // ---- Pass 0: global cell counts + dim-0 slab histogram. ---------------
+  std::unordered_map<CellCoord, uint32_t, CellCoordHash> cell_counts;
+  std::map<int64_t, uint64_t> slab_histogram;  // ordered for stripe planning
+  {
+    PointSet batch(d);
+    for (;;) {
+      DBSCOUT_ASSIGN_OR_RETURN(size_t got,
+                               reader.ReadBatch(params.batch_points, &batch));
+      if (got == 0) {
+        break;
+      }
+      for (size_t i = 0; i < got; ++i) {
+        const auto p = batch[i];
+        CellCoord coord = CellCoord::Zero(d);
+        for (size_t k = 0; k < d; ++k) {
+          if (!std::isfinite(p[k])) {
+            return Status::InvalidArgument("non-finite coordinate in input");
+          }
+          coord[k] = static_cast<int64_t>(std::floor(p[k] / side));
+        }
+        ++cell_counts[coord];
+        ++slab_histogram[coord[0]];
+      }
+    }
+  }
+  out.num_cells = cell_counts.size();
+  for (const auto& [coord, count] : cell_counts) {
+    out.num_dense_cells += count >= min_pts;
+  }
+  auto cell_is_dense = [&](const CellCoord& coord) {
+    auto it = cell_counts.find(coord);
+    return it != cell_counts.end() && it->second >= min_pts;
+  };
+
+  // ---- Stripe planning: contiguous slab ranges of bounded cardinality. --
+  std::vector<Stripe> stripes;
+  if (!slab_histogram.empty()) {
+    uint64_t total = 0;
+    for (const auto& [slab, count] : slab_histogram) {
+      total += count;
+    }
+    uint64_t target = params.target_stripe_points;
+    if (params.num_stripes > 0) {
+      target = std::max<uint64_t>(1, total / params.num_stripes);
+    }
+    Stripe current;
+    current.slab_lo = slab_histogram.begin()->first;
+    uint64_t filled = 0;
+    int64_t last_slab = current.slab_lo;
+    for (const auto& [slab, count] : slab_histogram) {
+      if (filled > 0 && filled + count > target) {
+        current.slab_hi = last_slab;
+        stripes.push_back(current);
+        current.slab_lo = slab;
+        filled = 0;
+      }
+      filled += count;
+      last_slab = slab;
+    }
+    current.slab_hi = last_slab;
+    stripes.push_back(current);
+  }
+  out.stripes = stripes.size();
+
+  // ---- Pass 1: spill points to stripe files (owned range + halo). -------
+  std::string tmp_dir = params.tmp_dir;
+  if (tmp_dir.empty()) {
+    const size_t slash = binary_path.find_last_of('/');
+    tmp_dir = slash == std::string::npos ? "." : binary_path.substr(0, slash);
+  }
+  std::vector<SpillWriter> writers(stripes.size());
+  for (size_t s = 0; s < stripes.size(); ++s) {
+    writers[s].path =
+        StrFormat("%s/dbscout_spill_%zu.tmp", tmp_dir.c_str(), s);
+    writers[s].file.reset(std::fopen(writers[s].path.c_str(), "wb"));
+    if (writers[s].file == nullptr) {
+      return Status::IoError("cannot create spill file: " + writers[s].path);
+    }
+  }
+  // Stripe lookup by slab: stripes are sorted and contiguous.
+  auto first_stripe_at_or_after = [&](int64_t slab) {
+    size_t lo = 0;
+    size_t hi = stripes.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (stripes[mid].slab_hi < slab) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  DBSCOUT_RETURN_IF_ERROR(reader.Rewind());
+  {
+    PointSet batch(d);
+    uint32_t index = 0;
+    for (;;) {
+      DBSCOUT_ASSIGN_OR_RETURN(size_t got,
+                               reader.ReadBatch(params.batch_points, &batch));
+      if (got == 0) {
+        break;
+      }
+      for (size_t i = 0; i < got; ++i, ++index) {
+        const auto p = batch[i];
+        const int64_t slab =
+            static_cast<int64_t>(std::floor(p[0] / side));
+        // The point belongs to every stripe whose halo-extended range
+        // [slab_lo - halo, slab_hi + halo] contains its slab.
+        const size_t begin = first_stripe_at_or_after(slab - halo);
+        for (size_t s = begin; s < stripes.size(); ++s) {
+          if (stripes[s].slab_lo - halo > slab) {
+            break;
+          }
+          DBSCOUT_RETURN_IF_ERROR(writers[s].Append(index, p));
+          ++out.spilled_records;
+        }
+      }
+    }
+  }
+  for (auto& writer : writers) {
+    DBSCOUT_RETURN_IF_ERROR(writer.Flush());
+    writer.file.reset();
+  }
+
+  // ---- Pass 2: per-stripe in-memory DBSCOUT against the global maps. ----
+  const double eps2 = params.eps * params.eps;
+  for (size_t s = 0; s < stripes.size(); ++s) {
+    // Load the stripe's spill file.
+    FilePtr in(std::fopen(writers[s].path.c_str(), "rb"));
+    if (in == nullptr) {
+      return Status::IoError("cannot reopen spill file: " + writers[s].path);
+    }
+    PointSet local(d);
+    std::vector<uint32_t> gids;
+    const size_t record = sizeof(uint32_t) + d * sizeof(double);
+    std::vector<char> chunk(record * 4096);
+    std::vector<double> coords(d);
+    for (;;) {
+      const size_t got = std::fread(chunk.data(), record, 4096, in.get());
+      for (size_t r = 0; r < got; ++r) {
+        uint32_t index;
+        std::memcpy(&index, chunk.data() + r * record, sizeof(uint32_t));
+        std::memcpy(coords.data(), chunk.data() + r * record + sizeof(uint32_t),
+                    d * sizeof(double));
+        gids.push_back(index);
+        local.Add(coords);
+      }
+      if (got < 4096) {
+        break;
+      }
+    }
+    in.reset();
+    std::remove(writers[s].path.c_str());
+    if (local.empty()) {
+      continue;
+    }
+    out.max_stripe_points = std::max(out.max_stripe_points, local.size());
+
+    DBSCOUT_ASSIGN_OR_RETURN(grid::Grid g, grid::Grid::Build(local, params.eps));
+    const uint32_t num_cells = static_cast<uint32_t>(g.num_cells());
+
+    // Core flags for every local point whose dim-0 slab lies within the
+    // first halo ring [slab_lo - radius, slab_hi + radius]: their complete
+    // neighborhood is guaranteed local (the spill carried 2*radius).
+    const int64_t core_lo = stripes[s].slab_lo - radius;
+    const int64_t core_hi = stripes[s].slab_hi + radius;
+    std::vector<uint8_t> is_core(local.size(), 0);
+    std::vector<uint8_t> cell_core(num_cells, 0);
+    std::vector<uint8_t> cell_dense(num_cells, 0);
+    std::vector<std::vector<uint32_t>> sparse_core_points(num_cells);
+    std::vector<uint32_t> neighbor_cells;
+    for (uint32_t c = 0; c < num_cells; ++c) {
+      const CellCoord& coord = g.CoordOf(c);
+      if (coord[0] < core_lo || coord[0] > core_hi) {
+        continue;  // pure halo cell: core status resolved by its own stripe
+      }
+      cell_dense[c] = cell_is_dense(coord);
+      const auto cell_points = g.PointsInCell(c);
+      if (cell_dense[c]) {
+        cell_core[c] = 1;
+        for (uint32_t p : cell_points) {
+          is_core[p] = 1;
+        }
+        continue;
+      }
+      neighbor_cells.clear();
+      g.ForEachNeighborCell(c, *stencil, [&](uint32_t nc) {
+        neighbor_cells.push_back(nc);
+      });
+      for (uint32_t p : cell_points) {
+        const auto pv = local[p];
+        uint32_t count = 0;
+        for (uint32_t nc : neighbor_cells) {
+          for (uint32_t q : g.PointsInCell(nc)) {
+            if (PointSet::SquaredDistance(pv, local[q]) <= eps2 &&
+                ++count >= min_pts) {
+              is_core[p] = 1;
+              break;
+            }
+          }
+          if (is_core[p]) {
+            break;
+          }
+        }
+        if (is_core[p]) {
+          cell_core[c] = 1;
+          sparse_core_points[c].push_back(p);
+        }
+      }
+    }
+
+    // Outlier decision for owned points only.
+    std::vector<uint32_t> core_neighbor_cells;
+    for (uint32_t c = 0; c < num_cells; ++c) {
+      const CellCoord& coord = g.CoordOf(c);
+      if (coord[0] < stripes[s].slab_lo || coord[0] > stripes[s].slab_hi) {
+        continue;  // halo cell: owned by another stripe
+      }
+      if (cell_core[c]) {
+        for (uint32_t p : g.PointsInCell(c)) {
+          out.num_core += is_core[p];
+          out.num_border += !is_core[p];
+        }
+        continue;
+      }
+      core_neighbor_cells.clear();
+      g.ForEachNeighborCell(c, *stencil, [&](uint32_t nc) {
+        if (cell_core[nc]) {
+          core_neighbor_cells.push_back(nc);
+        }
+      });
+      for (uint32_t p : g.PointsInCell(c)) {
+        bool outlier = true;
+        if (!core_neighbor_cells.empty()) {
+          const auto pv = local[p];
+          for (uint32_t nc : core_neighbor_cells) {
+            if (cell_dense[nc]) {
+              for (uint32_t q : g.PointsInCell(nc)) {
+                if (PointSet::SquaredDistance(pv, local[q]) <= eps2) {
+                  outlier = false;
+                  break;
+                }
+              }
+            } else {
+              for (uint32_t q : sparse_core_points[nc]) {
+                if (PointSet::SquaredDistance(pv, local[q]) <= eps2) {
+                  outlier = false;
+                  break;
+                }
+              }
+            }
+            if (!outlier) {
+              break;
+            }
+          }
+        }
+        if (outlier) {
+          out.outliers.push_back(gids[p]);
+        } else {
+          ++out.num_border;
+        }
+      }
+    }
+  }
+  std::sort(out.outliers.begin(), out.outliers.end());
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dbscout::external

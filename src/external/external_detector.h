@@ -1,0 +1,75 @@
+#ifndef DBSCOUT_EXTERNAL_EXTERNAL_DETECTOR_H_
+#define DBSCOUT_EXTERNAL_EXTERNAL_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbscout::external {
+
+/// Configuration of the out-of-core detector.
+struct ExternalParams {
+  double eps = 1.0;
+  int min_pts = 5;
+  /// Points per streaming read.
+  size_t batch_points = 1 << 16;
+  /// Soft cap on the points owned by one stripe — the memory knob. The
+  /// working set of a stripe is its owned points plus the ghost halo.
+  size_t target_stripe_points = 1 << 20;
+  /// Overrides the stripe count computed from target_stripe_points (0 =
+  /// automatic).
+  size_t num_stripes = 0;
+  /// Directory for spill files ("" = alongside the input file).
+  std::string tmp_dir;
+
+  Status Validate() const;
+};
+
+/// Output of an out-of-core run. Point indices refer to positions in the
+/// input file.
+struct ExternalDetection {
+  std::vector<uint32_t> outliers;  // ascending
+  uint64_t num_core = 0;
+  uint64_t num_border = 0;
+
+  // Run statistics.
+  size_t num_cells = 0;
+  size_t num_dense_cells = 0;
+  size_t stripes = 0;
+  /// Records written to spill files (>= n; the excess is halo replication).
+  uint64_t spilled_records = 0;
+  /// Largest single-stripe working set (owned + halo points).
+  size_t max_stripe_points = 0;
+  double seconds = 0.0;
+
+  size_t num_outliers() const { return outliers.size(); }
+};
+
+/// Exact DBSCOUT over a DBSC binary point file that may be far larger than
+/// memory (the "billions of tuples" setting of the paper's introduction,
+/// on one machine):
+///
+///  - pass 0 streams the file once and builds the global cell-count map
+///    (memory: one entry per non-empty cell — the same broadcast structure
+///    the distributed algorithm uses);
+///  - the grid is split into contiguous stripes of cell-slabs along the
+///    first dimension, sized so each stripe's points fit the memory budget
+///    (slab histogram balancing, so skew cannot starve stripes);
+///  - pass 1 streams the file again, spilling every point to its stripe
+///    plus a ghost halo of 2*ceil(sqrt(d)) slabs on each side — wide
+///    enough that both the core status of first-ring halo points and the
+///    outlier status of owned points resolve locally;
+///  - pass 2 loads one stripe at a time, runs phases 3-5 in memory against
+///    the exact global dense-cell map, and emits the stripe's outliers.
+///
+/// The output is bit-identical to DetectSequential on the same data
+/// (enforced by tests). Requires at most
+/// O(#cells + max_stripe_points * (1 + halo)) memory.
+Result<ExternalDetection> DetectExternal(const std::string& binary_path,
+                                         const ExternalParams& params);
+
+}  // namespace dbscout::external
+
+#endif  // DBSCOUT_EXTERNAL_EXTERNAL_DETECTOR_H_

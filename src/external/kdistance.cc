@@ -1,0 +1,70 @@
+#include "external/kdistance.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/point_stream.h"
+
+namespace dbscout::external {
+
+double SampledKDistance::SamplingInflation(size_t dims) const {
+  if (sample_size == 0 || total_points <= sample_size || dims == 0) {
+    return 1.0;
+  }
+  return std::pow(static_cast<double>(total_points) /
+                      static_cast<double>(sample_size),
+                  1.0 / static_cast<double>(dims));
+}
+
+Result<SampledKDistance> SampleKDistance(const std::string& binary_path,
+                                         int k, size_t sample_size,
+                                         uint64_t seed, size_t batch_points) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (sample_size < static_cast<size_t>(k) + 1) {
+    return Status::InvalidArgument("sample_size must exceed k");
+  }
+  if (batch_points == 0) {
+    return Status::InvalidArgument("batch_points must be >= 1");
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(PointFileReader reader,
+                           PointFileReader::Open(binary_path));
+
+  // Algorithm R reservoir over the stream.
+  PointSet reservoir(reader.dims());
+  reservoir.Reserve(std::min<uint64_t>(sample_size, reader.num_points()));
+  Rng rng(seed);
+  PointSet batch(reader.dims());
+  uint64_t seen = 0;
+  for (;;) {
+    DBSCOUT_ASSIGN_OR_RETURN(size_t got,
+                             reader.ReadBatch(batch_points, &batch));
+    if (got == 0) {
+      break;
+    }
+    for (size_t i = 0; i < got; ++i, ++seen) {
+      if (reservoir.size() < sample_size) {
+        reservoir.Add(batch[i]);
+      } else {
+        const uint64_t j = rng.NextBounded(seen + 1);
+        if (j < sample_size) {
+          for (size_t d = 0; d < reservoir.dims(); ++d) {
+            reservoir.at(static_cast<size_t>(j), d) = batch[i][d];
+          }
+        }
+      }
+    }
+  }
+  if (reservoir.size() < static_cast<size_t>(k) + 1) {
+    return Status::FailedPrecondition("file has fewer points than k+1");
+  }
+  SampledKDistance out;
+  out.total_points = seen;
+  out.sample_size = reservoir.size();
+  DBSCOUT_ASSIGN_OR_RETURN(out.curve,
+                           analysis::ComputeKDistance(reservoir, k));
+  return out;
+}
+
+}  // namespace dbscout::external

@@ -1,0 +1,40 @@
+#ifndef DBSCOUT_EXTERNAL_KDISTANCE_H_
+#define DBSCOUT_EXTERNAL_KDISTANCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/kdistance.h"
+#include "common/result.h"
+
+namespace dbscout::external {
+
+/// Parameter selection at out-of-core scale: streams a DBSC binary point
+/// file once, draws a uniform reservoir sample of `sample_size` points,
+/// and computes the k-distance curve *within the sample*.
+///
+/// Bias note: k-th-neighbor distances inside an m-point sample of an
+/// n-point dataset approximate the (k*n/m)-th-neighbor distances of the
+/// full data, i.e. the curve (and the suggested eps) is shifted up by
+/// roughly (n/m)^(1/d) for locally uniform data. The *shape* — and hence
+/// the elbow — is preserved, which is what the selection recipe needs;
+/// treat the suggested eps as an upper estimate and sweep downward from
+/// it. The returned curve reports the sampling ratio applied.
+struct SampledKDistance {
+  analysis::KDistanceCurve curve;
+  uint64_t total_points = 0;
+  size_t sample_size = 0;
+
+  /// (n/m)^(1/d): multiply distances down by this to correct the sampling
+  /// shift under a locally-uniform assumption.
+  double SamplingInflation(size_t dims) const;
+};
+
+Result<SampledKDistance> SampleKDistance(const std::string& binary_path,
+                                         int k, size_t sample_size,
+                                         uint64_t seed = 1,
+                                         size_t batch_points = 1 << 16);
+
+}  // namespace dbscout::external
+
+#endif  // DBSCOUT_EXTERNAL_KDISTANCE_H_

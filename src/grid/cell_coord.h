@@ -1,0 +1,101 @@
+#ifndef DBSCOUT_GRID_CELL_COORD_H_
+#define DBSCOUT_GRID_CELL_COORD_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <span>
+
+#include "data/point_set.h"
+
+namespace dbscout::grid {
+
+/// Integer coordinates of one epsilon-cell (Definition 4): the vertex with
+/// minimum values, scaled by the cell side length l = eps / sqrt(d).
+/// Fixed inline capacity (kMaxDims) keeps coordinates allocation-free; they
+/// are hash-map keys on the hottest paths of the algorithm.
+class CellCoord {
+ public:
+  CellCoord() : dims_(0) { values_.fill(0); }
+
+  explicit CellCoord(std::span<const int64_t> values)
+      : dims_(static_cast<uint8_t>(values.size())) {
+    values_.fill(0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      values_[i] = values[i];
+    }
+  }
+
+  /// Creates a zeroed coordinate of the given dimensionality.
+  static CellCoord Zero(size_t dims) {
+    CellCoord c;
+    c.dims_ = static_cast<uint8_t>(dims);
+    return c;
+  }
+
+  size_t dims() const { return dims_; }
+  int64_t operator[](size_t i) const { return values_[i]; }
+  int64_t& operator[](size_t i) { return values_[i]; }
+
+  /// This coordinate translated by `offset` (same dims).
+  CellCoord Translated(std::span<const int16_t> offset) const {
+    CellCoord out = *this;
+    for (size_t i = 0; i < dims_; ++i) {
+      out.values_[i] += offset[i];
+    }
+    return out;
+  }
+
+  friend bool operator==(const CellCoord& a, const CellCoord& b) {
+    if (a.dims_ != b.dims_) return false;
+    for (size_t i = 0; i < a.dims_; ++i) {
+      if (a.values_[i] != b.values_[i]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator<(const CellCoord& a, const CellCoord& b) {
+    if (a.dims_ != b.dims_) return a.dims_ < b.dims_;
+    for (size_t i = 0; i < a.dims_; ++i) {
+      if (a.values_[i] != b.values_[i]) return a.values_[i] < b.values_[i];
+    }
+    return false;
+  }
+
+  /// 64-bit mix of all coordinates; used by CellCoordHash.
+  uint64_t Hash() const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ dims_;
+    for (size_t i = 0; i < dims_; ++i) {
+      uint64_t x = static_cast<uint64_t>(values_[i]);
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      h = (h ^ x) * 0xc4ceb9fe1a85ec53ULL;
+    }
+    return h ^ (h >> 29);
+  }
+
+ private:
+  std::array<int64_t, kMaxDims> values_;
+  uint8_t dims_;
+};
+
+struct CellCoordHash {
+  size_t operator()(const CellCoord& c) const {
+    return static_cast<size_t>(c.Hash());
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const CellCoord& c) {
+  os << '(';
+  for (size_t i = 0; i < c.dims(); ++i) {
+    if (i != 0) os << ',';
+    os << c[i];
+  }
+  return os << ')';
+}
+
+}  // namespace dbscout::grid
+
+#endif  // DBSCOUT_GRID_CELL_COORD_H_

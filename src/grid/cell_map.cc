@@ -1,0 +1,48 @@
+#include "grid/cell_map.h"
+
+namespace dbscout::grid {
+
+CellMap CellMap::BuildDense(const Grid& grid, int min_pts) {
+  CellMap map;
+  map.cells_.reserve(grid.num_cells());
+  for (uint32_t id = 0; id < grid.num_cells(); ++id) {
+    CellInfo info;
+    info.count = static_cast<uint32_t>(grid.CellSize(id));
+    info.type = info.count >= static_cast<uint32_t>(min_pts)
+                    ? CellType::kDense
+                    : CellType::kOther;
+    map.cells_.emplace(grid.CoordOf(id), info);
+  }
+  return map;
+}
+
+void CellMap::MarkCore(const CellCoord& coord) {
+  CellInfo& info = cells_[coord];
+  if (info.type < CellType::kCore) {
+    info.type = CellType::kCore;
+  }
+}
+
+bool CellMap::HasCoreNeighbor(const CellCoord& coord,
+                              const NeighborStencil& stencil) const {
+  for (const CellOffset& offset : stencil.offsets) {
+    const CellCoord neighbor = coord.Translated({offset.data(), coord.dims()});
+    if (auto it = cells_.find(neighbor);
+        it != cells_.end() && it->second.type >= CellType::kCore) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t CellMap::CountByType(CellType type) const {
+  size_t count = 0;
+  for (const auto& [coord, info] : cells_) {
+    if (info.type == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dbscout::grid

@@ -1,0 +1,104 @@
+#ifndef DBSCOUT_GRID_CELL_MAP_H_
+#define DBSCOUT_GRID_CELL_MAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "grid/cell_coord.h"
+#include "grid/grid.h"
+#include "grid/neighborhood.h"
+
+namespace dbscout::grid {
+
+/// Classification of a non-empty cell (Definitions 6 and 7). A dense cell is
+/// always also core, so the three states form a ladder:
+/// kOther < kCore < kDense.
+enum class CellType : uint8_t {
+  kOther = 0,  // non-empty, not known to contain a core point
+  kCore = 1,   // contains at least one core point
+  kDense = 2,  // contains >= minPts points (every point is core, Lemma 1)
+};
+
+/// The broadcastable "cell map" of Algorithms 2 and 4: per-cell point counts
+/// and dense/core classification, keyed by cell coordinates. In the parallel
+/// implementation this structure is what gets broadcast to every executor;
+/// it is deliberately independent of the Grid's CSR arrays so its memory
+/// footprint is a small fraction of the dataset's.
+class CellMap {
+ public:
+  CellMap() = default;
+
+  /// Builds the dense-cell map (Algorithm 2): every non-empty cell appears,
+  /// marked kDense when its point count reaches min_pts.
+  static CellMap BuildDense(const Grid& grid, int min_pts);
+
+  /// Inserts (or overwrites) one cell with the given point count, typing it
+  /// kDense when count >= min_pts. Used by the parallel engine, which
+  /// obtains counts from a REDUCEBYKEY rather than from a Grid.
+  void Insert(const CellCoord& coord, uint32_t count, int min_pts) {
+    CellInfo info;
+    info.count = count;
+    info.type = count >= static_cast<uint32_t>(min_pts) ? CellType::kDense
+                                                        : CellType::kOther;
+    cells_[coord] = info;
+  }
+
+  size_t size() const { return cells_.size(); }
+
+  /// kOther for empty (absent) cells.
+  CellType TypeOf(const CellCoord& coord) const {
+    auto it = cells_.find(coord);
+    return it == cells_.end() ? CellType::kOther : it->second.type;
+  }
+
+  /// 0 for empty cells.
+  uint32_t CountOf(const CellCoord& coord) const {
+    auto it = cells_.find(coord);
+    return it == cells_.end() ? 0 : it->second.count;
+  }
+
+  bool Contains(const CellCoord& coord) const {
+    return cells_.find(coord) != cells_.end();
+  }
+
+  /// Upgrades a cell to kCore (Algorithm 4); dense cells stay kDense. Absent
+  /// cells are inserted with count 0 (does not happen in the algorithm but
+  /// keeps the structure total).
+  void MarkCore(const CellCoord& coord);
+
+  /// True when the cell at `coord` is core or dense.
+  bool IsCoreCell(const CellCoord& coord) const {
+    return TypeOf(coord) >= CellType::kCore;
+  }
+
+  /// True when any neighbor of `coord` (itself included) is a core cell.
+  bool HasCoreNeighbor(const CellCoord& coord,
+                       const NeighborStencil& stencil) const;
+
+  /// Invokes fn(coord, type, count) for every non-empty neighbor of `coord`
+  /// (itself included).
+  template <typename Fn>
+  void ForEachNonEmptyNeighbor(const CellCoord& coord,
+                               const NeighborStencil& stencil, Fn&& fn) const {
+    for (const CellOffset& offset : stencil.offsets) {
+      const CellCoord neighbor = coord.Translated({offset.data(), coord.dims()});
+      if (auto it = cells_.find(neighbor); it != cells_.end()) {
+        fn(neighbor, it->second.type, it->second.count);
+      }
+    }
+  }
+
+  /// Number of cells with the given type.
+  size_t CountByType(CellType type) const;
+
+ private:
+  struct CellInfo {
+    uint32_t count = 0;
+    CellType type = CellType::kOther;
+  };
+  std::unordered_map<CellCoord, CellInfo, CellCoordHash> cells_;
+};
+
+}  // namespace dbscout::grid
+
+#endif  // DBSCOUT_GRID_CELL_MAP_H_

@@ -1,0 +1,92 @@
+#include "grid/grid.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace dbscout::grid {
+namespace {
+
+// Largest |cell index| we accept; beyond this, translating by a stencil
+// offset could overflow int64.
+constexpr double kMaxCellIndex = 4.0e18;
+
+}  // namespace
+
+CellCoord Grid::CellOf(std::span<const double> point) const {
+  CellCoord coord = CellCoord::Zero(dims_);
+  for (size_t i = 0; i < dims_; ++i) {
+    coord[i] = static_cast<int64_t>(std::floor(point[i] / side_));
+  }
+  return coord;
+}
+
+std::optional<uint32_t> Grid::FindCell(const CellCoord& coord) const {
+  if (auto it = cell_ids_.find(coord); it != cell_ids_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+Result<Grid> Grid::Build(const PointSet& points, double eps) {
+  if (!(eps > 0.0) || !std::isfinite(eps)) {
+    return Status::InvalidArgument(StrFormat("eps must be positive, got %g",
+                                             eps));
+  }
+  if (points.dims() < 1 || points.dims() > kMaxDims) {
+    return Status::InvalidArgument(
+        StrFormat("dims=%zu out of supported range [1, %zu]", points.dims(),
+                  kMaxDims));
+  }
+  Grid grid(points.dims(), eps);
+  const size_t n = points.size();
+  const size_t d = points.dims();
+  grid.point_cell_.resize(n);
+  grid.cell_ids_.reserve(n / 4 + 16);
+
+  // Pass 1: assign cell ids and count cell sizes.
+  std::vector<uint32_t> cell_sizes;
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = points[i];
+    CellCoord coord = CellCoord::Zero(d);
+    for (size_t k = 0; k < d; ++k) {
+      const double v = p[k];
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            StrFormat("point %zu has non-finite coordinate %zu", i, k));
+      }
+      const double scaled = std::floor(v / grid.side_);
+      if (std::abs(scaled) > kMaxCellIndex) {
+        return Status::OutOfRange(
+            StrFormat("point %zu: cell index overflow (|%g / %g| too large)",
+                      i, v, grid.side_));
+      }
+      coord[k] = static_cast<int64_t>(scaled);
+    }
+    auto [it, inserted] = grid.cell_ids_.try_emplace(
+        coord, static_cast<uint32_t>(grid.cell_coords_.size()));
+    if (inserted) {
+      grid.cell_coords_.push_back(coord);
+      cell_sizes.push_back(0);
+    }
+    grid.point_cell_[i] = it->second;
+    ++cell_sizes[it->second];
+  }
+
+  // Pass 2: counting sort of point indices by cell id.
+  const size_t num_cells = grid.cell_coords_.size();
+  grid.cell_begin_.assign(num_cells + 1, 0);
+  for (size_t c = 0; c < num_cells; ++c) {
+    grid.cell_begin_[c + 1] = grid.cell_begin_[c] + cell_sizes[c];
+  }
+  grid.point_indices_.resize(n);
+  std::vector<uint32_t> cursor(grid.cell_begin_.begin(),
+                               grid.cell_begin_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    grid.point_indices_[cursor[grid.point_cell_[i]]++] =
+        static_cast<uint32_t>(i);
+  }
+  return grid;
+}
+
+}  // namespace dbscout::grid

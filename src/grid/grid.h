@@ -1,0 +1,95 @@
+#ifndef DBSCOUT_GRID_GRID_H_
+#define DBSCOUT_GRID_GRID_H_
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/point_set.h"
+#include "grid/cell_coord.h"
+#include "grid/neighborhood.h"
+
+namespace dbscout::grid {
+
+/// The non-empty cells of the epsilon-grid over a point set (Definition 5),
+/// stored in CSR layout: point indices grouped by cell id, with one offset
+/// array. Construction is linear in the number of points (Lemma 4): a single
+/// pass assigns ids to distinct cells, a counting pass groups the points.
+class Grid {
+ public:
+  /// Builds the grid for `points` with cell diagonal `eps` (side
+  /// eps/sqrt(d)). Fails on eps <= 0, non-finite coordinates, dims >
+  /// kMaxDims, or coordinates so large that cell indices would overflow.
+  static Result<Grid> Build(const PointSet& points, double eps);
+
+  size_t dims() const { return dims_; }
+  double eps() const { return eps_; }
+  /// Cell side length l = eps / sqrt(d).
+  double side() const { return side_; }
+  size_t num_cells() const { return cell_coords_.size(); }
+  size_t num_points() const { return point_cell_.size(); }
+
+  /// Integer coordinates of the cell containing `point` (Algorithm 1:
+  /// floor(x_i * sqrt(d) / eps) per dimension).
+  CellCoord CellOf(std::span<const double> point) const;
+
+  /// Coordinates of cell `id`.
+  const CellCoord& CoordOf(uint32_t id) const { return cell_coords_[id]; }
+
+  /// Id of the non-empty cell at `coord`, if any.
+  std::optional<uint32_t> FindCell(const CellCoord& coord) const;
+
+  /// Indices (into the original PointSet) of the points in cell `id`.
+  std::span<const uint32_t> PointsInCell(uint32_t id) const {
+    return {point_indices_.data() + cell_begin_[id],
+            cell_begin_[id + 1] - cell_begin_[id]};
+  }
+
+  size_t CellSize(uint32_t id) const {
+    return cell_begin_[id + 1] - cell_begin_[id];
+  }
+
+  /// Cell id of point `point_index`.
+  uint32_t CellIdOfPoint(uint32_t point_index) const {
+    return point_cell_[point_index];
+  }
+
+  /// Invokes fn(neighbor_cell_id) for every non-empty neighboring cell of
+  /// `id`, including `id` itself. The stencil has k_d entries, so this is
+  /// O(k_d) hash probes.
+  template <typename Fn>
+  void ForEachNeighborCell(uint32_t id, const NeighborStencil& stencil,
+                           Fn&& fn) const {
+    const CellCoord& base = cell_coords_[id];
+    for (const CellOffset& offset : stencil.offsets) {
+      const CellCoord neighbor =
+          base.Translated({offset.data(), dims_});
+      if (auto it = cell_ids_.find(neighbor); it != cell_ids_.end()) {
+        fn(it->second);
+      }
+    }
+  }
+
+ private:
+  Grid(size_t dims, double eps)
+      : dims_(dims),
+        eps_(eps),
+        side_(eps / std::sqrt(static_cast<double>(dims))) {}
+
+  size_t dims_;
+  double eps_;
+  double side_;
+  std::vector<CellCoord> cell_coords_;
+  std::unordered_map<CellCoord, uint32_t, CellCoordHash> cell_ids_;
+  std::vector<uint32_t> cell_begin_;     // size num_cells()+1
+  std::vector<uint32_t> point_indices_;  // grouped by cell
+  std::vector<uint32_t> point_cell_;     // point index -> cell id
+};
+
+}  // namespace dbscout::grid
+
+#endif  // DBSCOUT_GRID_GRID_H_

@@ -1,0 +1,86 @@
+#include "grid/neighborhood.h"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "common/str_util.h"
+
+namespace dbscout::grid {
+namespace {
+
+int64_t CeilSqrt(size_t d) {
+  return static_cast<int64_t>(std::ceil(std::sqrt(static_cast<double>(d))));
+}
+
+/// Recursively enumerates offsets dimension by dimension, pruning once the
+/// accumulated gap already reaches d. `gap` carries sum max(0,|j_i|-1)^2 for
+/// the dimensions fixed so far.
+void Enumerate(size_t dims, size_t dim, int64_t radius, int64_t gap,
+               CellOffset* current, std::vector<CellOffset>* out,
+               uint64_t* count) {
+  if (dim == dims) {
+    if (out != nullptr) {
+      out->push_back(*current);
+    }
+    ++*count;
+    return;
+  }
+  for (int64_t j = -radius; j <= radius; ++j) {
+    const int64_t extra =
+        j == 0 ? 0 : (std::abs(j) - 1) * (std::abs(j) - 1);
+    if (gap + extra >= static_cast<int64_t>(dims)) {
+      continue;  // Minimum inter-cell distance already >= eps.
+    }
+    if (current != nullptr) {
+      (*current)[dim] = static_cast<int16_t>(j);
+    }
+    Enumerate(dims, dim + 1, radius, gap + extra, current, out, count);
+  }
+}
+
+Status ValidateDims(size_t dims) {
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::InvalidArgument(
+        StrFormat("dims=%zu out of supported range [1, %zu]", dims, kMaxDims));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<const NeighborStencil*> GetNeighborStencil(size_t dims) {
+  DBSCOUT_RETURN_IF_ERROR(ValidateDims(dims));
+  static std::mutex mu;
+  static std::array<std::unique_ptr<NeighborStencil>, kMaxDims + 1>* cache =
+      new std::array<std::unique_ptr<NeighborStencil>, kMaxDims + 1>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = (*cache)[dims];
+  if (slot == nullptr) {
+    auto stencil = std::make_unique<NeighborStencil>();
+    stencil->dims = dims;
+    CellOffset current{};
+    uint64_t count = 0;
+    Enumerate(dims, 0, CeilSqrt(dims), 0, &current, &stencil->offsets, &count);
+    slot = std::move(stencil);
+  }
+  return slot.get();
+}
+
+Result<uint64_t> CountNeighborOffsets(size_t dims) {
+  DBSCOUT_RETURN_IF_ERROR(ValidateDims(dims));
+  uint64_t count = 0;
+  Enumerate(dims, 0, CeilSqrt(dims), 0, nullptr, nullptr, &count);
+  return count;
+}
+
+uint64_t NeighborUpperBound(size_t dims) {
+  const uint64_t base = static_cast<uint64_t>(2 * CeilSqrt(dims) + 1);
+  uint64_t result = 1;
+  for (size_t i = 0; i < dims; ++i) {
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace dbscout::grid

@@ -1,0 +1,46 @@
+#ifndef DBSCOUT_GRID_NEIGHBORHOOD_H_
+#define DBSCOUT_GRID_NEIGHBORHOOD_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout::grid {
+
+/// One relative cell offset in up to kMaxDims dimensions. int16 is ample:
+/// offsets range over [-ceil(sqrt(d)), +ceil(sqrt(d))], at most ±3 for d<=9.
+using CellOffset = std::array<int16_t, kMaxDims>;
+
+/// The precomputed neighborhood stencil for one dimensionality d: the k_d
+/// relative offsets j such that two cells displaced by j can contain a pair
+/// of points at distance < eps (Definition 8). A cell is always its own
+/// neighbor (offset 0 is included).
+///
+/// Geometry: cells have side l = eps/sqrt(d); the minimum distance between a
+/// cell and the cell displaced by j is l * sqrt(sum_i max(0,|j_i|-1)^2), so
+/// the neighbor condition is   sum_i max(0,|j_i|-1)^2 < d.
+struct NeighborStencil {
+  size_t dims = 0;
+  std::vector<CellOffset> offsets;
+
+  /// k_d, the neighbor-cell constant (Table I).
+  size_t size() const { return offsets.size(); }
+};
+
+/// Returns the stencil for d in [1, kMaxDims]; computed once per d and
+/// cached for the lifetime of the process.
+Result<const NeighborStencil*> GetNeighborStencil(size_t dims);
+
+/// Counts k_d without materializing the offsets (used for Table I at high d,
+/// where k_9 is ~8.1M offsets).
+Result<uint64_t> CountNeighborOffsets(size_t dims);
+
+/// The loose upper bound of Lemma 3: (2*ceil(sqrt(d)) + 1)^d.
+uint64_t NeighborUpperBound(size_t dims);
+
+}  // namespace dbscout::grid
+
+#endif  // DBSCOUT_GRID_NEIGHBORHOOD_H_

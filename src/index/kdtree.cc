@@ -1,0 +1,192 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace dbscout::index {
+namespace {
+
+double SquaredDistanceTo(const PointSet& points, uint32_t index,
+                         std::span<const double> query) {
+  return PointSet::SquaredDistance(points[index], query);
+}
+
+}  // namespace
+
+KdTree KdTree::Build(const PointSet& points) {
+  KdTree tree(&points);
+  tree.order_.resize(points.size());
+  std::iota(tree.order_.begin(), tree.order_.end(), 0u);
+  if (!points.empty()) {
+    tree.nodes_.reserve(2 * points.size() / kLeafSize + 2);
+    tree.BuildNode(0, static_cast<uint32_t>(points.size()));
+  }
+  return tree;
+}
+
+int32_t KdTree::BuildNode(uint32_t begin, uint32_t end) {
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].begin = begin;
+  nodes_[id].end = end;
+  if (end - begin <= kLeafSize) {
+    return id;  // leaf (left stays -1)
+  }
+  // Pick the dimension with the widest extent over this range.
+  const size_t d = points_->dims();
+  uint16_t best_dim = 0;
+  double best_extent = -1.0;
+  for (size_t dim = 0; dim < d; ++dim) {
+    double lo = points_->at(order_[begin], dim);
+    double hi = lo;
+    for (uint32_t i = begin + 1; i < end; ++i) {
+      const double v = points_->at(order_[i], dim);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      best_dim = static_cast<uint16_t>(dim);
+    }
+  }
+  if (best_extent <= 0.0) {
+    return id;  // all points identical over this range: keep as a leaf
+  }
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](uint32_t a, uint32_t b) {
+                     return points_->at(a, best_dim) <
+                            points_->at(b, best_dim);
+                   });
+  nodes_[id].split_dim = best_dim;
+  nodes_[id].split_value = points_->at(order_[mid], best_dim);
+  const int32_t left = BuildNode(begin, mid);
+  const int32_t right = BuildNode(mid, end);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+std::vector<Neighbor> KdTree::Knn(std::span<const double> query, size_t k,
+                                  int64_t exclude_index) const {
+  std::vector<Neighbor> result;
+  if (k == 0 || order_.empty()) {
+    return result;
+  }
+  // Max-heap of the best k candidates by squared distance.
+  using HeapEntry = std::pair<double, uint32_t>;
+  std::priority_queue<HeapEntry> heap;
+
+  // Iterative depth-first descent with pruning by split-plane distance.
+  struct Pending {
+    int32_t node;
+    double plane_dist_sq;  // lower bound to this subtree
+  };
+  std::vector<Pending> stack;
+  stack.push_back({0, 0.0});
+  while (!stack.empty()) {
+    const Pending pending = stack.back();
+    stack.pop_back();
+    if (heap.size() == k && pending.plane_dist_sq > heap.top().first) {
+      continue;
+    }
+    const Node& node = nodes_[pending.node];
+    if (node.left < 0) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const uint32_t p = order_[i];
+        if (static_cast<int64_t>(p) == exclude_index) {
+          continue;
+        }
+        const double dist_sq = SquaredDistanceTo(*points_, p, query);
+        if (heap.size() < k) {
+          heap.push({dist_sq, p});
+        } else if (dist_sq < heap.top().first) {
+          heap.pop();
+          heap.push({dist_sq, p});
+        }
+      }
+      continue;
+    }
+    const double diff = query[node.split_dim] - node.split_value;
+    const int32_t near = diff < 0 ? node.left : node.right;
+    const int32_t far = diff < 0 ? node.right : node.left;
+    // Visit the near side first (stack: push far, then near).
+    stack.push_back({far, diff * diff});
+    stack.push_back({near, pending.plane_dist_sq});
+  }
+
+  result.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    result[i] = {heap.top().second, std::sqrt(heap.top().first)};
+    heap.pop();
+  }
+  return result;
+}
+
+size_t KdTree::CountWithin(std::span<const double> query, double radius,
+                           size_t cap) const {
+  size_t count = 0;
+  const double radius_sq = radius * radius;
+  std::vector<int32_t> stack;
+  if (!order_.empty()) {
+    stack.push_back(0);
+  }
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.left < 0) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (SquaredDistanceTo(*points_, order_[i], query) <= radius_sq) {
+          ++count;
+          if (cap > 0 && count >= cap) {
+            return count;
+          }
+        }
+      }
+      continue;
+    }
+    const double diff = query[node.split_dim] - node.split_value;
+    const int32_t near = diff < 0 ? node.left : node.right;
+    const int32_t far = diff < 0 ? node.right : node.left;
+    stack.push_back(near);
+    if (diff * diff <= radius_sq) {
+      stack.push_back(far);
+    }
+  }
+  return count;
+}
+
+void KdTree::ForEachWithin(
+    std::span<const double> query, double radius,
+    const std::function<void(uint32_t, double)>& fn) const {
+  const double radius_sq = radius * radius;
+  std::vector<int32_t> stack;
+  if (!order_.empty()) {
+    stack.push_back(0);
+  }
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.left < 0) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const double dist_sq =
+            SquaredDistanceTo(*points_, order_[i], query);
+        if (dist_sq <= radius_sq) {
+          fn(order_[i], std::sqrt(dist_sq));
+        }
+      }
+      continue;
+    }
+    const double diff = query[node.split_dim] - node.split_value;
+    const int32_t near = diff < 0 ? node.left : node.right;
+    const int32_t far = diff < 0 ? node.right : node.left;
+    stack.push_back(near);
+    if (diff * diff <= radius_sq) {
+      stack.push_back(far);
+    }
+  }
+}
+
+}  // namespace dbscout::index

@@ -1,0 +1,77 @@
+#ifndef DBSCOUT_INDEX_KDTREE_H_
+#define DBSCOUT_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "data/point_set.h"
+
+namespace dbscout::index {
+
+/// One k-nearest-neighbor result.
+struct Neighbor {
+  uint32_t index = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.index == b.index && a.distance == b.distance;
+  }
+};
+
+/// Static kd-tree over a PointSet (median split on the widest dimension,
+/// leaves of up to kLeafSize points). The tree stores point indices only;
+/// the PointSet must outlive the tree. Substrate for the LOF/DDLOF
+/// baselines and the k-distance diagnostics.
+class KdTree {
+ public:
+  /// Builds the tree; O(n log n).
+  static KdTree Build(const PointSet& points);
+
+  size_t size() const { return order_.size(); }
+
+  /// The k nearest neighbors of `query`, nearest first. When
+  /// `exclude_index` is >= 0, that point index is skipped (the usual LOF
+  /// convention of excluding the query point itself). Returns fewer than k
+  /// when the set is smaller.
+  std::vector<Neighbor> Knn(std::span<const double> query, size_t k,
+                            int64_t exclude_index = -1) const;
+
+  /// Number of points within `radius` (inclusive) of `query`. Stops early
+  /// once `cap` is reached when cap > 0.
+  size_t CountWithin(std::span<const double> query, double radius,
+                     size_t cap = 0) const;
+
+  /// Invokes fn(point_index, distance) for every point within `radius`
+  /// (inclusive) of `query`.
+  void ForEachWithin(std::span<const double> query, double radius,
+                     const std::function<void(uint32_t, double)>& fn) const;
+
+ private:
+  static constexpr size_t kLeafSize = 16;
+
+  struct Node {
+    // Internal nodes: split dimension/value and children. Leaves: range in
+    // order_ (left == -1 marks a leaf).
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    uint16_t split_dim = 0;
+    double split_value = 0.0;
+  };
+
+  explicit KdTree(const PointSet* points) : points_(points) {}
+
+  int32_t BuildNode(uint32_t begin, uint32_t end);
+
+  const PointSet* points_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> order_;
+};
+
+}  // namespace dbscout::index
+
+#endif  // DBSCOUT_INDEX_KDTREE_H_

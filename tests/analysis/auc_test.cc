@@ -1,0 +1,82 @@
+#include "analysis/auc.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/lof.h"
+#include "testutil.h"
+
+namespace dbscout::analysis {
+namespace {
+
+TEST(RocAucTest, PerfectSeparation) {
+  const std::vector<uint8_t> truth = {0, 0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(RocAuc(truth, scores), 1.0);
+}
+
+TEST(RocAucTest, PerfectlyWrong) {
+  const std::vector<uint8_t> truth = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(RocAuc(truth, scores), 0.0);
+}
+
+TEST(RocAucTest, AllTiedScoresGiveHalf) {
+  const std::vector<uint8_t> truth = {0, 1, 0, 1};
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(RocAuc(truth, scores), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(
+      RocAuc(std::vector<uint8_t>{0, 0}, std::vector<double>{1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(
+      RocAuc(std::vector<uint8_t>{1, 1}, std::vector<double>{1, 2}), 0.5);
+}
+
+TEST(RocAucTest, PartialOverlap) {
+  // Positives at scores {2, 4}, negatives at {1, 3}: pairs won 3 of 4.
+  const std::vector<uint8_t> truth = {0, 1, 0, 1};
+  const std::vector<double> scores = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RocAuc(truth, scores), 0.75);
+}
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  const std::vector<uint8_t> truth = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(AveragePrecision(truth, scores), 1.0);
+}
+
+TEST(AveragePrecisionTest, KnownMixedRanking) {
+  // Ranking by score desc: P, N, P, N -> AP = (1/1 + 2/3) / 2 = 5/6.
+  const std::vector<uint8_t> truth = {1, 0, 1, 0};
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  EXPECT_NEAR(AveragePrecision(truth, scores), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(
+      AveragePrecision(std::vector<uint8_t>{0, 0},
+                       std::vector<double>{1, 2}),
+      0.0);
+}
+
+TEST(AucIntegrationTest, LofScoresSeparateObviousOutliers) {
+  Rng rng(55);
+  PointSet ps(2);
+  std::vector<uint8_t> truth;
+  for (int i = 0; i < 300; ++i) {
+    ps.Add({rng.Gaussian(0, 1.0), rng.Gaussian(0, 1.0)});
+    truth.push_back(0);
+  }
+  for (int i = 0; i < 6; ++i) {
+    ps.Add({rng.Uniform(15, 25), rng.Uniform(15, 25)});
+    truth.push_back(1);
+  }
+  auto lof = baselines::Lof(ps, 6);
+  ASSERT_TRUE(lof.ok());
+  EXPECT_GT(RocAuc(truth, lof->scores), 0.95);
+  EXPECT_GT(AveragePrecision(truth, lof->scores), 0.8);
+}
+
+}  // namespace
+}  // namespace dbscout::analysis

@@ -1,0 +1,55 @@
+#include "analysis/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace dbscout::analysis {
+namespace {
+
+TEST(CompareTest, IdenticalSets) {
+  const std::vector<uint32_t> ref = {1, 5, 9};
+  const auto diff = CompareOutlierSets(ref, ref);
+  EXPECT_EQ(diff.tp, 3u);
+  EXPECT_EQ(diff.fp, 0u);
+  EXPECT_EQ(diff.fn, 0u);
+}
+
+TEST(CompareTest, DisjointSets) {
+  const std::vector<uint32_t> ref = {1, 3};
+  const std::vector<uint32_t> cand = {2, 4, 6};
+  const auto diff = CompareOutlierSets(ref, cand);
+  EXPECT_EQ(diff.tp, 0u);
+  EXPECT_EQ(diff.fp, 3u);
+  EXPECT_EQ(diff.fn, 2u);
+}
+
+TEST(CompareTest, SupersetCandidate) {
+  // The RP-DBSCAN signature: candidate = reference plus false positives.
+  const std::vector<uint32_t> ref = {10, 20, 30};
+  const std::vector<uint32_t> cand = {5, 10, 20, 25, 30, 35};
+  const auto diff = CompareOutlierSets(ref, cand);
+  EXPECT_EQ(diff.tp, 3u);
+  EXPECT_EQ(diff.fp, 3u);
+  EXPECT_EQ(diff.fn, 0u);
+}
+
+TEST(CompareTest, EmptySides) {
+  const std::vector<uint32_t> some = {1, 2};
+  auto diff = CompareOutlierSets({}, some);
+  EXPECT_EQ(diff.tp, 0u);
+  EXPECT_EQ(diff.fp, 2u);
+  diff = CompareOutlierSets(some, {});
+  EXPECT_EQ(diff.fn, 2u);
+  diff = CompareOutlierSets({}, {});
+  EXPECT_EQ(diff.tp + diff.fp + diff.fn, 0u);
+}
+
+TEST(CompareTest, IdentityTpPlusFnEqualsReferenceSize) {
+  const std::vector<uint32_t> ref = {0, 2, 4, 6, 8};
+  const std::vector<uint32_t> cand = {1, 2, 3, 4};
+  const auto diff = CompareOutlierSets(ref, cand);
+  EXPECT_EQ(diff.tp + diff.fn, ref.size());
+  EXPECT_EQ(diff.tp + diff.fp, cand.size());
+}
+
+}  // namespace
+}  // namespace dbscout::analysis

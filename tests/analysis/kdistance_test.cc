@@ -1,0 +1,104 @@
+#include "analysis/kdistance.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "datasets/synthetic.h"
+#include "testutil.h"
+
+namespace dbscout::analysis {
+namespace {
+
+TEST(KDistanceTest, RejectsInvalidInputs) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  EXPECT_FALSE(ComputeKDistance(ps, 1).ok());  // fewer than 2 points
+  ps.Add({1, 1});
+  EXPECT_FALSE(ComputeKDistance(ps, 0).ok());
+  EXPECT_FALSE(ComputeKDistance(ps, 2).ok());  // k >= n
+}
+
+TEST(KDistanceTest, CurveIsSortedDescending) {
+  Rng rng(41);
+  const PointSet ps = testing::ClusteredPoints(&rng, 500, 2, 3, 0.1);
+  auto curve = ComputeKDistance(ps, 5);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->distances.size(), ps.size());
+  EXPECT_TRUE(std::is_sorted(curve->distances.begin(),
+                             curve->distances.end(),
+                             std::greater<double>()));
+}
+
+TEST(KDistanceTest, SamplingLimitsCurveSize) {
+  Rng rng(43);
+  const PointSet ps = testing::ClusteredPoints(&rng, 800, 2, 3, 0.1);
+  auto curve = ComputeKDistance(ps, 5, /*sample=*/100);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->distances.size(), 100u);
+}
+
+TEST(KDistanceTest, SuggestedEpsSeparatesClusterFromNoiseScale) {
+  // Tight clusters plus sparse noise: the elbow eps must land well above
+  // the intra-cluster spacing and well below the noise spacing.
+  Rng rng(45);
+  PointSet ps(2);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 200; ++i) {
+      ps.Add({rng.Gaussian(c * 50.0, 0.5), rng.Gaussian(0.0, 0.5)});
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    ps.Add({rng.Uniform(-100, 250), rng.Uniform(50, 200)});
+  }
+  auto curve = ComputeKDistance(ps, 5);
+  ASSERT_TRUE(curve.ok());
+  const double eps = curve->SuggestEps();
+  EXPECT_GT(eps, 0.05);
+  EXPECT_LT(eps, 30.0);
+}
+
+TEST(KDistanceTest, SuggestedEpsYieldsSaneDetection) {
+  // End-to-end parameter selection: run DBSCOUT at the suggested eps and
+  // check the detected outliers roughly match the injected contamination.
+  const auto ds = datasets::Blobs(2000, 0.02, 51);
+  auto curve = ComputeKDistance(ds.points, 5);
+  ASSERT_TRUE(curve.ok());
+  core::Params params;
+  params.eps = curve->SuggestEps();
+  params.min_pts = 5;
+  auto detection = core::DetectSequential(ds.points, params);
+  ASSERT_TRUE(detection.ok());
+  const double detected_fraction =
+      static_cast<double>(detection->outliers.size()) /
+      static_cast<double>(ds.points.size());
+  EXPECT_GT(detected_fraction, 0.002);
+  EXPECT_LT(detected_fraction, 0.15);
+}
+
+TEST(KDistanceTest, UpperSuggestionSitsAboveTheKnee) {
+  Rng rng(47);
+  const PointSet ps = testing::ClusteredPoints(&rng, 600, 2, 3, 0.1);
+  auto curve = ComputeKDistance(ps, 5);
+  ASSERT_TRUE(curve.ok());
+  const double knee = curve->SuggestEps();
+  EXPECT_GT(curve->SuggestEpsUpper(), knee);
+  EXPECT_DOUBLE_EQ(curve->SuggestEpsUpper(1.0), knee);
+  EXPECT_DOUBLE_EQ(curve->SuggestEpsUpper(2.0), 2.0 * knee);
+}
+
+TEST(KDistanceTest, DegenerateCurves) {
+  KDistanceCurve curve;
+  EXPECT_DOUBLE_EQ(curve.SuggestEps(), 0.0);
+  curve.distances = {2.0};
+  EXPECT_DOUBLE_EQ(curve.SuggestEps(), 2.0);
+  curve.distances = {2.0, 1.0};
+  EXPECT_DOUBLE_EQ(curve.SuggestEps(), 1.0);
+  // Flat curve: any value is fine, must not crash (zero y-span).
+  curve.distances = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(curve.SuggestEps(), 1.0);
+}
+
+}  // namespace
+}  // namespace dbscout::analysis

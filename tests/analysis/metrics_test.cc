@@ -1,0 +1,75 @@
+#include "analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dbscout::analysis {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  const std::vector<uint8_t> truth = {0, 1, 0, 1, 0};
+  const std::vector<uint32_t> predicted = {1, 3};
+  const auto c = ConfusionFromIndices(truth, predicted);
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fp, 0u);
+  EXPECT_EQ(c.fn, 0u);
+  EXPECT_EQ(c.tn, 3u);
+  EXPECT_DOUBLE_EQ(c.F1(), 1.0);
+}
+
+TEST(MetricsTest, MixedPrediction) {
+  const std::vector<uint8_t> truth = {0, 1, 1, 0, 0, 0};
+  const std::vector<uint32_t> predicted = {1, 3, 4};  // one TP, two FP
+  const auto c = ConfusionFromIndices(truth, predicted);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 2u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 2u);
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.5);
+  EXPECT_NEAR(c.F1(), 0.4, 1e-12);
+}
+
+TEST(MetricsTest, EmptyPredictionGivesZeroF1WhenOutliersExist) {
+  const std::vector<uint8_t> truth = {1, 0};
+  const auto c = ConfusionFromIndices(truth, {});
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+  EXPECT_EQ(c.fn, 1u);
+}
+
+TEST(MetricsTest, NoOutliersAnywhere) {
+  const std::vector<uint8_t> truth = {0, 0, 0};
+  const auto c = ConfusionFromIndices(truth, {});
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+  EXPECT_EQ(c.tn, 3u);
+}
+
+TEST(MetricsTest, DuplicatePredictedIndicesCountOnce) {
+  const std::vector<uint8_t> truth = {1, 0};
+  const std::vector<uint32_t> predicted = {0, 0, 0};
+  const auto c = ConfusionFromIndices(truth, predicted);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 0u);
+}
+
+TEST(MetricsTest, OutOfRangeIndicesIgnored) {
+  const std::vector<uint8_t> truth = {1, 0};
+  const std::vector<uint32_t> predicted = {0, 99};
+  const auto c = ConfusionFromIndices(truth, predicted);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 0u);
+}
+
+TEST(MetricsTest, LabelOverloadAgrees) {
+  const std::vector<uint8_t> truth = {0, 1, 1, 0};
+  const std::vector<uint8_t> predicted = {1, 1, 0, 0};
+  const auto c = ConfusionFromLabels(truth, predicted);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+}
+
+}  // namespace
+}  // namespace dbscout::analysis

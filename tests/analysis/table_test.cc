@@ -1,0 +1,38 @@
+#include "analysis/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::analysis {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"Dataset", "Time (s)"});
+  table.AddRow({"Geolife", "40.0"});
+  table.AddRow({"OpenStreetMap (1%)", "104.6"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Dataset            | Time (s) |"), std::string::npos);
+  EXPECT_NE(out.find("| Geolife            | 40.0     |"), std::string::npos);
+  EXPECT_NE(out.find("|--------------------|----------|"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTableStillPrintsHeader) {
+  Table table({"A"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| A |"), std::string::npos);
+}
+
+TEST(TableTest, WideCellGrowsColumn) {
+  Table table({"x"});
+  table.AddRow({"longvalue"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| longvalue |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbscout::analysis

@@ -1,0 +1,108 @@
+#include "baselines/dbscan.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "testutil.h"
+
+namespace dbscout::baselines {
+namespace {
+
+TEST(DbscanTest, RejectsInvalidParams) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  EXPECT_FALSE(Dbscan(ps, 0.0, 5).ok());
+  EXPECT_FALSE(Dbscan(ps, 1.0, 0).ok());
+}
+
+TEST(DbscanTest, TwoWellSeparatedClusters) {
+  Rng rng(2);
+  PointSet ps(2);
+  for (int i = 0; i < 30; ++i) {
+    ps.Add({rng.Gaussian(0, 0.2), rng.Gaussian(0, 0.2)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    ps.Add({rng.Gaussian(20, 0.2), rng.Gaussian(20, 0.2)});
+  }
+  ps.Add({10.0, 10.0});  // noise between the clusters
+  auto r = Dbscan(ps, 1.0, 5);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_clusters, 2u);
+  EXPECT_EQ(r->Noise(), (std::vector<uint32_t>{60}));
+  // All points of one blob share one cluster id.
+  std::set<int32_t> first_blob;
+  std::set<int32_t> second_blob;
+  for (int i = 0; i < 30; ++i) {
+    first_blob.insert(r->cluster[i]);
+    second_blob.insert(r->cluster[30 + i]);
+  }
+  EXPECT_EQ(first_blob.size(), 1u);
+  EXPECT_EQ(second_blob.size(), 1u);
+  EXPECT_NE(*first_blob.begin(), *second_blob.begin());
+}
+
+TEST(DbscanTest, NoiseEqualsDbscoutOutliers) {
+  // The foundational claim of the paper: DBSCAN noise (Definition 3) is
+  // exactly what DBSCOUT extracts, without building the clusters.
+  Rng rng(44);
+  const PointSet ps = testing::ClusteredPoints(&rng, 700, 2, 5, 0.25);
+  for (double eps : {0.8, 1.5, 3.0}) {
+    for (int min_pts : {3, 8, 20}) {
+      auto dbscan = Dbscan(ps, eps, min_pts);
+      ASSERT_TRUE(dbscan.ok());
+      core::Params params;
+      params.eps = eps;
+      params.min_pts = min_pts;
+      auto dbscout = core::DetectSequential(ps, params);
+      ASSERT_TRUE(dbscout.ok());
+      EXPECT_EQ(dbscan->Noise(), dbscout->outliers)
+          << "eps=" << eps << " minPts=" << min_pts;
+      EXPECT_EQ(dbscan->num_core, dbscout->num_core);
+    }
+  }
+}
+
+TEST(DbscanTest, AllNoiseWhenMinPtsUnreachable) {
+  Rng rng(3);
+  const PointSet ps = testing::UniformPoints(&rng, 50, 2, -100, 100);
+  auto r = Dbscan(ps, 0.001, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clusters, 0u);
+  EXPECT_EQ(r->Noise().size(), 50u);
+}
+
+TEST(DbscanTest, SingleClusterWhenEpsHuge) {
+  Rng rng(4);
+  const PointSet ps = testing::UniformPoints(&rng, 50, 2, -1, 1);
+  auto r = Dbscan(ps, 100.0, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clusters, 1u);
+  EXPECT_TRUE(r->Noise().empty());
+}
+
+TEST(DbscanTest, BorderPointAssignedToSomeCluster) {
+  PointSet ps(1);
+  for (int i = 0; i < 7; ++i) {
+    ps.Add({0.0});
+  }
+  ps.Add({0.95});  // core (reaches the stack)
+  ps.Add({1.9});   // border of the cluster via the bridge point
+  auto r = Dbscan(ps, 1.0, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clusters, 1u);
+  EXPECT_EQ(r->cluster[8], r->cluster[0]);
+  EXPECT_TRUE(r->Noise().empty());
+}
+
+TEST(DbscanTest, EmptyInput) {
+  PointSet ps(3);
+  auto r = Dbscan(ps, 1.0, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clusters, 0u);
+  EXPECT_TRUE(r->cluster.empty());
+}
+
+}  // namespace
+}  // namespace dbscout::baselines

@@ -1,0 +1,101 @@
+#include "baselines/ddlof.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lof.h"
+#include "testutil.h"
+
+namespace dbscout::baselines {
+namespace {
+
+TEST(DdlofTest, RejectsInvalidParams) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  DdlofParams params;
+  params.k = 0;
+  EXPECT_FALSE(Ddlof(ps, params).ok());
+  params.k = 6;
+  params.num_partitions = 0;
+  EXPECT_FALSE(Ddlof(ps, params).ok());
+}
+
+TEST(DdlofTest, TrivialInputs) {
+  PointSet ps(2);
+  DdlofParams params;
+  auto r = Ddlof(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->scores.empty());
+
+  ps.Add({1, 1});
+  r = Ddlof(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->scores.size(), 1u);
+}
+
+TEST(DdlofTest, MatchesCentralizedLofOnSeparatedData) {
+  // With partitions far apart relative to k-distances, the distributed
+  // computation is exact: scores must match plain LOF.
+  Rng rng(21);
+  PointSet ps(2);
+  for (int i = 0; i < 150; ++i) {
+    ps.Add({rng.Gaussian(0, 1.0), rng.Gaussian(0, 1.0)});
+  }
+  for (int i = 0; i < 150; ++i) {
+    ps.Add({rng.Gaussian(1000, 1.0), rng.Gaussian(0, 1.0)});
+  }
+  DdlofParams params;
+  params.k = 6;
+  params.num_partitions = 2;
+  auto distributed = Ddlof(ps, params);
+  ASSERT_TRUE(distributed.ok());
+  auto centralized = Lof(ps, 6);
+  ASSERT_TRUE(centralized.ok());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_NEAR(distributed->scores[i], centralized->scores[i], 1e-9)
+        << "point " << i;
+  }
+}
+
+TEST(DdlofTest, RanksObviousOutlierHighest) {
+  Rng rng(22);
+  PointSet ps(2);
+  for (int i = 0; i < 300; ++i) {
+    ps.Add({rng.Gaussian(0, 1.0), rng.Gaussian(0, 1.0)});
+  }
+  ps.Add({15.0, 0.0});
+  DdlofParams params;
+  params.k = 6;
+  params.num_partitions = 4;
+  auto r = Ddlof(ps, params);
+  ASSERT_TRUE(r.ok());
+  const auto top = r->TopFraction(1.0 / 301.0);
+  EXPECT_EQ(top, (std::vector<uint32_t>{300}));
+}
+
+TEST(DdlofTest, SkewInflatesReplication) {
+  // The failure mode the paper observes on Geolife: skewed data forces a
+  // wide support margin, so replication (and the biggest partition's load)
+  // explodes relative to balanced data of the same size.
+  Rng rng(23);
+  PointSet balanced = testing::UniformPoints(&rng, 2000, 2, 0.0, 100.0);
+  PointSet skewed(2);
+  for (int i = 0; i < 1960; ++i) {
+    skewed.Add({rng.Gaussian(50, 0.5), rng.Gaussian(50, 0.5)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    skewed.Add({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  DdlofParams params;
+  params.k = 6;
+  params.num_partitions = 16;
+  auto r_balanced = Ddlof(balanced, params);
+  auto r_skewed = Ddlof(skewed, params);
+  ASSERT_TRUE(r_balanced.ok());
+  ASSERT_TRUE(r_skewed.ok());
+  EXPECT_GT(r_skewed->max_partition_load, r_balanced->max_partition_load);
+}
+
+}  // namespace
+}  // namespace dbscout::baselines

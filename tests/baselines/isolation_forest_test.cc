@@ -1,0 +1,95 @@
+#include "baselines/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace dbscout::baselines {
+namespace {
+
+TEST(IsolationForestTest, RejectsInvalidParams) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  IsolationForestParams params;
+  params.num_trees = 0;
+  EXPECT_FALSE(IsolationForest(ps, params).ok());
+  params.num_trees = 10;
+  params.subsample = 1;
+  EXPECT_FALSE(IsolationForest(ps, params).ok());
+}
+
+TEST(IsolationForestTest, ScoresAreInUnitInterval) {
+  Rng rng(18);
+  const PointSet ps = testing::ClusteredPoints(&rng, 400, 2, 3, 0.1);
+  IsolationForestParams params;
+  auto r = IsolationForest(ps, params);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->scores.size(), ps.size());
+  for (double s : r->scores) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, IsolatedPointScoresHighest) {
+  Rng rng(19);
+  PointSet ps(2);
+  for (int i = 0; i < 500; ++i) {
+    ps.Add({rng.Gaussian(0, 1.0), rng.Gaussian(0, 1.0)});
+  }
+  ps.Add({40.0, -40.0});
+  IsolationForestParams params;
+  auto r = IsolationForest(ps, params);
+  ASSERT_TRUE(r.ok());
+  const auto max_it = std::max_element(r->scores.begin(), r->scores.end());
+  EXPECT_EQ(std::distance(r->scores.begin(), max_it), 500);
+  EXPECT_GT(*max_it, 0.6);
+}
+
+TEST(IsolationForestTest, DeterministicForFixedSeed) {
+  Rng rng(20);
+  const PointSet ps = testing::UniformPoints(&rng, 200, 2, -5, 5);
+  IsolationForestParams params;
+  params.seed = 99;
+  auto a = IsolationForest(ps, params);
+  auto b = IsolationForest(ps, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->scores, b->scores);
+}
+
+TEST(IsolationForestTest, TopFractionSizeAndOrder) {
+  Rng rng(24);
+  const PointSet ps = testing::ClusteredPoints(&rng, 300, 2, 2, 0.2);
+  IsolationForestParams params;
+  auto r = IsolationForest(ps, params);
+  ASSERT_TRUE(r.ok());
+  const auto top = r->TopFraction(0.1);
+  EXPECT_EQ(top.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(top.begin(), top.end()));
+}
+
+TEST(IsolationForestTest, HandlesDuplicatesAndTinyInputs) {
+  PointSet ps(2);
+  for (int i = 0; i < 10; ++i) {
+    ps.Add({1.0, 1.0});
+  }
+  IsolationForestParams params;
+  auto r = IsolationForest(ps, params);
+  ASSERT_TRUE(r.ok());
+  for (double s : r->scores) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+
+  PointSet single(2);
+  single.Add({0, 0});
+  r = IsolationForest(single, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->scores.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dbscout::baselines

@@ -1,0 +1,113 @@
+#include "baselines/knorr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace dbscout::baselines {
+namespace {
+
+/// Brute-force DB(fraction, radius) with the same threshold semantics as
+/// the implementation.
+std::vector<uint32_t> BruteKnorr(const PointSet& points,
+                                 const KnorrParams& params) {
+  const size_t n = points.size();
+  const uint64_t threshold = static_cast<uint64_t>(
+      std::floor((1.0 - params.fraction) * static_cast<double>(n)));
+  const double r2 = params.radius * params.radius;
+  std::vector<uint32_t> outliers;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t count = 0;
+    for (size_t j = 0; j < n; ++j) {
+      count += i != j && points.SquaredDistance(i, j) <= r2;
+    }
+    if (count <= threshold) {
+      outliers.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return outliers;
+}
+
+TEST(KnorrTest, RejectsInvalidParams) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  KnorrParams params;
+  params.radius = 0.0;
+  EXPECT_FALSE(KnorrOutliers(ps, params).ok());
+  params.radius = 1.0;
+  params.fraction = 1.0;
+  EXPECT_FALSE(KnorrOutliers(ps, params).ok());
+  params.fraction = 0.0;
+  EXPECT_FALSE(KnorrOutliers(ps, params).ok());
+}
+
+TEST(KnorrTest, EmptyInput) {
+  PointSet ps(2);
+  KnorrParams params;
+  auto r = KnorrOutliers(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->outliers.empty());
+}
+
+TEST(KnorrTest, FindsIsolatedPoint) {
+  Rng rng(66);
+  PointSet ps(2);
+  for (int i = 0; i < 200; ++i) {
+    ps.Add({rng.Gaussian(0, 0.5), rng.Gaussian(0, 0.5)});
+  }
+  ps.Add({40.0, 40.0});
+  KnorrParams params;
+  params.radius = 2.0;
+  params.fraction = 0.95;
+  auto r = KnorrOutliers(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outliers, (std::vector<uint32_t>{200}));
+}
+
+TEST(KnorrTest, MatchesBruteForceAcrossParameters) {
+  Rng rng(67);
+  const PointSet ps = testing::ClusteredPoints(&rng, 500, 2, 4, 0.2);
+  for (double radius : {0.8, 1.5, 4.0}) {
+    for (double fraction : {0.9, 0.97, 0.995}) {
+      KnorrParams params;
+      params.radius = radius;
+      params.fraction = fraction;
+      auto r = KnorrOutliers(ps, params);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r->outliers, BruteKnorr(ps, params))
+          << "radius=" << radius << " fraction=" << fraction;
+    }
+  }
+}
+
+TEST(KnorrTest, DenseCellShortcutAgreesWithBruteForce) {
+  // Many duplicates force the dense-cell shortcut path.
+  PointSet ps(2);
+  for (int i = 0; i < 100; ++i) {
+    ps.Add({1.0, 1.0});
+  }
+  ps.Add({50.0, 50.0});
+  KnorrParams params;
+  params.radius = 1.0;
+  params.fraction = 0.9;
+  auto r = KnorrOutliers(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outliers, BruteKnorr(ps, params));
+  EXPECT_EQ(r->outliers, (std::vector<uint32_t>{100}));
+}
+
+TEST(KnorrTest, HigherDimensionalData) {
+  Rng rng(68);
+  const PointSet ps = testing::ClusteredPoints(&rng, 300, 4, 2, 0.2);
+  KnorrParams params;
+  params.radius = 3.0;
+  params.fraction = 0.95;
+  auto r = KnorrOutliers(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outliers, BruteKnorr(ps, params));
+}
+
+}  // namespace
+}  // namespace dbscout::baselines

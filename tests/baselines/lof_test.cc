@@ -1,0 +1,99 @@
+#include "baselines/lof.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace dbscout::baselines {
+namespace {
+
+TEST(LofTest, RejectsInvalidParams) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  ps.Add({1, 1});
+  EXPECT_FALSE(Lof(ps, 0).ok());
+  EXPECT_FALSE(Lof(ps, 2).ok());  // k must be < n
+}
+
+TEST(LofTest, UniformGridScoresNearOne) {
+  // On a perfectly regular lattice every point has the same local density:
+  // LOF ~ 1 for interior points.
+  const PointSet ps = testing::LatticePoints(10, 2, 1.0);
+  auto r = Lof(ps, 4);
+  ASSERT_TRUE(r.ok());
+  for (double score : r->scores) {
+    EXPECT_GT(score, 0.5);
+    EXPECT_LT(score, 2.0);
+  }
+}
+
+TEST(LofTest, IsolatedPointGetsTheTopScore) {
+  Rng rng(8);
+  PointSet ps(2);
+  for (int i = 0; i < 100; ++i) {
+    ps.Add({rng.Gaussian(0, 1.0), rng.Gaussian(0, 1.0)});
+  }
+  ps.Add({30.0, 30.0});
+  auto r = Lof(ps, 6);
+  ASSERT_TRUE(r.ok());
+  const auto max_it = std::max_element(r->scores.begin(), r->scores.end());
+  EXPECT_EQ(std::distance(r->scores.begin(), max_it), 100);
+  EXPECT_GT(*max_it, 2.0);
+}
+
+TEST(LofTest, TopFractionSelectsHighestScores) {
+  Rng rng(9);
+  PointSet ps(2);
+  for (int i = 0; i < 98; ++i) {
+    ps.Add({rng.Gaussian(0, 1.0), rng.Gaussian(0, 1.0)});
+  }
+  ps.Add({25.0, 25.0});
+  ps.Add({-25.0, 25.0});
+  auto r = Lof(ps, 6);
+  ASSERT_TRUE(r.ok());
+  const auto top = r->TopFraction(0.02);
+  EXPECT_EQ(top, (std::vector<uint32_t>{98, 99}));
+}
+
+TEST(LofTest, AboveThresholdIsConsistent) {
+  Rng rng(10);
+  PointSet ps(2);
+  for (int i = 0; i < 50; ++i) {
+    ps.Add({rng.Gaussian(0, 0.5), rng.Gaussian(0, 0.5)});
+  }
+  ps.Add({100.0, 100.0});
+  auto r = Lof(ps, 5);
+  ASSERT_TRUE(r.ok());
+  for (uint32_t i : r->AboveThreshold(1.5)) {
+    EXPECT_GT(r->scores[i], 1.5);
+  }
+}
+
+TEST(LofTest, HandlesDuplicateHeavyData) {
+  PointSet ps(2);
+  for (int i = 0; i < 40; ++i) {
+    ps.Add({1.0, 1.0});
+  }
+  ps.Add({9.0, 9.0});
+  auto r = Lof(ps, 5);
+  ASSERT_TRUE(r.ok());
+  for (double score : r->scores) {
+    EXPECT_TRUE(std::isfinite(score));
+  }
+  // The isolated point still ranks highest.
+  const auto top = r->TopFraction(1.0 / 41.0);
+  EXPECT_EQ(top, (std::vector<uint32_t>{40}));
+}
+
+TEST(LofTest, EmptyInput) {
+  PointSet ps(2);
+  auto r = Lof(ps, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->scores.empty());
+}
+
+}  // namespace
+}  // namespace dbscout::baselines

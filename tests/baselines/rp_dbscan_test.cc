@@ -1,0 +1,134 @@
+#include "baselines/rp_dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/compare.h"
+#include "core/dbscout.h"
+#include "testutil.h"
+
+namespace dbscout::baselines {
+namespace {
+
+RpDbscanParams MakeParams(double eps, int min_pts, double rho = 0.05,
+                          size_t partitions = 4) {
+  RpDbscanParams params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  params.rho = rho;
+  params.num_partitions = partitions;
+  return params;
+}
+
+TEST(RpDbscanTest, RejectsInvalidParams) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  EXPECT_FALSE(RpDbscan(ps, MakeParams(0.0, 5)).ok());
+  EXPECT_FALSE(RpDbscan(ps, MakeParams(1.0, 0)).ok());
+  EXPECT_FALSE(RpDbscan(ps, MakeParams(1.0, 5, 0.0)).ok());
+  EXPECT_FALSE(RpDbscan(ps, MakeParams(1.0, 5, 1.5)).ok());
+  auto p = MakeParams(1.0, 5);
+  p.num_partitions = 0;
+  EXPECT_FALSE(RpDbscan(ps, p).ok());
+}
+
+TEST(RpDbscanTest, EmptyInput) {
+  PointSet ps(2);
+  auto r = RpDbscan(ps, MakeParams(1.0, 5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->outliers.empty());
+}
+
+TEST(RpDbscanTest, FindsObviousOutlier) {
+  Rng rng(12);
+  PointSet ps(2);
+  for (int i = 0; i < 200; ++i) {
+    ps.Add({rng.Gaussian(0, 0.5), rng.Gaussian(0, 0.5)});
+  }
+  ps.Add({50.0, 50.0});
+  auto r = RpDbscan(ps, MakeParams(1.0, 10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->is_outlier[200], 1);
+  EXPECT_GE(r->num_clusters, 1u);
+}
+
+TEST(RpDbscanTest, ApproximationYieldsSupersetTendency) {
+  // The paper's Tables IV-V: RP-DBSCAN produces mostly a superset of the
+  // exact outliers — noticeable false positives, very few false negatives.
+  Rng rng(13);
+  const PointSet ps = testing::ClusteredPoints(&rng, 4000, 2, 6, 0.15);
+  const double eps = 1.0;
+  const int min_pts = 20;
+  core::Params exact_params;
+  exact_params.eps = eps;
+  exact_params.min_pts = min_pts;
+  auto exact = core::DetectSequential(ps, exact_params);
+  ASSERT_TRUE(exact.ok());
+  auto approx = RpDbscan(ps, MakeParams(eps, min_pts, 0.05, 4));
+  ASSERT_TRUE(approx.ok());
+  const auto diff =
+      analysis::CompareOutlierSets(exact->outliers, approx->outliers);
+  // Recovers nearly all true outliers (FN rate tiny)...
+  EXPECT_GT(exact->outliers.size(), 50u);  // test is meaningful
+  EXPECT_LT(static_cast<double>(diff.fn),
+            0.05 * static_cast<double>(exact->outliers.size()));
+  // ...and never undershoots badly: candidate is approximately a superset.
+  EXPECT_GE(approx->outliers.size() + diff.fn, exact->outliers.size());
+}
+
+TEST(RpDbscanTest, ExactOnDenseCells) {
+  // Points in dense cells are classified exactly, so a tight cluster well
+  // above minPts can never produce outliers.
+  Rng rng(14);
+  PointSet ps(2);
+  for (int i = 0; i < 500; ++i) {
+    ps.Add({rng.Gaussian(0, 0.05), rng.Gaussian(0, 0.05)});
+  }
+  auto r = RpDbscan(ps, MakeParams(1.0, 50));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->outliers.empty());
+}
+
+TEST(RpDbscanTest, MergedEntriesGrowWithPartitions) {
+  // The structural cause of RP-DBSCAN's poor partition scaling (Fig. 13):
+  // the same sub-cell appears in many per-partition dictionaries.
+  Rng rng(15);
+  const PointSet ps = testing::ClusteredPoints(&rng, 3000, 2, 4, 0.1);
+  auto few = RpDbscan(ps, MakeParams(1.0, 20, 0.05, 2));
+  auto many = RpDbscan(ps, MakeParams(1.0, 20, 0.05, 32));
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(many.ok());
+  EXPECT_GT(many->merged_entries, few->merged_entries);
+  EXPECT_EQ(many->num_subcells, few->num_subcells);  // merge result agrees
+}
+
+TEST(RpDbscanTest, FinerRhoImprovesAgreementWithExact) {
+  Rng rng(16);
+  const PointSet ps = testing::ClusteredPoints(&rng, 2500, 2, 4, 0.2);
+  const double eps = 1.2;
+  const int min_pts = 15;
+  core::Params exact_params;
+  exact_params.eps = eps;
+  exact_params.min_pts = min_pts;
+  auto exact = core::DetectSequential(ps, exact_params);
+  ASSERT_TRUE(exact.ok());
+  uint64_t errors_coarse = 0;
+  uint64_t errors_fine = 0;
+  {
+    auto r = RpDbscan(ps, MakeParams(eps, min_pts, 0.5, 4));
+    ASSERT_TRUE(r.ok());
+    const auto diff = analysis::CompareOutlierSets(exact->outliers,
+                                                   r->outliers);
+    errors_coarse = diff.fp + diff.fn;
+  }
+  {
+    auto r = RpDbscan(ps, MakeParams(eps, min_pts, 0.01, 4));
+    ASSERT_TRUE(r.ok());
+    const auto diff = analysis::CompareOutlierSets(exact->outliers,
+                                                   r->outliers);
+    errors_fine = diff.fp + diff.fn;
+  }
+  EXPECT_LE(errors_fine, errors_coarse);
+}
+
+}  // namespace
+}  // namespace dbscout::baselines

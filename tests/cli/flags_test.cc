@@ -1,0 +1,72 @@
+#include "cli/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dbscout::cli {
+namespace {
+
+Result<Flags> ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "dbscout");
+  return Flags::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, ParsesCommandAndFlags) {
+  auto flags = ParseArgs({"detect", "--eps=1.5", "--min-pts=5", "--scores"});
+  ASSERT_TRUE(flags.ok()) << flags.status();
+  EXPECT_EQ(flags->command(), "detect");
+  EXPECT_TRUE(flags->Has("eps"));
+  EXPECT_TRUE(flags->GetBool("scores"));
+  EXPECT_FALSE(flags->GetBool("missing"));
+  EXPECT_DOUBLE_EQ(*flags->GetDouble("eps", 0.0), 1.5);
+  EXPECT_EQ(*flags->GetUint("min-pts", 0), 5u);
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  auto flags = ParseArgs({"detect"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("engine", "sequential"), "sequential");
+  EXPECT_DOUBLE_EQ(*flags->GetDouble("eps", 2.5), 2.5);
+  EXPECT_EQ(*flags->GetUint("k", 7), 7u);
+}
+
+TEST(FlagsTest, RejectsMissingCommand) {
+  const char* argv[] = {"dbscout"};
+  EXPECT_FALSE(Flags::Parse(1, argv).ok());
+}
+
+TEST(FlagsTest, RejectsPositionalArguments) {
+  auto flags = ParseArgs({"detect", "input.csv"});
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagsTest, RejectsMalformedValues) {
+  auto flags = ParseArgs({"detect", "--eps=abc", "--min-pts=1.5"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->GetDouble("eps", 0.0).ok());
+  EXPECT_FALSE(flags->GetUint("min-pts", 0).ok());
+}
+
+TEST(FlagsTest, ValueWithEqualsSign) {
+  auto flags = ParseArgs({"generate", "--output=a=b.csv"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("output"), "a=b.csv");
+}
+
+TEST(FlagsTest, CheckAllowedCatchesTypos) {
+  auto flags = ParseArgs({"detect", "--epz=1"});
+  ASSERT_TRUE(flags.ok());
+  const Status status = flags->CheckAllowed({"eps", "min-pts"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--epz"), std::string::npos);
+}
+
+TEST(FlagsTest, CheckRequiredNamesTheMissingFlag) {
+  auto flags = ParseArgs({"detect", "--eps=1"});
+  ASSERT_TRUE(flags.ok());
+  const Status status = flags->CheckRequired({"eps", "input"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--input"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbscout::cli

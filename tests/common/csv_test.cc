@@ -1,0 +1,80 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dbscout {
+namespace {
+
+TEST(ParseNumericCsvTest, ParsesSimpleTable) {
+  auto r = ParseNumericCsv("1,2\n3,4\n5,6\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows, 3u);
+  EXPECT_EQ(r->cols, 2u);
+  EXPECT_EQ(r->values, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ParseNumericCsvTest, HandlesNoTrailingNewlineAndCrLf) {
+  auto r = ParseNumericCsv("1,2\r\n3,4");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows, 2u);
+  EXPECT_EQ(r->values, (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(ParseNumericCsvTest, SkipsHeaderRows) {
+  CsvOptions options;
+  options.skip_rows = 1;
+  auto r = ParseNumericCsv("x,y\n1,2\n", options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows, 1u);
+}
+
+TEST(ParseNumericCsvTest, SkipsBlankLines) {
+  auto r = ParseNumericCsv("1,2\n\n3,4\n\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows, 2u);
+}
+
+TEST(ParseNumericCsvTest, RejectsRaggedRows) {
+  auto r = ParseNumericCsv("1,2\n3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseNumericCsvTest, RejectsMalformedNumbers) {
+  auto r = ParseNumericCsv("1,2\n3,oops\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseNumericCsvTest, CustomSeparator) {
+  CsvOptions options;
+  options.separator = ';';
+  auto r = ParseNumericCsv("1;2\n", options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->cols, 2u);
+}
+
+TEST(ReadNumericCsvTest, MissingFileIsIoError) {
+  auto r = ReadNumericCsv("/nonexistent/path/data.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadIsLossless) {
+  const std::string path =
+      ::testing::TempDir() + "/dbscout_csv_roundtrip.csv";
+  const std::vector<double> values = {1.0 / 3.0, -2.5e-17, 3.0, 4.0};
+  ASSERT_TRUE(WriteNumericCsv(path, values.data(), 2, 2).ok());
+  auto r = ReadNumericCsv(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows, 2u);
+  EXPECT_EQ(r->values, values);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dbscout

@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dbscout {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsInfo) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreNotEvaluated) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  DBSCOUT_LOG(kDebug) << "dropped " << expensive();
+  DBSCOUT_LOG(kInfo) << "dropped " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  DBSCOUT_LOG(kError) << "emitted " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  DBSCOUT_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ DBSCOUT_CHECK(false) << "boom"; }, "Check failed: false");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ DBSCOUT_LOG(kFatal) << "fatal path"; }, "fatal path");
+}
+
+}  // namespace
+}  // namespace dbscout

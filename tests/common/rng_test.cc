@@ -1,0 +1,98 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dbscout {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.NextU64() == b.NextU64();
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeWithoutBias) {
+  Rng rng(11);
+  int histogram[5] = {0};
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t v = rng.NextBounded(5);
+    ASSERT_LT(v, 5u);
+    ++histogram[v];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, draws / 5, draws / 50);  // within 10% of uniform
+  }
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Split();
+  // The child must differ from a same-seed parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += parent.NextU64() == child.NextU64();
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(rng.NextU64());
+  }
+  EXPECT_GT(seen.size(), 95u);
+}
+
+}  // namespace
+}  // namespace dbscout

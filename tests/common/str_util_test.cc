@@ -1,0 +1,71 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dbscout {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTest, TrailingSeparator) {
+  const auto parts = Split("x;", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -1e-3 "), -1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("1 2").ok());
+}
+
+TEST(ParseUint64Test, ParsesAndRejects) {
+  EXPECT_EQ(*ParseUint64("123"), 123u);
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // overflow
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("1.5").ok());
+}
+
+TEST(HumanCountTest, PicksSuffix) {
+  EXPECT_EQ(HumanCount(950), "950.00");
+  EXPECT_EQ(HumanCount(1500), "1.50k");
+  EXPECT_EQ(HumanCount(2.5e6), "2.50M");
+  EXPECT_EQ(HumanCount(27e9), "27.00B");
+}
+
+}  // namespace
+}  // namespace dbscout

@@ -1,0 +1,79 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbscout {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedCoversRangeContiguously) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelForChunked(1000, [&hits](size_t begin, size_t end) {
+    ASSERT_LE(begin, end);
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitIdleThenReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace dbscout

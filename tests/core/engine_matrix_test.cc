@@ -1,0 +1,115 @@
+// Cross-engine matrix: every pair of engines (sequential, shared-memory,
+// dataflow x 3 join strategies, external, incremental) must agree exactly
+// on the same data — the library's strongest consistency guarantee,
+// swept over parameters.
+#include <cstdio>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "core/incremental.h"
+#include "data/io.h"
+#include "external/external_detector.h"
+#include "testutil.h"
+
+namespace dbscout::core {
+namespace {
+
+using Case = std::tuple<double /*eps*/, int /*min_pts*/>;
+
+class EngineMatrixTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EngineMatrixTest, AllSevenPathsAgree) {
+  const auto [eps, min_pts] = GetParam();
+  Rng rng(777);
+  const PointSet ps = testing::ClusteredPoints(&rng, 1200, 2, 4, 0.25);
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+
+  auto sequential = DetectSequential(ps, params);
+  ASSERT_TRUE(sequential.ok());
+  const auto& expected = sequential->outliers;
+
+  // Shared memory.
+  {
+    ThreadPool pool(3);
+    auto r = DetectSharedMemory(ps, params, &pool);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->outliers, expected) << "shared-memory";
+    EXPECT_EQ(r->kinds, sequential->kinds);
+  }
+  // Dataflow, all join strategies.
+  dataflow::ExecutionContext ctx(2, 6);
+  for (JoinStrategy join : {JoinStrategy::kPlain, JoinStrategy::kBroadcast,
+                            JoinStrategy::kGrouped}) {
+    Params pp = params;
+    pp.engine = Engine::kParallel;
+    pp.join = join;
+    auto r = DetectParallel(ps, pp, &ctx);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->outliers, expected) << JoinStrategyName(join);
+  }
+  // External (via a temp file, forced multi-stripe).
+  {
+    const std::string path =
+        ::testing::TempDir() + "/engine_matrix.dbsc";
+    ASSERT_TRUE(SavePointsBinary(path, ps).ok());
+    external::ExternalParams ext;
+    ext.eps = eps;
+    ext.min_pts = min_pts;
+    ext.target_stripe_points = 150;
+    ext.tmp_dir = ::testing::TempDir();
+    auto r = external::DetectExternal(path, ext);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->outliers, expected) << "external";
+    std::remove(path.c_str());
+  }
+  // Incremental.
+  {
+    auto det = IncrementalDetector::Create(2, params);
+    ASSERT_TRUE(det.ok());
+    ASSERT_TRUE(det->AddBatch(ps).ok());
+    EXPECT_EQ(det->Outliers(), expected) << "incremental";
+    EXPECT_EQ(det->kinds(), sequential->kinds);
+  }
+}
+
+TEST_P(EngineMatrixTest, ScoringEnginesAgreeOnDistances) {
+  const auto [eps, min_pts] = GetParam();
+  Rng rng(778);
+  const PointSet ps = testing::ClusteredPoints(&rng, 800, 3, 3, 0.3);
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  params.compute_scores = true;
+  auto sequential = DetectSequential(ps, params);
+  ASSERT_TRUE(sequential.ok());
+  ThreadPool pool(3);
+  auto shared = DetectSharedMemory(ps, params, &pool);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_EQ(shared->core_distance.size(), sequential->core_distance.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(shared->core_distance[i], sequential->core_distance[i])
+        << "point " << i;
+  }
+  // The dataflow engine rejects scoring explicitly.
+  dataflow::ExecutionContext ctx(2, 4);
+  Params pp = params;
+  pp.engine = Engine::kParallel;
+  auto rejected = DetectParallel(ps, pp, &ctx);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineMatrixTest,
+                         ::testing::Values(Case{0.9, 4}, Case{1.8, 10},
+                                           Case{4.0, 25}),
+                         [](const auto& info) {
+                           return "case" + std::to_string(info.index);
+                         });
+
+}  // namespace
+}  // namespace dbscout::core

@@ -1,0 +1,152 @@
+#include "core/incremental.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "datasets/synthetic.h"
+#include "testutil.h"
+
+namespace dbscout::core {
+namespace {
+
+Params MakeParams(double eps, int min_pts) {
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  return params;
+}
+
+TEST(IncrementalTest, RejectsInvalidConfig) {
+  EXPECT_FALSE(IncrementalDetector::Create(0, MakeParams(1.0, 5)).ok());
+  EXPECT_FALSE(IncrementalDetector::Create(2, MakeParams(0.0, 5)).ok());
+  EXPECT_FALSE(IncrementalDetector::Create(2, MakeParams(1.0, 0)).ok());
+  EXPECT_FALSE(
+      IncrementalDetector::Create(kMaxDims + 1, MakeParams(1.0, 5)).ok());
+}
+
+TEST(IncrementalTest, RejectsBadPoints) {
+  auto det = IncrementalDetector::Create(2, MakeParams(1.0, 5));
+  ASSERT_TRUE(det.ok());
+  const double wrong_dims[] = {1.0};
+  EXPECT_FALSE(det->Add({wrong_dims, 1}).ok());
+  const double nan_point[] = {1.0, std::nan("")};
+  EXPECT_FALSE(det->Add({nan_point, 2}).ok());
+}
+
+TEST(IncrementalTest, SinglePointLifecycle) {
+  auto det = IncrementalDetector::Create(1, MakeParams(1.0, 2));
+  ASSERT_TRUE(det.ok());
+  const double p0[] = {0.0};
+  auto idx = det->Add({p0, 1});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 0u);
+  EXPECT_EQ(det->KindOf(0), PointKind::kOutlier);
+  // A second point within eps promotes both to core (count 2 >= minPts 2).
+  const double p1[] = {0.5};
+  ASSERT_TRUE(det->Add({p1, 1}).ok());
+  EXPECT_EQ(det->KindOf(0), PointKind::kCore);
+  EXPECT_EQ(det->KindOf(1), PointKind::kCore);
+  EXPECT_TRUE(det->Outliers().empty());
+}
+
+TEST(IncrementalTest, OutlierRescuedByLaterInsertions) {
+  // A lone point is an outlier until enough mass arrives nearby to form a
+  // dense region that covers it.
+  auto det = IncrementalDetector::Create(1, MakeParams(1.0, 4));
+  ASSERT_TRUE(det.ok());
+  const double lone[] = {0.9};
+  ASSERT_TRUE(det->Add({lone, 1}).ok());
+  EXPECT_EQ(det->KindOf(0), PointKind::kOutlier);
+  for (int i = 0; i < 4; ++i) {
+    const double p[] = {0.0};
+    ASSERT_TRUE(det->Add({p, 1}).ok());
+  }
+  // The stack of four at 0.0 plus the lone point at 0.9: stack counts are
+  // 5 >= 4 -> core; the lone point (count 5, also >= 4) becomes core too.
+  EXPECT_EQ(det->KindOf(0), PointKind::kCore);
+}
+
+class IncrementalEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<double, int, uint64_t>> {};
+
+TEST_P(IncrementalEquivalenceTest, MatchesBatchDetectionAtEveryCheckpoint) {
+  const auto [eps, min_pts, seed] = GetParam();
+  Rng rng(seed);
+  const PointSet stream = testing::ClusteredPoints(&rng, 600, 2, 3, 0.25);
+  auto det = IncrementalDetector::Create(2, MakeParams(eps, min_pts));
+  ASSERT_TRUE(det.ok());
+  const Params batch_params = MakeParams(eps, min_pts);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(det->Add(stream[i]).ok());
+    // Checkpoint at several prefixes, including awkward ones.
+    if (i == 0 || i == 7 || i == 99 || i == 350 || i + 1 == stream.size()) {
+      PointSet prefix(2);
+      for (size_t j = 0; j <= i; ++j) {
+        prefix.Add(stream[j]);
+      }
+      auto batch = DetectSequential(prefix, batch_params);
+      ASSERT_TRUE(batch.ok());
+      EXPECT_EQ(det->kinds(), batch->kinds) << "prefix " << i + 1;
+      EXPECT_EQ(det->Outliers(), batch->outliers);
+      EXPECT_EQ(det->num_core(), batch->num_core);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalEquivalenceTest,
+    ::testing::Values(std::make_tuple(0.8, 4, 11u),
+                      std::make_tuple(1.5, 8, 12u),
+                      std::make_tuple(3.0, 2, 13u),
+                      std::make_tuple(0.5, 15, 14u)),
+    [](const auto& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+TEST(IncrementalTest, AddBatchEqualsPointwiseAdds) {
+  const auto data = datasets::Blobs(800, 0.02, 21);
+  auto a = IncrementalDetector::Create(2, MakeParams(0.7, 5));
+  auto b = IncrementalDetector::Create(2, MakeParams(0.7, 5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->AddBatch(data.points).ok());
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(b->Add(data.points[i]).ok());
+  }
+  EXPECT_EQ(a->kinds(), b->kinds());
+}
+
+TEST(IncrementalTest, InsertionOrderDoesNotMatter) {
+  Rng rng(31);
+  const PointSet stream = testing::ClusteredPoints(&rng, 300, 2, 2, 0.3);
+  const Params params = MakeParams(1.2, 6);
+  auto forward = IncrementalDetector::Create(2, params);
+  auto backward = IncrementalDetector::Create(2, params);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(forward->Add(stream[i]).ok());
+    ASSERT_TRUE(backward->Add(stream[stream.size() - 1 - i]).ok());
+  }
+  // Same multiset of points -> same number of outliers/core points (the
+  // index labels differ because the order differs).
+  EXPECT_EQ(forward->Outliers().size(), backward->Outliers().size());
+  EXPECT_EQ(forward->num_core(), backward->num_core());
+}
+
+TEST(IncrementalTest, DuplicateFlood) {
+  auto det = IncrementalDetector::Create(3, MakeParams(0.5, 10));
+  ASSERT_TRUE(det.ok());
+  const double p[] = {1.0, 2.0, 3.0};
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(det->Add({p, 3}).ok());
+  }
+  EXPECT_EQ(det->num_core(), 25u);
+  EXPECT_TRUE(det->Outliers().empty());
+  EXPECT_EQ(det->num_cells(), 1u);
+}
+
+}  // namespace
+}  // namespace dbscout::core

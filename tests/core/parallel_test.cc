@@ -1,0 +1,138 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "testutil.h"
+
+namespace dbscout::core {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  dataflow::ExecutionContext ctx_{/*num_threads=*/4,
+                                  /*default_partitions=*/8};
+};
+
+Params MakeParams(double eps, int min_pts, JoinStrategy join,
+                  size_t partitions = 0) {
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  params.engine = Engine::kParallel;
+  params.join = join;
+  params.num_partitions = partitions;
+  return params;
+}
+
+TEST_F(ParallelTest, RejectsInvalidParams) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  auto bad = MakeParams(-1.0, 5, JoinStrategy::kGrouped);
+  EXPECT_FALSE(DetectParallel(ps, bad, &ctx_).ok());
+}
+
+TEST_F(ParallelTest, RejectsNonFinitePoints) {
+  PointSet ps(2);
+  ps.Add({0.0, std::numeric_limits<double>::quiet_NaN()});
+  auto params = MakeParams(1.0, 5, JoinStrategy::kGrouped);
+  EXPECT_FALSE(DetectParallel(ps, params, &ctx_).ok());
+}
+
+TEST_F(ParallelTest, EmptyInput) {
+  PointSet ps(2);
+  auto params = MakeParams(1.0, 5, JoinStrategy::kGrouped);
+  auto r = DetectParallel(ps, params, &ctx_);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->outliers.empty());
+}
+
+TEST_F(ParallelTest, AllStrategiesMatchSequentialOnClusteredData) {
+  Rng rng(101);
+  const PointSet ps = testing::ClusteredPoints(&rng, 800, 2, 5, 0.2);
+  Params seq;
+  seq.eps = 1.5;
+  seq.min_pts = 10;
+  auto expected = DetectSequential(ps, seq);
+  ASSERT_TRUE(expected.ok());
+  for (JoinStrategy join : {JoinStrategy::kPlain, JoinStrategy::kBroadcast,
+                            JoinStrategy::kGrouped}) {
+    auto params = MakeParams(seq.eps, seq.min_pts, join);
+    auto r = DetectParallel(ps, params, &ctx_);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->kinds, expected->kinds)
+        << "strategy=" << JoinStrategyName(join);
+    EXPECT_EQ(r->outliers, expected->outliers);
+    EXPECT_EQ(r->num_core, expected->num_core);
+    EXPECT_EQ(r->num_cells, expected->num_cells);
+    EXPECT_EQ(r->num_dense_cells, expected->num_dense_cells);
+    EXPECT_EQ(r->num_core_cells, expected->num_core_cells);
+  }
+}
+
+TEST_F(ParallelTest, ResultIndependentOfPartitionCount) {
+  Rng rng(77);
+  const PointSet ps = testing::ClusteredPoints(&rng, 500, 3, 4, 0.25);
+  Params seq;
+  seq.eps = 2.0;
+  seq.min_pts = 8;
+  auto expected = DetectSequential(ps, seq);
+  ASSERT_TRUE(expected.ok());
+  for (size_t partitions : {1u, 2u, 7u, 32u}) {
+    auto params =
+        MakeParams(seq.eps, seq.min_pts, JoinStrategy::kGrouped, partitions);
+    auto r = DetectParallel(ps, params, &ctx_);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->outliers, expected->outliers)
+        << "partitions=" << partitions;
+    EXPECT_EQ(r->kinds, expected->kinds);
+  }
+}
+
+TEST_F(ParallelTest, RecordsPhaseAndShuffleStats) {
+  Rng rng(3);
+  const PointSet ps = testing::ClusteredPoints(&rng, 300, 2, 3, 0.3);
+  auto params = MakeParams(1.0, 6, JoinStrategy::kGrouped);
+  ctx_.ResetMetrics();
+  auto r = DetectParallel(ps, params, &ctx_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->phases.size(), 5u);
+  EXPECT_EQ(r->phases[0].name, "grid");
+  EXPECT_EQ(r->phases[2].name, "core_points");
+  EXPECT_EQ(r->phases[4].name, "outliers");
+  EXPECT_GT(r->shuffled_records, 0u);
+  EXPECT_FALSE(ctx_.stages().empty());
+}
+
+TEST_F(ParallelTest, FacadeDispatchesBothEngines) {
+  Rng rng(9);
+  const PointSet ps = testing::ClusteredPoints(&rng, 200, 2, 2, 0.3);
+  Params params;
+  params.eps = 1.0;
+  params.min_pts = 5;
+  params.engine = Engine::kSequential;
+  auto seq = Detect(ps, params);
+  ASSERT_TRUE(seq.ok());
+  params.engine = Engine::kParallel;
+  auto par = Detect(ps, params);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq->outliers, par->outliers);
+  EXPECT_EQ(seq->kinds, par->kinds);
+}
+
+TEST_F(ParallelTest, MatchesBruteForceDirectly) {
+  Rng rng(55);
+  const PointSet ps = testing::UniformPoints(&rng, 250, 2, -5, 5);
+  const double eps = 1.1;
+  const int min_pts = 4;
+  for (JoinStrategy join : {JoinStrategy::kPlain, JoinStrategy::kBroadcast,
+                            JoinStrategy::kGrouped}) {
+    auto r = DetectParallel(ps, MakeParams(eps, min_pts, join), &ctx_);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->kinds, testing::BruteForceKinds(ps, eps, min_pts))
+        << "strategy=" << JoinStrategyName(join);
+  }
+}
+
+}  // namespace
+}  // namespace dbscout::core

@@ -1,0 +1,47 @@
+#include "core/params.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::core {
+namespace {
+
+TEST(ParamsTest, DefaultsAreValid) {
+  Params params;
+  EXPECT_TRUE(params.Validate().ok());
+  EXPECT_EQ(params.engine, Engine::kSequential);
+  EXPECT_EQ(params.join, JoinStrategy::kGrouped);
+  EXPECT_FALSE(params.compute_scores);
+}
+
+TEST(ParamsTest, ValidationCatchesBadValues) {
+  Params params;
+  params.eps = 0.0;
+  EXPECT_EQ(params.Validate().code(), StatusCode::kInvalidArgument);
+  params.eps = -3.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.eps = 1.0;
+  params.min_pts = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.min_pts = -5;
+  EXPECT_FALSE(params.Validate().ok());
+  params.min_pts = 1;
+  EXPECT_TRUE(params.Validate().ok());
+}
+
+TEST(ParamsTest, NamesAreStable) {
+  // The names appear in CLI output and benchmark logs; pin them.
+  EXPECT_EQ(std::string(EngineName(Engine::kSequential)), "sequential");
+  EXPECT_EQ(std::string(EngineName(Engine::kParallel)), "parallel");
+  EXPECT_EQ(std::string(EngineName(Engine::kSharedMemory)),
+            "shared-memory");
+  EXPECT_EQ(std::string(JoinStrategyName(JoinStrategy::kPlain)), "plain");
+  EXPECT_EQ(std::string(JoinStrategyName(JoinStrategy::kBroadcast)),
+            "broadcast");
+  EXPECT_EQ(std::string(JoinStrategyName(JoinStrategy::kGrouped)),
+            "grouped");
+}
+
+}  // namespace
+}  // namespace dbscout::core

@@ -1,0 +1,200 @@
+// Property-based sweeps: for randomized datasets across dimensionalities,
+// distributions, eps, and minPts, every DBSCOUT engine and join strategy
+// must reproduce the brute-force O(n^2) oracle exactly, and structural
+// invariants of the detection must hold.
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "grid/grid.h"
+#include "testutil.h"
+
+namespace dbscout::core {
+namespace {
+
+enum class Distribution { kUniform, kClustered, kLattice, kDuplicateHeavy };
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kClustered:
+      return "clustered";
+    case Distribution::kLattice:
+      return "lattice";
+    case Distribution::kDuplicateHeavy:
+      return "duplicates";
+  }
+  return "?";
+}
+
+PointSet MakeDataset(Distribution distribution, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  switch (distribution) {
+    case Distribution::kUniform:
+      return testing::UniformPoints(&rng, 220, dims, -8.0, 8.0);
+    case Distribution::kClustered:
+      return testing::ClusteredPoints(&rng, 260, dims, 3, 0.2);
+    case Distribution::kLattice: {
+      // Points exactly on cell boundaries stress floor() handling.
+      const size_t per_side = dims <= 2 ? 14 : (dims == 3 ? 6 : 4);
+      return testing::LatticePoints(per_side, dims, 0.7);
+    }
+    case Distribution::kDuplicateHeavy: {
+      PointSet base = testing::UniformPoints(&rng, 40, dims, -3.0, 3.0);
+      PointSet out(dims);
+      for (int rep = 0; rep < 5; ++rep) {
+        out.Append(base);
+      }
+      return out;
+    }
+  }
+  return PointSet(dims);
+}
+
+using Case = std::tuple<Distribution, size_t /*dims*/, double /*eps*/,
+                        int /*min_pts*/>;
+
+class DbscoutPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DbscoutPropertyTest, SequentialMatchesBruteForce) {
+  const auto [distribution, dims, eps, min_pts] = GetParam();
+  const PointSet ps = MakeDataset(distribution, dims, 1234 + dims);
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->kinds, testing::BruteForceKinds(ps, eps, min_pts));
+}
+
+TEST_P(DbscoutPropertyTest, ParallelStrategiesMatchSequential) {
+  const auto [distribution, dims, eps, min_pts] = GetParam();
+  const PointSet ps = MakeDataset(distribution, dims, 1234 + dims);
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  auto expected = DetectSequential(ps, params);
+  ASSERT_TRUE(expected.ok());
+  dataflow::ExecutionContext ctx(2, 6);
+  for (JoinStrategy join : {JoinStrategy::kPlain, JoinStrategy::kBroadcast,
+                            JoinStrategy::kGrouped}) {
+    Params pp = params;
+    pp.engine = Engine::kParallel;
+    pp.join = join;
+    auto r = DetectParallel(ps, pp, &ctx);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->kinds, expected->kinds)
+        << "strategy=" << JoinStrategyName(join);
+  }
+}
+
+TEST_P(DbscoutPropertyTest, StructuralInvariants) {
+  const auto [distribution, dims, eps, min_pts] = GetParam();
+  const PointSet ps = MakeDataset(distribution, dims, 1234 + dims);
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+
+  // Labels partition the dataset.
+  EXPECT_EQ(r->num_core + r->num_border + r->outliers.size(), ps.size());
+
+  // Dense cells are a subset of core cells, core cells of all cells.
+  EXPECT_LE(r->num_dense_cells, r->num_core_cells);
+  EXPECT_LE(r->num_core_cells, r->num_cells);
+
+  // No outlier may lie within eps of a core point; every border point must.
+  const double eps2 = eps * eps;
+  for (size_t i = 0; i < ps.size(); ++i) {
+    if (r->kinds[i] == PointKind::kCore) {
+      continue;
+    }
+    bool near_core = false;
+    for (size_t j = 0; j < ps.size(); ++j) {
+      if (r->kinds[j] == PointKind::kCore &&
+          ps.SquaredDistance(i, j) <= eps2) {
+        near_core = true;
+        break;
+      }
+    }
+    if (r->kinds[i] == PointKind::kOutlier) {
+      EXPECT_FALSE(near_core) << "outlier " << i << " near a core point";
+    } else {
+      EXPECT_TRUE(near_core) << "border " << i << " not near any core point";
+    }
+  }
+
+  // Outlier list is sorted, unique, and consistent with kinds.
+  EXPECT_TRUE(std::is_sorted(r->outliers.begin(), r->outliers.end()));
+  for (size_t k = 1; k < r->outliers.size(); ++k) {
+    EXPECT_NE(r->outliers[k - 1], r->outliers[k]);
+  }
+  for (uint32_t p : r->outliers) {
+    EXPECT_EQ(r->kinds[p], PointKind::kOutlier);
+  }
+}
+
+// Monotonicity: growing eps (or shrinking minPts) can only shrink the
+// outlier set.
+TEST_P(DbscoutPropertyTest, OutliersMonotoneInParameters) {
+  const auto [distribution, dims, eps, min_pts] = GetParam();
+  const PointSet ps = MakeDataset(distribution, dims, 1234 + dims);
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  auto base = DetectSequential(ps, params);
+  ASSERT_TRUE(base.ok());
+
+  Params wider = params;
+  wider.eps = eps * 1.5;
+  auto wide = DetectSequential(ps, wider);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_LE(wide->outliers.size(), base->outliers.size());
+  // Subset relation: every wide-eps outlier is also a base outlier.
+  for (uint32_t p : wide->outliers) {
+    EXPECT_EQ(base->kinds[p], PointKind::kOutlier);
+  }
+
+  if (min_pts > 1) {
+    Params looser = params;
+    looser.min_pts = min_pts - 1;
+    auto loose = DetectSequential(ps, looser);
+    ASSERT_TRUE(loose.ok());
+    EXPECT_LE(loose->outliers.size(), base->outliers.size());
+    for (uint32_t p : loose->outliers) {
+      EXPECT_EQ(base->kinds[p], PointKind::kOutlier);
+    }
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  const auto [distribution, dims, eps, min_pts] = info.param;
+  std::string eps_tag = std::to_string(eps);
+  for (auto& c : eps_tag) {
+    if (c == '.' || c == '-') {
+      c = '_';
+    }
+  }
+  return std::string(DistributionName(distribution)) + "_d" +
+         std::to_string(dims) + "_eps" + eps_tag + "_m" +
+         std::to_string(min_pts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DbscoutPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(Distribution::kUniform, Distribution::kClustered,
+                          Distribution::kLattice,
+                          Distribution::kDuplicateHeavy),
+        ::testing::Values(size_t{1}, size_t{2}, size_t{3}, size_t{5}),
+        ::testing::Values(0.7, 1.6),
+        ::testing::Values(2, 6)),
+    CaseName);
+
+}  // namespace
+}  // namespace dbscout::core

@@ -1,0 +1,128 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "testutil.h"
+
+namespace dbscout::core {
+namespace {
+
+TEST(ScoresTest, DisabledByDefault) {
+  PointSet ps(1);
+  ps.Add({0.0});
+  Params params;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->core_distance.empty());
+}
+
+TEST(ScoresTest, CorePointsScoreZero) {
+  PointSet ps(1);
+  for (int i = 0; i < 6; ++i) {
+    ps.Add({0.0});
+  }
+  Params params;
+  params.eps = 1.0;
+  params.min_pts = 5;
+  params.compute_scores = true;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->core_distance.size(), ps.size());
+  for (double d : r->core_distance) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+}
+
+TEST(ScoresTest, BorderAndOutlierDistances) {
+  // 7-point stack at 0 (core), bridge at 0.95 (core), tail at 1.9
+  // (border, nearest core = bridge at 0.95), far point at 10 (outlier
+  // with no core in the neighbor horizon -> +inf).
+  PointSet ps(1);
+  for (int i = 0; i < 7; ++i) {
+    ps.Add({0.0});
+  }
+  ps.Add({0.95});
+  ps.Add({1.9});
+  ps.Add({10.0});
+  Params params;
+  params.eps = 1.0;
+  params.min_pts = 8;
+  params.compute_scores = true;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kinds[8], PointKind::kBorder);
+  EXPECT_NEAR(r->core_distance[8], 0.95, 1e-12);
+  EXPECT_EQ(r->kinds[9], PointKind::kOutlier);
+  EXPECT_TRUE(std::isinf(r->core_distance[9]));
+}
+
+TEST(ScoresTest, ScoresConsistentWithLabels) {
+  Rng rng(91);
+  const PointSet ps = testing::ClusteredPoints(&rng, 800, 2, 4, 0.25);
+  Params params;
+  params.eps = 1.2;
+  params.min_pts = 8;
+  params.compute_scores = true;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->core_distance.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    switch (r->kinds[i]) {
+      case PointKind::kCore:
+        EXPECT_DOUBLE_EQ(r->core_distance[i], 0.0);
+        break;
+      case PointKind::kBorder:
+        EXPECT_LE(r->core_distance[i], params.eps);
+        EXPECT_GT(r->core_distance[i], 0.0);
+        break;
+      case PointKind::kOutlier:
+        EXPECT_GT(r->core_distance[i], params.eps);
+        break;
+    }
+  }
+}
+
+TEST(ScoresTest, ScoringDoesNotChangeTheDetection) {
+  Rng rng(92);
+  const PointSet ps = testing::ClusteredPoints(&rng, 600, 3, 3, 0.3);
+  Params params;
+  params.eps = 2.0;
+  params.min_pts = 6;
+  auto plain = DetectSequential(ps, params);
+  params.compute_scores = true;
+  auto scored = DetectSequential(ps, params);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(scored.ok());
+  EXPECT_EQ(plain->kinds, scored->kinds);
+  EXPECT_EQ(plain->outliers, scored->outliers);
+}
+
+TEST(ScoresTest, BorderScoreMatchesBruteForceNearestCore) {
+  Rng rng(93);
+  const PointSet ps = testing::ClusteredPoints(&rng, 300, 2, 2, 0.3);
+  Params params;
+  params.eps = 1.0;
+  params.min_pts = 6;
+  params.compute_scores = true;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    if (r->kinds[i] != PointKind::kBorder) {
+      continue;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < ps.size(); ++j) {
+      if (r->kinds[j] == PointKind::kCore) {
+        best = std::min(best, std::sqrt(ps.SquaredDistance(i, j)));
+      }
+    }
+    // For border points the nearest core point is within eps, hence inside
+    // the neighbor-cell horizon: the score is exact.
+    EXPECT_NEAR(r->core_distance[i], best, 1e-9) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dbscout::core

@@ -1,0 +1,181 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "testutil.h"
+
+namespace dbscout::core {
+namespace {
+
+TEST(SequentialTest, RejectsInvalidParams) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  Params params;
+  params.eps = 0.0;
+  EXPECT_FALSE(DetectSequential(ps, params).ok());
+  params.eps = 1.0;
+  params.min_pts = 0;
+  EXPECT_FALSE(DetectSequential(ps, params).ok());
+}
+
+TEST(SequentialTest, EmptyInput) {
+  PointSet ps(2);
+  Params params;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->outliers.empty());
+  EXPECT_TRUE(r->kinds.empty());
+  EXPECT_EQ(r->num_cells, 0u);
+}
+
+TEST(SequentialTest, SinglePointIsOutlierUnlessMinPtsOne) {
+  PointSet ps(2);
+  ps.Add({1.0, 1.0});
+  Params params;
+  params.eps = 1.0;
+  params.min_pts = 2;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outliers, (std::vector<uint32_t>{0}));
+
+  // With minPts=1 every point is core (it neighbors itself).
+  params.min_pts = 1;
+  r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->outliers.empty());
+  EXPECT_EQ(r->kinds[0], PointKind::kCore);
+}
+
+TEST(SequentialTest, DuplicatePointsFormDenseCell) {
+  PointSet ps(3);
+  for (int i = 0; i < 6; ++i) {
+    ps.Add({2.0, 2.0, 2.0});
+  }
+  ps.Add({100.0, 100.0, 100.0});  // isolated
+  Params params;
+  params.eps = 0.5;
+  params.min_pts = 5;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_dense_cells, 1u);
+  EXPECT_EQ(r->outliers, (std::vector<uint32_t>{6}));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(r->kinds[i], PointKind::kCore);
+  }
+}
+
+TEST(SequentialTest, TightClusterPlusFarPoint) {
+  Rng rng(1);
+  PointSet ps(2);
+  for (int i = 0; i < 50; ++i) {
+    ps.Add({rng.Gaussian(0, 0.1), rng.Gaussian(0, 0.1)});
+  }
+  ps.Add({50.0, 50.0});
+  Params params;
+  params.eps = 1.0;
+  params.min_pts = 5;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outliers, (std::vector<uint32_t>{50}));
+  EXPECT_EQ(r->num_core, 50u);
+}
+
+TEST(SequentialTest, BorderPointDetected) {
+  // Stack of 7 points at 0.0, a bridge point at 0.95, a tail point at 1.9.
+  // With eps=1, minPts=8: the stack (8 neighbors) and the bridge (9) are
+  // core; the tail has only 2 neighbors but sits within eps of the core
+  // bridge -> border, not outlier.
+  PointSet ps(1);
+  for (int i = 0; i < 7; ++i) {
+    ps.Add({0.0});
+  }
+  ps.Add({0.95});
+  ps.Add({1.9});
+  Params params;
+  params.eps = 1.0;
+  params.min_pts = 8;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(r->kinds[i], PointKind::kCore);
+  }
+  EXPECT_EQ(r->kinds[7], PointKind::kCore);
+  EXPECT_EQ(r->kinds[8], PointKind::kBorder);
+  EXPECT_TRUE(r->outliers.empty());
+  EXPECT_EQ(r->num_border, 1u);
+
+  // Raise minPts beyond reach: nothing is core, everything is an outlier.
+  params.min_pts = 10;
+  r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outliers.size(), 9u);
+}
+
+TEST(SequentialTest, EpsBoundaryIsInclusive) {
+  // Definition 2 uses dist <= eps: two points exactly eps apart count as
+  // neighbors of each other.
+  PointSet ps(1);
+  ps.Add({0.0});
+  ps.Add({1.0});
+  Params params;
+  params.eps = 1.0;
+  params.min_pts = 2;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->outliers.empty());
+  EXPECT_EQ(r->kinds[0], PointKind::kCore);
+  EXPECT_EQ(r->kinds[1], PointKind::kCore);
+}
+
+TEST(SequentialTest, MatchesBruteForceOnClusteredData) {
+  Rng rng(42);
+  const PointSet ps = testing::ClusteredPoints(&rng, 600, 2, 4, 0.15);
+  Params params;
+  params.eps = 1.2;
+  params.min_pts = 8;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kinds, testing::BruteForceKinds(ps, params.eps, params.min_pts));
+  EXPECT_EQ(r->outliers,
+            testing::BruteForceOutliers(ps, params.eps, params.min_pts));
+}
+
+TEST(SequentialTest, LabelCountsAreConsistent) {
+  Rng rng(5);
+  const PointSet ps = testing::ClusteredPoints(&rng, 400, 3, 3, 0.2);
+  Params params;
+  params.eps = 2.0;
+  params.min_pts = 10;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  size_t core = 0;
+  size_t border = 0;
+  size_t outlier = 0;
+  for (auto kind : r->kinds) {
+    core += kind == PointKind::kCore;
+    border += kind == PointKind::kBorder;
+    outlier += kind == PointKind::kOutlier;
+  }
+  EXPECT_EQ(core, r->num_core);
+  EXPECT_EQ(border, r->num_border);
+  EXPECT_EQ(outlier, r->outliers.size());
+  EXPECT_EQ(core + border + outlier, ps.size());
+  EXPECT_EQ(r->phases.size(), 5u);
+  EXPECT_GE(r->num_cells, r->num_core_cells);
+  EXPECT_GE(r->num_core_cells, r->num_dense_cells);
+}
+
+TEST(SequentialTest, OutliersAreSortedAscending) {
+  Rng rng(6);
+  const PointSet ps = testing::UniformPoints(&rng, 300, 2, -10, 10);
+  Params params;
+  params.eps = 0.8;
+  params.min_pts = 4;
+  auto r = DetectSequential(ps, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::is_sorted(r->outliers.begin(), r->outliers.end()));
+}
+
+}  // namespace
+}  // namespace dbscout::core

@@ -1,0 +1,103 @@
+#include "data/point_stream.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "testutil.h"
+
+namespace dbscout {
+namespace {
+
+std::string WriteSample(const PointSet& points, const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(SavePointsBinary(path, points).ok());
+  return path;
+}
+
+TEST(PointFileReaderTest, ReadsHeaderAndBatches) {
+  Rng rng(1);
+  const PointSet points = testing::UniformPoints(&rng, 1000, 3, -5, 5);
+  const std::string path = WriteSample(points, "stream_basic.dbsc");
+  auto reader = PointFileReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->dims(), 3u);
+  EXPECT_EQ(reader->num_points(), 1000u);
+
+  PointSet all(3);
+  PointSet batch(3);
+  for (;;) {
+    auto got = reader->ReadBatch(128, &batch);
+    ASSERT_TRUE(got.ok());
+    if (*got == 0) {
+      break;
+    }
+    EXPECT_LE(*got, 128u);
+    all.Append(batch);
+  }
+  EXPECT_EQ(all.values(), points.values());
+}
+
+TEST(PointFileReaderTest, RewindRestartsTheStream) {
+  Rng rng(2);
+  const PointSet points = testing::UniformPoints(&rng, 100, 2, 0, 1);
+  const std::string path = WriteSample(points, "stream_rewind.dbsc");
+  auto reader = PointFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  PointSet batch(2);
+  ASSERT_TRUE(reader->ReadBatch(60, &batch).ok());
+  EXPECT_EQ(reader->position(), 60u);
+  ASSERT_TRUE(reader->Rewind().ok());
+  EXPECT_EQ(reader->position(), 0u);
+  auto got = reader->ReadBatch(1000, &batch);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 100u);
+  EXPECT_EQ(batch.values(), points.values());
+  std::remove(path.c_str());
+}
+
+TEST(PointFileReaderTest, EmptyFileYieldsZeroBatches) {
+  const PointSet points(4);
+  const std::string path = WriteSample(points, "stream_empty.dbsc");
+  auto reader = PointFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->num_points(), 0u);
+  PointSet batch(4);
+  auto got = reader->ReadBatch(10, &batch);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PointFileReaderTest, RejectsBogusFiles) {
+  const std::string path = ::testing::TempDir() + "/stream_bogus.dbsc";
+  std::ofstream(path) << "definitely not a point file";
+  auto reader = PointFileReader::Open(path);
+  EXPECT_FALSE(reader.ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(PointFileReader::Open("/no/such/file.dbsc").ok());
+}
+
+TEST(PointFileReaderTest, DetectsTruncation) {
+  Rng rng(3);
+  const PointSet points = testing::UniformPoints(&rng, 50, 2, 0, 1);
+  const std::string full = WriteSample(points, "stream_full.dbsc");
+  std::ifstream in(full, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const std::string truncated = ::testing::TempDir() + "/stream_trunc.dbsc";
+  std::ofstream(truncated, std::ios::binary)
+      << contents.substr(0, contents.size() - 16);
+  auto reader = PointFileReader::Open(truncated);
+  ASSERT_TRUE(reader.ok());
+  PointSet batch(2);
+  auto got = reader->ReadBatch(100, &batch);
+  EXPECT_FALSE(got.ok());
+  std::remove(full.c_str());
+  std::remove(truncated.c_str());
+}
+
+}  // namespace
+}  // namespace dbscout

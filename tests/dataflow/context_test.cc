@@ -1,0 +1,70 @@
+#include "dataflow/context.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::dataflow {
+namespace {
+
+TEST(ContextTest, DefaultsDeriveFromHardware) {
+  ExecutionContext ctx;
+  EXPECT_GE(ctx.pool().num_threads(), 1u);
+  EXPECT_EQ(ctx.default_partitions(), 2 * ctx.pool().num_threads());
+}
+
+TEST(ContextTest, ExplicitConfiguration) {
+  ExecutionContext ctx(3, 17);
+  EXPECT_EQ(ctx.pool().num_threads(), 3u);
+  EXPECT_EQ(ctx.default_partitions(), 17u);
+  ctx.set_default_partitions(0);  // clamped to 1
+  EXPECT_EQ(ctx.default_partitions(), 1u);
+  ctx.set_default_partitions(5);
+  EXPECT_EQ(ctx.default_partitions(), 5u);
+}
+
+TEST(ContextTest, MetricsAccumulateAndReset) {
+  ExecutionContext ctx(2, 4);
+  StageMetrics a;
+  a.name = "StageA";
+  a.seconds = 0.25;
+  a.shuffled_records = 10;
+  StageMetrics b;
+  b.name = "StageB";
+  b.seconds = 0.75;
+  b.shuffled_records = 5;
+  ctx.RecordStage(a);
+  ctx.RecordStage(b);
+  const auto stages = ctx.stages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].name, "StageA");
+  const auto summary = ctx.Summary();
+  EXPECT_DOUBLE_EQ(summary.seconds, 1.0);
+  EXPECT_EQ(summary.shuffled_records, 15u);
+  EXPECT_EQ(summary.stages, 2u);
+  ctx.ResetMetrics();
+  EXPECT_TRUE(ctx.stages().empty());
+  EXPECT_EQ(ctx.Summary().stages, 0u);
+}
+
+TEST(ContextTest, RecordingIsThreadSafe) {
+  ExecutionContext ctx(4, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ctx] {
+      for (int i = 0; i < 250; ++i) {
+        StageMetrics m;
+        m.name = "concurrent";
+        m.records_in = 1;
+        ctx.RecordStage(m);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(ctx.stages().size(), 1000u);
+}
+
+}  // namespace
+}  // namespace dbscout::dataflow

@@ -1,0 +1,150 @@
+#include "dataflow/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::dataflow {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  ExecutionContext ctx_{/*num_threads=*/4, /*default_partitions=*/8};
+};
+
+TEST_F(DatasetTest, FromVectorPreservesAllRecords) {
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto ds = Dataset<int>::FromVector(&ctx_, values, 7);
+  EXPECT_EQ(ds.num_partitions(), 7u);
+  EXPECT_EQ(ds.Count(), 100u);
+  auto collected = ds.Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, values);
+}
+
+TEST_F(DatasetTest, FromVectorUsesContextDefaultPartitions) {
+  auto ds = Dataset<int>::FromVector(&ctx_, {1, 2, 3});
+  EXPECT_EQ(ds.num_partitions(), 8u);
+}
+
+TEST_F(DatasetTest, MorePartitionsThanRecords) {
+  auto ds = Dataset<int>::FromVector(&ctx_, {1, 2}, 16);
+  EXPECT_EQ(ds.num_partitions(), 16u);
+  EXPECT_EQ(ds.Count(), 2u);
+}
+
+TEST_F(DatasetTest, IotaGeneratesRange) {
+  auto ds = Dataset<uint32_t>::Iota(&ctx_, 10u, 3);
+  auto collected = ds.Collect();
+  std::sort(collected.begin(), collected.end());
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(collected[i], i);
+  }
+}
+
+TEST_F(DatasetTest, MapTransformsEveryRecord) {
+  auto ds = Dataset<int>::Iota(&ctx_, 50, 4);
+  auto doubled = ds.Map([](int x) { return 2 * x; });
+  auto values = doubled.Collect();
+  std::sort(values.begin(), values.end());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(values[i], 2 * i);
+  }
+}
+
+TEST_F(DatasetTest, MapCanChangeType) {
+  auto ds = Dataset<int>::FromVector(&ctx_, {1, 22, 333});
+  auto strings = ds.Map([](int x) { return std::to_string(x); });
+  auto values = strings.Collect();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<std::string>{"1", "22", "333"}));
+}
+
+TEST_F(DatasetTest, FlatMapEmitsZeroOrMore) {
+  auto ds = Dataset<int>::FromVector(&ctx_, {0, 1, 2, 3}, 2);
+  auto expanded = ds.FlatMap<int>([](int x, std::vector<int>* out) {
+    for (int i = 0; i < x; ++i) {
+      out->push_back(x);
+    }
+  });
+  EXPECT_EQ(expanded.Count(), 6u);  // 0+1+2+3
+}
+
+TEST_F(DatasetTest, FilterKeepsMatching) {
+  auto ds = Dataset<int>::Iota(&ctx_, 100, 5);
+  auto evens = ds.Filter([](int x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.Count(), 50u);
+  for (int v : evens.Collect()) {
+    EXPECT_EQ(v % 2, 0);
+  }
+}
+
+TEST_F(DatasetTest, UnionConcatenates) {
+  auto a = Dataset<int>::FromVector(&ctx_, {1, 2}, 2);
+  auto b = Dataset<int>::FromVector(&ctx_, {3}, 1);
+  auto u = a.Union(b);
+  EXPECT_EQ(u.num_partitions(), 3u);
+  auto values = u.Collect();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(DatasetTest, RepartitionPreservesRecords) {
+  auto ds = Dataset<int>::Iota(&ctx_, 100, 2);
+  auto re = ds.Repartition(10);
+  EXPECT_EQ(re.num_partitions(), 10u);
+  auto values = re.Collect();
+  std::sort(values.begin(), values.end());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(values[i], i);
+  }
+}
+
+TEST_F(DatasetTest, ForEachVisitsEverything) {
+  auto ds = Dataset<int>::Iota(&ctx_, 20, 4);
+  int sum = 0;
+  ds.ForEach([&sum](int x) { sum += x; });
+  EXPECT_EQ(sum, 190);
+}
+
+TEST_F(DatasetTest, TransformationsRecordStageMetrics) {
+  ctx_.ResetMetrics();
+  auto ds = Dataset<int>::Iota(&ctx_, 10, 2);
+  ds.Map([](int x) { return x; }, "MyMap");
+  const auto stages = ctx_.stages();
+  ASSERT_FALSE(stages.empty());
+  const auto& last = stages.back();
+  EXPECT_EQ(last.name, "MyMap");
+  EXPECT_EQ(last.records_in, 10u);
+  EXPECT_EQ(last.records_out, 10u);
+  EXPECT_EQ(last.shuffled_records, 0u);
+}
+
+TEST_F(DatasetTest, RepartitionCountsAsShuffle) {
+  ctx_.ResetMetrics();
+  auto ds = Dataset<int>::Iota(&ctx_, 10, 2);
+  ds.Repartition(4);
+  EXPECT_EQ(ctx_.Summary().shuffled_records, 10u);
+}
+
+TEST_F(DatasetTest, SourceIsImmutableUnderTransforms) {
+  auto ds = Dataset<int>::FromVector(&ctx_, {1, 2, 3}, 1);
+  auto mapped = ds.Map([](int x) { return x * 10; });
+  auto original = ds.Collect();
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(original, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(DatasetTest, BroadcastSharesValue) {
+  Broadcast<std::vector<int>> b(std::vector<int>{5, 6, 7});
+  EXPECT_EQ(b->size(), 3u);
+  EXPECT_EQ((*b)[0], 5);
+  Broadcast<std::vector<int>> copy = b;
+  EXPECT_EQ(copy.get(), b.get());
+}
+
+}  // namespace
+}  // namespace dbscout::dataflow

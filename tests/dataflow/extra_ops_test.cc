@@ -1,0 +1,137 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/pair_ops.h"
+
+namespace dbscout::dataflow {
+namespace {
+
+using IntPair = std::pair<int, int>;
+
+class ExtraOpsTest : public ::testing::Test {
+ protected:
+  ExecutionContext ctx_{/*num_threads=*/4, /*default_partitions=*/4};
+};
+
+TEST_F(ExtraOpsTest, SampleKeepsApproximatelyTheFraction) {
+  auto ds = Dataset<int>::Iota(&ctx_, 20000, 8);
+  auto sampled = ds.Sample(0.25, /*seed=*/7);
+  const double kept = static_cast<double>(sampled.Count());
+  EXPECT_NEAR(kept / 20000.0, 0.25, 0.02);
+  // Deterministic in the seed.
+  EXPECT_EQ(ds.Sample(0.25, 7).Count(), sampled.Count());
+  EXPECT_NE(ds.Sample(0.25, 8).Count(), sampled.Count());
+}
+
+TEST_F(ExtraOpsTest, SampleEdgesKeepAllOrNothing) {
+  auto ds = Dataset<int>::Iota(&ctx_, 100, 3);
+  EXPECT_EQ(ds.Sample(0.0, 1).Count(), 0u);
+  EXPECT_EQ(ds.Sample(1.0, 1).Count(), 100u);
+}
+
+TEST_F(ExtraOpsTest, DistinctCollapsesDuplicatesAcrossPartitions) {
+  std::vector<int> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(i % 17);
+  }
+  auto ds = Dataset<int>::FromVector(&ctx_, values, 6);
+  auto unique = ds.Distinct();
+  auto collected = unique.Collect();
+  std::sort(collected.begin(), collected.end());
+  ASSERT_EQ(collected.size(), 17u);
+  for (int i = 0; i < 17; ++i) {
+    EXPECT_EQ(collected[i], i);
+  }
+}
+
+TEST_F(ExtraOpsTest, DistinctCountsAsShuffle) {
+  ctx_.ResetMetrics();
+  auto ds = Dataset<int>::FromVector(&ctx_, {1, 1, 2}, 2);
+  ds.Distinct();
+  EXPECT_EQ(ctx_.Summary().shuffled_records, 3u);
+}
+
+TEST_F(ExtraOpsTest, MapPartitionsSeesWholePartitions) {
+  auto ds = Dataset<int>::Iota(&ctx_, 100, 5);
+  // Emit one record per partition: its size.
+  auto sizes = ds.MapPartitions<size_t>(
+      [](const std::vector<int>& in, std::vector<size_t>* out) {
+        out->push_back(in.size());
+      });
+  auto collected = sizes.Collect();
+  ASSERT_EQ(collected.size(), 5u);
+  size_t total = 0;
+  for (size_t s : collected) {
+    total += s;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST_F(ExtraOpsTest, CountByKeyMatchesManualCounting) {
+  std::vector<IntPair> records;
+  for (int i = 0; i < 120; ++i) {
+    records.push_back({i % 5, i});
+  }
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, records, 4);
+  auto counts = CountByKey(ds);
+  std::map<int, uint64_t> result;
+  for (const auto& [k, c] : counts.Collect()) {
+    result[k] = c;
+  }
+  ASSERT_EQ(result.size(), 5u);
+  for (const auto& [k, c] : result) {
+    EXPECT_EQ(c, 24u) << "key " << k;
+  }
+}
+
+TEST_F(ExtraOpsTest, KeysAndValuesProject) {
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, {{1, 10}, {2, 20}}, 2);
+  auto keys = Keys(ds).Collect();
+  auto values = Values(ds).Collect();
+  std::sort(keys.begin(), keys.end());
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(keys, (std::vector<int>{1, 2}));
+  EXPECT_EQ(values, (std::vector<int>{10, 20}));
+}
+
+TEST_F(ExtraOpsTest, CoGroupPairsValueListsPerKey) {
+  auto left = Dataset<IntPair>::FromVector(
+      &ctx_, {{1, 10}, {1, 11}, {2, 20}}, 2);
+  auto right = Dataset<std::pair<int, char>>::FromVector(
+      &ctx_, {{1, 'a'}, {3, 'c'}}, 2);
+  auto grouped = CoGroup(left, right);
+  std::map<int, std::pair<std::vector<int>, std::vector<char>>> result;
+  for (auto& [k, group] : grouped.Collect()) {
+    std::sort(group.first.begin(), group.first.end());
+    result[k] = group;
+  }
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[1].first, (std::vector<int>{10, 11}));
+  EXPECT_EQ(result[1].second, (std::vector<char>{'a'}));
+  EXPECT_EQ(result[2].first, (std::vector<int>{20}));
+  EXPECT_TRUE(result[2].second.empty());
+  EXPECT_TRUE(result[3].first.empty());
+  EXPECT_EQ(result[3].second, (std::vector<char>{'c'}));
+}
+
+TEST_F(ExtraOpsTest, CoGroupAgreesWithJoinOnInnerKeys) {
+  std::vector<IntPair> lhs;
+  std::vector<IntPair> rhs;
+  for (int i = 0; i < 50; ++i) {
+    lhs.push_back({i % 7, i});
+    rhs.push_back({i % 9, i});
+  }
+  auto left = Dataset<IntPair>::FromVector(&ctx_, lhs, 3);
+  auto right = Dataset<IntPair>::FromVector(&ctx_, rhs, 3);
+  size_t cogroup_inner = 0;
+  CoGroup(left, right).ForEach([&](const auto& rec) {
+    cogroup_inner += rec.second.first.size() * rec.second.second.size();
+  });
+  EXPECT_EQ(cogroup_inner, Join(left, right).Count());
+}
+
+}  // namespace
+}  // namespace dbscout::dataflow

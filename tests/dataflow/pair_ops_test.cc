@@ -1,0 +1,141 @@
+#include "dataflow/pair_ops.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::dataflow {
+namespace {
+
+using IntPair = std::pair<int, int>;
+
+class PairOpsTest : public ::testing::Test {
+ protected:
+  ExecutionContext ctx_{/*num_threads=*/4, /*default_partitions=*/4};
+};
+
+TEST_F(PairOpsTest, ReduceByKeySumsValues) {
+  std::vector<IntPair> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back({i % 7, 1});
+  }
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, records, 5);
+  auto reduced = ReduceByKey(ds, [](int a, int b) { return a + b; });
+  std::map<int, int> result;
+  for (const auto& [k, v] : reduced.Collect()) {
+    EXPECT_TRUE(result.emplace(k, v).second) << "duplicate key " << k;
+  }
+  ASSERT_EQ(result.size(), 7u);
+  int total = 0;
+  for (const auto& [k, v] : result) {
+    total += v;
+  }
+  EXPECT_EQ(total, 100);
+  EXPECT_EQ(result[0], 15);  // 0,7,...,98
+}
+
+TEST_F(PairOpsTest, ReduceByKeySingleRecordPerKeyPassesThrough) {
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, {{1, 10}, {2, 20}}, 2);
+  auto reduced = ReduceByKey(ds, [](int, int) -> int {
+    ADD_FAILURE() << "reducer must not run for singleton keys";
+    return 0;
+  });
+  EXPECT_EQ(reduced.Count(), 2u);
+}
+
+TEST_F(PairOpsTest, ReduceByKeyRespectsRequestedPartitions) {
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, {{1, 1}, {2, 2}}, 2);
+  auto reduced =
+      ReduceByKey(ds, [](int a, int b) { return a + b; }, /*partitions=*/9);
+  EXPECT_EQ(reduced.num_partitions(), 9u);
+}
+
+TEST_F(PairOpsTest, GroupByKeyCollectsAllValues) {
+  std::vector<IntPair> records = {{1, 10}, {2, 20}, {1, 11}, {1, 12}, {2, 21}};
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, records, 3);
+  auto grouped = GroupByKey(ds);
+  std::map<int, std::vector<int>> result;
+  for (auto& [k, vs] : grouped.Collect()) {
+    std::sort(vs.begin(), vs.end());
+    result[k] = vs;
+  }
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[1], (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(result[2], (std::vector<int>{20, 21}));
+}
+
+TEST_F(PairOpsTest, JoinEmitsCrossProductPerKey) {
+  auto left = Dataset<std::pair<int, std::string>>::FromVector(
+      &ctx_, {{1, "a"}, {1, "b"}, {2, "c"}, {3, "z"}}, 2);
+  auto right = Dataset<IntPair>::FromVector(
+      &ctx_, {{1, 100}, {1, 101}, {2, 200}, {4, 400}}, 2);
+  auto joined = Join(left, right);
+  // key 1: 2x2 = 4 pairs; key 2: 1; keys 3,4 unmatched.
+  EXPECT_EQ(joined.Count(), 5u);
+  int key1 = 0;
+  for (const auto& [k, vw] : joined.Collect()) {
+    EXPECT_TRUE(k == 1 || k == 2);
+    if (k == 1) {
+      ++key1;
+      EXPECT_TRUE(vw.first == "a" || vw.first == "b");
+      EXPECT_TRUE(vw.second == 100 || vw.second == 101);
+    }
+  }
+  EXPECT_EQ(key1, 4);
+}
+
+TEST_F(PairOpsTest, JoinEmptySideYieldsEmpty) {
+  auto left = Dataset<IntPair>::FromVector(&ctx_, {}, 2);
+  auto right = Dataset<IntPair>::FromVector(&ctx_, {{1, 1}}, 2);
+  EXPECT_EQ(Join(left, right).Count(), 0u);
+}
+
+TEST_F(PairOpsTest, ShuffleMetricsAreRecorded) {
+  ctx_.ResetMetrics();
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, {{1, 1}, {2, 2}, {1, 3}}, 2);
+  ReduceByKey(ds, [](int a, int b) { return a + b; });
+  const auto summary = ctx_.Summary();
+  EXPECT_EQ(summary.shuffled_records, 3u);
+}
+
+TEST_F(PairOpsTest, CollectAsMapLastWriteWins) {
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, {{1, 10}, {2, 20}}, 2);
+  auto map = CollectAsMap(ds);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map[1], 10);
+}
+
+TEST_F(PairOpsTest, CollectGroupedGathersValues) {
+  auto ds =
+      Dataset<IntPair>::FromVector(&ctx_, {{1, 10}, {1, 11}, {2, 20}}, 3);
+  auto map = CollectGrouped(ds);
+  ASSERT_EQ(map.size(), 2u);
+  std::sort(map[1].begin(), map[1].end());
+  EXPECT_EQ(map[1], (std::vector<int>{10, 11}));
+}
+
+TEST_F(PairOpsTest, ReduceByKeyIsDeterministicAcrossPartitionCounts) {
+  std::vector<IntPair> records;
+  for (int i = 0; i < 500; ++i) {
+    records.push_back({i % 13, i});
+  }
+  std::map<int, int> reference;
+  for (const auto& [k, v] : records) {
+    reference[k] += v;
+  }
+  for (size_t parts : {1u, 2u, 8u, 32u}) {
+    auto ds = Dataset<IntPair>::FromVector(&ctx_, records, parts);
+    auto reduced =
+        ReduceByKey(ds, [](int a, int b) { return a + b; }, parts);
+    std::map<int, int> result;
+    for (const auto& [k, v] : reduced.Collect()) {
+      result[k] = v;
+    }
+    EXPECT_EQ(result, reference) << "partitions=" << parts;
+  }
+}
+
+}  // namespace
+}  // namespace dbscout::dataflow

@@ -1,0 +1,89 @@
+#include "datasets/geo.h"
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "grid/grid.h"
+
+namespace dbscout::datasets {
+namespace {
+
+TEST(GeoTest, GeolifeLikeShapeAndDeterminism) {
+  const PointSet a = GeolifeLike(20000, 5);
+  EXPECT_EQ(a.size(), 20000u);
+  EXPECT_EQ(a.dims(), 3u);
+  const PointSet b = GeolifeLike(20000, 5);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(GeoTest, GeolifeLikeIsHeavilySkewed) {
+  // The paper: with eps = 200, ~40% of Geolife falls into the single most
+  // populous cell. Verify the generator reproduces that concentration.
+  const PointSet ps = GeolifeLike(30000, 6);
+  auto g = grid::Grid::Build(ps, 8000.0);
+  ASSERT_TRUE(g.ok());
+  size_t biggest = 0;
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    biggest = std::max(biggest, g->CellSize(c));
+  }
+  EXPECT_GT(static_cast<double>(biggest) / static_cast<double>(ps.size()),
+            0.25);
+}
+
+TEST(GeoTest, OsmLikeShapeAndSpread) {
+  const PointSet ps = OsmLike(30000, 7);
+  EXPECT_EQ(ps.size(), 30000u);
+  EXPECT_EQ(ps.dims(), 2u);
+  const auto box = ps.Bounds();
+  // Spread over a planetary-scale extent.
+  EXPECT_GT(box.max[0] - box.min[0], 1e7);
+  // Far less skewed than Geolife: the most populous eps-cell holds a
+  // minority of the data.
+  auto g = grid::Grid::Build(ps, 1e6);
+  ASSERT_TRUE(g.ok());
+  size_t biggest = 0;
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    biggest = std::max(biggest, g->CellSize(c));
+  }
+  EXPECT_LT(static_cast<double>(biggest) / static_cast<double>(ps.size()),
+            0.25);
+}
+
+TEST(GeoTest, SampleFractionApproximatesRequestedSize) {
+  const PointSet ps = OsmLike(20000, 9);
+  const PointSet sample = SampleFraction(ps, 0.25, 1);
+  EXPECT_NEAR(static_cast<double>(sample.size()), 5000.0, 300.0);
+  EXPECT_EQ(sample.dims(), ps.dims());
+}
+
+TEST(GeoTest, SampleFractionEdgeCases) {
+  const PointSet ps = OsmLike(1000, 9);
+  EXPECT_EQ(SampleFraction(ps, 0.0, 1).size(), 0u);
+  EXPECT_EQ(SampleFraction(ps, 1.0, 1).size(), 1000u);
+}
+
+TEST(GeoTest, ScaleWithNoiseKeepsOriginalAndJittersReplicas) {
+  PointSet ps(2);
+  ps.Add({10.0, 20.0});
+  ps.Add({-5.0, 3.0});
+  const PointSet scaled = ScaleWithNoise(ps, 3, 0.5, 2);
+  ASSERT_EQ(scaled.size(), 6u);
+  // First replica is the untouched original.
+  EXPECT_DOUBLE_EQ(scaled.at(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(scaled.at(1, 1), 3.0);
+  // Later replicas are jittered but stay within +-jitter.
+  for (size_t rep = 1; rep < 3; ++rep) {
+    for (size_t i = 0; i < 2; ++i) {
+      for (size_t k = 0; k < 2; ++k) {
+        const double delta =
+            scaled.at(rep * 2 + i, k) - ps.at(i, k);
+        EXPECT_LE(std::abs(delta), 0.5);
+        EXPECT_NE(delta, 0.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbscout::datasets

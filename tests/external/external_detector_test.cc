@@ -1,0 +1,161 @@
+#include "external/external_detector.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/dbscout.h"
+#include "data/io.h"
+#include "datasets/geo.h"
+#include "testutil.h"
+
+namespace dbscout::external {
+namespace {
+
+std::string WriteSample(const PointSet& points, const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(SavePointsBinary(path, points).ok());
+  return path;
+}
+
+ExternalParams MakeParams(double eps, int min_pts, size_t stripe_points) {
+  ExternalParams params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  params.target_stripe_points = stripe_points;
+  params.batch_points = 512;
+  params.tmp_dir = ::testing::TempDir();
+  return params;
+}
+
+TEST(ExternalDetectorTest, RejectsInvalidParams) {
+  ExternalParams params;
+  params.eps = 0.0;
+  EXPECT_FALSE(DetectExternal("x", params).ok());
+  params.eps = 1.0;
+  params.min_pts = 0;
+  EXPECT_FALSE(DetectExternal("x", params).ok());
+  params.min_pts = 5;
+  params.batch_points = 0;
+  EXPECT_FALSE(DetectExternal("x", params).ok());
+}
+
+TEST(ExternalDetectorTest, RejectsMissingFile) {
+  ExternalParams params;
+  auto r = DetectExternal("/no/such/points.dbsc", params);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ExternalDetectorTest, EmptyFile) {
+  const std::string path = WriteSample(PointSet(2), "ext_empty.dbsc");
+  auto r = DetectExternal(path, MakeParams(1.0, 5, 1000));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->outliers.empty());
+  EXPECT_EQ(r->stripes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ExternalDetectorTest, MatchesInMemoryOnSingleStripe) {
+  Rng rng(71);
+  const PointSet points = testing::ClusteredPoints(&rng, 2000, 2, 4, 0.2);
+  const std::string path = WriteSample(points, "ext_single.dbsc");
+  core::Params in_memory;
+  in_memory.eps = 1.3;
+  in_memory.min_pts = 8;
+  auto expected = core::DetectSequential(points, in_memory);
+  ASSERT_TRUE(expected.ok());
+  auto r = DetectExternal(path, MakeParams(1.3, 8, 1 << 20));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->stripes, 1u);
+  EXPECT_EQ(r->outliers, expected->outliers);
+  EXPECT_EQ(r->num_core, expected->num_core);
+  EXPECT_EQ(r->num_border, expected->num_border);
+  std::remove(path.c_str());
+}
+
+class ExternalStripeSweepTest
+    : public ::testing::TestWithParam<size_t /*stripe points*/> {};
+
+TEST_P(ExternalStripeSweepTest, MatchesInMemoryAcrossStripeSizes) {
+  Rng rng(72);
+  const PointSet points = testing::ClusteredPoints(&rng, 3000, 3, 5, 0.25);
+  const std::string path = WriteSample(points, "ext_sweep.dbsc");
+  core::Params in_memory;
+  in_memory.eps = 2.0;
+  in_memory.min_pts = 10;
+  auto expected = core::DetectSequential(points, in_memory);
+  ASSERT_TRUE(expected.ok());
+  auto r = DetectExternal(path, MakeParams(2.0, 10, GetParam()));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->outliers, expected->outliers)
+      << "stripes=" << r->stripes;
+  EXPECT_EQ(r->num_core, expected->num_core);
+  EXPECT_EQ(r->num_border, expected->num_border);
+  EXPECT_EQ(r->num_core + r->num_border + r->outliers.size(), points.size());
+  if (GetParam() < points.size()) {
+    EXPECT_GT(r->stripes, 1u);
+    EXPECT_GT(r->spilled_records, points.size());  // halo replication
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(StripeSizes, ExternalStripeSweepTest,
+                         ::testing::Values(100, 300, 1000, 5000),
+                         [](const auto& info) {
+                           return "target" + std::to_string(info.param);
+                         });
+
+TEST(ExternalDetectorTest, MatchesInMemoryOnSkewedGps) {
+  // The skew stress: most points in one dim-0 slab range.
+  const PointSet points = datasets::GeolifeLike(4000, 73);
+  const std::string path = WriteSample(points, "ext_geo.dbsc");
+  core::Params in_memory;
+  in_memory.eps = 800.0;
+  in_memory.min_pts = 10;
+  auto expected = core::DetectSequential(points, in_memory);
+  ASSERT_TRUE(expected.ok());
+  auto r = DetectExternal(path, MakeParams(800.0, 10, 500));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->outliers, expected->outliers);
+  std::remove(path.c_str());
+}
+
+TEST(ExternalDetectorTest, ExplicitStripeCountOverride) {
+  Rng rng(74);
+  const PointSet points = testing::UniformPoints(&rng, 2000, 2, -50, 50);
+  const std::string path = WriteSample(points, "ext_override.dbsc");
+  auto params = MakeParams(2.0, 6, 1 << 20);
+  params.num_stripes = 8;
+  auto r = DetectExternal(path, params);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GE(r->stripes, 6u);  // slab granularity may merge a few
+  core::Params in_memory;
+  in_memory.eps = 2.0;
+  in_memory.min_pts = 6;
+  auto expected = core::DetectSequential(points, in_memory);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(r->outliers, expected->outliers);
+  std::remove(path.c_str());
+}
+
+TEST(ExternalDetectorTest, ReportsGridStatistics) {
+  Rng rng(75);
+  const PointSet points = testing::ClusteredPoints(&rng, 1500, 2, 3, 0.2);
+  const std::string path = WriteSample(points, "ext_stats.dbsc");
+  auto r = DetectExternal(path, MakeParams(1.0, 6, 400));
+  ASSERT_TRUE(r.ok());
+  core::Params in_memory;
+  in_memory.eps = 1.0;
+  in_memory.min_pts = 6;
+  auto expected = core::DetectSequential(points, in_memory);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(r->num_cells, expected->num_cells);
+  EXPECT_EQ(r->num_dense_cells, expected->num_dense_cells);
+  EXPECT_GT(r->max_stripe_points, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dbscout::external

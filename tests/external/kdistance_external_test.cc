@@ -1,0 +1,81 @@
+#include "external/kdistance.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "testutil.h"
+
+namespace dbscout::external {
+namespace {
+
+std::string WriteSample(const PointSet& points, const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(SavePointsBinary(path, points).ok());
+  return path;
+}
+
+TEST(SampleKDistanceTest, RejectsInvalidParams) {
+  EXPECT_FALSE(SampleKDistance("x", 0, 100).ok());
+  EXPECT_FALSE(SampleKDistance("x", 5, 5).ok());  // sample <= k
+  EXPECT_FALSE(SampleKDistance("/no/such/file", 5, 100).ok());
+}
+
+TEST(SampleKDistanceTest, SmallFileIsSampledCompletely) {
+  Rng rng(1);
+  const PointSet ps = testing::ClusteredPoints(&rng, 400, 2, 3, 0.1);
+  const std::string path = WriteSample(ps, "kdist_small.dbsc");
+  auto r = SampleKDistance(path, 5, 10000);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->sample_size, 400u);
+  EXPECT_EQ(r->total_points, 400u);
+  EXPECT_DOUBLE_EQ(r->SamplingInflation(2), 1.0);
+  // With the whole file sampled, the curve equals the in-memory one.
+  auto exact = analysis::ComputeKDistance(ps, 5);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(r->curve.distances, exact->distances);
+  std::remove(path.c_str());
+}
+
+TEST(SampleKDistanceTest, ReservoirIsUniformAndDeterministic) {
+  Rng rng(2);
+  const PointSet ps = testing::UniformPoints(&rng, 20000, 2, 0.0, 100.0);
+  const std::string path = WriteSample(ps, "kdist_big.dbsc");
+  auto a = SampleKDistance(path, 5, 1000, /*seed=*/3);
+  auto b = SampleKDistance(path, 5, 1000, /*seed=*/3);
+  auto c = SampleKDistance(path, 5, 1000, /*seed=*/4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->sample_size, 1000u);
+  EXPECT_EQ(a->total_points, 20000u);
+  EXPECT_EQ(a->curve.distances, b->curve.distances);
+  EXPECT_NE(a->curve.distances, c->curve.distances);
+  std::remove(path.c_str());
+}
+
+TEST(SampleKDistanceTest, InflationMatchesTheoryOnUniformData) {
+  // On uniform data, sampled k-distances should exceed full-data ones by
+  // roughly (n/m)^(1/d).
+  Rng rng(5);
+  const PointSet ps = testing::UniformPoints(&rng, 16000, 2, 0.0, 100.0);
+  const std::string path = WriteSample(ps, "kdist_uniform.dbsc");
+  auto sampled = SampleKDistance(path, 5, 1000, 7);
+  ASSERT_TRUE(sampled.ok());
+  auto exact = analysis::ComputeKDistance(ps, 5);
+  ASSERT_TRUE(exact.ok());
+  const double sampled_median =
+      sampled->curve.distances[sampled->curve.distances.size() / 2];
+  const double exact_median =
+      exact->distances[exact->distances.size() / 2];
+  const double inflation = sampled->SamplingInflation(2);
+  EXPECT_NEAR(inflation, 4.0, 1e-9);  // (16000/1000)^(1/2)
+  EXPECT_NEAR(sampled_median / exact_median, inflation,
+              0.35 * inflation);  // loose statistical tolerance
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dbscout::external

@@ -1,0 +1,83 @@
+#include "grid/cell_coord.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::grid {
+namespace {
+
+TEST(CellCoordTest, ZeroAndIndexing) {
+  CellCoord c = CellCoord::Zero(3);
+  EXPECT_EQ(c.dims(), 3u);
+  EXPECT_EQ(c[0], 0);
+  c[1] = -5;
+  EXPECT_EQ(c[1], -5);
+}
+
+TEST(CellCoordTest, ConstructFromSpan) {
+  const int64_t values[] = {1, -2, 3};
+  CellCoord c({values, 3});
+  EXPECT_EQ(c.dims(), 3u);
+  EXPECT_EQ(c[0], 1);
+  EXPECT_EQ(c[1], -2);
+  EXPECT_EQ(c[2], 3);
+}
+
+TEST(CellCoordTest, EqualityRespectsDimsAndValues) {
+  const int64_t a_vals[] = {1, 2};
+  const int64_t b_vals[] = {1, 2};
+  const int64_t c_vals[] = {1, 3};
+  const int64_t d_vals[] = {1, 2, 0};
+  EXPECT_EQ(CellCoord({a_vals, 2}), CellCoord({b_vals, 2}));
+  EXPECT_FALSE(CellCoord({a_vals, 2}) == CellCoord({c_vals, 2}));
+  EXPECT_FALSE(CellCoord({a_vals, 2}) == CellCoord({d_vals, 3}));
+}
+
+TEST(CellCoordTest, TranslatedAddsOffsets) {
+  const int64_t vals[] = {10, -10};
+  const int16_t offset[] = {-1, 2};
+  const CellCoord moved = CellCoord({vals, 2}).Translated({offset, 2});
+  EXPECT_EQ(moved[0], 9);
+  EXPECT_EQ(moved[1], -8);
+}
+
+TEST(CellCoordTest, OrderingIsStrictWeak) {
+  const int64_t a_vals[] = {0, 1};
+  const int64_t b_vals[] = {0, 2};
+  const CellCoord a({a_vals, 2});
+  const CellCoord b({b_vals, 2});
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(CellCoordTest, HashSpreadsNeighboringCells) {
+  std::unordered_set<uint64_t> hashes;
+  for (int64_t x = -10; x <= 10; ++x) {
+    for (int64_t y = -10; y <= 10; ++y) {
+      const int64_t vals[] = {x, y};
+      hashes.insert(CellCoord({vals, 2}).Hash());
+    }
+  }
+  EXPECT_EQ(hashes.size(), 21u * 21u);  // no collisions on a small window
+}
+
+TEST(CellCoordTest, WorksAsUnorderedMapKey) {
+  std::unordered_set<CellCoord, CellCoordHash> set;
+  const int64_t vals[] = {7, -3};
+  set.insert(CellCoord({vals, 2}));
+  set.insert(CellCoord({vals, 2}));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CellCoordTest, StreamOutput) {
+  const int64_t vals[] = {1, -2};
+  std::ostringstream os;
+  os << CellCoord({vals, 2});
+  EXPECT_EQ(os.str(), "(1,-2)");
+}
+
+}  // namespace
+}  // namespace dbscout::grid

@@ -1,0 +1,105 @@
+#include "grid/cell_map.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::grid {
+namespace {
+
+CellCoord Coord2(int64_t x, int64_t y) {
+  const int64_t vals[] = {x, y};
+  return CellCoord({vals, 2});
+}
+
+PointSet DensePlusSparse() {
+  PointSet ps(2);
+  // 5 points in cell (0,0), 2 in (1,-1), 1 in (4,4).
+  ps.Add({0.1, 0.1});
+  ps.Add({0.2, 0.2});
+  ps.Add({0.3, 0.3});
+  ps.Add({0.4, 0.4});
+  ps.Add({0.5, 0.5});
+  ps.Add({1.1, -0.3});
+  ps.Add({1.9, -0.9});
+  ps.Add({4.5, 4.5});
+  return ps;
+}
+
+TEST(CellMapTest, BuildDenseClassifiesByCount) {
+  const PointSet ps = DensePlusSparse();
+  auto g = Grid::Build(ps, std::sqrt(2.0));
+  ASSERT_TRUE(g.ok());
+  const CellMap map = CellMap::BuildDense(*g, 5);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.TypeOf(Coord2(0, 0)), CellType::kDense);
+  EXPECT_EQ(map.TypeOf(Coord2(1, -1)), CellType::kOther);
+  EXPECT_EQ(map.TypeOf(Coord2(4, 4)), CellType::kOther);
+  EXPECT_EQ(map.CountOf(Coord2(0, 0)), 5u);
+  EXPECT_EQ(map.CountOf(Coord2(1, -1)), 2u);
+  EXPECT_EQ(map.CountByType(CellType::kDense), 1u);
+}
+
+TEST(CellMapTest, AbsentCellsAreEmpty) {
+  const PointSet ps = DensePlusSparse();
+  auto g = Grid::Build(ps, std::sqrt(2.0));
+  const CellMap map = CellMap::BuildDense(*g, 5);
+  EXPECT_EQ(map.TypeOf(Coord2(99, 99)), CellType::kOther);
+  EXPECT_EQ(map.CountOf(Coord2(99, 99)), 0u);
+  EXPECT_FALSE(map.Contains(Coord2(99, 99)));
+}
+
+TEST(CellMapTest, MarkCoreUpgradesButNeverDowngrades) {
+  const PointSet ps = DensePlusSparse();
+  auto g = Grid::Build(ps, std::sqrt(2.0));
+  CellMap map = CellMap::BuildDense(*g, 5);
+  map.MarkCore(Coord2(1, -1));
+  EXPECT_EQ(map.TypeOf(Coord2(1, -1)), CellType::kCore);
+  map.MarkCore(Coord2(0, 0));  // dense stays dense
+  EXPECT_EQ(map.TypeOf(Coord2(0, 0)), CellType::kDense);
+  EXPECT_TRUE(map.IsCoreCell(Coord2(0, 0)));
+  EXPECT_TRUE(map.IsCoreCell(Coord2(1, -1)));
+  EXPECT_FALSE(map.IsCoreCell(Coord2(4, 4)));
+}
+
+TEST(CellMapTest, InsertTypesByMinPts) {
+  CellMap map;
+  map.Insert(Coord2(0, 0), 10, 5);
+  map.Insert(Coord2(1, 1), 4, 5);
+  EXPECT_EQ(map.TypeOf(Coord2(0, 0)), CellType::kDense);
+  EXPECT_EQ(map.TypeOf(Coord2(1, 1)), CellType::kOther);
+  EXPECT_EQ(map.CountOf(Coord2(0, 0)), 10u);
+}
+
+TEST(CellMapTest, HasCoreNeighborUsesStencil) {
+  auto stencil = GetNeighborStencil(2);
+  ASSERT_TRUE(stencil.ok());
+  CellMap map;
+  map.Insert(Coord2(0, 0), 10, 5);   // dense -> core
+  map.Insert(Coord2(2, 0), 1, 5);    // neighbor of (0,0) at offset (-2,0)
+  map.Insert(Coord2(10, 10), 1, 5);  // isolated
+  EXPECT_TRUE(map.HasCoreNeighbor(Coord2(2, 0), **stencil));
+  EXPECT_TRUE(map.HasCoreNeighbor(Coord2(0, 0), **stencil));  // self counts
+  EXPECT_FALSE(map.HasCoreNeighbor(Coord2(10, 10), **stencil));
+}
+
+TEST(CellMapTest, ForEachNonEmptyNeighborVisitsSelfAndNeighbors) {
+  auto stencil = GetNeighborStencil(2);
+  ASSERT_TRUE(stencil.ok());
+  CellMap map;
+  map.Insert(Coord2(0, 0), 3, 5);
+  map.Insert(Coord2(1, 1), 2, 5);
+  map.Insert(Coord2(50, 50), 9, 5);
+  int visited = 0;
+  uint32_t total_count = 0;
+  map.ForEachNonEmptyNeighbor(Coord2(0, 0), **stencil,
+                              [&](const CellCoord&, CellType, uint32_t count) {
+                                ++visited;
+                                total_count += count;
+                              });
+  EXPECT_EQ(visited, 2);  // (0,0) itself and (1,1); (50,50) is far
+  EXPECT_EQ(total_count, 5u);
+}
+
+}  // namespace
+}  // namespace dbscout::grid

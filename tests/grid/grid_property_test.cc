@@ -1,0 +1,145 @@
+// Property sweeps for the grid across dimensionalities and eps values:
+// CSR invariants, geometric cell membership, and neighbor symmetry on real
+// (not synthetic-offset) grids.
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "grid/grid.h"
+#include "testutil.h"
+
+namespace dbscout::grid {
+namespace {
+
+using Case = std::tuple<size_t /*dims*/, double /*eps*/>;
+
+class GridPropertyTest : public ::testing::TestWithParam<Case> {
+ protected:
+  PointSet MakePoints() const {
+    const auto [dims, eps] = GetParam();
+    Rng rng(500 + dims);
+    PointSet ps = testing::ClusteredPoints(&rng, 600, dims, 3, 0.25);
+    // Boundary stress: points exactly on multiples of the cell side.
+    const double side = eps / std::sqrt(static_cast<double>(dims));
+    std::vector<double> p(dims);
+    for (int i = -3; i <= 3; ++i) {
+      for (size_t k = 0; k < dims; ++k) {
+        p[k] = i * side;
+      }
+      ps.Add(p);
+    }
+    return ps;
+  }
+};
+
+TEST_P(GridPropertyTest, CsrPartitionInvariant) {
+  const auto [dims, eps] = GetParam();
+  const PointSet ps = MakePoints();
+  auto g = Grid::Build(ps, eps);
+  ASSERT_TRUE(g.ok());
+  std::set<uint32_t> seen;
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    for (uint32_t p : g->PointsInCell(c)) {
+      EXPECT_TRUE(seen.insert(p).second);
+      EXPECT_EQ(g->CellIdOfPoint(p), c);
+    }
+  }
+  EXPECT_EQ(seen.size(), ps.size());
+}
+
+TEST_P(GridPropertyTest, GeometricMembership) {
+  const auto [dims, eps] = GetParam();
+  const PointSet ps = MakePoints();
+  auto g = Grid::Build(ps, eps);
+  ASSERT_TRUE(g.ok());
+  const double side = g->side();
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    const CellCoord& coord = g->CoordOf(c);
+    for (uint32_t p : g->PointsInCell(c)) {
+      for (size_t k = 0; k < dims; ++k) {
+        const double lo = static_cast<double>(coord[k]) * side;
+        EXPECT_GE(ps.at(p, k), lo - 1e-9);
+        EXPECT_LT(ps.at(p, k), lo + side + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(GridPropertyTest, NeighborRelationIsSymmetric) {
+  const auto [dims, eps] = GetParam();
+  const PointSet ps = MakePoints();
+  auto g = Grid::Build(ps, eps);
+  ASSERT_TRUE(g.ok());
+  auto stencil = GetNeighborStencil(dims);
+  ASSERT_TRUE(stencil.ok());
+  // N in Neighbors(C) <=> C in Neighbors(N), the substitution Lemma 6's
+  // proof relies on.
+  std::vector<std::set<uint32_t>> neighbors(g->num_cells());
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    g->ForEachNeighborCell(c, **stencil,
+                           [&](uint32_t nc) { neighbors[c].insert(nc); });
+    EXPECT_TRUE(neighbors[c].count(c)) << "cell is its own neighbor";
+  }
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    for (uint32_t nc : neighbors[c]) {
+      EXPECT_TRUE(neighbors[nc].count(c))
+          << "asymmetric neighbor pair " << c << " " << nc;
+    }
+  }
+}
+
+TEST_P(GridPropertyTest, PointsWithinEpsShareNeighboringCells) {
+  // Completeness of the stencil on real data: any two points within eps
+  // must live in mutually neighboring cells.
+  const auto [dims, eps] = GetParam();
+  const PointSet ps = MakePoints();
+  auto g = Grid::Build(ps, eps);
+  ASSERT_TRUE(g.ok());
+  auto stencil = GetNeighborStencil(dims);
+  ASSERT_TRUE(stencil.ok());
+  const double eps2 = eps * eps;
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(rng.NextBounded(ps.size()));
+    const uint32_t b = static_cast<uint32_t>(rng.NextBounded(ps.size()));
+    if (PointSet::SquaredDistance(ps[a], ps[b]) > eps2) {
+      continue;
+    }
+    const uint32_t cell_a = g->CellIdOfPoint(a);
+    const uint32_t cell_b = g->CellIdOfPoint(b);
+    bool found = false;
+    g->ForEachNeighborCell(cell_a, **stencil, [&](uint32_t nc) {
+      found |= nc == cell_b;
+    });
+    EXPECT_TRUE(found) << "points " << a << "," << b
+                       << " within eps but cells not neighboring";
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  const auto [dims, eps] = info.param;
+  std::string eps_tag = std::to_string(eps);
+  for (auto& c : eps_tag) {
+    if (c == '.') {
+      c = '_';
+    }
+  }
+  std::string name = "d";
+  name += std::to_string(dims);
+  name += "_eps";
+  name += eps_tag;
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridPropertyTest,
+                         ::testing::Combine(::testing::Values(size_t{1},
+                                                              size_t{2},
+                                                              size_t{3},
+                                                              size_t{4}),
+                                            ::testing::Values(0.5, 2.0, 9.0)),
+                         CaseName);
+
+}  // namespace
+}  // namespace dbscout::grid

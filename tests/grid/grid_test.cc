@@ -1,0 +1,169 @@
+#include "grid/grid.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace dbscout::grid {
+namespace {
+
+PointSet TwoDPoints(std::initializer_list<std::pair<double, double>> pts) {
+  PointSet ps(2);
+  for (const auto& [x, y] : pts) {
+    ps.Add({x, y});
+  }
+  return ps;
+}
+
+TEST(GridTest, RejectsInvalidEps) {
+  const PointSet ps = TwoDPoints({{0, 0}});
+  EXPECT_FALSE(Grid::Build(ps, 0.0).ok());
+  EXPECT_FALSE(Grid::Build(ps, -1.0).ok());
+  EXPECT_FALSE(Grid::Build(ps, std::nan("")).ok());
+}
+
+TEST(GridTest, RejectsNonFiniteCoordinates) {
+  PointSet ps(2);
+  ps.Add({0.0, std::numeric_limits<double>::infinity()});
+  EXPECT_FALSE(Grid::Build(ps, 1.0).ok());
+  PointSet ps2(2);
+  ps2.Add({std::nan(""), 0.0});
+  EXPECT_FALSE(Grid::Build(ps2, 1.0).ok());
+}
+
+TEST(GridTest, RejectsOverflowingCoordinates) {
+  PointSet ps(1);
+  ps.Add({1e300});
+  auto g = Grid::Build(ps, 1.0);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GridTest, SideLengthIsEpsOverSqrtD) {
+  const PointSet ps = TwoDPoints({{0, 0}});
+  auto g = Grid::Build(ps, std::sqrt(2.0));
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->side(), 1.0, 1e-12);
+}
+
+TEST(GridTest, AssignsPointsToExpectedCells) {
+  // eps = sqrt(2) in 2D -> side 1: cells are unit squares.
+  const PointSet ps = TwoDPoints({{0.5, 0.5}, {1.1, -0.3}, {1.9, -0.9},
+                                  {0.7, -1.5}, {0.3, -1.8}});
+  auto g = Grid::Build(ps, std::sqrt(2.0));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_cells(), 3u);
+  const CellCoord c1 = g->CellOf(ps[0]);
+  EXPECT_EQ(c1[0], 0);
+  EXPECT_EQ(c1[1], 0);
+  const CellCoord c2 = g->CellOf(ps[1]);
+  EXPECT_EQ(c2[0], 1);
+  EXPECT_EQ(c2[1], -1);
+  const CellCoord c3 = g->CellOf(ps[3]);
+  EXPECT_EQ(c3[0], 0);
+  EXPECT_EQ(c3[1], -2);
+}
+
+TEST(GridTest, NegativeCoordinatesUseFloor) {
+  PointSet ps(1);
+  ps.Add({-0.5});
+  ps.Add({-1.0});
+  ps.Add({-1.5});
+  auto g = Grid::Build(ps, 1.0);  // d=1 -> side = 1
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->CellOf(ps[0])[0], -1);
+  EXPECT_EQ(g->CellOf(ps[1])[0], -1);  // boundary lands in its own cell
+  EXPECT_EQ(g->CellOf(ps[2])[0], -2);
+}
+
+TEST(GridTest, CsrLayoutGroupsEveryPointExactlyOnce) {
+  Rng rng(17);
+  const PointSet ps = testing::ClusteredPoints(&rng, 2000, 3, 5, 0.1);
+  auto g = Grid::Build(ps, 2.0);
+  ASSERT_TRUE(g.ok());
+  std::set<uint32_t> seen;
+  size_t total = 0;
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    for (uint32_t p : g->PointsInCell(c)) {
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate point " << p;
+      EXPECT_EQ(g->CellIdOfPoint(p), c);
+      // Every point must geometrically belong to its cell.
+      EXPECT_EQ(g->CellOf(ps[p]), g->CoordOf(c));
+      ++total;
+    }
+    EXPECT_EQ(g->CellSize(c), g->PointsInCell(c).size());
+  }
+  EXPECT_EQ(total, ps.size());
+}
+
+TEST(GridTest, PointsWithinOneCellAreWithinEps) {
+  // The defining property of the epsilon-cell (diagonal = eps): any two
+  // points sharing a cell are within eps of each other.
+  Rng rng(23);
+  const PointSet ps = testing::UniformPoints(&rng, 1000, 3, -5.0, 5.0);
+  const double eps = 1.3;
+  auto g = Grid::Build(ps, eps);
+  ASSERT_TRUE(g.ok());
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    const auto pts = g->PointsInCell(c);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (size_t j = i + 1; j < pts.size(); ++j) {
+        EXPECT_LE(ps.SquaredDistance(pts[i], pts[j]), eps * eps);
+      }
+    }
+  }
+}
+
+TEST(GridTest, FindCellLookupsMatchCoords) {
+  const PointSet ps = TwoDPoints({{0.5, 0.5}, {3.5, 3.5}});
+  auto g = Grid::Build(ps, std::sqrt(2.0));
+  ASSERT_TRUE(g.ok());
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    auto found = g->FindCell(g->CoordOf(c));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, c);
+  }
+  const int64_t vals[] = {100, 100};
+  EXPECT_FALSE(g->FindCell(CellCoord({vals, 2})).has_value());
+}
+
+TEST(GridTest, NeighborEnumerationFindsAllCellsWithinReach) {
+  // Points in adjacent unit cells must see each other via the stencil.
+  const PointSet ps = TwoDPoints({{0.5, 0.5}, {1.5, 0.5}, {5.0, 5.0}});
+  auto g = Grid::Build(ps, std::sqrt(2.0));
+  ASSERT_TRUE(g.ok());
+  auto stencil = GetNeighborStencil(2);
+  ASSERT_TRUE(stencil.ok());
+  const uint32_t cell0 = g->CellIdOfPoint(0);
+  std::set<uint32_t> neighbors;
+  g->ForEachNeighborCell(cell0, **stencil,
+                         [&](uint32_t nc) { neighbors.insert(nc); });
+  EXPECT_TRUE(neighbors.count(cell0));                    // self
+  EXPECT_TRUE(neighbors.count(g->CellIdOfPoint(1)));      // adjacent
+  EXPECT_FALSE(neighbors.count(g->CellIdOfPoint(2)));     // far away
+}
+
+TEST(GridTest, EmptyPointSetYieldsEmptyGrid) {
+  PointSet ps(2);
+  auto g = Grid::Build(ps, 1.0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_cells(), 0u);
+  EXPECT_EQ(g->num_points(), 0u);
+}
+
+TEST(GridTest, DuplicatePointsShareOneCell) {
+  PointSet ps(2);
+  for (int i = 0; i < 10; ++i) {
+    ps.Add({1.25, 1.25});
+  }
+  auto g = Grid::Build(ps, 1.0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_cells(), 1u);
+  EXPECT_EQ(g->CellSize(0), 10u);
+}
+
+}  // namespace
+}  // namespace dbscout::grid

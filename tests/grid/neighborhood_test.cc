@@ -1,0 +1,159 @@
+#include "grid/neighborhood.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::grid {
+namespace {
+
+TEST(NeighborhoodTest, RejectsOutOfRangeDims) {
+  EXPECT_FALSE(GetNeighborStencil(0).ok());
+  EXPECT_FALSE(GetNeighborStencil(kMaxDims + 1).ok());
+  EXPECT_FALSE(CountNeighborOffsets(0).ok());
+}
+
+TEST(NeighborhoodTest, OneDimensional) {
+  // d=1: side = eps; offsets with max(0,|j|-1)^2 < 1 are j in {-1,0,1}.
+  auto stencil = GetNeighborStencil(1);
+  ASSERT_TRUE(stencil.ok());
+  EXPECT_EQ((*stencil)->size(), 3u);
+}
+
+// Table I of the paper: actual k_d per dimensionality.
+TEST(NeighborhoodTest, PaperTableOneActualValues) {
+  const std::vector<std::pair<size_t, uint64_t>> expected = {
+      {2, 21},   {3, 117},   {4, 609},
+      {5, 3903}, {6, 28197}, {7, 197067}};
+  for (const auto& [d, kd] : expected) {
+    auto count = CountNeighborOffsets(d);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, kd) << "d=" << d;
+  }
+}
+
+// Table I of the paper: the loose bound of Lemma 3.
+TEST(NeighborhoodTest, PaperTableOneUpperBounds) {
+  EXPECT_EQ(NeighborUpperBound(2), 25u);
+  EXPECT_EQ(NeighborUpperBound(3), 125u);
+  EXPECT_EQ(NeighborUpperBound(4), 625u);
+  EXPECT_EQ(NeighborUpperBound(5), 16807u);
+  EXPECT_EQ(NeighborUpperBound(6), 117649u);
+  EXPECT_EQ(NeighborUpperBound(7), 823543u);
+  EXPECT_EQ(NeighborUpperBound(8), 5764801u);
+  EXPECT_EQ(NeighborUpperBound(9), 40353607u);
+}
+
+TEST(NeighborhoodTest, CountMatchesMaterializedStencil) {
+  for (size_t d = 1; d <= 5; ++d) {
+    auto stencil = GetNeighborStencil(d);
+    auto count = CountNeighborOffsets(d);
+    ASSERT_TRUE(stencil.ok());
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ((*stencil)->size(), *count) << "d=" << d;
+  }
+}
+
+TEST(NeighborhoodTest, ContainsSelfOffset) {
+  for (size_t d = 1; d <= 4; ++d) {
+    auto stencil = GetNeighborStencil(d);
+    ASSERT_TRUE(stencil.ok());
+    bool has_zero = false;
+    for (const auto& offset : (*stencil)->offsets) {
+      bool all_zero = true;
+      for (size_t k = 0; k < d; ++k) {
+        all_zero &= offset[k] == 0;
+      }
+      has_zero |= all_zero;
+    }
+    EXPECT_TRUE(has_zero) << "d=" << d;
+  }
+}
+
+TEST(NeighborhoodTest, OffsetsAreUniqueAndSymmetric) {
+  for (size_t d : {2, 3, 4}) {
+    auto stencil = GetNeighborStencil(d);
+    ASSERT_TRUE(stencil.ok());
+    std::set<std::vector<int>> seen;
+    for (const auto& offset : (*stencil)->offsets) {
+      std::vector<int> key(d);
+      std::vector<int> negated(d);
+      for (size_t k = 0; k < d; ++k) {
+        key[k] = offset[k];
+        negated[k] = -offset[k];
+      }
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate offset, d=" << d;
+      // N in Neighbors(C) <=> C in Neighbors(N): -j must also be a neighbor.
+      uint64_t gap = 0;
+      for (size_t k = 0; k < d; ++k) {
+        const int a = std::abs(negated[k]);
+        gap += a == 0 ? 0 : static_cast<uint64_t>(a - 1) * (a - 1);
+      }
+      EXPECT_LT(gap, d);
+    }
+  }
+}
+
+// Cross-check the pruned enumeration against a brute-force scan for small d.
+TEST(NeighborhoodTest, MatchesBruteForceEnumeration) {
+  for (size_t d = 1; d <= 4; ++d) {
+    const int radius =
+        static_cast<int>(std::ceil(std::sqrt(static_cast<double>(d))));
+    uint64_t brute = 0;
+    std::vector<int> j(d, -radius);
+    for (;;) {
+      uint64_t gap = 0;
+      for (size_t k = 0; k < d; ++k) {
+        const int a = std::abs(j[k]);
+        gap += a == 0 ? 0 : static_cast<uint64_t>(a - 1) * (a - 1);
+      }
+      brute += gap < d;
+      size_t k = 0;
+      while (k < d && ++j[k] > radius) {
+        j[k] = -radius;
+        ++k;
+      }
+      if (k == d) break;
+    }
+    auto count = CountNeighborOffsets(d);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, brute) << "d=" << d;
+  }
+}
+
+// The neighbor condition must be exactly "min inter-cell distance < eps":
+// verify geometrically that for every included offset a point pair at
+// distance < eps can exist, and for every excluded one it cannot.
+TEST(NeighborhoodTest, OffsetsMatchGeometricMinimumDistance) {
+  // With side = eps/sqrt(d), the minimum squared inter-cell distance for
+  // offset j is (sum_i max(0,|j_i|-1)^2) * eps^2/d, so "min distance < eps"
+  // is exactly "sum_i max(0,|j_i|-1)^2 < d" — evaluate it in integers to
+  // avoid float rounding at the boundary (e.g. offset (2,2) in 2D sits at
+  // distance exactly eps and must be excluded).
+  const int d = 2;
+  auto stencil = GetNeighborStencil(d);
+  ASSERT_TRUE(stencil.ok());
+  for (int jx = -3; jx <= 3; ++jx) {
+    for (int jy = -3; jy <= 3; ++jy) {
+      int min_dist_units = 0;  // in units of eps^2/d
+      for (int a : {jx, jy}) {
+        const int gap = a == 0 ? 0 : std::abs(a) - 1;
+        min_dist_units += gap * gap;
+      }
+      bool in_stencil = false;
+      for (const auto& offset : (*stencil)->offsets) {
+        if (offset[0] == jx && offset[1] == jy) {
+          in_stencil = true;
+          break;
+        }
+      }
+      EXPECT_EQ(in_stencil, min_dist_units < d)
+          << "offset (" << jx << "," << jy << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbscout::grid

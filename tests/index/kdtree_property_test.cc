@@ -1,0 +1,114 @@
+// Property sweeps for the kd-tree: across dimensionalities, sizes, and
+// query types, results must match brute force exactly (up to distance ties
+// in index choice).
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "index/kdtree.h"
+#include "testutil.h"
+
+namespace dbscout::index {
+namespace {
+
+using Case = std::tuple<size_t /*dims*/, size_t /*n*/, size_t /*k*/>;
+
+class KdTreePropertyTest : public ::testing::TestWithParam<Case> {
+ protected:
+  PointSet MakePoints() const {
+    const auto [dims, n, k] = GetParam();
+    Rng rng(1000 + dims * 31 + n);
+    // Mix of clusters and uniform background, plus duplicates.
+    PointSet ps = testing::ClusteredPoints(&rng, n, dims, 3, 0.2);
+    for (size_t i = 0; i < n / 20; ++i) {
+      ps.Add(ps[rng.NextBounded(ps.size())]);
+    }
+    return ps;
+  }
+};
+
+TEST_P(KdTreePropertyTest, KnnDistancesMatchBruteForce) {
+  const auto [dims, n, k] = GetParam();
+  const PointSet ps = MakePoints();
+  const KdTree tree = KdTree::Build(ps);
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const uint32_t q = static_cast<uint32_t>(rng.NextBounded(ps.size()));
+    const auto got = tree.Knn(ps[q], k, q);
+    // Brute-force distances.
+    std::vector<double> brute;
+    for (size_t i = 0; i < ps.size(); ++i) {
+      if (i != q) {
+        brute.push_back(std::sqrt(PointSet::SquaredDistance(ps[i], ps[q])));
+      }
+    }
+    std::sort(brute.begin(), brute.end());
+    ASSERT_EQ(got.size(), std::min(k, brute.size()));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, brute[i], 1e-10)
+          << "dims=" << dims << " q=" << q << " i=" << i;
+    }
+  }
+}
+
+TEST_P(KdTreePropertyTest, CountWithinMatchesBruteForceOverRadiusSweep) {
+  const auto [dims, n, k] = GetParam();
+  (void)k;
+  const PointSet ps = MakePoints();
+  const KdTree tree = KdTree::Build(ps);
+  Rng rng(9);
+  for (double radius : {0.1, 1.0, 5.0, 100.0}) {
+    const uint32_t q = static_cast<uint32_t>(rng.NextBounded(ps.size()));
+    size_t brute = 0;
+    for (size_t i = 0; i < ps.size(); ++i) {
+      brute += PointSet::SquaredDistance(ps[i], ps[q]) <= radius * radius;
+    }
+    EXPECT_EQ(tree.CountWithin(ps[q], radius), brute)
+        << "dims=" << dims << " radius=" << radius;
+  }
+}
+
+TEST_P(KdTreePropertyTest, KnnFromOffDataQueries) {
+  const auto [dims, n, k] = GetParam();
+  const PointSet ps = MakePoints();
+  const KdTree tree = KdTree::Build(ps);
+  Rng rng(11);
+  std::vector<double> query(dims);
+  for (int trial = 0; trial < 5; ++trial) {
+    for (auto& c : query) {
+      c = rng.Uniform(-80.0, 80.0);
+    }
+    const auto got = tree.Knn(query, k);
+    std::vector<double> brute;
+    for (size_t i = 0; i < ps.size(); ++i) {
+      brute.push_back(std::sqrt(PointSet::SquaredDistance(ps[i], query)));
+    }
+    std::sort(brute.begin(), brute.end());
+    ASSERT_EQ(got.size(), std::min(k, ps.size()));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, brute[i], 1e-10);
+    }
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  const auto [dims, n, k] = info.param;
+  std::string name = "d";
+  name += std::to_string(dims);
+  name += "_n";
+  name += std::to_string(n);
+  name += "_k";
+  name += std::to_string(k);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreePropertyTest,
+    ::testing::Values(Case{1, 200, 3}, Case{2, 400, 6}, Case{3, 400, 10},
+                      Case{5, 300, 6}, Case{2, 50, 60} /* k > n */),
+    CaseName);
+
+}  // namespace
+}  // namespace dbscout::index

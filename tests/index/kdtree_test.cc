@@ -1,0 +1,162 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace dbscout::index {
+namespace {
+
+/// Brute-force k-NN for cross-checking.
+std::vector<Neighbor> BruteKnn(const PointSet& points,
+                               std::span<const double> query, size_t k,
+                               int64_t exclude) {
+  std::vector<Neighbor> all;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (static_cast<int64_t>(i) == exclude) {
+      continue;
+    }
+    all.push_back({static_cast<uint32_t>(i),
+                   std::sqrt(PointSet::SquaredDistance(points[i], query))});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  });
+  if (all.size() > k) {
+    all.resize(k);
+  }
+  return all;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  PointSet ps(2);
+  const KdTree tree = KdTree::Build(ps);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Knn({(const double[]){0.0, 0.0}, 2}, 3).empty());
+  EXPECT_EQ(tree.CountWithin({(const double[]){0.0, 0.0}, 2}, 1.0), 0u);
+}
+
+TEST(KdTreeTest, KnnMatchesBruteForceDistances) {
+  Rng rng(31);
+  const PointSet ps = testing::ClusteredPoints(&rng, 500, 3, 4, 0.2);
+  const KdTree tree = KdTree::Build(ps);
+  for (uint32_t q : {0u, 17u, 250u, 499u}) {
+    for (size_t k : {1u, 5u, 20u}) {
+      const auto got = tree.Knn(ps[q], k, q);
+      const auto want = BruteKnn(ps, ps[q], k, q);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Indices may differ under distance ties; distances must match.
+        EXPECT_NEAR(got[i].distance, want[i].distance, 1e-12)
+            << "q=" << q << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KdTreeTest, KnnExcludesQueryPoint) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  ps.Add({1, 0});
+  ps.Add({2, 0});
+  const KdTree tree = KdTree::Build(ps);
+  const auto nn = tree.Knn(ps[0], 1, 0);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].index, 1u);
+  EXPECT_NEAR(nn[0].distance, 1.0, 1e-12);
+}
+
+TEST(KdTreeTest, KnnWithoutExclusionReturnsSelfFirst) {
+  PointSet ps(2);
+  ps.Add({0, 0});
+  ps.Add({5, 5});
+  const KdTree tree = KdTree::Build(ps);
+  const auto nn = tree.Knn(ps[0], 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].index, 0u);
+  EXPECT_NEAR(nn[0].distance, 0.0, 1e-12);
+}
+
+TEST(KdTreeTest, KnnResultsAreSortedAscending) {
+  Rng rng(33);
+  const PointSet ps = testing::UniformPoints(&rng, 300, 2, -5, 5);
+  const KdTree tree = KdTree::Build(ps);
+  const auto nn = tree.Knn(ps[0], 25, 0);
+  ASSERT_EQ(nn.size(), 25u);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].distance, nn[i].distance);
+  }
+}
+
+TEST(KdTreeTest, KnnClampsKToAvailablePoints) {
+  PointSet ps(1);
+  ps.Add({1.0});
+  ps.Add({2.0});
+  const KdTree tree = KdTree::Build(ps);
+  EXPECT_EQ(tree.Knn(ps[0], 10, 0).size(), 1u);
+  EXPECT_EQ(tree.Knn(ps[0], 10).size(), 2u);
+}
+
+TEST(KdTreeTest, CountWithinMatchesBruteForce) {
+  Rng rng(35);
+  const PointSet ps = testing::ClusteredPoints(&rng, 400, 2, 3, 0.3);
+  const KdTree tree = KdTree::Build(ps);
+  for (uint32_t q : {0u, 100u, 399u}) {
+    for (double radius : {0.5, 2.0, 10.0}) {
+      size_t brute = 0;
+      for (size_t i = 0; i < ps.size(); ++i) {
+        brute += PointSet::SquaredDistance(ps[i], ps[q]) <= radius * radius;
+      }
+      EXPECT_EQ(tree.CountWithin(ps[q], radius), brute)
+          << "q=" << q << " r=" << radius;
+    }
+  }
+}
+
+TEST(KdTreeTest, CountWithinHonorsCap) {
+  PointSet ps(1);
+  for (int i = 0; i < 100; ++i) {
+    ps.Add({0.0});
+  }
+  const KdTree tree = KdTree::Build(ps);
+  EXPECT_EQ(tree.CountWithin(ps[0], 1.0, 10), 10u);
+  EXPECT_EQ(tree.CountWithin(ps[0], 1.0), 100u);
+}
+
+TEST(KdTreeTest, ForEachWithinVisitsExactSet) {
+  Rng rng(37);
+  const PointSet ps = testing::UniformPoints(&rng, 200, 3, -3, 3);
+  const KdTree tree = KdTree::Build(ps);
+  const double radius = 1.5;
+  std::set<uint32_t> visited;
+  tree.ForEachWithin(ps[7], radius, [&](uint32_t idx, double dist) {
+    EXPECT_TRUE(visited.insert(idx).second) << "duplicate " << idx;
+    EXPECT_NEAR(dist,
+                std::sqrt(PointSet::SquaredDistance(ps[idx], ps[7])), 1e-12);
+  });
+  for (size_t i = 0; i < ps.size(); ++i) {
+    const bool in_range =
+        PointSet::SquaredDistance(ps[i], ps[7]) <= radius * radius;
+    EXPECT_EQ(visited.count(static_cast<uint32_t>(i)) > 0, in_range);
+  }
+}
+
+TEST(KdTreeTest, AllDuplicatePointsFormOneLeaf) {
+  PointSet ps(2);
+  for (int i = 0; i < 50; ++i) {
+    ps.Add({3.0, 3.0});
+  }
+  const KdTree tree = KdTree::Build(ps);
+  const auto nn = tree.Knn(ps[0], 5, 0);
+  ASSERT_EQ(nn.size(), 5u);
+  for (const auto& n : nn) {
+    EXPECT_EQ(n.distance, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dbscout::index

@@ -1,0 +1,133 @@
+// Cross-module integration tests: the full pipelines a user of the library
+// actually runs — generate / persist / reload / detect / evaluate — and the
+// cross-algorithm consistency promises the paper makes.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/compare.h"
+#include "analysis/kdistance.h"
+#include "analysis/metrics.h"
+#include "baselines/dbscan.h"
+#include "baselines/rp_dbscan.h"
+#include "core/dbscout.h"
+#include "data/io.h"
+#include "datasets/geo.h"
+#include "datasets/synthetic.h"
+#include "testutil.h"
+
+namespace dbscout {
+namespace {
+
+TEST(EndToEndTest, PersistDetectEvaluatePipeline) {
+  // Generate -> save CSV -> reload -> pick eps via elbow -> detect ->
+  // score against ground truth. The reloaded run must equal the in-memory
+  // run exactly (CSV round-trip is lossless).
+  const auto data = datasets::Blobs(2500, 0.02, 99);
+  const std::string path = ::testing::TempDir() + "/e2e_points.csv";
+  ASSERT_TRUE(SavePointsCsv(path, data.points).ok());
+  auto reloaded = LoadPointsCsv(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  std::remove(path.c_str());
+
+  auto curve = analysis::ComputeKDistance(*reloaded, 5);
+  ASSERT_TRUE(curve.ok());
+  core::Params params;
+  params.eps = curve->SuggestEpsUpper();
+  params.min_pts = 5;
+
+  auto from_disk = core::Detect(*reloaded, params);
+  auto from_memory = core::Detect(data.points, params);
+  ASSERT_TRUE(from_disk.ok());
+  ASSERT_TRUE(from_memory.ok());
+  EXPECT_EQ(from_disk->outliers, from_memory->outliers);
+
+  const auto confusion =
+      analysis::ConfusionFromIndices(data.labels, from_disk->outliers);
+  EXPECT_GT(confusion.F1(), 0.8);
+}
+
+TEST(EndToEndTest, BinaryFormatFeedsTheDetectorIdentically) {
+  const PointSet points = datasets::OsmLike(5000, 7);
+  const std::string path = ::testing::TempDir() + "/e2e_points.dbsc";
+  ASSERT_TRUE(SavePointsBinary(path, points).ok());
+  auto reloaded = LoadPointsBinary(path);
+  ASSERT_TRUE(reloaded.ok());
+  std::remove(path.c_str());
+  core::Params params;
+  params.eps = 5e5;
+  params.min_pts = 20;
+  auto a = core::DetectSequential(points, params);
+  auto b = core::DetectSequential(*reloaded, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->outliers, b->outliers);
+}
+
+TEST(EndToEndTest, DbscoutDbscanAndBruteForceAgreeOnGpsWorkload) {
+  // The paper's core claim chained across three implementations.
+  const PointSet points = datasets::GeolifeLike(3000, 17);
+  const double eps = 900.0;
+  const int min_pts = 10;
+  core::Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  auto dbscout_run = core::DetectSequential(points, params);
+  ASSERT_TRUE(dbscout_run.ok());
+  auto dbscan_run = baselines::Dbscan(points, eps, min_pts);
+  ASSERT_TRUE(dbscan_run.ok());
+  EXPECT_EQ(dbscout_run->outliers, dbscan_run->Noise());
+  EXPECT_EQ(dbscout_run->outliers,
+            testing::BruteForceOutliers(points, eps, min_pts));
+}
+
+TEST(EndToEndTest, ScaledDatasetKeepsOutlierFractionStable) {
+  // Duplication-with-noise (the paper's 200%-1000% recipe) must roughly
+  // preserve outlier structure: the outlier fraction stays in the same
+  // ballpark after 3x duplication with jitter far below eps.
+  const PointSet base = datasets::OsmLike(20000, 19);
+  const PointSet tripled = datasets::ScaleWithNoise(base, 3, 1000.0, 19);
+  core::Params params;
+  params.eps = 5e5;
+  params.min_pts = 60;
+  auto base_run = core::DetectSequential(base, params);
+  params.min_pts = 3 * 60;  // density tripled alongside the points
+  auto tripled_run = core::DetectSequential(tripled, params);
+  ASSERT_TRUE(base_run.ok());
+  ASSERT_TRUE(tripled_run.ok());
+  const double base_fraction =
+      static_cast<double>(base_run->num_outliers()) /
+      static_cast<double>(base.size());
+  const double tripled_fraction =
+      static_cast<double>(tripled_run->num_outliers()) /
+      static_cast<double>(tripled.size());
+  EXPECT_NEAR(tripled_fraction, base_fraction, 0.33 * base_fraction + 0.002);
+}
+
+TEST(EndToEndTest, RpDbscanAccuracyPipelineRunsAtOccupancyScale) {
+  // Tables IV/V pipeline in miniature: exact reference vs approximate
+  // candidate, diffed into TP/FP/FN that add up.
+  const PointSet points = datasets::OsmLike(30000, 23);
+  core::Params params;
+  params.eps = 4e5;
+  params.min_pts = 40;
+  auto exact = core::DetectSequential(points, params);
+  ASSERT_TRUE(exact.ok());
+  baselines::RpDbscanParams rp;
+  rp.eps = params.eps;
+  rp.min_pts = params.min_pts;
+  rp.rho = 0.3;
+  auto approx = baselines::RpDbscan(points, rp);
+  ASSERT_TRUE(approx.ok());
+  const auto diff =
+      analysis::CompareOutlierSets(exact->outliers, approx->outliers);
+  EXPECT_EQ(diff.tp + diff.fn, exact->outliers.size());
+  EXPECT_EQ(diff.tp + diff.fp, approx->outliers.size());
+  // Overwhelming agreement even at coarse rho.
+  EXPECT_GT(static_cast<double>(diff.tp),
+            0.9 * static_cast<double>(exact->outliers.size()));
+}
+
+}  // namespace
+}  // namespace dbscout

@@ -1,0 +1,9 @@
+// The `dbscout` command-line tool; all logic lives in src/cli so it can be
+// unit tested in-process.
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return dbscout::cli::RunCli(argc, argv, std::cout, std::cerr);
+}
