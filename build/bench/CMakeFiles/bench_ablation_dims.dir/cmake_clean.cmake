@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dims.dir/bench_ablation_dims.cc.o"
+  "CMakeFiles/bench_ablation_dims.dir/bench_ablation_dims.cc.o.d"
+  "bench_ablation_dims"
+  "bench_ablation_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_external.dir/bench_ablation_external.cc.o"
+  "CMakeFiles/bench_ablation_external.dir/bench_ablation_external.cc.o.d"
+  "bench_ablation_external"
+  "bench_ablation_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

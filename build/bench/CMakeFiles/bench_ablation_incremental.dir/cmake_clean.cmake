@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_incremental.dir/bench_ablation_incremental.cc.o"
+  "CMakeFiles/bench_ablation_incremental.dir/bench_ablation_incremental.cc.o.d"
+  "bench_ablation_incremental"
+  "bench_ablation_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

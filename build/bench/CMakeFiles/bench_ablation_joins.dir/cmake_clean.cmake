@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_joins.dir/bench_ablation_joins.cc.o"
+  "CMakeFiles/bench_ablation_joins.dir/bench_ablation_joins.cc.o.d"
+  "bench_ablation_joins"
+  "bench_ablation_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

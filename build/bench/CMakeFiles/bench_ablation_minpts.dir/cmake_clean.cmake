@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_minpts.dir/bench_ablation_minpts.cc.o"
+  "CMakeFiles/bench_ablation_minpts.dir/bench_ablation_minpts.cc.o.d"
+  "bench_ablation_minpts"
+  "bench_ablation_minpts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minpts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

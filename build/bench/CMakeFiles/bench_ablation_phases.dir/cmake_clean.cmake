@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_phases.dir/bench_ablation_phases.cc.o"
+  "CMakeFiles/bench_ablation_phases.dir/bench_ablation_phases.cc.o.d"
+  "bench_ablation_phases"
+  "bench_ablation_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

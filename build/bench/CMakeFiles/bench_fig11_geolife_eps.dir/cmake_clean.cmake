@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_geolife_eps.dir/bench_fig11_geolife_eps.cc.o"
+  "CMakeFiles/bench_fig11_geolife_eps.dir/bench_fig11_geolife_eps.cc.o.d"
+  "bench_fig11_geolife_eps"
+  "bench_fig11_geolife_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_geolife_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

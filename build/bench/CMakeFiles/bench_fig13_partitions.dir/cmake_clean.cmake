@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_partitions.dir/bench_fig13_partitions.cc.o"
+  "CMakeFiles/bench_fig13_partitions.dir/bench_fig13_partitions.cc.o.d"
+  "bench_fig13_partitions"
+  "bench_fig13_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_neighbors.dir/bench_table1_neighbors.cc.o"
+  "CMakeFiles/bench_table1_neighbors.dir/bench_table1_neighbors.cc.o.d"
+  "bench_table1_neighbors"
+  "bench_table1_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scalability.dir/bench_table2_scalability.cc.o"
+  "CMakeFiles/bench_table2_scalability.dir/bench_table2_scalability.cc.o.d"
+  "bench_table2_scalability"
+  "bench_table2_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_quality.dir/bench_table3_quality.cc.o"
+  "CMakeFiles/bench_table3_quality.dir/bench_table3_quality.cc.o.d"
+  "bench_table3_quality"
+  "bench_table3_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_rpdbscan_geolife.dir/bench_table4_rpdbscan_geolife.cc.o"
+  "CMakeFiles/bench_table4_rpdbscan_geolife.dir/bench_table4_rpdbscan_geolife.cc.o.d"
+  "bench_table4_rpdbscan_geolife"
+  "bench_table4_rpdbscan_geolife.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_rpdbscan_geolife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_rpdbscan_osm.dir/bench_table5_rpdbscan_osm.cc.o"
+  "CMakeFiles/bench_table5_rpdbscan_osm.dir/bench_table5_rpdbscan_osm.cc.o.d"
+  "bench_table5_rpdbscan_osm"
+  "bench_table5_rpdbscan_osm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_rpdbscan_osm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

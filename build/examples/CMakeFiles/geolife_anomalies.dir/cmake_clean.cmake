@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolife_anomalies.dir/geolife_anomalies.cpp.o"
+  "CMakeFiles/geolife_anomalies.dir/geolife_anomalies.cpp.o.d"
+  "geolife_anomalies"
+  "geolife_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolife_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for geolife_anomalies.
+# This may be replaced when dependencies are built.

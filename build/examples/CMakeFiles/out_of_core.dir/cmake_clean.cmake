@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core.dir/out_of_core.cpp.o"
+  "CMakeFiles/out_of_core.dir/out_of_core.cpp.o.d"
+  "out_of_core"
+  "out_of_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

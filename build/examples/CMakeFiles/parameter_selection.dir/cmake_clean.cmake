@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_selection.dir/parameter_selection.cpp.o"
+  "CMakeFiles/parameter_selection.dir/parameter_selection.cpp.o.d"
+  "parameter_selection"
+  "parameter_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_monitoring.dir/sensor_monitoring.cpp.o"
+  "CMakeFiles/sensor_monitoring.dir/sensor_monitoring.cpp.o.d"
+  "sensor_monitoring"
+  "sensor_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_detection.dir/streaming_detection.cpp.o"
+  "CMakeFiles/streaming_detection.dir/streaming_detection.cpp.o.d"
+  "streaming_detection"
+  "streaming_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

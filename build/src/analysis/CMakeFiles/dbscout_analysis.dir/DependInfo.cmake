@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/auc.cc" "src/analysis/CMakeFiles/dbscout_analysis.dir/auc.cc.o" "gcc" "src/analysis/CMakeFiles/dbscout_analysis.dir/auc.cc.o.d"
+  "/root/repo/src/analysis/compare.cc" "src/analysis/CMakeFiles/dbscout_analysis.dir/compare.cc.o" "gcc" "src/analysis/CMakeFiles/dbscout_analysis.dir/compare.cc.o.d"
+  "/root/repo/src/analysis/kdistance.cc" "src/analysis/CMakeFiles/dbscout_analysis.dir/kdistance.cc.o" "gcc" "src/analysis/CMakeFiles/dbscout_analysis.dir/kdistance.cc.o.d"
+  "/root/repo/src/analysis/metrics.cc" "src/analysis/CMakeFiles/dbscout_analysis.dir/metrics.cc.o" "gcc" "src/analysis/CMakeFiles/dbscout_analysis.dir/metrics.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/analysis/CMakeFiles/dbscout_analysis.dir/table.cc.o" "gcc" "src/analysis/CMakeFiles/dbscout_analysis.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbscout_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dbscout_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

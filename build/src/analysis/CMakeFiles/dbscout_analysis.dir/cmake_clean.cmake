@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_analysis.dir/auc.cc.o"
+  "CMakeFiles/dbscout_analysis.dir/auc.cc.o.d"
+  "CMakeFiles/dbscout_analysis.dir/compare.cc.o"
+  "CMakeFiles/dbscout_analysis.dir/compare.cc.o.d"
+  "CMakeFiles/dbscout_analysis.dir/kdistance.cc.o"
+  "CMakeFiles/dbscout_analysis.dir/kdistance.cc.o.d"
+  "CMakeFiles/dbscout_analysis.dir/metrics.cc.o"
+  "CMakeFiles/dbscout_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/dbscout_analysis.dir/table.cc.o"
+  "CMakeFiles/dbscout_analysis.dir/table.cc.o.d"
+  "libdbscout_analysis.a"
+  "libdbscout_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

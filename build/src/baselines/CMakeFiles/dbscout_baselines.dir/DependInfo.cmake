@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dbscan.cc" "src/baselines/CMakeFiles/dbscout_baselines.dir/dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/dbscout_baselines.dir/dbscan.cc.o.d"
+  "/root/repo/src/baselines/ddlof.cc" "src/baselines/CMakeFiles/dbscout_baselines.dir/ddlof.cc.o" "gcc" "src/baselines/CMakeFiles/dbscout_baselines.dir/ddlof.cc.o.d"
+  "/root/repo/src/baselines/isolation_forest.cc" "src/baselines/CMakeFiles/dbscout_baselines.dir/isolation_forest.cc.o" "gcc" "src/baselines/CMakeFiles/dbscout_baselines.dir/isolation_forest.cc.o.d"
+  "/root/repo/src/baselines/knorr.cc" "src/baselines/CMakeFiles/dbscout_baselines.dir/knorr.cc.o" "gcc" "src/baselines/CMakeFiles/dbscout_baselines.dir/knorr.cc.o.d"
+  "/root/repo/src/baselines/lof.cc" "src/baselines/CMakeFiles/dbscout_baselines.dir/lof.cc.o" "gcc" "src/baselines/CMakeFiles/dbscout_baselines.dir/lof.cc.o.d"
+  "/root/repo/src/baselines/ocsvm.cc" "src/baselines/CMakeFiles/dbscout_baselines.dir/ocsvm.cc.o" "gcc" "src/baselines/CMakeFiles/dbscout_baselines.dir/ocsvm.cc.o.d"
+  "/root/repo/src/baselines/rp_dbscan.cc" "src/baselines/CMakeFiles/dbscout_baselines.dir/rp_dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/dbscout_baselines.dir/rp_dbscan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbscout_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dbscout_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dbscout_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dbscout_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

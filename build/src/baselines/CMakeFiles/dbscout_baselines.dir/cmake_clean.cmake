@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_baselines.dir/dbscan.cc.o"
+  "CMakeFiles/dbscout_baselines.dir/dbscan.cc.o.d"
+  "CMakeFiles/dbscout_baselines.dir/ddlof.cc.o"
+  "CMakeFiles/dbscout_baselines.dir/ddlof.cc.o.d"
+  "CMakeFiles/dbscout_baselines.dir/isolation_forest.cc.o"
+  "CMakeFiles/dbscout_baselines.dir/isolation_forest.cc.o.d"
+  "CMakeFiles/dbscout_baselines.dir/knorr.cc.o"
+  "CMakeFiles/dbscout_baselines.dir/knorr.cc.o.d"
+  "CMakeFiles/dbscout_baselines.dir/lof.cc.o"
+  "CMakeFiles/dbscout_baselines.dir/lof.cc.o.d"
+  "CMakeFiles/dbscout_baselines.dir/ocsvm.cc.o"
+  "CMakeFiles/dbscout_baselines.dir/ocsvm.cc.o.d"
+  "CMakeFiles/dbscout_baselines.dir/rp_dbscan.cc.o"
+  "CMakeFiles/dbscout_baselines.dir/rp_dbscan.cc.o.d"
+  "libdbscout_baselines.a"
+  "libdbscout_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbscout_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_cli.dir/cli.cc.o"
+  "CMakeFiles/dbscout_cli.dir/cli.cc.o.d"
+  "CMakeFiles/dbscout_cli.dir/flags.cc.o"
+  "CMakeFiles/dbscout_cli.dir/flags.cc.o.d"
+  "libdbscout_cli.a"
+  "libdbscout_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_common.dir/csv.cc.o"
+  "CMakeFiles/dbscout_common.dir/csv.cc.o.d"
+  "CMakeFiles/dbscout_common.dir/logging.cc.o"
+  "CMakeFiles/dbscout_common.dir/logging.cc.o.d"
+  "CMakeFiles/dbscout_common.dir/rng.cc.o"
+  "CMakeFiles/dbscout_common.dir/rng.cc.o.d"
+  "CMakeFiles/dbscout_common.dir/status.cc.o"
+  "CMakeFiles/dbscout_common.dir/status.cc.o.d"
+  "CMakeFiles/dbscout_common.dir/str_util.cc.o"
+  "CMakeFiles/dbscout_common.dir/str_util.cc.o.d"
+  "CMakeFiles/dbscout_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dbscout_common.dir/thread_pool.cc.o.d"
+  "libdbscout_common.a"
+  "libdbscout_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dbscout.cc" "src/core/CMakeFiles/dbscout_core.dir/dbscout.cc.o" "gcc" "src/core/CMakeFiles/dbscout_core.dir/dbscout.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/dbscout_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/dbscout_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/dbscout_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/dbscout_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/sequential.cc" "src/core/CMakeFiles/dbscout_core.dir/sequential.cc.o" "gcc" "src/core/CMakeFiles/dbscout_core.dir/sequential.cc.o.d"
+  "/root/repo/src/core/shared.cc" "src/core/CMakeFiles/dbscout_core.dir/shared.cc.o" "gcc" "src/core/CMakeFiles/dbscout_core.dir/shared.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbscout_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dbscout_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dbscout_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_core.dir/dbscout.cc.o"
+  "CMakeFiles/dbscout_core.dir/dbscout.cc.o.d"
+  "CMakeFiles/dbscout_core.dir/incremental.cc.o"
+  "CMakeFiles/dbscout_core.dir/incremental.cc.o.d"
+  "CMakeFiles/dbscout_core.dir/parallel.cc.o"
+  "CMakeFiles/dbscout_core.dir/parallel.cc.o.d"
+  "CMakeFiles/dbscout_core.dir/sequential.cc.o"
+  "CMakeFiles/dbscout_core.dir/sequential.cc.o.d"
+  "CMakeFiles/dbscout_core.dir/shared.cc.o"
+  "CMakeFiles/dbscout_core.dir/shared.cc.o.d"
+  "libdbscout_core.a"
+  "libdbscout_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/dbscout_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/dbscout_data.dir/io.cc.o.d"
+  "/root/repo/src/data/point_set.cc" "src/data/CMakeFiles/dbscout_data.dir/point_set.cc.o" "gcc" "src/data/CMakeFiles/dbscout_data.dir/point_set.cc.o.d"
+  "/root/repo/src/data/point_stream.cc" "src/data/CMakeFiles/dbscout_data.dir/point_stream.cc.o" "gcc" "src/data/CMakeFiles/dbscout_data.dir/point_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

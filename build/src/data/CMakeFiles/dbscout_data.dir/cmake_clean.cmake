@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_data.dir/io.cc.o"
+  "CMakeFiles/dbscout_data.dir/io.cc.o.d"
+  "CMakeFiles/dbscout_data.dir/point_set.cc.o"
+  "CMakeFiles/dbscout_data.dir/point_set.cc.o.d"
+  "CMakeFiles/dbscout_data.dir/point_stream.cc.o"
+  "CMakeFiles/dbscout_data.dir/point_stream.cc.o.d"
+  "libdbscout_data.a"
+  "libdbscout_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_dataflow.dir/context.cc.o"
+  "CMakeFiles/dbscout_dataflow.dir/context.cc.o.d"
+  "libdbscout_dataflow.a"
+  "libdbscout_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/geo.cc" "src/datasets/CMakeFiles/dbscout_datasets.dir/geo.cc.o" "gcc" "src/datasets/CMakeFiles/dbscout_datasets.dir/geo.cc.o.d"
+  "/root/repo/src/datasets/shapes.cc" "src/datasets/CMakeFiles/dbscout_datasets.dir/shapes.cc.o" "gcc" "src/datasets/CMakeFiles/dbscout_datasets.dir/shapes.cc.o.d"
+  "/root/repo/src/datasets/synthetic.cc" "src/datasets/CMakeFiles/dbscout_datasets.dir/synthetic.cc.o" "gcc" "src/datasets/CMakeFiles/dbscout_datasets.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbscout_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

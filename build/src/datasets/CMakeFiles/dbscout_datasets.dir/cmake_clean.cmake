@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_datasets.dir/geo.cc.o"
+  "CMakeFiles/dbscout_datasets.dir/geo.cc.o.d"
+  "CMakeFiles/dbscout_datasets.dir/shapes.cc.o"
+  "CMakeFiles/dbscout_datasets.dir/shapes.cc.o.d"
+  "CMakeFiles/dbscout_datasets.dir/synthetic.cc.o"
+  "CMakeFiles/dbscout_datasets.dir/synthetic.cc.o.d"
+  "libdbscout_datasets.a"
+  "libdbscout_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_external.dir/external_detector.cc.o"
+  "CMakeFiles/dbscout_external.dir/external_detector.cc.o.d"
+  "CMakeFiles/dbscout_external.dir/kdistance.cc.o"
+  "CMakeFiles/dbscout_external.dir/kdistance.cc.o.d"
+  "libdbscout_external.a"
+  "libdbscout_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/cell_map.cc" "src/grid/CMakeFiles/dbscout_grid.dir/cell_map.cc.o" "gcc" "src/grid/CMakeFiles/dbscout_grid.dir/cell_map.cc.o.d"
+  "/root/repo/src/grid/grid.cc" "src/grid/CMakeFiles/dbscout_grid.dir/grid.cc.o" "gcc" "src/grid/CMakeFiles/dbscout_grid.dir/grid.cc.o.d"
+  "/root/repo/src/grid/neighborhood.cc" "src/grid/CMakeFiles/dbscout_grid.dir/neighborhood.cc.o" "gcc" "src/grid/CMakeFiles/dbscout_grid.dir/neighborhood.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbscout_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_grid.dir/cell_map.cc.o"
+  "CMakeFiles/dbscout_grid.dir/cell_map.cc.o.d"
+  "CMakeFiles/dbscout_grid.dir/grid.cc.o"
+  "CMakeFiles/dbscout_grid.dir/grid.cc.o.d"
+  "CMakeFiles/dbscout_grid.dir/neighborhood.cc.o"
+  "CMakeFiles/dbscout_grid.dir/neighborhood.cc.o.d"
+  "libdbscout_grid.a"
+  "libdbscout_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_index.dir/kdtree.cc.o"
+  "CMakeFiles/dbscout_index.dir/kdtree.cc.o.d"
+  "libdbscout_index.a"
+  "libdbscout_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auc_test.dir/analysis/auc_test.cc.o"
+  "CMakeFiles/auc_test.dir/analysis/auc_test.cc.o.d"
+  "auc_test"
+  "auc_test.pdb"
+  "auc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_coord_test.dir/grid/cell_coord_test.cc.o"
+  "CMakeFiles/cell_coord_test.dir/grid/cell_coord_test.cc.o.d"
+  "cell_coord_test"
+  "cell_coord_test.pdb"
+  "cell_coord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_coord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_map_test.dir/grid/cell_map_test.cc.o"
+  "CMakeFiles/cell_map_test.dir/grid/cell_map_test.cc.o.d"
+  "cell_map_test"
+  "cell_map_test.pdb"
+  "cell_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

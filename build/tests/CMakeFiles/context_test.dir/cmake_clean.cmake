@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_test.dir/dataflow/context_test.cc.o"
+  "CMakeFiles/context_test.dir/dataflow/context_test.cc.o.d"
+  "context_test"
+  "context_test.pdb"
+  "context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscan_test.dir/baselines/dbscan_test.cc.o"
+  "CMakeFiles/dbscan_test.dir/baselines/dbscan_test.cc.o.d"
+  "dbscan_test"
+  "dbscan_test.pdb"
+  "dbscan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

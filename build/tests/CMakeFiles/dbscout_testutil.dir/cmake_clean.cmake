@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_testutil.dir/testutil.cc.o"
+  "CMakeFiles/dbscout_testutil.dir/testutil.cc.o.d"
+  "libdbscout_testutil.a"
+  "libdbscout_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbscout_testutil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddlof_test.dir/baselines/ddlof_test.cc.o"
+  "CMakeFiles/ddlof_test.dir/baselines/ddlof_test.cc.o.d"
+  "ddlof_test"
+  "ddlof_test.pdb"
+  "ddlof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddlof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_matrix_test.dir/core/engine_matrix_test.cc.o"
+  "CMakeFiles/engine_matrix_test.dir/core/engine_matrix_test.cc.o.d"
+  "engine_matrix_test"
+  "engine_matrix_test.pdb"
+  "engine_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

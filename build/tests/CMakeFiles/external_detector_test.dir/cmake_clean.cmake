@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_detector_test.dir/external/external_detector_test.cc.o"
+  "CMakeFiles/external_detector_test.dir/external/external_detector_test.cc.o.d"
+  "external_detector_test"
+  "external_detector_test.pdb"
+  "external_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_ops_test.dir/dataflow/extra_ops_test.cc.o"
+  "CMakeFiles/extra_ops_test.dir/dataflow/extra_ops_test.cc.o.d"
+  "extra_ops_test"
+  "extra_ops_test.pdb"
+  "extra_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

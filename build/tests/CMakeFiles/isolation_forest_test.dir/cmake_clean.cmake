@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_forest_test.dir/baselines/isolation_forest_test.cc.o"
+  "CMakeFiles/isolation_forest_test.dir/baselines/isolation_forest_test.cc.o.d"
+  "isolation_forest_test"
+  "isolation_forest_test.pdb"
+  "isolation_forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

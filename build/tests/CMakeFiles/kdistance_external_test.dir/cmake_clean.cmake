@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdistance_external_test.dir/external/kdistance_external_test.cc.o"
+  "CMakeFiles/kdistance_external_test.dir/external/kdistance_external_test.cc.o.d"
+  "kdistance_external_test"
+  "kdistance_external_test.pdb"
+  "kdistance_external_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdistance_external_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

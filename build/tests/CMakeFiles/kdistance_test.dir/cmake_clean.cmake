@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdistance_test.dir/analysis/kdistance_test.cc.o"
+  "CMakeFiles/kdistance_test.dir/analysis/kdistance_test.cc.o.d"
+  "kdistance_test"
+  "kdistance_test.pdb"
+  "kdistance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdistance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

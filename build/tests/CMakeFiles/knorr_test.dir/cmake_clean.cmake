@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knorr_test.dir/baselines/knorr_test.cc.o"
+  "CMakeFiles/knorr_test.dir/baselines/knorr_test.cc.o.d"
+  "knorr_test"
+  "knorr_test.pdb"
+  "knorr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knorr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

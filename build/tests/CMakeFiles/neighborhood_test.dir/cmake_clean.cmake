@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_test.dir/grid/neighborhood_test.cc.o"
+  "CMakeFiles/neighborhood_test.dir/grid/neighborhood_test.cc.o.d"
+  "neighborhood_test"
+  "neighborhood_test.pdb"
+  "neighborhood_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

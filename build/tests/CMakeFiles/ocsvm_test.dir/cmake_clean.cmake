@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsvm_test.dir/baselines/ocsvm_test.cc.o"
+  "CMakeFiles/ocsvm_test.dir/baselines/ocsvm_test.cc.o.d"
+  "ocsvm_test"
+  "ocsvm_test.pdb"
+  "ocsvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_ops_test.dir/dataflow/pair_ops_test.cc.o"
+  "CMakeFiles/pair_ops_test.dir/dataflow/pair_ops_test.cc.o.d"
+  "pair_ops_test"
+  "pair_ops_test.pdb"
+  "pair_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

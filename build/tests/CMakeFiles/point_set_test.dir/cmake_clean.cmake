@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_set_test.dir/data/point_set_test.cc.o"
+  "CMakeFiles/point_set_test.dir/data/point_set_test.cc.o.d"
+  "point_set_test"
+  "point_set_test.pdb"
+  "point_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_stream_test.dir/data/point_stream_test.cc.o"
+  "CMakeFiles/point_stream_test.dir/data/point_stream_test.cc.o.d"
+  "point_stream_test"
+  "point_stream_test.pdb"
+  "point_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

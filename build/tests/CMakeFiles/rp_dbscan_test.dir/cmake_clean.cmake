@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_dbscan_test.dir/baselines/rp_dbscan_test.cc.o"
+  "CMakeFiles/rp_dbscan_test.dir/baselines/rp_dbscan_test.cc.o.d"
+  "rp_dbscan_test"
+  "rp_dbscan_test.pdb"
+  "rp_dbscan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

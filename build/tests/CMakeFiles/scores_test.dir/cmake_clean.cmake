@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scores_test.dir/core/scores_test.cc.o"
+  "CMakeFiles/scores_test.dir/core/scores_test.cc.o.d"
+  "scores_test"
+  "scores_test.pdb"
+  "scores_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

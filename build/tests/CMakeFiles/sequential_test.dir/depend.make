@@ -1,0 +1,2 @@
+# Empty dependencies file for sequential_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_test.dir/core/shared_test.cc.o"
+  "CMakeFiles/shared_test.dir/core/shared_test.cc.o.d"
+  "shared_test"
+  "shared_test.pdb"
+  "shared_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

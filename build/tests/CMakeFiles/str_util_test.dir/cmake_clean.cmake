@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/str_util_test.dir/common/str_util_test.cc.o"
+  "CMakeFiles/str_util_test.dir/common/str_util_test.cc.o.d"
+  "str_util_test"
+  "str_util_test.pdb"
+  "str_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/str_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

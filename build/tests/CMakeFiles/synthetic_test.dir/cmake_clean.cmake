@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_test.dir/datasets/synthetic_test.cc.o"
+  "CMakeFiles/synthetic_test.dir/datasets/synthetic_test.cc.o.d"
+  "synthetic_test"
+  "synthetic_test.pdb"
+  "synthetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

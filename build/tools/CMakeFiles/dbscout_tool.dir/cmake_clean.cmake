@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_tool.dir/dbscout_main.cc.o"
+  "CMakeFiles/dbscout_tool.dir/dbscout_main.cc.o.d"
+  "dbscout"
+  "dbscout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
