@@ -12,6 +12,7 @@
 #include "grid/cell_map.h"
 #include "grid/grid.h"
 #include "index/kdtree.h"
+#include "simd/distance_kernel.h"
 
 namespace {
 
@@ -144,6 +145,79 @@ void BM_IncrementalAdd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * points.size());
 }
 BENCHMARK(BM_IncrementalAdd);
+
+// --- Batched distance kernels (scalar reference vs CPU-dispatched). ------
+// One query point against a contiguous block, the phase-3/5 inner loop.
+
+struct KernelWorkload {
+  std::vector<double> query;
+  std::vector<double> block;
+};
+
+KernelWorkload MakeKernelWorkload(size_t n, size_t d) {
+  Rng rng(11 + d);
+  KernelWorkload w;
+  w.query.resize(d);
+  w.block.resize(n * d);
+  for (auto& v : w.query) {
+    v = rng.NextDouble();
+  }
+  for (auto& v : w.block) {
+    v = rng.NextDouble();
+  }
+  return w;
+}
+
+void BM_KernelCountWithin(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const bool scalar = state.range(1) != 0;
+  const size_t n = 4096;
+  const KernelWorkload w = MakeKernelWorkload(n, d);
+  const auto& table =
+      scalar ? simd::ScalarKernels() : simd::DispatchedKernels();
+  state.SetLabel(table.name);
+  for (auto _ : state) {
+    auto hits = table.count_within[d](w.query.data(), w.block.data(), n,
+                                      0.25 * d, 0);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelCountWithin)
+    ->ArgsProduct({{2, 3, 5, 9}, {1, 0}});
+
+void BM_KernelAnyWithin(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const bool scalar = state.range(1) != 0;
+  const size_t n = 4096;
+  const KernelWorkload w = MakeKernelWorkload(n, d);
+  const auto& table =
+      scalar ? simd::ScalarKernels() : simd::DispatchedKernels();
+  state.SetLabel(table.name);
+  for (auto _ : state) {
+    // eps2 = 0 with random data: no hit, full-block scan (worst case).
+    auto any = table.any_within[d](w.query.data(), w.block.data(), n, 0.0);
+    benchmark::DoNotOptimize(any);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelAnyWithin)->ArgsProduct({{2, 3}, {1, 0}});
+
+void BM_KernelMinSqDist(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const bool scalar = state.range(1) != 0;
+  const size_t n = 4096;
+  const KernelWorkload w = MakeKernelWorkload(n, d);
+  const auto& table =
+      scalar ? simd::ScalarKernels() : simd::DispatchedKernels();
+  state.SetLabel(table.name);
+  for (auto _ : state) {
+    auto best = table.min_sqdist[d](w.query.data(), w.block.data(), n);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelMinSqDist)->ArgsProduct({{2, 3}, {1, 0}});
 
 void BM_DetectSequential(benchmark::State& state) {
   const PointSet points = MakePoints(static_cast<size_t>(state.range(0)));

@@ -266,4 +266,5 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/index/kdtree.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/index/kdtree.h \
+ /root/repo/src/simd/distance_kernel.h

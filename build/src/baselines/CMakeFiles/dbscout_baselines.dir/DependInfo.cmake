@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/grid/CMakeFiles/dbscout_grid.dir/DependInfo.cmake"
   "/root/repo/build/src/index/CMakeFiles/dbscout_index.dir/DependInfo.cmake"
   "/root/repo/build/src/dataflow/CMakeFiles/dbscout_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/dbscout_simd.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -263,4 +263,4 @@ src/core/CMakeFiles/dbscout_core.dir/parallel.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/rng.h \
  /root/repo/src/dataflow/pair_ops.h /root/repo/src/grid/cell_coord.h \
  /root/repo/src/grid/cell_map.h /root/repo/src/grid/grid.h \
- /root/repo/src/grid/neighborhood.h
+ /root/repo/src/grid/neighborhood.h /root/repo/src/simd/distance_kernel.h

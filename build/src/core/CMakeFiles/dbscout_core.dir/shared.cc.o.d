@@ -256,4 +256,5 @@ src/core/CMakeFiles/dbscout_core.dir/shared.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/grid/grid.h \
- /root/repo/src/grid/cell_coord.h /root/repo/src/grid/neighborhood.h
+ /root/repo/src/grid/cell_coord.h /root/repo/src/grid/neighborhood.h \
+ /root/repo/src/simd/distance_kernel.h

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/dbscout_simd.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/dbscout_data.dir/DependInfo.cmake"
   )
 

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscout_simd.dir/distance_kernel.cc.o"
+  "CMakeFiles/dbscout_simd.dir/distance_kernel.cc.o.d"
+  "libdbscout_simd.a"
+  "libdbscout_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscout_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbscout_simd.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbscout_simd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_kernel_test.dir/simd/distance_kernel_test.cc.o"
+  "CMakeFiles/distance_kernel_test.dir/simd/distance_kernel_test.cc.o.d"
+  "distance_kernel_test"
+  "distance_kernel_test.pdb"
+  "distance_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

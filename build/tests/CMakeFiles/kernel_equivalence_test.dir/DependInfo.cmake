@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/kernel_equivalence_test.cc" "tests/CMakeFiles/kernel_equivalence_test.dir/core/kernel_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/kernel_equivalence_test.dir/core/kernel_equivalence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/dbscout_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dbscout_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/dbscout_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/external/CMakeFiles/dbscout_external.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbscout_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dbscout_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dbscout_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/dbscout_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dbscout_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dbscout_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/dbscout_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbscout_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_equivalence_test.dir/core/kernel_equivalence_test.cc.o"
+  "CMakeFiles/kernel_equivalence_test.dir/core/kernel_equivalence_test.cc.o.d"
+  "kernel_equivalence_test"
+  "kernel_equivalence_test.pdb"
+  "kernel_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

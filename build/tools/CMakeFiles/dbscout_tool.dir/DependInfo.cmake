@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/index/CMakeFiles/dbscout_index.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/dbscout_data.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/dbscout_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/dbscout_simd.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -109,4 +109,42 @@ void ThreadPool::ParallelForChunked(
   done_cv.wait(lock, [&] { return done.load() == num_chunks; });
 }
 
+void ThreadPool::ParallelForDynamic(
+    size_t count, size_t chunk_size,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (chunk_size == 0) {
+    chunk_size = std::max<size_t>(1, count / (8 * threads_.size()));
+  }
+  if (t_inside_pool_task || threads_.size() == 1 || count <= chunk_size) {
+    fn(0, count);
+    return;
+  }
+  const size_t num_workers =
+      std::min(threads_.size(), (count + chunk_size - 1) / chunk_size);
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (size_t w = 0; w < num_workers; ++w) {
+    Submit([&, chunk_size] {
+      for (;;) {
+        const size_t begin = next.fetch_add(chunk_size);
+        if (begin >= count) {
+          break;
+        }
+        fn(begin, std::min(count, begin + chunk_size));
+      }
+      if (done.fetch_add(1) + 1 == num_workers) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done.load() == num_workers; });
+}
+
 }  // namespace dbscout

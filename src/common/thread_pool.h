@@ -42,6 +42,16 @@ class ThreadPool {
   void ParallelForChunked(
       size_t count, const std::function<void(size_t, size_t)>& fn);
 
+  /// Like ParallelForChunked, but dynamically load-balanced: workers claim
+  /// chunks of `chunk_size` indices from a shared atomic counter until the
+  /// range is exhausted. Use when per-index cost is skewed (e.g. grid cells
+  /// with wildly different populations), where static chunking leaves
+  /// workers idle. chunk_size 0 picks count / (8 * num_threads), min 1.
+  /// Reentrant calls run inline, like ParallelForChunked.
+  void ParallelForDynamic(
+      size_t count, size_t chunk_size,
+      const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

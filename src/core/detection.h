@@ -20,7 +20,10 @@ enum class PointKind : uint8_t {
 struct PhaseStats {
   std::string name;
   double seconds = 0.0;
-  /// Point-to-point distance evaluations performed in this phase.
+  /// Point-to-point distance evaluations submitted in this phase. With the
+  /// batched kernels this counts the block points handed to a kernel call;
+  /// the kernel's internal batch-granular early exit may evaluate slightly
+  /// fewer, so this is a tight upper bound on the work actually done.
   uint64_t distance_computations = 0;
   /// Records produced by this phase (emitted pairs for the join phases).
   uint64_t records = 0;

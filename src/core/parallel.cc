@@ -12,6 +12,7 @@
 #include "grid/cell_coord.h"
 #include "grid/cell_map.h"
 #include "grid/neighborhood.h"
+#include "simd/distance_kernel.h"
 
 namespace dbscout::core {
 namespace {
@@ -32,6 +33,21 @@ using GridRecord = std::pair<CellCoord, uint32_t>;
 // Largest |cell index| we accept before int64 overflow becomes possible
 // when translating by stencil offsets.
 constexpr double kMaxCellIndex = 4.0e18;
+
+// Copies the coordinates of `ids` into one contiguous row-major block so
+// the grouped-join tasks can run the batched distance kernels; the gather
+// is paid once per cell group, not once per pair.
+void GatherCoords(const PointSet& pts, const std::vector<uint32_t>& ids,
+                  size_t d, std::vector<double>* block) {
+  block->resize(ids.size() * d);
+  double* dst = block->data();
+  for (uint32_t q : ids) {
+    const auto v = pts[q];
+    for (size_t k = 0; k < d; ++k) {
+      *dst++ = v[k];
+    }
+  }
+}
 
 struct PhaseScope {
   PhaseScope(Detection* detection, std::string name)
@@ -65,6 +81,12 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
   }
   DBSCOUT_ASSIGN_OR_RETURN(const NeighborStencil* stencil,
                            grid::GetNeighborStencil(d));
+  // Batched distance kernels for the grouped-join tasks (the plain and
+  // broadcast joins are pairwise record streams by structure and keep the
+  // scalar per-pair distance). Bit-identical to the scalar loops.
+  const simd::CountWithinFn count_within =
+      simd::DispatchedKernels().count_within[d];
+  const simd::AnyWithinFn any_within = simd::DispatchedKernels().any_within[d];
   WallTimer total_timer;
   const uint64_t shuffle_base = ctx->Summary().shuffled_records;
 
@@ -194,22 +216,24 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
                            CellCoordHash(), "JoinGrouped");
         contributions =
             joined.FlatMap<std::pair<uint32_t, uint32_t>>(
-                [&phase, sqdist, eps2, min_pts](
+                [&phase, pts, d, count_within, eps2, min_pts](
                     const std::pair<
                         CellCoord,
                         std::pair<std::vector<uint32_t>,
                                   std::vector<uint32_t>>>& rec,
                     std::vector<std::pair<uint32_t, uint32_t>>* sink) {
                   const auto& cell_points = rec.second.first;
+                  // Gather the cell's coordinates once, then run the
+                  // batched kernel per point to check; early termination
+                  // (SS III-G2) happens at kernel-batch granularity.
+                  static thread_local std::vector<double> block;
+                  GatherCoords(*pts, cell_points, d, &block);
                   uint64_t comparisons = 0;
                   for (uint32_t p : rec.second.second) {
-                    uint32_t count = 0;
-                    for (uint32_t q : cell_points) {
-                      ++comparisons;
-                      if (sqdist(p, q) <= eps2 && ++count >= min_pts) {
-                        break;  // early termination (SS III-G2)
-                      }
-                    }
+                    comparisons += cell_points.size();
+                    const uint32_t count =
+                        count_within((*pts)[p].data(), block.data(),
+                                     cell_points.size(), eps2, min_pts);
                     if (count > 0) {
                       sink->push_back({p, count});
                     }
@@ -350,23 +374,26 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
         auto joined = Join(core_grouped, checks_grouped, parts,
                            CellCoordHash(), "JoinGrouped2");
         flags = joined.FlatMap<std::pair<uint32_t, uint8_t>>(
-            [&phase, sqdist, eps2](
+            [&phase, pts, d, any_within, eps2](
                 const std::pair<CellCoord,
                                 std::pair<std::vector<uint32_t>,
                                           std::vector<uint32_t>>>& rec,
                 std::vector<std::pair<uint32_t, uint8_t>>* sink) {
               const auto& core_in_cell = rec.second.first;
+              // Gather once, then one batched any-within query per point;
+              // early termination (SS III-G2) at kernel-batch granularity.
+              static thread_local std::vector<double> block;
+              GatherCoords(*pts, core_in_cell, d, &block);
+              uint64_t comparisons = 0;
               for (uint32_t p : rec.second.second) {
-                uint8_t flag = 1;
-                for (uint32_t q : core_in_cell) {
-                  phase.distances.fetch_add(1, std::memory_order_relaxed);
-                  if (sqdist(p, q) <= eps2) {
-                    flag = 0;  // early termination (SS III-G2)
-                    break;
-                  }
-                }
-                sink->push_back({p, flag});
+                comparisons += core_in_cell.size();
+                const bool within =
+                    any_within((*pts)[p].data(), block.data(),
+                               core_in_cell.size(), eps2);
+                sink->push_back({p, static_cast<uint8_t>(within ? 0 : 1)});
               }
+              phase.distances.fetch_add(comparisons,
+                                        std::memory_order_relaxed);
             },
             "GroupedFlags");
         break;

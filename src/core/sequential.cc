@@ -1,7 +1,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "common/timer.h"
@@ -9,6 +8,7 @@
 #include "grid/cell_map.h"
 #include "grid/grid.h"
 #include "grid/neighborhood.h"
+#include "simd/distance_kernel.h"
 
 namespace dbscout::core {
 namespace {
@@ -24,6 +24,7 @@ Result<Detection> DetectSequential(const PointSet& points,
   WallTimer total_timer;
   Detection out;
   const size_t n = points.size();
+  const size_t d = points.dims();
   const double eps2 = params.eps * params.eps;
   const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
 
@@ -34,6 +35,14 @@ Result<Detection> DetectSequential(const PointSet& points,
                            grid::GetNeighborStencil(points.dims()));
   out.num_cells = g.num_cells();
   out.phases.push_back({"grid", phase_timer.ElapsedSeconds(), 0, n});
+
+  // Batched one-point-vs-block distance kernels over the grid-ordered
+  // coordinate blocks (bit-identical to the scalar pairwise loops; dims
+  // were validated by Grid::Build).
+  const simd::DistanceKernels& kernels = simd::DispatchedKernels();
+  const simd::CountWithinFn count_within = kernels.count_within[d];
+  const simd::AnyWithinFn any_within = kernels.any_within[d];
+  const simd::MinSqDistFn min_sqdist = kernels.min_sqdist[d];
 
   // Phase 2: dense cell map (Algorithm 2). Dense <=> count >= minPts; every
   // point of a dense cell is core (Lemma 1).
@@ -51,8 +60,11 @@ Result<Detection> DetectSequential(const PointSet& points,
 
   // Phase 3: core point identification. Points in dense cells are core
   // outright; points in non-dense cells count neighbors within eps across
-  // the k_d neighboring cells, with early termination at minPts (the
-  // sequential analogue of the grouped-join optimization, SS III-G2).
+  // the k_d neighboring cells via the batched kernel, one contiguous
+  // grid-ordered block per neighbor cell. Early termination at minPts (the
+  // sequential analogue of the grouped-join optimization, SS III-G2)
+  // happens at block granularity: between neighbor cells exactly, and
+  // inside a block every simd::kKernelBatch points.
   phase_timer.Reset();
   std::vector<uint8_t> is_core(n, 0);
   uint64_t phase3_distances = 0;
@@ -68,20 +80,17 @@ Result<Detection> DetectSequential(const PointSet& points,
     neighbor_cells.clear();
     g.ForEachNeighborCell(c, *stencil,
                           [&](uint32_t nc) { neighbor_cells.push_back(nc); });
-    for (uint32_t p : cell_points) {
-      const auto pv = points[p];
+    const double* cell_block = g.CellBlock(c);
+    for (size_t j = 0; j < cell_points.size(); ++j) {
+      const double* pv = cell_block + j * d;
       uint32_t count = 0;
       for (uint32_t nc : neighbor_cells) {
-        for (uint32_t q : g.PointsInCell(nc)) {
-          ++phase3_distances;
-          if (PointSet::SquaredDistance(pv, points[q]) <= eps2) {
-            if (++count >= min_pts) {
-              is_core[p] = 1;
-              break;
-            }
-          }
-        }
-        if (is_core[p]) {
+        const size_t block_size = g.CellSize(nc);
+        phase3_distances += block_size;
+        count += count_within(pv, g.CellBlock(nc), block_size, eps2,
+                              min_pts - count);
+        if (count >= min_pts) {
+          is_core[cell_points[j]] = 1;
           break;
         }
       }
@@ -92,10 +101,12 @@ Result<Detection> DetectSequential(const PointSet& points,
 
   // Phase 4: core cell map (Algorithm 4). A cell is core when it contains a
   // core point; dense cells are core by Lemma 1. For non-dense core cells we
-  // additionally record the core-point sublist used by phase 5.
+  // additionally build a flat CSR structure (offsets + indices + packed
+  // coordinates) of their core points, so the phase-5 scans over sparse
+  // core sublists are contiguous kernel blocks too.
   phase_timer.Reset();
   std::vector<uint8_t> cell_core(num_cells, 0);
-  std::unordered_map<uint32_t, std::vector<uint32_t>> sparse_core_points;
+  std::vector<uint32_t> sparse_core_begin(num_cells + 1, 0);
   for (uint32_t c = 0; c < num_cells; ++c) {
     if (cell_dense[c]) {
       cell_core[c] = 1;
@@ -104,8 +115,33 @@ Result<Detection> DetectSequential(const PointSet& points,
     for (uint32_t p : g.PointsInCell(c)) {
       if (is_core[p]) {
         cell_core[c] = 1;
-        sparse_core_points[c].push_back(p);
+        ++sparse_core_begin[c + 1];
       }
+    }
+  }
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    sparse_core_begin[c + 1] += sparse_core_begin[c];
+  }
+  std::vector<uint32_t> sparse_core_idx(sparse_core_begin[num_cells]);
+  std::vector<double> sparse_core_coords(
+      static_cast<size_t>(sparse_core_begin[num_cells]) * d);
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (cell_dense[c] || !cell_core[c]) {
+      continue;
+    }
+    uint32_t w = sparse_core_begin[c];
+    const uint32_t row_begin = g.CellBeginRow(c);
+    const uint32_t row_end = row_begin + static_cast<uint32_t>(g.CellSize(c));
+    for (uint32_t row = row_begin; row < row_end; ++row) {
+      const uint32_t p = g.OriginalIndex(row);
+      if (!is_core[p]) {
+        continue;
+      }
+      sparse_core_idx[w] = p;
+      const auto coords = g.OrderedPoint(row);
+      std::copy(coords.begin(), coords.end(),
+                sparse_core_coords.begin() + static_cast<size_t>(w) * d);
+      ++w;
     }
   }
   for (uint32_t c = 0; c < num_cells; ++c) {
@@ -150,41 +186,40 @@ Result<Detection> DetectSequential(const PointSet& points,
       }
       continue;
     }
-    for (uint32_t p : g.PointsInCell(c)) {
+    const auto cell_points = g.PointsInCell(c);
+    const double* cell_block = g.CellBlock(c);
+    for (size_t j = 0; j < cell_points.size(); ++j) {
+      const uint32_t p = cell_points[j];
       if (is_core[p]) {
         continue;  // core points keep distance 0
       }
-      const auto pv = points[p];
+      const double* pv = cell_block + j * d;
+      // One contiguous block per neighboring core cell: every point of a
+      // dense cell is core (grid block), while sparse core cells use the
+      // packed phase-4 CSR coordinates.
       bool outlier = true;
       double best = kInf;
-      auto scan = [&](uint32_t q) {
-        ++phase5_distances;
-        const double d2 = PointSet::SquaredDistance(pv, points[q]);
-        if (d2 <= eps2) {
-          outlier = false;
-        }
-        best = std::min(best, d2);
-      };
       for (uint32_t nc : core_neighbor_cells) {
+        const double* block;
+        size_t block_size;
         if (cell_dense[nc]) {
-          // Every point of a dense cell is core.
-          for (uint32_t q : g.PointsInCell(nc)) {
-            scan(q);
-            if (!outlier && !scores) {
-              break;
-            }
-          }
+          block = g.CellBlock(nc);
+          block_size = g.CellSize(nc);
         } else {
-          for (uint32_t q : sparse_core_points[nc]) {
-            scan(q);
-            if (!outlier && !scores) {
-              break;
-            }
-          }
+          block = sparse_core_coords.data() +
+                  static_cast<size_t>(sparse_core_begin[nc]) * d;
+          block_size = sparse_core_begin[nc + 1] - sparse_core_begin[nc];
         }
-        if (!outlier && !scores) {
+        phase5_distances += block_size;
+        if (scores) {
+          best = std::min(best, min_sqdist(pv, block, block_size));
+        } else if (any_within(pv, block, block_size, eps2)) {
+          outlier = false;
           break;
         }
+      }
+      if (scores) {
+        outlier = !(best <= eps2);
       }
       if (outlier && !cell_core[c]) {
         out.kinds[p] = PointKind::kOutlier;

@@ -73,18 +73,28 @@ Result<Grid> Grid::Build(const PointSet& points, double eps) {
     ++cell_sizes[it->second];
   }
 
-  // Pass 2: counting sort of point indices by cell id.
+  // Pass 2: counting sort of point indices by cell id, materializing the
+  // grid-ordered coordinate copy (cell c's points contiguous, row-major)
+  // and the old<->new index maps alongside.
   const size_t num_cells = grid.cell_coords_.size();
   grid.cell_begin_.assign(num_cells + 1, 0);
   for (size_t c = 0; c < num_cells; ++c) {
     grid.cell_begin_[c + 1] = grid.cell_begin_[c] + cell_sizes[c];
   }
   grid.point_indices_.resize(n);
+  grid.point_row_.resize(n);
+  grid.ordered_points_.resize(n * d);
   std::vector<uint32_t> cursor(grid.cell_begin_.begin(),
                                grid.cell_begin_.end() - 1);
   for (size_t i = 0; i < n; ++i) {
-    grid.point_indices_[cursor[grid.point_cell_[i]]++] =
-        static_cast<uint32_t>(i);
+    const uint32_t row = cursor[grid.point_cell_[i]]++;
+    grid.point_indices_[row] = static_cast<uint32_t>(i);
+    grid.point_row_[i] = row;
+    const auto p = points[i];
+    double* dst = grid.ordered_points_.data() + static_cast<size_t>(row) * d;
+    for (size_t k = 0; k < d; ++k) {
+      dst[k] = p[k];
+    }
   }
   return grid;
 }

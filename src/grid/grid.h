@@ -19,6 +19,13 @@ namespace dbscout::grid {
 /// stored in CSR layout: point indices grouped by cell id, with one offset
 /// array. Construction is linear in the number of points (Lemma 4): a single
 /// pass assigns ids to distinct cells, a counting pass groups the points.
+///
+/// Build also materializes a grid-ordered copy of the point coordinates:
+/// cell c's points occupy one contiguous row-major block (rows
+/// [CellBeginRow(c), CellBeginRow(c+1)) of OrderedData()), with old<->new
+/// index maps. Neighbor-cell scans over CellBlock() are linear streams the
+/// batched distance kernels (simd/distance_kernel.h) can consume, instead
+/// of gathers scattered across the original PointSet.
 class Grid {
  public:
   /// Builds the grid for `points` with cell diagonal `eps` (side
@@ -58,6 +65,34 @@ class Grid {
     return point_cell_[point_index];
   }
 
+  /// First grid-ordered row of cell `id`; the cell's block spans rows
+  /// [CellBeginRow(id), CellBeginRow(id+1)).
+  uint32_t CellBeginRow(uint32_t id) const { return cell_begin_[id]; }
+
+  /// Contiguous row-major coordinates of cell `id`'s points (CellSize(id)
+  /// rows of dims() doubles), aligned with PointsInCell(id).
+  const double* CellBlock(uint32_t id) const {
+    return ordered_points_.data() +
+           static_cast<size_t>(cell_begin_[id]) * dims_;
+  }
+
+  /// All point coordinates permuted into CSR cell order.
+  std::span<const double> OrderedData() const { return ordered_points_; }
+
+  /// Coordinates of grid-ordered row `row`.
+  std::span<const double> OrderedPoint(uint32_t row) const {
+    return {ordered_points_.data() + static_cast<size_t>(row) * dims_, dims_};
+  }
+
+  /// Original PointSet index of grid-ordered row `row` (the inverse of
+  /// OrderedRow; rows within a cell keep ascending original order).
+  uint32_t OriginalIndex(uint32_t row) const { return point_indices_[row]; }
+
+  /// Grid-ordered row of original point `point_index`.
+  uint32_t OrderedRow(uint32_t point_index) const {
+    return point_row_[point_index];
+  }
+
   /// Invokes fn(neighbor_cell_id) for every non-empty neighboring cell of
   /// `id`, including `id` itself. The stencil has k_d entries, so this is
   /// O(k_d) hash probes.
@@ -86,8 +121,10 @@ class Grid {
   std::vector<CellCoord> cell_coords_;
   std::unordered_map<CellCoord, uint32_t, CellCoordHash> cell_ids_;
   std::vector<uint32_t> cell_begin_;     // size num_cells()+1
-  std::vector<uint32_t> point_indices_;  // grouped by cell
+  std::vector<uint32_t> point_indices_;  // grouped by cell (row -> original)
   std::vector<uint32_t> point_cell_;     // point index -> cell id
+  std::vector<uint32_t> point_row_;      // original -> grid-ordered row
+  std::vector<double> ordered_points_;   // coordinates in CSR cell order
 };
 
 }  // namespace dbscout::grid

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <queue>
 
+#include "simd/distance_kernel.h"
+
 namespace dbscout::index {
 namespace {
 
@@ -22,6 +24,14 @@ KdTree KdTree::Build(const PointSet& points) {
   if (!points.empty()) {
     tree.nodes_.reserve(2 * points.size() / kLeafSize + 2);
     tree.BuildNode(0, static_cast<uint32_t>(points.size()));
+    // Materialize the leaf-ordered coordinate copy once order_ is final,
+    // so every leaf's points form one contiguous row-major block.
+    const size_t d = points.dims();
+    tree.leaf_coords_.resize(points.size() * d);
+    for (size_t r = 0; r < tree.order_.size(); ++r) {
+      const auto p = points[tree.order_[r]];
+      std::copy(p.begin(), p.end(), tree.leaf_coords_.begin() + r * d);
+    }
   }
   return tree;
 }
@@ -129,6 +139,13 @@ size_t KdTree::CountWithin(std::span<const double> query, double radius,
                            size_t cap) const {
   size_t count = 0;
   const double radius_sq = radius * radius;
+  const size_t d = points_->dims();
+  // Leaf scans run through the batched kernel over the contiguous
+  // leaf-ordered block (dims beyond the kernel table fall back to the
+  // scalar per-point loop).
+  const simd::CountWithinFn count_within =
+      d <= simd::kKernelMaxDims ? simd::DispatchedKernels().count_within[d]
+                                : nullptr;
   std::vector<int32_t> stack;
   if (!order_.empty()) {
     stack.push_back(0);
@@ -137,11 +154,22 @@ size_t KdTree::CountWithin(std::span<const double> query, double radius,
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
     if (node.left < 0) {
-      for (uint32_t i = node.begin; i < node.end; ++i) {
-        if (SquaredDistanceTo(*points_, order_[i], query) <= radius_sq) {
-          ++count;
-          if (cap > 0 && count >= cap) {
-            return count;
+      if (count_within != nullptr) {
+        const uint32_t remaining =
+            cap > 0 ? static_cast<uint32_t>(cap - count) : 0;
+        count += count_within(query.data(), leaf_coords_.data() +
+                                                static_cast<size_t>(node.begin) * d,
+                              node.end - node.begin, radius_sq, remaining);
+        if (cap > 0 && count >= cap) {
+          return cap;  // the scalar path stops exactly at cap
+        }
+      } else {
+        for (uint32_t i = node.begin; i < node.end; ++i) {
+          if (SquaredDistanceTo(*points_, order_[i], query) <= radius_sq) {
+            ++count;
+            if (cap > 0 && count >= cap) {
+              return count;
+            }
           }
         }
       }

@@ -22,9 +22,11 @@ struct Neighbor {
 };
 
 /// Static kd-tree over a PointSet (median split on the widest dimension,
-/// leaves of up to kLeafSize points). The tree stores point indices only;
-/// the PointSet must outlive the tree. Substrate for the LOF/DDLOF
-/// baselines and the k-distance diagnostics.
+/// leaves of up to kLeafSize points). The tree stores point indices plus a
+/// leaf-ordered copy of the coordinates (row r holds point order_[r]), so
+/// leaf scans are contiguous blocks the batched distance kernels can
+/// consume; the PointSet must outlive the tree. Substrate for the
+/// LOF/DDLOF baselines and the k-distance diagnostics.
 class KdTree {
  public:
   /// Builds the tree; O(n log n).
@@ -70,6 +72,7 @@ class KdTree {
   const PointSet* points_;
   std::vector<Node> nodes_;
   std::vector<uint32_t> order_;
+  std::vector<double> leaf_coords_;  // row-major, in order_ sequence
 };
 
 }  // namespace dbscout::index

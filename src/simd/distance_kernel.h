@@ -1,0 +1,86 @@
+#ifndef DBSCOUT_SIMD_DISTANCE_KERNEL_H_
+#define DBSCOUT_SIMD_DISTANCE_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dbscout::simd {
+
+/// Highest dimensionality with a fixed-dim kernel instantiation; matches
+/// dbscout::kMaxDims (the grid machinery's cap). Index 0 is also valid
+/// (degenerate: every squared distance is 0).
+inline constexpr size_t kKernelMaxDims = 9;
+
+/// Early-exit granularity, in points. Kernels that take a `cap` process the
+/// block in batches of this size and check the cap only between batches, so
+/// every variant (scalar, SSE2, AVX2) performs the same, deterministic
+/// amount of work and returns the same value. This is the paper's
+/// grouped-join early termination (SS III-G2) mapped onto block granularity.
+inline constexpr size_t kKernelBatch = 4;
+
+/// One-point-vs-block primitives over a contiguous row-major block of
+/// `count` points with a fixed dimensionality (the array index into
+/// DistanceKernels). All variants are bit-identical: they accumulate
+/// (a[k]-b[k])^2 in ascending-k order with separate multiply and add
+/// roundings (no FMA contraction), so `scalar` and the dispatched SIMD
+/// table agree exactly, including on eps boundaries.
+///
+/// CountWithinFn: number of block points with squared distance <= eps2
+/// from `query`. When cap > 0, returns as soon as the running count
+/// reaches cap at a batch boundary; the result is then >= cap and <= the
+/// true count (callers only test `result >= cap`).
+using CountWithinFn = uint32_t (*)(const double* query, const double* block,
+                                   size_t count, double eps2, uint32_t cap);
+/// True when any block point has squared distance <= eps2 from `query`.
+using AnyWithinFn = bool (*)(const double* query, const double* block,
+                             size_t count, double eps2);
+/// Minimum squared distance from `query` to the block; +infinity when the
+/// block is empty. Exact (min is order-independent for finite inputs).
+using MinSqDistFn = double (*)(const double* query, const double* block,
+                               size_t count);
+
+/// A full kernel set: one function pointer per primitive per dimensionality,
+/// indexed by dims in [0, kKernelMaxDims]. The fixed-dim instantiations keep
+/// the per-point inner loop fully unrolled.
+struct DistanceKernels {
+  const char* name;  // "scalar", "sse2", or "avx2"
+  CountWithinFn count_within[kKernelMaxDims + 1];
+  AnyWithinFn any_within[kKernelMaxDims + 1];
+  MinSqDistFn min_sqdist[kKernelMaxDims + 1];
+};
+
+/// The scalar reference table (always available; the oracle in tests).
+const DistanceKernels& ScalarKernels();
+
+/// The best table for this CPU, chosen once at first use by runtime
+/// dispatch (AVX2 when the CPU and build support it, else SSE2 on x86-64,
+/// else scalar), unless scalar kernels are forced.
+const DistanceKernels& DispatchedKernels();
+
+/// Overrides DispatchedKernels() to return the scalar table (for tests and
+/// benchmarking). Defaults to the DBSCOUT_FORCE_SCALAR_KERNELS build option.
+void ForceScalarKernels(bool force);
+bool ScalarKernelsForced();
+
+// --- Convenience wrappers taking dims at runtime. ---
+
+inline uint32_t CountWithinEps2(const double* query, const double* block,
+                                size_t count, size_t dims, double eps2,
+                                uint32_t cap) {
+  return DispatchedKernels().count_within[dims](query, block, count, eps2,
+                                                cap);
+}
+
+inline bool AnyWithinEps2(const double* query, const double* block,
+                          size_t count, size_t dims, double eps2) {
+  return DispatchedKernels().any_within[dims](query, block, count, eps2);
+}
+
+inline double MinSquaredDistance(const double* query, const double* block,
+                                 size_t count, size_t dims) {
+  return DispatchedKernels().min_sqdist[dims](query, block, count);
+}
+
+}  // namespace dbscout::simd
+
+#endif  // DBSCOUT_SIMD_DISTANCE_KERNEL_H_

@@ -65,6 +65,76 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(counter.load(), 64);
 }
 
+TEST(ThreadPoolTest, ParallelForDynamicCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t chunk : {size_t{0}, size_t{1}, size_t{7}, size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1777);
+    pool.ParallelForDynamic(hits.size(), chunk,
+                            [&hits](size_t begin, size_t end) {
+                              ASSERT_LE(begin, end);
+                              for (size_t i = begin; i < end; ++i) {
+                                hits[i].fetch_add(1);
+                              }
+                            });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "chunk " << chunk << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelForDynamic(
+      0, 4, [](size_t, size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicBalancesSkewedWork) {
+  // One giant index plus many tiny ones: every index must still run once,
+  // and a worker stuck on the giant chunk must not strand the rest.
+  ThreadPool pool(4);
+  std::atomic<long> benchmark_sink{0};
+  std::vector<std::atomic<int>> hits(256);
+  pool.ParallelForDynamic(hits.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (i == 0) {
+        for (int spin = 0; spin < 100000; ++spin) {
+          benchmark_sink.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      hits[i].fetch_add(1);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDynamicRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelForDynamic(4, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelForDynamic(4, 1, [&](size_t b, size_t e) {
+        counter.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicSingleThreadRunsWholeRange) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelForDynamic(hits.size(), 8, [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ++hits[i];
+    }
+  });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
 TEST(ThreadPoolTest, WaitIdleThenReuse) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

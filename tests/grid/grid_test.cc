@@ -99,6 +99,47 @@ TEST(GridTest, CsrLayoutGroupsEveryPointExactlyOnce) {
   EXPECT_EQ(total, ps.size());
 }
 
+TEST(GridTest, OrderedStorageMirrorsCsrLayout) {
+  Rng rng(29);
+  const PointSet ps = testing::ClusteredPoints(&rng, 1500, 3, 4, 0.2);
+  auto g = Grid::Build(ps, 1.7);
+  ASSERT_TRUE(g.ok());
+  const size_t d = ps.dims();
+  ASSERT_EQ(g->OrderedData().size(), ps.size() * d);
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    const auto cell_points = g->PointsInCell(c);
+    const double* block = g->CellBlock(c);
+    for (size_t j = 0; j < cell_points.size(); ++j) {
+      const uint32_t p = cell_points[j];
+      const uint32_t row = g->CellBeginRow(c) + static_cast<uint32_t>(j);
+      // Old<->new index maps are mutually inverse.
+      EXPECT_EQ(g->OriginalIndex(row), p);
+      EXPECT_EQ(g->OrderedRow(p), row);
+      // The permuted block holds exactly the point's coordinates, and the
+      // cell's rows form one contiguous row-major stream.
+      const auto expected = ps[p];
+      const auto ordered = g->OrderedPoint(row);
+      for (size_t k = 0; k < d; ++k) {
+        EXPECT_EQ(ordered[k], expected[k]);
+        EXPECT_EQ(block[j * d + k], expected[k]);
+      }
+    }
+  }
+}
+
+TEST(GridTest, OrderedRowsWithinCellKeepAscendingOriginalOrder) {
+  Rng rng(31);
+  const PointSet ps = testing::UniformPoints(&rng, 800, 2, -3.0, 3.0);
+  auto g = Grid::Build(ps, 0.9);
+  ASSERT_TRUE(g.ok());
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    const auto cell_points = g->PointsInCell(c);
+    for (size_t j = 1; j < cell_points.size(); ++j) {
+      EXPECT_LT(cell_points[j - 1], cell_points[j]);
+    }
+  }
+}
+
 TEST(GridTest, PointsWithinOneCellAreWithinEps) {
   // The defining property of the epsilon-cell (diagonal = eps): any two
   // points sharing a cell are within eps of each other.
