@@ -1,0 +1,73 @@
+# Sanitizer build modes for dbscout.
+#
+# Usage:
+#   cmake -B build-asan -S . -DDBSCOUT_SANITIZE=address,undefined
+#   cmake -B build-tsan -S . -DDBSCOUT_SANITIZE=thread
+#
+# DBSCOUT_SANITIZE is a comma- or semicolon-separated subset of
+# {address, undefined, thread}. `thread` cannot be combined with `address`
+# (the runtimes are mutually exclusive). The module:
+#   * appends the -fsanitize compile and link flags globally,
+#   * forces frame pointers and debug info so reports have usable stacks,
+#   * exports DBSCOUT_SANITIZER_TEST_ENV, a list of VAR=VALUE entries that
+#     tests/CMakeLists.txt attaches to every registered test so the
+#     suppression files under tools/sanitizers/ are always in effect and
+#     findings abort the test (halt_on_error) instead of scrolling past.
+
+set(DBSCOUT_SANITIZE "" CACHE STRING
+  "Sanitizer list: comma/semicolon-separated subset of address;undefined;thread")
+
+set(DBSCOUT_SANITIZER_TEST_ENV "")
+set(DBSCOUT_SANITIZERS "")
+
+if(NOT DBSCOUT_SANITIZE STREQUAL "")
+  string(REPLACE "," ";" DBSCOUT_SANITIZERS "${DBSCOUT_SANITIZE}")
+  string(TOLOWER "${DBSCOUT_SANITIZERS}" DBSCOUT_SANITIZERS)
+  list(REMOVE_DUPLICATES DBSCOUT_SANITIZERS)
+
+  foreach(san IN LISTS DBSCOUT_SANITIZERS)
+    if(NOT san MATCHES "^(address|undefined|thread)$")
+      message(FATAL_ERROR
+        "DBSCOUT_SANITIZE: unknown sanitizer '${san}' "
+        "(expected address, undefined, or thread)")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST DBSCOUT_SANITIZERS AND
+     "address" IN_LIST DBSCOUT_SANITIZERS)
+    message(FATAL_ERROR
+      "DBSCOUT_SANITIZE: 'thread' and 'address' cannot be combined; "
+      "run two separate builds")
+  endif()
+
+  set(_supp_dir "${CMAKE_SOURCE_DIR}/tools/sanitizers")
+
+  # Usable stack traces in every report.
+  add_compile_options(-g -fno-omit-frame-pointer)
+
+  if("address" IN_LIST DBSCOUT_SANITIZERS)
+    add_compile_options(-fsanitize=address)
+    add_link_options(-fsanitize=address)
+    list(APPEND DBSCOUT_SANITIZER_TEST_ENV
+      "ASAN_OPTIONS=detect_stack_use_after_return=1:strict_string_checks=1:suppressions=${_supp_dir}/asan.supp"
+      "LSAN_OPTIONS=suppressions=${_supp_dir}/lsan.supp")
+  endif()
+
+  if("undefined" IN_LIST DBSCOUT_SANITIZERS)
+    # -fno-sanitize-recover turns every UB finding into a hard failure so
+    # ctest cannot pass over a diagnosed violation.
+    add_compile_options(-fsanitize=undefined -fno-sanitize-recover=all)
+    add_link_options(-fsanitize=undefined)
+    list(APPEND DBSCOUT_SANITIZER_TEST_ENV
+      "UBSAN_OPTIONS=print_stacktrace=1:suppressions=${_supp_dir}/ubsan.supp")
+  endif()
+
+  if("thread" IN_LIST DBSCOUT_SANITIZERS)
+    add_compile_options(-fsanitize=thread)
+    add_link_options(-fsanitize=thread)
+    list(APPEND DBSCOUT_SANITIZER_TEST_ENV
+      "TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1:suppressions=${_supp_dir}/tsan.supp")
+  endif()
+
+  message(STATUS "dbscout: sanitizers enabled: ${DBSCOUT_SANITIZERS}")
+endif()

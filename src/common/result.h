@@ -17,7 +17,7 @@ namespace dbscout {
 ///   if (!r.ok()) return r.status();
 ///   PointSet points = std::move(r).value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -36,7 +36,7 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// The status: OK() when a value is present.
   const Status& status() const { return status_; }

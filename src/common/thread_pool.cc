@@ -91,7 +91,12 @@ void ThreadPool::ParallelForChunked(
   }
   const size_t num_chunks = std::min(count, threads_.size());
   const size_t chunk = (count + num_chunks - 1) / num_chunks;
-  std::atomic<size_t> done{0};
+  // `done` must be mutated and read under done_mu (not a bare atomic): the
+  // caller may only pass the wait after the final worker has released the
+  // lock, making that unlock the worker's last touch of these locals —
+  // otherwise the caller can destroy them while the worker still holds or
+  // is about to take the mutex.
+  size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (size_t c = 0; c < num_chunks; ++c) {
@@ -99,14 +104,14 @@ void ThreadPool::ParallelForChunked(
     const size_t end = std::min(count, begin + chunk);
     Submit([&, begin, end] {
       fn(begin, end);
-      if (done.fetch_add(1) + 1 == num_chunks) {
-        std::lock_guard<std::mutex> lock(done_mu);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == num_chunks) {
         done_cv.notify_all();
       }
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load() == num_chunks; });
+  done_cv.wait(lock, [&] { return done == num_chunks; });
 }
 
 void ThreadPool::ParallelForDynamic(
@@ -125,7 +130,9 @@ void ThreadPool::ParallelForDynamic(
   const size_t num_workers =
       std::min(threads_.size(), (count + chunk_size - 1) / chunk_size);
   std::atomic<size_t> next{0};
-  std::atomic<size_t> done{0};
+  // Guarded by done_mu; see ParallelForChunked for why this cannot be a
+  // bare atomic checked outside the lock.
+  size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (size_t w = 0; w < num_workers; ++w) {
@@ -137,14 +144,14 @@ void ThreadPool::ParallelForDynamic(
         }
         fn(begin, std::min(count, begin + chunk_size));
       }
-      if (done.fetch_add(1) + 1 == num_workers) {
-        std::lock_guard<std::mutex> lock(done_mu);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == num_workers) {
         done_cv.notify_all();
       }
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load() == num_workers; });
+  done_cv.wait(lock, [&] { return done == num_workers; });
 }
 
 }  // namespace dbscout

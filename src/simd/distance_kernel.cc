@@ -45,6 +45,8 @@ uint32_t CountScalar(const double* query, const double* block, size_t count,
     for (size_t j = 0; j < kKernelBatch; ++j) {
       hits += SqDist<D>(query, block + (i + j) * D) <= eps2 ? 1u : 0u;
     }
+    // kernel-cap: batch-boundary (contract: cap may only be consulted here,
+    // between kKernelBatch-sized batches, so all variants do identical work)
     if (cap != 0 && hits >= cap) {
       return hits;
     }
@@ -106,6 +108,8 @@ uint32_t CountSse2(const double* query, const double* block, size_t count,
     hits += static_cast<uint32_t>(
         __builtin_popcount(_mm_movemask_pd(_mm_cmple_pd(a, eps2v))) +
         __builtin_popcount(_mm_movemask_pd(_mm_cmple_pd(b, eps2v))));
+    // kernel-cap: batch-boundary (contract: cap may only be consulted here,
+    // between kKernelBatch-sized batches, so all variants do identical work)
     if (cap != 0 && hits >= cap) {
       return hits;
     }
@@ -186,6 +190,8 @@ uint32_t CountAvx2(const double* query, const double* block, size_t count,
     const __m256d d2 = SqDist4<D>(query, block + i * D);
     const int mask = _mm256_movemask_pd(_mm256_cmp_pd(d2, eps2v, _CMP_LE_OQ));
     hits += static_cast<uint32_t>(__builtin_popcount(mask));
+    // kernel-cap: batch-boundary (contract: cap may only be consulted here,
+    // between kKernelBatch-sized batches, so all variants do identical work)
     if (cap != 0 && hits >= cap) {
       return hits;
     }

@@ -145,5 +145,82 @@ TEST(ThreadPoolTest, WaitIdleThenReuse) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // nothing submitted: must not block
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingQueue) {
+  // Shutdown contract: tasks still queued when the destructor runs are
+  // executed, not dropped.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolDeathTest, ThrowingTaskAbortsProcess) {
+  // The library is exception-free: a task that throws escapes WorkerLoop
+  // and must terminate the process rather than corrupt the pool.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Submit([] { throw 42; });
+        pool.WaitIdle();
+      },
+      "");
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicSingleItem) {
+  // count == 1 <= any chunk size: runs inline on the caller thread.
+  ThreadPool pool(4);
+  int calls = 0;
+  size_t seen_begin = 99, seen_end = 99;
+  pool.ParallelForDynamic(1, 0, [&](size_t begin, size_t end) {
+    ++calls;
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_begin, 0u);
+  EXPECT_EQ(seen_end, 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicMoreChunksThanThreads) {
+  // 100 chunks over 2 workers: workers must loop back to the claim counter
+  // until the range is exhausted, covering every index exactly once.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<int> invocations{0};
+  pool.ParallelForDynamic(hits.size(), 1, [&](size_t begin, size_t end) {
+    invocations.fetch_add(1);
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(invocations.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicChunkLargerThanCountRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10, 0);
+  pool.ParallelForDynamic(hits.size(), 64, [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ++hits[i];
+    }
+  });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
 }  // namespace
 }  // namespace dbscout

@@ -1,7 +1,5 @@
 #include "dataflow/context.h"
 
-#include <thread>
-
 #include <gtest/gtest.h>
 
 namespace dbscout::dataflow {
@@ -49,9 +47,8 @@ TEST(ContextTest, MetricsAccumulateAndReset) {
 
 TEST(ContextTest, RecordingIsThreadSafe) {
   ExecutionContext ctx(4, 4);
-  std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&ctx] {
+    ctx.pool().Submit([&ctx] {
       for (int i = 0; i < 250; ++i) {
         StageMetrics m;
         m.name = "concurrent";
@@ -60,9 +57,7 @@ TEST(ContextTest, RecordingIsThreadSafe) {
       }
     });
   }
-  for (auto& t : threads) {
-    t.join();
-  }
+  ctx.pool().WaitIdle();
   EXPECT_EQ(ctx.stages().size(), 1000u);
 }
 

@@ -1,0 +1,489 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for dbscout.
+
+Enforces, statically, the contracts that the compiler cannot:
+
+  simd-fma           No FMA intrinsics, std::fma, or fp-contract overrides in
+                     src/simd/ (the distance kernels' bit-exactness contract,
+                     DESIGN.md section 7: FMA rounds once and can flip
+                     `<= eps2` decisions on boundary points, so scalar and
+                     SIMD variants would disagree).
+  simd-cap-boundary  Early-exit `cap` comparisons in src/simd/ must sit at
+                     batch boundaries, asserted by a
+                     `kernel-cap: batch-boundary` marker comment on or
+                     directly above the comparison. A cap check inside the
+                     per-point tail loop would make the amount of work (and
+                     thus the returned count) variant-dependent.
+  raw-thread         No raw std::thread / std::jthread / std::async /
+                     pthread_create outside src/common/thread_pool.*; all
+                     parallelism must flow through ThreadPool so sanitizer
+                     runs, shutdown, and reentrancy rules cover it.
+                     (Querying std::thread::hardware_concurrency and
+                     std::this_thread are allowed.)
+  raw-rng            No rand()/srand()/std::random_device/drand48 outside
+                     src/common/rng.*; experiments must be reproducible from
+                     a seed.
+  discarded-status   Status/Result must stay [[nodiscard]] in the headers,
+                     and a statement consisting solely of a call to a
+                     function declared to return Status/Result<T> (a
+                     best-effort, single-line heuristic; the compiler is the
+                     real enforcement) is flagged.
+
+A finding on a given line is waived by `lint:allow(<rule>)` in a comment on
+that line; use sparingly and justify next to the waiver.
+
+Usage:
+  lint_invariants.py --root /path/to/repo   # lint the tree (default: cwd)
+  lint_invariants.py --self-test            # verify each rule catches a
+                                            # seeded violation and passes a
+                                            # clean snippet
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Callable, Iterable, List, NamedTuple, Tuple
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+WAIVER_RE = re.compile(r"lint:allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+CAP_MARKER = "kernel-cap: batch-boundary"
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_line_comment(line: str) -> str:
+    """Drops a trailing // comment (naive: ignores // inside string
+    literals, which does not occur in this codebase's flagged patterns)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def waived(line: str, rule: str) -> bool:
+    m = WAIVER_RE.search(line)
+    if not m:
+        return False
+    rules = [r.strip() for r in m.group(1).split(",")]
+    return rule in rules
+
+
+# ---------------------------------------------------------------------------
+# Rule: simd-fma
+# ---------------------------------------------------------------------------
+
+FMA_TOKEN_RE = re.compile(
+    r"(_mm\d*_f(?:n?m(?:add|sub))_p[sd]"  # _mm256_fmadd_pd etc.
+    r"|\bvf?n?madd\d*[ps][sd]\b"  # raw mnemonics in asm blocks
+    r"|std::fmaf?\b"
+    r"|__builtin_fmaf?\b)"
+)
+FMA_TARGET_RE = re.compile(r"target\s*\(\s*\"[^\"]*\bfma\b[^\"]*\"")
+FP_CONTRACT_SRC_RE = re.compile(r"#\s*pragma\s+STDC\s+FP_CONTRACT\s+(ON|DEFAULT)")
+FP_CONTRACT_FLAG_RE = re.compile(r"-ffp-contract=(?!off\b)\w+")
+
+
+def check_simd_fma(path: str, lines: List[str]) -> Iterable[Finding]:
+    rule = "simd-fma"
+    is_cmake = os.path.basename(path).startswith("CMakeLists")
+    for i, line in enumerate(lines, 1):
+        if waived(line, rule):
+            continue
+        if is_cmake:
+            m = FP_CONTRACT_FLAG_RE.search(line.split("#", 1)[0])
+            if m:
+                yield Finding(path, i, rule,
+                              f"fp-contract override '{m.group(0)}' in SIMD "
+                              "build flags (only -ffp-contract=off is allowed)")
+            continue
+        code = strip_line_comment(line)
+        m = FMA_TOKEN_RE.search(code)
+        if m:
+            yield Finding(path, i, rule,
+                          f"FMA operation '{m.group(0)}' violates the "
+                          "kernel bit-exactness contract (use separate "
+                          "mul+add)")
+        m = FMA_TARGET_RE.search(code)
+        if m:
+            yield Finding(path, i, rule,
+                          "function target enables the fma instruction set; "
+                          "kernels must be compiled without FMA codegen")
+        m = FP_CONTRACT_SRC_RE.search(code)
+        if m:
+            yield Finding(path, i, rule,
+                          "FP_CONTRACT pragma re-enables contraction inside "
+                          "the kernel translation unit")
+
+
+# ---------------------------------------------------------------------------
+# Rule: simd-cap-boundary
+# ---------------------------------------------------------------------------
+
+CAP_COMPARE_RE = re.compile(
+    r"(\bcap\s*(==|!=|<=|>=|<|>)|(==|!=|<=|>=|<|>)\s*cap\b)")
+
+
+def check_simd_cap_boundary(path: str, lines: List[str]) -> Iterable[Finding]:
+    rule = "simd-cap-boundary"
+    for i, line in enumerate(lines, 1):
+        if waived(line, rule):
+            continue
+        code = strip_line_comment(line)
+        if not CAP_COMPARE_RE.search(code):
+            continue
+        # The marker must appear on the line itself or one of the two lines
+        # directly above (the marker comment may be two physical lines).
+        window = lines[max(0, i - 3):i]
+        if not any(CAP_MARKER in w for w in window):
+            yield Finding(
+                path, i, rule,
+                "cap comparison without a preceding "
+                f"'// {CAP_MARKER}' marker: early exit is only allowed "
+                "between kKernelBatch-sized batches so every kernel variant "
+                "performs identical work")
+
+
+# ---------------------------------------------------------------------------
+# Rule: raw-thread
+# ---------------------------------------------------------------------------
+
+RAW_THREAD_RE = re.compile(
+    r"(std::thread\b(?!::hardware_concurrency)"
+    r"|std::jthread\b"
+    r"|std::async\b"
+    r"|\bpthread_create\b)")
+THREAD_POOL_FILES = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
+
+
+def check_raw_thread(path: str, lines: List[str]) -> Iterable[Finding]:
+    rule = "raw-thread"
+    if path.replace(os.sep, "/") in THREAD_POOL_FILES:
+        return
+    for i, line in enumerate(lines, 1):
+        if waived(line, rule):
+            continue
+        code = strip_line_comment(line)
+        m = RAW_THREAD_RE.search(code)
+        if m:
+            yield Finding(path, i, rule,
+                          f"raw '{m.group(0)}' outside "
+                          "src/common/thread_pool.*: route parallelism "
+                          "through ThreadPool (sanitizer coverage, shutdown "
+                          "and reentrancy guarantees)")
+
+
+# ---------------------------------------------------------------------------
+# Rule: raw-rng
+# ---------------------------------------------------------------------------
+
+RAW_RNG_RE = re.compile(
+    r"(\bs?rand\s*\(|std::random_device\b|\bdrand48\s*\(|\brandom\s*\(\s*\))")
+RNG_FILES = ("src/common/rng.h", "src/common/rng.cc")
+
+
+def check_raw_rng(path: str, lines: List[str]) -> Iterable[Finding]:
+    rule = "raw-rng"
+    if path.replace(os.sep, "/") in RNG_FILES:
+        return
+    for i, line in enumerate(lines, 1):
+        if waived(line, rule):
+            continue
+        code = strip_line_comment(line)
+        m = RAW_RNG_RE.search(code)
+        if m:
+            yield Finding(path, i, rule,
+                          f"non-deterministic RNG '{m.group(0).strip()}' "
+                          "outside src/common/rng.*: use dbscout::Rng so "
+                          "every run is reproducible from a seed")
+
+
+# ---------------------------------------------------------------------------
+# Rule: discarded-status
+# ---------------------------------------------------------------------------
+
+# Declarations like `<ReturnType> Foo(...)`, possibly preceded by
+# static/virtual/friend/etc. The return type is captured so names can be
+# partitioned into "returns Status/Result" vs "returns something else";
+# names with overloads in both camps are ambiguous to a text-level check
+# and are skipped (the compiler's [[nodiscard]] still covers them).
+FN_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|friend\s+|inline\s+|constexpr\s+)*"
+    r"((?:::)?[A-Za-z_][\w:]*(?:<[^;(){}]*>)?(?:\s*[&*])?)\s+"
+    r"([A-Za-z_]\w*)\s*\(")
+STATUS_TYPE_RE = re.compile(r"^(?:::)?(?:dbscout::)?(?:Status|Result<)")
+DECL_NON_NAMES = {"if", "for", "while", "switch", "return", "else", "case",
+                  "new", "delete", "sizeof", "do"}
+
+# A statement that is nothing but a (possibly qualified) call:
+#   Foo(...);   obj.Foo(...);   ns::Foo(...);   ptr->Foo(...);
+BARE_CALL_TMPL = (r"^\s*(?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*"
+                  r"({names})\s*\(.*\)\s*;\s*$")
+
+NODISCARD_REQUIRED = {
+    "src/common/status.h": "class [[nodiscard]] Status",
+    "src/common/result.h": "class [[nodiscard]] Result",
+}
+
+DISCARD_SCAN_SKIP_NAMES = {"Result", "Status", "OK"}
+
+
+def collect_status_returning_names(files: Iterable[Tuple[str, List[str]]]
+                                   ) -> set:
+    status_names = set()
+    other_names = set()
+    for path, lines in files:
+        if not path.endswith((".h", ".hpp")):
+            continue
+        for line in lines:
+            m = FN_DECL_RE.match(strip_line_comment(line))
+            if not m or m.group(2) in DECL_NON_NAMES:
+                continue
+            if STATUS_TYPE_RE.match(m.group(1)):
+                status_names.add(m.group(2))
+            else:
+                other_names.add(m.group(2))
+    return status_names - other_names - DISCARD_SCAN_SKIP_NAMES
+
+
+def is_fresh_statement(lines: List[str], i: int) -> bool:
+    """True when 1-based line i starts a new statement (the previous code
+    line ended one): guards against flagging the continuation lines of a
+    multi-line call or macro invocation such as DBSCOUT_ASSIGN_OR_RETURN."""
+    for j in range(i - 2, -1, -1):
+        prev = strip_line_comment(lines[j]).strip()
+        if not prev:
+            continue
+        return prev.endswith((";", "{", "}", ":")) or prev.startswith("#")
+    return True
+
+
+def make_check_discarded_status(files: List[Tuple[str, List[str]]]
+                                ) -> Callable[[str, List[str]],
+                                              Iterable[Finding]]:
+    names = collect_status_returning_names(files)
+    bare_call_re = (re.compile(
+        BARE_CALL_TMPL.format(names="|".join(sorted(names))))
+        if names else None)
+
+    def check(path: str, lines: List[str]) -> Iterable[Finding]:
+        rule = "discarded-status"
+        norm = path.replace(os.sep, "/")
+        if norm in NODISCARD_REQUIRED:
+            needle = NODISCARD_REQUIRED[norm]
+            if not any(needle in line for line in lines):
+                yield Finding(path, 1, rule,
+                              f"expected '{needle}' — the [[nodiscard]] "
+                              "attribute is the compile-time half of this "
+                              "check and must not be dropped")
+        if bare_call_re is None:
+            return
+        for i, line in enumerate(lines, 1):
+            if waived(line, rule):
+                continue
+            code = strip_line_comment(line)
+            m = bare_call_re.match(code)
+            if (m and code.count("(") == code.count(")")
+                    and is_fresh_statement(lines, i)):
+                yield Finding(path, i, rule,
+                              f"return value of '{m.group(1)}' (Status/"
+                              "Result) is discarded; check it, propagate "
+                              "it, or cast to void with a comment")
+
+    return check
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def in_simd(path: str) -> bool:
+    return path.replace(os.sep, "/").startswith("src/simd/")
+
+
+def load_tree(root: str) -> List[Tuple[str, List[str]]]:
+    files = []
+    for top in SCAN_DIRS:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_path):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for fn in sorted(filenames):
+                rel = os.path.relpath(os.path.join(dirpath, fn), root)
+                if fn.endswith(CXX_EXTENSIONS) or (
+                        in_simd(rel) and fn.startswith("CMakeLists")):
+                    with open(os.path.join(dirpath, fn), "r",
+                              encoding="utf-8", errors="replace") as f:
+                        files.append((rel, f.read().splitlines()))
+    return files
+
+
+def lint_files(files: List[Tuple[str, List[str]]]) -> List[Finding]:
+    check_discarded = make_check_discarded_status(files)
+    findings: List[Finding] = []
+    for path, lines in files:
+        if in_simd(path):
+            findings.extend(check_simd_fma(path, lines))
+            findings.extend(check_simd_cap_boundary(path, lines))
+        if os.path.basename(path).startswith("CMakeLists"):
+            continue
+        findings.extend(check_raw_thread(path, lines))
+        findings.extend(check_raw_rng(path, lines))
+        findings.extend(check_discarded(path, lines))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: every rule must fire on a seeded violation and stay quiet on a
+# clean snippet. Run as a ctest so a regression in the linter itself fails
+# the suite.
+# ---------------------------------------------------------------------------
+
+def self_test() -> int:
+    def lines(s: str) -> List[str]:
+        return s.splitlines()
+
+    failures = []
+
+    def expect(rule: str, findings: List[Finding], want: int, label: str):
+        got = [f for f in findings if f.rule == rule]
+        if len(got) != want:
+            failures.append(
+                f"{rule}/{label}: expected {want} finding(s), got "
+                f"{len(got)}: {[str(f) for f in got]}")
+
+    # simd-fma
+    bad = lines("x = _mm256_fmadd_pd(a, b, c);\n"
+                "double y = std::fma(a, b, c);\n")
+    expect("simd-fma", list(check_simd_fma("src/simd/k.cc", bad)), 2, "seeded")
+    ok = lines("acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));\n")
+    expect("simd-fma", list(check_simd_fma("src/simd/k.cc", ok)), 0, "clean")
+    cmake_bad = lines('set_source_files_properties(k.cc PROPERTIES '
+                      'COMPILE_OPTIONS "-ffp-contract=fast")')
+    expect("simd-fma",
+           list(check_simd_fma("src/simd/CMakeLists.txt", cmake_bad)), 1,
+           "cmake-seeded")
+    cmake_ok = lines('COMPILE_OPTIONS "-ffp-contract=off"')
+    expect("simd-fma",
+           list(check_simd_fma("src/simd/CMakeLists.txt", cmake_ok)), 0,
+           "cmake-clean")
+
+    # simd-cap-boundary
+    bad = lines("for (; i < count; ++i) {\n"
+                "  if (hits >= cap) return hits;\n"
+                "}\n")
+    expect("simd-cap-boundary",
+           list(check_simd_cap_boundary("src/simd/k.cc", bad)), 1, "seeded")
+    ok = lines("// kernel-cap: batch-boundary (contract)\n"
+               "if (cap != 0 && hits >= cap) return hits;\n")
+    expect("simd-cap-boundary",
+           list(check_simd_cap_boundary("src/simd/k.cc", ok)), 0, "clean")
+
+    # raw-thread
+    bad = lines("std::thread t([] {});\n"
+                "auto f = std::async(std::launch::async, [] {});\n")
+    expect("raw-thread", list(check_raw_thread("src/core/x.cc", bad)), 2,
+           "seeded")
+    ok = lines("size_t n = std::thread::hardware_concurrency();\n"
+               "std::thread t([] {});  // lint:allow(raw-thread) testing\n")
+    expect("raw-thread", list(check_raw_thread("src/core/x.cc", ok)), 0,
+           "clean")
+    exempt = lines("std::vector<std::thread> threads_;\n")
+    expect("raw-thread",
+           list(check_raw_thread("src/common/thread_pool.h", exempt)), 0,
+           "exempt-file")
+
+    # raw-rng
+    bad = lines("int x = rand() % 6;\n"
+                "std::random_device rd;\n")
+    expect("raw-rng", list(check_raw_rng("tests/foo_test.cc", bad)), 2,
+           "seeded")
+    ok = lines("Rng rng(42);\n")
+    expect("raw-rng", list(check_raw_rng("tests/foo_test.cc", ok)), 0,
+           "clean")
+
+    # discarded-status
+    header = ("src/api.h", lines("Status Frobnicate(int x);\n"
+                                 "Result<int> Load(const char* p);\n"
+                                 "Result<int> Add(int x);\n"
+                                 "void Add(double x);\n"))
+    clean_status_h = ("src/common/status.h",
+                      lines("class [[nodiscard]] Status {"))
+    clean_result_h = ("src/common/result.h",
+                      lines("class [[nodiscard]] Result {"))
+    bad_body = ("src/api.cc", lines("void F() {\n"
+                                    "  Frobnicate(1);\n"
+                                    "  obj.Load(\"x\");\n"
+                                    "}\n"))
+    ok_body = ("src/ok.cc",
+               lines("Status s = Frobnicate(1);\n"
+                     "DBSCOUT_RETURN_IF_ERROR(Frobnicate(2));\n"
+                     "(void)Frobnicate(3);  // best-effort cleanup\n"
+                     "return Frobnicate(4);\n"
+                     "ps.Add(7);\n"  # ambiguous overload: skipped
+                     "DBSCOUT_ASSIGN_OR_RETURN(auto v,\n"
+                     "    Load(p));\n"  # continuation line: skipped
+                     "int z = 0;\n"))
+    corpus = [header, clean_status_h, clean_result_h, bad_body, ok_body]
+    check = make_check_discarded_status(corpus)
+    expect("discarded-status", list(check(*bad_body)), 2, "seeded")
+    expect("discarded-status", list(check(*ok_body)), 0, "clean")
+    stripped_h = ("src/common/status.h", lines("class Status {"))
+    check2 = make_check_discarded_status([stripped_h])
+    expect("discarded-status", list(check2(*stripped_h)), 1,
+           "nodiscard-removed")
+
+    if failures:
+        print("lint_invariants self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("lint_invariants self-test passed "
+          "(every rule fires on seeded violations and passes clean code)")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repo root to lint (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule self-test instead of linting")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    if not os.path.isdir(os.path.join(args.root, "src")):
+        print(f"lint_invariants: no src/ under '{args.root}' "
+              "(wrong --root?)", file=sys.stderr)
+        return 2
+
+    files = load_tree(args.root)
+    findings = lint_files(files)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"lint_invariants: clean ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
