@@ -54,7 +54,11 @@ BENCHMARK(BM_NeighborStencilApply)->Arg(2);
 void BM_CellMapLookup(benchmark::State& state) {
   const PointSet points = MakePoints(50000);
   auto g = grid::Grid::Build(points, 1e6);
-  const grid::CellMap map = grid::CellMap::BuildDense(*g, 100);
+  grid::CellMap map;
+  for (uint32_t c = 0; c < g->num_cells(); ++c) {
+    const uint32_t count = static_cast<uint32_t>(g->CellSize(c));
+    map.Insert(g->CoordOf(c), count, count >= 100);
+  }
   for (auto _ : state) {
     size_t dense = 0;
     for (uint32_t c = 0; c < g->num_cells(); ++c) {

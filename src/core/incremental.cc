@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/str_util.h"
+#include "core/phases/phase_kernels.h"
 
 namespace dbscout::core {
 
@@ -102,7 +103,7 @@ Result<uint32_t> IncrementalDetector::Add(std::span<const double> point) {
       }
       ++neighbor_counts_[x];
       covered_by_core |= is_core_[q] != 0;
-      if (++neighbor_counts_[q] == min_pts) {
+      if (phases::CrossesDensityThreshold(++neighbor_counts_[q], min_pts)) {
         promoted.push_back(q);
       }
     }
@@ -113,7 +114,7 @@ Result<uint32_t> IncrementalDetector::Add(std::span<const double> point) {
   for (uint32_t q : promoted) {
     Promote(q);
   }
-  if (neighbor_counts_[x] >= min_pts) {
+  if (phases::IsDense(neighbor_counts_[x], min_pts)) {
     Promote(x);
   } else if (covered_by_core || !promoted.empty()) {
     // Any point promoted by this insertion is within eps of x by

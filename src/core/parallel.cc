@@ -7,6 +7,8 @@
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "core/dbscout.h"
+#include "core/phases/phase_kernels.h"
+#include "core/phases/phase_recorder.h"
 #include "dataflow/dataset.h"
 #include "dataflow/pair_ops.h"
 #include "grid/cell_coord.h"
@@ -49,20 +51,6 @@ void GatherCoords(const PointSet& pts, const std::vector<uint32_t>& ids,
   }
 }
 
-struct PhaseScope {
-  PhaseScope(Detection* detection, std::string name)
-      : detection(detection), name(std::move(name)) {}
-  ~PhaseScope() {
-    detection->phases.push_back(
-        {name, timer.ElapsedSeconds(), distances.load(), records.load()});
-  }
-  Detection* detection;
-  std::string name;
-  WallTimer timer;
-  std::atomic<uint64_t> distances{0};
-  std::atomic<uint64_t> records{0};
-};
-
 }  // namespace
 
 Result<Detection> DetectParallel(const PointSet& points, const Params& params,
@@ -91,6 +79,7 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
   const uint64_t shuffle_base = ctx->Summary().shuffled_records;
 
   Detection out;
+  phases::PhaseRecorder recorder;
   const size_t n = points.size();
   const double eps2 = params.eps * params.eps;
   const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
@@ -130,7 +119,7 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
   // ---- Phase 1: grid definition (Algorithm 1). -------------------------
   Dataset<GridRecord> g;
   {
-    PhaseScope phase(&out, "grid");
+    phases::ScopedPhase phase(&recorder, phases::kPhaseGrid);
     auto ids = Dataset<uint32_t>::Iota(ctx, static_cast<uint32_t>(n), parts);
     g = ids.Map([cell_of](uint32_t i) { return GridRecord(cell_of(i), i); },
                 "CreateGrid");
@@ -140,7 +129,7 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
   // ---- Phase 2: dense cell map construction (Algorithm 2). -------------
   Broadcast<CellMap> cell_map;
   {
-    PhaseScope phase(&out, "dense_cell_map");
+    phases::ScopedPhase phase(&recorder, phases::kPhaseDenseCellMap);
     auto ones = g.Map(
         [](const GridRecord& rec) { return std::make_pair(rec.first, 1u); },
         "CellOnes");
@@ -148,8 +137,8 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
         ReduceByKey(ones, [](uint32_t a, uint32_t b) { return a + b; }, parts,
                     CellCoordHash(), "CountCells");
     CellMap map;
-    counts.ForEach([&map, &params](const std::pair<CellCoord, uint32_t>& kv) {
-      map.Insert(kv.first, kv.second, params.min_pts);
+    counts.ForEach([&map, min_pts](const std::pair<CellCoord, uint32_t>& kv) {
+      map.Insert(kv.first, kv.second, phases::IsDense(kv.second, min_pts));
     });
     out.num_cells = map.size();
     out.num_dense_cells = map.CountByType(CellType::kDense);
@@ -160,9 +149,9 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
   // ---- Phase 3: core points identification (Algorithm 3). --------------
   std::vector<uint8_t> is_core(n, 0);
   {
-    PhaseScope phase(&out, "core_points");
+    phases::ScopedPhase phase(&recorder, phases::kPhaseCorePoints);
     auto is_dense_cell = [cell_map](const GridRecord& rec) {
-      return cell_map->TypeOf(rec.first) == CellType::kDense;
+      return phases::IsDenseCell(*cell_map, rec.first);
     };
     // C_d: points of dense cells are core outright (Lemma 1).
     auto dense_core =
@@ -279,7 +268,7 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
     auto core_nd =
         counts
             .Filter([min_pts](const std::pair<uint32_t, uint32_t>& kv) {
-              return kv.second >= min_pts;
+              return phases::IsDense(kv.second, min_pts);
             })
             .Map([](const std::pair<uint32_t, uint32_t>& kv) {
               return kv.first;
@@ -293,7 +282,7 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
   // ---- Phase 4: core cell map construction (Algorithm 4). --------------
   Broadcast<CellMap> core_map;
   {
-    PhaseScope phase(&out, "core_cell_map");
+    phases::ScopedPhase phase(&recorder, phases::kPhaseCoreCellMap);
     CellMap updated = *cell_map;  // dense cells already rank as core
     for (size_t i = 0; i < n; ++i) {
       if (is_core[i]) {
@@ -309,11 +298,11 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
   // ---- Phase 5: outliers identification (Algorithm 5). -----------------
   std::vector<uint32_t> outliers;
   {
-    PhaseScope phase(&out, "outliers");
+    phases::ScopedPhase phase(&recorder, phases::kPhaseOutliers);
     Broadcast<std::vector<uint8_t>> core_flags(is_core);
     auto non_core = g.Filter(
         [core_map](const GridRecord& rec) {
-          return !core_map->IsCoreCell(rec.first);
+          return !phases::IsCoreCell(*core_map, rec.first);
         },
         "FilterNonCore");
     // O_ncn: no neighboring core cell at all -> outright outliers.
@@ -333,7 +322,7 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
           for (const grid::CellOffset& offset : stencil->offsets) {
             const CellCoord neighbor =
                 rec.first.Translated({offset.data(), rec.first.dims()});
-            if (core_map->IsCoreCell(neighbor)) {
+            if (phases::IsCoreCell(*core_map, neighbor)) {
               sink->push_back({neighbor, rec.second});
             }
           }
@@ -451,6 +440,7 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
     out.kinds[p] = PointKind::kOutlier;
   }
   out.num_border = n - out.num_core - out.outliers.size();
+  out.phases = recorder.Take();
   out.shuffled_records = ctx->Summary().shuffled_records - shuffle_base;
   out.total_seconds = total_timer.ElapsedSeconds();
   return out;

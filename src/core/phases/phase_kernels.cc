@@ -1,0 +1,214 @@
+#include "core/phases/phase_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbscout::core::phases {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+BoundKernels BindKernels(size_t dims) {
+  const simd::DistanceKernels& table = simd::DispatchedKernels();
+  return BoundKernels{table.count_within[dims], table.any_within[dims],
+                      table.min_sqdist[dims]};
+}
+
+uint32_t ClassifyDenseCells(const grid::Grid& g, uint32_t min_pts,
+                            uint8_t* cell_dense) {
+  const uint32_t num_cells = static_cast<uint32_t>(g.num_cells());
+  uint32_t num_dense = 0;
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (IsDense(g.CellSize(c), min_pts)) {
+      cell_dense[c] = 1;
+      ++num_dense;
+    } else {
+      cell_dense[c] = 0;
+    }
+  }
+  return num_dense;
+}
+
+uint64_t CoreScanCell(const grid::Grid& g,
+                      const grid::NeighborStencil& stencil,
+                      const BoundKernels& kernels, double eps2,
+                      uint32_t min_pts, uint32_t c, const uint8_t* cell_dense,
+                      uint8_t* is_core,
+                      std::vector<uint32_t>* neighbor_scratch) {
+  const auto cell_points = g.PointsInCell(c);
+  if (cell_dense[c]) {
+    for (uint32_t p : cell_points) {
+      is_core[p] = 1;
+    }
+    return 0;
+  }
+  std::vector<uint32_t>& neighbor_cells = *neighbor_scratch;
+  neighbor_cells.clear();
+  g.ForEachNeighborCell(c, stencil,
+                        [&](uint32_t nc) { neighbor_cells.push_back(nc); });
+  const size_t d = g.dims();
+  const double* cell_block = g.CellBlock(c);
+  uint64_t distances = 0;
+  for (size_t j = 0; j < cell_points.size(); ++j) {
+    const double* pv = cell_block + j * d;
+    uint32_t count = 0;
+    for (uint32_t nc : neighbor_cells) {
+      const size_t block_size = g.CellSize(nc);
+      distances += block_size;
+      count += kernels.count_within(pv, g.CellBlock(nc), block_size, eps2,
+                                    min_pts - count);
+      if (IsDense(count, min_pts)) {
+        is_core[cell_points[j]] = 1;
+        break;
+      }
+    }
+  }
+  return distances;
+}
+
+void CountCoreCell(const grid::Grid& g, uint32_t c, const uint8_t* cell_dense,
+                   const uint8_t* is_core, uint8_t* cell_core,
+                   SparseCoreCsr* csr) {
+  if (cell_dense[c]) {
+    cell_core[c] = 1;
+    return;
+  }
+  uint32_t core_in_cell = 0;
+  for (uint32_t p : g.PointsInCell(c)) {
+    core_in_cell += is_core[p];
+  }
+  if (core_in_cell > 0) {
+    cell_core[c] = 1;
+    csr->begin[c + 1] = core_in_cell;
+  }
+}
+
+void FinishSparseCoreLayout(size_t dims, size_t num_cells,
+                            SparseCoreCsr* csr) {
+  for (size_t c = 0; c < num_cells; ++c) {
+    csr->begin[c + 1] += csr->begin[c];
+  }
+  csr->idx.resize(csr->begin[num_cells]);
+  csr->coords.resize(static_cast<size_t>(csr->begin[num_cells]) * dims);
+}
+
+void FillSparseCoreCell(const grid::Grid& g, uint32_t c,
+                        const uint8_t* cell_dense, const uint8_t* cell_core,
+                        const uint8_t* is_core, SparseCoreCsr* csr) {
+  if (cell_dense[c] || !cell_core[c]) {
+    return;
+  }
+  const size_t d = g.dims();
+  uint32_t w = csr->begin[c];
+  const uint32_t row_begin = g.CellBeginRow(c);
+  const uint32_t row_end = row_begin + static_cast<uint32_t>(g.CellSize(c));
+  for (uint32_t row = row_begin; row < row_end; ++row) {
+    const uint32_t p = g.OriginalIndex(row);
+    if (!is_core[p]) {
+      continue;
+    }
+    csr->idx[w] = p;
+    const auto coords = g.OrderedPoint(row);
+    std::copy(coords.begin(), coords.end(),
+              csr->coords.begin() + static_cast<size_t>(w) * d);
+    ++w;
+  }
+}
+
+uint32_t BuildSparseCoreCsr(const grid::Grid& g, const uint8_t* cell_dense,
+                            const uint8_t* is_core, uint8_t* cell_core,
+                            SparseCoreCsr* csr) {
+  const uint32_t num_cells = static_cast<uint32_t>(g.num_cells());
+  csr->begin.assign(num_cells + 1, 0);
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    CountCoreCell(g, c, cell_dense, is_core, cell_core, csr);
+  }
+  FinishSparseCoreLayout(g.dims(), num_cells, csr);
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    FillSparseCoreCell(g, c, cell_dense, cell_core, is_core, csr);
+  }
+  uint32_t num_core_cells = 0;
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    num_core_cells += cell_core[c];
+  }
+  return num_core_cells;
+}
+
+uint64_t OutlierScanCell(const grid::Grid& g,
+                         const grid::NeighborStencil& stencil,
+                         const BoundKernels& kernels, double eps2, bool scores,
+                         uint32_t c, const uint8_t* cell_dense,
+                         const uint8_t* cell_core, const uint8_t* is_core,
+                         const SparseCoreCsr& csr, PointKind* kinds,
+                         double* core_distance,
+                         std::vector<uint32_t>* neighbor_scratch) {
+  if (cell_core[c] && !scores) {
+    return 0;  // Lemma 2: no point of a core cell is an outlier
+  }
+  std::vector<uint32_t>& core_neighbor_cells = *neighbor_scratch;
+  core_neighbor_cells.clear();
+  g.ForEachNeighborCell(c, stencil, [&](uint32_t nc) {
+    if (cell_core[nc]) {
+      core_neighbor_cells.push_back(nc);
+    }
+  });
+  if (core_neighbor_cells.empty()) {
+    // O_ncn: non-core cell with no core neighbor — all points outliers.
+    for (uint32_t p : g.PointsInCell(c)) {
+      kinds[p] = PointKind::kOutlier;
+      if (scores) {
+        core_distance[p] = kInf;
+      }
+    }
+    return 0;
+  }
+  const size_t d = g.dims();
+  const auto cell_points = g.PointsInCell(c);
+  const double* cell_block = g.CellBlock(c);
+  uint64_t distances = 0;
+  for (size_t j = 0; j < cell_points.size(); ++j) {
+    const uint32_t p = cell_points[j];
+    if (is_core[p]) {
+      continue;  // core points keep distance 0
+    }
+    const double* pv = cell_block + j * d;
+    // One contiguous block per neighboring core cell: every point of a
+    // dense cell is core (grid block), while sparse core cells use the
+    // packed phase-4 CSR coordinates.
+    bool outlier = true;
+    double best = kInf;
+    for (uint32_t nc : core_neighbor_cells) {
+      const double* block;
+      size_t block_size;
+      if (cell_dense[nc]) {
+        block = g.CellBlock(nc);
+        block_size = g.CellSize(nc);
+      } else {
+        block = csr.CellBlock(nc, d);
+        block_size = csr.CellCount(nc);
+      }
+      distances += block_size;
+      if (scores) {
+        best = std::min(best, kernels.min_sqdist(pv, block, block_size));
+      } else if (kernels.any_within(pv, block, block_size, eps2)) {
+        outlier = false;
+        break;
+      }
+    }
+    if (scores) {
+      outlier = !(best <= eps2);
+    }
+    if (outlier && !cell_core[c]) {
+      kinds[p] = PointKind::kOutlier;
+    }
+    if (scores) {
+      core_distance[p] = std::sqrt(best);
+    }
+  }
+  return distances;
+}
+
+}  // namespace dbscout::core::phases

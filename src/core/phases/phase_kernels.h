@@ -1,0 +1,162 @@
+#ifndef DBSCOUT_CORE_PHASES_PHASE_KERNELS_H_
+#define DBSCOUT_CORE_PHASES_PHASE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/detection.h"
+#include "grid/cell_map.h"
+#include "grid/grid.h"
+#include "grid/neighborhood.h"
+#include "simd/distance_kernel.h"
+
+/// The single home of the Lemma 1/2 phase logic. Every execution strategy
+/// (sequential, shared-memory pool, dataflow partitions, out-of-core
+/// stripes, incremental inserts) drives the cell-granular primitives in
+/// this library instead of carrying its own copy of the density tests,
+/// neighbor-stencil walks, and core-sublist layouts. A correctness or perf
+/// change to the hot path lands here, once; the `phase-logic-locality`
+/// rule of tools/lint_invariants.py enforces that the decision tokens do
+/// not reappear in the engines.
+namespace dbscout::core::phases {
+
+// Canonical phase names. Every engine reports its PhaseStats under these
+// names (in this order, when the phase applies) so runs are comparable
+// across engines.
+inline constexpr std::string_view kPhaseGrid = "grid";
+inline constexpr std::string_view kPhaseDenseCellMap = "dense_cell_map";
+inline constexpr std::string_view kPhaseCorePoints = "core_points";
+inline constexpr std::string_view kPhaseCoreCellMap = "core_cell_map";
+inline constexpr std::string_view kPhaseOutliers = "outliers";
+
+/// The Lemma 1 density test — the one place `count >= minPts` is decided.
+/// `count` includes the point itself (Definition 2).
+inline bool IsDense(uint64_t count, uint32_t min_pts) {
+  return count >= min_pts;
+}
+
+/// Streaming variant of the density test: true exactly when an increment
+/// moved a neighbor count onto the minPts threshold (the non-core -> core
+/// transition of the incremental detector; counts only ever grow, so the
+/// threshold is crossed at most once per point).
+inline bool CrossesDensityThreshold(uint32_t new_count, uint32_t min_pts) {
+  return new_count == min_pts;
+}
+
+/// Dense-cell membership of a broadcast CellMap (Algorithm 2's output as
+/// the dataflow engine sees it).
+inline bool IsDenseCell(const grid::CellMap& map, const grid::CellCoord& c) {
+  return map.TypeOf(c) == grid::CellType::kDense;
+}
+
+/// Core-cell membership of a broadcast CellMap (Lemma 2's precondition in
+/// the dataflow engine).
+inline bool IsCoreCell(const grid::CellMap& map, const grid::CellCoord& c) {
+  return map.TypeOf(c) >= grid::CellType::kCore;
+}
+
+/// The batched one-point-vs-block distance primitives bound to one
+/// dimensionality (function pointers resolved once per detection, not once
+/// per call). Bit-identical across scalar/SSE2/AVX2 variants, so every
+/// engine built on them produces the same outlier set.
+struct BoundKernels {
+  simd::CountWithinFn count_within;
+  simd::AnyWithinFn any_within;
+  simd::MinSqDistFn min_sqdist;
+};
+
+/// Binds the dispatched kernel table at `dims` (must be in
+/// [0, simd::kKernelMaxDims]; Grid::Build has validated this).
+BoundKernels BindKernels(size_t dims);
+
+/// Phase 2 (Algorithm 2): classifies every grid cell by local point count.
+/// `cell_dense` must have g.num_cells() entries; returns the number of
+/// dense cells. Every point of a dense cell is core (Lemma 1).
+uint32_t ClassifyDenseCells(const grid::Grid& g, uint32_t min_pts,
+                            uint8_t* cell_dense);
+
+/// Phase 3 (Algorithm 3): core-point scan of one cell. Dense cells mark
+/// every point core outright; points of sparse cells count neighbors
+/// within eps across the k_d neighboring cells via the capped batched
+/// kernel, one contiguous grid-ordered block per neighbor cell. Early
+/// termination at minPts (the sequential analogue of the grouped-join
+/// optimization, SS III-G2) happens at block granularity: between neighbor
+/// cells exactly, and inside a block every simd::kKernelBatch points.
+/// Writes only is_core[p] for p in cell `c` (race-free under per-cell
+/// parallelism). `neighbor_scratch` is caller-provided reusable storage.
+/// Returns the number of distance computations submitted.
+uint64_t CoreScanCell(const grid::Grid& g,
+                      const grid::NeighborStencil& stencil,
+                      const BoundKernels& kernels, double eps2,
+                      uint32_t min_pts, uint32_t c, const uint8_t* cell_dense,
+                      uint8_t* is_core,
+                      std::vector<uint32_t>* neighbor_scratch);
+
+/// Phase 4 output: flat CSR of the core points of *sparse* core cells
+/// (offsets + original indices + packed row-major coordinates), so the
+/// phase-5 scans over sparse core sublists are contiguous kernel blocks,
+/// exactly like dense-cell grid blocks. Dense cells need no entry: their
+/// grid block already is their core sublist (Lemma 1).
+struct SparseCoreCsr {
+  std::vector<uint32_t> begin;  // size num_cells + 1
+  std::vector<uint32_t> idx;    // original point indices, grid row order
+  std::vector<double> coords;   // idx.size() x dims, row-major
+
+  size_t CellCount(uint32_t c) const { return begin[c + 1] - begin[c]; }
+  const double* CellBlock(uint32_t c, size_t dims) const {
+    return coords.data() + static_cast<size_t>(begin[c]) * dims;
+  }
+};
+
+/// Phase 4, step 1 of 3 (parallel-safe per cell): classifies cell `c` as
+/// core and records its sparse-core count in csr->begin[c + 1]. A cell is
+/// core when it contains a core point; dense cells are core by Lemma 1.
+/// csr->begin must be pre-sized to num_cells + 1 (zeroed).
+void CountCoreCell(const grid::Grid& g, uint32_t c, const uint8_t* cell_dense,
+                   const uint8_t* is_core, uint8_t* cell_core,
+                   SparseCoreCsr* csr);
+
+/// Phase 4, step 2 of 3 (sequential): prefix-sums the per-cell counts and
+/// allocates idx/coords.
+void FinishSparseCoreLayout(size_t dims, size_t num_cells, SparseCoreCsr* csr);
+
+/// Phase 4, step 3 of 3 (parallel-safe per cell): fills cell `c`'s CSR
+/// slice — core-point indices in ascending grid-row order plus their
+/// packed coordinates. No-op for dense or non-core cells.
+void FillSparseCoreCell(const grid::Grid& g, uint32_t c,
+                        const uint8_t* cell_dense, const uint8_t* cell_core,
+                        const uint8_t* is_core, SparseCoreCsr* csr);
+
+/// Convenience composition of the three phase-4 steps over all cells
+/// (sequential). Returns the number of core cells.
+uint32_t BuildSparseCoreCsr(const grid::Grid& g, const uint8_t* cell_dense,
+                            const uint8_t* is_core, uint8_t* cell_core,
+                            SparseCoreCsr* csr);
+
+/// Phase 5 (Algorithm 5): outlier scan of one cell. No point of a core
+/// cell is an outlier (Lemma 2), so core cells are skipped outright unless
+/// `scores` is set. Points of non-core cells are outliers iff no core
+/// point in a neighboring core cell lies within eps, with early
+/// termination on the first core point found — including the O_ncn
+/// shortcut (no neighboring core cell at all: every point is an outlier
+/// with no distance work). With `scores`, the early exit is disabled and
+/// the minimum core squared-distance is tracked for every non-core point
+/// (core_distance must then be non-null, n entries; kinds entries of core
+/// cells' border points stay untouched by the decision but get their
+/// distances). Writes only kinds/core_distance entries of cell `c`'s
+/// points; kinds must be pre-initialized to PointKind::kBorder. Returns
+/// the number of distance computations submitted.
+uint64_t OutlierScanCell(const grid::Grid& g,
+                         const grid::NeighborStencil& stencil,
+                         const BoundKernels& kernels, double eps2, bool scores,
+                         uint32_t c, const uint8_t* cell_dense,
+                         const uint8_t* cell_core, const uint8_t* is_core,
+                         const SparseCoreCsr& csr, PointKind* kinds,
+                         double* core_distance,
+                         std::vector<uint32_t>* neighbor_scratch);
+
+}  // namespace dbscout::core::phases
+
+#endif  // DBSCOUT_CORE_PHASES_PHASE_KERNELS_H_

@@ -1,0 +1,92 @@
+#ifndef DBSCOUT_CORE_PHASES_PHASE_RECORDER_H_
+#define DBSCOUT_CORE_PHASES_PHASE_RECORDER_H_
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/detection.h"
+
+namespace dbscout::core::phases {
+
+/// The one place per-phase stats are assembled. Every engine reports its
+/// PhaseStats through a PhaseRecorder so phase names, counter semantics,
+/// and ordering are identical across engines (and therefore comparable in
+/// tests and benches).
+///
+/// Two usage patterns:
+///  - scoped phases (in-memory engines): Start() then Record(name, ...) —
+///    the row gets the wall time elapsed since Start();
+///  - accumulation (the out-of-core engine, which revisits the same
+///    logical phase once per stripe): Accumulate(name, seconds, ...)
+///    merges into the existing row, creating it in first-call order.
+class PhaseRecorder {
+ public:
+  PhaseRecorder() = default;
+
+  /// (Re)starts the phase timer.
+  void Start() { timer_.Reset(); }
+
+  /// Appends one row with the time elapsed since the last Start().
+  void Record(std::string_view name, uint64_t distances, uint64_t records) {
+    phases_.push_back({std::string(name), timer_.ElapsedSeconds(), distances,
+                       records});
+  }
+
+  /// Merges into the row named `name` (appending a zero row first if it
+  /// does not exist yet).
+  void Accumulate(std::string_view name, double seconds, uint64_t distances,
+                  uint64_t records) {
+    PhaseStats& row = RowFor(name);
+    row.seconds += seconds;
+    row.distance_computations += distances;
+    row.records += records;
+  }
+
+  const std::vector<PhaseStats>& phases() const { return phases_; }
+
+  /// Moves the rows out (engines assign this to Detection::phases).
+  std::vector<PhaseStats> Take() { return std::move(phases_); }
+
+ private:
+  PhaseStats& RowFor(std::string_view name) {
+    for (PhaseStats& row : phases_) {
+      if (row.name == name) {
+        return row;
+      }
+    }
+    phases_.push_back({std::string(name), 0.0, 0, 0});
+    return phases_.back();
+  }
+
+  WallTimer timer_;
+  std::vector<PhaseStats> phases_;
+};
+
+/// RAII phase scope with thread-safe counters, for engines whose phase
+/// work runs as concurrent tasks (the dataflow engine): constructed at
+/// phase entry, records on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseRecorder* recorder, std::string_view name)
+      : recorder_(recorder), name_(name) {
+    recorder_->Start();
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() { recorder_->Record(name_, distances.load(), records.load()); }
+
+  std::atomic<uint64_t> distances{0};
+  std::atomic<uint64_t> records{0};
+
+ private:
+  PhaseRecorder* recorder_;
+  std::string name_;
+};
+
+}  // namespace dbscout::core::phases
+
+#endif  // DBSCOUT_CORE_PHASES_PHASE_RECORDER_H_

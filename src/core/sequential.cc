@@ -1,250 +1,11 @@
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <vector>
-
-#include "common/timer.h"
 #include "core/dbscout.h"
-#include "grid/cell_map.h"
-#include "grid/grid.h"
-#include "grid/neighborhood.h"
-#include "simd/distance_kernel.h"
+#include "core/phases/driver.h"
 
 namespace dbscout::core {
-namespace {
-
-using grid::Grid;
-using grid::NeighborStencil;
-
-}  // namespace
 
 Result<Detection> DetectSequential(const PointSet& points,
                                    const Params& params) {
-  DBSCOUT_RETURN_IF_ERROR(params.Validate());
-  WallTimer total_timer;
-  Detection out;
-  const size_t n = points.size();
-  const size_t d = points.dims();
-  const double eps2 = params.eps * params.eps;
-  const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
-
-  // Phase 1: grid partitioning and point-cell assignment (Algorithm 1).
-  WallTimer phase_timer;
-  DBSCOUT_ASSIGN_OR_RETURN(Grid g, Grid::Build(points, params.eps));
-  DBSCOUT_ASSIGN_OR_RETURN(const NeighborStencil* stencil,
-                           grid::GetNeighborStencil(points.dims()));
-  out.num_cells = g.num_cells();
-  out.phases.push_back({"grid", phase_timer.ElapsedSeconds(), 0, n});
-
-  // Batched one-point-vs-block distance kernels over the grid-ordered
-  // coordinate blocks (bit-identical to the scalar pairwise loops; dims
-  // were validated by Grid::Build).
-  const simd::DistanceKernels& kernels = simd::DispatchedKernels();
-  const simd::CountWithinFn count_within = kernels.count_within[d];
-  const simd::AnyWithinFn any_within = kernels.any_within[d];
-  const simd::MinSqDistFn min_sqdist = kernels.min_sqdist[d];
-
-  // Phase 2: dense cell map (Algorithm 2). Dense <=> count >= minPts; every
-  // point of a dense cell is core (Lemma 1).
-  phase_timer.Reset();
-  const uint32_t num_cells = static_cast<uint32_t>(g.num_cells());
-  std::vector<uint8_t> cell_dense(num_cells, 0);
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    if (g.CellSize(c) >= min_pts) {
-      cell_dense[c] = 1;
-      ++out.num_dense_cells;
-    }
-  }
-  out.phases.push_back(
-      {"dense_cell_map", phase_timer.ElapsedSeconds(), 0, num_cells});
-
-  // Phase 3: core point identification. Points in dense cells are core
-  // outright; points in non-dense cells count neighbors within eps across
-  // the k_d neighboring cells via the batched kernel, one contiguous
-  // grid-ordered block per neighbor cell. Early termination at minPts (the
-  // sequential analogue of the grouped-join optimization, SS III-G2)
-  // happens at block granularity: between neighbor cells exactly, and
-  // inside a block every simd::kKernelBatch points.
-  phase_timer.Reset();
-  std::vector<uint8_t> is_core(n, 0);
-  uint64_t phase3_distances = 0;
-  std::vector<uint32_t> neighbor_cells;  // reused across cells
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    const auto cell_points = g.PointsInCell(c);
-    if (cell_dense[c]) {
-      for (uint32_t p : cell_points) {
-        is_core[p] = 1;
-      }
-      continue;
-    }
-    neighbor_cells.clear();
-    g.ForEachNeighborCell(c, *stencil,
-                          [&](uint32_t nc) { neighbor_cells.push_back(nc); });
-    const double* cell_block = g.CellBlock(c);
-    for (size_t j = 0; j < cell_points.size(); ++j) {
-      const double* pv = cell_block + j * d;
-      uint32_t count = 0;
-      for (uint32_t nc : neighbor_cells) {
-        const size_t block_size = g.CellSize(nc);
-        phase3_distances += block_size;
-        count += count_within(pv, g.CellBlock(nc), block_size, eps2,
-                              min_pts - count);
-        if (count >= min_pts) {
-          is_core[cell_points[j]] = 1;
-          break;
-        }
-      }
-    }
-  }
-  out.phases.push_back(
-      {"core_points", phase_timer.ElapsedSeconds(), phase3_distances, n});
-
-  // Phase 4: core cell map (Algorithm 4). A cell is core when it contains a
-  // core point; dense cells are core by Lemma 1. For non-dense core cells we
-  // additionally build a flat CSR structure (offsets + indices + packed
-  // coordinates) of their core points, so the phase-5 scans over sparse
-  // core sublists are contiguous kernel blocks too.
-  phase_timer.Reset();
-  std::vector<uint8_t> cell_core(num_cells, 0);
-  std::vector<uint32_t> sparse_core_begin(num_cells + 1, 0);
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    if (cell_dense[c]) {
-      cell_core[c] = 1;
-      continue;
-    }
-    for (uint32_t p : g.PointsInCell(c)) {
-      if (is_core[p]) {
-        cell_core[c] = 1;
-        ++sparse_core_begin[c + 1];
-      }
-    }
-  }
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    sparse_core_begin[c + 1] += sparse_core_begin[c];
-  }
-  std::vector<uint32_t> sparse_core_idx(sparse_core_begin[num_cells]);
-  std::vector<double> sparse_core_coords(
-      static_cast<size_t>(sparse_core_begin[num_cells]) * d);
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    if (cell_dense[c] || !cell_core[c]) {
-      continue;
-    }
-    uint32_t w = sparse_core_begin[c];
-    const uint32_t row_begin = g.CellBeginRow(c);
-    const uint32_t row_end = row_begin + static_cast<uint32_t>(g.CellSize(c));
-    for (uint32_t row = row_begin; row < row_end; ++row) {
-      const uint32_t p = g.OriginalIndex(row);
-      if (!is_core[p]) {
-        continue;
-      }
-      sparse_core_idx[w] = p;
-      const auto coords = g.OrderedPoint(row);
-      std::copy(coords.begin(), coords.end(),
-                sparse_core_coords.begin() + static_cast<size_t>(w) * d);
-      ++w;
-    }
-  }
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    out.num_core_cells += cell_core[c];
-  }
-  out.phases.push_back(
-      {"core_cell_map", phase_timer.ElapsedSeconds(), 0, num_cells});
-
-  // Phase 5: outlier identification (Algorithm 5). No point of a core cell
-  // is an outlier (Lemma 2); points of non-core cells are outliers iff no
-  // core point in a neighboring core cell lies within eps, with early
-  // termination on the first core point found. With compute_scores set,
-  // the early exit is disabled and the minimum core distance is tracked
-  // for every non-core point (including border points of core cells, which
-  // Lemma 2 would otherwise let us skip entirely).
-  phase_timer.Reset();
-  const bool scores = params.compute_scores;
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  if (scores) {
-    out.core_distance.assign(n, 0.0);
-  }
-  out.kinds.assign(n, PointKind::kBorder);
-  uint64_t phase5_distances = 0;
-  std::vector<uint32_t> core_neighbor_cells;
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    if (cell_core[c] && !scores) {
-      continue;
-    }
-    core_neighbor_cells.clear();
-    g.ForEachNeighborCell(c, *stencil, [&](uint32_t nc) {
-      if (cell_core[nc]) {
-        core_neighbor_cells.push_back(nc);
-      }
-    });
-    if (core_neighbor_cells.empty()) {
-      // O_ncn: non-core cell with no core neighbor — all points outliers.
-      for (uint32_t p : g.PointsInCell(c)) {
-        out.kinds[p] = PointKind::kOutlier;
-        if (scores) {
-          out.core_distance[p] = kInf;
-        }
-      }
-      continue;
-    }
-    const auto cell_points = g.PointsInCell(c);
-    const double* cell_block = g.CellBlock(c);
-    for (size_t j = 0; j < cell_points.size(); ++j) {
-      const uint32_t p = cell_points[j];
-      if (is_core[p]) {
-        continue;  // core points keep distance 0
-      }
-      const double* pv = cell_block + j * d;
-      // One contiguous block per neighboring core cell: every point of a
-      // dense cell is core (grid block), while sparse core cells use the
-      // packed phase-4 CSR coordinates.
-      bool outlier = true;
-      double best = kInf;
-      for (uint32_t nc : core_neighbor_cells) {
-        const double* block;
-        size_t block_size;
-        if (cell_dense[nc]) {
-          block = g.CellBlock(nc);
-          block_size = g.CellSize(nc);
-        } else {
-          block = sparse_core_coords.data() +
-                  static_cast<size_t>(sparse_core_begin[nc]) * d;
-          block_size = sparse_core_begin[nc + 1] - sparse_core_begin[nc];
-        }
-        phase5_distances += block_size;
-        if (scores) {
-          best = std::min(best, min_sqdist(pv, block, block_size));
-        } else if (any_within(pv, block, block_size, eps2)) {
-          outlier = false;
-          break;
-        }
-      }
-      if (scores) {
-        outlier = !(best <= eps2);
-      }
-      if (outlier && !cell_core[c]) {
-        out.kinds[p] = PointKind::kOutlier;
-      }
-      if (scores) {
-        out.core_distance[p] = std::sqrt(best);
-      }
-    }
-  }
-  out.phases.push_back(
-      {"outliers", phase_timer.ElapsedSeconds(), phase5_distances, n});
-
-  // Finalize labels and summary counts.
-  for (uint32_t p = 0; p < n; ++p) {
-    if (is_core[p]) {
-      out.kinds[p] = PointKind::kCore;
-      ++out.num_core;
-    } else if (out.kinds[p] == PointKind::kOutlier) {
-      out.outliers.push_back(p);
-    } else {
-      ++out.num_border;
-    }
-  }
-  out.total_seconds = total_timer.ElapsedSeconds();
-  return out;
+  return phases::DetectWithGrid(points, params, phases::SequentialExec{});
 }
 
 }  // namespace dbscout::core

@@ -1,258 +1,20 @@
-#include <algorithm>
-#include <atomic>
-#include <cmath>
-#include <limits>
-#include <vector>
-
 #include "common/thread_pool.h"
-#include "common/timer.h"
 #include "core/dbscout.h"
-#include "grid/grid.h"
-#include "grid/neighborhood.h"
-#include "simd/distance_kernel.h"
+#include "core/phases/driver.h"
 
 namespace dbscout::core {
 namespace {
 
-using grid::Grid;
-using grid::NeighborStencil;
-
-// Dynamic-chunk size (in cells) for the phase-3/5 loops. Skewed grids
-// (Geolife/OSM-like) concentrate most points in a few cells, so static
-// chunking leaves workers idle; small dynamic chunks rebalance while still
-// amortizing the claim overhead.
+// Dynamic-chunk size (in cells) for the phase-3/5 loops; see
+// phases::PooledExec for the rationale.
 constexpr size_t kDynamicCellChunk = 32;
 
 }  // namespace
 
 Result<Detection> DetectSharedMemory(const PointSet& points,
                                      const Params& params, ThreadPool* pool) {
-  DBSCOUT_RETURN_IF_ERROR(params.Validate());
-  WallTimer total_timer;
-  Detection out;
-  const size_t n = points.size();
-  const size_t d = points.dims();
-  const double eps2 = params.eps * params.eps;
-  const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
-
-  // Phase 1: grid (single-threaded; hash-map insertion order must stay
-  // deterministic so cell ids are reproducible).
-  WallTimer phase_timer;
-  DBSCOUT_ASSIGN_OR_RETURN(Grid g, Grid::Build(points, params.eps));
-  DBSCOUT_ASSIGN_OR_RETURN(const NeighborStencil* stencil,
-                           grid::GetNeighborStencil(points.dims()));
-  out.num_cells = g.num_cells();
-  out.phases.push_back({"grid", phase_timer.ElapsedSeconds(), 0, n});
-
-  // Batched distance kernels over grid-ordered blocks (bit-identical to the
-  // scalar pairwise loops; dims were validated by Grid::Build).
-  const simd::DistanceKernels& kernels = simd::DispatchedKernels();
-  const simd::CountWithinFn count_within = kernels.count_within[d];
-  const simd::AnyWithinFn any_within = kernels.any_within[d];
-  const simd::MinSqDistFn min_sqdist = kernels.min_sqdist[d];
-
-  // Phase 2: dense flags.
-  phase_timer.Reset();
-  const uint32_t num_cells = static_cast<uint32_t>(g.num_cells());
-  std::vector<uint8_t> cell_dense(num_cells, 0);
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    if (g.CellSize(c) >= min_pts) {
-      cell_dense[c] = 1;
-      ++out.num_dense_cells;
-    }
-  }
-  out.phases.push_back(
-      {"dense_cell_map", phase_timer.ElapsedSeconds(), 0, num_cells});
-
-  // Phase 3: core points, parallel over cells with dynamic chunking (cell
-  // populations are skewed, so statically-sized chunks leave workers idle).
-  // Each cell's points are written only by the worker that claimed that
-  // cell: no races. Distance checks run through the batched kernel over the
-  // contiguous grid-ordered block of each neighbor cell.
-  phase_timer.Reset();
-  std::vector<uint8_t> is_core(n, 0);
-  std::atomic<uint64_t> phase3_distances{0};
-  pool->ParallelForDynamic(
-      num_cells, kDynamicCellChunk, [&](size_t begin, size_t end) {
-        uint64_t local_distances = 0;
-        std::vector<uint32_t> neighbor_cells;
-        for (size_t c = begin; c < end; ++c) {
-          const auto cell_points = g.PointsInCell(static_cast<uint32_t>(c));
-          if (cell_dense[c]) {
-            for (uint32_t p : cell_points) {
-              is_core[p] = 1;
-            }
-            continue;
-          }
-          neighbor_cells.clear();
-          g.ForEachNeighborCell(static_cast<uint32_t>(c), *stencil,
-                                [&](uint32_t nc) {
-                                  neighbor_cells.push_back(nc);
-                                });
-          const double* cell_block = g.CellBlock(static_cast<uint32_t>(c));
-          for (size_t j = 0; j < cell_points.size(); ++j) {
-            const double* pv = cell_block + j * d;
-            uint32_t count = 0;
-            for (uint32_t nc : neighbor_cells) {
-              const size_t block_size = g.CellSize(nc);
-              local_distances += block_size;
-              count += count_within(pv, g.CellBlock(nc), block_size, eps2,
-                                    min_pts - count);
-              if (count >= min_pts) {
-                is_core[cell_points[j]] = 1;
-                break;
-              }
-            }
-          }
-        }
-        phase3_distances.fetch_add(local_distances,
-                                   std::memory_order_relaxed);
-      });
-  out.phases.push_back(
-      {"core_points", phase_timer.ElapsedSeconds(), phase3_distances.load(),
-       n});
-
-  // Phase 4: core cells and the flat CSR of sparse-cell core points
-  // (offsets + indices + packed coordinates). Count pass and fill pass are
-  // parallel over cells (each slot written by one worker); the prefix sum
-  // between them is sequential.
-  phase_timer.Reset();
-  std::vector<uint8_t> cell_core(num_cells, 0);
-  std::vector<uint32_t> sparse_core_begin(num_cells + 1, 0);
-  pool->ParallelForChunked(num_cells, [&](size_t begin, size_t end) {
-    for (size_t c = begin; c < end; ++c) {
-      if (cell_dense[c]) {
-        cell_core[c] = 1;
-        continue;
-      }
-      uint32_t core_in_cell = 0;
-      for (uint32_t p : g.PointsInCell(static_cast<uint32_t>(c))) {
-        core_in_cell += is_core[p];
-      }
-      if (core_in_cell > 0) {
-        cell_core[c] = 1;
-        sparse_core_begin[c + 1] = core_in_cell;
-      }
-    }
-  });
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    sparse_core_begin[c + 1] += sparse_core_begin[c];
-  }
-  std::vector<uint32_t> sparse_core_idx(sparse_core_begin[num_cells]);
-  std::vector<double> sparse_core_coords(
-      static_cast<size_t>(sparse_core_begin[num_cells]) * d);
-  pool->ParallelForChunked(num_cells, [&](size_t begin, size_t end) {
-    for (size_t c = begin; c < end; ++c) {
-      if (cell_dense[c] || !cell_core[c]) {
-        continue;
-      }
-      uint32_t w = sparse_core_begin[c];
-      const uint32_t row_begin = g.CellBeginRow(static_cast<uint32_t>(c));
-      const uint32_t row_end =
-          row_begin + static_cast<uint32_t>(g.CellSize(static_cast<uint32_t>(c)));
-      for (uint32_t row = row_begin; row < row_end; ++row) {
-        const uint32_t p = g.OriginalIndex(row);
-        if (!is_core[p]) {
-          continue;
-        }
-        sparse_core_idx[w] = p;
-        const auto coords = g.OrderedPoint(row);
-        std::copy(coords.begin(), coords.end(),
-                  sparse_core_coords.begin() + static_cast<size_t>(w) * d);
-        ++w;
-      }
-    }
-  });
-  for (uint32_t c = 0; c < num_cells; ++c) {
-    out.num_core_cells += cell_core[c];
-  }
-  out.phases.push_back(
-      {"core_cell_map", phase_timer.ElapsedSeconds(), 0, num_cells});
-
-  // Phase 5: outliers, parallel over non-core cells (over all cells when
-  // compute_scores is set, mirroring the sequential engine).
-  phase_timer.Reset();
-  const bool scores = params.compute_scores;
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  if (scores) {
-    out.core_distance.assign(n, 0.0);
-  }
-  out.kinds.assign(n, PointKind::kBorder);
-  std::atomic<uint64_t> phase5_distances{0};
-  pool->ParallelForDynamic(
-      num_cells, kDynamicCellChunk, [&](size_t begin, size_t end) {
-        uint64_t local_distances = 0;
-        std::vector<uint32_t> core_neighbor_cells;
-        for (size_t c = begin; c < end; ++c) {
-          if (cell_core[c] && !scores) {
-            continue;
-          }
-          core_neighbor_cells.clear();
-          g.ForEachNeighborCell(static_cast<uint32_t>(c), *stencil,
-                                [&](uint32_t nc) {
-                                  if (cell_core[nc]) {
-                                    core_neighbor_cells.push_back(nc);
-                                  }
-                                });
-          const auto cell_points = g.PointsInCell(static_cast<uint32_t>(c));
-          const double* cell_block = g.CellBlock(static_cast<uint32_t>(c));
-          for (size_t j = 0; j < cell_points.size(); ++j) {
-            const uint32_t p = cell_points[j];
-            if (is_core[p]) {
-              continue;  // core points keep distance 0
-            }
-            const double* pv = cell_block + j * d;
-            bool outlier = true;
-            double best = kInf;
-            for (uint32_t nc : core_neighbor_cells) {
-              const double* block;
-              size_t block_size;
-              if (cell_dense[nc]) {
-                block = g.CellBlock(nc);
-                block_size = g.CellSize(nc);
-              } else {
-                block = sparse_core_coords.data() +
-                        static_cast<size_t>(sparse_core_begin[nc]) * d;
-                block_size = sparse_core_begin[nc + 1] - sparse_core_begin[nc];
-              }
-              local_distances += block_size;
-              if (scores) {
-                best = std::min(best, min_sqdist(pv, block, block_size));
-              } else if (any_within(pv, block, block_size, eps2)) {
-                outlier = false;
-                break;
-              }
-            }
-            if (scores) {
-              outlier = !(best <= eps2);
-            }
-            if (outlier && !cell_core[c]) {
-              out.kinds[p] = PointKind::kOutlier;
-            }
-            if (scores) {
-              out.core_distance[p] = std::sqrt(best);
-            }
-          }
-        }
-        phase5_distances.fetch_add(local_distances,
-                                   std::memory_order_relaxed);
-      });
-  out.phases.push_back(
-      {"outliers", phase_timer.ElapsedSeconds(), phase5_distances.load(), n});
-
-  // Finalize labels (sequential; outliers collected in index order).
-  for (size_t p = 0; p < n; ++p) {
-    if (is_core[p]) {
-      out.kinds[p] = PointKind::kCore;
-      ++out.num_core;
-    } else if (out.kinds[p] == PointKind::kOutlier) {
-      out.outliers.push_back(static_cast<uint32_t>(p));
-    } else {
-      ++out.num_border;
-    }
-  }
-  out.total_seconds = total_timer.ElapsedSeconds();
-  return out;
+  return phases::DetectWithGrid(points, params,
+                                phases::PooledExec(pool, kDynamicCellChunk));
 }
 
 }  // namespace dbscout::core

@@ -1,6 +1,9 @@
 #include "external/external_detector.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -11,6 +14,8 @@
 
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "core/phases/phase_kernels.h"
+#include "core/phases/phase_recorder.h"
 #include "data/point_stream.h"
 #include "grid/cell_coord.h"
 #include "grid/grid.h"
@@ -22,6 +27,8 @@ namespace {
 using grid::CellCoord;
 using grid::CellCoordHash;
 
+namespace phases = core::phases;
+
 struct FileCloser {
   void operator()(std::FILE* f) const {
     if (f != nullptr) {
@@ -30,6 +37,15 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Process-unique token for spill-file names. Concurrent DetectExternal
+/// calls sharing a tmp_dir (threads of one process, or several processes)
+/// must not collide on spill paths: the pid disambiguates processes, this
+/// counter disambiguates threads.
+uint64_t NextSpillToken() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 /// One spilled record: the point's file position followed by d coordinates.
 struct SpillWriter {
@@ -108,10 +124,13 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
   const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
 
   ExternalDetection out;
+  phases::PhaseRecorder recorder;
+  WallTimer phase_timer;
 
   // ---- Pass 0: global cell counts + dim-0 slab histogram. ---------------
   std::unordered_map<CellCoord, uint32_t, CellCoordHash> cell_counts;
   std::map<int64_t, uint64_t> slab_histogram;  // ordered for stripe planning
+  uint64_t num_points = 0;
   {
     PointSet batch(d);
     for (;;) {
@@ -120,6 +139,7 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
       if (got == 0) {
         break;
       }
+      num_points += got;
       for (size_t i = 0; i < got; ++i) {
         const auto p = batch[i];
         CellCoord coord = CellCoord::Zero(d);
@@ -134,16 +154,18 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
       }
     }
   }
+  recorder.Accumulate(phases::kPhaseGrid, phase_timer.ElapsedSeconds(), 0,
+                      num_points);
+  phase_timer.Reset();
   out.num_cells = cell_counts.size();
   for (const auto& [coord, count] : cell_counts) {
-    out.num_dense_cells += count >= min_pts;
+    out.num_dense_cells += phases::IsDense(count, min_pts);
   }
-  auto cell_is_dense = [&](const CellCoord& coord) {
-    auto it = cell_counts.find(coord);
-    return it != cell_counts.end() && it->second >= min_pts;
-  };
+  recorder.Accumulate(phases::kPhaseDenseCellMap, phase_timer.ElapsedSeconds(),
+                      0, out.num_cells);
 
   // ---- Stripe planning: contiguous slab ranges of bounded cardinality. --
+  phase_timer.Reset();
   std::vector<Stripe> stripes;
   if (!slab_histogram.empty()) {
     uint64_t total = 0;
@@ -179,10 +201,13 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
     const size_t slash = binary_path.find_last_of('/');
     tmp_dir = slash == std::string::npos ? "." : binary_path.substr(0, slash);
   }
+  const uint64_t spill_token = NextSpillToken();
   std::vector<SpillWriter> writers(stripes.size());
   for (size_t s = 0; s < stripes.size(); ++s) {
-    writers[s].path =
-        StrFormat("%s/dbscout_spill_%zu.tmp", tmp_dir.c_str(), s);
+    writers[s].path = StrFormat(
+        "%s/dbscout_spill_%ld_%llu_%zu.tmp", tmp_dir.c_str(),
+        static_cast<long>(::getpid()),
+        static_cast<unsigned long long>(spill_token), s);
     writers[s].file.reset(std::fopen(writers[s].path.c_str(), "wb"));
     if (writers[s].file == nullptr) {
       return Status::IoError("cannot create spill file: " + writers[s].path);
@@ -233,11 +258,16 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
     DBSCOUT_RETURN_IF_ERROR(writer.Flush());
     writer.file.reset();
   }
+  recorder.Accumulate(phases::kPhaseGrid, phase_timer.ElapsedSeconds(), 0,
+                      out.spilled_records);
 
-  // ---- Pass 2: per-stripe in-memory DBSCOUT against the global maps. ----
+  // ---- Pass 2: per-stripe phases 2-5 via the shared cell kernels. -------
   const double eps2 = params.eps * params.eps;
+  const phases::BoundKernels kernels = phases::BindKernels(d);
+  std::vector<uint32_t> scratch;
   for (size_t s = 0; s < stripes.size(); ++s) {
     // Load the stripe's spill file.
+    phase_timer.Reset();
     FilePtr in(std::fopen(writers[s].path.c_str(), "rb"));
     if (in == nullptr) {
       return Status::IoError("cannot reopen spill file: " + writers[s].path);
@@ -270,111 +300,96 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
 
     DBSCOUT_ASSIGN_OR_RETURN(grid::Grid g, grid::Grid::Build(local, params.eps));
     const uint32_t num_cells = static_cast<uint32_t>(g.num_cells());
+    recorder.Accumulate(phases::kPhaseGrid, phase_timer.ElapsedSeconds(), 0,
+                        local.size());
 
-    // Core flags for every local point whose dim-0 slab lies within the
-    // first halo ring [slab_lo - radius, slab_hi + radius]: their complete
-    // neighborhood is guaranteed local (the spill carried 2*radius).
+    // Stripe-local dense map. A cell is *eligible* when its dim-0 slab lies
+    // within the first halo ring [slab_lo - radius, slab_hi + radius]: the
+    // spill carried 2*radius slabs, so every point of an eligible cell is
+    // local and its local count equals its global count. Pure halo cells
+    // keep cell_dense = cell_core = 0 — owned cells' stencil walks reach at
+    // most `radius` slabs, never past the eligible ring, so no decision
+    // ever reads a halo cell's (unresolved) status.
+    phase_timer.Reset();
     const int64_t core_lo = stripes[s].slab_lo - radius;
     const int64_t core_hi = stripes[s].slab_hi + radius;
-    std::vector<uint8_t> is_core(local.size(), 0);
-    std::vector<uint8_t> cell_core(num_cells, 0);
+    std::vector<uint8_t> eligible(num_cells, 0);
+    std::vector<uint8_t> owned(num_cells, 0);
     std::vector<uint8_t> cell_dense(num_cells, 0);
-    std::vector<std::vector<uint32_t>> sparse_core_points(num_cells);
-    std::vector<uint32_t> neighbor_cells;
     for (uint32_t c = 0; c < num_cells; ++c) {
-      const CellCoord& coord = g.CoordOf(c);
-      if (coord[0] < core_lo || coord[0] > core_hi) {
+      const int64_t slab = g.CoordOf(c)[0];
+      eligible[c] = slab >= core_lo && slab <= core_hi;
+      owned[c] = slab >= stripes[s].slab_lo && slab <= stripes[s].slab_hi;
+      cell_dense[c] = eligible[c] &&
+                      phases::IsDense(g.CellSize(c), min_pts);
+    }
+    recorder.Accumulate(phases::kPhaseDenseCellMap,
+                        phase_timer.ElapsedSeconds(), 0, num_cells);
+
+    // Phase 3 for eligible cells (owned + first halo ring), through the
+    // same cell kernel as the in-memory engines: SIMD batched counting
+    // with capped early exit, one contiguous grid block per neighbor cell.
+    phase_timer.Reset();
+    std::vector<uint8_t> is_core(local.size(), 0);
+    uint64_t distances = 0;
+    for (uint32_t c = 0; c < num_cells; ++c) {
+      if (!eligible[c]) {
         continue;  // pure halo cell: core status resolved by its own stripe
       }
-      cell_dense[c] = cell_is_dense(coord);
-      const auto cell_points = g.PointsInCell(c);
-      if (cell_dense[c]) {
-        cell_core[c] = 1;
-        for (uint32_t p : cell_points) {
-          is_core[p] = 1;
-        }
-        continue;
-      }
-      neighbor_cells.clear();
-      g.ForEachNeighborCell(c, *stencil, [&](uint32_t nc) {
-        neighbor_cells.push_back(nc);
-      });
-      for (uint32_t p : cell_points) {
-        const auto pv = local[p];
-        uint32_t count = 0;
-        for (uint32_t nc : neighbor_cells) {
-          for (uint32_t q : g.PointsInCell(nc)) {
-            if (PointSet::SquaredDistance(pv, local[q]) <= eps2 &&
-                ++count >= min_pts) {
-              is_core[p] = 1;
-              break;
-            }
-          }
-          if (is_core[p]) {
-            break;
-          }
-        }
-        if (is_core[p]) {
-          cell_core[c] = 1;
-          sparse_core_points[c].push_back(p);
-        }
-      }
+      distances += phases::CoreScanCell(g, *stencil, kernels, eps2, min_pts,
+                                        c, cell_dense.data(), is_core.data(),
+                                        &scratch);
     }
+    recorder.Accumulate(phases::kPhaseCorePoints, phase_timer.ElapsedSeconds(),
+                        distances, local.size());
 
-    // Outlier decision for owned points only.
-    std::vector<uint32_t> core_neighbor_cells;
+    // Phase 4: core-cell flags + flat CSR of sparse-cell core points (the
+    // same packed layout the in-memory engines feed to the kernels).
+    // Ineligible cells have no core flags, so they produce no entries.
+    phase_timer.Reset();
+    std::vector<uint8_t> cell_core(num_cells, 0);
+    phases::SparseCoreCsr csr;
+    phases::BuildSparseCoreCsr(g, cell_dense.data(), is_core.data(),
+                               cell_core.data(), &csr);
+    recorder.Accumulate(phases::kPhaseCoreCellMap, phase_timer.ElapsedSeconds(),
+                        0, num_cells);
+
+    // Phase 5: outlier decisions for owned cells only. Every neighbor of an
+    // owned cell is eligible, so the O_ncn shortcut and the core-neighbor
+    // scans see exact core flags.
+    phase_timer.Reset();
+    std::vector<core::PointKind> kinds(local.size(),
+                                       core::PointKind::kBorder);
+    distances = 0;
     for (uint32_t c = 0; c < num_cells; ++c) {
-      const CellCoord& coord = g.CoordOf(c);
-      if (coord[0] < stripes[s].slab_lo || coord[0] > stripes[s].slab_hi) {
+      if (!owned[c]) {
         continue;  // halo cell: owned by another stripe
       }
-      if (cell_core[c]) {
-        for (uint32_t p : g.PointsInCell(c)) {
-          out.num_core += is_core[p];
-          out.num_border += !is_core[p];
-        }
+      distances += phases::OutlierScanCell(
+          g, *stencil, kernels, eps2, /*scores=*/false, c, cell_dense.data(),
+          cell_core.data(), is_core.data(), csr, kinds.data(),
+          /*core_distance=*/nullptr, &scratch);
+    }
+    // Finalize the stripe's owned points (global ids; sorted at the end).
+    for (uint32_t c = 0; c < num_cells; ++c) {
+      if (!owned[c]) {
         continue;
       }
-      core_neighbor_cells.clear();
-      g.ForEachNeighborCell(c, *stencil, [&](uint32_t nc) {
-        if (cell_core[nc]) {
-          core_neighbor_cells.push_back(nc);
-        }
-      });
       for (uint32_t p : g.PointsInCell(c)) {
-        bool outlier = true;
-        if (!core_neighbor_cells.empty()) {
-          const auto pv = local[p];
-          for (uint32_t nc : core_neighbor_cells) {
-            if (cell_dense[nc]) {
-              for (uint32_t q : g.PointsInCell(nc)) {
-                if (PointSet::SquaredDistance(pv, local[q]) <= eps2) {
-                  outlier = false;
-                  break;
-                }
-              }
-            } else {
-              for (uint32_t q : sparse_core_points[nc]) {
-                if (PointSet::SquaredDistance(pv, local[q]) <= eps2) {
-                  outlier = false;
-                  break;
-                }
-              }
-            }
-            if (!outlier) {
-              break;
-            }
-          }
-        }
-        if (outlier) {
+        if (is_core[p]) {
+          ++out.num_core;
+        } else if (kinds[p] == core::PointKind::kOutlier) {
           out.outliers.push_back(gids[p]);
         } else {
           ++out.num_border;
         }
       }
     }
+    recorder.Accumulate(phases::kPhaseOutliers, phase_timer.ElapsedSeconds(),
+                        distances, local.size());
   }
   std::sort(out.outliers.begin(), out.outliers.end());
+  out.phases = recorder.Take();
   out.seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/detection.h"
 
 namespace dbscout::external {
 
@@ -42,6 +43,10 @@ struct ExternalDetection {
   uint64_t spilled_records = 0;
   /// Largest single-stripe working set (owned + halo points).
   size_t max_stripe_points = 0;
+  /// Per-phase stats under the canonical core::phases names, accumulated
+  /// across passes and stripes (a stripe revisits phases 2-5, so a row
+  /// aggregates every visit).
+  std::vector<core::PhaseStats> phases;
   double seconds = 0.0;
 
   size_t num_outliers() const { return outliers.size(); }

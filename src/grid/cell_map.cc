@@ -2,20 +2,6 @@
 
 namespace dbscout::grid {
 
-CellMap CellMap::BuildDense(const Grid& grid, int min_pts) {
-  CellMap map;
-  map.cells_.reserve(grid.num_cells());
-  for (uint32_t id = 0; id < grid.num_cells(); ++id) {
-    CellInfo info;
-    info.count = static_cast<uint32_t>(grid.CellSize(id));
-    info.type = info.count >= static_cast<uint32_t>(min_pts)
-                    ? CellType::kDense
-                    : CellType::kOther;
-    map.cells_.emplace(grid.CoordOf(id), info);
-  }
-  return map;
-}
-
 void CellMap::MarkCore(const CellCoord& coord) {
   CellInfo& info = cells_[coord];
   if (info.type < CellType::kCore) {

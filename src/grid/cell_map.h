@@ -28,18 +28,14 @@ class CellMap {
  public:
   CellMap() = default;
 
-  /// Builds the dense-cell map (Algorithm 2): every non-empty cell appears,
-  /// marked kDense when its point count reaches min_pts.
-  static CellMap BuildDense(const Grid& grid, int min_pts);
-
-  /// Inserts (or overwrites) one cell with the given point count, typing it
-  /// kDense when count >= min_pts. Used by the parallel engine, which
-  /// obtains counts from a REDUCEBYKEY rather than from a Grid.
-  void Insert(const CellCoord& coord, uint32_t count, int min_pts) {
+  /// Inserts (or overwrites) one cell with the given point count and dense
+  /// classification. The density decision itself (Lemma 1) is not made
+  /// here — it lives in core::phases::IsDense and callers pass its verdict
+  /// in, so this structure stays free of threshold logic.
+  void Insert(const CellCoord& coord, uint32_t count, bool dense) {
     CellInfo info;
     info.count = count;
-    info.type = count >= static_cast<uint32_t>(min_pts) ? CellType::kDense
-                                                        : CellType::kOther;
+    info.type = dense ? CellType::kDense : CellType::kOther;
     cells_[coord] = info;
   }
 

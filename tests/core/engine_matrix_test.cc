@@ -2,6 +2,8 @@
 // dataflow x 3 join strategies, external, incremental) must agree exactly
 // on the same data — the library's strongest consistency guarantee,
 // swept over parameters.
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <tuple>
@@ -54,8 +56,11 @@ TEST_P(EngineMatrixTest, AllSevenPathsAgree) {
   }
   // External (via a temp file, forced multi-stripe).
   {
-    const std::string path =
-        ::testing::TempDir() + "/engine_matrix.dbsc";
+    // Pid-unique path: the three sweep cases run as sibling processes
+    // against the same TempDir, and a fixed name lets one case remove or
+    // truncate the file while another is streaming it.
+    const std::string path = ::testing::TempDir() + "/engine_matrix_" +
+                             std::to_string(::getpid()) + ".dbsc";
     ASSERT_TRUE(SavePointsBinary(path, ps).ok());
     external::ExternalParams ext;
     ext.eps = eps;

@@ -1,0 +1,259 @@
+// Unit tests for the shared phase-kernel library: the single home of the
+// Lemma 1/2 logic that every engine drives. These pin the cell-granular
+// contracts (what each primitive reads and writes) independently of any
+// engine's orchestration.
+#include "core/phases/phase_kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/phases/phase_recorder.h"
+#include "grid/grid.h"
+#include "testutil.h"
+
+namespace dbscout::core::phases {
+namespace {
+
+// A 2D set with one dense cell, one sparse-core cell, and one isolated
+// point, under eps = sqrt(2) (cell side 1.0) and minPts = 4:
+//  - cell (0,0): 5 points -> dense, all core (Lemma 1);
+//  - cell (1,1): 2 points adjacent to the dense mass -> core via neighbors;
+//  - cell (9,9): 1 far point -> outlier via the O_ncn shortcut.
+PointSet Sample() {
+  PointSet ps(2);
+  ps.Add({0.2, 0.2});
+  ps.Add({0.4, 0.4});
+  ps.Add({0.5, 0.5});
+  ps.Add({0.6, 0.6});
+  ps.Add({0.8, 0.8});
+  ps.Add({1.2, 1.2});
+  ps.Add({1.4, 1.4});
+  ps.Add({9.5, 9.5});
+  return ps;
+}
+
+constexpr double kEps2 = 2.0;
+constexpr uint32_t kMinPts = 4;
+
+struct Built {
+  grid::Grid g;
+  const grid::NeighborStencil* stencil;
+  BoundKernels kernels;
+};
+
+Built Build(const PointSet& ps) {
+  auto g = grid::Grid::Build(ps, std::sqrt(2.0));
+  EXPECT_TRUE(g.ok());
+  auto stencil = grid::GetNeighborStencil(ps.dims());
+  EXPECT_TRUE(stencil.ok());
+  return {std::move(*g), *stencil, BindKernels(ps.dims())};
+}
+
+TEST(PhasesTest, DensityPredicates) {
+  EXPECT_FALSE(IsDense(0, 1));
+  EXPECT_TRUE(IsDense(1, 1));
+  EXPECT_FALSE(IsDense(4, 5));
+  EXPECT_TRUE(IsDense(5, 5));
+  EXPECT_TRUE(IsDense(6, 5));
+  // The streaming variant fires exactly once, on the crossing increment.
+  EXPECT_FALSE(CrossesDensityThreshold(4, 5));
+  EXPECT_TRUE(CrossesDensityThreshold(5, 5));
+  EXPECT_FALSE(CrossesDensityThreshold(6, 5));
+}
+
+TEST(PhasesTest, CanonicalPhaseNames) {
+  EXPECT_EQ(kPhaseGrid, "grid");
+  EXPECT_EQ(kPhaseDenseCellMap, "dense_cell_map");
+  EXPECT_EQ(kPhaseCorePoints, "core_points");
+  EXPECT_EQ(kPhaseCoreCellMap, "core_cell_map");
+  EXPECT_EQ(kPhaseOutliers, "outliers");
+}
+
+TEST(PhasesTest, ClassifyDenseCellsCountsAndFlags) {
+  const PointSet ps = Sample();
+  Built b = Build(ps);
+  std::vector<uint8_t> cell_dense(b.g.num_cells(), 0xFF);
+  const uint32_t num_dense =
+      ClassifyDenseCells(b.g, kMinPts, cell_dense.data());
+  EXPECT_EQ(num_dense, 1u);
+  uint32_t set = 0;
+  for (uint32_t c = 0; c < b.g.num_cells(); ++c) {
+    EXPECT_TRUE(cell_dense[c] == 0 || cell_dense[c] == 1);  // fully rewritten
+    set += cell_dense[c];
+    EXPECT_EQ(cell_dense[c] == 1, IsDense(b.g.CellSize(c), kMinPts));
+  }
+  EXPECT_EQ(set, num_dense);
+}
+
+TEST(PhasesTest, CoreScanMatchesBruteForce) {
+  const PointSet ps = Sample();
+  Built b = Build(ps);
+  std::vector<uint8_t> cell_dense(b.g.num_cells(), 0);
+  ClassifyDenseCells(b.g, kMinPts, cell_dense.data());
+  std::vector<uint8_t> is_core(ps.size(), 0);
+  std::vector<uint32_t> scratch;
+  uint64_t distances = 0;
+  for (uint32_t c = 0; c < b.g.num_cells(); ++c) {
+    distances += CoreScanCell(b.g, *b.stencil, b.kernels, kEps2, kMinPts, c,
+                              cell_dense.data(), is_core.data(), &scratch);
+  }
+  // Dense cells contribute no distance work (Lemma 1 short-circuit).
+  EXPECT_GT(distances, 0u);
+  const auto kinds = testing::BruteForceKinds(ps, std::sqrt(2.0), kMinPts);
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(is_core[i] == 1, kinds[i] == PointKind::kCore) << "point " << i;
+  }
+}
+
+TEST(PhasesTest, SparseCoreCsrLayout) {
+  const PointSet ps = Sample();
+  Built b = Build(ps);
+  std::vector<uint8_t> cell_dense(b.g.num_cells(), 0);
+  ClassifyDenseCells(b.g, kMinPts, cell_dense.data());
+  std::vector<uint8_t> is_core(ps.size(), 0);
+  std::vector<uint32_t> scratch;
+  for (uint32_t c = 0; c < b.g.num_cells(); ++c) {
+    CoreScanCell(b.g, *b.stencil, b.kernels, kEps2, kMinPts, c,
+                 cell_dense.data(), is_core.data(), &scratch);
+  }
+  std::vector<uint8_t> cell_core(b.g.num_cells(), 0);
+  SparseCoreCsr csr;
+  const uint32_t num_core_cells = BuildSparseCoreCsr(
+      b.g, cell_dense.data(), is_core.data(), cell_core.data(), &csr);
+  EXPECT_EQ(num_core_cells, 2u);  // the dense cell and the sparse-core cell
+  ASSERT_EQ(csr.begin.size(), b.g.num_cells() + 1);
+  // Dense cells never hold CSR entries; sparse core cells hold exactly
+  // their core points, with packed coordinates matching the point set.
+  size_t total = 0;
+  for (uint32_t c = 0; c < b.g.num_cells(); ++c) {
+    const size_t count = csr.CellCount(c);
+    if (cell_dense[c]) {
+      EXPECT_EQ(count, 0u);
+    }
+    const double* block = csr.CellBlock(c, ps.dims());
+    for (size_t j = 0; j < count; ++j) {
+      const uint32_t p = csr.idx[csr.begin[c] + j];
+      EXPECT_TRUE(is_core[p]);
+      for (size_t k = 0; k < ps.dims(); ++k) {
+        EXPECT_EQ(block[j * ps.dims() + k], ps[p][k]);
+      }
+    }
+    total += count;
+  }
+  EXPECT_EQ(total, csr.idx.size());
+  EXPECT_EQ(csr.coords.size(), csr.idx.size() * ps.dims());
+  EXPECT_EQ(total, 2u);  // the two core points of cell (1,1)
+}
+
+TEST(PhasesTest, OutlierScanAppliesLemmaTwoAndOncn) {
+  const PointSet ps = Sample();
+  Built b = Build(ps);
+  std::vector<uint8_t> cell_dense(b.g.num_cells(), 0);
+  ClassifyDenseCells(b.g, kMinPts, cell_dense.data());
+  std::vector<uint8_t> is_core(ps.size(), 0);
+  std::vector<uint32_t> scratch;
+  for (uint32_t c = 0; c < b.g.num_cells(); ++c) {
+    CoreScanCell(b.g, *b.stencil, b.kernels, kEps2, kMinPts, c,
+                 cell_dense.data(), is_core.data(), &scratch);
+  }
+  std::vector<uint8_t> cell_core(b.g.num_cells(), 0);
+  SparseCoreCsr csr;
+  BuildSparseCoreCsr(b.g, cell_dense.data(), is_core.data(), cell_core.data(),
+                     &csr);
+  std::vector<PointKind> kinds(ps.size(), PointKind::kBorder);
+  uint64_t distances = 0;
+  for (uint32_t c = 0; c < b.g.num_cells(); ++c) {
+    distances += OutlierScanCell(b.g, *b.stencil, b.kernels, kEps2,
+                                 /*scores=*/false, c, cell_dense.data(),
+                                 cell_core.data(), is_core.data(), csr,
+                                 kinds.data(), nullptr, &scratch);
+  }
+  // The isolated point resolves through O_ncn: no distances were needed,
+  // because every cell is either core (skipped, Lemma 2) or has no core
+  // neighbor at all.
+  EXPECT_EQ(distances, 0u);
+  const auto expected = testing::BruteForceKinds(ps, std::sqrt(2.0), kMinPts);
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(kinds[i] == PointKind::kOutlier,
+              expected[i] == PointKind::kOutlier)
+        << "point " << i;
+  }
+}
+
+TEST(PhasesTest, OutlierScanScoreModeComputesDistances) {
+  const PointSet ps = Sample();
+  Built b = Build(ps);
+  std::vector<uint8_t> cell_dense(b.g.num_cells(), 0);
+  ClassifyDenseCells(b.g, kMinPts, cell_dense.data());
+  std::vector<uint8_t> is_core(ps.size(), 0);
+  std::vector<uint32_t> scratch;
+  for (uint32_t c = 0; c < b.g.num_cells(); ++c) {
+    CoreScanCell(b.g, *b.stencil, b.kernels, kEps2, kMinPts, c,
+                 cell_dense.data(), is_core.data(), &scratch);
+  }
+  std::vector<uint8_t> cell_core(b.g.num_cells(), 0);
+  SparseCoreCsr csr;
+  BuildSparseCoreCsr(b.g, cell_dense.data(), is_core.data(), cell_core.data(),
+                     &csr);
+  std::vector<PointKind> kinds(ps.size(), PointKind::kBorder);
+  std::vector<double> core_distance(ps.size(), 0.0);
+  for (uint32_t c = 0; c < b.g.num_cells(); ++c) {
+    OutlierScanCell(b.g, *b.stencil, b.kernels, kEps2, /*scores=*/true, c,
+                    cell_dense.data(), cell_core.data(), is_core.data(), csr,
+                    kinds.data(), core_distance.data(), &scratch);
+  }
+  for (size_t i = 0; i < ps.size(); ++i) {
+    if (is_core[i]) {
+      EXPECT_EQ(core_distance[i], 0.0) << "core point " << i;
+      continue;
+    }
+    // Non-core: exact distance to the nearest core point when within eps
+    // (any such point lies in a neighboring cell, so the kernel saw it);
+    // beyond eps the kernel only guarantees a value > eps — O_ncn points
+    // report inf without any distance work.
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < ps.size(); ++j) {
+      if (is_core[j]) {
+        best = std::min(best, PointSet::SquaredDistance(ps[i], ps[j]));
+      }
+    }
+    if (best <= kEps2) {
+      EXPECT_EQ(core_distance[i], std::sqrt(best)) << "point " << i;
+    } else {
+      EXPECT_GT(core_distance[i], std::sqrt(kEps2)) << "point " << i;
+    }
+  }
+}
+
+TEST(PhasesTest, RecorderAccumulatesInFirstCallOrder) {
+  PhaseRecorder recorder;
+  recorder.Accumulate(kPhaseGrid, 0.5, 0, 10);
+  recorder.Accumulate(kPhaseCorePoints, 1.0, 100, 10);
+  recorder.Accumulate(kPhaseGrid, 0.25, 0, 5);
+  const auto& rows = recorder.phases();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, kPhaseGrid);
+  EXPECT_DOUBLE_EQ(rows[0].seconds, 0.75);
+  EXPECT_EQ(rows[0].records, 15u);
+  EXPECT_EQ(rows[1].name, kPhaseCorePoints);
+  EXPECT_EQ(rows[1].distance_computations, 100u);
+}
+
+TEST(PhasesTest, ScopedPhaseRecordsOnDestruction) {
+  PhaseRecorder recorder;
+  {
+    ScopedPhase phase(&recorder, kPhaseOutliers);
+    phase.distances.fetch_add(7);
+    phase.records.fetch_add(3);
+    EXPECT_TRUE(recorder.phases().empty());
+  }
+  ASSERT_EQ(recorder.phases().size(), 1u);
+  EXPECT_EQ(recorder.phases()[0].name, kPhaseOutliers);
+  EXPECT_EQ(recorder.phases()[0].distance_computations, 7u);
+  EXPECT_EQ(recorder.phases()[0].records, 3u);
+}
+
+}  // namespace
+}  // namespace dbscout::core::phases

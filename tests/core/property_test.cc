@@ -2,13 +2,19 @@
 // distributions, eps, and minPts, every DBSCOUT engine and join strategy
 // must reproduce the brute-force O(n^2) oracle exactly, and structural
 // invariants of the detection must hold.
+#include <unistd.h>
+
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "core/dbscout.h"
+#include "core/incremental.h"
+#include "data/io.h"
+#include "external/external_detector.h"
 #include "grid/grid.h"
 #include "testutil.h"
 
@@ -89,6 +95,80 @@ TEST_P(DbscoutPropertyTest, ParallelStrategiesMatchSequential) {
     ASSERT_TRUE(r.ok()) << r.status();
     EXPECT_EQ(r->kinds, expected->kinds)
         << "strategy=" << JoinStrategyName(join);
+  }
+}
+
+// Out-of-core and incremental engines swept through the same grid as the
+// in-memory ones: identical outlier sets on every (distribution, dims,
+// eps, minPts) combination, including duplicates and lattice boundary
+// points. All engines now drive the same phase kernels, so a divergence
+// here means an engine's orchestration (striping, insertion order) broke.
+TEST_P(DbscoutPropertyTest, ExternalAndIncrementalMatchSequential) {
+  const auto [distribution, dims, eps, min_pts] = GetParam();
+  const PointSet ps = MakeDataset(distribution, dims, 1234 + dims);
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  auto expected = DetectSequential(ps, params);
+  ASSERT_TRUE(expected.ok());
+
+  // External, forced multi-stripe (70 points per stripe target).
+  {
+    const std::string path = ::testing::TempDir() + "/prop_ext_" +
+                             std::to_string(::getpid()) + ".dbsc";
+    ASSERT_TRUE(SavePointsBinary(path, ps).ok());
+    external::ExternalParams ext;
+    ext.eps = eps;
+    ext.min_pts = min_pts;
+    ext.target_stripe_points = 70;
+    ext.tmp_dir = ::testing::TempDir();
+    auto r = external::DetectExternal(path, ext);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->outliers, expected->outliers) << "external";
+    EXPECT_EQ(r->num_core, expected->num_core);
+    EXPECT_EQ(r->num_border, expected->num_border);
+    EXPECT_EQ(r->num_cells, expected->num_cells);
+    EXPECT_EQ(r->num_dense_cells, expected->num_dense_cells);
+    std::remove(path.c_str());
+  }
+  // Incremental, one insertion at a time.
+  {
+    auto det = IncrementalDetector::Create(ps.dims(), params);
+    ASSERT_TRUE(det.ok());
+    ASSERT_TRUE(det->AddBatch(ps).ok());
+    EXPECT_EQ(det->Outliers(), expected->outliers) << "incremental";
+    EXPECT_EQ(det->kinds(), expected->kinds);
+  }
+}
+
+// The sequential and pooled drivers execute the same cell kernels, so
+// every deterministic PhaseRecorder counter — names, order, records, and
+// distance-computation counts — must agree exactly (only seconds may
+// differ). Distance counts are schedule-independent because early exits
+// happen at cell/batch granularity inside the kernels, never across cells.
+TEST_P(DbscoutPropertyTest, PhaseCountersMatchAcrossInMemoryEngines) {
+  const auto [distribution, dims, eps, min_pts] = GetParam();
+  const PointSet ps = MakeDataset(distribution, dims, 1234 + dims);
+  Params params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  auto seq = DetectSequential(ps, params);
+  ASSERT_TRUE(seq.ok());
+  ThreadPool pool(3);
+  auto shared = DetectSharedMemory(ps, params, &pool);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_EQ(seq->phases.size(), 5u);
+  ASSERT_EQ(shared->phases.size(), 5u);
+  const char* kCanonical[] = {"grid", "dense_cell_map", "core_points",
+                              "core_cell_map", "outliers"};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(seq->phases[i].name, kCanonical[i]);
+    EXPECT_EQ(shared->phases[i].name, kCanonical[i]);
+    EXPECT_EQ(seq->phases[i].records, shared->phases[i].records)
+        << "phase " << kCanonical[i];
+    EXPECT_EQ(seq->phases[i].distance_computations,
+              shared->phases[i].distance_computations)
+        << "phase " << kCanonical[i];
   }
 }
 

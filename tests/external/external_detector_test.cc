@@ -1,10 +1,14 @@
 #include "external/external_detector.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "core/dbscout.h"
 #include "data/io.h"
 #include "datasets/geo.h"
@@ -13,8 +17,12 @@
 namespace dbscout::external {
 namespace {
 
+// Input paths carry the pid: ctest runs sibling test processes against the
+// same TempDir, and fixed names let one process truncate or remove a file
+// another is streaming (the historical ExternalStripeSweep flake).
 std::string WriteSample(const PointSet& points, const char* name) {
-  const std::string path = ::testing::TempDir() + "/" + name;
+  const std::string path = ::testing::TempDir() + "/" +
+                           std::to_string(::getpid()) + "_" + name;
   EXPECT_TRUE(SavePointsBinary(path, points).ok());
   return path;
 }
@@ -137,6 +145,98 @@ TEST(ExternalDetectorTest, ExplicitStripeCountOverride) {
   auto expected = core::DetectSequential(points, in_memory);
   ASSERT_TRUE(expected.ok());
   EXPECT_EQ(r->outliers, expected->outliers);
+  std::remove(path.c_str());
+}
+
+// Regression for the historical ExternalStripeSweep flake: two detections
+// sharing one tmp_dir must not collide on spill files. Before spill paths
+// carried a process-unique token, both runs named their stripe-s spill
+// "dbscout_spill_<s>.tmp", so concurrent runs silently read each other's
+// (different!) datasets and produced wrong outlier sets.
+TEST(ExternalDetectorTest, ConcurrentRunsShareTmpDirWithoutInterference) {
+  Rng rng_a(81);
+  Rng rng_b(82);
+  const PointSet a = testing::ClusteredPoints(&rng_a, 1500, 2, 4, 0.25);
+  const PointSet b = testing::UniformPoints(&rng_b, 1500, 2, -40, 40);
+  const std::string path_a = WriteSample(a, "ext_conc_a.dbsc");
+  const std::string path_b = WriteSample(b, "ext_conc_b.dbsc");
+  const std::string inputs[2] = {path_a, path_b};
+  // Forced multi-stripe so several spill files exist per run.
+  const ExternalParams params[2] = {MakeParams(1.2, 8, 200),
+                                    MakeParams(2.5, 6, 150)};
+  std::vector<uint32_t> expected[2];
+  for (int i = 0; i < 2; ++i) {
+    core::Params in_memory;
+    in_memory.eps = params[i].eps;
+    in_memory.min_pts = params[i].min_pts;
+    auto r = core::DetectSequential(i == 0 ? a : b, in_memory);
+    ASSERT_TRUE(r.ok());
+    expected[i] = r->outliers;
+  }
+  for (int round = 0; round < 5; ++round) {
+    Result<ExternalDetection> results[2] = {
+        Status::Internal("not run"), Status::Internal("not run")};
+    ThreadPool pool(2);
+    pool.ParallelForChunked(2, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        results[i] = DetectExternal(inputs[i], params[i]);
+      }
+    });
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(results[i].ok()) << results[i].status();
+      EXPECT_GT(results[i]->stripes, 1u);
+      EXPECT_EQ(results[i]->outliers, expected[i]) << "run " << i;
+    }
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+// Deterministic stripe-boundary coverage: a dim-0 lattice whose sparse
+// points sit exactly on slab boundaries, swept across forced stripe
+// counts, so core/outlier decisions for boundary cells must resolve from
+// halo data alone.
+TEST(ExternalDetectorTest, LatticeAcrossStripeBoundaries) {
+  PointSet points(2);
+  // Dense columns at x = 0, 4, 8, ..., 36; a lone point between each pair.
+  for (int col = 0; col < 10; ++col) {
+    for (int i = 0; i < 12; ++i) {
+      points.Add({4.0 * col, 0.1 * i});
+    }
+    points.Add({4.0 * col + 2.0, 0.5});
+  }
+  core::Params in_memory;
+  in_memory.eps = 1.5;
+  in_memory.min_pts = 6;
+  auto expected = core::DetectSequential(points, in_memory);
+  ASSERT_TRUE(expected.ok());
+  const std::string path = WriteSample(points, "ext_lattice.dbsc");
+  for (size_t num_stripes : {2u, 3u, 5u, 9u}) {
+    auto params = MakeParams(1.5, 6, 1 << 20);
+    params.num_stripes = num_stripes;
+    auto r = DetectExternal(path, params);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->outliers, expected->outliers)
+        << "num_stripes=" << num_stripes << " stripes=" << r->stripes;
+    EXPECT_EQ(r->num_core, expected->num_core);
+    EXPECT_EQ(r->num_border, expected->num_border);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ExternalDetectorTest, ReportsPhaseStatsUnderCanonicalNames) {
+  Rng rng(83);
+  const PointSet points = testing::ClusteredPoints(&rng, 1200, 2, 3, 0.25);
+  const std::string path = WriteSample(points, "ext_phases.dbsc");
+  auto r = DetectExternal(path, MakeParams(1.1, 7, 300));
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->phases.size(), 5u);
+  EXPECT_EQ(r->phases[0].name, "grid");
+  EXPECT_EQ(r->phases[1].name, "dense_cell_map");
+  EXPECT_EQ(r->phases[2].name, "core_points");
+  EXPECT_EQ(r->phases[3].name, "core_cell_map");
+  EXPECT_EQ(r->phases[4].name, "outliers");
+  EXPECT_GT(r->phases[2].distance_computations, 0u);
   std::remove(path.c_str());
 }
 

@@ -12,6 +12,17 @@ CellCoord Coord2(int64_t x, int64_t y) {
   return CellCoord({vals, 2});
 }
 
+// Builds a cell map from a grid the way the sequential driver would:
+// classification decided by the caller (count >= min_pts), passed as a bool.
+CellMap BuildFromGrid(const Grid& g, uint32_t min_pts) {
+  CellMap map;
+  for (uint32_t c = 0; c < g.num_cells(); ++c) {
+    const uint32_t count = static_cast<uint32_t>(g.CellSize(c));
+    map.Insert(g.CoordOf(c), count, count >= min_pts);
+  }
+  return map;
+}
+
 PointSet DensePlusSparse() {
   PointSet ps(2);
   // 5 points in cell (0,0), 2 in (1,-1), 1 in (4,4).
@@ -26,11 +37,11 @@ PointSet DensePlusSparse() {
   return ps;
 }
 
-TEST(CellMapTest, BuildDenseClassifiesByCount) {
+TEST(CellMapTest, InsertedCellsClassifyByCount) {
   const PointSet ps = DensePlusSparse();
   auto g = Grid::Build(ps, std::sqrt(2.0));
   ASSERT_TRUE(g.ok());
-  const CellMap map = CellMap::BuildDense(*g, 5);
+  const CellMap map = BuildFromGrid(*g, 5);
   EXPECT_EQ(map.size(), 3u);
   EXPECT_EQ(map.TypeOf(Coord2(0, 0)), CellType::kDense);
   EXPECT_EQ(map.TypeOf(Coord2(1, -1)), CellType::kOther);
@@ -43,7 +54,7 @@ TEST(CellMapTest, BuildDenseClassifiesByCount) {
 TEST(CellMapTest, AbsentCellsAreEmpty) {
   const PointSet ps = DensePlusSparse();
   auto g = Grid::Build(ps, std::sqrt(2.0));
-  const CellMap map = CellMap::BuildDense(*g, 5);
+  const CellMap map = BuildFromGrid(*g, 5);
   EXPECT_EQ(map.TypeOf(Coord2(99, 99)), CellType::kOther);
   EXPECT_EQ(map.CountOf(Coord2(99, 99)), 0u);
   EXPECT_FALSE(map.Contains(Coord2(99, 99)));
@@ -52,7 +63,7 @@ TEST(CellMapTest, AbsentCellsAreEmpty) {
 TEST(CellMapTest, MarkCoreUpgradesButNeverDowngrades) {
   const PointSet ps = DensePlusSparse();
   auto g = Grid::Build(ps, std::sqrt(2.0));
-  CellMap map = CellMap::BuildDense(*g, 5);
+  CellMap map = BuildFromGrid(*g, 5);
   map.MarkCore(Coord2(1, -1));
   EXPECT_EQ(map.TypeOf(Coord2(1, -1)), CellType::kCore);
   map.MarkCore(Coord2(0, 0));  // dense stays dense
@@ -62,10 +73,10 @@ TEST(CellMapTest, MarkCoreUpgradesButNeverDowngrades) {
   EXPECT_FALSE(map.IsCoreCell(Coord2(4, 4)));
 }
 
-TEST(CellMapTest, InsertTypesByMinPts) {
+TEST(CellMapTest, InsertTypesByCallerVerdict) {
   CellMap map;
-  map.Insert(Coord2(0, 0), 10, 5);
-  map.Insert(Coord2(1, 1), 4, 5);
+  map.Insert(Coord2(0, 0), 10, /*dense=*/true);
+  map.Insert(Coord2(1, 1), 4, /*dense=*/false);
   EXPECT_EQ(map.TypeOf(Coord2(0, 0)), CellType::kDense);
   EXPECT_EQ(map.TypeOf(Coord2(1, 1)), CellType::kOther);
   EXPECT_EQ(map.CountOf(Coord2(0, 0)), 10u);
@@ -75,9 +86,9 @@ TEST(CellMapTest, HasCoreNeighborUsesStencil) {
   auto stencil = GetNeighborStencil(2);
   ASSERT_TRUE(stencil.ok());
   CellMap map;
-  map.Insert(Coord2(0, 0), 10, 5);   // dense -> core
-  map.Insert(Coord2(2, 0), 1, 5);    // neighbor of (0,0) at offset (-2,0)
-  map.Insert(Coord2(10, 10), 1, 5);  // isolated
+  map.Insert(Coord2(0, 0), 10, /*dense=*/true);    // dense -> core
+  map.Insert(Coord2(2, 0), 1, /*dense=*/false);    // neighbor at offset (-2,0)
+  map.Insert(Coord2(10, 10), 1, /*dense=*/false);  // isolated
   EXPECT_TRUE(map.HasCoreNeighbor(Coord2(2, 0), **stencil));
   EXPECT_TRUE(map.HasCoreNeighbor(Coord2(0, 0), **stencil));  // self counts
   EXPECT_FALSE(map.HasCoreNeighbor(Coord2(10, 10), **stencil));
@@ -87,9 +98,9 @@ TEST(CellMapTest, ForEachNonEmptyNeighborVisitsSelfAndNeighbors) {
   auto stencil = GetNeighborStencil(2);
   ASSERT_TRUE(stencil.ok());
   CellMap map;
-  map.Insert(Coord2(0, 0), 3, 5);
-  map.Insert(Coord2(1, 1), 2, 5);
-  map.Insert(Coord2(50, 50), 9, 5);
+  map.Insert(Coord2(0, 0), 3, /*dense=*/false);
+  map.Insert(Coord2(1, 1), 2, /*dense=*/false);
+  map.Insert(Coord2(50, 50), 9, /*dense=*/true);
   int visited = 0;
   uint32_t total_count = 0;
   map.ForEachNonEmptyNeighbor(Coord2(0, 0), **stencil,

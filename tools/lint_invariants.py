@@ -28,6 +28,19 @@ Enforces, statically, the contracts that the compiler cannot:
                      function declared to return Status/Result<T> (a
                      best-effort, single-line heuristic; the compiler is the
                      real enforcement) is flagged.
+  phase-logic-locality
+                     The Lemma 1/2 decision logic (phases 2-5) lives only in
+                     src/core/phases/. Engine and grid code must not
+                     re-derive the verdicts: no comparisons against min_pts
+                     other than literal validation (call phases::IsDense /
+                     CrossesDensityThreshold), no branching on the
+                     cell_dense[]/cell_core[] flag arrays (populating them
+                     as kernel input is fine), and no CellType::kDense/kCore
+                     comparisons outside the CellMap storage type itself
+                     (call phases::IsDenseCell / IsCoreCell). Scope:
+                     src/core (minus src/core/phases/), src/external,
+                     src/grid; baselines are independent implementations by
+                     design and exempt.
 
 A finding on a given line is waived by `lint:allow(<rule>)` in a comment on
 that line; use sparingly and justify next to the waiver.
@@ -307,6 +320,89 @@ def make_check_discarded_status(files: List[Tuple[str, List[str]]]
 
 
 # ---------------------------------------------------------------------------
+# Rule: phase-logic-locality
+# ---------------------------------------------------------------------------
+
+PHASE_HOME = "src/core/phases/"
+PHASE_SCOPE_PREFIXES = ("src/core/", "src/external/", "src/grid/")
+# CellMap is the storage type the CellType verdicts live in; its own
+# accessors necessarily compare the enum.
+PHASE_CELLTYPE_EXEMPT = ("src/grid/cell_map.h", "src/grid/cell_map.cc")
+
+# A comparison operator that is not part of ->, <<, >>, <=>, or a template
+# bracket pair is close enough for the flagged patterns in this codebase.
+_CMP = r"(?:==|!=|<=|>=|(?<![<>=\-])<(?![<=])|(?<![<>=\-])>(?![=>]))"
+_NUM_LITERAL_RE = re.compile(r"\d+[uUlL]*")
+
+MIN_PTS_LEFT_RE = re.compile(r"\bmin_pts\w*\s*(" + _CMP + r")\s*([^\s;)]+)")
+MIN_PTS_RIGHT_RE = re.compile(r"([^\s(!&|]+)\s*(" + _CMP + r")\s*min_pts\w*\b")
+CELL_FLAG_RE = re.compile(r"\b(cell_dense|cell_core)\s*\[")
+CELL_FLAG_ASSIGN_RE = re.compile(
+    r"\b(cell_dense|cell_core)\s*\[[^\]]*\]\s*=(?!=)")
+CELLTYPE_CMP_RE = re.compile(
+    r"(" + _CMP + r")\s*(?:grid::)?CellType::k(?:Dense|Core)\b"
+    r"|(?:grid::)?CellType::k(?:Dense|Core)\s*(" + _CMP + r")")
+
+
+def in_phase_scope(path: str) -> bool:
+    norm = path.replace(os.sep, "/")
+    return (norm.startswith(PHASE_SCOPE_PREFIXES)
+            and not norm.startswith(PHASE_HOME))
+
+
+def check_phase_logic_locality(path: str, lines: List[str]
+                               ) -> Iterable[Finding]:
+    rule = "phase-logic-locality"
+    if not in_phase_scope(path):
+        return
+    norm = path.replace(os.sep, "/")
+    celltype_exempt = norm in PHASE_CELLTYPE_EXEMPT
+    for i, line in enumerate(lines, 1):
+        if waived(line, rule):
+            continue
+        code = strip_line_comment(line)
+
+        # Family 1: density decisions re-derived from min_pts. Comparisons
+        # against a numeric literal are parameter validation, not Lemma 1.
+        for m in MIN_PTS_LEFT_RE.finditer(code):
+            if not _NUM_LITERAL_RE.fullmatch(m.group(2)):
+                yield Finding(path, i, rule,
+                              "comparison against min_pts re-derives the "
+                              "Lemma 1 density verdict; call "
+                              "core::phases::IsDense (or "
+                              "CrossesDensityThreshold for the == minPts "
+                              "transition)")
+        for m in MIN_PTS_RIGHT_RE.finditer(code):
+            if not _NUM_LITERAL_RE.fullmatch(m.group(1)):
+                yield Finding(path, i, rule,
+                              "comparison against min_pts re-derives the "
+                              "Lemma 1 density verdict; call "
+                              "core::phases::IsDense (or "
+                              "CrossesDensityThreshold for the == minPts "
+                              "transition)")
+
+        # Family 2: branching on the per-cell flag arrays outside the
+        # kernels. Writing them (the engines populate kernel input) is the
+        # intended interface; reads are phase-3/5 logic.
+        assigns = {m.start() for m in CELL_FLAG_ASSIGN_RE.finditer(code)}
+        for m in CELL_FLAG_RE.finditer(code):
+            if m.start() not in assigns:
+                yield Finding(path, i, rule,
+                              f"read of {m.group(1)}[] outside "
+                              "src/core/phases/ re-implements a phase "
+                              "decision; engines only populate these arrays "
+                              "and pass them to the cell kernels")
+
+        # Family 3: CellType verdict comparisons belong to
+        # phases::IsDenseCell / IsCoreCell (CellMap itself excepted).
+        if not celltype_exempt and CELLTYPE_CMP_RE.search(code):
+            yield Finding(path, i, rule,
+                          "CellType::kDense/kCore comparison outside "
+                          "src/core/phases/; call core::phases::IsDenseCell "
+                          "or IsCoreCell so Lemma 2 has one implementation")
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -343,6 +439,7 @@ def lint_files(files: List[Tuple[str, List[str]]]) -> List[Finding]:
             continue
         findings.extend(check_raw_thread(path, lines))
         findings.extend(check_raw_rng(path, lines))
+        findings.extend(check_phase_logic_locality(path, lines))
         findings.extend(check_discarded(path, lines))
     return findings
 
@@ -415,6 +512,39 @@ def self_test() -> int:
     ok = lines("Rng rng(42);\n")
     expect("raw-rng", list(check_raw_rng("tests/foo_test.cc", ok)), 0,
            "clean")
+
+    # phase-logic-locality
+    bad = lines("if (count >= min_pts) {\n"
+                "  mark_core(p);\n"
+                "}\n"
+                "if (++neighbor_counts_[q] == min_pts) promote(q);\n"
+                "if (cell_core[c]) continue;\n"
+                "if (map.TypeOf(c) == CellType::kDense) dense = true;\n")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality("src/core/x.cc", bad)), 4,
+           "seeded")
+    ok = lines("if (min_pts < 1) return Status::InvalidArgument(\"\");\n"
+               "map.Insert(c, n, phases::IsDense(n, min_pts));\n"
+               "cell_dense[c] = eligible[c] && phases::IsDense(sz, min_pts);\n"
+               "out.num_dense_cells = map.CountByType(CellType::kDense);\n"
+               "if (count >= min_pts) {  // lint:allow(phase-logic-locality)\n")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality("src/external/y.cc", ok)), 0,
+           "clean")
+    exempt = lines("if (count >= min_pts) mark(c);\n")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality(
+               "src/core/phases/phase_kernels.cc", exempt)), 0, "phase-home")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality("src/baselines/dbscan.cc",
+                                           exempt)), 0, "out-of-scope")
+    storage = lines("return TypeOf(coord) >= CellType::kCore;\n")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality("src/grid/cell_map.h", storage)),
+           0, "cellmap-exempt")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality("src/grid/grid.cc", storage)), 1,
+           "celltype-outside-cellmap")
 
     # discarded-status
     header = ("src/api.h", lines("Status Frobnicate(int x);\n"
