@@ -1,0 +1,201 @@
+// Service bench: sustained ingest throughput and query latency for the
+// online detection service (DESIGN.md section 10).
+//
+// Two ingest modes are measured over the same stream:
+//   async    IngestAsync + one final Drain — the apply loop coalesces the
+//            queue, so N batches cost one snapshot publication per pass.
+//   blocking one Dispatch(INGEST) per batch — each batch waits for its
+//            snapshot, the per-request latency a synchronous client sees.
+//
+// Queries run through ServiceHandle, so every call pays the full wire
+// encode/decode round trip (everything a TCP client costs minus the
+// socket). Latencies are reported as p50/p99 over the sorted sample.
+//
+// Human-readable progress goes to stderr; stdout is a single JSON object,
+// so `bench_service > BENCH_service.json` captures the committed artifact.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "datasets/geo.h"
+#include "service/handle.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace dbscout;
+
+struct LatencyStats {
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+};
+
+LatencyStats Summarize(std::vector<double>& seconds) {
+  LatencyStats stats;
+  if (seconds.empty()) {
+    return stats;
+  }
+  std::sort(seconds.begin(), seconds.end());
+  const auto at = [&](double q) {
+    const size_t i = static_cast<size_t>(q * (seconds.size() - 1));
+    return seconds[i] * 1e6;
+  };
+  stats.p50_us = at(0.50);
+  stats.p99_us = at(0.99);
+  double total = 0;
+  for (double s : seconds) {
+    total += s;
+  }
+  stats.mean_us = total / seconds.size() * 1e6;
+  return stats;
+}
+
+std::vector<double> Batch(const PointSet& points, size_t begin, size_t end) {
+  const size_t dims = points.dims();
+  return std::vector<double>(points.values().begin() + begin * dims,
+                             points.values().begin() + end * dims);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = bench::FlagU64(argc, argv, "n", 100000);
+  const size_t batch = bench::FlagU64(argc, argv, "batch", 500);
+  const size_t num_queries = bench::FlagU64(argc, argv, "queries", 20000);
+  const double eps = bench::FlagDouble(argc, argv, "eps", 5e5);
+  const int min_pts =
+      static_cast<int>(bench::FlagU64(argc, argv, "min-pts", 50));
+
+  std::fprintf(stderr,
+               "bench_service: n=%zu batch=%zu queries=%zu eps=%g minPts=%d\n",
+               n, batch, num_queries, eps, min_pts);
+  const PointSet stream = datasets::OsmLike(n, 91);
+
+  service::ServiceOptions options;
+  options.params.eps = eps;
+  options.params.min_pts = min_pts;
+  // Throughput run: admission must never shed, or we would measure the
+  // enqueue path instead of the apply loop.
+  options.max_pending_ingests = n;
+
+  const uint16_t dims = static_cast<uint16_t>(stream.dims());
+
+  // --- Ingest, async + coalesced. -----------------------------------------
+  double async_seconds = 0;
+  {
+    service::DetectionService svc(options);
+    WallTimer timer;
+    for (size_t begin = 0; begin < n; begin += batch) {
+      const size_t end = std::min(n, begin + batch);
+      const Status s = svc.IngestAsync("bench", dims, Batch(stream, begin, end));
+      if (!s.ok()) {
+        std::fprintf(stderr, "async ingest: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    svc.Drain();
+    async_seconds = timer.ElapsedSeconds();
+    std::fprintf(stderr, "  async   %.3fs (%.0f pts/s)\n", async_seconds,
+                 n / async_seconds);
+  }
+
+  // --- Ingest, blocking per batch; then queries against the result. -------
+  service::DetectionService svc(options);
+  service::ServiceHandle handle(&svc);
+  double blocking_seconds = 0;
+  std::vector<double> ingest_latencies;
+  ingest_latencies.reserve(n / batch + 1);
+  {
+    WallTimer total;
+    for (size_t begin = 0; begin < n; begin += batch) {
+      const size_t end = std::min(n, begin + batch);
+      service::Request request;
+      request.verb = service::Verb::kIngest;
+      request.collection = "bench";
+      request.dims = dims;
+      request.coords = Batch(stream, begin, end);
+      WallTimer one;
+      const auto response = handle.Call(request);
+      ingest_latencies.push_back(one.ElapsedSeconds());
+      if (!response.ok() || !response->status.ok()) {
+        std::fprintf(stderr, "blocking ingest failed\n");
+        return 1;
+      }
+    }
+    blocking_seconds = total.ElapsedSeconds();
+    std::fprintf(stderr, "  blocking %.3fs (%.0f pts/s)\n", blocking_seconds,
+                 n / blocking_seconds);
+  }
+
+  // --- Query latency: half by-id, half probes near/far. --------------------
+  Rng rng(17);
+  std::vector<double> id_latencies, probe_latencies;
+  id_latencies.reserve(num_queries / 2);
+  probe_latencies.reserve(num_queries - num_queries / 2);
+  size_t outliers_seen = 0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    service::Request request;
+    request.collection = "bench";
+    request.verb = service::Verb::kQuery;
+    request.want_score = true;
+    const bool by_id = (q % 2) == 0;
+    if (by_id) {
+      request.query_by_id = true;
+      request.query_id = static_cast<uint32_t>(rng.NextBounded(n));
+    } else {
+      const size_t base = rng.NextBounded(n);
+      request.query_point.assign(stream[base].begin(), stream[base].end());
+      for (double& c : request.query_point) {
+        c += rng.Gaussian(0, eps * 0.1);
+      }
+    }
+    WallTimer one;
+    const auto response = handle.Call(request);
+    const double elapsed = one.ElapsedSeconds();
+    if (!response.ok() || !response->status.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return 1;
+    }
+    (by_id ? id_latencies : probe_latencies).push_back(elapsed);
+    if (response->query.kind == core::PointKind::kOutlier) {
+      ++outliers_seen;
+    }
+  }
+  const LatencyStats ingest_lat = Summarize(ingest_latencies);
+  const LatencyStats id_lat = Summarize(id_latencies);
+  const LatencyStats probe_lat = Summarize(probe_latencies);
+  std::fprintf(stderr, "  query-id p50=%.1fus p99=%.1fus | probe p50=%.1fus "
+               "p99=%.1fus | %zu outlier verdicts\n",
+               id_lat.p50_us, id_lat.p99_us, probe_lat.p50_us,
+               probe_lat.p99_us, outliers_seen);
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"bench_service\",\n");
+  std::printf("  \"dataset\": {\"generator\": \"OsmLike\", \"n\": %zu, "
+              "\"dims\": %u, \"seed\": 91},\n", n, dims);
+  std::printf("  \"params\": {\"eps\": %g, \"min_pts\": %d, "
+              "\"batch\": %zu},\n", eps, min_pts, batch);
+  std::printf("  \"ingest\": {\n");
+  std::printf("    \"async_points_per_sec\": %.0f,\n", n / async_seconds);
+  std::printf("    \"blocking_points_per_sec\": %.0f,\n",
+              n / blocking_seconds);
+  std::printf("    \"blocking_batch_p50_us\": %.1f,\n", ingest_lat.p50_us);
+  std::printf("    \"blocking_batch_p99_us\": %.1f\n", ingest_lat.p99_us);
+  std::printf("  },\n");
+  std::printf("  \"query\": {\n");
+  std::printf("    \"count\": %zu,\n", num_queries);
+  std::printf("    \"by_id\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
+              "\"mean_us\": %.1f},\n",
+              id_lat.p50_us, id_lat.p99_us, id_lat.mean_us);
+  std::printf("    \"probe\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
+              "\"mean_us\": %.1f}\n",
+              probe_lat.p50_us, probe_lat.p99_us, probe_lat.mean_us);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -9,7 +9,9 @@
 #include "analysis/metrics.h"
 #include "cli/flags.h"
 #include "common/str_util.h"
+#include "common/timer.h"
 #include "core/dbscout.h"
+#include "core/incremental.h"
 #include "data/io.h"
 #include "datasets/geo.h"
 #include "datasets/shapes.h"
@@ -27,7 +29,7 @@ usage: dbscout <command> [--flag=value ...]
 commands:
   detect    --input=FILE --eps=X --min-pts=N
             [--format=csv|binary]           input format (default: by extension)
-            [--engine=sequential|parallel|shared|external]
+            [--engine=sequential|parallel|shared|external|incremental]
             [--partitions=P]                parallel engine partitions
             [--stripe-points=S]             external engine memory knob
             [--scores]                      also compute core distances
@@ -154,6 +156,31 @@ Status CmdDetect(const Flags& flags, std::ostream& out) {
   DBSCOUT_ASSIGN_OR_RETURN(const uint64_t partitions,
                            flags.GetUint("partitions", 0));
   params.num_partitions = partitions;
+  if (engine == "incremental") {
+    // Append-only maintenance: every point is inserted one at a time and
+    // the labeling is exact after each insertion. This is the engine the
+    // detection service (src/service) runs on; the CLI path feeds the
+    // whole file through it as one stream.
+    DBSCOUT_ASSIGN_OR_RETURN(
+        core::IncrementalDetector detector,
+        core::IncrementalDetector::Create(points.dims(), params));
+    WallTimer timer;
+    DBSCOUT_RETURN_IF_ERROR(detector.AddBatch(points));
+    const double seconds = timer.ElapsedSeconds();
+    const std::vector<uint32_t> outliers = detector.Outliers();
+    out << StrFormat(
+        "incremental: %zu points -> %zu outliers, %zu core | cells=%zu | "
+        "%llu dist-comps | %.3fs\n",
+        points.size(), outliers.size(), detector.num_core(),
+        detector.num_cells(),
+        static_cast<unsigned long long>(detector.distance_computations()),
+        seconds);
+    if (flags.Has("output")) {
+      DBSCOUT_RETURN_IF_ERROR(
+          WriteIndices(flags.GetString("output"), outliers));
+    }
+    return Status::OK();
+  }
   if (engine == "sequential") {
     params.engine = core::Engine::kSequential;
   } else if (engine == "parallel") {

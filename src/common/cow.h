@@ -1,0 +1,181 @@
+#ifndef DBSCOUT_COMMON_COW_H_
+#define DBSCOUT_COMMON_COW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace dbscout {
+
+/// Chunked, copy-on-write growable array built for a single-writer /
+/// many-reader regime with explicit snapshot points:
+///
+///  - One writer appends and overwrites entries through this object.
+///  - Freeze() produces a FrozenChunkedVector: an immutable view of the
+///    first size() entries that shares the chunk storage (O(size/chunk)
+///    pointer copies, no element copies).
+///  - After a Freeze, the first overwrite of an entry inside a frozen chunk
+///    clones that chunk (copy-on-write), so frozen views never observe the
+///    change. Appends never clone: they write slots at indices >= every
+///    frozen view's size, which no reader dereferences. Publishing a frozen
+///    view to another thread therefore only needs a release/acquire edge on
+///    the view pointer itself (the detection service publishes snapshots
+///    through an atomic shared_ptr).
+///
+/// This is the storage idiom behind the service's epoch snapshots: labels
+/// mutate sparsely per insertion (a rescue flips an old entry), so cloning
+/// only touched chunks keeps snapshot publication O(changed) instead of
+/// O(n).
+template <typename T>
+class CowChunkedVector {
+ public:
+  /// 1024 entries per chunk: big enough to amortize the shared_ptr
+  /// bookkeeping, small enough that a clone after a sparse write is cheap.
+  static constexpr size_t kChunkShift = 10;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+
+ private:
+  struct Chunk {
+    T data[kChunkSize];
+  };
+
+ public:
+
+  CowChunkedVector() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Reads entry i (writer-side view; readers go through a frozen view).
+  T operator[](size_t i) const {
+    return chunks_[i >> kChunkShift]->data[i & (kChunkSize - 1)];
+  }
+
+  /// Appends one entry. Never clones: the slot is beyond every frozen
+  /// view's bound, so writing it in a shared chunk is race-free.
+  void PushBack(T value) {
+    const size_t chunk = size_ >> kChunkShift;
+    if (chunk == chunks_.size()) {
+      chunks_.push_back(std::make_shared<Chunk>());
+      chunk_owner_serial_.push_back(freeze_serial_);
+    }
+    chunks_[chunk]->data[size_ & (kChunkSize - 1)] = value;
+    ++size_;
+  }
+
+  /// Overwrites entry i, cloning its chunk first if any frozen view may
+  /// still reference it (i.e. the chunk predates the latest Freeze()).
+  void Set(size_t i, T value) {
+    const size_t chunk = i >> kChunkShift;
+    if (chunk_owner_serial_[chunk] != freeze_serial_) {
+      chunks_[chunk] = std::make_shared<Chunk>(*chunks_[chunk]);
+      chunk_owner_serial_[chunk] = freeze_serial_;
+    }
+    chunks_[chunk]->data[i & (kChunkSize - 1)] = value;
+  }
+
+  /// Immutable view of the current contents; O(size/kChunkSize).
+  class Frozen {
+   public:
+    Frozen() = default;
+    size_t size() const { return size_; }
+    T operator[](size_t i) const {
+      return chunks_[i >> kChunkShift]->data[i & (kChunkSize - 1)];
+    }
+
+   private:
+    friend class CowChunkedVector;
+    std::vector<std::shared_ptr<const Chunk>> chunks_;
+    size_t size_ = 0;
+  };
+
+  Frozen Freeze() {
+    Frozen view;
+    view.chunks_.assign(chunks_.begin(), chunks_.end());
+    view.size_ = size_;
+    ++freeze_serial_;
+    return view;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Chunk>> chunks_;
+  /// Serial at which each chunk was created/cloned; a chunk is exclusively
+  /// owned (safe to overwrite in place) iff its serial matches the current
+  /// freeze serial.
+  std::vector<uint64_t> chunk_owner_serial_;
+  size_t size_ = 0;
+  uint64_t freeze_serial_ = 0;
+};
+
+/// Append-only chunked row store for fixed-width rows of doubles (the
+/// service-side point storage). Rows are immutable once written, so frozen
+/// views share all chunks unconditionally and appends never clone; each row
+/// is contiguous within one chunk so readers get a std::span per point.
+class ChunkedRows {
+ public:
+  static constexpr size_t kRowsPerChunk = 1024;
+
+  explicit ChunkedRows(size_t width = 2) : width_(width) {}
+
+  size_t width() const { return width_; }
+  size_t size() const { return rows_; }
+
+  std::span<const double> operator[](size_t i) const {
+    return {chunks_[i / kRowsPerChunk]->data() +
+                (i % kRowsPerChunk) * width_,
+            width_};
+  }
+
+  /// Appends one row; `row` must have exactly width() entries.
+  void PushBack(std::span<const double> row) {
+    const size_t chunk = rows_ / kRowsPerChunk;
+    if (chunk == chunks_.size()) {
+      chunks_.push_back(
+          std::make_shared<std::vector<double>>(kRowsPerChunk * width_));
+    }
+    double* dst =
+        chunks_[chunk]->data() + (rows_ % kRowsPerChunk) * width_;
+    for (size_t k = 0; k < width_; ++k) {
+      dst[k] = row[k];
+    }
+    ++rows_;
+  }
+
+  /// Immutable view of the first size() rows.
+  class Frozen {
+   public:
+    Frozen() = default;
+    size_t size() const { return rows_; }
+    size_t width() const { return width_; }
+    std::span<const double> operator[](size_t i) const {
+      return {chunks_[i / kRowsPerChunk]->data() +
+                  (i % kRowsPerChunk) * width_,
+              width_};
+    }
+
+   private:
+    friend class ChunkedRows;
+    std::vector<std::shared_ptr<const std::vector<double>>> chunks_;
+    size_t rows_ = 0;
+    size_t width_ = 0;
+  };
+
+  Frozen Freeze() const {
+    Frozen view;
+    view.chunks_.assign(chunks_.begin(), chunks_.end());
+    view.rows_ = rows_;
+    view.width_ = width_;
+    return view;
+  }
+
+ private:
+  size_t width_;
+  size_t rows_ = 0;
+  std::vector<std::shared_ptr<std::vector<double>>> chunks_;
+};
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_COMMON_COW_H_

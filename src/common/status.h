@@ -20,6 +20,10 @@ enum class StatusCode : int {
   kOutOfRange = 4,
   kFailedPrecondition = 5,
   kInternal = 6,
+  /// The operation was refused because the system is (temporarily) over
+  /// capacity — e.g. the detection service's ingest queue is at its
+  /// admission cap, or the server has no free session slot. Retryable.
+  kUnavailable = 7,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -63,6 +67,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

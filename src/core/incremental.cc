@@ -1,11 +1,146 @@
 #include "core/incremental.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/str_util.h"
 #include "core/phases/phase_kernels.h"
 
 namespace dbscout::core {
+namespace {
+
+grid::CellCoord CellCoordFor(std::span<const double> p, double side,
+                             size_t dims) {
+  grid::CellCoord coord = grid::CellCoord::Zero(dims);
+  for (size_t k = 0; k < p.size(); ++k) {
+    coord[k] = static_cast<int64_t>(std::floor(p[k] / side));
+  }
+  return coord;
+}
+
+Status ValidateCoordinates(std::span<const double> point, size_t dims,
+                           double side) {
+  if (point.size() != dims) {
+    return Status::InvalidArgument(
+        StrFormat("point has %zu dims, detector expects %zu", point.size(),
+                  dims));
+  }
+  for (double v : point) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite coordinate");
+    }
+    if (std::abs(std::floor(v / side)) > 4.0e18) {
+      return Status::OutOfRange("cell index overflow");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IncrementalSnapshot.
+// ---------------------------------------------------------------------------
+
+std::vector<PointKind> IncrementalSnapshot::Kinds() const {
+  std::vector<PointKind> out;
+  out.reserve(kinds_.size());
+  for (size_t i = 0; i < kinds_.size(); ++i) {
+    out.push_back(kinds_[i]);
+  }
+  return out;
+}
+
+std::vector<uint32_t> IncrementalSnapshot::Outliers() const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < kinds_.size(); ++i) {
+    if (kinds_[i] == PointKind::kOutlier) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+double IncrementalSnapshot::NearestCoreDistance(
+    uint32_t i, uint64_t* distance_comps) const {
+  if (kinds_[i] == PointKind::kCore) {
+    return 0.0;
+  }
+  const auto pv = points_[i];
+  const grid::CellCoord home = CellCoordFor(pv, side_, dims());
+  double best2 = std::numeric_limits<double>::infinity();
+  for (const grid::CellOffset& offset : stencil_->offsets) {
+    const grid::CellCoord neighbor = home.Translated({offset.data(), dims()});
+    auto it = cells_.find(neighbor);
+    if (it == cells_.end() || it->second.core_points == 0) {
+      continue;
+    }
+    for (uint32_t q : *it->second.points) {
+      if (kinds_[q] != PointKind::kCore) {
+        continue;
+      }
+      const double d2 = PointSet::SquaredDistance(pv, points_[q]);
+      ++*distance_comps;
+      if (d2 < best2) {
+        best2 = d2;
+      }
+    }
+  }
+  return std::sqrt(best2);
+}
+
+Result<ProbeResult> IncrementalSnapshot::Classify(
+    std::span<const double> point, bool want_score) const {
+  DBSCOUT_RETURN_IF_ERROR(ValidateCoordinates(point, dims(), side_));
+  const uint32_t min_pts = static_cast<uint32_t>(params_.min_pts);
+  const grid::CellCoord home = CellCoordFor(point, side_, dims());
+
+  ProbeResult out;
+  uint64_t count = 1;  // the probe itself (Definition 2)
+  bool covered = false;
+  double best2 = std::numeric_limits<double>::infinity();
+  for (const grid::CellOffset& offset : stencil_->offsets) {
+    const grid::CellCoord neighbor =
+        home.Translated({offset.data(), dims()});
+    auto it = cells_.find(neighbor);
+    if (it == cells_.end()) {
+      continue;
+    }
+    for (uint32_t q : *it->second.points) {
+      const double d2 = PointSet::SquaredDistance(point, points_[q]);
+      ++out.distance_comps;
+      const bool within = d2 <= eps2_;
+      // Promotion-aware core test: q is core in prefix+probe either when it
+      // already is, or when the probe itself is the neighbor that pushes
+      // q's count onto the minPts threshold.
+      bool q_core = kinds_[q] == PointKind::kCore;
+      if (within && !q_core) {
+        q_core = phases::CrossesDensityThreshold(neighbor_counts_[q] + 1,
+                                                 min_pts);
+      }
+      if (within) {
+        ++count;
+        covered |= q_core;
+      }
+      if (want_score && q_core && d2 < best2) {
+        best2 = d2;
+      }
+    }
+  }
+  if (phases::IsDense(count, min_pts)) {
+    out.kind = PointKind::kCore;
+  } else {
+    out.kind = covered ? PointKind::kBorder : PointKind::kOutlier;
+  }
+  if (want_score) {
+    out.score = out.kind == PointKind::kCore ? 0.0 : std::sqrt(best2);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalDetector.
+// ---------------------------------------------------------------------------
 
 Result<IncrementalDetector> IncrementalDetector::Create(size_t dims,
                                                         const Params& params) {
@@ -29,18 +164,30 @@ IncrementalDetector::IncrementalDetector(size_t dims, const Params& params,
 
 grid::CellCoord IncrementalDetector::CoordOf(
     std::span<const double> p) const {
-  grid::CellCoord coord = grid::CellCoord::Zero(points_.dims());
-  for (size_t k = 0; k < p.size(); ++k) {
-    coord[k] = static_cast<int64_t>(std::floor(p[k] / side_));
+  return CellCoordFor(p, side_, points_.width());
+}
+
+std::vector<uint32_t>* IncrementalDetector::MutableCellPoints(Cell* cell) {
+  if (cell->points == nullptr) {
+    cell->points = std::make_shared<std::vector<uint32_t>>();
+    cell->serial = freeze_serial_;
+  } else if (cell->serial != freeze_serial_) {
+    // A snapshot still shares this vector: clone before mutating so its
+    // readers keep the frozen contents (appending in place could also
+    // reallocate the buffer out from under them).
+    cell->points = std::make_shared<std::vector<uint32_t>>(*cell->points);
+    cell->serial = freeze_serial_;
   }
-  return coord;
+  return cell->points.get();
 }
 
 void IncrementalDetector::Promote(uint32_t q) {
-  is_core_[q] = 1;
   if (kinds_[q] != PointKind::kCore) {
     num_core_ += 1;
-    kinds_[q] = PointKind::kCore;
+    if (kinds_[q] == PointKind::kOutlier) {
+      num_outliers_ -= 1;
+    }
+    kinds_.Set(q, PointKind::kCore);
   }
   const grid::CellCoord home = CoordOf(points_[q]);
   ++cells_[home].core_points;
@@ -49,39 +196,32 @@ void IncrementalDetector::Promote(uint32_t q) {
   const auto qv = points_[q];
   for (const grid::CellOffset& offset : stencil_->offsets) {
     const grid::CellCoord neighbor =
-        home.Translated({offset.data(), points_.dims()});
+        home.Translated({offset.data(), points_.width()});
     auto it = cells_.find(neighbor);
-    if (it == cells_.end()) {
+    if (it == cells_.end() || it->second.points == nullptr) {
       continue;
     }
-    for (uint32_t r : it->second.points) {
-      if (kinds_[r] == PointKind::kOutlier &&
-          PointSet::SquaredDistance(qv, points_[r]) <= eps2_) {
-        kinds_[r] = PointKind::kBorder;
+    for (uint32_t r : *it->second.points) {
+      if (kinds_[r] != PointKind::kOutlier) {
+        continue;
+      }
+      ++distance_comps_;
+      if (PointSet::SquaredDistance(qv, points_[r]) <= eps2_) {
+        kinds_.Set(r, PointKind::kBorder);
+        num_outliers_ -= 1;
       }
     }
   }
 }
 
 Result<uint32_t> IncrementalDetector::Add(std::span<const double> point) {
-  if (point.size() != points_.dims()) {
-    return Status::InvalidArgument(
-        StrFormat("point has %zu dims, detector expects %zu", point.size(),
-                  points_.dims()));
-  }
-  for (double v : point) {
-    if (!std::isfinite(v)) {
-      return Status::InvalidArgument("non-finite coordinate");
-    }
-    if (std::abs(std::floor(v / side_)) > 4.0e18) {
-      return Status::OutOfRange("cell index overflow");
-    }
-  }
+  DBSCOUT_RETURN_IF_ERROR(
+      ValidateCoordinates(point, points_.width(), side_));
   const uint32_t x = static_cast<uint32_t>(points_.size());
-  points_.Add(point);
-  kinds_.push_back(PointKind::kOutlier);  // provisional
-  neighbor_counts_.push_back(1);          // itself
-  is_core_.push_back(0);
+  points_.PushBack(point);
+  kinds_.PushBack(PointKind::kOutlier);  // provisional
+  num_outliers_ += 1;
+  neighbor_counts_.PushBack(1);  // itself
 
   const grid::CellCoord home = CoordOf(point);
   const uint32_t min_pts = static_cast<uint32_t>(params_.min_pts);
@@ -89,49 +229,71 @@ Result<uint32_t> IncrementalDetector::Add(std::span<const double> point) {
   // One stencil scan: count x's neighbors, bump theirs, and collect the
   // points whose count just crossed minPts.
   std::vector<uint32_t> promoted;
+  uint32_t count_x = 1;
   bool covered_by_core = false;
   for (const grid::CellOffset& offset : stencil_->offsets) {
     const grid::CellCoord neighbor =
-        home.Translated({offset.data(), points_.dims()});
+        home.Translated({offset.data(), points_.width()});
     auto it = cells_.find(neighbor);
-    if (it == cells_.end()) {
+    if (it == cells_.end() || it->second.points == nullptr) {
       continue;
     }
-    for (uint32_t q : it->second.points) {
+    for (uint32_t q : *it->second.points) {
+      ++distance_comps_;
       if (PointSet::SquaredDistance(point, points_[q]) > eps2_) {
         continue;
       }
-      ++neighbor_counts_[x];
-      covered_by_core |= is_core_[q] != 0;
-      if (phases::CrossesDensityThreshold(++neighbor_counts_[q], min_pts)) {
+      ++count_x;
+      covered_by_core |= kinds_[q] == PointKind::kCore;
+      const uint32_t new_count = neighbor_counts_[q] + 1;
+      neighbor_counts_.Set(q, new_count);
+      if (phases::CrossesDensityThreshold(new_count, min_pts)) {
         promoted.push_back(q);
       }
     }
   }
+  neighbor_counts_.Set(x, count_x);
   // Register x only now, so the scan above never saw it.
-  cells_[home].points.push_back(x);
+  {
+    Cell& cell = cells_[home];
+    MutableCellPoints(&cell)->push_back(x);
+  }
 
   for (uint32_t q : promoted) {
     Promote(q);
   }
-  if (phases::IsDense(neighbor_counts_[x], min_pts)) {
+  if (phases::IsDense(count_x, min_pts)) {
     Promote(x);
   } else if (covered_by_core || !promoted.empty()) {
     // Any point promoted by this insertion is within eps of x by
-    // construction, so x is covered either way.
-    kinds_[x] = PointKind::kBorder;
+    // construction, so x is covered either way. A Promote above may have
+    // already rescued x (it sits in its cell with a provisional outlier
+    // label), in which case the counter was already adjusted.
+    if (kinds_[x] == PointKind::kOutlier) {
+      kinds_.Set(x, PointKind::kBorder);
+      num_outliers_ -= 1;
+    }
   }
   return x;
 }
 
 Status IncrementalDetector::AddBatch(const PointSet& batch) {
-  if (batch.dims() != points_.dims()) {
+  if (batch.dims() != points_.width()) {
     return Status::InvalidArgument("batch dims mismatch");
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     DBSCOUT_RETURN_IF_ERROR(Add(batch[i]).status());
   }
   return Status::OK();
+}
+
+std::vector<PointKind> IncrementalDetector::kinds() const {
+  std::vector<PointKind> out;
+  out.reserve(kinds_.size());
+  for (size_t i = 0; i < kinds_.size(); ++i) {
+    out.push_back(kinds_[i]);
+  }
+  return out;
 }
 
 std::vector<uint32_t> IncrementalDetector::Outliers() const {
@@ -142,6 +304,29 @@ std::vector<uint32_t> IncrementalDetector::Outliers() const {
     }
   }
   return out;
+}
+
+std::shared_ptr<const IncrementalSnapshot> IncrementalDetector::SnapshotNow() {
+  auto snap = std::make_shared<IncrementalSnapshot>();
+  snap->params_ = params_;
+  snap->stencil_ = stencil_;
+  snap->side_ = side_;
+  snap->eps2_ = eps2_;
+  snap->points_ = points_.Freeze();
+  snap->kinds_ = kinds_.Freeze();
+  snap->neighbor_counts_ = neighbor_counts_.Freeze();
+  snap->cells_.reserve(cells_.size());
+  for (const auto& [coord, cell] : cells_) {
+    snap->cells_.emplace(coord,
+                         IncrementalSnapshot::SnapCell{
+                             cell.points, cell.core_points});
+  }
+  snap->num_core_ = num_core_;
+  snap->num_outliers_ = num_outliers_;
+  // From here on, the first write into any chunk or cell the snapshot
+  // shares must clone it.
+  ++freeze_serial_;
+  return snap;
 }
 
 }  // namespace dbscout::core

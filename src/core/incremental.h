@@ -2,9 +2,11 @@
 #define DBSCOUT_CORE_INCREMENTAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/cow.h"
 #include "common/result.h"
 #include "core/detection.h"
 #include "core/params.h"
@@ -13,6 +15,90 @@
 #include "grid/neighborhood.h"
 
 namespace dbscout::core {
+
+/// Result of classifying a hypothetical ("probe") point against a frozen
+/// epoch of the incremental detector, without inserting it.
+struct ProbeResult {
+  /// The label the probe point would receive from DetectSequential run on
+  /// the epoch's points plus the probe point itself (promotion-aware: a
+  /// prefix point that the probe would push onto the minPts threshold
+  /// counts as core for coverage).
+  PointKind kind = PointKind::kOutlier;
+  /// Distance to the nearest core point within the neighbor-cell horizon
+  /// (0 for core probes, +infinity when no core point is in range). Only
+  /// filled when requested; mirrors Detection::core_distance semantics.
+  double score = 0.0;
+  /// Point-to-point distance evaluations this classification performed.
+  uint64_t distance_comps = 0;
+};
+
+/// An immutable view of the incremental detector's state at one epoch (=
+/// number of points inserted when the snapshot was taken). Snapshots share
+/// chunked storage with the live detector via copy-on-write, so taking one
+/// costs O(epoch / chunk-size) pointer copies, and any number of threads
+/// may read a snapshot concurrently with further insertions into the
+/// producing detector — provided the snapshot pointer itself is published
+/// with release/acquire ordering (the detection service stores it in a
+/// std::atomic shared_ptr).
+class IncrementalSnapshot {
+ public:
+  IncrementalSnapshot() = default;
+
+  /// Number of points this snapshot covers; labels answer for exactly the
+  /// first epoch() points of the insertion sequence.
+  uint64_t epoch() const { return kinds_.size(); }
+  size_t dims() const { return points_.width(); }
+  size_t num_core() const { return num_core_; }
+  size_t num_outliers() const { return num_outliers_; }
+  size_t num_cells() const { return cells_.size(); }
+  const Params& params() const { return params_; }
+
+  /// Label of point i (< epoch()) at this epoch.
+  PointKind KindOf(uint32_t i) const { return kinds_[i]; }
+
+  /// Materialized copy of all labels, index-aligned with insertion order.
+  std::vector<PointKind> Kinds() const;
+
+  /// Outlier indices at this epoch, ascending.
+  std::vector<uint32_t> Outliers() const;
+
+  /// Coordinates of point i (< epoch()).
+  std::span<const double> PointAt(uint32_t i) const { return points_[i]; }
+
+  /// Classifies a point NOT in the set against this epoch: the label it
+  /// would receive from DetectSequential on epoch-points + probe. Fails on
+  /// dims mismatch or non-finite coordinates. `want_score` additionally
+  /// computes the nearest-core distance (disables no early exits here; the
+  /// scan always walks the full stencil).
+  Result<ProbeResult> Classify(std::span<const double> point,
+                               bool want_score) const;
+
+  /// Distance from existing point i (< epoch()) to its nearest core point
+  /// within the neighbor-cell horizon — Detection::core_distance
+  /// semantics: 0 for core points, +infinity when no core point is in
+  /// range. Adds the distance evaluations performed to *distance_comps.
+  double NearestCoreDistance(uint32_t i, uint64_t* distance_comps) const;
+
+ private:
+  friend class IncrementalDetector;
+
+  struct SnapCell {
+    std::shared_ptr<const std::vector<uint32_t>> points;
+    uint32_t core_points = 0;
+  };
+
+  Params params_;
+  const grid::NeighborStencil* stencil_ = nullptr;
+  double side_ = 0.0;
+  double eps2_ = 0.0;
+
+  ChunkedRows::Frozen points_;
+  CowChunkedVector<PointKind>::Frozen kinds_;
+  CowChunkedVector<uint32_t>::Frozen neighbor_counts_;
+  std::unordered_map<grid::CellCoord, SnapCell, grid::CellCoordHash> cells_;
+  size_t num_core_ = 0;
+  size_t num_outliers_ = 0;
+};
 
 /// Exact incremental DBSCOUT for append-only streams (the paper's
 /// motivation of data "generated and collected in a daily manner"): points
@@ -28,6 +114,11 @@ namespace dbscout::core {
 /// therefore costs one stencil scan for the new point plus one stencil
 /// scan per point it promotes to core — O(minPts * k_d) amortized, the
 /// same constant as the batch algorithm's per-point cost.
+///
+/// Threading contract: all mutating calls (Add/AddBatch/SnapshotNow) must
+/// come from one writer at a time; SnapshotNow() hands out immutable views
+/// that other threads may read concurrently with subsequent writes (the
+/// storage is copy-on-write at chunk/cell granularity, see common/cow.h).
 class IncrementalDetector {
  public:
   /// Fails on invalid params or dims outside [1, kMaxDims].
@@ -43,30 +134,50 @@ class IncrementalDetector {
   /// Inserts every point of `batch` (same dims) in order.
   Status AddBatch(const PointSet& batch);
 
-  size_t size() const { return points_.size(); }
-  size_t dims() const { return points_.dims(); }
-  const PointSet& points() const { return points_; }
+  size_t size() const { return kinds_.size(); }
+  size_t dims() const { return points_.width(); }
+
+  /// Epoch = number of points inserted so far (the prefix length a
+  /// snapshot taken now would cover).
+  uint64_t epoch() const { return kinds_.size(); }
 
   /// Current classification of point i.
   PointKind KindOf(uint32_t i) const { return kinds_[i]; }
-  const std::vector<PointKind>& kinds() const { return kinds_; }
+  /// Materialized copy of all labels (insertion order).
+  std::vector<PointKind> kinds() const;
 
   /// Current outlier indices, ascending.
   std::vector<uint32_t> Outliers() const;
 
   size_t num_core() const { return num_core_; }
+  size_t num_outliers() const { return num_outliers_; }
   size_t num_cells() const { return cells_.size(); }
+
+  /// Total point-to-point distance evaluations performed by insertions
+  /// (monotone; the service's STATS verb reports deltas per apply pass).
+  uint64_t distance_computations() const { return distance_comps_; }
+
+  /// Freezes the current state into an immutable snapshot. O(cells +
+  /// size/chunk-size); subsequent writes copy-on-write only the chunks and
+  /// cells they touch. Must be called from the writer thread.
+  std::shared_ptr<const IncrementalSnapshot> SnapshotNow();
 
  private:
   struct Cell {
-    std::vector<uint32_t> points;
+    /// COW: cloned on first mutation after a SnapshotNow(), so snapshots
+    /// keep the pre-mutation vector.
+    std::shared_ptr<std::vector<uint32_t>> points;
     uint32_t core_points = 0;  // core cell iff > 0
+    uint64_t serial = 0;       // freeze serial at last clone/create
   };
 
   IncrementalDetector(size_t dims, const Params& params,
                       const grid::NeighborStencil* stencil);
 
   grid::CellCoord CoordOf(std::span<const double> p) const;
+
+  /// The cell's point list, cloned first if a snapshot still shares it.
+  std::vector<uint32_t>* MutableCellPoints(Cell* cell);
 
   /// Marks q core and rescues outliers within eps of it.
   void Promote(uint32_t q);
@@ -76,12 +187,14 @@ class IncrementalDetector {
   double side_ = 0.0;
   double eps2_ = 0.0;
 
-  PointSet points_;
-  std::vector<PointKind> kinds_;
-  std::vector<uint32_t> neighbor_counts_;  // |{q : dist <= eps}|, self incl.
-  std::vector<uint8_t> is_core_;
+  ChunkedRows points_;
+  CowChunkedVector<PointKind> kinds_;
+  CowChunkedVector<uint32_t> neighbor_counts_;  // |{q: dist <= eps}|, self incl.
   std::unordered_map<grid::CellCoord, Cell, grid::CellCoordHash> cells_;
   size_t num_core_ = 0;
+  size_t num_outliers_ = 0;
+  uint64_t freeze_serial_ = 0;
+  uint64_t distance_comps_ = 0;
 };
 
 }  // namespace dbscout::core

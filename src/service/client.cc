@@ -1,0 +1,129 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/str_util.h"
+#include "service/frame_io.h"
+
+namespace dbscout::service {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("bad server address '%s'", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Status::IoError(StrFormat(
+        "connect %s:%u: %s", host.c_str(), port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<Response> Client::Call(const Request& request) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is disconnected");
+  }
+  DBSCOUT_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  DBSCOUT_ASSIGN_OR_RETURN(auto frame, ReadFrame(fd_, nullptr));
+  if (!frame.has_value()) {
+    return Status::IoError(
+        "server closed the connection (possibly shed: session cap)");
+  }
+  return DecodeResponse(*frame);
+}
+
+Result<uint64_t> Client::Ingest(const std::string& collection, uint16_t dims,
+                                std::vector<double> coords) {
+  Request request;
+  request.verb = Verb::kIngest;
+  request.collection = collection;
+  request.dims = dims;
+  request.coords = std::move(coords);
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.epoch;
+}
+
+Result<QueryAnswer> Client::QueryPoint(const std::string& collection,
+                                       std::vector<double> point,
+                                       bool want_score) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.collection = collection;
+  request.query_by_id = false;
+  request.query_point = std::move(point);
+  request.want_score = want_score;
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.query;
+}
+
+Result<QueryAnswer> Client::QueryId(const std::string& collection,
+                                    uint32_t id, bool want_score) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.collection = collection;
+  request.query_by_id = true;
+  request.query_id = id;
+  request.want_score = want_score;
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.query;
+}
+
+Result<StatsAnswer> Client::Stats(const std::string& collection) {
+  Request request;
+  request.verb = Verb::kStats;
+  request.collection = collection;
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.stats;
+}
+
+Result<SnapshotAnswer> Client::Snapshot(const std::string& collection) {
+  Request request;
+  request.verb = Verb::kSnapshot;
+  request.collection = collection;
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.snapshot;
+}
+
+}  // namespace dbscout::service

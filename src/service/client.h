@@ -1,0 +1,50 @@
+#ifndef DBSCOUT_SERVICE_CLIENT_H_
+#define DBSCOUT_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/protocol.h"
+
+namespace dbscout::service {
+
+/// Blocking TCP client for the detection service. One connection, one
+/// outstanding request at a time. Move-only; the destructor closes the
+/// connection.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request and waits for its response. The returned Response
+  /// carries the service-level outcome in .status (e.g. kUnavailable for
+  /// shed load); a non-OK Result means the transport itself failed.
+  Result<Response> Call(const Request& request);
+
+  /// Convenience wrappers; they fold the service-level status into the
+  /// Result, so callers get value-or-error directly.
+  Result<uint64_t> Ingest(const std::string& collection, uint16_t dims,
+                          std::vector<double> coords);
+  Result<QueryAnswer> QueryPoint(const std::string& collection,
+                                 std::vector<double> point, bool want_score);
+  Result<QueryAnswer> QueryId(const std::string& collection, uint32_t id,
+                              bool want_score);
+  Result<StatsAnswer> Stats(const std::string& collection);
+  Result<SnapshotAnswer> Snapshot(const std::string& collection);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace dbscout::service
+
+#endif  // DBSCOUT_SERVICE_CLIENT_H_

@@ -1,0 +1,117 @@
+#include "service/frame_io.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/str_util.h"
+#include "service/protocol.h"
+
+namespace dbscout::service {
+namespace {
+
+constexpr int kPollTimeoutMs = 100;
+
+/// Reads exactly `len` bytes into `out`. `eof_ok` permits a clean EOF
+/// before the first byte (frame boundary); EOF after that is an error.
+/// Returns true when `len` bytes were read, false on clean EOF.
+Result<bool> ReadExact(int fd, uint8_t* out, size_t len, bool eof_ok,
+                       const std::atomic<bool>* stop) {
+  size_t got = 0;
+  while (got < len) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(StrFormat("poll: %s", std::strerror(errno)));
+    }
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      return Status::Unavailable("shutting down");
+    }
+    if (ready == 0) {
+      continue;  // timeout; re-check stop and poll again
+    }
+    const ssize_t n = ::read(fd, out + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::IoError(StrFormat("read: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) {
+        return false;
+      }
+      return Status::IoError(
+          StrFormat("connection closed mid-frame (%zu/%zu bytes)", got, len));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::span<const uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload %zu exceeds cap %u", payload.size(),
+                  kMaxFramePayload));
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  uint8_t header[4];
+  std::memcpy(header, &len, sizeof(len));
+
+  // Gather header + payload into one buffer boundary-free: write header
+  // first, then payload, retrying partial writes.
+  const auto write_all = [fd](const uint8_t* data, size_t size) -> Status {
+    size_t sent = 0;
+    while (sent < size) {
+      // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE instead of
+      // a process-killing SIGPIPE.
+      const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IoError(StrFormat("write: %s", std::strerror(errno)));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  };
+  DBSCOUT_RETURN_IF_ERROR(write_all(header, sizeof(header)));
+  return write_all(payload.data(), payload.size());
+}
+
+Result<std::optional<std::vector<uint8_t>>> ReadFrame(
+    int fd, const std::atomic<bool>* stop) {
+  uint8_t header[4];
+  DBSCOUT_ASSIGN_OR_RETURN(
+      const bool have_header,
+      ReadExact(fd, header, sizeof(header), /*eof_ok=*/true, stop));
+  if (!have_header) {
+    return std::optional<std::vector<uint8_t>>(std::nullopt);
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, header, sizeof(len));
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrFormat("frame length %u exceeds cap %u", len, kMaxFramePayload));
+  }
+  std::vector<uint8_t> payload(len);
+  if (len > 0) {
+    DBSCOUT_ASSIGN_OR_RETURN(
+        const bool full,
+        ReadExact(fd, payload.data(), len, /*eof_ok=*/false, stop));
+    (void)full;  // eof_ok=false: ReadExact only returns true or an error
+  }
+  return std::optional<std::vector<uint8_t>>(std::move(payload));
+}
+
+}  // namespace dbscout::service

@@ -1,0 +1,33 @@
+#ifndef DBSCOUT_SERVICE_FRAME_IO_H_
+#define DBSCOUT_SERVICE_FRAME_IO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbscout::service {
+
+/// Writes one frame (u32 little-endian payload length + payload) to `fd`,
+/// retrying partial writes and EINTR. Fails with IoError on a broken
+/// connection and InvalidArgument on an over-cap payload.
+Status WriteFrame(int fd, std::span<const uint8_t> payload);
+
+/// Reads one frame from `fd`. Returns:
+///   - the payload on success,
+///   - std::nullopt on a clean EOF at a frame boundary (peer closed),
+///   - IoError on mid-frame EOF / connection errors,
+///   - InvalidArgument on an over-cap length prefix,
+///   - Unavailable("shutting down") when `*stop` becomes true while
+///     waiting for bytes (checked via 100ms poll timeouts, so a blocked
+///     reader notices shutdown promptly without signals).
+/// `stop` may be null for blocking callers (the CLI client).
+Result<std::optional<std::vector<uint8_t>>> ReadFrame(
+    int fd, const std::atomic<bool>* stop);
+
+}  // namespace dbscout::service
+
+#endif  // DBSCOUT_SERVICE_FRAME_IO_H_

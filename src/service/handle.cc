@@ -1,0 +1,22 @@
+#include "service/handle.h"
+
+#include <vector>
+
+namespace dbscout::service {
+
+Result<Response> ServiceHandle::Call(const Request& request) {
+  const std::vector<uint8_t> request_bytes = EncodeRequest(request);
+  if (request_bytes.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("request exceeds frame cap");
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(const Request decoded,
+                           DecodeRequest(request_bytes));
+  const Response response = service_->Dispatch(decoded);
+  const std::vector<uint8_t> response_bytes = EncodeResponse(response);
+  if (response_bytes.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("response exceeds frame cap");
+  }
+  return DecodeResponse(response_bytes);
+}
+
+}  // namespace dbscout::service

@@ -1,0 +1,27 @@
+#ifndef DBSCOUT_SERVICE_HANDLE_H_
+#define DBSCOUT_SERVICE_HANDLE_H_
+
+#include "common/result.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace dbscout::service {
+
+/// In-process client: same surface as the TCP Client, but every Call still
+/// round-trips the wire format (encode request -> decode -> Dispatch ->
+/// encode response -> decode), so tests using the handle exercise exactly
+/// the bytes a remote client would produce and parse — minus the socket.
+class ServiceHandle {
+ public:
+  /// The service must outlive the handle.
+  explicit ServiceHandle(DetectionService* service) : service_(service) {}
+
+  Result<Response> Call(const Request& request);
+
+ private:
+  DetectionService* const service_;
+};
+
+}  // namespace dbscout::service
+
+#endif  // DBSCOUT_SERVICE_HANDLE_H_

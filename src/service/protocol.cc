@@ -1,0 +1,327 @@
+#include "service/protocol.h"
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/str_util.h"
+
+namespace dbscout::service {
+namespace {
+
+// Little-endian scalar append/read. memcpy keeps this alignment- and
+// strict-aliasing-safe; on LE hosts it compiles to a plain store/load.
+template <typename T>
+void Put(std::vector<uint8_t>* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint8_t raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  // push_back per byte rather than insert(): GCC 12 mis-fires
+  // -Wstringop-overflow on single-byte range inserts.
+  for (uint8_t b : raw) {
+    out->push_back(b);
+  }
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  Put<uint16_t>(out, static_cast<uint16_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Bounds-checked sequential reader over a payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  Result<T> Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data_.size() - pos_ < sizeof(T)) {
+      return Truncated();
+    }
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  Result<std::string> ReadString(size_t max_len) {
+    DBSCOUT_ASSIGN_OR_RETURN(const uint16_t len, Read<uint16_t>());
+    if (len > max_len) {
+      return Status::InvalidArgument(
+          StrFormat("string length %u exceeds cap %zu", len, max_len));
+    }
+    if (data_.size() - pos_ < len) {
+      return Truncated();
+    }
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return out;
+  }
+
+  Result<std::vector<double>> ReadDoubles(uint64_t count) {
+    if ((data_.size() - pos_) / sizeof(double) < count) {
+      return Truncated();
+    }
+    std::vector<double> out(count);
+    std::memcpy(out.data(), data_.data() + pos_, count * sizeof(double));
+    pos_ += count * sizeof(double);
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status Truncated() const {
+    return Status::InvalidArgument(
+        StrFormat("malformed frame: truncated at byte %zu of %zu", pos_,
+                  data_.size()));
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+Result<Verb> CheckVerb(uint8_t raw) {
+  switch (static_cast<Verb>(raw)) {
+    case Verb::kIngest:
+    case Verb::kQuery:
+    case Verb::kStats:
+    case Verb::kSnapshot:
+      return static_cast<Verb>(raw);
+  }
+  return Status::InvalidArgument(StrFormat("unknown verb %u", raw));
+}
+
+Result<core::PointKind> CheckKind(uint8_t raw) {
+  if (raw > static_cast<uint8_t>(core::PointKind::kOutlier)) {
+    return Status::InvalidArgument(StrFormat("unknown point kind %u", raw));
+  }
+  return static_cast<core::PointKind>(raw);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  std::vector<uint8_t> out;
+  Put<uint8_t>(&out, static_cast<uint8_t>(request.verb));
+  Put<uint8_t>(&out, request.want_score ? 1 : 0);
+  PutString(&out, request.collection);
+  switch (request.verb) {
+    case Verb::kIngest: {
+      Put<uint16_t>(&out, request.dims);
+      const uint32_t count =
+          request.dims == 0
+              ? 0
+              : static_cast<uint32_t>(request.coords.size() / request.dims);
+      Put<uint32_t>(&out, count);
+      for (double v : request.coords) {
+        Put<double>(&out, v);
+      }
+      break;
+    }
+    case Verb::kQuery:
+      Put<uint8_t>(&out, request.query_by_id ? 0 : 1);
+      if (request.query_by_id) {
+        Put<uint32_t>(&out, request.query_id);
+      } else {
+        Put<uint16_t>(&out, static_cast<uint16_t>(request.query_point.size()));
+        for (double v : request.query_point) {
+          Put<double>(&out, v);
+        }
+      }
+      break;
+    case Verb::kStats:
+    case Verb::kSnapshot:
+      break;
+  }
+  return out;
+}
+
+Result<Request> DecodeRequest(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  Request request;
+  DBSCOUT_ASSIGN_OR_RETURN(const uint8_t verb, reader.Read<uint8_t>());
+  DBSCOUT_ASSIGN_OR_RETURN(request.verb, CheckVerb(verb));
+  DBSCOUT_ASSIGN_OR_RETURN(const uint8_t flags, reader.Read<uint8_t>());
+  request.want_score = (flags & 1) != 0;
+  DBSCOUT_ASSIGN_OR_RETURN(request.collection,
+                           reader.ReadString(kMaxCollectionName));
+  switch (request.verb) {
+    case Verb::kIngest: {
+      DBSCOUT_ASSIGN_OR_RETURN(request.dims, reader.Read<uint16_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(const uint32_t count, reader.Read<uint32_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(
+          request.coords,
+          reader.ReadDoubles(static_cast<uint64_t>(count) * request.dims));
+      break;
+    }
+    case Verb::kQuery: {
+      DBSCOUT_ASSIGN_OR_RETURN(const uint8_t mode, reader.Read<uint8_t>());
+      if (mode > 1) {
+        return Status::InvalidArgument(
+            StrFormat("unknown query mode %u", mode));
+      }
+      request.query_by_id = mode == 0;
+      if (request.query_by_id) {
+        DBSCOUT_ASSIGN_OR_RETURN(request.query_id, reader.Read<uint32_t>());
+      } else {
+        DBSCOUT_ASSIGN_OR_RETURN(const uint16_t dims, reader.Read<uint16_t>());
+        DBSCOUT_ASSIGN_OR_RETURN(request.query_point,
+                                 reader.ReadDoubles(dims));
+      }
+      break;
+    }
+    case Verb::kStats:
+    case Verb::kSnapshot:
+      break;
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("malformed frame: trailing bytes");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  std::vector<uint8_t> out;
+  Put<uint8_t>(&out, static_cast<uint8_t>(response.verb));
+  Put<uint8_t>(&out, static_cast<uint8_t>(response.status.code()));
+  if (!response.status.ok()) {
+    const std::string& msg = response.status.message();
+    Put<uint32_t>(&out, static_cast<uint32_t>(msg.size()));
+    out.insert(out.end(), msg.begin(), msg.end());
+    return out;
+  }
+  switch (response.verb) {
+    case Verb::kIngest:
+      Put<uint64_t>(&out, response.epoch);
+      break;
+    case Verb::kQuery:
+      Put<uint64_t>(&out, response.query.epoch);
+      Put<uint8_t>(&out, static_cast<uint8_t>(response.query.kind));
+      Put<uint8_t>(&out, response.query.has_score ? 1 : 0);
+      if (response.query.has_score) {
+        Put<double>(&out, response.query.score);
+      }
+      break;
+    case Verb::kStats: {
+      const StatsAnswer& s = response.stats;
+      Put<uint64_t>(&out, s.epoch);
+      Put<uint64_t>(&out, s.num_points);
+      Put<uint64_t>(&out, s.num_core);
+      Put<uint64_t>(&out, s.num_cells);
+      Put<uint64_t>(&out, s.num_outliers);
+      Put<uint64_t>(&out, s.admission_rejections);
+      Put<uint32_t>(&out, static_cast<uint32_t>(s.phases.size()));
+      for (const StatsRow& row : s.phases) {
+        PutString(&out, row.name);
+        Put<double>(&out, row.seconds);
+        Put<uint64_t>(&out, row.distance_comps);
+        Put<uint64_t>(&out, row.records);
+      }
+      break;
+    }
+    case Verb::kSnapshot: {
+      const SnapshotAnswer& s = response.snapshot;
+      Put<uint64_t>(&out, s.epoch);
+      Put<uint64_t>(&out, s.num_core);
+      Put<uint64_t>(&out, s.num_cells);
+      Put<uint64_t>(&out, static_cast<uint64_t>(s.kinds.size()));
+      for (core::PointKind kind : s.kinds) {
+        Put<uint8_t>(&out, static_cast<uint8_t>(kind));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  Response response;
+  DBSCOUT_ASSIGN_OR_RETURN(const uint8_t verb, reader.Read<uint8_t>());
+  DBSCOUT_ASSIGN_OR_RETURN(response.verb, CheckVerb(verb));
+  DBSCOUT_ASSIGN_OR_RETURN(const uint8_t code, reader.Read<uint8_t>());
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument(StrFormat("unknown status code %u", code));
+  }
+  if (code != 0) {
+    DBSCOUT_ASSIGN_OR_RETURN(const uint32_t msg_len, reader.Read<uint32_t>());
+    if (msg_len > kMaxFramePayload) {
+      return Status::InvalidArgument("oversized status message");
+    }
+    std::string msg;
+    msg.reserve(msg_len);
+    for (uint32_t i = 0; i < msg_len; ++i) {
+      DBSCOUT_ASSIGN_OR_RETURN(const uint8_t c, reader.Read<uint8_t>());
+      msg.push_back(static_cast<char>(c));
+    }
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument("malformed frame: trailing bytes");
+    }
+    response.status = Status(static_cast<StatusCode>(code), std::move(msg));
+    return response;
+  }
+  switch (response.verb) {
+    case Verb::kIngest: {
+      DBSCOUT_ASSIGN_OR_RETURN(response.epoch, reader.Read<uint64_t>());
+      break;
+    }
+    case Verb::kQuery: {
+      DBSCOUT_ASSIGN_OR_RETURN(response.query.epoch, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(const uint8_t kind, reader.Read<uint8_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(response.query.kind, CheckKind(kind));
+      DBSCOUT_ASSIGN_OR_RETURN(const uint8_t has_score,
+                               reader.Read<uint8_t>());
+      response.query.has_score = has_score != 0;
+      if (response.query.has_score) {
+        DBSCOUT_ASSIGN_OR_RETURN(response.query.score, reader.Read<double>());
+      }
+      break;
+    }
+    case Verb::kStats: {
+      StatsAnswer& s = response.stats;
+      DBSCOUT_ASSIGN_OR_RETURN(s.epoch, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.num_points, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.num_core, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.num_cells, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.num_outliers, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.admission_rejections,
+                               reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(const uint32_t rows, reader.Read<uint32_t>());
+      for (uint32_t i = 0; i < rows; ++i) {
+        StatsRow row;
+        DBSCOUT_ASSIGN_OR_RETURN(row.name,
+                                 reader.ReadString(kMaxCollectionName));
+        DBSCOUT_ASSIGN_OR_RETURN(row.seconds, reader.Read<double>());
+        DBSCOUT_ASSIGN_OR_RETURN(row.distance_comps, reader.Read<uint64_t>());
+        DBSCOUT_ASSIGN_OR_RETURN(row.records, reader.Read<uint64_t>());
+        s.phases.push_back(std::move(row));
+      }
+      break;
+    }
+    case Verb::kSnapshot: {
+      SnapshotAnswer& s = response.snapshot;
+      DBSCOUT_ASSIGN_OR_RETURN(s.epoch, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.num_core, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.num_cells, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(const uint64_t count, reader.Read<uint64_t>());
+      if (count > kMaxFramePayload) {
+        return Status::InvalidArgument("oversized snapshot");
+      }
+      s.kinds.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        DBSCOUT_ASSIGN_OR_RETURN(const uint8_t kind, reader.Read<uint8_t>());
+        DBSCOUT_ASSIGN_OR_RETURN(const core::PointKind checked,
+                                 CheckKind(kind));
+        s.kinds.push_back(checked);
+      }
+      break;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("malformed frame: trailing bytes");
+  }
+  return response;
+}
+
+}  // namespace dbscout::service

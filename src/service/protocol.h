@@ -1,0 +1,111 @@
+#ifndef DBSCOUT_SERVICE_PROTOCOL_H_
+#define DBSCOUT_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/detection.h"
+
+namespace dbscout::service {
+
+/// The four verbs of the detection service. One frame carries one request
+/// or one response; a connection is a sequence of request/response pairs.
+enum class Verb : uint8_t {
+  kIngest = 1,    // append a batch of points to a collection
+  kQuery = 2,     // label of point-id / fresh probe point, optional score
+  kStats = 3,     // phase counters and collection counts
+  kSnapshot = 4,  // consistent full labeling at one epoch
+};
+
+/// Frames are a u32 little-endian payload length followed by the payload.
+/// The length cap bounds per-session buffering; a SNAPSHOT of ~60M points
+/// or an INGEST batch of ~1M 8-d points fits. Larger workloads page
+/// through multiple requests.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Collection names are short identifiers, not blobs.
+inline constexpr size_t kMaxCollectionName = 256;
+
+/// One decoded request. `verb` selects which of the per-verb fields are
+/// meaningful; the unused ones stay empty.
+struct Request {
+  Verb verb = Verb::kStats;
+  std::string collection;
+
+  // INGEST: `count` points of `dims` coordinates, row-major.
+  uint16_t dims = 0;
+  std::vector<double> coords;
+
+  // QUERY.
+  bool query_by_id = false;
+  uint32_t query_id = 0;
+  std::vector<double> query_point;  // when !query_by_id
+  bool want_score = false;
+};
+
+/// One row of phase/work counters in a STATS response (PhaseStats shape).
+struct StatsRow {
+  std::string name;
+  double seconds = 0.0;
+  uint64_t distance_comps = 0;
+  uint64_t records = 0;
+
+  friend bool operator==(const StatsRow&, const StatsRow&) = default;
+};
+
+/// QUERY result payload.
+struct QueryAnswer {
+  core::PointKind kind = core::PointKind::kOutlier;
+  uint64_t epoch = 0;
+  bool has_score = false;
+  double score = 0.0;
+};
+
+/// STATS result payload.
+struct StatsAnswer {
+  uint64_t epoch = 0;
+  uint64_t num_points = 0;
+  uint64_t num_core = 0;
+  uint64_t num_cells = 0;
+  uint64_t num_outliers = 0;
+  /// INGEST requests shed by admission control since service start.
+  uint64_t admission_rejections = 0;
+  std::vector<StatsRow> phases;
+};
+
+/// SNAPSHOT result payload: the exact labeling of the first `epoch` points.
+struct SnapshotAnswer {
+  uint64_t epoch = 0;
+  uint64_t num_core = 0;
+  uint64_t num_cells = 0;
+  std::vector<core::PointKind> kinds;
+};
+
+/// One decoded response. `status` is the service-level outcome (kUnavailable
+/// for shed load, kNotFound for unknown collections, ...); the per-verb
+/// payload is meaningful only when status.ok().
+struct Response {
+  Verb verb = Verb::kStats;
+  Status status;
+  uint64_t epoch = 0;  // INGEST: epoch right after the batch was applied
+  QueryAnswer query;
+  StatsAnswer stats;
+  SnapshotAnswer snapshot;
+};
+
+/// Serializes a request/response payload (no frame length prefix; the
+/// transport adds it). Encoding is little-endian and platform-independent.
+std::vector<uint8_t> EncodeRequest(const Request& request);
+std::vector<uint8_t> EncodeResponse(const Response& response);
+
+/// Parses a payload; fails with InvalidArgument on truncated or malformed
+/// bytes (never reads out of bounds, never trusts embedded lengths).
+Result<Request> DecodeRequest(std::span<const uint8_t> payload);
+Result<Response> DecodeResponse(std::span<const uint8_t> payload);
+
+}  // namespace dbscout::service
+
+#endif  // DBSCOUT_SERVICE_PROTOCOL_H_

@@ -1,0 +1,133 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "service/frame_io.h"
+#include "service/protocol.h"
+
+namespace dbscout::service {
+
+Result<std::unique_ptr<Server>> Server::Start(DetectionService* service,
+                                              const ServerOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("bad listen address '%s'", options.host.c_str()));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        Status::IoError(StrFormat("bind %s:%u: %s", options.host.c_str(),
+                                  options.port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status =
+        Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status =
+        Status::IoError(StrFormat("getsockname: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<Server>(new Server(
+      service, fd, ntohs(bound.sin_port), options.max_sessions));
+}
+
+Server::Server(DetectionService* service, int listen_fd, uint16_t port,
+               size_t max_sessions)
+    : service_(service),
+      listen_fd_(listen_fd),
+      port_(port),
+      max_sessions_(max_sessions),
+      pool_(1 + max_sessions) {
+  pool_.Submit([this] { AcceptLoop(); });
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  // Sessions and the accept loop poll with 100ms timeouts and re-check the
+  // flag, so this converges within one tick per in-flight request.
+  pool_.WaitIdle();
+  ::close(listen_fd_);
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) {
+      continue;  // timeout or EINTR; re-check stop
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    if (active_sessions_.load(std::memory_order_acquire) >= max_sessions_) {
+      // Full house: shed at the connection level rather than queueing
+      // unbounded sessions. The client sees EOF before any response.
+      sessions_shed_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    active_sessions_.fetch_add(1, std::memory_order_acq_rel);
+    pool_.Submit([this, fd] { Session(fd); });
+  }
+}
+
+void Server::Session(int fd) {
+  for (;;) {
+    auto frame = ReadFrame(fd, &stop_);
+    if (!frame.ok() || !frame->has_value()) {
+      break;  // peer EOF, connection error, or shutdown
+    }
+    Response response;
+    auto request = DecodeRequest(**frame);
+    if (request.ok()) {
+      response = service_->Dispatch(*request);
+    } else {
+      // Can't trust anything in the frame, including the verb; answer with
+      // the decode error and drop the connection (framing may be skewed).
+      response.status = request.status();
+    }
+    const std::vector<uint8_t> payload = EncodeResponse(response);
+    if (!WriteFrame(fd, payload).ok() || !request.ok()) {
+      break;
+    }
+  }
+  ::close(fd);
+  active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace dbscout::service

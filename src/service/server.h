@@ -1,0 +1,77 @@
+#ifndef DBSCOUT_SERVICE_SERVER_H_
+#define DBSCOUT_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "service/service.h"
+
+namespace dbscout::service {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port().
+  uint16_t port = 0;
+  /// Concurrent connections; further accepts are closed immediately
+  /// (connection-level shedding, mirroring the ingest admission cap).
+  size_t max_sessions = 8;
+};
+
+/// TCP front-end for a DetectionService: accepts framed connections and
+/// serves request/response pairs. One pool task runs the accept loop and
+/// one runs each session — all on a private ThreadPool sized
+/// 1 + max_sessions, so a full house never starves the accept loop.
+///
+/// Stop() (and the destructor) first flips the stop flag — sessions notice
+/// within one 100ms poll tick, finish the request they are serving, and
+/// exit — then closes the listener. In-flight requests therefore always get
+/// their response before the server goes away.
+class Server {
+ public:
+  /// Binds, listens, and starts the accept loop. The service must outlive
+  /// the server.
+  static Result<std::unique_ptr<Server>> Start(DetectionService* service,
+                                               const ServerOptions& options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// The bound port (resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Sessions shed because all max_sessions slots were busy.
+  uint64_t sessions_shed() const {
+    return sessions_shed_.load(std::memory_order_relaxed);
+  }
+
+  /// Graceful shutdown: drain sessions, then close the listener. Idempotent.
+  void Stop();
+
+ private:
+  Server(DetectionService* service, int listen_fd, uint16_t port,
+         size_t max_sessions);
+
+  void AcceptLoop();
+  void Session(int fd);
+
+  DetectionService* const service_;
+  const int listen_fd_;
+  const uint16_t port_;
+  const size_t max_sessions_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<size_t> active_sessions_{0};
+  std::atomic<uint64_t> sessions_shed_{0};
+
+  ThreadPool pool_;
+};
+
+}  // namespace dbscout::service
+
+#endif  // DBSCOUT_SERVICE_SERVER_H_

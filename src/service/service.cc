@@ -1,0 +1,356 @@
+#include "service/service.h"
+
+#include <span>
+#include <utility>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+
+namespace dbscout::service {
+
+DetectionService::DetectionService(const ServiceOptions& options)
+    : options_(options), apply_pool_(1) {
+  apply_pool_.Submit([this] { ApplyLoop(); });
+}
+
+DetectionService::~DetectionService() { Stop(); }
+
+Response DetectionService::Dispatch(const Request& request) {
+  if (request.collection.empty() ||
+      request.collection.size() > kMaxCollectionName) {
+    Response response;
+    response.verb = request.verb;
+    response.status = Status::InvalidArgument("bad collection name");
+    return response;
+  }
+  switch (request.verb) {
+    case Verb::kIngest:
+      return DoIngest(request);
+    case Verb::kQuery:
+      return DoQuery(request);
+    case Verb::kStats:
+      return DoStats(request);
+    case Verb::kSnapshot:
+      return DoSnapshot(request);
+  }
+  Response response;
+  response.status = Status::InvalidArgument("unknown verb");
+  return response;
+}
+
+DetectionService::Collection* DetectionService::FindCollection(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(collections_mu_);
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
+    const std::string& name, uint16_t dims, size_t coords_size) {
+  if (dims == 0) {
+    return Status::InvalidArgument("ingest dims must be >= 1");
+  }
+  if (coords_size % dims != 0) {
+    return Status::InvalidArgument(
+        StrFormat("coordinate count %zu is not a multiple of dims %u",
+                  coords_size, dims));
+  }
+  std::lock_guard<std::mutex> lock(collections_mu_);
+  auto it = collections_.find(name);
+  if (it != collections_.end()) {
+    Collection* collection = it->second.get();
+    if (dims != collection->detector.dims()) {
+      return Status::InvalidArgument(
+          StrFormat("collection '%s' has %zu dims, batch has %u",
+                    name.c_str(), collection->detector.dims(), dims));
+    }
+    return collection;
+  }
+  if (collections_.size() >= options_.max_collections) {
+    return Status::FailedPrecondition(
+        StrFormat("collection limit (%zu) reached",
+                  options_.max_collections));
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(
+      core::IncrementalDetector detector,
+      core::IncrementalDetector::Create(dims, options_.params));
+  auto collection = std::make_unique<Collection>(std::move(detector));
+  // Publish the epoch-0 snapshot right away so reads on a collection whose
+  // first batch is still queued get a well-defined (empty) answer. The
+  // apply loop cannot know this collection yet, so the writer-thread
+  // contract of SnapshotNow() holds trivially.
+  collection->snapshot.store(collection->detector.SnapshotNow(),
+                             std::memory_order_release);
+  Collection* raw = collection.get();
+  collections_.emplace(name, std::move(collection));
+  return raw;
+}
+
+Status DetectionService::Enqueue(Collection* collection,
+                                 std::vector<double> coords,
+                                 std::shared_ptr<Ticket> ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    return Status::Unavailable("service is shutting down");
+  }
+  if (queue_.size() >= options_.max_pending_ingests) {
+    admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        StrFormat("ingest queue at admission cap (%zu); retry later",
+                  options_.max_pending_ingests));
+  }
+  queue_.push_back(
+      PendingIngest{collection, std::move(coords), std::move(ticket)});
+  ++enqueued_;
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Response DetectionService::DoIngest(const Request& request) {
+  Response response;
+  response.verb = Verb::kIngest;
+  auto found =
+      CollectionForIngest(request.collection, request.dims,
+                          request.coords.size());
+  if (!found.ok()) {
+    response.status = found.status();
+    return response;
+  }
+  auto ticket = std::make_shared<Ticket>();
+  response.status = Enqueue(*found, request.coords, ticket);
+  if (!response.status.ok()) {
+    return response;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  tickets_cv_.wait(lock, [&] { return ticket->done; });
+  response.status = ticket->status;
+  response.epoch = ticket->epoch;
+  return response;
+}
+
+Status DetectionService::IngestAsync(const std::string& collection,
+                                     uint16_t dims,
+                                     std::vector<double> coords) {
+  DBSCOUT_ASSIGN_OR_RETURN(
+      Collection * target,
+      CollectionForIngest(collection, dims, coords.size()));
+  return Enqueue(target, std::move(coords), nullptr);
+}
+
+Response DetectionService::DoQuery(const Request& request) {
+  Response response;
+  response.verb = Verb::kQuery;
+  Collection* collection = FindCollection(request.collection);
+  if (collection == nullptr) {
+    response.status = Status::NotFound(
+        StrFormat("no collection '%s'", request.collection.c_str()));
+    return response;
+  }
+  const std::shared_ptr<const core::IncrementalSnapshot> snap =
+      collection->snapshot.load(std::memory_order_acquire);
+  WallTimer timer;
+  uint64_t distance_comps = 0;
+  response.query.epoch = snap->epoch();
+  if (request.query_by_id) {
+    if (request.query_id >= snap->epoch()) {
+      response.status = Status::OutOfRange(
+          StrFormat("point id %u >= snapshot epoch %llu", request.query_id,
+                    static_cast<unsigned long long>(snap->epoch())));
+      return response;
+    }
+    response.query.kind = snap->KindOf(request.query_id);
+    if (request.want_score) {
+      response.query.score =
+          snap->NearestCoreDistance(request.query_id, &distance_comps);
+      response.query.has_score = true;
+    }
+  } else {
+    auto probe = snap->Classify(request.query_point, request.want_score);
+    if (!probe.ok()) {
+      response.status = probe.status();
+      return response;
+    }
+    distance_comps = probe->distance_comps;
+    response.query.kind = probe->kind;
+    if (request.want_score) {
+      response.query.score = probe->score;
+      response.query.has_score = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(collection->stats_mu);
+    collection->recorder.Accumulate("query", timer.ElapsedSeconds(),
+                                    distance_comps, 1);
+  }
+  return response;
+}
+
+Response DetectionService::DoStats(const Request& request) {
+  Response response;
+  response.verb = Verb::kStats;
+  Collection* collection = FindCollection(request.collection);
+  if (collection == nullptr) {
+    response.status = Status::NotFound(
+        StrFormat("no collection '%s'", request.collection.c_str()));
+    return response;
+  }
+  const std::shared_ptr<const core::IncrementalSnapshot> snap =
+      collection->snapshot.load(std::memory_order_acquire);
+  StatsAnswer& stats = response.stats;
+  stats.epoch = snap->epoch();
+  stats.num_points = snap->epoch();
+  stats.num_core = snap->num_core();
+  stats.num_cells = snap->num_cells();
+  stats.num_outliers = snap->num_outliers();
+  stats.admission_rejections = admission_rejections();
+  {
+    std::lock_guard<std::mutex> lock(collection->stats_mu);
+    for (const core::PhaseStats& row : collection->recorder.phases()) {
+      stats.phases.push_back(StatsRow{row.name, row.seconds,
+                                      row.distance_computations,
+                                      row.records});
+    }
+    if (collection->ingest_errors > 0) {
+      stats.phases.push_back(
+          StatsRow{"ingest_errors", 0.0, 0, collection->ingest_errors});
+    }
+  }
+  return response;
+}
+
+Response DetectionService::DoSnapshot(const Request& request) {
+  Response response;
+  response.verb = Verb::kSnapshot;
+  Collection* collection = FindCollection(request.collection);
+  if (collection == nullptr) {
+    response.status = Status::NotFound(
+        StrFormat("no collection '%s'", request.collection.c_str()));
+    return response;
+  }
+  const std::shared_ptr<const core::IncrementalSnapshot> snap =
+      collection->snapshot.load(std::memory_order_acquire);
+  response.snapshot.epoch = snap->epoch();
+  response.snapshot.num_core = snap->num_core();
+  response.snapshot.num_cells = snap->num_cells();
+  response.snapshot.kinds = snap->Kinds();
+  return response;
+}
+
+void DetectionService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = enqueued_;
+  tickets_cv_.wait(lock, [&] { return applied_ >= target; });
+}
+
+void DetectionService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_cv_.notify_all();
+  }
+  apply_pool_.WaitIdle();
+}
+
+void DetectionService::SetApplyPausedForTest(bool paused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  apply_paused_ = paused;
+  queue_cv_.notify_all();
+}
+
+void DetectionService::ApplyLoop() {
+  for (;;) {
+    std::vector<PendingIngest> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Stop overrides a test pause: shutdown always drains the queue.
+      queue_cv_.wait(lock, [this] {
+        return stop_ || (!queue_.empty() && !apply_paused_);
+      });
+      if (queue_.empty()) {
+        if (stop_) {
+          return;
+        }
+        continue;
+      }
+      // Coalesce: take everything queued so this pass publishes one
+      // snapshot per touched collection no matter how many batches piled
+      // up behind a slow apply.
+      batch.reserve(queue_.size());
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ApplyPass(std::move(batch));
+  }
+}
+
+void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
+  struct Touch {
+    double seconds = 0.0;
+    uint64_t records = 0;
+    uint64_t errors = 0;
+  };
+  std::unordered_map<Collection*, Touch> touched;
+
+  for (PendingIngest& op : batch) {
+    Collection* collection = op.collection;
+    WallTimer timer;
+    Status status;
+    const size_t dims = collection->detector.dims();
+    const size_t count = op.coords.size() / dims;
+    size_t applied_points = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const Result<uint32_t> added = collection->detector.Add(
+          std::span<const double>(op.coords.data() + i * dims, dims));
+      if (!added.ok()) {
+        // The batch is applied up to the first invalid point; the rest is
+        // dropped and the error reported on the ticket (and in STATS).
+        status = added.status();
+        break;
+      }
+      ++applied_points;
+    }
+    Touch& touch = touched[collection];
+    touch.seconds += timer.ElapsedSeconds();
+    touch.records += applied_points;
+    if (!status.ok()) {
+      ++touch.errors;
+    }
+    if (op.ticket != nullptr) {
+      // Safe without mu_: the waiter only reads these after `done` flips
+      // under mu_ below.
+      op.ticket->status = std::move(status);
+      op.ticket->epoch = collection->detector.epoch();
+    }
+  }
+
+  // Publish: one snapshot per touched collection, after all of this pass's
+  // mutations. The release store pairs with the acquire load in readers.
+  for (auto& [collection, touch] : touched) {
+    collection->snapshot.store(collection->detector.SnapshotNow(),
+                               std::memory_order_release);
+    const uint64_t total_comps = collection->detector.distance_computations();
+    std::lock_guard<std::mutex> lock(collection->stats_mu);
+    collection->recorder.Accumulate(
+        "apply", touch.seconds,
+        total_comps - collection->last_distance_comps, touch.records);
+    collection->last_distance_comps = total_comps;
+    collection->ingest_errors += touch.errors;
+  }
+
+  // Complete tickets only now, so the epoch a blocking INGEST returns is
+  // already covered by a published snapshot.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    applied_ += batch.size();
+    for (PendingIngest& op : batch) {
+      if (op.ticket != nullptr) {
+        op.ticket->done = true;
+      }
+    }
+    tickets_cv_.notify_all();
+  }
+}
+
+}  // namespace dbscout::service

@@ -1,0 +1,169 @@
+#ifndef DBSCOUT_SERVICE_SERVICE_H_
+#define DBSCOUT_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/incremental.h"
+#include "core/params.h"
+#include "core/phases/phase_recorder.h"
+#include "service/protocol.h"
+
+namespace dbscout::service {
+
+struct ServiceOptions {
+  /// Detection parameters applied to every collection the service creates.
+  core::Params params;
+
+  /// Admission cap: INGEST requests beyond this many queued batches are
+  /// shed with kUnavailable instead of growing the queue without bound.
+  size_t max_pending_ingests = 256;
+
+  /// Collections are created implicitly by the first INGEST; this bounds
+  /// how many a misbehaving client can create.
+  size_t max_collections = 64;
+};
+
+/// The long-running detection service: one exact IncrementalDetector per
+/// named collection, maintained by a single-writer apply loop, with
+/// lock-free snapshot reads.
+///
+/// Concurrency design:
+///  - All mutations flow through one apply loop (a long-running task on a
+///    private one-thread pool). Each pass swaps out the *entire* pending
+///    queue, applies every batch, then publishes one fresh snapshot per
+///    touched collection — so N queued batches cost one snapshot, not N
+///    (request batching / coalescing).
+///  - QUERY / STATS / SNAPSHOT never touch the detector: they read the
+///    latest published IncrementalSnapshot through an atomic shared_ptr
+///    (release store in the apply loop, acquire load here), so read
+///    latency is independent of ingest bursts.
+///  - Admission control: when the pending queue is at max_pending_ingests,
+///    further INGESTs are refused with kUnavailable (explicit backpressure,
+///    bounded memory). admission_rejections() counts the sheds.
+///  - Stop() drains: everything queued at shutdown is applied and its
+///    ticket completed before the loop exits; new ingests are refused.
+///
+/// Dispatch() is safe to call from any number of threads concurrently.
+class DetectionService {
+ public:
+  explicit DetectionService(const ServiceOptions& options);
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+  ~DetectionService();
+
+  /// Serves one request. INGEST blocks until the batch is applied AND its
+  /// snapshot published, so the returned epoch is immediately queryable;
+  /// reads return against the latest published snapshot without blocking.
+  Response Dispatch(const Request& request);
+
+  /// Fire-and-forget ingest: enqueues and returns without waiting for the
+  /// apply loop. kUnavailable when the queue is at the admission cap.
+  /// Used by overload tests and the throughput bench; batch-level errors
+  /// (dims mismatch, non-finite coordinates) surface in STATS only.
+  Status IngestAsync(const std::string& collection, uint16_t dims,
+                     std::vector<double> coords);
+
+  /// Blocks until every batch enqueued so far has been applied and
+  /// published.
+  void Drain();
+
+  /// Drains the queue, completes all tickets, and stops the apply loop.
+  /// Further INGESTs are refused with kUnavailable; reads keep working
+  /// against the last published snapshots. Idempotent.
+  void Stop();
+
+  /// INGESTs shed by admission control since construction.
+  uint64_t admission_rejections() const {
+    return admission_rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: while paused the apply loop leaves the queue untouched, so
+  /// tests can fill it to the admission cap deterministically. Stop()
+  /// overrides a pause (shutdown still drains).
+  void SetApplyPausedForTest(bool paused);
+
+ private:
+  /// Per-collection state. The detector is written only by the apply loop;
+  /// `snapshot` is the publication point between that writer and all
+  /// reader threads.
+  struct Collection {
+    core::IncrementalDetector detector;
+    std::atomic<std::shared_ptr<const core::IncrementalSnapshot>> snapshot;
+
+    std::mutex stats_mu;
+    core::phases::PhaseRecorder recorder;  // guarded by stats_mu
+    uint64_t last_distance_comps = 0;      // guarded by stats_mu
+    uint64_t ingest_errors = 0;            // guarded by stats_mu
+
+    explicit Collection(core::IncrementalDetector det)
+        : detector(std::move(det)) {}
+  };
+
+  /// Completion token a blocking INGEST waits on; signalled after the
+  /// batch's snapshot is published.
+  struct Ticket {
+    bool done = false;  // guarded by mu_
+    Status status;
+    uint64_t epoch = 0;
+  };
+
+  struct PendingIngest {
+    Collection* collection = nullptr;
+    std::vector<double> coords;  // row-major, collection's dims
+    std::shared_ptr<Ticket> ticket;  // null for async ingests
+  };
+
+  Response DoIngest(const Request& request);
+  Response DoQuery(const Request& request);
+  Response DoStats(const Request& request);
+  Response DoSnapshot(const Request& request);
+
+  /// Looks up a collection (null when absent). Never creates.
+  Collection* FindCollection(const std::string& name);
+
+  /// Validates the batch shape and returns the collection, creating it on
+  /// first ingest (dims fixed by the first batch).
+  Result<Collection*> CollectionForIngest(const std::string& name,
+                                          uint16_t dims, size_t coords_size);
+
+  /// Enqueues under the admission cap, or sheds. `ticket` may be null.
+  Status Enqueue(Collection* collection, std::vector<double> coords,
+                 std::shared_ptr<Ticket> ticket);
+
+  void ApplyLoop();
+  void ApplyPass(std::vector<PendingIngest> batch);
+
+  const ServiceOptions options_;
+
+  std::mutex collections_mu_;
+  std::unordered_map<std::string, std::unique_ptr<Collection>> collections_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;    // apply loop wakeups
+  std::condition_variable tickets_cv_;  // ticket completion + drain
+  std::deque<PendingIngest> queue_;
+  uint64_t enqueued_ = 0;  // batches ever enqueued
+  uint64_t applied_ = 0;   // batches fully processed (published)
+  bool stop_ = false;
+  bool apply_paused_ = false;
+
+  std::atomic<uint64_t> admission_rejections_{0};
+
+  /// Declared last so it is destroyed first: the apply-loop task has
+  /// already exited by then (the destructor calls Stop()).
+  ThreadPool apply_pool_;
+};
+
+}  // namespace dbscout::service
+
+#endif  // DBSCOUT_SERVICE_SERVICE_H_

@@ -93,7 +93,8 @@ TEST(CliTest, DetectCsvInputAndEngines) {
   ps.Add({50.0, 50.0});
   const std::string csv = TempPath("cli_points.csv");
   ASSERT_TRUE(SavePointsCsv(csv, ps).ok());
-  for (const char* engine : {"sequential", "parallel", "shared"}) {
+  for (const char* engine : {"sequential", "parallel", "shared",
+                             "incremental"}) {
     const CliRun run =
         RunTool({"detect", "--input=" + csv, "--eps=1", "--min-pts=5",
                  std::string("--engine=") + engine});
@@ -130,6 +131,32 @@ TEST(CliTest, DetectExternalEngineMatchesSequential) {
   std::remove(data.c_str());
   std::remove(seq_out.c_str());
   std::remove(ext_out.c_str());
+}
+
+TEST(CliTest, DetectIncrementalEngineMatchesSequential) {
+  Rng rng(84);
+  const PointSet ps = testing::ClusteredPoints(&rng, 800, 2, 3, 0.2);
+  const std::string data = TempPath("cli_inc.dbsc");
+  ASSERT_TRUE(SavePointsBinary(data, ps).ok());
+  const std::string seq_out = TempPath("cli_inc_seq.txt");
+  const std::string inc_out = TempPath("cli_inc_out.txt");
+  CliRun run = RunTool({"detect", "--input=" + data, "--eps=1.2",
+                        "--min-pts=8", "--output=" + seq_out});
+  ASSERT_EQ(run.code, 0) << run.err;
+  run = RunTool({"detect", "--input=" + data, "--eps=1.2", "--min-pts=8",
+                 "--engine=incremental", "--output=" + inc_out});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("incremental:"), std::string::npos);
+  std::ifstream a(seq_out);
+  std::ifstream b(inc_out);
+  const std::string seq_text((std::istreambuf_iterator<char>(a)),
+                             std::istreambuf_iterator<char>());
+  const std::string inc_text((std::istreambuf_iterator<char>(b)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_EQ(seq_text, inc_text);
+  std::remove(data.c_str());
+  std::remove(seq_out.c_str());
+  std::remove(inc_out.c_str());
 }
 
 TEST(CliTest, KdistSuggestsEps) {

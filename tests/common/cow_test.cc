@@ -1,0 +1,141 @@
+#include "common/cow.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbscout {
+namespace {
+
+TEST(CowChunkedVectorTest, PushAndRead) {
+  CowChunkedVector<uint32_t> v;
+  EXPECT_TRUE(v.empty());
+  for (uint32_t i = 0; i < 3000; ++i) {
+    v.PushBack(i * 7);
+  }
+  EXPECT_EQ(v.size(), 3000u);
+  for (uint32_t i = 0; i < 3000; ++i) {
+    ASSERT_EQ(v[i], i * 7);
+  }
+}
+
+TEST(CowChunkedVectorTest, SetOverwrites) {
+  CowChunkedVector<int> v;
+  for (int i = 0; i < 100; ++i) {
+    v.PushBack(i);
+  }
+  v.Set(0, -1);
+  v.Set(99, -2);
+  EXPECT_EQ(v[0], -1);
+  EXPECT_EQ(v[99], -2);
+  EXPECT_EQ(v[50], 50);
+}
+
+TEST(CowChunkedVectorTest, FrozenViewKeepsPreFreezeContents) {
+  CowChunkedVector<int> v;
+  // Span three chunks so Set() hits both a shared middle chunk and the
+  // shared tail chunk.
+  const size_t n = 2 * CowChunkedVector<int>::kChunkSize + 17;
+  for (size_t i = 0; i < n; ++i) {
+    v.PushBack(static_cast<int>(i));
+  }
+  auto frozen = v.Freeze();
+  ASSERT_EQ(frozen.size(), n);
+
+  v.Set(3, -3);                                           // first chunk
+  v.Set(CowChunkedVector<int>::kChunkSize + 5, -5);       // middle chunk
+  v.Set(n - 1, -7);                                       // tail chunk
+  EXPECT_EQ(frozen[3], 3);
+  EXPECT_EQ(frozen[CowChunkedVector<int>::kChunkSize + 5],
+            static_cast<int>(CowChunkedVector<int>::kChunkSize + 5));
+  EXPECT_EQ(frozen[n - 1], static_cast<int>(n - 1));
+  // The writer sees its own updates.
+  EXPECT_EQ(v[3], -3);
+  EXPECT_EQ(v[n - 1], -7);
+}
+
+TEST(CowChunkedVectorTest, AppendsAfterFreezeInvisibleToView) {
+  CowChunkedVector<int> v;
+  for (int i = 0; i < 10; ++i) {
+    v.PushBack(i);
+  }
+  auto frozen = v.Freeze();
+  for (int i = 0; i < 5000; ++i) {
+    v.PushBack(1000 + i);  // same chunk first, then fresh chunks
+  }
+  EXPECT_EQ(frozen.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(frozen[i], i);
+  }
+  EXPECT_EQ(v.size(), 5010u);
+}
+
+TEST(CowChunkedVectorTest, SecondWriteToClonedChunkDoesNotCloneAgain) {
+  // After the first post-freeze Set clones a chunk, the writer owns it:
+  // further writes land in place and older frozen views stay intact.
+  CowChunkedVector<int> v;
+  for (int i = 0; i < 8; ++i) {
+    v.PushBack(i);
+  }
+  auto f1 = v.Freeze();
+  v.Set(1, 100);
+  v.Set(2, 200);
+  auto f2 = v.Freeze();
+  v.Set(1, 111);
+  EXPECT_EQ(f1[1], 1);
+  EXPECT_EQ(f1[2], 2);
+  EXPECT_EQ(f2[1], 100);
+  EXPECT_EQ(f2[2], 200);
+  EXPECT_EQ(v[1], 111);
+}
+
+TEST(CowChunkedVectorTest, ManyGenerationsStayIndependent) {
+  CowChunkedVector<int> v;
+  v.PushBack(0);
+  std::vector<CowChunkedVector<int>::Frozen> views;
+  for (int gen = 1; gen <= 20; ++gen) {
+    views.push_back(v.Freeze());
+    v.Set(0, gen);
+  }
+  for (int gen = 1; gen <= 20; ++gen) {
+    ASSERT_EQ(views[gen - 1][0], gen - 1) << "generation " << gen;
+  }
+  EXPECT_EQ(v[0], 20);
+}
+
+TEST(ChunkedRowsTest, RowsRoundTrip) {
+  ChunkedRows rows(3);
+  EXPECT_EQ(rows.width(), 3u);
+  for (size_t i = 0; i < 2000; ++i) {
+    const double row[] = {static_cast<double>(i), i + 0.5, -1.0 * i};
+    rows.PushBack({row, 3});
+  }
+  ASSERT_EQ(rows.size(), 2000u);
+  for (size_t i = 0; i < 2000; ++i) {
+    auto row = rows[i];
+    ASSERT_EQ(row.size(), 3u);
+    ASSERT_EQ(row[0], static_cast<double>(i));
+    ASSERT_EQ(row[1], i + 0.5);
+    ASSERT_EQ(row[2], -1.0 * i);
+  }
+}
+
+TEST(ChunkedRowsTest, FrozenViewSharesRowsAndIgnoresAppends) {
+  ChunkedRows rows(2);
+  const double a[] = {1.0, 2.0};
+  rows.PushBack({a, 2});
+  auto frozen = rows.Freeze();
+  const double b[] = {3.0, 4.0};
+  for (int i = 0; i < 3000; ++i) {
+    rows.PushBack({b, 2});
+  }
+  ASSERT_EQ(frozen.size(), 1u);
+  EXPECT_EQ(frozen.width(), 2u);
+  EXPECT_EQ(frozen[0][0], 1.0);
+  EXPECT_EQ(frozen[0][1], 2.0);
+  EXPECT_EQ(rows.size(), 3001u);
+}
+
+}  // namespace
+}  // namespace dbscout

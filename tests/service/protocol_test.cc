@@ -1,0 +1,194 @@
+#include "service/protocol.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::service {
+namespace {
+
+using core::PointKind;
+
+TEST(ProtocolTest, IngestRequestRoundTrip) {
+  Request request;
+  request.verb = Verb::kIngest;
+  request.collection = "sensors";
+  request.dims = 3;
+  request.coords = {1.0, 2.0, 3.0, -4.5, 0.0, 1e-9};
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kIngest);
+  EXPECT_EQ(decoded->collection, "sensors");
+  EXPECT_EQ(decoded->dims, 3);
+  EXPECT_EQ(decoded->coords, request.coords);
+}
+
+TEST(ProtocolTest, QueryByIdRequestRoundTrip) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.collection = "c";
+  request.query_by_id = true;
+  request.query_id = 123456;
+  request.want_score = true;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kQuery);
+  EXPECT_TRUE(decoded->query_by_id);
+  EXPECT_EQ(decoded->query_id, 123456u);
+  EXPECT_TRUE(decoded->want_score);
+}
+
+TEST(ProtocolTest, ProbeQueryRequestRoundTrip) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.collection = "c";
+  request.query_by_id = false;
+  request.query_point = {0.25, -0.75};
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_FALSE(decoded->query_by_id);
+  EXPECT_EQ(decoded->query_point, request.query_point);
+  EXPECT_FALSE(decoded->want_score);
+}
+
+TEST(ProtocolTest, StatsAndSnapshotRequestsRoundTrip) {
+  for (Verb verb : {Verb::kStats, Verb::kSnapshot}) {
+    Request request;
+    request.verb = verb;
+    request.collection = "x";
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->verb, verb);
+    EXPECT_EQ(decoded->collection, "x");
+  }
+}
+
+TEST(ProtocolTest, IngestResponseRoundTrip) {
+  Response response;
+  response.verb = Verb::kIngest;
+  response.epoch = 77;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->epoch, 77u);
+}
+
+TEST(ProtocolTest, QueryResponseRoundTrip) {
+  Response response;
+  response.verb = Verb::kQuery;
+  response.query.kind = PointKind::kBorder;
+  response.query.epoch = 42;
+  response.query.has_score = true;
+  response.query.score = 1.25;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->query.kind, PointKind::kBorder);
+  EXPECT_EQ(decoded->query.epoch, 42u);
+  ASSERT_TRUE(decoded->query.has_score);
+  EXPECT_EQ(decoded->query.score, 1.25);
+}
+
+TEST(ProtocolTest, StatsResponseRoundTrip) {
+  Response response;
+  response.verb = Verb::kStats;
+  response.stats.epoch = 10;
+  response.stats.num_points = 10;
+  response.stats.num_core = 6;
+  response.stats.num_cells = 4;
+  response.stats.num_outliers = 2;
+  response.stats.admission_rejections = 3;
+  response.stats.phases = {{"apply", 0.5, 1000, 10}, {"query", 0.25, 12, 2}};
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->stats.epoch, 10u);
+  EXPECT_EQ(decoded->stats.num_core, 6u);
+  EXPECT_EQ(decoded->stats.num_outliers, 2u);
+  EXPECT_EQ(decoded->stats.admission_rejections, 3u);
+  EXPECT_EQ(decoded->stats.phases, response.stats.phases);
+}
+
+TEST(ProtocolTest, SnapshotResponseRoundTrip) {
+  Response response;
+  response.verb = Verb::kSnapshot;
+  response.snapshot.epoch = 3;
+  response.snapshot.num_core = 1;
+  response.snapshot.num_cells = 2;
+  response.snapshot.kinds = {PointKind::kCore, PointKind::kBorder,
+                             PointKind::kOutlier};
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->snapshot.epoch, 3u);
+  EXPECT_EQ(decoded->snapshot.kinds, response.snapshot.kinds);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrip) {
+  Response response;
+  response.verb = Verb::kIngest;
+  response.status = Status::Unavailable("queue full");
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(decoded->status.message(), "queue full");
+}
+
+TEST(ProtocolTest, RejectsUnknownVerb) {
+  Request request;
+  request.verb = Verb::kStats;
+  request.collection = "c";
+  std::vector<uint8_t> bytes = EncodeRequest(request);
+  bytes[0] = 99;
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+TEST(ProtocolTest, RejectsTruncatedFrames) {
+  Request request;
+  request.verb = Verb::kIngest;
+  request.collection = "sensors";
+  request.dims = 2;
+  request.coords = {1.0, 2.0};
+  const std::vector<uint8_t> bytes = EncodeRequest(request);
+  // Every proper prefix must be rejected, never read out of bounds.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(ProtocolTest, RejectsTrailingBytes) {
+  Request request;
+  request.verb = Verb::kStats;
+  request.collection = "c";
+  std::vector<uint8_t> bytes = EncodeRequest(request);
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+TEST(ProtocolTest, RejectsLyingCountsWithoutOverflow) {
+  // An INGEST header claiming ~500M points backed by no bytes must fail
+  // cleanly (the count*dims multiplication must not be trusted).
+  std::vector<uint8_t> bytes;
+  bytes.push_back(static_cast<uint8_t>(Verb::kIngest));
+  bytes.push_back(0);                      // flags
+  bytes.push_back(1);                      // name len lo
+  bytes.push_back(0);                      // name len hi
+  bytes.push_back('c');                    // name
+  bytes.push_back(8);                      // dims lo
+  bytes.push_back(0);                      // dims hi
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(0xFF);                 // count = 2^32-1
+  }
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+TEST(ProtocolTest, RejectsBadPointKindInResponse) {
+  Response response;
+  response.verb = Verb::kSnapshot;
+  response.snapshot.epoch = 1;
+  response.snapshot.kinds = {PointKind::kCore};
+  std::vector<uint8_t> bytes = EncodeResponse(response);
+  bytes.back() = 7;  // invalid PointKind
+  EXPECT_FALSE(DecodeResponse(bytes).ok());
+}
+
+}  // namespace
+}  // namespace dbscout::service

@@ -1,0 +1,156 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dbscout.h"
+#include "service/client.h"
+#include "testutil.h"
+
+namespace dbscout::service {
+namespace {
+
+using core::PointKind;
+
+ServiceOptions MakeOptions(double eps, int min_pts) {
+  ServiceOptions options;
+  options.params.eps = eps;
+  options.params.min_pts = min_pts;
+  return options;
+}
+
+std::vector<double> Flatten(const PointSet& points) {
+  std::vector<double> coords(points.values());
+  return coords;
+}
+
+TEST(ServerTest, EndToEndOverTcpMatchesSequentialOracle) {
+  Rng rng(20260808);
+  const PointSet points = testing::ClusteredPoints(&rng, 400, 2, 2, 0.2);
+  core::Params params;
+  params.eps = 1.0;
+  params.min_pts = 5;
+  auto expected = core::DetectSequential(points, params);
+  ASSERT_TRUE(expected.ok());
+
+  DetectionService service(MakeOptions(params.eps, params.min_pts));
+  auto server = Server::Start(&service, ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_NE((*server)->port(), 0);
+
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  auto epoch = client->Ingest("tcp", 2, Flatten(points));
+  ASSERT_TRUE(epoch.ok()) << epoch.status();
+  EXPECT_EQ(*epoch, points.size());
+
+  auto snapshot = client->Snapshot("tcp");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(snapshot->epoch, points.size());
+  EXPECT_EQ(snapshot->kinds, expected->kinds);
+
+  auto stats = client->Stats("tcp");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_points, points.size());
+  EXPECT_EQ(stats->num_outliers, expected->outliers.size());
+
+  // Spot-check queries in both modes.
+  for (uint32_t i = 0; i < points.size(); i += 37) {
+    auto by_id = client->QueryId("tcp", i, /*want_score=*/false);
+    ASSERT_TRUE(by_id.ok());
+    EXPECT_EQ(by_id->kind, expected->kinds[i]);
+  }
+  auto probe = client->QueryPoint("tcp", {1e6, 1e6}, /*want_score=*/false);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->kind, PointKind::kOutlier);
+
+  // Service-level errors travel the wire as statuses, not dead sockets.
+  auto missing = client->Stats("no-such-collection");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The connection is still healthy afterwards.
+  ASSERT_TRUE(client->Stats("tcp").ok());
+}
+
+TEST(ServerTest, SessionCapShedsExtraConnections) {
+  DetectionService service(MakeOptions(1.0, 3));
+  ServerOptions options;
+  options.max_sessions = 2;
+  auto server = Server::Start(&service, options);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  auto c1 = Client::Connect("127.0.0.1", (*server)->port());
+  auto c2 = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  // Make both sessions live so their slots are definitely occupied.
+  ASSERT_TRUE(c1->Ingest("a", 1, {0.0}).ok());
+  ASSERT_TRUE(c2->Ingest("a", 1, {0.25}).ok());
+
+  auto c3 = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(c3.ok());  // TCP connects; the server closes it on accept
+  auto refused = c3->Stats("a");
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ((*server)->sessions_shed(), 1u);
+
+  // Dropping a client frees the slot for new sessions.
+  c1 = Status::Internal("dropped");
+  auto c4 = [&] {
+    // The slot only frees once the server notices the closed session
+    // (within one 100ms poll tick); retry briefly.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      auto candidate = Client::Connect("127.0.0.1", (*server)->port());
+      if (candidate.ok()) {
+        auto stats = candidate->Stats("a");
+        if (stats.ok()) {
+          return Result<Client>(std::move(*candidate));
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return Result<Client>(Status::Internal("no free slot"));
+  }();
+  ASSERT_TRUE(c4.ok()) << c4.status();
+}
+
+TEST(ServerTest, MalformedFrameGetsErrorResponseThenDisconnect) {
+  DetectionService service(MakeOptions(1.0, 3));
+  auto server = Server::Start(&service, ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  // A frame whose payload is a single unknown verb byte.
+  Request bogus;
+  bogus.verb = static_cast<Verb>(99);
+  bogus.collection = "c";
+  auto response = client->Call(bogus);
+  // The server answers with the decode error before closing.
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+  // Then the connection is gone.
+  EXPECT_FALSE(client->Stats("c").ok());
+}
+
+TEST(ServerTest, StopIsIdempotentAndServiceSurvives) {
+  DetectionService service(MakeOptions(1.0, 2));
+  auto server = Server::Start(&service, ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ingest("c", 1, {0.0, 0.4}).ok());
+  (*server)->Stop();
+  (*server)->Stop();
+  // The service keeps its state after the front-end is gone.
+  Request request;
+  request.verb = Verb::kSnapshot;
+  request.collection = "c";
+  EXPECT_EQ(service.Dispatch(request).snapshot.epoch, 2u);
+}
+
+}  // namespace
+}  // namespace dbscout::service

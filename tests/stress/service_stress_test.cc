@@ -1,0 +1,262 @@
+// TSan stress test for the detection service's snapshot protocol: one
+// ingest driver streams batches through blocking INGESTs while reader
+// tasks hammer SNAPSHOT and QUERY concurrently. Every answer carries the
+// epoch it was computed at, and the test asserts it equals what
+// DetectSequential produces on exactly that prefix of the insertion
+// sequence — so a torn snapshot, a racy COW clone, or a label published
+// before its batch finished fails in every build mode, and TSan sees the
+// reader/writer interleavings on the shared chunk storage.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dbscout.h"
+#include "service/service.h"
+#include "testutil.h"
+
+namespace dbscout::service {
+namespace {
+
+using core::PointKind;
+
+constexpr size_t kNumPoints = 1200;
+constexpr size_t kBatch = 40;
+
+/// Sequential-oracle labelings per epoch, computed lazily and memoized so
+/// readers checking the same epoch don't redo the work.
+class Oracle {
+ public:
+  Oracle(const PointSet& points, const core::Params& params)
+      : points_(points), params_(params) {}
+
+  std::vector<PointKind> KindsAt(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(epoch);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    auto detection = core::DetectSequential(Prefix(epoch), params_);
+    EXPECT_TRUE(detection.ok());
+    auto kinds = detection.ok() ? detection->kinds : std::vector<PointKind>{};
+    cache_.emplace(epoch, kinds);
+    return kinds;
+  }
+
+  /// Label the probe would get from the sequential engine on prefix+probe.
+  PointKind ProbeKindAt(uint64_t epoch, const std::vector<double>& probe) {
+    PointSet appended = Prefix(epoch);
+    appended.Add(probe);
+    auto detection = core::DetectSequential(appended, params_);
+    EXPECT_TRUE(detection.ok());
+    return detection.ok() ? detection->kinds.back() : PointKind::kOutlier;
+  }
+
+ private:
+  PointSet Prefix(uint64_t epoch) const {
+    PointSet prefix(points_.dims());
+    for (uint64_t i = 0; i < epoch; ++i) {
+      prefix.Add(points_[i]);
+    }
+    return prefix;
+  }
+
+  const PointSet& points_;
+  const core::Params params_;
+  std::mutex mu_;
+  std::map<uint64_t, std::vector<PointKind>> cache_;
+};
+
+TEST(ServiceStressTest, SnapshotsExactAtEveryEpochUnderConcurrentIngest) {
+  Rng rng(20260809);
+  const PointSet points =
+      testing::ClusteredPoints(&rng, kNumPoints, 2, 3, 0.25);
+  core::Params params;
+  params.eps = 1.0;
+  params.min_pts = 6;
+  Oracle oracle(points, params);
+
+  DetectionService service([&] {
+    ServiceOptions options;
+    options.params = params;
+    return options;
+  }());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> reads{0};
+
+  ThreadPool pool(4);  // 1 ingest driver + 3 readers
+  pool.Submit([&] {
+    for (size_t begin = 0; begin < kNumPoints; begin += kBatch) {
+      Request request;
+      request.verb = Verb::kIngest;
+      request.collection = "stream";
+      request.dims = 2;
+      for (size_t i = begin; i < begin + kBatch; ++i) {
+        for (double v : points[i]) {
+          request.coords.push_back(v);
+        }
+      }
+      const Response response = service.Dispatch(request);
+      if (!response.status.ok() || response.epoch != begin + kBatch) {
+        ++failures;
+        break;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  for (int reader = 0; reader < 3; ++reader) {
+    pool.Submit([&, reader] {
+      Rng reader_rng(1000 + reader);
+      // One trailing iteration after `done` so the final epoch is checked.
+      bool last_pass = false;
+      while (true) {
+        if (done.load(std::memory_order_acquire)) {
+          if (last_pass) {
+            break;
+          }
+          last_pass = true;
+        }
+        Request snap_req;
+        snap_req.verb = Verb::kSnapshot;
+        snap_req.collection = "stream";
+        const Response snap = service.Dispatch(snap_req);
+        if (snap.status.code() == StatusCode::kNotFound) {
+          continue;  // first batch not applied yet
+        }
+        if (!snap.status.ok()) {
+          ++failures;
+          continue;
+        }
+        ++reads;
+        const uint64_t epoch = snap.snapshot.epoch;
+        if (epoch % kBatch != 0 ||
+            snap.snapshot.kinds != oracle.KindsAt(epoch)) {
+          ++failures;
+          continue;
+        }
+        if (epoch > 0) {
+          // QUERY by id must agree with the oracle at ITS epoch (which may
+          // be newer than the snapshot's).
+          Request query;
+          query.verb = Verb::kQuery;
+          query.collection = "stream";
+          query.query_by_id = true;
+          query.query_id =
+              static_cast<uint32_t>(reader_rng.NextBounded(epoch));
+          const Response answer = service.Dispatch(query);
+          if (!answer.status.ok() ||
+              answer.query.kind !=
+                  oracle.KindsAt(answer.query.epoch)[query.query_id]) {
+            ++failures;
+          }
+          // Occasional probe: exact against the sequential engine run on
+          // prefix + probe.
+          if (reader_rng.NextBounded(8) == 0) {
+            Request probe;
+            probe.verb = Verb::kQuery;
+            probe.collection = "stream";
+            probe.query_by_id = false;
+            probe.query_point = {reader_rng.Uniform(-10.0, 10.0),
+                                 reader_rng.Uniform(-10.0, 10.0)};
+            const Response kind = service.Dispatch(probe);
+            if (!kind.status.ok() ||
+                kind.query.kind !=
+                    oracle.ProbeKindAt(kind.query.epoch, probe.query_point)) {
+              ++failures;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  pool.WaitIdle();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Final state is exactly the batch oracle on the full dataset.
+  Request final_req;
+  final_req.verb = Verb::kSnapshot;
+  final_req.collection = "stream";
+  const Response final_snap = service.Dispatch(final_req);
+  ASSERT_TRUE(final_snap.status.ok());
+  EXPECT_EQ(final_snap.snapshot.epoch, kNumPoints);
+  EXPECT_EQ(final_snap.snapshot.kinds, oracle.KindsAt(kNumPoints));
+}
+
+TEST(ServiceStressTest, AsyncBurstsCoalesceAndDrainExact) {
+  // Fire-and-forget bursts from the driver force the apply loop to
+  // coalesce multiple queued batches per pass while readers keep loading
+  // snapshots; after Drain the labeling must equal the oracle.
+  Rng rng(20260810);
+  const PointSet points = testing::ClusteredPoints(&rng, 800, 2, 2, 0.3);
+  core::Params params;
+  params.eps = 1.0;
+  params.min_pts = 5;
+
+  ServiceOptions options;
+  options.params = params;
+  options.max_pending_ingests = 1u << 20;  // never shed in this test
+  DetectionService service(options);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  ThreadPool pool(3);
+  pool.Submit([&] {
+    for (size_t begin = 0; begin < points.size(); begin += 20) {
+      std::vector<double> coords;
+      for (size_t i = begin; i < begin + 20; ++i) {
+        for (double v : points[i]) {
+          coords.push_back(v);
+        }
+      }
+      if (!service.IngestAsync("burst", 2, std::move(coords)).ok()) {
+        ++failures;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  for (int reader = 0; reader < 2; ++reader) {
+    pool.Submit([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        Request request;
+        request.verb = Verb::kSnapshot;
+        request.collection = "burst";
+        const Response snap = service.Dispatch(request);
+        if (!snap.status.ok() &&
+            snap.status.code() != StatusCode::kNotFound) {
+          ++failures;
+        }
+        // Epochs are batch-aligned even when passes coalesce.
+        if (snap.status.ok() && snap.snapshot.epoch % 20 != 0) {
+          ++failures;
+        }
+      }
+    });
+  }
+  pool.WaitIdle();
+  service.Drain();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto expected = core::DetectSequential(points, params);
+  ASSERT_TRUE(expected.ok());
+  Request request;
+  request.verb = Verb::kSnapshot;
+  request.collection = "burst";
+  const Response snap = service.Dispatch(request);
+  ASSERT_TRUE(snap.status.ok());
+  EXPECT_EQ(snap.snapshot.epoch, points.size());
+  EXPECT_EQ(snap.snapshot.kinds, expected->kinds);
+}
+
+}  // namespace
+}  // namespace dbscout::service

@@ -3,8 +3,8 @@
 #
 #   1. tier1        Release build + full ctest suite        (build/)
 #   2. asan-ubsan   ASan+UBSan build + full ctest suite     (build-asan/)
-#   3. tsan         TSan build + common/core/dataflow/stress
-#                   test subset (`ctest -L`)                (build-tsan/)
+#   3. tsan         TSan build + common/core/dataflow/
+#                   service/stress test subset (`ctest -L`) (build-tsan/)
 #   4. clang-tidy   tools/run_clang_tidy.sh over src/       (needs build/)
 #   5. lint         tools/lint_invariants.py (+ self-test)
 #
@@ -20,7 +20,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
-TSAN_LABELS='^(common|core|dataflow|stress)$'
+TSAN_LABELS='^(common|core|dataflow|service|stress)$'
 
 ALL_STAGES=(tier1 asan-ubsan tsan clang-tidy lint)
 if [ $# -gt 0 ]; then

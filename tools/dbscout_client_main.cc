@@ -1,0 +1,201 @@
+// Minimal command-line client for dbscout_serve. One action per
+// invocation:
+//
+//   dbscout_client --port=P --collection=C --ingest=FILE [--format=csv|binary]
+//   dbscout_client --port=P --collection=C --query=X,Y[,Z...] [--score]
+//   dbscout_client --port=P --collection=C --query-id=I [--score]
+//   dbscout_client --port=P --collection=C --stats
+//   dbscout_client --port=P --collection=C --snapshot
+//
+// Output is line-oriented key=value, grep-friendly for scripts
+// (tools/serve_smoke.sh asserts against it).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "data/io.h"
+#include "service/client.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: dbscout_client --port=P --collection=C "
+         "(--ingest=FILE [--format=csv|binary] | --query=X,Y[,...] "
+         "[--score] | --query-id=I [--score] | --stats | --snapshot) "
+         "[--host=H]\n";
+  return 2;
+}
+
+dbscout::Result<dbscout::PointSet> LoadPoints(const std::string& path,
+                                              const std::string& format) {
+  const bool csv =
+      format == "csv" ||
+      (format.empty() && path.size() >= 4 &&
+       path.compare(path.size() - 4, 4, ".csv") == 0);
+  return csv ? dbscout::LoadPointsCsv(path) : dbscout::LoadPointsBinary(path);
+}
+
+const char* KindName(dbscout::core::PointKind kind) {
+  switch (kind) {
+    case dbscout::core::PointKind::kCore:
+      return "core";
+    case dbscout::core::PointKind::kBorder:
+      return "border";
+    case dbscout::core::PointKind::kOutlier:
+      return "outlier";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dbscout::ParseDouble;
+  using dbscout::ParseUint64;
+  using dbscout::Split;
+  namespace service = dbscout::service;
+
+  const char* port_text = FlagValue(argc, argv, "port");
+  const char* collection = FlagValue(argc, argv, "collection");
+  if (port_text == nullptr || collection == nullptr) {
+    return Usage();
+  }
+  auto port = ParseUint64(port_text);
+  if (!port.ok()) {
+    return Usage();
+  }
+  const char* host_text = FlagValue(argc, argv, "host");
+  const std::string host = host_text != nullptr ? host_text : "127.0.0.1";
+
+  auto client =
+      service::Client::Connect(host, static_cast<uint16_t>(*port));
+  if (!client.ok()) {
+    std::cerr << "dbscout_client: " << client.status() << "\n";
+    return 1;
+  }
+  const bool want_score = HasFlag(argc, argv, "score");
+
+  if (const char* path = FlagValue(argc, argv, "ingest")) {
+    const char* format = FlagValue(argc, argv, "format");
+    auto points = LoadPoints(path, format != nullptr ? format : "");
+    if (!points.ok()) {
+      std::cerr << "dbscout_client: " << points.status() << "\n";
+      return 1;
+    }
+    auto epoch = client->Ingest(collection,
+                                static_cast<uint16_t>(points->dims()),
+                                points->values());
+    if (!epoch.ok()) {
+      std::cerr << "dbscout_client: " << epoch.status() << "\n";
+      return 1;
+    }
+    std::cout << "epoch=" << *epoch << "\n";
+    return 0;
+  }
+
+  if (const char* coords_text = FlagValue(argc, argv, "query")) {
+    std::vector<double> point;
+    for (std::string_view field : Split(coords_text, ',')) {
+      auto value = ParseDouble(field);
+      if (!value.ok()) {
+        return Usage();
+      }
+      point.push_back(*value);
+    }
+    auto answer = client->QueryPoint(collection, point, want_score);
+    if (!answer.ok()) {
+      std::cerr << "dbscout_client: " << answer.status() << "\n";
+      return 1;
+    }
+    std::cout << "kind=" << KindName(answer->kind)
+              << " epoch=" << answer->epoch;
+    if (answer->has_score) {
+      std::cout << " score=" << answer->score;
+    }
+    std::cout << "\n";
+    return 0;
+  }
+
+  if (const char* id_text = FlagValue(argc, argv, "query-id")) {
+    auto id = ParseUint64(id_text);
+    if (!id.ok()) {
+      return Usage();
+    }
+    auto answer = client->QueryId(collection, static_cast<uint32_t>(*id),
+                                  want_score);
+    if (!answer.ok()) {
+      std::cerr << "dbscout_client: " << answer.status() << "\n";
+      return 1;
+    }
+    std::cout << "kind=" << KindName(answer->kind)
+              << " epoch=" << answer->epoch;
+    if (answer->has_score) {
+      std::cout << " score=" << answer->score;
+    }
+    std::cout << "\n";
+    return 0;
+  }
+
+  if (HasFlag(argc, argv, "stats")) {
+    auto stats = client->Stats(collection);
+    if (!stats.ok()) {
+      std::cerr << "dbscout_client: " << stats.status() << "\n";
+      return 1;
+    }
+    std::cout << "epoch=" << stats->epoch << " points=" << stats->num_points
+              << " core=" << stats->num_core
+              << " outliers=" << stats->num_outliers
+              << " cells=" << stats->num_cells
+              << " shed=" << stats->admission_rejections << "\n";
+    for (const auto& row : stats->phases) {
+      std::cout << "phase " << row.name << " seconds=" << row.seconds
+                << " dist-comps=" << row.distance_comps
+                << " records=" << row.records << "\n";
+    }
+    return 0;
+  }
+
+  if (HasFlag(argc, argv, "snapshot")) {
+    auto snapshot = client->Snapshot(collection);
+    if (!snapshot.ok()) {
+      std::cerr << "dbscout_client: " << snapshot.status() << "\n";
+      return 1;
+    }
+    size_t outliers = 0;
+    for (auto kind : snapshot->kinds) {
+      if (kind == dbscout::core::PointKind::kOutlier) {
+        ++outliers;
+      }
+    }
+    std::cout << "epoch=" << snapshot->epoch << " core=" << snapshot->num_core
+              << " outliers=" << outliers << " cells=" << snapshot->num_cells
+              << "\n";
+    return 0;
+  }
+
+  return Usage();
+}

@@ -1,0 +1,119 @@
+// Long-running detection server: binds a TCP port and serves the framed
+// INGEST/QUERY/STATS/SNAPSHOT protocol over one DetectionService. Exits
+// cleanly on SIGINT/SIGTERM, draining queued ingests and in-flight
+// sessions first.
+//
+// usage: dbscout_serve --eps=X --min-pts=N [--host=H] [--port=P]
+//                      [--max-sessions=S] [--max-pending=Q]
+//
+// --port=0 (the default) binds an ephemeral port; the chosen port is
+// printed as "listening on H:P" so wrappers (tools/serve_smoke.sh) can
+// discover it.
+
+#include <time.h>
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int /*signum*/) { g_stop.store(true); }
+
+// Minimal --name=value parser (the dbscout CLI's Flags class wants a
+// subcommand word, which this single-purpose tool doesn't have).
+const char* FlagValue(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+int Usage() {
+  std::cerr << "usage: dbscout_serve --eps=X --min-pts=N [--host=H] "
+               "[--port=P] [--max-sessions=S] [--max-pending=Q]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dbscout::ParseDouble;
+  using dbscout::ParseUint64;
+
+  const char* eps_text = FlagValue(argc, argv, "eps");
+  const char* min_pts_text = FlagValue(argc, argv, "min-pts");
+  if (eps_text == nullptr || min_pts_text == nullptr) {
+    return Usage();
+  }
+  auto eps = ParseDouble(eps_text);
+  auto min_pts = ParseUint64(min_pts_text);
+  if (!eps.ok() || !min_pts.ok()) {
+    return Usage();
+  }
+
+  dbscout::service::ServiceOptions service_options;
+  service_options.params.eps = *eps;
+  service_options.params.min_pts = static_cast<int>(*min_pts);
+  if (const char* text = FlagValue(argc, argv, "max-pending")) {
+    auto value = ParseUint64(text);
+    if (!value.ok()) {
+      return Usage();
+    }
+    service_options.max_pending_ingests = *value;
+  }
+
+  dbscout::service::ServerOptions server_options;
+  if (const char* text = FlagValue(argc, argv, "host")) {
+    server_options.host = text;
+  }
+  if (const char* text = FlagValue(argc, argv, "port")) {
+    auto value = ParseUint64(text);
+    if (!value.ok()) {
+      return Usage();
+    }
+    server_options.port = static_cast<uint16_t>(*value);
+  }
+  if (const char* text = FlagValue(argc, argv, "max-sessions")) {
+    auto value = ParseUint64(text);
+    if (!value.ok()) {
+      return Usage();
+    }
+    server_options.max_sessions = *value;
+  }
+
+  dbscout::service::DetectionService service(service_options);
+  auto server = dbscout::service::Server::Start(&service, server_options);
+  if (!server.ok()) {
+    std::cerr << "dbscout_serve: " << server.status() << "\n";
+    return 1;
+  }
+  std::cout << "listening on " << server_options.host << ":"
+            << (*server)->port() << std::endl;
+
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  while (!g_stop.load()) {
+    timespec tick{0, 100 * 1000 * 1000};  // 100ms
+    ::nanosleep(&tick, nullptr);
+  }
+
+  std::cout << "shutting down" << std::endl;
+  (*server)->Stop();   // drain sessions first ...
+  service.Stop();      // ... then the apply queue
+  return 0;
+}

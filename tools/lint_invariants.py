@@ -39,8 +39,9 @@ Enforces, statically, the contracts that the compiler cannot:
                      comparisons outside the CellMap storage type itself
                      (call phases::IsDenseCell / IsCoreCell). Scope:
                      src/core (minus src/core/phases/), src/external,
-                     src/grid; baselines are independent implementations by
-                     design and exempt.
+                     src/grid, src/service (the serving layer answers from
+                     snapshots and must not re-classify); baselines are
+                     independent implementations by design and exempt.
 
 A finding on a given line is waived by `lint:allow(<rule>)` in a comment on
 that line; use sparingly and justify next to the waiver.
@@ -324,7 +325,8 @@ def make_check_discarded_status(files: List[Tuple[str, List[str]]]
 # ---------------------------------------------------------------------------
 
 PHASE_HOME = "src/core/phases/"
-PHASE_SCOPE_PREFIXES = ("src/core/", "src/external/", "src/grid/")
+PHASE_SCOPE_PREFIXES = ("src/core/", "src/external/", "src/grid/",
+                        "src/service/")
 # CellMap is the storage type the CellType verdicts live in; its own
 # accessors necessarily compare the enum.
 PHASE_CELLTYPE_EXEMPT = ("src/grid/cell_map.h", "src/grid/cell_map.cc")
@@ -503,6 +505,10 @@ def self_test() -> int:
     expect("raw-thread",
            list(check_raw_thread("src/common/thread_pool.h", exempt)), 0,
            "exempt-file")
+    service_bad = lines("std::thread session([this] { Serve(); });\n")
+    expect("raw-thread",
+           list(check_raw_thread("src/service/server.cc", service_bad)), 1,
+           "service-in-scope")
 
     # raw-rng
     bad = lines("int x = rand() % 6;\n"
@@ -538,6 +544,9 @@ def self_test() -> int:
     expect("phase-logic-locality",
            list(check_phase_logic_locality("src/baselines/dbscan.cc",
                                            exempt)), 0, "out-of-scope")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality("src/service/service.cc",
+                                           exempt)), 1, "service-in-scope")
     storage = lines("return TypeOf(coord) >= CellType::kCore;\n")
     expect("phase-logic-locality",
            list(check_phase_logic_locality("src/grid/cell_map.h", storage)),

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the detection service: boots dbscout_serve on an
+# ephemeral port, ingests a generated shape dataset through dbscout_client,
+# checks that stats report outliers, probes a far-away point, then shuts
+# the server down with SIGTERM and verifies a clean exit.
+#
+# usage: tools/serve_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+DBSCOUT="$BUILD_DIR/tools/dbscout"
+SERVE="$BUILD_DIR/tools/dbscout_serve"
+CLIENT="$BUILD_DIR/tools/dbscout_client"
+for bin in "$DBSCOUT" "$SERVE" "$CLIENT"; do
+  [[ -x "$bin" ]] || { echo "missing binary: $bin (build first)"; exit 1; }
+done
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== generate dataset"
+"$DBSCOUT" generate --dataset=blobs --n=2000 --contamination=0.02 \
+  --seed=11 --output="$WORK/blobs.dbsc"
+
+echo "== boot server"
+"$SERVE" --eps=0.7 --min-pts=5 --port=0 >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$WORK/serve.log")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "server never reported its port"; exit 1; }
+echo "   port=$PORT"
+
+echo "== ingest"
+"$CLIENT" --port="$PORT" --collection=smoke --ingest="$WORK/blobs.dbsc"
+
+echo "== stats"
+STATS="$("$CLIENT" --port="$PORT" --collection=smoke --stats | head -1)"
+echo "   $STATS"
+grep -q "points=2000" <<<"$STATS" || { echo "FAIL: expected points=2000"; exit 1; }
+OUTLIERS="$(sed -n 's/.*outliers=\([0-9]*\).*/\1/p' <<<"$STATS")"
+[[ "$OUTLIERS" -gt 0 ]] || { echo "FAIL: expected outliers > 0"; exit 1; }
+[[ "$OUTLIERS" -lt 200 ]] || { echo "FAIL: implausible outlier count $OUTLIERS"; exit 1; }
+
+echo "== probe a far-away point (must be an outlier)"
+PROBE="$("$CLIENT" --port="$PORT" --collection=smoke --query=1000,1000 --score)"
+echo "   $PROBE"
+grep -q "kind=outlier" <<<"$PROBE" || { echo "FAIL: far probe not an outlier"; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+SERVER_PID=""
+[[ "$EXIT_CODE" -eq 0 ]] || { echo "FAIL: server exit code $EXIT_CODE"; cat "$WORK/serve.log"; exit 1; }
+
+echo "PASS: serve smoke ok ($OUTLIERS outliers)"
