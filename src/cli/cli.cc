@@ -18,6 +18,7 @@
 #include "datasets/synthetic.h"
 #include "external/external_detector.h"
 #include "external/kdistance.h"
+#include "obs/trace.h"
 
 namespace dbscout::cli {
 namespace {
@@ -34,6 +35,9 @@ commands:
             [--stripe-points=S]             external engine memory knob
             [--scores]                      also compute core distances
             [--output=FILE]                 write outlier indices (one per line)
+            [--trace-out=FILE]              write a Chrome/Perfetto trace of
+                                            the per-phase (and per-stripe /
+                                            per-worker) execution spans
             run DBSCOUT; prints a summary, optionally writes the outliers
 
   kdist     --input=FILE --k=N [--format=...] [--sample=M] [--streaming]
@@ -114,7 +118,7 @@ Result<std::vector<uint32_t>> ReadIndices(const std::string& path) {
 Status CmdDetect(const Flags& flags, std::ostream& out) {
   DBSCOUT_RETURN_IF_ERROR(flags.CheckAllowed(
       {"input", "format", "eps", "min-pts", "engine", "partitions",
-       "stripe-points", "scores", "output"}));
+       "stripe-points", "scores", "output", "trace-out"}));
   DBSCOUT_RETURN_IF_ERROR(flags.CheckRequired({"input", "eps", "min-pts"}));
   const std::string input = flags.GetString("input");
   DBSCOUT_ASSIGN_OR_RETURN(const double eps, flags.GetDouble("eps", 0.0));
@@ -122,10 +126,23 @@ Status CmdDetect(const Flags& flags, std::ostream& out) {
                            flags.GetUint("min-pts", 0));
   const std::string engine = flags.GetString("engine", "sequential");
 
+  // Spans accumulate here while the detection runs; written out at the end
+  // of whichever engine path executed.
+  obs::TraceCollector trace;
+  obs::TraceCollector* const trace_ptr =
+      flags.Has("trace-out") ? &trace : nullptr;
+  auto write_trace = [&]() -> Status {
+    if (trace_ptr == nullptr) {
+      return Status::OK();
+    }
+    return trace.WriteChromeJson(flags.GetString("trace-out"));
+  };
+
   if (engine == "external") {
     external::ExternalParams params;
     params.eps = eps;
     params.min_pts = static_cast<int>(min_pts);
+    params.trace = trace_ptr;
     DBSCOUT_ASSIGN_OR_RETURN(
         params.target_stripe_points,
         flags.GetUint("stripe-points", params.target_stripe_points));
@@ -144,7 +161,7 @@ Status CmdDetect(const Flags& flags, std::ostream& out) {
       DBSCOUT_RETURN_IF_ERROR(
           WriteIndices(flags.GetString("output"), detection.outliers));
     }
-    return Status::OK();
+    return write_trace();
   }
 
   DBSCOUT_ASSIGN_OR_RETURN(PointSet points,
@@ -153,6 +170,7 @@ Status CmdDetect(const Flags& flags, std::ostream& out) {
   params.eps = eps;
   params.min_pts = static_cast<int>(min_pts);
   params.compute_scores = flags.GetBool("scores");
+  params.trace = trace_ptr;
   DBSCOUT_ASSIGN_OR_RETURN(const uint64_t partitions,
                            flags.GetUint("partitions", 0));
   params.num_partitions = partitions;
@@ -179,7 +197,7 @@ Status CmdDetect(const Flags& flags, std::ostream& out) {
       DBSCOUT_RETURN_IF_ERROR(
           WriteIndices(flags.GetString("output"), outliers));
     }
-    return Status::OK();
+    return write_trace();
   }
   if (engine == "sequential") {
     params.engine = core::Engine::kSequential;
@@ -219,7 +237,7 @@ Status CmdDetect(const Flags& flags, std::ostream& out) {
     DBSCOUT_RETURN_IF_ERROR(
         WriteIndices(flags.GetString("output"), detection.outliers));
   }
-  return Status::OK();
+  return write_trace();
 }
 
 Status CmdKdist(const Flags& flags, std::ostream& out) {

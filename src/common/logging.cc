@@ -6,11 +6,25 @@
 #include <cstdlib>
 #include <ctime>
 #include <mutex>
+#include <utility>
 
 namespace dbscout {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Emit mutex plus the installed sink it guards. Function-local statics so
+/// logging works during static initialization of other TUs.
+std::mutex& EmitMutex() {
+  static std::mutex* const mu = new std::mutex;
+  return *mu;
+}
+
+std::function<void(const LogRecord&)>& SinkSlot() {
+  static std::function<void(const LogRecord&)>* const sink =
+      new std::function<void(const LogRecord&)>;
+  return *sink;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -28,6 +42,12 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -38,11 +58,28 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessStart())
+      .count();
+}
+
+void SetLogSink(std::function<void(const LogRecord&)> sink) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  SinkSlot() = std::move(sink);
+}
+
 namespace internal {
 
 void EmitLog(LogLevel level, const char* file, int line,
              const std::string& message) {
-  static std::mutex mu;
   const auto now = std::chrono::system_clock::now();
   const std::time_t now_t = std::chrono::system_clock::to_time_t(now);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -62,14 +99,32 @@ void EmitLog(LogLevel level, const char* file, int line,
     }
   }
 
+  LogRecord record;
+  record.level = level;
+  record.file = base;
+  record.line = line;
+  record.thread_id = CurrentThreadId();
+  record.mono_seconds = MonotonicSeconds();
+  record.message = message;
+
   {
-    std::lock_guard<std::mutex> lock(mu);
-    std::fprintf(stderr, "%s %s.%03d %s:%d] %s\n", LevelTag(level), ts,
-                 static_cast<int>(ms), base, line, message.c_str());
-    std::fflush(stderr);
-  }
-  if (level == LogLevel::kFatal) {
-    std::abort();
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    const auto& sink = SinkSlot();
+    if (sink) {
+      sink(record);
+    } else {
+      std::fprintf(stderr, "%s %s.%03d %10.6f T%u %s:%d] %s\n",
+                   LevelTag(level), ts, static_cast<int>(ms),
+                   record.mono_seconds, record.thread_id, base, line,
+                   message.c_str());
+      std::fflush(stderr);
+    }
+    // Abort while still holding the emit lock: a second thread racing into
+    // its own kFatal blocks on the mutex instead of interleaving its
+    // message with this one's final line.
+    if (level == LogLevel::kFatal) {
+      std::abort();
+    }
   }
 }
 

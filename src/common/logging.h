@@ -1,6 +1,8 @@
 #ifndef DBSCOUT_COMMON_LOGGING_H_
 #define DBSCOUT_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -23,9 +25,37 @@ void SetLogLevel(LogLevel level);
 /// Returns the current global minimum level.
 LogLevel GetLogLevel();
 
+/// Small dense id of the calling thread (0, 1, 2, ... in first-use order),
+/// stable for the thread's lifetime. Appears in every log line and in trace
+/// spans, so the two can be correlated. Cheaper and shorter than the opaque
+/// std::thread::id.
+uint32_t CurrentThreadId();
+
+/// Monotonic seconds since the process logger was first used (steady
+/// clock). The timestamp printed on every log line.
+double MonotonicSeconds();
+
+/// One structured log line, as delivered to a log sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";  // basename, static lifetime (__FILE__)
+  int line = 0;
+  uint32_t thread_id = 0;
+  double mono_seconds = 0.0;  // MonotonicSeconds() at emit time
+  std::string message;
+};
+
+/// Redirects log lines to `sink` instead of stderr (pass nullptr to restore
+/// stderr). The sink is called under the logger's emit mutex — it must not
+/// log. Used by tests and by the service to capture structured lines.
+/// Thread-safe; kFatal still aborts after the sink returns.
+void SetLogSink(std::function<void(const LogRecord&)> sink);
+
 namespace internal {
 
-/// Emits one formatted log line to stderr (thread-safe); aborts on kFatal.
+/// Emits one formatted log line to stderr or the installed sink
+/// (thread-safe); aborts on kFatal while still holding the emit lock, so
+/// two racing fatals cannot interleave their abort messages.
 void EmitLog(LogLevel level, const char* file, int line,
              const std::string& message);
 

@@ -14,6 +14,8 @@
 #include "grid/cell_coord.h"
 #include "grid/cell_map.h"
 #include "grid/neighborhood.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simd/distance_kernel.h"
 
 namespace dbscout::core {
@@ -80,6 +82,20 @@ Result<Detection> DetectParallel(const PointSet& points, const Params& params,
 
   Detection out;
   phases::PhaseRecorder recorder;
+  recorder.AttachObservability(phases::kEngineParallel,
+                               &obs::Registry::Global(), params.trace);
+  // While tracing, also surface the per-worker partition tasks: each
+  // dataflow stage task emits its own span from its worker thread. The
+  // guard restores the context's previous collector on every exit path.
+  struct CtxTraceGuard {
+    ExecutionContext* ctx;
+    obs::TraceCollector* prior;
+    std::string prior_category;
+    ~CtxTraceGuard() { ctx->AttachTrace(prior, std::move(prior_category)); }
+  } ctx_trace_guard{ctx, ctx->trace(), ctx->trace_category()};
+  if (params.trace != nullptr) {
+    ctx->AttachTrace(params.trace, std::string(phases::kEngineParallel));
+  }
   const size_t n = points.size();
   const double eps2 = params.eps * params.eps;
   const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);

@@ -5,6 +5,10 @@
 
 #include "common/status.h"
 
+namespace dbscout::obs {
+class TraceCollector;
+}  // namespace dbscout::obs
+
 namespace dbscout::core {
 
 /// Which implementation runs the five DBSCOUT phases.
@@ -62,6 +66,11 @@ struct Params {
   /// and interpretation). Disables the phase-5 early exit, so detection
   /// does more distance computations.
   bool compute_scores = false;
+
+  /// When non-null, every engine emits one trace span per recorded phase
+  /// into this collector (serializable to Chrome trace-event JSON — see
+  /// obs/trace.h). Not owned; must outlive the detection call.
+  obs::TraceCollector* trace = nullptr;
 
   /// Validates eps/min_pts ranges.
   Status Validate() const;

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -23,6 +25,9 @@ namespace dbscout::core::phases {
 /// Single-threaded policy: plain loops, one scratch vector.
 class SequentialExec {
  public:
+  /// Engine label for metrics and trace spans.
+  static constexpr std::string_view kEngineName = kEngineSequential;
+
   /// Runs body(cell, scratch) for every cell and returns the sum of the
   /// bodies' uint64 results (the distance counters).
   template <typename Body>
@@ -51,6 +56,9 @@ class SequentialExec {
 /// slots are written only by the worker that claimed that cell: no races.
 class PooledExec {
  public:
+  /// Engine label for metrics and trace spans.
+  static constexpr std::string_view kEngineName = kEngineSharedMemory;
+
   /// `chunk` is the dynamic-chunk size in cells; small chunks rebalance
   /// while still amortizing the claim overhead.
   PooledExec(ThreadPool* pool, size_t chunk) : pool_(pool), chunk_(chunk) {}
@@ -97,6 +105,8 @@ Result<Detection> DetectWithGrid(const PointSet& points, const Params& params,
   const double eps2 = params.eps * params.eps;
   const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
   PhaseRecorder recorder;
+  recorder.AttachObservability(std::remove_reference_t<Exec>::kEngineName,
+                               &obs::Registry::Global(), params.trace);
 
   // Phase 1: grid partitioning and point-cell assignment (Algorithm 1).
   // Single-threaded in both policies: hash-map insertion order must stay

@@ -31,6 +31,15 @@ inline constexpr std::string_view kPhaseCorePoints = "core_points";
 inline constexpr std::string_view kPhaseCoreCellMap = "core_cell_map";
 inline constexpr std::string_view kPhaseOutliers = "outliers";
 
+// Canonical engine names for the observability layer: metric `engine`
+// labels and trace-span categories use these, so dashboards and traces
+// line up across engines.
+inline constexpr std::string_view kEngineSequential = "sequential";
+inline constexpr std::string_view kEngineSharedMemory = "shared_memory";
+inline constexpr std::string_view kEngineParallel = "parallel";
+inline constexpr std::string_view kEngineExternal = "external";
+inline constexpr std::string_view kEngineIncremental = "incremental";
+
 /// The Lemma 1 density test — the one place `count >= minPts` is decided.
 /// `count` includes the point itself (Definition 2).
 inline bool IsDense(uint64_t count, uint32_t min_pts) {

@@ -9,6 +9,8 @@
 
 #include "common/timer.h"
 #include "core/detection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbscout::core::phases {
 
@@ -23,17 +25,37 @@ namespace dbscout::core::phases {
 ///  - accumulation (the out-of-core engine, which revisits the same
 ///    logical phase once per stripe): Accumulate(name, seconds, ...)
 ///    merges into the existing row, creating it in first-call order.
+///
+/// A recorder may additionally be attached to the observability layer
+/// (AttachObservability): every Record/Accumulate then publishes one
+/// histogram observation + two counter increments per phase into the
+/// metrics registry and, when a TraceCollector is attached, one span.
+/// Publication happens at phase/stripe granularity — a handful of times
+/// per detection, never per point — so its cost is invisible next to the
+/// phases themselves.
 class PhaseRecorder {
  public:
   PhaseRecorder() = default;
+
+  /// Attaches the observability layer. `engine` labels the metrics and
+  /// categorizes the trace spans ("sequential", "external", ...);
+  /// `registry` may be null to skip metrics, `trace` may be null to skip
+  /// spans. Rows recorded before this call are not retro-published.
+  void AttachObservability(std::string_view engine, obs::Registry* registry,
+                           obs::TraceCollector* trace) {
+    engine_ = std::string(engine);
+    registry_ = registry;
+    trace_ = trace;
+  }
 
   /// (Re)starts the phase timer.
   void Start() { timer_.Reset(); }
 
   /// Appends one row with the time elapsed since the last Start().
   void Record(std::string_view name, uint64_t distances, uint64_t records) {
-    phases_.push_back({std::string(name), timer_.ElapsedSeconds(), distances,
-                       records});
+    const double seconds = timer_.ElapsedSeconds();
+    phases_.push_back({std::string(name), seconds, distances, records});
+    Publish(name, seconds, distances, records);
   }
 
   /// Merges into the row named `name` (appending a zero row first if it
@@ -44,6 +66,7 @@ class PhaseRecorder {
     row.seconds += seconds;
     row.distance_computations += distances;
     row.records += records;
+    Publish(name, seconds, distances, records);
   }
 
   const std::vector<PhaseStats>& phases() const { return phases_; }
@@ -62,8 +85,34 @@ class PhaseRecorder {
     return phases_.back();
   }
 
+  void Publish(std::string_view name, double seconds, uint64_t distances,
+               uint64_t records) {
+    if (trace_ != nullptr) {
+      trace_->AddSpanEndingNow(name, engine_, seconds, distances, records);
+    }
+    if (registry_ != nullptr) {
+      obs::Labels labels{{"engine", engine_}, {"phase", std::string(name)}};
+      registry_
+          ->GetHistogram("dbscout_phase_seconds",
+                         "Wall seconds per detection phase",
+                         obs::HistogramLayout::Latency(), labels)
+          ->Observe(seconds);
+      registry_
+          ->GetCounter("dbscout_phase_distance_computations_total",
+                       "Point-pair distance computations per phase", labels)
+          ->Increment(distances);
+      registry_
+          ->GetCounter("dbscout_phase_records_total",
+                       "Records processed per phase", labels)
+          ->Increment(records);
+    }
+  }
+
   WallTimer timer_;
   std::vector<PhaseStats> phases_;
+  std::string engine_;
+  obs::Registry* registry_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
 };
 
 /// RAII phase scope with thread-safe counters, for engines whose phase

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace dbscout::dataflow {
 
@@ -51,6 +52,20 @@ class ExecutionContext {
     default_partitions_ = n == 0 ? 1 : n;
   }
 
+  /// Attaches a trace collector: every partition task of every
+  /// transformation then emits one span (name = the stage name, cat =
+  /// `category`) from the worker thread that ran it — the per-worker view
+  /// of the dataflow engine's phases. Pass nullptr to detach. Must not be
+  /// called while transformations are in flight (attach before building
+  /// the pipeline, detach after collecting).
+  void AttachTrace(obs::TraceCollector* trace,
+                   std::string category = "dataflow") {
+    trace_ = trace;
+    trace_category_ = std::move(category);
+  }
+  obs::TraceCollector* trace() const { return trace_; }
+  const std::string& trace_category() const { return trace_category_; }
+
   /// Appends one stage record (thread-safe).
   void RecordStage(StageMetrics metrics);
 
@@ -66,6 +81,8 @@ class ExecutionContext {
  private:
   std::unique_ptr<ThreadPool> pool_;
   size_t default_partitions_;
+  obs::TraceCollector* trace_ = nullptr;
+  std::string trace_category_ = "dataflow";
   mutable std::mutex mu_;
   std::vector<StageMetrics> stages_;
 };

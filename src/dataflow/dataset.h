@@ -215,9 +215,19 @@ class Dataset {
     typename Dataset<U>::Partitions out(parts_->size());
     std::atomic<uint64_t> in_records{0};
     std::atomic<uint64_t> out_records{0};
+    obs::TraceCollector* const trace = ctx_->trace();
     ctx_->pool().ParallelFor(parts_->size(), [&](size_t p) {
       const std::vector<T>& in = (*parts_)[p];
-      body(in, &out[p]);
+      if (trace != nullptr) {
+        // Per-worker task span: one per partition, attributed to the
+        // worker thread that claimed it.
+        WallTimer task_timer;
+        body(in, &out[p]);
+        trace->AddSpanEndingNow(name, ctx_->trace_category(),
+                                task_timer.ElapsedSeconds(), 0, in.size());
+      } else {
+        body(in, &out[p]);
+      }
       in_records.fetch_add(in.size(), std::memory_order_relaxed);
       out_records.fetch_add(out[p].size(), std::memory_order_relaxed);
     });

@@ -20,6 +20,8 @@
 #include "grid/cell_coord.h"
 #include "grid/grid.h"
 #include "grid/neighborhood.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbscout::external {
 namespace {
@@ -125,6 +127,9 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
 
   ExternalDetection out;
   phases::PhaseRecorder recorder;
+  // One Accumulate per stripe per phase -> one span per stripe per phase.
+  recorder.AttachObservability(phases::kEngineExternal,
+                               &obs::Registry::Global(), params.trace);
   WallTimer phase_timer;
 
   // ---- Pass 0: global cell counts + dim-0 slab histogram. ---------------

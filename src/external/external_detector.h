@@ -8,6 +8,10 @@
 #include "common/result.h"
 #include "core/detection.h"
 
+namespace dbscout::obs {
+class TraceCollector;
+}  // namespace dbscout::obs
+
 namespace dbscout::external {
 
 /// Configuration of the out-of-core detector.
@@ -24,6 +28,11 @@ struct ExternalParams {
   size_t num_stripes = 0;
   /// Directory for spill files ("" = alongside the input file).
   std::string tmp_dir;
+
+  /// When non-null, receives one span per phase visit — i.e. one span per
+  /// stripe per phase, since the out-of-core engine revisits phases 2-5
+  /// once per stripe. Not owned; must outlive the detection call.
+  obs::TraceCollector* trace = nullptr;
 
   Status Validate() const;
 };

@@ -1,0 +1,312 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dbscout::obs {
+namespace internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+void AppendEscaped(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+/// {k1="v1",k2="v2"} or empty when there are no labels. `extra` appends one
+/// more pair (the histogram `le`).
+std::string LabelBlock(const Labels& labels, const char* extra_key = nullptr,
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(key).append("=\"");
+    AppendEscaped(&out, value);
+    out.push_back('"');
+  }
+  if (extra_key != nullptr) {
+    if (!first) {
+      out.push_back(',');
+    }
+    out.append(extra_key).append("=\"");
+    AppendEscaped(&out, extra_value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(HistogramLayout layout) : layout_(layout) {
+  DBSCOUT_CHECK(layout_.base > 0.0);
+}
+
+double Histogram::BucketBound(size_t i) const {
+  return layout_.base * static_cast<double>(uint64_t{1} << i);
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // Linear scan over 27 doubles: ~short and branch-predictable; the whole
+  // Observe() is off the per-point hot path (phase/batch granularity).
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (value <= BucketBound(i)) {
+      return i;
+    }
+  }
+  return kNumBuckets;  // +Inf
+}
+
+void Histogram::Observe(double value) {
+  if (!(value >= 0.0)) {  // also catches NaN
+    value = 0.0;
+  }
+  Shard& shard = shards_[internal::ThreadShard()];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.scaled_sum.fetch_add(static_cast<uint64_t>(value * kSumScale + 0.5),
+                             std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  uint64_t scaled_sum = 0;
+  std::array<uint64_t, kNumBuckets + 1> per_bucket{};
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= kNumBuckets; ++i) {
+      per_bucket[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    scaled_sum += shard.scaled_sum.load(std::memory_order_relaxed);
+  }
+  uint64_t running = 0;
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    running += per_bucket[i];
+    snap.cumulative[i] = running;
+  }
+  snap.sum = static_cast<double>(scaled_sum) / kSumScale;
+  snap.bound_base = layout_.base;
+  return snap;
+}
+
+Registry& Registry::Global() {
+  static Registry* const registry = new Registry;  // never destroyed
+  return *registry;
+}
+
+Registry::SeriesSlot* Registry::GetSeries(std::string_view name,
+                                          std::string_view help, Type type,
+                                          Labels labels) {
+  DBSCOUT_CHECK(ValidMetricName(name)) << "bad metric name: " << name;
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    FamilySlot family;
+    family.help = std::string(help);
+    family.type = type;
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  FamilySlot& family = it->second;
+  DBSCOUT_CHECK(family.type == type)
+      << "metric " << name << " re-registered with a different type";
+  for (const auto& series : family.series) {
+    if (series->labels == labels) {
+      return series.get();
+    }
+  }
+  auto slot = std::make_unique<SeriesSlot>();
+  slot->labels = std::move(labels);
+  family.series.push_back(std::move(slot));
+  return family.series.back().get();
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view help,
+                              Labels labels) {
+  SeriesSlot* slot = GetSeries(name, help, Type::kCounter, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot->counter == nullptr) {
+    slot->counter = std::make_unique<Counter>();
+  }
+  return slot->counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
+                          Labels labels) {
+  SeriesSlot* slot = GetSeries(name, help, Type::kGauge, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot->gauge == nullptr) {
+    slot->gauge = std::make_unique<Gauge>();
+  }
+  return slot->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name, std::string_view help,
+                                  HistogramLayout layout, Labels labels) {
+  SeriesSlot* slot = GetSeries(name, help, Type::kHistogram, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot->histogram == nullptr) {
+    slot->histogram = std::make_unique<Histogram>(layout);
+  }
+  DBSCOUT_CHECK(slot->histogram->layout() == layout)
+      << "histogram " << name << " re-registered with a different layout";
+  return slot->histogram.get();
+}
+
+std::vector<Registry::Family> Registry::Snapshot() const {
+  std::vector<Family> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    Family f;
+    f.name = name;
+    f.help = family.help;
+    f.type = family.type;
+    for (const auto& slot : family.series) {
+      Series s;
+      s.labels = slot->labels;
+      switch (family.type) {
+        case Type::kCounter:
+          s.counter = slot->counter != nullptr ? slot->counter->Value() : 0;
+          break;
+        case Type::kGauge:
+          s.gauge = slot->gauge != nullptr ? slot->gauge->Value() : 0;
+          break;
+        case Type::kHistogram:
+          if (slot->histogram != nullptr) {
+            s.histogram = slot->histogram->Snap();
+          }
+          break;
+      }
+      f.series.push_back(std::move(s));
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::string Registry::Expose() const {
+  std::string out;
+  for (const Family& family : Snapshot()) {
+    const char* type_name = family.type == Type::kCounter  ? "counter"
+                            : family.type == Type::kGauge  ? "gauge"
+                                                           : "histogram";
+    out.append("# HELP ").append(family.name).append(" ");
+    AppendEscaped(&out, family.help);
+    out.push_back('\n');
+    out.append("# TYPE ").append(family.name).append(" ").append(type_name);
+    out.push_back('\n');
+    for (const Series& series : family.series) {
+      switch (family.type) {
+        case Type::kCounter:
+          out.append(family.name)
+              .append(LabelBlock(series.labels))
+              .append(" ")
+              .append(std::to_string(series.counter))
+              .push_back('\n');
+          break;
+        case Type::kGauge:
+          out.append(family.name)
+              .append(LabelBlock(series.labels))
+              .append(" ")
+              .append(std::to_string(series.gauge))
+              .push_back('\n');
+          break;
+        case Type::kHistogram: {
+          for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+            const double bound =
+                i < Histogram::kNumBuckets
+                    ? series.histogram.bound_base *
+                          static_cast<double>(uint64_t{1} << i)
+                    : std::numeric_limits<double>::infinity();
+            out.append(family.name)
+                .append("_bucket")
+                .append(LabelBlock(series.labels, "le", FormatDouble(bound)))
+                .append(" ")
+                .append(std::to_string(series.histogram.cumulative[i]))
+                .push_back('\n');
+          }
+          out.append(family.name)
+              .append("_sum")
+              .append(LabelBlock(series.labels))
+              .append(" ")
+              .append(FormatDouble(series.histogram.sum))
+              .push_back('\n');
+          out.append(family.name)
+              .append("_count")
+              .append(LabelBlock(series.labels))
+              .append(" ")
+              .append(std::to_string(series.histogram.count))
+              .push_back('\n');
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dbscout::obs

@@ -1,0 +1,223 @@
+#ifndef DBSCOUT_OBS_METRICS_H_
+#define DBSCOUT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dbscout::obs {
+
+/// Label set of one metric instance, e.g. {{"engine","sequential"},
+/// {"phase","core_points"}}. Order is normalized (sorted by key) when the
+/// metric is registered so {{a,1},{b,2}} and {{b,2},{a,1}} are the same
+/// series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Number of independent atomic cells per hot counter/histogram. Each cell
+/// sits on its own cache line; threads pick a fixed cell by thread id, so
+/// concurrent increments from different threads (almost) never contend on
+/// one line. Must be a power of two.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+/// One cache-line-isolated atomic counter cell.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Small dense id of the calling thread (0, 1, 2, ... in first-use order),
+/// stable for the thread's lifetime. Used to pick a metric shard.
+size_t ThreadShard();
+}  // namespace internal
+
+/// Monotonically increasing counter. Increments are wait-free relaxed
+/// atomic adds on a per-thread shard; reads sum the shards (reads may
+/// observe a sum that no single instant had, which is fine for monotone
+/// counters).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    cells_[internal::ThreadShard()].value.fetch_add(n,
+                                                    std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const internal::ShardCell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<internal::ShardCell, kMetricShards> cells_;
+};
+
+/// A value that can go up and down (active sessions, live collections).
+/// Gauges are read/written from slow paths only, so one atomic is enough.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed log-spaced bucket layout: upper bounds base, 2*base, 4*base, ...
+/// (kNumBuckets bounds) plus the implicit +Inf bucket. Two canonical
+/// layouts cover everything the service measures; a fixed layout keeps
+/// Observe() allocation-free and scrape output stable.
+struct HistogramLayout {
+  double base = 1e-6;
+
+  /// Latencies: 1us * 2^i, topping out at ~67s before +Inf.
+  static HistogramLayout Latency() { return {1e-6}; }
+  /// Sizes/counts: 1 * 2^i, topping out at ~134M before +Inf.
+  static HistogramLayout Count() { return {1.0}; }
+
+  friend bool operator==(const HistogramLayout&,
+                         const HistogramLayout&) = default;
+};
+
+/// Cumulative histogram over fixed log buckets. Observe() is wait-free:
+/// it does three relaxed atomic adds on the calling thread's shard (bucket
+/// count, total count, fixed-point sum). Snapshot() merges the shards.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 27;  // finite bounds; +Inf is extra
+  /// Observed values are accumulated as value * kSumScale in a uint64 so
+  /// the sum needs no atomic<double>; 1us precision for latency layouts.
+  static constexpr double kSumScale = 1e6;
+
+  explicit Histogram(HistogramLayout layout = HistogramLayout::Latency());
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  /// Upper bound of bucket `i` (i < kNumBuckets); bucket kNumBuckets is
+  /// +Inf.
+  double BucketBound(size_t i) const;
+
+  struct Snapshot {
+    /// Cumulative counts per finite bucket bound, then +Inf (so
+    /// buckets.back() == count).
+    std::array<uint64_t, kNumBuckets + 1> cumulative{};
+    uint64_t count = 0;
+    double sum = 0.0;
+    /// layout().base, carried so exporters can reconstruct bucket bounds.
+    double bound_base = 1e-6;
+  };
+  Snapshot Snap() const;
+
+  const HistogramLayout& layout() const { return layout_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets + 1> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> scaled_sum{0};
+  };
+
+  /// Index of the first bucket whose upper bound is >= value.
+  size_t BucketIndex(double value) const;
+
+  HistogramLayout layout_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Process-wide metric registry. Get*() lazily registers (name, labels)
+/// series under a family (name + help + type) and returns a stable pointer
+/// the caller may cache and hammer without further registry involvement.
+/// Registration takes a mutex; increments never do.
+///
+/// A Registry can also be constructed locally for test isolation; the
+/// production default is Global().
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-global registry (what the service and engines default to).
+  static Registry& Global();
+
+  /// Returns the series, creating family and series as needed. `help` is
+  /// recorded on first registration of the family; later calls may pass
+  /// anything (ignored). Metric names must match
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* (checked, fatal on violation — a bad name is
+  /// a programming error, not an input error).
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      Labels labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  Labels labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          HistogramLayout layout = HistogramLayout::Latency(),
+                          Labels labels = {});
+
+  /// One series in a Snapshot(): the labels plus the value in the slot
+  /// matching the family type.
+  struct Series {
+    Labels labels;
+    uint64_t counter = 0;
+    int64_t gauge = 0;
+    Histogram::Snapshot histogram;
+  };
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type = Type::kCounter;
+    std::vector<Series> series;
+  };
+
+  /// Consistent-enough iteration for tests and custom exporters: families
+  /// sorted by name, series in registration order.
+  std::vector<Family> Snapshot() const;
+
+  /// Serializes every family in the Prometheus text exposition format
+  /// (# HELP / # TYPE headers, one line per series, histograms expanded to
+  /// _bucket{le=...} / _sum / _count).
+  std::string Expose() const;
+
+ private:
+  struct SeriesSlot {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct FamilySlot {
+    std::string help;
+    Type type = Type::kCounter;
+    std::vector<std::unique_ptr<SeriesSlot>> series;
+  };
+
+  SeriesSlot* GetSeries(std::string_view name, std::string_view help,
+                        Type type, Labels labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, FamilySlot, std::less<>> families_;
+};
+
+}  // namespace dbscout::obs
+
+#endif  // DBSCOUT_OBS_METRICS_H_

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace dbscout::obs {
+namespace {
+
+/// JSON string escaping for names/categories (control chars, quote,
+/// backslash).
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Microsecond timestamps as integers: trace viewers expect `ts`/`dur` in
+/// microseconds; fractional values are legal but integers render best.
+void AppendMicros(std::string* out, double seconds) {
+  double micros = seconds * 1e6;
+  if (!(micros >= 0.0)) {  // also catches NaN
+    micros = 0.0;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", micros);
+  out->append(buf);
+}
+
+}  // namespace
+
+void TraceCollector::AddSpan(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+void TraceCollector::AddSpanEndingNow(std::string_view name,
+                                      std::string_view cat,
+                                      double duration_seconds,
+                                      uint64_t distances, uint64_t records) {
+  TraceSpan span;
+  span.name = std::string(name);
+  span.cat = std::string(cat);
+  span.duration_seconds = duration_seconds > 0.0 ? duration_seconds : 0.0;
+  span.start_seconds = NowSeconds() - span.duration_seconds;
+  if (span.start_seconds < 0.0) {
+    span.start_seconds = 0.0;
+  }
+  span.thread_id = CurrentThreadId();
+  span.distance_computations = distances;
+  span.records = records;
+  AddSpan(std::move(span));
+}
+
+std::vector<TraceSpan> TraceCollector::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  const std::vector<TraceSpan> spans = Spans();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, span.name);
+    out.append(",\"cat\":");
+    AppendJsonString(&out, span.cat);
+    out.append(",\"ph\":\"X\",\"ts\":");
+    AppendMicros(&out, span.start_seconds);
+    out.append(",\"dur\":");
+    AppendMicros(&out, span.duration_seconds);
+    out.append(",\"pid\":1,\"tid\":");
+    out.append(std::to_string(span.thread_id));
+    out.append(",\"args\":{\"distance_computations\":");
+    out.append(std::to_string(span.distance_computations));
+    out.append(",\"records\":");
+    out.append(std::to_string(span.records));
+    out.append("}}");
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+Status TraceCollector::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output: " + path);
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to trace output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dbscout::obs

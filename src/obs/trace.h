@@ -1,0 +1,75 @@
+#ifndef DBSCOUT_OBS_TRACE_H_
+#define DBSCOUT_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"  // CurrentThreadId
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace dbscout::obs {
+
+/// One completed span: a named slice of work on one thread. Times are
+/// seconds relative to the owning TraceCollector's origin (its
+/// construction), which keeps spans from different engines on one shared
+/// timeline.
+struct TraceSpan {
+  std::string name;  // phase or operation, e.g. "core_points"
+  std::string cat;   // category: engine name, e.g. "external"
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  uint32_t thread_id = 0;  // dense dbscout thread id
+  uint64_t distance_computations = 0;
+  uint64_t records = 0;
+};
+
+/// Collects timestamped spans from the detection engines and the service
+/// apply loop, and serializes them to Chrome trace-event JSON (loadable in
+/// chrome://tracing and Perfetto).
+///
+/// Span emission happens at phase / stripe / apply-pass granularity — a
+/// handful of events per detection, never per point — so a mutex-guarded
+/// vector is the right tool (contrast with the wait-free metric shards,
+/// which ARE incremented on hot paths).
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Seconds since this collector was constructed (the trace origin).
+  double NowSeconds() const { return origin_.ElapsedSeconds(); }
+
+  /// Records a fully-specified span.
+  void AddSpan(TraceSpan span);
+
+  /// Convenience: a span of `duration_seconds` that ends now, attributed
+  /// to the calling thread.
+  void AddSpanEndingNow(std::string_view name, std::string_view cat,
+                        double duration_seconds, uint64_t distances,
+                        uint64_t records);
+
+  std::vector<TraceSpan> Spans() const;
+  size_t size() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[{"name":...,"cat":...,
+  /// "ph":"X","ts":microseconds,"dur":microseconds,"pid":...,"tid":...,
+  /// "args":{...}}, ...]}.
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  WallTimer origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace dbscout::obs
+
+#endif  // DBSCOUT_OBS_TRACE_H_

@@ -126,4 +126,12 @@ Result<SnapshotAnswer> Client::Snapshot(const std::string& collection) {
   return response.snapshot;
 }
 
+Result<std::string> Client::Metrics() {
+  Request request;
+  request.verb = Verb::kMetrics;
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.metrics.text;
+}
+
 }  // namespace dbscout::service

@@ -38,6 +38,8 @@ class Client {
                               bool want_score);
   Result<StatsAnswer> Stats(const std::string& collection);
   Result<SnapshotAnswer> Snapshot(const std::string& collection);
+  /// Prometheus text-format scrape of the whole service (no collection).
+  Result<std::string> Metrics();
 
  private:
   explicit Client(int fd) : fd_(fd) {}

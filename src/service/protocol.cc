@@ -22,9 +22,18 @@ void Put(std::vector<uint8_t>* out, T value) {
   }
 }
 
+// resize + memcpy rather than range insert(): same GCC 12 misfire as above.
+void PutBytes(std::vector<uint8_t>* out, const std::string& s) {
+  const size_t old_size = out->size();
+  out->resize(old_size + s.size());
+  if (!s.empty()) {
+    std::memcpy(out->data() + old_size, s.data(), s.size());
+  }
+}
+
 void PutString(std::vector<uint8_t>* out, const std::string& s) {
   Put<uint16_t>(out, static_cast<uint16_t>(s.size()));
-  out->insert(out->end(), s.begin(), s.end());
+  PutBytes(out, s);
 }
 
 /// Bounds-checked sequential reader over a payload.
@@ -58,6 +67,16 @@ class ByteReader {
     return out;
   }
 
+  Result<std::string> ReadBytes(uint64_t count) {
+    if (data_.size() - pos_ < count) {
+      return Truncated();
+    }
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                    count);
+    pos_ += count;
+    return out;
+  }
+
   Result<std::vector<double>> ReadDoubles(uint64_t count) {
     if ((data_.size() - pos_) / sizeof(double) < count) {
       return Truncated();
@@ -87,6 +106,7 @@ Result<Verb> CheckVerb(uint8_t raw) {
     case Verb::kQuery:
     case Verb::kStats:
     case Verb::kSnapshot:
+    case Verb::kMetrics:
       return static_cast<Verb>(raw);
   }
   return Status::InvalidArgument(StrFormat("unknown verb %u", raw));
@@ -132,6 +152,7 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
       break;
     case Verb::kStats:
     case Verb::kSnapshot:
+    case Verb::kMetrics:
       break;
   }
   return out;
@@ -173,6 +194,7 @@ Result<Request> DecodeRequest(std::span<const uint8_t> payload) {
     }
     case Verb::kStats:
     case Verb::kSnapshot:
+    case Verb::kMetrics:
       break;
   }
   if (!reader.AtEnd()) {
@@ -188,7 +210,7 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
   if (!response.status.ok()) {
     const std::string& msg = response.status.message();
     Put<uint32_t>(&out, static_cast<uint32_t>(msg.size()));
-    out.insert(out.end(), msg.begin(), msg.end());
+    PutBytes(&out, msg);
     return out;
   }
   switch (response.verb) {
@@ -211,6 +233,7 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       Put<uint64_t>(&out, s.num_cells);
       Put<uint64_t>(&out, s.num_outliers);
       Put<uint64_t>(&out, s.admission_rejections);
+      Put<double>(&out, s.uptime_seconds);
       Put<uint32_t>(&out, static_cast<uint32_t>(s.phases.size()));
       for (const StatsRow& row : s.phases) {
         PutString(&out, row.name);
@@ -229,6 +252,12 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       for (core::PointKind kind : s.kinds) {
         Put<uint8_t>(&out, static_cast<uint8_t>(kind));
       }
+      break;
+    }
+    case Verb::kMetrics: {
+      const std::string& text = response.metrics.text;
+      Put<uint32_t>(&out, static_cast<uint32_t>(text.size()));
+      PutBytes(&out, text);
       break;
     }
   }
@@ -287,6 +316,7 @@ Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
       DBSCOUT_ASSIGN_OR_RETURN(s.num_outliers, reader.Read<uint64_t>());
       DBSCOUT_ASSIGN_OR_RETURN(s.admission_rejections,
                                reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.uptime_seconds, reader.Read<double>());
       DBSCOUT_ASSIGN_OR_RETURN(const uint32_t rows, reader.Read<uint32_t>());
       for (uint32_t i = 0; i < rows; ++i) {
         StatsRow row;
@@ -315,6 +345,14 @@ Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
                                  CheckKind(kind));
         s.kinds.push_back(checked);
       }
+      break;
+    }
+    case Verb::kMetrics: {
+      DBSCOUT_ASSIGN_OR_RETURN(const uint32_t len, reader.Read<uint32_t>());
+      if (len > kMaxFramePayload) {
+        return Status::InvalidArgument("oversized metrics text");
+      }
+      DBSCOUT_ASSIGN_OR_RETURN(response.metrics.text, reader.ReadBytes(len));
       break;
     }
   }

@@ -11,13 +11,14 @@
 
 namespace dbscout::service {
 
-/// The four verbs of the detection service. One frame carries one request
+/// The verbs of the detection service. One frame carries one request
 /// or one response; a connection is a sequence of request/response pairs.
 enum class Verb : uint8_t {
   kIngest = 1,    // append a batch of points to a collection
   kQuery = 2,     // label of point-id / fresh probe point, optional score
   kStats = 3,     // phase counters and collection counts
   kSnapshot = 4,  // consistent full labeling at one epoch
+  kMetrics = 5,   // Prometheus text-format scrape of the whole service
 };
 
 /// Frames are a u32 little-endian payload length followed by the payload.
@@ -64,7 +65,10 @@ struct QueryAnswer {
   double score = 0.0;
 };
 
-/// STATS result payload.
+/// STATS result payload. `epoch` is per-collection (the snapshot the
+/// answer was built from); `uptime_seconds` is service-wide, so a STATS
+/// answer is self-describing about both the collection's position and the
+/// service's age.
 struct StatsAnswer {
   uint64_t epoch = 0;
   uint64_t num_points = 0;
@@ -73,6 +77,8 @@ struct StatsAnswer {
   uint64_t num_outliers = 0;
   /// INGEST requests shed by admission control since service start.
   uint64_t admission_rejections = 0;
+  /// Seconds since the service was constructed (monotonic clock).
+  double uptime_seconds = 0.0;
   std::vector<StatsRow> phases;
 };
 
@@ -82,6 +88,12 @@ struct SnapshotAnswer {
   uint64_t num_core = 0;
   uint64_t num_cells = 0;
   std::vector<core::PointKind> kinds;
+};
+
+/// METRICS result payload: the Prometheus text-format exposition of the
+/// service's metric registry (opaque to the protocol layer).
+struct MetricsAnswer {
+  std::string text;
 };
 
 /// One decoded response. `status` is the service-level outcome (kUnavailable
@@ -94,6 +106,7 @@ struct Response {
   QueryAnswer query;
   StatsAnswer stats;
   SnapshotAnswer snapshot;
+  MetricsAnswer metrics;
 };
 
 /// Serializes a request/response payload (no frame length prefix; the

@@ -67,6 +67,18 @@ Server::Server(DetectionService* service, int listen_fd, uint16_t port,
       port_(port),
       max_sessions_(max_sessions),
       pool_(1 + max_sessions) {
+  obs::Registry& registry = service_->registry();
+  frame_bytes_in_ = registry.GetCounter(
+      "dbscout_frame_bytes_in_total",
+      "Request frame bytes received (payload + length prefix)");
+  frame_bytes_out_ = registry.GetCounter(
+      "dbscout_frame_bytes_out_total",
+      "Response frame bytes sent (payload + length prefix)");
+  sessions_shed_counter_ = registry.GetCounter(
+      "dbscout_sessions_shed_total",
+      "Connections closed because all session slots were busy");
+  active_sessions_gauge_ =
+      registry.GetGauge("dbscout_active_sessions", "Open TCP sessions");
   pool_.Submit([this] { AcceptLoop(); });
 }
 
@@ -98,20 +110,25 @@ void Server::AcceptLoop() {
       // Full house: shed at the connection level rather than queueing
       // unbounded sessions. The client sees EOF before any response.
       sessions_shed_.fetch_add(1, std::memory_order_relaxed);
+      sessions_shed_counter_->Increment();
       ::close(fd);
       continue;
     }
     active_sessions_.fetch_add(1, std::memory_order_acq_rel);
+    active_sessions_gauge_->Add(1);
     pool_.Submit([this, fd] { Session(fd); });
   }
 }
 
 void Server::Session(int fd) {
+  // A frame on the wire is its payload plus the u32 length prefix.
+  constexpr uint64_t kFrameOverhead = sizeof(uint32_t);
   for (;;) {
     auto frame = ReadFrame(fd, &stop_);
     if (!frame.ok() || !frame->has_value()) {
       break;  // peer EOF, connection error, or shutdown
     }
+    frame_bytes_in_->Increment((*frame)->size() + kFrameOverhead);
     Response response;
     auto request = DecodeRequest(**frame);
     if (request.ok()) {
@@ -122,12 +139,17 @@ void Server::Session(int fd) {
       response.status = request.status();
     }
     const std::vector<uint8_t> payload = EncodeResponse(response);
-    if (!WriteFrame(fd, payload).ok() || !request.ok()) {
+    if (!WriteFrame(fd, payload).ok()) {
+      break;
+    }
+    frame_bytes_out_->Increment(payload.size() + kFrameOverhead);
+    if (!request.ok()) {
       break;
     }
   }
   ::close(fd);
   active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+  active_sessions_gauge_->Sub(1);
 }
 
 }  // namespace dbscout::service

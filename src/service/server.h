@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 namespace dbscout::service {
@@ -68,6 +69,12 @@ class Server {
   std::atomic<bool> stopped_{false};
   std::atomic<size_t> active_sessions_{0};
   std::atomic<uint64_t> sessions_shed_{0};
+
+  /// Transport metrics, resolved once from the service's registry.
+  obs::Counter* frame_bytes_in_ = nullptr;
+  obs::Counter* frame_bytes_out_ = nullptr;
+  obs::Counter* sessions_shed_counter_ = nullptr;
+  obs::Gauge* active_sessions_gauge_ = nullptr;
 
   ThreadPool pool_;
 };

@@ -3,38 +3,110 @@
 #include <span>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 
 namespace dbscout::service {
+namespace {
+
+const char* VerbLabel(Verb verb) {
+  switch (verb) {
+    case Verb::kIngest:
+      return "ingest";
+    case Verb::kQuery:
+      return "query";
+    case Verb::kStats:
+      return "stats";
+    case Verb::kSnapshot:
+      return "snapshot";
+    case Verb::kMetrics:
+      return "metrics";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 DetectionService::DetectionService(const ServiceOptions& options)
-    : options_(options), apply_pool_(1) {
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &obs::Registry::Global()),
+      trace_(options.trace),
+      apply_pool_(1) {
+  ingest_batches_total_ = registry_->GetCounter(
+      "dbscout_ingest_batches_total", "INGEST batches applied");
+  ingest_points_total_ = registry_->GetCounter(
+      "dbscout_ingest_points_total", "Points applied by the ingest loop");
+  ingest_errors_total_ = registry_->GetCounter(
+      "dbscout_ingest_errors_total",
+      "INGEST batches rejected mid-apply (bad dims / non-finite values)");
+  shed_total_ = registry_->GetCounter(
+      "dbscout_ingest_shed_total",
+      "INGEST requests shed by admission control");
+  collections_gauge_ =
+      registry_->GetGauge("dbscout_collections", "Live collections");
+  queue_wait_seconds_ = registry_->GetHistogram(
+      "dbscout_ingest_queue_wait_seconds",
+      "Enqueue-to-apply wait of ingest batches",
+      obs::HistogramLayout::Latency());
+  apply_batch_size_ = registry_->GetHistogram(
+      "dbscout_apply_batch_size",
+      "Ingest batches coalesced into one apply pass",
+      obs::HistogramLayout::Count());
+  for (const Verb verb : {Verb::kIngest, Verb::kQuery, Verb::kStats,
+                          Verb::kSnapshot, Verb::kMetrics}) {
+    request_seconds_[static_cast<size_t>(verb)] = registry_->GetHistogram(
+        "dbscout_request_seconds", "Dispatch latency by verb",
+        obs::HistogramLayout::Latency(), {{"verb", VerbLabel(verb)}});
+  }
   apply_pool_.Submit([this] { ApplyLoop(); });
 }
 
 DetectionService::~DetectionService() { Stop(); }
 
 Response DetectionService::Dispatch(const Request& request) {
-  if (request.collection.empty() ||
-      request.collection.size() > kMaxCollectionName) {
-    Response response;
-    response.verb = request.verb;
-    response.status = Status::InvalidArgument("bad collection name");
-    return response;
+  WallTimer timer;
+  Response response = [&] {
+    // METRICS is service-wide: no collection name involved.
+    if (request.verb == Verb::kMetrics) {
+      return DoMetrics();
+    }
+    if (request.collection.empty() ||
+        request.collection.size() > kMaxCollectionName) {
+      Response bad;
+      bad.verb = request.verb;
+      bad.status = Status::InvalidArgument("bad collection name");
+      return bad;
+    }
+    switch (request.verb) {
+      case Verb::kIngest:
+        return DoIngest(request);
+      case Verb::kQuery:
+        return DoQuery(request);
+      case Verb::kStats:
+        return DoStats(request);
+      case Verb::kSnapshot:
+        return DoSnapshot(request);
+      case Verb::kMetrics:
+        break;  // handled above
+    }
+    Response bad;
+    bad.status = Status::InvalidArgument("unknown verb");
+    return bad;
+  }();
+  const size_t verb_slot = static_cast<size_t>(request.verb);
+  if (verb_slot < request_seconds_.size() &&
+      request_seconds_[verb_slot] != nullptr) {
+    request_seconds_[verb_slot]->Observe(timer.ElapsedSeconds());
   }
-  switch (request.verb) {
-    case Verb::kIngest:
-      return DoIngest(request);
-    case Verb::kQuery:
-      return DoQuery(request);
-    case Verb::kStats:
-      return DoStats(request);
-    case Verb::kSnapshot:
-      return DoSnapshot(request);
-  }
+  return response;
+}
+
+Response DetectionService::DoMetrics() {
   Response response;
-  response.status = Status::InvalidArgument("unknown verb");
+  response.verb = Verb::kMetrics;
+  response.metrics.text = registry_->Expose();
   return response;
 }
 
@@ -83,6 +155,7 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
                              std::memory_order_release);
   Collection* raw = collection.get();
   collections_.emplace(name, std::move(collection));
+  collections_gauge_->Set(static_cast<int64_t>(collections_.size()));
   return raw;
 }
 
@@ -95,12 +168,13 @@ Status DetectionService::Enqueue(Collection* collection,
   }
   if (queue_.size() >= options_.max_pending_ingests) {
     admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+    shed_total_->Increment();
     return Status::Unavailable(
         StrFormat("ingest queue at admission cap (%zu); retry later",
                   options_.max_pending_ingests));
   }
-  queue_.push_back(
-      PendingIngest{collection, std::move(coords), std::move(ticket)});
+  queue_.push_back(PendingIngest{collection, std::move(coords),
+                                 std::move(ticket), MonotonicSeconds()});
   ++enqueued_;
   queue_cv_.notify_one();
   return Status::OK();
@@ -203,6 +277,7 @@ Response DetectionService::DoStats(const Request& request) {
   stats.num_cells = snap->num_cells();
   stats.num_outliers = snap->num_outliers();
   stats.admission_rejections = admission_rejections();
+  stats.uptime_seconds = UptimeSeconds();
   {
     std::lock_guard<std::mutex> lock(collection->stats_mu);
     for (const core::PhaseStats& row : collection->recorder.phases()) {
@@ -293,8 +368,15 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
   };
   std::unordered_map<Collection*, Touch> touched;
 
+  WallTimer pass_timer;
+  apply_batch_size_->Observe(static_cast<double>(batch.size()));
+  const double apply_start = MonotonicSeconds();
+  uint64_t pass_points = 0;
+  uint64_t pass_errors = 0;
+
   for (PendingIngest& op : batch) {
     Collection* collection = op.collection;
+    queue_wait_seconds_->Observe(apply_start - op.enqueue_seconds);
     WallTimer timer;
     Status status;
     const size_t dims = collection->detector.dims();
@@ -314,8 +396,10 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     Touch& touch = touched[collection];
     touch.seconds += timer.ElapsedSeconds();
     touch.records += applied_points;
+    pass_points += applied_points;
     if (!status.ok()) {
       ++touch.errors;
+      ++pass_errors;
     }
     if (op.ticket != nullptr) {
       // Safe without mu_: the waiter only reads these after `done` flips
@@ -337,6 +421,16 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
         total_comps - collection->last_distance_comps, touch.records);
     collection->last_distance_comps = total_comps;
     collection->ingest_errors += touch.errors;
+  }
+
+  ingest_batches_total_->Increment(batch.size());
+  ingest_points_total_->Increment(pass_points);
+  ingest_errors_total_->Increment(pass_errors);
+  if (trace_ != nullptr) {
+    // One span per coalesced apply pass, attributed to the apply thread.
+    trace_->AddSpanEndingNow("apply_pass", "service",
+                             pass_timer.ElapsedSeconds(), /*distances=*/0,
+                             pass_points);
   }
 
   // Complete tickets only now, so the epoch a blocking INGEST returns is

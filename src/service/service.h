@@ -1,6 +1,7 @@
 #ifndef DBSCOUT_SERVICE_SERVICE_H_
 #define DBSCOUT_SERVICE_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -13,9 +14,12 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/incremental.h"
 #include "core/params.h"
 #include "core/phases/phase_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 
 namespace dbscout::service {
@@ -31,6 +35,15 @@ struct ServiceOptions {
   /// Collections are created implicitly by the first INGEST; this bounds
   /// how many a misbehaving client can create.
   size_t max_collections = 64;
+
+  /// Metrics registry the service publishes into (and the METRICS verb
+  /// scrapes). Null selects obs::Registry::Global(); tests pass a local
+  /// registry for isolation. Not owned.
+  obs::Registry* registry = nullptr;
+
+  /// When non-null, the apply loop emits one span per apply pass (and the
+  /// per-collection detection work inherits it). Not owned.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// The long-running detection service: one exact IncrementalDetector per
@@ -87,6 +100,13 @@ class DetectionService {
     return admission_rejections_.load(std::memory_order_relaxed);
   }
 
+  /// Seconds since construction (monotonic clock; STATS uptime_seconds).
+  double UptimeSeconds() const { return uptime_.ElapsedSeconds(); }
+
+  /// The registry this service publishes into (options_.registry or the
+  /// global one). The METRICS verb serializes it.
+  obs::Registry& registry() const { return *registry_; }
+
   /// Test hook: while paused the apply loop leaves the queue untouched, so
   /// tests can fill it to the admission cap deterministically. Stop()
   /// overrides a pause (shutdown still drains).
@@ -121,12 +141,16 @@ class DetectionService {
     Collection* collection = nullptr;
     std::vector<double> coords;  // row-major, collection's dims
     std::shared_ptr<Ticket> ticket;  // null for async ingests
+    /// MonotonicSeconds() at enqueue; the apply loop observes the
+    /// difference into the queue-wait histogram.
+    double enqueue_seconds = 0.0;
   };
 
   Response DoIngest(const Request& request);
   Response DoQuery(const Request& request);
   Response DoStats(const Request& request);
   Response DoSnapshot(const Request& request);
+  Response DoMetrics();
 
   /// Looks up a collection (null when absent). Never creates.
   Collection* FindCollection(const std::string& name);
@@ -158,6 +182,22 @@ class DetectionService {
   bool apply_paused_ = false;
 
   std::atomic<uint64_t> admission_rejections_{0};
+
+  WallTimer uptime_;
+
+  /// Resolved observability handles (cached once in the constructor; the
+  /// hot paths below never touch the registry's map again).
+  obs::Registry* registry_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
+  obs::Counter* ingest_batches_total_ = nullptr;
+  obs::Counter* ingest_points_total_ = nullptr;
+  obs::Counter* ingest_errors_total_ = nullptr;
+  obs::Counter* shed_total_ = nullptr;
+  obs::Gauge* collections_gauge_ = nullptr;
+  obs::Histogram* queue_wait_seconds_ = nullptr;
+  obs::Histogram* apply_batch_size_ = nullptr;
+  /// Request latency by verb, indexed by Verb's numeric value.
+  std::array<obs::Histogram*, 6> request_seconds_{};
 
   /// Declared last so it is destroyed first: the apply-loop task has
   /// already exited by then (the destructor calls Stop()).

@@ -1,5 +1,9 @@
 #include "common/logging.h"
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace dbscout {
@@ -46,6 +50,95 @@ TEST(LoggingTest, BelowThresholdMessagesAreNotEvaluated) {
 TEST(LoggingTest, CheckPassesOnTrueCondition) {
   DBSCOUT_CHECK(1 + 1 == 2) << "never shown";
   SUCCEED();
+}
+
+class LogSinkGuard {
+ public:
+  ~LogSinkGuard() { SetLogSink(nullptr); }
+};
+
+TEST(LoggingTest, SinkCapturesStructuredRecords) {
+  LogLevelGuard level_guard;
+  LogSinkGuard sink_guard;
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<LogRecord> records;
+  SetLogSink([&records](const LogRecord& r) { records.push_back(r); });
+  DBSCOUT_LOG(kWarning) << "captured " << 42;
+  const int line = __LINE__ - 1;
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].level, LogLevel::kWarning);
+  EXPECT_EQ(records[0].message, "captured 42");
+  EXPECT_STREQ(records[0].file, "logging_test.cc");  // basename only
+  EXPECT_EQ(records[0].line, line);
+  EXPECT_EQ(records[0].thread_id, CurrentThreadId());
+}
+
+TEST(LoggingTest, SinkTimestampsAreMonotonic) {
+  LogLevelGuard level_guard;
+  LogSinkGuard sink_guard;
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<double> stamps;
+  SetLogSink([&stamps](const LogRecord& r) {
+    stamps.push_back(r.mono_seconds);
+  });
+  for (int i = 0; i < 5; ++i) {
+    DBSCOUT_LOG(kInfo) << "tick " << i;
+  }
+  ASSERT_EQ(stamps.size(), 5u);
+  for (size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_GE(stamps[i], stamps[i - 1]);
+  }
+  EXPECT_GE(stamps.front(), 0.0);
+}
+
+TEST(LoggingTest, SinkSeesDistinctThreadIds) {
+  LogLevelGuard level_guard;
+  LogSinkGuard sink_guard;
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<uint32_t> ids;
+  SetLogSink([&ids](const LogRecord& r) { ids.push_back(r.thread_id); });
+  DBSCOUT_LOG(kInfo) << "from main";
+  std::thread other([] { DBSCOUT_LOG(kInfo) << "from worker"; });  // lint:allow(raw-thread) thread-id semantics need a bare OS thread
+  other.join();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST(LoggingTest, NullSinkRestoresStderr) {
+  LogLevelGuard level_guard;
+  SetLogLevel(LogLevel::kInfo);
+  int captured = 0;
+  SetLogSink([&captured](const LogRecord&) { ++captured; });
+  DBSCOUT_LOG(kInfo) << "one";
+  SetLogSink(nullptr);
+  DBSCOUT_LOG(kInfo) << "not captured";  // goes to stderr, not the old sink
+  EXPECT_EQ(captured, 1);
+}
+
+TEST(LoggingTest, CurrentThreadIdIsStablePerThread) {
+  const uint32_t a = CurrentThreadId();
+  const uint32_t b = CurrentThreadId();
+  EXPECT_EQ(a, b);
+  uint32_t worker_id = a;
+  std::thread other([&worker_id] { worker_id = CurrentThreadId(); });  // lint:allow(raw-thread) thread-id semantics need a bare OS thread
+  other.join();
+  EXPECT_NE(worker_id, a);
+}
+
+TEST(LoggingDeathTest, ConcurrentFatalMessagesDoNotInterleave) {
+  // Two threads hitting kFatal at once: the abort happens while the emit
+  // lock is held, so whichever thread loses the race can never splice its
+  // message into the winner's line. The death output must contain the
+  // complete message of the aborting thread.
+  EXPECT_DEATH(
+      {
+        std::thread racer([] {  // lint:allow(raw-thread) thread-id semantics need a bare OS thread
+          DBSCOUT_LOG(kFatal) << "racer-fatal-message-alpha";
+        });
+        DBSCOUT_LOG(kFatal) << "main-fatal-message-omega";
+        racer.join();
+      },
+      "(racer-fatal-message-alpha|main-fatal-message-omega)");
 }
 
 TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {

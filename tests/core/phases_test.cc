@@ -241,6 +241,57 @@ TEST(PhasesTest, RecorderAccumulatesInFirstCallOrder) {
   EXPECT_EQ(rows[1].distance_computations, 100u);
 }
 
+TEST(PhasesTest, CanonicalEngineNames) {
+  EXPECT_EQ(kEngineSequential, "sequential");
+  EXPECT_EQ(kEngineSharedMemory, "shared_memory");
+  EXPECT_EQ(kEngineParallel, "parallel");
+  EXPECT_EQ(kEngineExternal, "external");
+  EXPECT_EQ(kEngineIncremental, "incremental");
+}
+
+TEST(PhasesTest, AttachedRecorderPublishesMetricsAndSpans) {
+  obs::Registry registry;
+  obs::TraceCollector trace;
+  PhaseRecorder recorder;
+  recorder.AttachObservability(kEngineExternal, &registry, &trace);
+  recorder.Accumulate(kPhaseGrid, 0.5, 10, 100);
+  recorder.Accumulate(kPhaseGrid, 0.25, 5, 50);  // second stripe, same row
+  // One merged row, but one span and one metric publication per call.
+  ASSERT_EQ(recorder.phases().size(), 1u);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.Spans()[0].name, kPhaseGrid);
+  EXPECT_EQ(trace.Spans()[0].cat, kEngineExternal);
+  EXPECT_EQ(trace.Spans()[1].distance_computations, 5u);
+  bool saw_hist = false;
+  bool saw_counter = false;
+  for (const auto& family : registry.Snapshot()) {
+    if (family.name == "dbscout_phase_seconds") {
+      ASSERT_EQ(family.series.size(), 1u);
+      EXPECT_EQ(family.series[0].histogram.count, 2u);
+      EXPECT_NEAR(family.series[0].histogram.sum, 0.75, 1e-6);
+      saw_hist = true;
+    }
+    if (family.name == "dbscout_phase_distance_computations_total") {
+      ASSERT_EQ(family.series.size(), 1u);
+      EXPECT_EQ(family.series[0].counter, 15u);
+      EXPECT_EQ(family.series[0].labels,
+                (obs::Labels{{"engine", "external"}, {"phase", "grid"}}));
+      saw_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(PhasesTest, UnattachedRecorderPublishesNothing) {
+  // No registry / trace attached: Record and Accumulate only build rows.
+  PhaseRecorder recorder;
+  recorder.Start();
+  recorder.Record(kPhaseGrid, 1, 2);
+  recorder.Accumulate(kPhaseOutliers, 0.1, 3, 4);
+  EXPECT_EQ(recorder.phases().size(), 2u);
+}
+
 TEST(PhasesTest, ScopedPhaseRecordsOnDestruction) {
   PhaseRecorder recorder;
   {

@@ -1,0 +1,213 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, SumsAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;  // lint:allow(raw-thread) exercises wait-free cells without the pool
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(10);
+  g.Add(5);
+  g.Sub(7);
+  EXPECT_EQ(g.Value(), 8);
+  g.Sub(20);
+  EXPECT_EQ(g.Value(), -12);
+}
+
+TEST(HistogramTest, BucketBoundsAreLogSpaced) {
+  Histogram h{HistogramLayout::Count()};
+  EXPECT_DOUBLE_EQ(h.BucketBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketBound(10), 1024.0);
+  Histogram lat{HistogramLayout::Latency()};
+  EXPECT_DOUBLE_EQ(lat.BucketBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(lat.BucketBound(20), 1e-6 * (1 << 20));
+}
+
+TEST(HistogramTest, ValueOnBoundaryLandsInThatBucket) {
+  // Buckets are cumulative "le" (less-or-equal) buckets: a value exactly
+  // equal to a bound must count toward that bound, not the next one.
+  Histogram h{HistogramLayout::Count()};
+  h.Observe(1.0);  // == bound of bucket 0
+  h.Observe(2.0);  // == bound of bucket 1
+  h.Observe(1.5);  // between: bucket 1
+  const auto snap = h.Snap();
+  EXPECT_EQ(snap.cumulative[0], 1u);
+  EXPECT_EQ(snap.cumulative[1], 3u);
+  EXPECT_EQ(snap.cumulative[2], 3u);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_NEAR(snap.sum, 4.5, 1e-9);
+}
+
+TEST(HistogramTest, OverflowGoesToInfBucket) {
+  Histogram h{HistogramLayout::Count()};
+  const double top = h.BucketBound(Histogram::kNumBuckets - 1);
+  h.Observe(top);          // largest finite bucket
+  h.Observe(top * 4.0);    // beyond every finite bound -> +Inf only
+  const auto snap = h.Snap();
+  EXPECT_EQ(snap.cumulative[Histogram::kNumBuckets - 1], 1u);
+  EXPECT_EQ(snap.cumulative[Histogram::kNumBuckets], 2u);
+  EXPECT_EQ(snap.count, 2u);
+  // The +Inf cumulative count always equals the total count.
+  EXPECT_EQ(snap.cumulative.back(), snap.count);
+}
+
+TEST(HistogramTest, NegativeAndNanClampToZeroBucket) {
+  Histogram h{HistogramLayout::Latency()};
+  h.Observe(-5.0);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  const auto snap = h.Snap();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.cumulative[0], 2u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+}
+
+TEST(HistogramTest, CumulativeCountsAreMonotone) {
+  Histogram h{HistogramLayout::Latency()};
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(1e-6 * i * i);
+  }
+  const auto snap = h.Snap();
+  for (size_t i = 1; i < snap.cumulative.size(); ++i) {
+    EXPECT_GE(snap.cumulative[i], snap.cumulative[i - 1]) << "bucket " << i;
+  }
+  EXPECT_EQ(snap.count, 100u);
+}
+
+TEST(RegistryTest, SameNameAndLabelsYieldSamePointer) {
+  Registry registry;
+  Counter* a = registry.GetCounter("dbscout_test_total", "help");
+  Counter* b = registry.GetCounter("dbscout_test_total", "other help");
+  EXPECT_EQ(a, b);
+  Counter* labeled =
+      registry.GetCounter("dbscout_test_total", "help", {{"k", "v"}});
+  EXPECT_NE(a, labeled);
+  // Label order is normalized: {a,b} and {b,a} are one series.
+  Counter* x = registry.GetCounter("dbscout_multi_total", "h",
+                                   {{"a", "1"}, {"b", "2"}});
+  Counter* y = registry.GetCounter("dbscout_multi_total", "h",
+                                   {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(x, y);
+}
+
+TEST(RegistryTest, SnapshotCarriesValues) {
+  Registry registry;
+  registry.GetCounter("zz_counter_total", "c")->Increment(7);
+  registry.GetGauge("aa_gauge", "g")->Set(-3);
+  registry.GetHistogram("mm_hist_seconds", "h")->Observe(0.5);
+  const auto families = registry.Snapshot();
+  ASSERT_EQ(families.size(), 3u);
+  // Families are sorted by name.
+  EXPECT_EQ(families[0].name, "aa_gauge");
+  EXPECT_EQ(families[1].name, "mm_hist_seconds");
+  EXPECT_EQ(families[2].name, "zz_counter_total");
+  EXPECT_EQ(families[0].type, Registry::Type::kGauge);
+  EXPECT_EQ(families[0].series.at(0).gauge, -3);
+  EXPECT_EQ(families[1].type, Registry::Type::kHistogram);
+  EXPECT_EQ(families[1].series.at(0).histogram.count, 1u);
+  EXPECT_EQ(families[2].type, Registry::Type::kCounter);
+  EXPECT_EQ(families[2].series.at(0).counter, 7u);
+}
+
+TEST(RegistryTest, ExposePrometheusTextFormat) {
+  Registry registry;
+  registry.GetCounter("dbscout_requests_total", "Total requests",
+                      {{"verb", "query"}})
+      ->Increment(5);
+  registry.GetGauge("dbscout_sessions", "Open sessions")->Set(2);
+  const std::string text = registry.Expose();
+  EXPECT_NE(text.find("# HELP dbscout_requests_total Total requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dbscout_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbscout_requests_total{verb=\"query\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dbscout_sessions gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("dbscout_sessions 2\n"), std::string::npos);
+  // Scrapes end with a newline (Prometheus exposition requirement).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(RegistryTest, ExposeExpandsHistograms) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram(
+      "dbscout_latency_seconds", "Latency", HistogramLayout::Latency());
+  h->Observe(1e-6);  // first bucket
+  h->Observe(1e9);   // +Inf
+  const std::string text = registry.Expose();
+  EXPECT_NE(text.find("# TYPE dbscout_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbscout_latency_seconds_bucket{le=\"1e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbscout_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbscout_latency_seconds_count 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbscout_latency_seconds_sum"), std::string::npos);
+}
+
+TEST(RegistryTest, ExposeEscapesLabelValues) {
+  Registry registry;
+  registry.GetCounter("dbscout_esc_total", "h",
+                      {{"path", "a\"b\\c\nd"}})
+      ->Increment();
+  const std::string text = registry.Expose();
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(RegistryTest, GlobalIsStable) {
+  Registry& a = Registry::Global();
+  Registry& b = Registry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RegistryDeathTest, RejectsInvalidMetricName) {
+  Registry registry;
+  EXPECT_DEATH(registry.GetCounter("bad name!", "h"), "bad metric name");
+}
+
+TEST(RegistryDeathTest, RejectsTypeMismatch) {
+  Registry registry;
+  registry.GetCounter("dbscout_thing_total", "h");
+  EXPECT_DEATH(registry.GetGauge("dbscout_thing_total", "h"),
+               "different type");
+}
+
+}  // namespace
+}  // namespace dbscout::obs

@@ -53,7 +53,7 @@ TEST(ProtocolTest, ProbeQueryRequestRoundTrip) {
 }
 
 TEST(ProtocolTest, StatsAndSnapshotRequestsRoundTrip) {
-  for (Verb verb : {Verb::kStats, Verb::kSnapshot}) {
+  for (Verb verb : {Verb::kStats, Verb::kSnapshot, Verb::kMetrics}) {
     Request request;
     request.verb = verb;
     request.collection = "x";
@@ -62,6 +62,16 @@ TEST(ProtocolTest, StatsAndSnapshotRequestsRoundTrip) {
     EXPECT_EQ(decoded->verb, verb);
     EXPECT_EQ(decoded->collection, "x");
   }
+}
+
+TEST(ProtocolTest, MetricsRequestAllowsEmptyCollection) {
+  // METRICS scrapes the whole service; no collection is required.
+  Request request;
+  request.verb = Verb::kMetrics;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kMetrics);
+  EXPECT_TRUE(decoded->collection.empty());
 }
 
 TEST(ProtocolTest, IngestResponseRoundTrip) {
@@ -98,6 +108,7 @@ TEST(ProtocolTest, StatsResponseRoundTrip) {
   response.stats.num_cells = 4;
   response.stats.num_outliers = 2;
   response.stats.admission_rejections = 3;
+  response.stats.uptime_seconds = 12.75;
   response.stats.phases = {{"apply", 0.5, 1000, 10}, {"query", 0.25, 12, 2}};
   auto decoded = DecodeResponse(EncodeResponse(response));
   ASSERT_TRUE(decoded.ok()) << decoded.status();
@@ -105,7 +116,28 @@ TEST(ProtocolTest, StatsResponseRoundTrip) {
   EXPECT_EQ(decoded->stats.num_core, 6u);
   EXPECT_EQ(decoded->stats.num_outliers, 2u);
   EXPECT_EQ(decoded->stats.admission_rejections, 3u);
+  EXPECT_EQ(decoded->stats.uptime_seconds, 12.75);
   EXPECT_EQ(decoded->stats.phases, response.stats.phases);
+}
+
+TEST(ProtocolTest, MetricsResponseRoundTrip) {
+  Response response;
+  response.verb = Verb::kMetrics;
+  response.metrics.text =
+      "# HELP dbscout_x_total x\n# TYPE dbscout_x_total counter\n"
+      "dbscout_x_total 5\n";
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->metrics.text, response.metrics.text);
+}
+
+TEST(ProtocolTest, EmptyMetricsResponseRoundTrip) {
+  Response response;
+  response.verb = Verb::kMetrics;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->metrics.text.empty());
 }
 
 TEST(ProtocolTest, SnapshotResponseRoundTrip) {
@@ -151,6 +183,45 @@ TEST(ProtocolTest, RejectsTruncatedFrames) {
   // Every proper prefix must be rejected, never read out of bounds.
   for (size_t len = 0; len < bytes.size(); ++len) {
     EXPECT_FALSE(DecodeRequest({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(ProtocolTest, RejectsTruncatedResponses) {
+  // Every proper prefix of every response shape must be rejected cleanly —
+  // including through the newer STATS uptime_seconds field and the METRICS
+  // text payload.
+  std::vector<Response> responses;
+  {
+    Response r;
+    r.verb = Verb::kStats;
+    r.stats.epoch = 1;
+    r.stats.num_points = 2;
+    r.stats.uptime_seconds = 3.5;
+    r.stats.phases = {{"apply", 0.5, 1000, 10}};
+    responses.push_back(std::move(r));
+  }
+  {
+    Response r;
+    r.verb = Verb::kMetrics;
+    r.metrics.text = "dbscout_x_total 5\n";
+    responses.push_back(std::move(r));
+  }
+  {
+    Response r;
+    r.verb = Verb::kQuery;
+    r.query.kind = PointKind::kCore;
+    r.query.has_score = true;
+    r.query.score = 0.5;
+    responses.push_back(std::move(r));
+  }
+  for (const Response& response : responses) {
+    const std::vector<uint8_t> bytes = EncodeResponse(response);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_FALSE(DecodeResponse({bytes.data(), len}).ok())
+          << "verb " << static_cast<int>(response.verb) << " len " << len;
+    }
+    auto full = DecodeResponse(bytes);
+    EXPECT_TRUE(full.ok()) << full.status();
   }
 }
 

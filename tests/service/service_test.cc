@@ -1,12 +1,16 @@
 #include "service/service.h"
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "core/dbscout.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/handle.h"
 #include "testutil.h"
 
@@ -265,6 +269,112 @@ TEST(ServiceTest, StopDrainsQueueAndRefusesNewIngests) {
   // Both points within eps=1.0 of each other: minPts=2 makes them core.
   EXPECT_EQ(snapshot->snapshot.kinds,
             (std::vector<PointKind>{PointKind::kCore, PointKind::kCore}));
+}
+
+TEST(ServiceTest, StatsReportsUptime) {
+  DetectionService service(MakeOptions(1.0, 2));
+  ServiceHandle handle(&service);
+  ASSERT_TRUE(service.IngestAsync("c", 1, {0.0}).ok());
+  service.Drain();
+  auto stats = handle.Call(StatsRequest("c"));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->status.ok());
+  EXPECT_GT(stats->stats.uptime_seconds, 0.0);
+  EXPECT_GE(service.UptimeSeconds(), stats->stats.uptime_seconds);
+}
+
+Request MetricsRequest() {
+  Request request;
+  request.verb = Verb::kMetrics;
+  return request;
+}
+
+TEST(ServiceTest, MetricsVerbScrapesLocalRegistry) {
+  // A test-local registry isolates the assertions from whatever the global
+  // registry accumulated in other tests.
+  obs::Registry registry;
+  ServiceOptions options = MakeOptions(1.0, 2);
+  options.registry = &registry;
+  DetectionService service(options);
+  ServiceHandle handle(&service);
+
+  // METRICS works before any collection exists (no collection required).
+  auto empty_scrape = handle.Call(MetricsRequest());
+  ASSERT_TRUE(empty_scrape.ok());
+  ASSERT_TRUE(empty_scrape->status.ok());
+  EXPECT_NE(empty_scrape->metrics.text.find("dbscout_ingest_points_total"),
+            std::string::npos);
+
+  ASSERT_TRUE(service.IngestAsync("c", 1, {0.0, 0.5, 1.0}).ok());
+  service.Drain();
+  auto query = handle.Call(StatsRequest("c"));
+  ASSERT_TRUE(query.ok());
+
+  const auto scrape = handle.Call(MetricsRequest());
+  ASSERT_TRUE(scrape.ok());
+  ASSERT_TRUE(scrape->status.ok());
+  const std::string& text = scrape->metrics.text;
+  EXPECT_NE(text.find("# TYPE dbscout_ingest_points_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbscout_ingest_points_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("dbscout_ingest_batches_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbscout_collections 1\n"), std::string::npos);
+  // Per-verb latency histograms carry the verb label; the stats call above
+  // must have been observed.
+  EXPECT_NE(text.find("dbscout_request_seconds_count{verb=\"stats\"} 1"),
+            std::string::npos);
+  // Queue-wait and batch-size histograms saw the one applied batch.
+  EXPECT_NE(text.find("dbscout_ingest_queue_wait_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbscout_apply_batch_size_count 1"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, IngestErrorAndShedCountersTrack) {
+  obs::Registry registry;
+  ServiceOptions options = MakeOptions(1.0, 2);
+  options.registry = &registry;
+  options.max_pending_ingests = 1;
+  DetectionService service(options);
+  service.SetApplyPausedForTest(true);
+  ASSERT_TRUE(service.IngestAsync("c", 1, {0.0}).ok());
+  // Queue full: admission shed.
+  EXPECT_EQ(service.IngestAsync("c", 1, {1.0}).code(),
+            StatusCode::kUnavailable);
+  service.SetApplyPausedForTest(false);
+  service.Drain();
+  // A non-finite coordinate passes admission (only dims are checked at
+  // enqueue) but fails at apply time, feeding the error counter.
+  ASSERT_TRUE(
+      service
+          .IngestAsync("c", 1,
+                       {std::numeric_limits<double>::quiet_NaN()})
+          .ok());
+  service.Drain();
+  const std::string text = service.Dispatch(MetricsRequest()).metrics.text;
+  EXPECT_NE(text.find("dbscout_ingest_shed_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dbscout_ingest_errors_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dbscout_ingest_points_total 1\n"), std::string::npos);
+}
+
+TEST(ServiceTest, ApplyPassEmitsServiceTraceSpans) {
+  obs::Registry registry;
+  obs::TraceCollector trace;
+  ServiceOptions options = MakeOptions(1.0, 2);
+  options.registry = &registry;
+  options.trace = &trace;
+  DetectionService service(options);
+  ASSERT_TRUE(service.IngestAsync("c", 1, {0.0, 0.5}).ok());
+  service.Drain();
+  bool saw_apply_pass = false;
+  for (const auto& span : trace.Spans()) {
+    if (span.name == "apply_pass" && span.cat == "service") {
+      saw_apply_pass = true;
+      EXPECT_EQ(span.records, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_apply_pass);
 }
 
 TEST(ServiceTest, ReadsOnFreshCollectionSeeEpochZero) {

@@ -1,0 +1,173 @@
+// Concurrency stress for the observability layer, written for
+// -DDBSCOUT_SANITIZE=thread (run in every mode, labeled `stress`):
+//  - many threads hammering one Counter / Histogram through the registry,
+//  - ScopedPhase counters incremented from concurrent workers while the
+//    owning recorder publishes to a live registry and trace collector.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/phases/phase_kernels.h"
+#include "core/phases/phase_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dbscout {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kPerThread = 20000;
+
+TEST(ObsStressTest, CounterUnderContention) {
+  obs::Registry registry;
+  obs::Counter* counter =
+      registry.GetCounter("dbscout_stress_total", "stress counter");
+  std::vector<std::thread> threads;  // lint:allow(raw-thread) contention stress needs bare OS threads
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsStressTest, HistogramUnderContention) {
+  obs::Registry registry;
+  obs::Histogram* hist =
+      registry.GetHistogram("dbscout_stress_seconds", "stress histogram",
+                            obs::HistogramLayout::Latency());
+  std::vector<std::thread> threads;  // lint:allow(raw-thread) contention stress needs bare OS threads
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Observe(1e-6 * ((t + i) % 64));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const auto snap = hist->Snap();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.cumulative.back(), snap.count);
+}
+
+TEST(ObsStressTest, ConcurrentRegistrationIsSafe) {
+  obs::Registry registry;
+  std::vector<std::thread> threads;  // lint:allow(raw-thread) contention stress needs bare OS threads
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 200; ++i) {
+        // Half the names collide across threads, half are thread-unique;
+        // both paths must be race-free and return stable pointers.
+        registry
+            .GetCounter("dbscout_shared_total", "h",
+                        {{"slot", std::to_string(i % 8)}})
+            ->Increment();
+        registry
+            .GetCounter("dbscout_thread_" + std::to_string(t) + "_total", "h")
+            ->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  uint64_t shared_total = 0;
+  for (const auto& family : registry.Snapshot()) {
+    if (family.name == "dbscout_shared_total") {
+      for (const auto& series : family.series) {
+        shared_total += series.counter;
+      }
+    }
+  }
+  EXPECT_EQ(shared_total, static_cast<uint64_t>(kThreads) * 200);
+}
+
+TEST(ObsStressTest, ScopedPhaseWithConcurrentCountersPublishes) {
+  obs::Registry registry;
+  obs::TraceCollector trace;
+  core::phases::PhaseRecorder recorder;
+  recorder.AttachObservability(core::phases::kEngineParallel, &registry,
+                               &trace);
+  {
+    core::phases::ScopedPhase phase(&recorder,
+                                    core::phases::kPhaseCorePoints);
+    std::vector<std::thread> threads;  // lint:allow(raw-thread) contention stress needs bare OS threads
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&phase] {
+        for (int i = 0; i < kPerThread; ++i) {
+          phase.distances.fetch_add(2, std::memory_order_relaxed);
+          phase.records.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }  // ~ScopedPhase records and publishes here
+  const auto& rows = recorder.phases();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, core::phases::kPhaseCorePoints);
+  EXPECT_EQ(rows[0].distance_computations,
+            2ull * kThreads * kPerThread);
+  EXPECT_EQ(rows[0].records, static_cast<uint64_t>(kThreads) * kPerThread);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.Spans()[0].name, core::phases::kPhaseCorePoints);
+  bool found = false;
+  for (const auto& family : registry.Snapshot()) {
+    if (family.name == "dbscout_phase_distance_computations_total") {
+      ASSERT_EQ(family.series.size(), 1u);
+      EXPECT_EQ(family.series[0].counter, 2ull * kThreads * kPerThread);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsStressTest, TraceAndMetricsPublishedFromManyRecorders) {
+  // Several recorders (as if engines ran back to back) publishing into one
+  // registry + trace concurrently, as the service's per-collection engines
+  // can.
+  obs::Registry registry;
+  obs::TraceCollector trace;
+  std::vector<std::thread> threads;  // lint:allow(raw-thread) contention stress needs bare OS threads
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &trace] {
+      core::phases::PhaseRecorder recorder;
+      recorder.AttachObservability(core::phases::kEngineExternal, &registry,
+                                   &trace);
+      for (int stripe = 0; stripe < 50; ++stripe) {
+        recorder.Accumulate(core::phases::kPhaseGrid, 1e-5, 3, 5);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(trace.size(), static_cast<size_t>(kThreads) * 50);
+  for (const auto& family : registry.Snapshot()) {
+    if (family.name == "dbscout_phase_records_total") {
+      ASSERT_EQ(family.series.size(), 1u);
+      EXPECT_EQ(family.series[0].counter, 5ull * kThreads * 50);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbscout

@@ -6,9 +6,11 @@
 //   dbscout_client --port=P --collection=C --query-id=I [--score]
 //   dbscout_client --port=P --collection=C --stats
 //   dbscout_client --port=P --collection=C --snapshot
+//   dbscout_client --port=P --metrics
 //
 // Output is line-oriented key=value, grep-friendly for scripts
-// (tools/serve_smoke.sh asserts against it).
+// (tools/serve_smoke.sh asserts against it). --metrics is the exception:
+// it prints the raw Prometheus text-format scrape of the whole service.
 
 #include <iostream>
 #include <string>
@@ -45,8 +47,8 @@ int Usage() {
   std::cerr
       << "usage: dbscout_client --port=P --collection=C "
          "(--ingest=FILE [--format=csv|binary] | --query=X,Y[,...] "
-         "[--score] | --query-id=I [--score] | --stats | --snapshot) "
-         "[--host=H]\n";
+         "[--score] | --query-id=I [--score] | --stats | --snapshot), "
+         "or dbscout_client --port=P --metrics [--host=H]\n";
   return 2;
 }
 
@@ -81,7 +83,9 @@ int main(int argc, char** argv) {
 
   const char* port_text = FlagValue(argc, argv, "port");
   const char* collection = FlagValue(argc, argv, "collection");
-  if (port_text == nullptr || collection == nullptr) {
+  const bool want_metrics = HasFlag(argc, argv, "metrics");
+  // --metrics scrapes the whole service, so it takes no collection.
+  if (port_text == nullptr || (collection == nullptr && !want_metrics)) {
     return Usage();
   }
   auto port = ParseUint64(port_text);
@@ -98,6 +102,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bool want_score = HasFlag(argc, argv, "score");
+
+  if (want_metrics) {
+    auto text = client->Metrics();
+    if (!text.ok()) {
+      std::cerr << "dbscout_client: " << text.status() << "\n";
+      return 1;
+    }
+    std::cout << *text;
+    return 0;
+  }
 
   if (const char* path = FlagValue(argc, argv, "ingest")) {
     const char* format = FlagValue(argc, argv, "format");
@@ -170,7 +184,8 @@ int main(int argc, char** argv) {
               << " core=" << stats->num_core
               << " outliers=" << stats->num_outliers
               << " cells=" << stats->num_cells
-              << " shed=" << stats->admission_rejections << "\n";
+              << " shed=" << stats->admission_rejections
+              << " uptime=" << stats->uptime_seconds << "\n";
     for (const auto& row : stats->phases) {
       std::cout << "phase " << row.name << " seconds=" << row.seconds
                 << " dist-comps=" << row.distance_comps

@@ -5,6 +5,10 @@
 //
 // usage: dbscout_serve --eps=X --min-pts=N [--host=H] [--port=P]
 //                      [--max-sessions=S] [--max-pending=Q]
+//                      [--trace-out=FILE]
+//
+// --trace-out=FILE writes a Chrome/Perfetto trace of apply-pass and
+// per-phase spans when the server shuts down.
 //
 // --port=0 (the default) binds an ephemeral port; the chosen port is
 // printed as "listening on H:P" so wrappers (tools/serve_smoke.sh) can
@@ -18,6 +22,7 @@
 #include <string>
 
 #include "common/str_util.h"
+#include "obs/trace.h"
 #include "service/server.h"
 #include "service/service.h"
 
@@ -42,7 +47,8 @@ const char* FlagValue(int argc, char** argv, const std::string& name) {
 
 int Usage() {
   std::cerr << "usage: dbscout_serve --eps=X --min-pts=N [--host=H] "
-               "[--port=P] [--max-sessions=S] [--max-pending=Q]\n";
+               "[--port=P] [--max-sessions=S] [--max-pending=Q] "
+               "[--trace-out=FILE]\n";
   return 2;
 }
 
@@ -72,6 +78,12 @@ int main(int argc, char** argv) {
       return Usage();
     }
     service_options.max_pending_ingests = *value;
+  }
+  dbscout::obs::TraceCollector trace;
+  std::string trace_out;
+  if (const char* text = FlagValue(argc, argv, "trace-out")) {
+    trace_out = text;
+    service_options.trace = &trace;
   }
 
   dbscout::service::ServerOptions server_options;
@@ -115,5 +127,12 @@ int main(int argc, char** argv) {
   std::cout << "shutting down" << std::endl;
   (*server)->Stop();   // drain sessions first ...
   service.Stop();      // ... then the apply queue
+  if (!trace_out.empty()) {
+    const auto status = trace.WriteChromeJson(trace_out);
+    if (!status.ok()) {
+      std::cerr << "dbscout_serve: " << status << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -42,6 +42,16 @@ Enforces, statically, the contracts that the compiler cannot:
                      src/grid, src/service (the serving layer answers from
                      snapshots and must not re-classify); baselines are
                      independent implementations by design and exempt.
+  hot-path-purity    The scan kernels must stay wait-free and silent: no
+                     DBSCOUT_LOG / DBSCOUT_CHECK streaming and no mutex
+                     acquisition (std::mutex, lock_guard, unique_lock,
+                     scoped_lock, shared_mutex, .lock(), pthread_mutex_*)
+                     inside src/simd/ or the phase kernels
+                     (src/core/phases/phase_kernels.*). Observability for
+                     these paths flows through the sharded obs::Counter
+                     cells and the PhaseRecorder, which publish outside the
+                     scan loops. phase_recorder.h / driver.h orchestrate
+                     around the kernels and are out of scope.
 
 A finding on a given line is waived by `lint:allow(<rule>)` in a comment on
 that line; use sparingly and justify next to the waiver.
@@ -405,6 +415,44 @@ def check_phase_logic_locality(path: str, lines: List[str]
 
 
 # ---------------------------------------------------------------------------
+# Rule: hot-path-purity
+# ---------------------------------------------------------------------------
+
+HOT_PATH_FILE_RE = re.compile(
+    r"^(src/simd/[^/]+\.(?:cc|cpp|h|hpp)"
+    r"|src/core/phases/phase_kernels\.(?:cc|cpp|h|hpp))$")
+HOT_PATH_LOG_RE = re.compile(r"\bDBSCOUT_(?:LOG|CHECK)\b")
+HOT_PATH_MUTEX_RE = re.compile(
+    r"(std::(?:recursive_|shared_|timed_)*mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\.\s*(?:try_)?lock(?:_shared)?\s*\("
+    r"|\bpthread_mutex_\w+)")
+
+
+def check_hot_path_purity(path: str, lines: List[str]) -> Iterable[Finding]:
+    rule = "hot-path-purity"
+    if not HOT_PATH_FILE_RE.match(path.replace(os.sep, "/")):
+        return
+    for i, line in enumerate(lines, 1):
+        if waived(line, rule):
+            continue
+        code = strip_line_comment(line)
+        m = HOT_PATH_LOG_RE.search(code)
+        if m:
+            yield Finding(path, i, rule,
+                          f"'{m.group(0)}' in a scan kernel: the hot path "
+                          "must stay silent; record through PhaseRecorder / "
+                          "obs counters and log from the driver")
+        m = HOT_PATH_MUTEX_RE.search(code)
+        if m:
+            yield Finding(path, i, rule,
+                          f"mutex acquisition '{m.group(0).strip()}' in a "
+                          "scan kernel: the hot path must stay wait-free; "
+                          "use the sharded atomic cells in obs::Counter or "
+                          "aggregate after the loop")
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -442,6 +490,7 @@ def lint_files(files: List[Tuple[str, List[str]]]) -> List[Finding]:
         findings.extend(check_raw_thread(path, lines))
         findings.extend(check_raw_rng(path, lines))
         findings.extend(check_phase_logic_locality(path, lines))
+        findings.extend(check_hot_path_purity(path, lines))
         findings.extend(check_discarded(path, lines))
     return findings
 
@@ -554,6 +603,37 @@ def self_test() -> int:
     expect("phase-logic-locality",
            list(check_phase_logic_locality("src/grid/grid.cc", storage)), 1,
            "celltype-outside-cellmap")
+
+    # hot-path-purity
+    bad = lines("DBSCOUT_LOG(kDebug) << \"cell \" << c;\n"
+                "std::lock_guard<std::mutex> g(mu_);\n"
+                "counts_mu_.lock();\n"
+                "DBSCOUT_CHECK(count <= n);\n")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/simd/distance_kernel.cc", bad)),
+           4, "simd-seeded")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/core/phases/phase_kernels.cc",
+                                      bad)), 4, "kernels-seeded")
+    ok = lines("hits += CountNeighborsBatch(pts, i, eps2);\n"
+               "counter->Increment();  // sharded atomic cell, wait-free\n"
+               "std::atomic<uint64_t> total{0};\n")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/simd/distance_kernel.cc", ok)), 0,
+           "clean")
+    waived_line = lines(
+        "std::mutex mu;  // lint:allow(hot-path-purity) cold init path\n")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/simd/distance_kernel.h",
+                                      waived_line)), 0, "waived")
+    out_of_scope = lines("std::lock_guard<std::mutex> g(mu_);\n"
+                         "DBSCOUT_LOG(kInfo) << \"publishing\";\n")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/core/phases/phase_recorder.h",
+                                      out_of_scope)), 0, "recorder-exempt")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/obs/metrics.cc", out_of_scope)),
+           0, "obs-exempt")
 
     # discarded-status
     header = ("src/api.h", lines("Status Frobnicate(int x);\n"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke for the detection service: boots dbscout_serve on an
 # ephemeral port, ingests a generated shape dataset through dbscout_client,
-# checks that stats report outliers, probes a far-away point, then shuts
-# the server down with SIGTERM and verifies a clean exit.
+# checks that stats report outliers, probes a far-away point, scrapes the
+# METRICS endpoint twice (Prometheus text format, monotone counters), then
+# shuts the server down with SIGTERM and verifies a clean exit.
 #
 # usage: tools/serve_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -56,6 +57,36 @@ echo "== probe a far-away point (must be an outlier)"
 PROBE="$("$CLIENT" --port="$PORT" --collection=smoke --query=1000,1000 --score)"
 echo "   $PROBE"
 grep -q "kind=outlier" <<<"$PROBE" || { echo "FAIL: far probe not an outlier"; exit 1; }
+
+echo "== metrics scrape (Prometheus text format)"
+scrape_counter() {  # scrape_counter FILE LINE_PREFIX -> integer value
+  sed -n "s/^$2 \([0-9][0-9]*\)$/\1/p" "$1"
+}
+"$CLIENT" --port="$PORT" --metrics >"$WORK/metrics1.txt"
+grep -q '^# HELP dbscout_ingest_points_total ' "$WORK/metrics1.txt" \
+  || { echo "FAIL: missing HELP line"; cat "$WORK/metrics1.txt"; exit 1; }
+grep -q '^# TYPE dbscout_ingest_points_total counter$' "$WORK/metrics1.txt" \
+  || { echo "FAIL: missing TYPE line"; exit 1; }
+grep -q '^dbscout_request_seconds_bucket{.*le="+Inf"} ' "$WORK/metrics1.txt" \
+  || { echo "FAIL: missing +Inf histogram bucket"; exit 1; }
+POINTS1="$(scrape_counter "$WORK/metrics1.txt" dbscout_ingest_points_total)"
+[[ "$POINTS1" -eq 2000 ]] \
+  || { echo "FAIL: ingest_points_total=$POINTS1, want 2000"; exit 1; }
+QUERIES1="$(scrape_counter "$WORK/metrics1.txt" \
+  'dbscout_request_seconds_count{verb="query"}')"
+[[ "$QUERIES1" -ge 1 ]] || { echo "FAIL: no query latency samples"; exit 1; }
+
+echo "== second scrape: counters must be monotone non-decreasing"
+"$CLIENT" --port="$PORT" --collection=smoke --query=1000,1000 >/dev/null
+"$CLIENT" --port="$PORT" --metrics >"$WORK/metrics2.txt"
+POINTS2="$(scrape_counter "$WORK/metrics2.txt" dbscout_ingest_points_total)"
+QUERIES2="$(scrape_counter "$WORK/metrics2.txt" \
+  'dbscout_request_seconds_count{verb="query"}')"
+[[ "$POINTS2" -ge "$POINTS1" ]] \
+  || { echo "FAIL: ingest_points_total went backwards ($POINTS1 -> $POINTS2)"; exit 1; }
+[[ "$QUERIES2" -gt "$QUERIES1" ]] \
+  || { echo "FAIL: query count did not advance ($QUERIES1 -> $QUERIES2)"; exit 1; }
+echo "   ingest_points_total=$POINTS2 query_count=$QUERIES1->$QUERIES2"
 
 echo "== graceful shutdown"
 kill -TERM "$SERVER_PID"
