@@ -1,21 +1,29 @@
 #ifndef DBSCOUT_COMMON_COW_H_
 #define DBSCOUT_COMMON_COW_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 namespace dbscout {
 
-/// Chunked, copy-on-write growable array built for a single-writer /
+/// Chunked, copy-on-write growable array built for a phased writer /
 /// many-reader regime with explicit snapshot points:
 ///
-///  - One writer appends and overwrites entries through this object.
-///  - Freeze() produces a FrozenChunkedVector: an immutable view of the
-///    first size() entries that shares the chunk storage (O(size/chunk)
-///    pointer copies, no element copies).
+///  - Structural operations (PushBack, Freeze) are single-writer: exactly
+///    one thread, with no concurrent access of any kind.
+///  - Between structural operations, multiple worker threads may call
+///    Set() and operator[] concurrently as long as no two threads touch
+///    the same index ("disjoint-index phase"). The sharded apply pipeline
+///    uses this: stripe tasks overwrite labels/counts for their own points
+///    while reading neighbors owned by no concurrent writer.
+///  - Freeze() produces an immutable view of the first size() entries that
+///    shares the chunk storage (O(size/chunk) pointer copies, no element
+///    copies).
 ///  - After a Freeze, the first overwrite of an entry inside a frozen chunk
 ///    clones that chunk (copy-on-write), so frozen views never observe the
 ///    change. Appends never clone: they write slots at indices >= every
@@ -23,6 +31,17 @@ namespace dbscout {
 ///    view to another thread therefore only needs a release/acquire edge on
 ///    the view pointer itself (the detection service publishes snapshots
 ///    through an atomic shared_ptr).
+///
+/// Concurrency protocol for the disjoint-index phase: each chunk carries an
+/// atomic owner serial and an atomic "live" chunk pointer. Set() fast-paths
+/// on serial == freeze serial; on mismatch it takes the per-vector clone
+/// mutex, re-checks, clones, then publishes the fresh chunk with a release
+/// store of the live pointer before the release store of the serial.
+/// Readers acquire-load the live pointer, so they see either the old chunk
+/// (valid: nothing writes old chunks once a freeze interposed) or the fully
+/// copied new one. Old chunks displaced mid-phase are parked on a retire
+/// list (raw live pointers loaded by in-flight readers must outlive the
+/// phase) and released at the next structural operation.
 ///
 /// This is the storage idiom behind the service's epoch snapshots: labels
 /// mutate sparsely per insertion (a rescue flips an old entry), so cloning
@@ -41,39 +60,81 @@ class CowChunkedVector {
     T data[kChunkSize];
   };
 
- public:
+  /// Per-chunk bookkeeping. `owner` holds the lifetime; `live` is what
+  /// readers dereference (always == owner.get(), but atomically
+  /// publishable); `serial` says which freeze period the chunk was created
+  /// or cloned in. Movable (for vector growth during single-writer
+  /// appends), never copied.
+  struct Slot {
+    std::shared_ptr<Chunk> owner;
+    std::atomic<Chunk*> live;
+    std::atomic<uint64_t> serial;
 
+    Slot(std::shared_ptr<Chunk> chunk, uint64_t created_serial)
+        : owner(std::move(chunk)), live(owner.get()), serial(created_serial) {}
+    Slot(Slot&& other) noexcept
+        : owner(std::move(other.owner)),
+          live(other.live.load(std::memory_order_relaxed)),
+          serial(other.serial.load(std::memory_order_relaxed)) {}
+    Slot& operator=(Slot&&) = delete;
+  };
+
+ public:
   CowChunkedVector() = default;
+  CowChunkedVector(CowChunkedVector&&) noexcept = default;
+  CowChunkedVector& operator=(CowChunkedVector&&) noexcept = default;
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Reads entry i (writer-side view; readers go through a frozen view).
+  /// Reads entry i. Safe concurrently with disjoint-index Set() calls on
+  /// other threads: the acquire load pairs with Set()'s release publication
+  /// of a cloned chunk.
   T operator[](size_t i) const {
-    return chunks_[i >> kChunkShift]->data[i & (kChunkSize - 1)];
+    return chunks_[i >> kChunkShift]
+        .live.load(std::memory_order_acquire)
+        ->data[i & (kChunkSize - 1)];
   }
 
-  /// Appends one entry. Never clones: the slot is beyond every frozen
-  /// view's bound, so writing it in a shared chunk is race-free.
+  /// Appends one entry (structural: single-writer, no concurrent access).
+  /// Never clones: the slot is beyond every frozen view's bound, so
+  /// writing it in a shared chunk is race-free.
   void PushBack(T value) {
     const size_t chunk = size_ >> kChunkShift;
     if (chunk == chunks_.size()) {
-      chunks_.push_back(std::make_shared<Chunk>());
-      chunk_owner_serial_.push_back(freeze_serial_);
+      chunks_.emplace_back(std::make_shared<Chunk>(), freeze_serial_);
     }
-    chunks_[chunk]->data[size_ & (kChunkSize - 1)] = value;
+    chunks_[chunk].live.load(std::memory_order_relaxed)
+        ->data[size_ & (kChunkSize - 1)] = value;
     ++size_;
   }
 
   /// Overwrites entry i, cloning its chunk first if any frozen view may
   /// still reference it (i.e. the chunk predates the latest Freeze()).
-  void Set(size_t i, T value) {
-    const size_t chunk = i >> kChunkShift;
-    if (chunk_owner_serial_[chunk] != freeze_serial_) {
-      chunks_[chunk] = std::make_shared<Chunk>(*chunks_[chunk]);
-      chunk_owner_serial_[chunk] = freeze_serial_;
+  /// Callable from multiple threads concurrently when every thread's index
+  /// set is disjoint; first writers to a stale chunk serialize on the
+  /// clone mutex.
+  void Set(size_t i, T value) { *MutableSlot(i) = value; }
+
+  /// Writable pointer to entry i, cloning its chunk first under the same
+  /// protocol as Set(). The pointer stays valid for the rest of the
+  /// current phase (chunks displaced later in the phase are retired, not
+  /// freed) — hot read-modify-write loops use this to pay the clone check
+  /// once per access instead of once per read plus once per write.
+  T* MutableSlot(size_t i) {
+    Slot& slot = chunks_[i >> kChunkShift];
+    if (slot.serial.load(std::memory_order_acquire) != freeze_serial_) {
+      std::lock_guard<std::mutex> lock(*clone_mu_);
+      if (slot.serial.load(std::memory_order_relaxed) != freeze_serial_) {
+        auto fresh = std::make_shared<Chunk>(*slot.owner);
+        retired_.push_back(std::move(slot.owner));
+        slot.owner = std::move(fresh);
+        slot.live.store(slot.owner.get(), std::memory_order_release);
+        slot.serial.store(freeze_serial_, std::memory_order_release);
+      }
     }
-    chunks_[chunk]->data[i & (kChunkSize - 1)] = value;
+    return slot.live.load(std::memory_order_acquire)->data +
+           (i & (kChunkSize - 1));
   }
 
   /// Immutable view of the current contents; O(size/kChunkSize).
@@ -91,21 +152,33 @@ class CowChunkedVector {
     size_t size_ = 0;
   };
 
+  /// Structural: single-writer, no concurrent access. Releases chunks
+  /// retired by mid-phase clones (no in-flight raw reader can outlive the
+  /// phase barrier that precedes a structural call).
   Frozen Freeze() {
     Frozen view;
-    view.chunks_.assign(chunks_.begin(), chunks_.end());
+    view.chunks_.reserve(chunks_.size());
+    for (const Slot& slot : chunks_) {
+      view.chunks_.push_back(slot.owner);
+    }
     view.size_ = size_;
     ++freeze_serial_;
+    retired_.clear();
     return view;
   }
 
  private:
-  std::vector<std::shared_ptr<Chunk>> chunks_;
-  /// Serial at which each chunk was created/cloned; a chunk is exclusively
-  /// owned (safe to overwrite in place) iff its serial matches the current
-  /// freeze serial.
-  std::vector<uint64_t> chunk_owner_serial_;
+  std::vector<Slot> chunks_;
+  /// Old chunks displaced by mid-phase clones, kept alive until the next
+  /// structural operation so concurrent readers' raw `live` pointers stay
+  /// valid. Guarded by clone_mu_ during the concurrent phase.
+  std::vector<std::shared_ptr<Chunk>> retired_;
+  /// Serializes first-touch clones; unique_ptr keeps the vector movable.
+  std::unique_ptr<std::mutex> clone_mu_ = std::make_unique<std::mutex>();
   size_t size_ = 0;
+  /// Bumped by Freeze(); a chunk is exclusively owned (safe to overwrite
+  /// in place) iff its serial matches. Written only during structural
+  /// operations, read-only during concurrent phases.
   uint64_t freeze_serial_ = 0;
 };
 

@@ -1,10 +1,19 @@
 #include "core/incremental.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <mutex>
+#include <utility>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/phases/insert_kernels.h"
 #include "core/phases/phase_kernels.h"
+#include "grid/regions.h"
 
 namespace dbscout::core {
 namespace {
@@ -54,7 +63,7 @@ std::vector<PointKind> IncrementalSnapshot::Kinds() const {
 std::vector<uint32_t> IncrementalSnapshot::Outliers() const {
   std::vector<uint32_t> out;
   for (size_t i = 0; i < kinds_.size(); ++i) {
-    if (kinds_[i] == PointKind::kOutlier) {
+    if (kinds_[i] == PointKind::kOutlier && alive_[i] != 0) {
       out.push_back(static_cast<uint32_t>(i));
     }
   }
@@ -158,8 +167,10 @@ IncrementalDetector::IncrementalDetector(size_t dims, const Params& params,
                                          const grid::NeighborStencil* stencil)
     : params_(params),
       stencil_(stencil),
+      kernels_(phases::BindKernels(dims)),
       side_(params.eps / std::sqrt(static_cast<double>(dims))),
       eps2_(params.eps * params.eps),
+      block_width_(grid::SlabHalo(dims)),
       points_(dims) {}
 
 grid::CellCoord IncrementalDetector::CoordOf(
@@ -167,51 +178,336 @@ grid::CellCoord IncrementalDetector::CoordOf(
   return CellCoordFor(p, side_, points_.width());
 }
 
-std::vector<uint32_t>* IncrementalDetector::MutableCellPoints(Cell* cell) {
+void IncrementalDetector::EnsureOwnedCell(Cell* cell) {
   if (cell->points == nullptr) {
     cell->points = std::make_shared<std::vector<uint32_t>>();
     cell->serial = freeze_serial_;
   } else if (cell->serial != freeze_serial_) {
-    // A snapshot still shares this vector: clone before mutating so its
-    // readers keep the frozen contents (appending in place could also
-    // reallocate the buffer out from under them).
+    // A snapshot still shares the index vector: clone before mutating so
+    // its readers keep the frozen contents (appending in place could also
+    // reallocate the buffer out from under them). The coords mirror is
+    // detector-private — no snapshot reads it — so it never clones.
     cell->points = std::make_shared<std::vector<uint32_t>>(*cell->points);
     cell->serial = freeze_serial_;
   }
-  return cell->points.get();
 }
 
-void IncrementalDetector::Promote(uint32_t q) {
+void IncrementalDetector::AppendToCell(Cell* cell, uint32_t x,
+                                       std::span<const double> pv) {
+  EnsureOwnedCell(cell);
+  cell->points->push_back(x);
+  cell->coords.insert(cell->coords.end(), pv.begin(), pv.end());
+  cell->outlier_points += 1;  // provisional kOutlier label
+}
+
+IncrementalDetector::Cell* IncrementalDetector::GetOrCreateCell(
+    const grid::CellCoord& coord) {
+  auto [it, fresh] = cells_.try_emplace(coord);
+  Cell* cell = &it->second;
+  if (fresh) {
+    // Wire the neighbor caches both ways: the stencil is symmetric (the
+    // Definition 8 condition depends only on |j_i|), so this cell belongs
+    // in exactly the caches of the cells it now caches.
+    const size_t dims = points_.width();
+    for (size_t k = 0; k < dims; ++k) {
+      cell->box_origin[k] = static_cast<double>(coord[k]) * side_;
+    }
+    cell->neighbors.reserve(stencil_->size());
+    for (const grid::CellOffset& offset : stencil_->offsets) {
+      const grid::CellCoord neighbor = coord.Translated({offset.data(), dims});
+      auto nit = cells_.find(neighbor);
+      if (nit == cells_.end() || &nit->second == cell) {
+        continue;
+      }
+      cell->neighbors.push_back(&nit->second);
+      nit->second.neighbors.push_back(cell);
+    }
+    cell->neighbors.push_back(cell);  // self, last
+  }
+  return cell;
+}
+
+IncrementalDetector::Cell* IncrementalDetector::CellAt(
+    const grid::CellCoord& coord) {
+  return &cells_.find(coord)->second;
+}
+
+void IncrementalDetector::Promote(uint32_t q, ApplyCtx* ctx) {
+  const size_t dims = points_.width();
+  const auto qv = points_[q];
+  Cell* home = CellAt(CoordOf(qv));
   if (kinds_[q] != PointKind::kCore) {
-    num_core_ += 1;
+    ctx->core_delta += 1;
     if (kinds_[q] == PointKind::kOutlier) {
-      num_outliers_ -= 1;
+      ctx->outlier_delta -= 1;
+      home->outlier_points -= 1;
     }
     kinds_.Set(q, PointKind::kCore);
   }
-  const grid::CellCoord home = CoordOf(points_[q]);
-  ++cells_[home].core_points;
+  home->core_points += 1;
   // Rescue: every current outlier within eps of the new core point becomes
-  // a border point (Definition 3).
-  const auto qv = points_[q];
-  for (const grid::CellOffset& offset : stencil_->offsets) {
-    const grid::CellCoord neighbor =
-        home.Translated({offset.data(), points_.width()});
-    auto it = cells_.find(neighbor);
-    if (it == cells_.end() || it->second.points == nullptr) {
+  // a border point (Definition 3). Cells without outliers skip outright.
+  for (Cell* cell : home->neighbors) {
+    if (cell->outlier_points == 0 ||
+        phases::CellBoxBeyondEps(qv.data(), cell->box_origin.data(), dims,
+                                 side_, eps2_)) {
       continue;
     }
-    for (uint32_t r : *it->second.points) {
-      if (kinds_[r] != PointKind::kOutlier) {
+    const std::vector<uint32_t>& idx = *cell->points;
+    const double* block = cell->coords.data();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      if (kinds_[idx[i]] != PointKind::kOutlier) {
         continue;
       }
-      ++distance_comps_;
-      if (PointSet::SquaredDistance(qv, points_[r]) <= eps2_) {
-        kinds_.Set(r, PointKind::kBorder);
-        num_outliers_ -= 1;
+      ++ctx->distance_comps;
+      if (PointSet::SquaredDistance(qv, {block + i * dims, dims}) <= eps2_) {
+        kinds_.Set(idx[i], PointKind::kBorder);
+        ctx->outlier_delta -= 1;
+        cell->outlier_points -= 1;
       }
     }
   }
+}
+
+void IncrementalDetector::ApplyPoint(uint32_t x, std::span<const double> pv,
+                                     Cell* home_cell, ApplyCtx* ctx) {
+  const uint32_t min_pts = static_cast<uint32_t>(params_.min_pts);
+  ctx->promoted.clear();
+  uint32_t count_x = 1;
+  bool covered_by_core = false;
+  // One pass over the cached neighbor cells: flag x's eps-neighbors per
+  // packed cell block, then bump the flagged points' counts and collect
+  // the ones whose count just crossed minPts.
+  const size_t dims = points_.width();
+  for (Cell* cell : home_cell->neighbors) {
+    const size_t n = cell->points == nullptr ? 0 : cell->points->size();
+    if (n == 0 || phases::CellBoxBeyondEps(pv.data(), cell->box_origin.data(),
+                                           dims, side_, eps2_)) {
+      continue;
+    }
+    // Room for one full word past the block so the walk below can read the
+    // flags 8 at a time; the pad is zeroed so it never reads as a hit.
+    if (ctx->flags.size() < n + sizeof(uint64_t)) {
+      ctx->flags.resize(n + sizeof(uint64_t));
+    }
+    uint32_t hits = phases::NeighborFlagsScanCell(
+        kernels_, pv.data(), cell->coords.data(), n, eps2_,
+        ctx->flags.data(), &ctx->distance_comps);
+    if (hits == 0) {
+      continue;
+    }
+    std::memset(ctx->flags.data() + n, 0, sizeof(uint64_t));
+    count_x += hits;
+    const uint32_t* idx = cell->points->data();
+    const uint8_t* flags = ctx->flags.data();
+    // Word-at-a-time walk of the 0/1 flag bytes: only flagged entries cost
+    // anything (a set flag is a single bit at its byte's LSB position).
+    for (size_t i = 0; hits > 0; i += sizeof(uint64_t)) {
+      uint64_t word;
+      std::memcpy(&word, flags + i, sizeof(word));
+      while (word != 0) {
+        const size_t j = i + (static_cast<size_t>(std::countr_zero(word)) >> 3);
+        word &= word - 1;
+        --hits;
+        const uint32_t q = idx[j];
+        if (!covered_by_core) {
+          covered_by_core = kinds_[q] == PointKind::kCore;
+        }
+        uint32_t* cnt = neighbor_counts_.MutableSlot(q);
+        const uint32_t new_count = ++*cnt;
+        if (phases::CrossesDensityThreshold(new_count, min_pts)) {
+          ctx->promoted.push_back(q);
+        }
+      }
+    }
+  }
+  neighbor_counts_.Set(x, count_x);
+  // Register x only now, so the scan above never saw it.
+  AppendToCell(home_cell, x, pv);
+
+  for (uint32_t q : ctx->promoted) {
+    Promote(q, ctx);
+  }
+  if (phases::IsDense(count_x, min_pts)) {
+    Promote(x, ctx);
+  } else if (covered_by_core || !ctx->promoted.empty()) {
+    // Any point promoted by this insertion is within eps of x by
+    // construction, so x is covered either way. A Promote above may have
+    // already rescued x (it sits in its cell with a provisional outlier
+    // label), in which case the counter was already adjusted.
+    if (kinds_[x] == PointKind::kOutlier) {
+      kinds_.Set(x, PointKind::kBorder);
+      ctx->outlier_delta -= 1;
+      home_cell->outlier_points -= 1;
+    }
+  }
+}
+
+void IncrementalDetector::ApplyGroupBatched(
+    const std::vector<uint32_t>& members, Cell* home_cell, ApplyCtx* ctx) {
+  const size_t dims = points_.width();
+  const uint32_t min_pts = static_cast<uint32_t>(params_.min_pts);
+  const size_t m = members.size();
+  ctx->promoted.clear();
+  ctx->member_counts.assign(m, 1);  // each point neighbors itself
+  ctx->member_covered.assign(m, 0);
+
+  // ---- Home block, one member at a time: the block grows as members
+  // append, so each intra-group pair is counted exactly once (by the later
+  // member), mirroring the sequential path. Hits at positions >= pre_n are
+  // earlier members of this very group — their counts accumulate locally
+  // and publish with everyone else's at the end. ----
+  EnsureOwnedCell(home_cell);
+  const size_t pre_n = home_cell->points->size();
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t x = members[i];
+    const auto pv = points_[x];
+    const size_t n = home_cell->points->size();
+    if (n > 0) {
+      if (ctx->flags.size() < n + sizeof(uint64_t)) {
+        ctx->flags.resize(n + sizeof(uint64_t));
+      }
+      uint32_t hits = phases::NeighborFlagsScanCell(
+          kernels_, pv.data(), home_cell->coords.data(), n, eps2_,
+          ctx->flags.data(), &ctx->distance_comps);
+      if (hits > 0) {
+        std::memset(ctx->flags.data() + n, 0, sizeof(uint64_t));
+        ctx->member_counts[i] += hits;
+        const uint32_t* idx = home_cell->points->data();
+        const uint8_t* flags = ctx->flags.data();
+        for (size_t base = 0; hits > 0; base += sizeof(uint64_t)) {
+          uint64_t word;
+          std::memcpy(&word, flags + base, sizeof(word));
+          while (word != 0) {
+            const size_t j =
+                base + (static_cast<size_t>(std::countr_zero(word)) >> 3);
+            word &= word - 1;
+            --hits;
+            if (j >= pre_n) {
+              ctx->member_counts[j - pre_n] += 1;
+              continue;
+            }
+            const uint32_t q = idx[j];
+            if (!ctx->member_covered[i]) {
+              ctx->member_covered[i] = kinds_[q] == PointKind::kCore;
+            }
+            uint32_t* cnt = neighbor_counts_.MutableSlot(q);
+            if (phases::CrossesDensityThreshold(++*cnt, min_pts)) {
+              ctx->promoted.push_back(q);
+            }
+          }
+        }
+      }
+    }
+    AppendToCell(home_cell, x, pv);
+  }
+
+  // ---- Neighbor blocks, members batched: per-position flag bytes sum
+  // into `acc`, so a block point hit by k members pays one count update of
+  // +k (threshold crossing detected in batched form), not k scattered
+  // read-modify-writes. Coverage uses a per-block core mask built at most
+  // once per group; kinds_ is stable here because promotions defer. ----
+  for (Cell* cell : home_cell->neighbors) {
+    if (cell == home_cell) {
+      continue;  // self (last) was the home pass above
+    }
+    const size_t n = cell->points == nullptr ? 0 : cell->points->size();
+    if (n == 0) {
+      continue;
+    }
+    const double* block = cell->coords.data();
+    ctx->acc.assign(n, 0);
+    if (ctx->flags.size() < n) {
+      ctx->flags.resize(n);
+    }
+    bool any_hits = false;
+    bool mask_built = false;
+    for (size_t i = 0; i < m; ++i) {
+      const auto pv = points_[members[i]];
+      if (phases::CellBoxBeyondEps(pv.data(), cell->box_origin.data(), dims,
+                                   side_, eps2_)) {
+        continue;
+      }
+      const uint32_t hits = phases::NeighborFlagsScanCell(
+          kernels_, pv.data(), block, n, eps2_, ctx->flags.data(),
+          &ctx->distance_comps);
+      if (hits == 0) {
+        continue;
+      }
+      any_hits = true;
+      ctx->member_counts[i] += hits;
+      const uint8_t* flags = ctx->flags.data();
+      uint32_t* acc = ctx->acc.data();
+      for (size_t j = 0; j < n; ++j) {
+        acc[j] += flags[j];
+      }
+      if (!ctx->member_covered[i] && cell->core_points > 0) {
+        if (!mask_built) {
+          ctx->core_mask.assign(n, 0);
+          const uint32_t* idx = cell->points->data();
+          for (size_t j = 0; j < n; ++j) {
+            ctx->core_mask[j] = kinds_[idx[j]] == PointKind::kCore;
+          }
+          mask_built = true;
+        }
+        const uint8_t* mask = ctx->core_mask.data();
+        uint8_t covered = 0;
+        for (size_t j = 0; j < n; ++j) {
+          covered |= flags[j] & mask[j];
+        }
+        ctx->member_covered[i] = covered;
+      }
+    }
+    if (!any_hits) {
+      continue;
+    }
+    const uint32_t* idx = cell->points->data();
+    const uint32_t* acc = ctx->acc.data();
+    for (size_t j = 0; j < n; ++j) {
+      const uint32_t added = acc[j];
+      if (added == 0) {
+        continue;
+      }
+      uint32_t* cnt = neighbor_counts_.MutableSlot(idx[j]);
+      const uint32_t old_count = *cnt;
+      *cnt = old_count + added;
+      if (phases::CrossesDensityThresholdBy(old_count, added, min_pts)) {
+        ctx->promoted.push_back(idx[j]);
+      }
+    }
+  }
+
+  // ---- Publish member counts, then run the deferred promotions: their
+  // rescue scans see every member registered (provisional outliers), so
+  // members covered only by cores this group minted get rescued here. ----
+  for (size_t i = 0; i < m; ++i) {
+    neighbor_counts_.Set(members[i], ctx->member_counts[i]);
+  }
+  for (uint32_t q : ctx->promoted) {
+    Promote(q, ctx);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t x = members[i];
+    if (phases::IsDense(ctx->member_counts[i], min_pts)) {
+      Promote(x, ctx);
+    } else if (ctx->member_covered[i] && kinds_[x] == PointKind::kOutlier) {
+      kinds_.Set(x, PointKind::kBorder);
+      ctx->outlier_delta -= 1;
+      home_cell->outlier_points -= 1;
+    }
+  }
+}
+
+void IncrementalDetector::MergeCtx(const ApplyCtx& ctx) {
+  num_core_ = static_cast<size_t>(static_cast<int64_t>(num_core_) +
+                                  ctx.core_delta);
+  num_outliers_ = static_cast<size_t>(static_cast<int64_t>(num_outliers_) +
+                                      ctx.outlier_delta);
+  distance_comps_ += ctx.distance_comps;
+}
+
+Status IncrementalDetector::ValidatePoint(std::span<const double> point) const {
+  return ValidateCoordinates(point, points_.width(), side_);
 }
 
 Result<uint32_t> IncrementalDetector::Add(std::span<const double> point) {
@@ -220,70 +516,296 @@ Result<uint32_t> IncrementalDetector::Add(std::span<const double> point) {
   const uint32_t x = static_cast<uint32_t>(points_.size());
   points_.PushBack(point);
   kinds_.PushBack(PointKind::kOutlier);  // provisional
+  neighbor_counts_.PushBack(1);          // itself
+  alive_.PushBack(1);
   num_outliers_ += 1;
-  neighbor_counts_.PushBack(1);  // itself
+  live_points_ += 1;
 
-  const grid::CellCoord home = CoordOf(point);
-  const uint32_t min_pts = static_cast<uint32_t>(params_.min_pts);
-
-  // One stencil scan: count x's neighbors, bump theirs, and collect the
-  // points whose count just crossed minPts.
-  std::vector<uint32_t> promoted;
-  uint32_t count_x = 1;
-  bool covered_by_core = false;
-  for (const grid::CellOffset& offset : stencil_->offsets) {
-    const grid::CellCoord neighbor =
-        home.Translated({offset.data(), points_.width()});
-    auto it = cells_.find(neighbor);
-    if (it == cells_.end() || it->second.points == nullptr) {
-      continue;
-    }
-    for (uint32_t q : *it->second.points) {
-      ++distance_comps_;
-      if (PointSet::SquaredDistance(point, points_[q]) > eps2_) {
-        continue;
-      }
-      ++count_x;
-      covered_by_core |= kinds_[q] == PointKind::kCore;
-      const uint32_t new_count = neighbor_counts_[q] + 1;
-      neighbor_counts_.Set(q, new_count);
-      if (phases::CrossesDensityThreshold(new_count, min_pts)) {
-        promoted.push_back(q);
-      }
-    }
-  }
-  neighbor_counts_.Set(x, count_x);
-  // Register x only now, so the scan above never saw it.
-  {
-    Cell& cell = cells_[home];
-    MutableCellPoints(&cell)->push_back(x);
-  }
-
-  for (uint32_t q : promoted) {
-    Promote(q);
-  }
-  if (phases::IsDense(count_x, min_pts)) {
-    Promote(x);
-  } else if (covered_by_core || !promoted.empty()) {
-    // Any point promoted by this insertion is within eps of x by
-    // construction, so x is covered either way. A Promote above may have
-    // already rescued x (it sits in its cell with a provisional outlier
-    // label), in which case the counter was already adjusted.
-    if (kinds_[x] == PointKind::kOutlier) {
-      kinds_.Set(x, PointKind::kBorder);
-      num_outliers_ -= 1;
-    }
-  }
+  Cell* home_cell = GetOrCreateCell(CoordOf(point));
+  ApplyCtx ctx;
+  ApplyPoint(x, point, home_cell, &ctx);
+  MergeCtx(ctx);
   return x;
 }
 
 Status IncrementalDetector::AddBatch(const PointSet& batch) {
-  if (batch.dims() != points_.width()) {
+  return AddBatchParallel(batch, nullptr, nullptr);
+}
+
+Status IncrementalDetector::AddBatchParallel(const PointSet& batch,
+                                             ThreadPool* pool,
+                                             ApplyStats* stats) {
+  const size_t dims = points_.width();
+  if (batch.dims() != dims) {
     return Status::InvalidArgument("batch dims mismatch");
   }
-  for (size_t i = 0; i < batch.size(); ++i) {
-    DBSCOUT_RETURN_IF_ERROR(Add(batch[i]).status());
+  if (stats != nullptr) {
+    stats->shards = 1;
+    stats->shard_seconds.clear();
   }
+  const size_t n = batch.size();
+  if (n == 0) {
+    return Status::OK();
+  }
+  // Validate everything up front: the batch applies atomically or not at
+  // all (the serial append below must never half-commit).
+  for (size_t i = 0; i < n; ++i) {
+    DBSCOUT_RETURN_IF_ERROR(ValidateCoordinates(batch[i], dims, side_));
+  }
+
+  // ---- Serial pre-phase: append rows and group points by home cell. ----
+  const uint32_t base = static_cast<uint32_t>(points_.size());
+  struct Group {
+    grid::CellCoord coord;
+    Cell* cell = nullptr;
+    int64_t block = 0;
+    std::vector<uint32_t> members;  // ascending appended indices
+  };
+  std::vector<Group> groups;
+  std::unordered_map<grid::CellCoord, size_t, grid::CellCoordHash> group_of;
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = batch[i];
+    points_.PushBack(p);
+    kinds_.PushBack(PointKind::kOutlier);  // provisional
+    neighbor_counts_.PushBack(1);          // itself
+    alive_.PushBack(1);
+    const grid::CellCoord home = CoordOf(p);
+    auto [it, fresh] = group_of.try_emplace(home, groups.size());
+    if (fresh) {
+      Group g;
+      g.coord = home;
+      g.block = grid::SlabBlock(home[0], block_width_);
+      groups.push_back(std::move(g));
+    }
+    groups[it->second].members.push_back(base + static_cast<uint32_t>(i));
+  }
+  num_outliers_ += n;
+  live_points_ += n;
+  // Create every home cell now, serially: the wave tasks then only read
+  // the cell map's structure and the (now stable) cached neighbor lists,
+  // never insert, so no rehash or cache rewiring can happen under a
+  // concurrent task.
+  for (Group& g : groups) {
+    g.cell = GetOrCreateCell(g.coord);
+  }
+
+  // ---- Partition home-cell groups into slab-block shard tasks. ----
+  std::unordered_map<int64_t, std::vector<size_t>> blocks;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    blocks[groups[gi].block].push_back(gi);
+  }
+
+  // Small groups insert point-by-point; larger ones amortize their
+  // neighbor-block scans across the whole group (the batched path pays a
+  // per-block accumulator sweep, which only wins once several members
+  // share it).
+  constexpr size_t kGroupBatchThreshold = 8;
+  auto run_group = [&](const Group& g, ApplyCtx* ctx) {
+    if (g.members.size() >= kGroupBatchThreshold) {
+      ApplyGroupBatched(g.members, g.cell, ctx);
+      return;
+    }
+    for (uint32_t x : g.members) {
+      ApplyPoint(x, points_[x], g.cell, ctx);
+    }
+  };
+
+  if (pool == nullptr || blocks.size() < 2) {
+    WallTimer timer;
+    ApplyCtx ctx;
+    for (const auto& [block, gis] : blocks) {
+      for (size_t gi : gis) {
+        run_group(groups[gi], &ctx);
+      }
+    }
+    MergeCtx(ctx);
+    if (stats != nullptr) {
+      stats->shard_seconds.push_back(timer.ElapsedSeconds());
+    }
+    return Status::OK();
+  }
+
+  // ---- Three conflict-free waves (see grid/regions.h: same-wave blocks
+  // are >= 3 apart, and a block task's read/write footprint spans at most
+  // one block to each side). Each task owns a private ApplyCtx; counter
+  // deltas and shard timings merge under the mutex as tasks finish. ----
+  if (stats != nullptr) {
+    stats->shards = blocks.size();
+  }
+  std::mutex merge_mu;
+  for (int wave = 0; wave < grid::kNumWaves; ++wave) {
+    for (const auto& [block, gis] : blocks) {
+      if (grid::WaveOf(block) != wave) {
+        continue;
+      }
+      const std::vector<size_t>* task_groups = &gis;
+      pool->Submit([this, task_groups, &groups, &run_group, &merge_mu,
+                    stats] {
+        WallTimer timer;
+        ApplyCtx ctx;
+        for (size_t gi : *task_groups) {
+          run_group(groups[gi], &ctx);
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        MergeCtx(ctx);
+        if (stats != nullptr) {
+          stats->shard_seconds.push_back(timer.ElapsedSeconds());
+        }
+      });
+    }
+    // Wave barrier: the next wave's blocks may read state this wave wrote.
+    pool->WaitIdle();
+  }
+  return Status::OK();
+}
+
+Status IncrementalDetector::Remove(uint32_t id) {
+  if (id >= kinds_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("remove: id %u was never inserted", id));
+  }
+  if (alive_[id] == 0) {
+    return Status::NotFound(StrFormat("remove: id %u already removed", id));
+  }
+  const size_t dims = points_.width();
+  const uint32_t min_pts = static_cast<uint32_t>(params_.min_pts);
+  const auto pv = points_[id];
+  const grid::CellCoord home = CoordOf(pv);
+  const PointKind old_kind = kinds_[id];
+  ApplyCtx ctx;
+
+  // ---- Unregister id from its home cell (swap-erase of both parallel
+  // arrays) so the scans below never see it. ----
+  Cell* home_cell = CellAt(home);
+  EnsureOwnedCell(home_cell);
+  {
+    std::vector<uint32_t>& idx = *home_cell->points;
+    std::vector<double>& coords = home_cell->coords;
+    const size_t pos =
+        std::find(idx.begin(), idx.end(), id) - idx.begin();
+    const size_t last = idx.size() - 1;
+    idx[pos] = idx[last];
+    idx.pop_back();
+    std::copy_n(coords.begin() + last * dims, dims,
+                coords.begin() + pos * dims);
+    coords.resize(last * dims);
+  }
+  if (old_kind == PointKind::kCore) {
+    home_cell->core_points -= 1;
+    ctx.core_delta -= 1;
+  } else if (old_kind == PointKind::kOutlier) {
+    ctx.outlier_delta -= 1;
+    home_cell->outlier_points -= 1;
+  }
+  // Emptied cells stay in the map as stubs: the cached neighbor pointers
+  // wired at creation must never dangle.
+  alive_.Set(id, 0);
+  live_points_ -= 1;
+
+  // ---- Decrement the counts of id's eps-neighbors; a core point whose
+  // count falls off the minPts threshold demotes. Border neighbors of a
+  // removed core may have lost their cover: collect them for re-check. ----
+  std::vector<uint32_t> demoted;
+  std::vector<uint32_t> candidates;
+  for (Cell* cell : home_cell->neighbors) {
+    const size_t cn = cell->points == nullptr ? 0 : cell->points->size();
+    if (cn == 0 || phases::CellBoxBeyondEps(pv.data(), cell->box_origin.data(),
+                                            dims, side_, eps2_)) {
+      continue;
+    }
+    if (ctx.flags.size() < cn) {
+      ctx.flags.resize(cn);
+    }
+    uint32_t hits = phases::NeighborFlagsScanCell(
+        kernels_, pv.data(), cell->coords.data(), cn, eps2_,
+        ctx.flags.data(), &ctx.distance_comps);
+    const uint32_t* idx = cell->points->data();
+    for (size_t i = 0; i < cn && hits > 0; ++i) {
+      if (!ctx.flags[i]) {
+        continue;
+      }
+      --hits;
+      const uint32_t q = idx[i];
+      const uint32_t old_count = neighbor_counts_[q];
+      neighbor_counts_.Set(q, old_count - 1);
+      if (phases::LeavesDensityThreshold(old_count, min_pts)) {
+        demoted.push_back(q);  // was exactly at the threshold: core until now
+      } else if (old_kind == PointKind::kCore &&
+                 kinds_[q] == PointKind::kBorder) {
+        candidates.push_back(q);
+      }
+    }
+  }
+
+  // ---- Demotions: core -> provisional border, then re-derive coverage
+  // for every border point in reach of a lost core (the demoted points
+  // themselves included). Demotions never cascade — neighbor counts are
+  // independent of core status — so one round settles the core set. ----
+  for (uint32_t q : demoted) {
+    kinds_.Set(q, PointKind::kBorder);
+    ctx.core_delta -= 1;
+    CellAt(CoordOf(points_[q]))->core_points -= 1;
+    candidates.push_back(q);
+  }
+  for (uint32_t q : demoted) {
+    const auto qv = points_[q];
+    for (Cell* cell : CellAt(CoordOf(qv))->neighbors) {
+      const size_t cn = cell->points == nullptr ? 0 : cell->points->size();
+      if (cn == 0 ||
+          phases::CellBoxBeyondEps(qv.data(), cell->box_origin.data(), dims,
+                                   side_, eps2_)) {
+        continue;
+      }
+      if (ctx.flags.size() < cn) {
+        ctx.flags.resize(cn);
+      }
+      uint32_t hits = phases::NeighborFlagsScanCell(
+          kernels_, qv.data(), cell->coords.data(), cn, eps2_,
+          ctx.flags.data(), &ctx.distance_comps);
+      const uint32_t* idx = cell->points->data();
+      for (size_t i = 0; i < cn && hits > 0; ++i) {
+        if (!ctx.flags[i]) {
+          continue;
+        }
+        --hits;
+        if (kinds_[idx[i]] == PointKind::kBorder) {
+          candidates.push_back(idx[i]);
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (uint32_t c : candidates) {
+    if (kinds_[c] != PointKind::kBorder) {
+      continue;  // promoted-away or already handled
+    }
+    const auto cv = points_[c];
+    Cell* candidate_home = CellAt(CoordOf(cv));
+    bool covered = false;
+    for (Cell* cell : candidate_home->neighbors) {
+      if (cell->core_points == 0 || cell->points == nullptr ||
+          phases::CellBoxBeyondEps(cv.data(), cell->box_origin.data(), dims,
+                                   side_, eps2_)) {
+        continue;
+      }
+      if (phases::AnyCoreWithinCell(
+              cv, cell->coords.data(), cell->points->data(),
+              cell->points->size(), dims, eps2_,
+              [this](uint32_t r) { return kinds_[r]; },
+              &ctx.distance_comps)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      kinds_.Set(c, PointKind::kOutlier);
+      ctx.outlier_delta += 1;
+      candidate_home->outlier_points += 1;
+    }
+  }
+  MergeCtx(ctx);
   return Status::OK();
 }
 
@@ -299,7 +821,7 @@ std::vector<PointKind> IncrementalDetector::kinds() const {
 std::vector<uint32_t> IncrementalDetector::Outliers() const {
   std::vector<uint32_t> out;
   for (size_t i = 0; i < kinds_.size(); ++i) {
-    if (kinds_[i] == PointKind::kOutlier) {
+    if (kinds_[i] == PointKind::kOutlier && alive_[i] != 0) {
       out.push_back(static_cast<uint32_t>(i));
     }
   }
@@ -315,6 +837,7 @@ std::shared_ptr<const IncrementalSnapshot> IncrementalDetector::SnapshotNow() {
   snap->points_ = points_.Freeze();
   snap->kinds_ = kinds_.Freeze();
   snap->neighbor_counts_ = neighbor_counts_.Freeze();
+  snap->alive_ = alive_.Freeze();
   snap->cells_.reserve(cells_.size());
   for (const auto& [coord, cell] : cells_) {
     snap->cells_.emplace(coord,
@@ -323,6 +846,7 @@ std::shared_ptr<const IncrementalSnapshot> IncrementalDetector::SnapshotNow() {
   }
   snap->num_core_ = num_core_;
   snap->num_outliers_ = num_outliers_;
+  snap->live_points_ = live_points_;
   // From here on, the first write into any chunk or cell the snapshot
   // shares must clone it.
   ++freeze_serial_;

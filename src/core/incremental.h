@@ -1,6 +1,7 @@
 #ifndef DBSCOUT_CORE_INCREMENTAL_H_
 #define DBSCOUT_CORE_INCREMENTAL_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -10,9 +11,14 @@
 #include "common/result.h"
 #include "core/detection.h"
 #include "core/params.h"
+#include "core/phases/phase_kernels.h"
 #include "data/point_set.h"
 #include "grid/cell_coord.h"
 #include "grid/neighborhood.h"
+
+namespace dbscout {
+class ThreadPool;
+}
 
 namespace dbscout::core {
 
@@ -32,6 +38,15 @@ struct ProbeResult {
   uint64_t distance_comps = 0;
 };
 
+/// Per-pass statistics of one (possibly sharded) batch apply: how many
+/// region shards the batch split into and how long each executed shard
+/// task ran. Feeds the service's dbscout_apply_shards gauge and
+/// dbscout_apply_shard_seconds histogram.
+struct ApplyStats {
+  size_t shards = 1;
+  std::vector<double> shard_seconds;
+};
+
 /// An immutable view of the incremental detector's state at one epoch (=
 /// number of points inserted when the snapshot was taken). Snapshots share
 /// chunked storage with the live detector via copy-on-write, so taking one
@@ -45,31 +60,41 @@ class IncrementalSnapshot {
   IncrementalSnapshot() = default;
 
   /// Number of points this snapshot covers; labels answer for exactly the
-  /// first epoch() points of the insertion sequence.
+  /// first epoch() points of the insertion sequence (removed points carry
+  /// their last label but are excluded from Outliers() and flagged dead in
+  /// the alive mask).
   uint64_t epoch() const { return kinds_.size(); }
   size_t dims() const { return points_.width(); }
   size_t num_core() const { return num_core_; }
   size_t num_outliers() const { return num_outliers_; }
   size_t num_cells() const { return cells_.size(); }
+  /// Points inserted and not yet removed at this epoch.
+  size_t live_points() const { return live_points_; }
   const Params& params() const { return params_; }
 
   /// Label of point i (< epoch()) at this epoch.
   PointKind KindOf(uint32_t i) const { return kinds_[i]; }
 
+  /// False when point i was removed (explicitly or by window expiry).
+  bool IsAlive(uint32_t i) const { return alive_[i] != 0; }
+
   /// Materialized copy of all labels, index-aligned with insertion order.
+  /// Removed points keep the label they had when removed.
   std::vector<PointKind> Kinds() const;
 
-  /// Outlier indices at this epoch, ascending.
+  /// Live outlier indices at this epoch, ascending (removed points never
+  /// appear).
   std::vector<uint32_t> Outliers() const;
 
   /// Coordinates of point i (< epoch()).
   std::span<const double> PointAt(uint32_t i) const { return points_[i]; }
 
   /// Classifies a point NOT in the set against this epoch: the label it
-  /// would receive from DetectSequential on epoch-points + probe. Fails on
-  /// dims mismatch or non-finite coordinates. `want_score` additionally
-  /// computes the nearest-core distance (disables no early exits here; the
-  /// scan always walks the full stencil).
+  /// would receive from DetectSequential on the epoch's live points +
+  /// probe. Fails on dims mismatch or non-finite coordinates.
+  /// `want_score` additionally computes the nearest-core distance
+  /// (disables no early exits here; the scan always walks the full
+  /// stencil).
   Result<ProbeResult> Classify(std::span<const double> point,
                                bool want_score) const;
 
@@ -95,17 +120,19 @@ class IncrementalSnapshot {
   ChunkedRows::Frozen points_;
   CowChunkedVector<PointKind>::Frozen kinds_;
   CowChunkedVector<uint32_t>::Frozen neighbor_counts_;
+  CowChunkedVector<uint8_t>::Frozen alive_;
   std::unordered_map<grid::CellCoord, SnapCell, grid::CellCoordHash> cells_;
   size_t num_core_ = 0;
   size_t num_outliers_ = 0;
+  size_t live_points_ = 0;
 };
 
-/// Exact incremental DBSCOUT for append-only streams (the paper's
-/// motivation of data "generated and collected in a daily manner"): points
-/// are added one batch at a time and the outlier labeling is maintained
-/// exactly after every insertion — equal, at any moment, to what
-/// DetectSequential would produce on the points seen so far (enforced by
-/// tests).
+/// Exact incremental DBSCOUT for online streams (the paper's motivation of
+/// data "generated and collected in a daily manner"): points are added one
+/// batch at a time — and, for sliding-window workloads, removed again —
+/// while the outlier labeling is maintained exactly after every mutation:
+/// equal, at any moment, to what DetectSequential would produce on the
+/// live points (enforced by tests).
 ///
 /// Insertions are monotone under Definitions 1-3: neighbor counts only
 /// grow, so core points stay core and non-outliers stay non-outliers; the
@@ -115,10 +142,25 @@ class IncrementalSnapshot {
 /// scan per point it promotes to core — O(minPts * k_d) amortized, the
 /// same constant as the batch algorithm's per-point cost.
 ///
-/// Threading contract: all mutating calls (Add/AddBatch/SnapshotNow) must
-/// come from one writer at a time; SnapshotNow() hands out immutable views
-/// that other threads may read concurrently with subsequent writes (the
-/// storage is copy-on-write at chunk/cell granularity, see common/cow.h).
+/// Removals break that monotonicity, so Remove() re-derives the affected
+/// transitions: counts of the removed point's eps-neighbors decrement
+/// (demoting cores that fall off the minPts threshold), and border points
+/// that were covered only by the removed/demoted cores are re-checked and
+/// may fall to outlier. Cells hold only live points, so scans never see a
+/// removed point; the alive mask records removals for snapshot readers.
+///
+/// Threading contract: all mutating calls (Add/AddBatch/AddBatchParallel/
+/// Remove/SnapshotNow) must come from one writer at a time; SnapshotNow()
+/// hands out immutable views that other threads may read concurrently
+/// with subsequent writes (the storage is copy-on-write at chunk/cell
+/// granularity, see common/cow.h). AddBatchParallel additionally fans the
+/// batch out over a caller-provided ThreadPool: points are grouped by
+/// home cell, groups by dim-0 slab block of width 2*ceil(sqrt(d)) cells,
+/// and blocks run in three waves colored so that concurrently running
+/// tasks' read/write footprints never overlap (see grid/regions.h). The
+/// final state is identical to sequential insertion — point labels are an
+/// order-independent function of the point set — and no snapshot is taken
+/// mid-batch, so readers only ever observe exact epochs.
 class IncrementalDetector {
  public:
   /// Fails on invalid params or dims outside [1, kMaxDims].
@@ -131,44 +173,109 @@ class IncrementalDetector {
   /// every affected older point is updated before returning.
   Result<uint32_t> Add(std::span<const double> point);
 
-  /// Inserts every point of `batch` (same dims) in order.
+  /// Inserts every point of `batch` (same dims). The whole batch is
+  /// validated first, so on error the detector is unchanged.
   Status AddBatch(const PointSet& batch);
+
+  /// Inserts every point of `batch` using the sharded apply pipeline on
+  /// `pool` (nullptr runs the same grouped scan inline, single-threaded).
+  /// Validates the whole batch first (atomic failure). `stats`, when
+  /// non-null, receives shard count and per-shard-task seconds.
+  Status AddBatchParallel(const PointSet& batch, ThreadPool* pool,
+                          ApplyStats* stats = nullptr);
+
+  /// Checks one candidate row against this detector's dims and coordinate
+  /// domain without mutating anything. The service pre-validates client
+  /// batches with this so one malformed batch cannot poison a coalesced
+  /// apply pass.
+  Status ValidatePoint(std::span<const double> point) const;
+
+  /// Removes point `id` from the live set and re-derives every affected
+  /// label (core -> non-core demotions of points whose neighbor count
+  /// falls off the minPts threshold, border -> outlier demotions of
+  /// points that lose their last covering core). InvalidArgument when id
+  /// was never inserted; NotFound when already removed.
+  Status Remove(uint32_t id);
 
   size_t size() const { return kinds_.size(); }
   size_t dims() const { return points_.width(); }
 
   /// Epoch = number of points inserted so far (the prefix length a
-  /// snapshot taken now would cover).
+  /// snapshot taken now would cover). Removals do not rewind the epoch:
+  /// indices are stable for the detector's lifetime.
   uint64_t epoch() const { return kinds_.size(); }
+
+  /// Points inserted and not yet removed.
+  size_t live_points() const { return live_points_; }
+  /// False when point i was removed.
+  bool IsAlive(uint32_t i) const { return alive_[i] != 0; }
 
   /// Current classification of point i.
   PointKind KindOf(uint32_t i) const { return kinds_[i]; }
-  /// Materialized copy of all labels (insertion order).
+  /// Materialized copy of all labels (insertion order; removed points
+  /// keep their last label).
   std::vector<PointKind> kinds() const;
 
-  /// Current outlier indices, ascending.
+  /// Current live outlier indices, ascending.
   std::vector<uint32_t> Outliers() const;
 
   size_t num_core() const { return num_core_; }
   size_t num_outliers() const { return num_outliers_; }
   size_t num_cells() const { return cells_.size(); }
 
-  /// Total point-to-point distance evaluations performed by insertions
+  /// Total point-to-point distance evaluations performed by mutations
   /// (monotone; the service's STATS verb reports deltas per apply pass).
   uint64_t distance_computations() const { return distance_comps_; }
 
   /// Freezes the current state into an immutable snapshot. O(cells +
   /// size/chunk-size); subsequent writes copy-on-write only the chunks and
-  /// cells they touch. Must be called from the writer thread.
+  /// cells they touch. Must be called from the writer thread, never
+  /// concurrently with AddBatchParallel shard tasks.
   std::shared_ptr<const IncrementalSnapshot> SnapshotNow();
 
  private:
   struct Cell {
-    /// COW: cloned on first mutation after a SnapshotNow(), so snapshots
-    /// keep the pre-mutation vector.
+    /// Point indices and their packed row-major coordinates (parallel
+    /// arrays: coords rows line up with points entries), so neighborhood
+    /// scans run the SIMD block kernels over one contiguous block per
+    /// cell. Only `points` is COW (snapshots share it via SnapCell and it
+    /// clones on first mutation after a SnapshotNow()); `coords` is a
+    /// detector-private scan mirror no snapshot ever reads — readers
+    /// resolve coordinates through the frozen row store — so it mutates in
+    /// place across snapshots.
     std::shared_ptr<std::vector<uint32_t>> points;
-    uint32_t core_points = 0;  // core cell iff > 0
-    uint64_t serial = 0;       // freeze serial at last clone/create
+    std::vector<double> coords;
+    /// Stencil-neighbor cells (self included, last), resolved once at
+    /// creation and kept symmetric as later cells appear — the mutation
+    /// paths never pay per-point stencil hash lookups. Cells are never
+    /// erased (an emptied cell stays as a stub) so these pointers stay
+    /// valid; unordered_map nodes are stable under rehash.
+    std::vector<Cell*> neighbors;
+    /// Lower corner of the cell's box (coord * side per axis), so scans can
+    /// skip this cell outright when the whole box lies beyond eps of the
+    /// query (phases::CellBoxBeyondEps). Fixed at creation.
+    std::array<double, kMaxDims> box_origin{};
+    uint32_t core_points = 0;     // core cell iff > 0
+    uint32_t outlier_points = 0;  // rescue scans skip cells with none
+    uint64_t serial = 0;          // freeze serial at last clone/create
+  };
+
+  /// Mutable per-task state of one apply task: counter deltas (merged
+  /// serially under the merge mutex — shard tasks never touch the
+  /// detector-level counters) and reusable scratch buffers.
+  struct ApplyCtx {
+    int64_t core_delta = 0;
+    int64_t outlier_delta = 0;
+    uint64_t distance_comps = 0;
+    std::vector<uint32_t> promoted;
+    std::vector<uint8_t> flags;
+    /// Batched group-apply scratch (ApplyGroupBatched): per-block-position
+    /// hit totals, the block's core mask, and per-member count/coverage
+    /// accumulators.
+    std::vector<uint32_t> acc;
+    std::vector<uint8_t> core_mask;
+    std::vector<uint32_t> member_counts;
+    std::vector<uint8_t> member_covered;
   };
 
   IncrementalDetector(size_t dims, const Params& params,
@@ -176,23 +283,62 @@ class IncrementalDetector {
 
   grid::CellCoord CoordOf(std::span<const double> p) const;
 
-  /// The cell's point list, cloned first if a snapshot still shares it.
-  std::vector<uint32_t>* MutableCellPoints(Cell* cell);
+  /// Clones the cell's point/coord vectors if a snapshot still shares
+  /// them (or creates them when empty).
+  void EnsureOwnedCell(Cell* cell);
+
+  /// Registers point x (row pv) in `cell` as a provisional outlier.
+  void AppendToCell(Cell* cell, uint32_t x, std::span<const double> pv);
+
+  /// Finds or creates the cell at `coord`, wiring the (symmetric)
+  /// neighbor caches on creation. Structural: serial contexts only.
+  Cell* GetOrCreateCell(const grid::CellCoord& coord);
+
+  /// The cell at `coord`; must exist.
+  Cell* CellAt(const grid::CellCoord& coord);
+
+  /// Full insertion of one appended point x: neighborhood scan (count +
+  /// cover + neighbor count bumps), registration, promotions. Requires
+  /// ctx->neighbors collected for x's home cell.
+  void ApplyPoint(uint32_t x, std::span<const double> pv, Cell* home_cell,
+                  ApplyCtx* ctx);
+
+  /// Insertion of one whole home-cell group (`members` ascending, all rows
+  /// already appended): the home block is scanned one member at a time (so
+  /// intra-group pairs count exactly once), but each neighbor block is
+  /// scanned with all members batched — per-position hit totals accumulate
+  /// locally and every touched point pays one count update for the whole
+  /// group. Promotions defer to the end of the group; their rescue scans
+  /// settle the labels the batched coverage masks could not see (cores
+  /// minted by this very group). Final labels match per-point insertion:
+  /// they are an order-independent function of the point set.
+  void ApplyGroupBatched(const std::vector<uint32_t>& members, Cell* home_cell,
+                         ApplyCtx* ctx);
 
   /// Marks q core and rescues outliers within eps of it.
-  void Promote(uint32_t q);
+  void Promote(uint32_t q, ApplyCtx* ctx);
+
+  /// Folds a task's counter deltas into the detector-level counters.
+  void MergeCtx(const ApplyCtx& ctx);
 
   Params params_;
   const grid::NeighborStencil* stencil_;
+  phases::BoundKernels kernels_{};
   double side_ = 0.0;
   double eps2_ = 0.0;
+  /// Slab-block width of the sharded apply (2 * stencil reach along dim
+  /// 0): wide enough that a block task writes at most one block to each
+  /// side, so three wave colors make same-wave tasks conflict-free.
+  int64_t block_width_ = 2;
 
   ChunkedRows points_;
   CowChunkedVector<PointKind> kinds_;
   CowChunkedVector<uint32_t> neighbor_counts_;  // |{q: dist <= eps}|, self incl.
+  CowChunkedVector<uint8_t> alive_;
   std::unordered_map<grid::CellCoord, Cell, grid::CellCoordHash> cells_;
   size_t num_core_ = 0;
   size_t num_outliers_ = 0;
+  size_t live_points_ = 0;
   uint64_t freeze_serial_ = 0;
   uint64_t distance_comps_ = 0;
 };

@@ -14,7 +14,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 BoundKernels BindKernels(size_t dims) {
   const simd::DistanceKernels& table = simd::DispatchedKernels();
   return BoundKernels{table.count_within[dims], table.any_within[dims],
-                      table.min_sqdist[dims]};
+                      table.min_sqdist[dims], table.within_flags[dims]};
 }
 
 uint32_t ClassifyDenseCells(const grid::Grid& g, uint32_t min_pts,

@@ -74,6 +74,7 @@ struct BoundKernels {
   simd::CountWithinFn count_within;
   simd::AnyWithinFn any_within;
   simd::MinSqDistFn min_sqdist;
+  simd::WithinFlagsFn within_flags;
 };
 
 /// Binds the dispatched kernel table at `dims` (must be in

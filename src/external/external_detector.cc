@@ -20,6 +20,7 @@
 #include "grid/cell_coord.h"
 #include "grid/grid.h"
 #include "grid/neighborhood.h"
+#include "grid/regions.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -79,11 +80,7 @@ struct SpillWriter {
   }
 };
 
-/// Contiguous range of dim-0 cell-slabs owned by one stripe.
-struct Stripe {
-  int64_t slab_lo = 0;
-  int64_t slab_hi = 0;  // inclusive
-};
+using grid::Stripe;
 
 }  // namespace
 
@@ -120,9 +117,8 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
   DBSCOUT_ASSIGN_OR_RETURN(const grid::NeighborStencil* stencil,
                            grid::GetNeighborStencil(std::max<size_t>(d, 1)));
   const double side = params.eps / std::sqrt(static_cast<double>(d));
-  const int64_t radius =
-      static_cast<int64_t>(std::ceil(std::sqrt(static_cast<double>(d))));
-  const int64_t halo = 2 * radius;
+  const int64_t radius = grid::SlabReach(d);
+  const int64_t halo = grid::SlabHalo(d);
   const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
 
   ExternalDetection out;
@@ -171,33 +167,8 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
 
   // ---- Stripe planning: contiguous slab ranges of bounded cardinality. --
   phase_timer.Reset();
-  std::vector<Stripe> stripes;
-  if (!slab_histogram.empty()) {
-    uint64_t total = 0;
-    for (const auto& [slab, count] : slab_histogram) {
-      total += count;
-    }
-    uint64_t target = params.target_stripe_points;
-    if (params.num_stripes > 0) {
-      target = std::max<uint64_t>(1, total / params.num_stripes);
-    }
-    Stripe current;
-    current.slab_lo = slab_histogram.begin()->first;
-    uint64_t filled = 0;
-    int64_t last_slab = current.slab_lo;
-    for (const auto& [slab, count] : slab_histogram) {
-      if (filled > 0 && filled + count > target) {
-        current.slab_hi = last_slab;
-        stripes.push_back(current);
-        current.slab_lo = slab;
-        filled = 0;
-      }
-      filled += count;
-      last_slab = slab;
-    }
-    current.slab_hi = last_slab;
-    stripes.push_back(current);
-  }
+  const std::vector<Stripe> stripes = grid::PlanStripes(
+      slab_histogram, params.target_stripe_points, params.num_stripes);
   out.stripes = stripes.size();
 
   // ---- Pass 1: spill points to stripe files (owned range + halo). -------
@@ -218,20 +189,6 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
       return Status::IoError("cannot create spill file: " + writers[s].path);
     }
   }
-  // Stripe lookup by slab: stripes are sorted and contiguous.
-  auto first_stripe_at_or_after = [&](int64_t slab) {
-    size_t lo = 0;
-    size_t hi = stripes.size();
-    while (lo < hi) {
-      const size_t mid = (lo + hi) / 2;
-      if (stripes[mid].slab_hi < slab) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
-  };
   DBSCOUT_RETURN_IF_ERROR(reader.Rewind());
   {
     PointSet batch(d);
@@ -248,7 +205,7 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
             static_cast<int64_t>(std::floor(p[0] / side));
         // The point belongs to every stripe whose halo-extended range
         // [slab_lo - halo, slab_hi + halo] contains its slab.
-        const size_t begin = first_stripe_at_or_after(slab - halo);
+        const size_t begin = grid::FirstStripeAtOrAfter(stripes, slab - halo);
         for (size_t s = begin; s < stripes.size(); ++s) {
           if (stripes[s].slab_lo - halo > slab) {
             break;

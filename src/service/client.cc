@@ -126,6 +126,17 @@ Result<SnapshotAnswer> Client::Snapshot(const std::string& collection) {
   return response.snapshot;
 }
 
+Result<double> Client::Configure(const std::string& collection,
+                                 double ttl_seconds) {
+  Request request;
+  request.verb = Verb::kConfigure;
+  request.collection = collection;
+  request.ttl_seconds = ttl_seconds;
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.configure.ttl_seconds;
+}
+
 Result<std::string> Client::Metrics() {
   Request request;
   request.verb = Verb::kMetrics;

@@ -38,6 +38,9 @@ class Client {
                               bool want_score);
   Result<StatsAnswer> Stats(const std::string& collection);
   Result<SnapshotAnswer> Snapshot(const std::string& collection);
+  /// Sets the collection's sliding-window TTL (seconds; 0 turns the window
+  /// off). Returns the TTL now in effect.
+  Result<double> Configure(const std::string& collection, double ttl_seconds);
   /// Prometheus text-format scrape of the whole service (no collection).
   Result<std::string> Metrics();
 

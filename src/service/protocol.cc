@@ -107,6 +107,7 @@ Result<Verb> CheckVerb(uint8_t raw) {
     case Verb::kStats:
     case Verb::kSnapshot:
     case Verb::kMetrics:
+    case Verb::kConfigure:
       return static_cast<Verb>(raw);
   }
   return Status::InvalidArgument(StrFormat("unknown verb %u", raw));
@@ -150,6 +151,9 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
         }
       }
       break;
+    case Verb::kConfigure:
+      Put<double>(&out, request.ttl_seconds);
+      break;
     case Verb::kStats:
     case Verb::kSnapshot:
     case Verb::kMetrics:
@@ -190,6 +194,10 @@ Result<Request> DecodeRequest(std::span<const uint8_t> payload) {
         DBSCOUT_ASSIGN_OR_RETURN(request.query_point,
                                  reader.ReadDoubles(dims));
       }
+      break;
+    }
+    case Verb::kConfigure: {
+      DBSCOUT_ASSIGN_OR_RETURN(request.ttl_seconds, reader.Read<double>());
       break;
     }
     case Verb::kStats:
@@ -234,6 +242,10 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       Put<uint64_t>(&out, s.num_outliers);
       Put<uint64_t>(&out, s.admission_rejections);
       Put<double>(&out, s.uptime_seconds);
+      Put<uint64_t>(&out, s.live_points);
+      Put<uint64_t>(&out, s.window_begin);
+      Put<uint64_t>(&out, s.queue_depth);
+      Put<double>(&out, s.ttl_seconds);
       Put<uint32_t>(&out, static_cast<uint32_t>(s.phases.size()));
       for (const StatsRow& row : s.phases) {
         PutString(&out, row.name);
@@ -252,6 +264,10 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       for (core::PointKind kind : s.kinds) {
         Put<uint8_t>(&out, static_cast<uint8_t>(kind));
       }
+      // Alive mask, parallel to kinds (same length, no second count).
+      for (size_t i = 0; i < s.kinds.size(); ++i) {
+        Put<uint8_t>(&out, i < s.alive.size() ? (s.alive[i] ? 1 : 0) : 1);
+      }
       break;
     }
     case Verb::kMetrics: {
@@ -260,6 +276,9 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       PutBytes(&out, text);
       break;
     }
+    case Verb::kConfigure:
+      Put<double>(&out, response.configure.ttl_seconds);
+      break;
   }
   return out;
 }
@@ -317,6 +336,10 @@ Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
       DBSCOUT_ASSIGN_OR_RETURN(s.admission_rejections,
                                reader.Read<uint64_t>());
       DBSCOUT_ASSIGN_OR_RETURN(s.uptime_seconds, reader.Read<double>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.live_points, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.window_begin, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.queue_depth, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(s.ttl_seconds, reader.Read<double>());
       DBSCOUT_ASSIGN_OR_RETURN(const uint32_t rows, reader.Read<uint32_t>());
       for (uint32_t i = 0; i < rows; ++i) {
         StatsRow row;
@@ -345,6 +368,14 @@ Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
                                  CheckKind(kind));
         s.kinds.push_back(checked);
       }
+      s.alive.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        DBSCOUT_ASSIGN_OR_RETURN(const uint8_t live, reader.Read<uint8_t>());
+        if (live > 1) {
+          return Status::InvalidArgument("malformed alive mask");
+        }
+        s.alive.push_back(live);
+      }
       break;
     }
     case Verb::kMetrics: {
@@ -353,6 +384,11 @@ Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
         return Status::InvalidArgument("oversized metrics text");
       }
       DBSCOUT_ASSIGN_OR_RETURN(response.metrics.text, reader.ReadBytes(len));
+      break;
+    }
+    case Verb::kConfigure: {
+      DBSCOUT_ASSIGN_OR_RETURN(response.configure.ttl_seconds,
+                               reader.Read<double>());
       break;
     }
   }

@@ -14,11 +14,12 @@ namespace dbscout::service {
 /// The verbs of the detection service. One frame carries one request
 /// or one response; a connection is a sequence of request/response pairs.
 enum class Verb : uint8_t {
-  kIngest = 1,    // append a batch of points to a collection
-  kQuery = 2,     // label of point-id / fresh probe point, optional score
-  kStats = 3,     // phase counters and collection counts
-  kSnapshot = 4,  // consistent full labeling at one epoch
-  kMetrics = 5,   // Prometheus text-format scrape of the whole service
+  kIngest = 1,     // append a batch of points to a collection
+  kQuery = 2,      // label of point-id / fresh probe point, optional score
+  kStats = 3,      // phase counters and collection counts
+  kSnapshot = 4,   // consistent full labeling at one epoch
+  kMetrics = 5,    // Prometheus text-format scrape of the whole service
+  kConfigure = 6,  // per-collection sliding-window TTL
 };
 
 /// Frames are a u32 little-endian payload length followed by the payload.
@@ -45,6 +46,10 @@ struct Request {
   uint32_t query_id = 0;
   std::vector<double> query_point;  // when !query_by_id
   bool want_score = false;
+
+  // CONFIGURE: sliding-window TTL for the collection; 0 turns the window
+  // off (append-only).
+  double ttl_seconds = 0.0;
 };
 
 /// One row of phase/work counters in a STATS response (PhaseStats shape).
@@ -79,21 +84,38 @@ struct StatsAnswer {
   uint64_t admission_rejections = 0;
   /// Seconds since the service was constructed (monotonic clock).
   double uptime_seconds = 0.0;
+  /// Points inserted and not yet expired/removed (== num_points while the
+  /// collection is append-only).
+  uint64_t live_points = 0;
+  /// First epoch still inside the sliding window; ids below it are expired.
+  uint64_t window_begin = 0;
+  /// Ingest batches of this collection waiting in the apply queue.
+  uint64_t queue_depth = 0;
+  /// The collection's sliding-window TTL (0 = append-only).
+  double ttl_seconds = 0.0;
   std::vector<StatsRow> phases;
 };
 
 /// SNAPSHOT result payload: the exact labeling of the first `epoch` points.
+/// `alive` parallels `kinds`: 0 marks points removed or expired out of the
+/// sliding window (their kinds entry is the last label they carried).
 struct SnapshotAnswer {
   uint64_t epoch = 0;
   uint64_t num_core = 0;
   uint64_t num_cells = 0;
   std::vector<core::PointKind> kinds;
+  std::vector<uint8_t> alive;
 };
 
 /// METRICS result payload: the Prometheus text-format exposition of the
 /// service's metric registry (opaque to the protocol layer).
 struct MetricsAnswer {
   std::string text;
+};
+
+/// CONFIGURE result payload: echoes the TTL now in effect.
+struct ConfigureAnswer {
+  double ttl_seconds = 0.0;
 };
 
 /// One decoded response. `status` is the service-level outcome (kUnavailable
@@ -107,6 +129,7 @@ struct Response {
   StatsAnswer stats;
   SnapshotAnswer snapshot;
   MetricsAnswer metrics;
+  ConfigureAnswer configure;
 };
 
 /// Serializes a request/response payload (no frame length prefix; the

@@ -1,6 +1,9 @@
 #include "service/service.h"
 
+#include <chrono>
+#include <cmath>
 #include <span>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -22,18 +25,36 @@ const char* VerbLabel(Verb verb) {
       return "snapshot";
     case Verb::kMetrics:
       return "metrics";
+    case Verb::kConfigure:
+      return "configure";
   }
   return "unknown";
+}
+
+size_t ResolveApplyShards(size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 }
 
 }  // namespace
 
 DetectionService::DetectionService(const ServiceOptions& options)
     : options_(options),
+      clock_(options.clock ? options.clock : [] { return MonotonicSeconds(); }),
       registry_(options.registry != nullptr ? options.registry
                                             : &obs::Registry::Global()),
       trace_(options.trace),
       apply_pool_(1) {
+  const size_t shards = ResolveApplyShards(options.apply_shards);
+  if (shards > 1) {
+    shard_pool_ = std::make_unique<ThreadPool>(shards);
+  }
+  if (options.ttl_seconds > 0.0) {
+    has_window_.store(true, std::memory_order_relaxed);
+  }
   ingest_batches_total_ = registry_->GetCounter(
       "dbscout_ingest_batches_total", "INGEST batches applied");
   ingest_points_total_ = registry_->GetCounter(
@@ -54,8 +75,14 @@ DetectionService::DetectionService(const ServiceOptions& options)
       "dbscout_apply_batch_size",
       "Ingest batches coalesced into one apply pass",
       obs::HistogramLayout::Count());
+  apply_shards_gauge_ = registry_->GetGauge(
+      "dbscout_apply_shards",
+      "Slab-block shards of the most recent coalesced apply");
+  apply_shard_seconds_ = registry_->GetHistogram(
+      "dbscout_apply_shard_seconds", "Wall seconds per apply shard task",
+      obs::HistogramLayout::Latency());
   for (const Verb verb : {Verb::kIngest, Verb::kQuery, Verb::kStats,
-                          Verb::kSnapshot, Verb::kMetrics}) {
+                          Verb::kSnapshot, Verb::kMetrics, Verb::kConfigure}) {
     request_seconds_[static_cast<size_t>(verb)] = registry_->GetHistogram(
         "dbscout_request_seconds", "Dispatch latency by verb",
         obs::HistogramLayout::Latency(), {{"verb", VerbLabel(verb)}});
@@ -88,6 +115,8 @@ Response DetectionService::Dispatch(const Request& request) {
         return DoStats(request);
       case Verb::kSnapshot:
         return DoSnapshot(request);
+      case Verb::kConfigure:
+        return DoConfigure(request);
       case Verb::kMetrics:
         break;  // handled above
     }
@@ -153,6 +182,12 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
   // contract of SnapshotNow() holds trivially.
   collection->snapshot.store(collection->detector.SnapshotNow(),
                              std::memory_order_release);
+  collection->ttl_seconds.store(options_.ttl_seconds,
+                                std::memory_order_relaxed);
+  collection->depth_gauge = registry_->GetGauge(
+      "dbscout_pending_batches",
+      "Ingest batches waiting in the apply queue, by collection",
+      {{"collection", name}});
   Collection* raw = collection.get();
   collections_.emplace(name, std::move(collection));
   collections_gauge_->Set(static_cast<int64_t>(collections_.size()));
@@ -173,10 +208,24 @@ Status DetectionService::Enqueue(Collection* collection,
         StrFormat("ingest queue at admission cap (%zu); retry later",
                   options_.max_pending_ingests));
   }
+  const bool was_empty = queue_.empty();
+  const bool ticketed = ticket != nullptr;
+  if (ticketed) {
+    ++ticketed_pending_;
+  }
   queue_.push_back(PendingIngest{collection, std::move(coords),
                                  std::move(ticket), MonotonicSeconds()});
   ++enqueued_;
-  queue_cv_.notify_one();
+  collection->depth_gauge->Set(static_cast<int64_t>(
+      collection->queue_depth.fetch_add(1, std::memory_order_relaxed) + 1));
+  // Wake the loop when the queue transitions to non-empty, or when a
+  // blocking caller just arrived (it cuts a coalescing window short).
+  // Fire-and-forget batches landing on a non-empty queue stay silent: the
+  // loop is already awake, and skipping the wakeup lets it coalesce them
+  // instead of thrashing through one-batch passes.
+  if (was_empty || ticketed) {
+    queue_cv_.notify_one();
+  }
   return Status::OK();
 }
 
@@ -278,6 +327,11 @@ Response DetectionService::DoStats(const Request& request) {
   stats.num_outliers = snap->num_outliers();
   stats.admission_rejections = admission_rejections();
   stats.uptime_seconds = UptimeSeconds();
+  stats.live_points = snap->live_points();
+  stats.window_begin =
+      collection->window_begin.load(std::memory_order_relaxed);
+  stats.queue_depth = collection->queue_depth.load(std::memory_order_relaxed);
+  stats.ttl_seconds = collection->ttl_seconds.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(collection->stats_mu);
     for (const core::PhaseStats& row : collection->recorder.phases()) {
@@ -308,6 +362,37 @@ Response DetectionService::DoSnapshot(const Request& request) {
   response.snapshot.num_core = snap->num_core();
   response.snapshot.num_cells = snap->num_cells();
   response.snapshot.kinds = snap->Kinds();
+  response.snapshot.alive.reserve(snap->epoch());
+  for (uint64_t i = 0; i < snap->epoch(); ++i) {
+    response.snapshot.alive.push_back(
+        snap->IsAlive(static_cast<uint32_t>(i)) ? 1 : 0);
+  }
+  return response;
+}
+
+Response DetectionService::DoConfigure(const Request& request) {
+  Response response;
+  response.verb = Verb::kConfigure;
+  if (!std::isfinite(request.ttl_seconds) || request.ttl_seconds < 0.0) {
+    response.status =
+        Status::InvalidArgument("ttl_seconds must be finite and >= 0");
+    return response;
+  }
+  Collection* collection = FindCollection(request.collection);
+  if (collection == nullptr) {
+    response.status = Status::NotFound(
+        StrFormat("no collection '%s'", request.collection.c_str()));
+    return response;
+  }
+  collection->ttl_seconds.store(request.ttl_seconds,
+                                std::memory_order_relaxed);
+  if (request.ttl_seconds > 0.0) {
+    has_window_.store(true, std::memory_order_relaxed);
+    // Wake the apply loop so it switches to periodic expiry wakeups.
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_cv_.notify_all();
+  }
+  response.configure.ttl_seconds = request.ttl_seconds;
   return response;
 }
 
@@ -315,6 +400,23 @@ void DetectionService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   const uint64_t target = enqueued_;
   tickets_cv_.wait(lock, [&] { return applied_ >= target; });
+}
+
+void DetectionService::SweepExpiredNow() {
+  auto ticket = std::make_shared<Ticket>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    // Bypasses the admission cap: an expiry tick carries no points.
+    ++ticketed_pending_;
+    queue_.push_back(PendingIngest{nullptr, {}, ticket, MonotonicSeconds()});
+    ++enqueued_;
+    queue_cv_.notify_one();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  tickets_cv_.wait(lock, [&] { return ticket->done; });
 }
 
 void DetectionService::Stop() {
@@ -335,107 +437,283 @@ void DetectionService::SetApplyPausedForTest(bool paused) {
 void DetectionService::ApplyLoop() {
   for (;;) {
     std::vector<PendingIngest> batch;
+    bool expiry_tick = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       // Stop overrides a test pause: shutdown always drains the queue.
-      queue_cv_.wait(lock, [this] {
-        return stop_ || (!queue_.empty() && !apply_paused_);
-      });
-      if (queue_.empty()) {
-        if (stop_) {
-          return;
+      // While any collection has a TTL window, sleep in bounded slices so
+      // expiry runs even with no traffic.
+      for (;;) {
+        if (stop_ || (!queue_.empty() && !apply_paused_)) {
+          break;
         }
-        continue;
+        if (has_window_.load(std::memory_order_relaxed)) {
+          if (queue_cv_.wait_for(lock, std::chrono::milliseconds(100)) ==
+              std::cv_status::timeout) {
+            expiry_tick = true;
+            break;
+          }
+        } else {
+          queue_cv_.wait(lock);
+        }
       }
-      // Coalesce: take everything queued so this pass publishes one
-      // snapshot per touched collection no matter how many batches piled
-      // up behind a slow apply.
-      batch.reserve(queue_.size());
-      while (!queue_.empty()) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      // Throughput coalescing: while everything queued is fire-and-forget
+      // (no caller blocked on a ticket), linger in short slices as long as
+      // the producer keeps the queue growing — bigger passes amortize the
+      // per-pass snapshot, and nobody is waiting on the latency. The first
+      // ticketed arrival notifies and cuts the window short; a stalled
+      // producer ends it at the next slice boundary.
+      if (!stop_ && !apply_paused_ && !queue_.empty() &&
+          ticketed_pending_ == 0) {
+        constexpr auto kCoalesceSlice = std::chrono::microseconds(200);
+        constexpr int kMaxCoalesceSlices = 25;  // <= 5ms added latency
+        for (int slice = 0; slice < kMaxCoalesceSlices; ++slice) {
+          const size_t before = queue_.size();
+          if (before >= options_.max_pending_ingests / 2) {
+            break;  // half-full queue: apply before admission sheds
+          }
+          queue_cv_.wait_for(lock, kCoalesceSlice);
+          if (stop_ || apply_paused_ || ticketed_pending_ > 0 ||
+              queue_.size() == before) {
+            break;
+          }
+        }
+      }
+      // Stop overrides a pause: shutdown always drains what is queued.
+      const bool can_take = !queue_.empty() && (!apply_paused_ || stop_);
+      if (!can_take) {
+        if (stop_) {
+          return;  // stop with an empty queue (pause never outlives stop)
+        }
+        if (!expiry_tick) {
+          continue;
+        }
+        // Fall through with an empty batch: expiry-only pass.
+      } else {
+        // Coalesce: take everything queued so this pass runs one detector
+        // apply and publishes one snapshot per touched collection no
+        // matter how many batches piled up behind a slow apply.
+        batch.reserve(queue_.size());
+        while (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        ticketed_pending_ = 0;  // the take is all-or-nothing
       }
     }
     ApplyPass(std::move(batch));
   }
 }
 
+uint64_t DetectionService::ExpireAged(Collection* collection, double now,
+                                      double* seconds) {
+  const double ttl = collection->ttl_seconds.load(std::memory_order_relaxed);
+  if (ttl <= 0.0 || collection->stamps.empty()) {
+    return 0;
+  }
+  WallTimer timer;
+  uint64_t removed = 0;
+  uint64_t begin = collection->window_begin.load(std::memory_order_relaxed);
+  while (!collection->stamps.empty() &&
+         now - collection->stamps.front().seconds >= ttl) {
+    const uint64_t end = collection->stamps.front().end_epoch;
+    for (uint64_t id = begin; id < end; ++id) {
+      const uint32_t id32 = static_cast<uint32_t>(id);
+      if (collection->detector.IsAlive(id32)) {
+        const Status status = collection->detector.Remove(id32);
+        if (!status.ok()) {
+          DBSCOUT_LOG(kWarning) << "window expiry failed for id " << id
+                                << ": " << status.message();
+        } else {
+          ++removed;
+        }
+      }
+    }
+    begin = end;
+    collection->stamps.pop_front();
+  }
+  collection->window_begin.store(begin, std::memory_order_relaxed);
+  *seconds += timer.ElapsedSeconds();
+  return removed;
+}
+
 void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
-  struct Touch {
-    double seconds = 0.0;
-    uint64_t records = 0;
-    uint64_t errors = 0;
+  // ---- Group the pass's ops per collection, first-seen order, validating
+  // each client batch up front: a malformed batch is rejected atomically
+  // (its ticket carries the error) and never reaches the coalesced apply.
+  struct OpShape {
+    PendingIngest* op = nullptr;
+    size_t points = 0;  // 0 when rejected
+    Status status;
   };
-  std::unordered_map<Collection*, Touch> touched;
+  struct Work {
+    Collection* collection = nullptr;
+    PointSet coalesced{2};
+    std::vector<OpShape> ops;
+    double seconds = 0.0;
+    uint64_t errors = 0;
+    uint64_t expired = 0;
+    double expire_seconds = 0.0;
+  };
+  std::vector<Work> works;
+  std::unordered_map<Collection*, size_t> work_of;
 
   WallTimer pass_timer;
-  apply_batch_size_->Observe(static_cast<double>(batch.size()));
   const double apply_start = MonotonicSeconds();
-  uint64_t pass_points = 0;
-  uint64_t pass_errors = 0;
+  const bool has_ops = !batch.empty();
+  uint64_t real_ops = 0;
 
   for (PendingIngest& op : batch) {
+    if (op.collection == nullptr) {
+      continue;  // expiry tick: no points, completed with the pass
+    }
+    ++real_ops;
     Collection* collection = op.collection;
+    collection->depth_gauge->Set(static_cast<int64_t>(
+        collection->queue_depth.fetch_sub(1, std::memory_order_relaxed) - 1));
     queue_wait_seconds_->Observe(apply_start - op.enqueue_seconds);
-    WallTimer timer;
-    Status status;
+    auto [it, fresh] = work_of.try_emplace(collection, works.size());
+    if (fresh) {
+      works.emplace_back();
+      works.back().collection = collection;
+      works.back().coalesced = PointSet(collection->detector.dims());
+    }
+    Work& work = works[it->second];
     const size_t dims = collection->detector.dims();
     const size_t count = op.coords.size() / dims;
-    size_t applied_points = 0;
+    OpShape shape;
+    shape.op = &op;
     for (size_t i = 0; i < count; ++i) {
-      const Result<uint32_t> added = collection->detector.Add(
-          std::span<const double>(op.coords.data() + i * dims, dims));
-      if (!added.ok()) {
-        // The batch is applied up to the first invalid point; the rest is
-        // dropped and the error reported on the ticket (and in STATS).
-        status = added.status();
+      const std::span<const double> row(op.coords.data() + i * dims, dims);
+      shape.status = collection->detector.ValidatePoint(row);
+      if (!shape.status.ok()) {
         break;
       }
-      ++applied_points;
     }
-    Touch& touch = touched[collection];
-    touch.seconds += timer.ElapsedSeconds();
-    touch.records += applied_points;
-    pass_points += applied_points;
-    if (!status.ok()) {
-      ++touch.errors;
-      ++pass_errors;
+    if (shape.status.ok()) {
+      shape.points = count;
+      for (size_t i = 0; i < count; ++i) {
+        work.coalesced.Add(
+            std::span<const double>(op.coords.data() + i * dims, dims));
+      }
     }
-    if (op.ticket != nullptr) {
-      // Safe without mu_: the waiter only reads these after `done` flips
-      // under mu_ below.
-      op.ticket->status = std::move(status);
-      op.ticket->epoch = collection->detector.epoch();
+    work.ops.push_back(std::move(shape));
+  }
+
+  // ---- One sharded detector apply per touched collection. ----
+  uint64_t pass_points = 0;
+  uint64_t pass_errors = 0;
+  const double now = clock_();
+  for (Work& work : works) {
+    Collection* collection = work.collection;
+    const uint64_t base = collection->detector.epoch();
+    WallTimer timer;
+    core::ApplyStats stats;
+    Status apply_status = Status::OK();
+    if (work.coalesced.size() > 0) {
+      apply_status = collection->detector.AddBatchParallel(
+          work.coalesced, shard_pool_.get(), &stats);
+      apply_shards_gauge_->Set(static_cast<int64_t>(stats.shards));
+      for (double shard_seconds : stats.shard_seconds) {
+        apply_shard_seconds_->Observe(shard_seconds);
+      }
+    }
+    work.seconds = timer.ElapsedSeconds();
+    if (!apply_status.ok()) {
+      // Pre-validation makes this unreachable short of detector-level
+      // capacity errors; fail every op of the collection explicitly.
+      DBSCOUT_LOG(kWarning) << "coalesced apply failed: "
+                            << apply_status.message();
+    }
+    uint64_t cum = base;
+    for (OpShape& shape : work.ops) {
+      Status op_status =
+          apply_status.ok() ? std::move(shape.status) : apply_status;
+      if (op_status.ok()) {
+        cum += shape.points;
+        pass_points += shape.points;
+      } else {
+        ++work.errors;
+        ++pass_errors;
+      }
+      if (shape.op->ticket != nullptr) {
+        // Safe without mu_: the waiter only reads these after `done` flips
+        // under mu_ below.
+        shape.op->ticket->status = std::move(op_status);
+        shape.op->ticket->epoch = cum;
+      }
+    }
+    if (apply_status.ok() && cum > base) {
+      collection->stamps.push_back(Collection::StampRange{cum, now});
     }
   }
 
-  // Publish: one snapshot per touched collection, after all of this pass's
-  // mutations. The release store pairs with the acquire load in readers.
-  for (auto& [collection, touch] : touched) {
+  // ---- Expiry sweep: every collection with a TTL window drops the
+  // ranges whose stamp aged out (also reached via timer wakeups and
+  // SweepExpiredNow ticks with an empty/tick-only batch). ----
+  std::vector<Collection*> all;
+  {
+    std::lock_guard<std::mutex> lock(collections_mu_);
+    all.reserve(collections_.size());
+    for (auto& [name, collection] : collections_) {
+      all.push_back(collection.get());
+    }
+  }
+  for (Collection* collection : all) {
+    double expire_seconds = 0.0;
+    const uint64_t expired = ExpireAged(collection, now, &expire_seconds);
+    if (expired == 0) {
+      continue;
+    }
+    auto [it, fresh] = work_of.try_emplace(collection, works.size());
+    if (fresh) {
+      works.emplace_back();
+      works.back().collection = collection;
+    }
+    works[it->second].expired = expired;
+    works[it->second].expire_seconds = expire_seconds;
+  }
+
+  // ---- Publish: one snapshot per touched collection, after all of this
+  // pass's mutations. The release store pairs with readers' acquire. ----
+  for (Work& work : works) {
+    if (work.coalesced.size() == 0 && work.expired == 0 &&
+        work.errors == 0) {
+      continue;  // nothing happened to this collection
+    }
+    Collection* collection = work.collection;
     collection->snapshot.store(collection->detector.SnapshotNow(),
                                std::memory_order_release);
     const uint64_t total_comps = collection->detector.distance_computations();
     std::lock_guard<std::mutex> lock(collection->stats_mu);
     collection->recorder.Accumulate(
-        "apply", touch.seconds,
-        total_comps - collection->last_distance_comps, touch.records);
+        "apply", work.seconds,
+        total_comps - collection->last_distance_comps,
+        work.coalesced.size());
+    if (work.expired > 0) {
+      collection->recorder.Accumulate("expire", work.expire_seconds, 0,
+                                      work.expired);
+    }
     collection->last_distance_comps = total_comps;
-    collection->ingest_errors += touch.errors;
+    collection->ingest_errors += work.errors;
   }
 
-  ingest_batches_total_->Increment(batch.size());
-  ingest_points_total_->Increment(pass_points);
-  ingest_errors_total_->Increment(pass_errors);
-  if (trace_ != nullptr) {
-    // One span per coalesced apply pass, attributed to the apply thread.
-    trace_->AddSpanEndingNow("apply_pass", "service",
-                             pass_timer.ElapsedSeconds(), /*distances=*/0,
-                             pass_points);
+  if (has_ops) {
+    apply_batch_size_->Observe(static_cast<double>(real_ops));
+    ingest_batches_total_->Increment(real_ops);
+    ingest_points_total_->Increment(pass_points);
+    ingest_errors_total_->Increment(pass_errors);
+    if (trace_ != nullptr) {
+      // One span per coalesced apply pass, attributed to the apply thread.
+      trace_->AddSpanEndingNow("apply_pass", "service",
+                               pass_timer.ElapsedSeconds(), /*distances=*/0,
+                               pass_points);
+    }
   }
 
   // Complete tickets only now, so the epoch a blocking INGEST returns is
   // already covered by a published snapshot.
-  {
+  if (has_ops) {
     std::lock_guard<std::mutex> lock(mu_);
     applied_ += batch.size();
     for (PendingIngest& op : batch) {

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,6 +37,22 @@ struct ServiceOptions {
   /// how many a misbehaving client can create.
   size_t max_collections = 64;
 
+  /// Worker threads the apply loop fans slab-block shard tasks out on
+  /// (AddBatchParallel). 0 picks the hardware concurrency; 1 keeps each
+  /// apply pass single-threaded (no worker pool at all).
+  size_t apply_shards = 0;
+
+  /// Sliding-window TTL (seconds) applied to every collection at creation;
+  /// 0 means append-only. Points older than the TTL are expired by the
+  /// apply loop at ingest-batch granularity. Per-collection override via
+  /// the CONFIGURE verb.
+  double ttl_seconds = 0.0;
+
+  /// Monotonic clock (seconds) for TTL expiry; null uses
+  /// MonotonicSeconds(). Tests inject a fake clock to drive expiry
+  /// deterministically.
+  std::function<double()> clock;
+
   /// Metrics registry the service publishes into (and the METRICS verb
   /// scrapes). Null selects obs::Registry::Global(); tests pass a local
   /// registry for isolation. Not owned.
@@ -53,9 +70,16 @@ struct ServiceOptions {
 /// Concurrency design:
 ///  - All mutations flow through one apply loop (a long-running task on a
 ///    private one-thread pool). Each pass swaps out the *entire* pending
-///    queue, applies every batch, then publishes one fresh snapshot per
-///    touched collection — so N queued batches cost one snapshot, not N
-///    (request batching / coalescing).
+///    queue, concatenates each collection's batches into one coalesced
+///    apply (AddBatchParallel fans its slab-block shards out on the shard
+///    worker pool), then publishes one fresh snapshot per touched
+///    collection — so N queued batches cost one detector pass and one
+///    snapshot, not N.
+///  - Sliding windows: collections with a TTL expire ingest batches whose
+///    stamp has aged past it. Expiry runs inside the apply loop (every
+///    pass, plus periodic wakeups while any window is configured), so the
+///    single-writer contract of the detector is preserved; removals use
+///    the detector's exact Remove() re-derivation.
 ///  - QUERY / STATS / SNAPSHOT never touch the detector: they read the
 ///    latest published IncrementalSnapshot through an atomic shared_ptr
 ///    (release store in the apply loop, acquire load here), so read
@@ -90,6 +114,13 @@ class DetectionService {
   /// published.
   void Drain();
 
+  /// Forces one expiry sweep on the apply loop and blocks until its
+  /// snapshots are published. Deterministic hook for tests and operators
+  /// with an injected clock; the loop also sweeps on its own every
+  /// ~100ms while any collection has a TTL window. Must not be called
+  /// while the apply loop is paused for test.
+  void SweepExpiredNow();
+
   /// Drains the queue, completes all tickets, and stops the apply loop.
   /// Further INGESTs are refused with kUnavailable; reads keep working
   /// against the last published snapshots. Idempotent.
@@ -120,6 +151,26 @@ class DetectionService {
     core::IncrementalDetector detector;
     std::atomic<std::shared_ptr<const core::IncrementalSnapshot>> snapshot;
 
+    /// Sliding-window TTL in seconds; 0 = append-only. Written by
+    /// CONFIGURE, read by the apply loop.
+    std::atomic<double> ttl_seconds{0.0};
+    /// First epoch still inside the window (everything below is expired).
+    /// Written by the apply loop, read by STATS.
+    std::atomic<uint64_t> window_begin{0};
+    /// Ingest batches of this collection currently in the apply queue.
+    std::atomic<uint64_t> queue_depth{0};
+    /// dbscout_pending_batches{collection=...}; mirrors queue_depth.
+    obs::Gauge* depth_gauge = nullptr;
+
+    /// Apply-loop-private expiry bookkeeping: each entry says "epochs
+    /// [previous end, end_epoch) were applied at `seconds`". Batch
+    /// granularity: a range expires as a unit once its stamp ages out.
+    struct StampRange {
+      uint64_t end_epoch = 0;
+      double seconds = 0.0;
+    };
+    std::deque<StampRange> stamps;
+
     std::mutex stats_mu;
     core::phases::PhaseRecorder recorder;  // guarded by stats_mu
     uint64_t last_distance_comps = 0;      // guarded by stats_mu
@@ -138,6 +189,8 @@ class DetectionService {
   };
 
   struct PendingIngest {
+    /// Null marks an expiry tick (SweepExpiredNow): the pass applies no
+    /// points for it, but runs the expiry sweep and completes the ticket.
     Collection* collection = nullptr;
     std::vector<double> coords;  // row-major, collection's dims
     std::shared_ptr<Ticket> ticket;  // null for async ingests
@@ -151,6 +204,7 @@ class DetectionService {
   Response DoStats(const Request& request);
   Response DoSnapshot(const Request& request);
   Response DoMetrics();
+  Response DoConfigure(const Request& request);
 
   /// Looks up a collection (null when absent). Never creates.
   Collection* FindCollection(const std::string& name);
@@ -165,9 +219,17 @@ class DetectionService {
                  std::shared_ptr<Ticket> ticket);
 
   void ApplyLoop();
+  /// One coalesced apply pass: groups `batch` per collection, applies each
+  /// collection's points in one sharded AddBatchParallel call, runs the
+  /// TTL expiry sweep, then publishes one snapshot per touched collection.
+  /// An empty `batch` is an expiry-only pass (periodic window wakeup).
   void ApplyPass(std::vector<PendingIngest> batch);
+  /// Expires aged-out ingest ranges of `collection`; returns the number of
+  /// points removed (0 when no TTL or nothing aged out). Apply loop only.
+  uint64_t ExpireAged(Collection* collection, double now, double* seconds);
 
   const ServiceOptions options_;
+  std::function<double()> clock_;
 
   std::mutex collections_mu_;
   std::unordered_map<std::string, std::unique_ptr<Collection>> collections_;
@@ -176,12 +238,19 @@ class DetectionService {
   std::condition_variable queue_cv_;    // apply loop wakeups
   std::condition_variable tickets_cv_;  // ticket completion + drain
   std::deque<PendingIngest> queue_;
+  /// Queued ops somebody blocks on (ticketed). While zero, the apply loop
+  /// may linger briefly to coalesce fire-and-forget batches into bigger
+  /// passes; the first ticketed arrival cuts that window short.
+  uint64_t ticketed_pending_ = 0;
   uint64_t enqueued_ = 0;  // batches ever enqueued
   uint64_t applied_ = 0;   // batches fully processed (published)
   bool stop_ = false;
   bool apply_paused_ = false;
 
   std::atomic<uint64_t> admission_rejections_{0};
+  /// True once any collection has a TTL window; flips the apply loop from
+  /// indefinite waits to periodic expiry wakeups. Never unset.
+  std::atomic<bool> has_window_{false};
 
   WallTimer uptime_;
 
@@ -196,8 +265,15 @@ class DetectionService {
   obs::Gauge* collections_gauge_ = nullptr;
   obs::Histogram* queue_wait_seconds_ = nullptr;
   obs::Histogram* apply_batch_size_ = nullptr;
+  obs::Gauge* apply_shards_gauge_ = nullptr;
+  obs::Histogram* apply_shard_seconds_ = nullptr;
   /// Request latency by verb, indexed by Verb's numeric value.
-  std::array<obs::Histogram*, 6> request_seconds_{};
+  std::array<obs::Histogram*, 7> request_seconds_{};
+
+  /// Shard workers AddBatchParallel fans block tasks out on; null when the
+  /// resolved apply_shards is 1 (serial apply). Declared before
+  /// apply_pool_ so the apply loop never outlives its workers.
+  std::unique_ptr<ThreadPool> shard_pool_;
 
   /// Declared last so it is destroyed first: the apply-loop task has
   /// already exited by then (the destructor calls Stop()).

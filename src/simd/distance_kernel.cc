@@ -78,6 +78,18 @@ double MinScalar(const double* query, const double* block, size_t count) {
   return best;
 }
 
+template <size_t D>
+uint32_t FlagsScalar(const double* query, const double* block, size_t count,
+                     double eps2, uint8_t* flags) {
+  uint32_t hits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint8_t within = SqDist<D>(query, block + i * D) <= eps2 ? 1 : 0;
+    flags[i] = within;
+    hits += within;
+  }
+  return hits;
+}
+
 #if DBSCOUT_SIMD_X86
 
 // ---------------------------------------------------------------------------
@@ -154,6 +166,27 @@ double MinSse2(const double* query, const double* block, size_t count) {
     best = d2 < best ? d2 : best;
   }
   return best;
+}
+
+template <size_t D>
+uint32_t FlagsSse2(const double* query, const double* block, size_t count,
+                   double eps2, uint8_t* flags) {
+  const __m128d eps2v = _mm_set1_pd(eps2);
+  uint32_t hits = 0;
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const int mask =
+        _mm_movemask_pd(_mm_cmple_pd(SqDist2<D>(query, block + i * D), eps2v));
+    flags[i] = static_cast<uint8_t>(mask & 1);
+    flags[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+    hits += static_cast<uint32_t>(__builtin_popcount(mask));
+  }
+  for (; i < count; ++i) {
+    const uint8_t within = SqDist<D>(query, block + i * D) <= eps2 ? 1 : 0;
+    flags[i] = within;
+    hits += within;
+  }
+  return hits;
 }
 
 #if defined(DBSCOUT_SIMD_ENABLE_AVX2) && defined(__GNUC__)
@@ -241,6 +274,29 @@ double MinAvx2(const double* query, const double* block, size_t count) {
   return best;
 }
 
+template <size_t D>
+uint32_t FlagsAvx2(const double* query, const double* block, size_t count,
+                   double eps2, uint8_t* flags) {
+  const __m256d eps2v = _mm256_set1_pd(eps2);
+  uint32_t hits = 0;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d d2 = SqDist4<D>(query, block + i * D);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(d2, eps2v, _CMP_LE_OQ));
+    flags[i] = static_cast<uint8_t>(mask & 1);
+    flags[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+    flags[i + 2] = static_cast<uint8_t>((mask >> 2) & 1);
+    flags[i + 3] = static_cast<uint8_t>((mask >> 3) & 1);
+    hits += static_cast<uint32_t>(__builtin_popcount(mask));
+  }
+  for (; i < count; ++i) {
+    const uint8_t within = SqDist<D>(query, block + i * D) <= eps2 ? 1 : 0;
+    flags[i] = within;
+    hits += within;
+  }
+  return hits;
+}
+
 #pragma GCC pop_options
 
 #endif  // DBSCOUT_SIMD_ENABLE_AVX2 && __GNUC__
@@ -254,7 +310,8 @@ template <template <size_t> class Tag, size_t... Ds>
 void FillTable(DistanceKernels* table, std::index_sequence<Ds...>) {
   ((table->count_within[Ds] = Tag<Ds>::kCount,
     table->any_within[Ds] = Tag<Ds>::kAny,
-    table->min_sqdist[Ds] = Tag<Ds>::kMin),
+    table->min_sqdist[Ds] = Tag<Ds>::kMin,
+    table->within_flags[Ds] = Tag<Ds>::kFlags),
    ...);
 }
 
@@ -263,6 +320,7 @@ struct ScalarTag {
   static constexpr CountWithinFn kCount = &CountScalar<D>;
   static constexpr AnyWithinFn kAny = &AnyScalar<D>;
   static constexpr MinSqDistFn kMin = &MinScalar<D>;
+  static constexpr WithinFlagsFn kFlags = &FlagsScalar<D>;
 };
 
 DistanceKernels MakeScalarTable() {
@@ -280,6 +338,7 @@ struct Sse2Tag {
   static constexpr CountWithinFn kCount = &CountSse2<D>;
   static constexpr AnyWithinFn kAny = &AnySse2<D>;
   static constexpr MinSqDistFn kMin = &MinSse2<D>;
+  static constexpr WithinFlagsFn kFlags = &FlagsSse2<D>;
 };
 
 DistanceKernels MakeSse2Table() {
@@ -296,6 +355,7 @@ struct Avx2Tag {
   static constexpr CountWithinFn kCount = &CountAvx2<D>;
   static constexpr AnyWithinFn kAny = &AnyAvx2<D>;
   static constexpr MinSqDistFn kMin = &MinAvx2<D>;
+  static constexpr WithinFlagsFn kFlags = &FlagsAvx2<D>;
 };
 
 DistanceKernels MakeAvx2Table() {

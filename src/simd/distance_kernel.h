@@ -38,6 +38,12 @@ using AnyWithinFn = bool (*)(const double* query, const double* block,
 /// block is empty. Exact (min is order-independent for finite inputs).
 using MinSqDistFn = double (*)(const double* query, const double* block,
                                size_t count);
+/// Per-point membership: writes flags[i] = 1 when block point i has squared
+/// distance <= eps2 from `query`, else 0, and returns the number of hits.
+/// No early exit (callers need every flag), so all variants always evaluate
+/// the full block. `flags` must have `count` writable bytes.
+using WithinFlagsFn = uint32_t (*)(const double* query, const double* block,
+                                   size_t count, double eps2, uint8_t* flags);
 
 /// A full kernel set: one function pointer per primitive per dimensionality,
 /// indexed by dims in [0, kKernelMaxDims]. The fixed-dim instantiations keep
@@ -47,6 +53,7 @@ struct DistanceKernels {
   CountWithinFn count_within[kKernelMaxDims + 1];
   AnyWithinFn any_within[kKernelMaxDims + 1];
   MinSqDistFn min_sqdist[kKernelMaxDims + 1];
+  WithinFlagsFn within_flags[kKernelMaxDims + 1];
 };
 
 /// The scalar reference table (always available; the oracle in tests).
@@ -79,6 +86,13 @@ inline bool AnyWithinEps2(const double* query, const double* block,
 inline double MinSquaredDistance(const double* query, const double* block,
                                  size_t count, size_t dims) {
   return DispatchedKernels().min_sqdist[dims](query, block, count);
+}
+
+inline uint32_t WithinFlagsEps2(const double* query, const double* block,
+                                size_t count, size_t dims, double eps2,
+                                uint8_t* flags) {
+  return DispatchedKernels().within_flags[dims](query, block, count, eps2,
+                                                flags);
 }
 
 }  // namespace dbscout::simd

@@ -1,9 +1,12 @@
 #include "common/cow.h"
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
 
 namespace dbscout {
 namespace {
@@ -102,6 +105,67 @@ TEST(CowChunkedVectorTest, ManyGenerationsStayIndependent) {
     ASSERT_EQ(views[gen - 1][0], gen - 1) << "generation " << gen;
   }
   EXPECT_EQ(v[0], 20);
+}
+
+TEST(CowChunkedVectorTest, MoveTransfersContentsAndViewsSurvive) {
+  CowChunkedVector<int> v;
+  for (int i = 0; i < 2000; ++i) {
+    v.PushBack(i);
+  }
+  auto frozen = v.Freeze();
+  v.Set(7, -7);
+  CowChunkedVector<int> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 2000u);
+  EXPECT_EQ(moved[7], -7);
+  EXPECT_EQ(moved[1500], 1500);
+  moved.Set(8, -8);
+  moved.PushBack(9999);
+  EXPECT_EQ(moved[2000], 9999);
+  EXPECT_EQ(frozen[7], 7);
+  EXPECT_EQ(frozen[8], 8);
+}
+
+TEST(CowChunkedVectorTest, DisjointConcurrentSetsLandAndViewsStayIntact) {
+  // The sharded apply pipeline's contract: between structural operations,
+  // worker threads may Set/read disjoint index ranges concurrently. Every
+  // chunk here is shared with a frozen view, so first-touch clones race on
+  // the clone mutex; all writes must land and the view must be unchanged.
+  constexpr size_t kThreads = 4;
+  constexpr size_t kChunks = 8;
+  constexpr size_t kN = kChunks * CowChunkedVector<uint32_t>::kChunkSize;
+  CowChunkedVector<uint32_t> v;
+  for (size_t i = 0; i < kN; ++i) {
+    v.PushBack(static_cast<uint32_t>(i));
+  }
+  auto frozen = v.Freeze();
+
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&v, t] {
+      // Stride across chunks so every thread touches every chunk and the
+      // first-touch clone path is contended.
+      for (size_t i = t; i < kN; i += kThreads) {
+        v.Set(i, static_cast<uint32_t>(i) * 3 + 1);
+        // Read back an index this thread owns (racing only with clones).
+        if (v[i] != static_cast<uint32_t>(i) * 3 + 1) {
+          ADD_FAILURE() << "lost write at " << i;
+          return;
+        }
+      }
+    });
+  }
+  pool.WaitIdle();
+
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(v[i], static_cast<uint32_t>(i) * 3 + 1) << "index " << i;
+    ASSERT_EQ(frozen[i], static_cast<uint32_t>(i)) << "index " << i;
+  }
+  // Structural ops still work after the concurrent phase, and the next
+  // freeze observes the new contents.
+  auto frozen2 = v.Freeze();
+  v.Set(0, 42);
+  EXPECT_EQ(frozen2[0], 1u);
+  EXPECT_EQ(v[0], 42u);
 }
 
 TEST(ChunkedRowsTest, RowsRoundTrip) {

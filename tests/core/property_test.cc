@@ -6,8 +6,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <tuple>
+
+#include "common/thread_pool.h"
 
 #include <gtest/gtest.h>
 
@@ -249,6 +252,101 @@ TEST_P(DbscoutPropertyTest, OutliersMonotoneInParameters) {
     for (uint32_t p : loose->outliers) {
       EXPECT_EQ(base->kinds[p], PointKind::kOutlier);
     }
+  }
+}
+
+// The sharded parallel apply pipeline (home-cell grouping, slab-block
+// shards over a real ThreadPool, three-wave scheduling, group-batched
+// neighbor scans) must be invisible: after every randomized batch the
+// detector state equals the sequential oracle on the full prefix. Batch
+// sizes are drawn at random so passes cross the group-batching threshold
+// in both directions.
+TEST(ShardedApplyPropertyTest, RandomBatchesMatchOracleAtEveryEpoch) {
+  for (const uint64_t seed : {101u, 202u}) {
+    Rng rng(seed);
+    const PointSet stream = testing::ClusteredPoints(&rng, 420, 2, 3, 0.25);
+    Params params;
+    params.eps = 0.9;
+    params.min_pts = 5;
+    auto det = IncrementalDetector::Create(2, params);
+    ASSERT_TRUE(det.ok());
+    ThreadPool pool(3);
+    size_t pos = 0;
+    bool saw_multi_shard = false;
+    while (pos < stream.size()) {
+      const size_t take = std::min<size_t>(1 + rng.NextBounded(96),
+                                           stream.size() - pos);
+      PointSet batch(2);
+      for (size_t i = 0; i < take; ++i) {
+        batch.Add(stream[pos + i]);
+      }
+      pos += take;
+      ApplyStats stats;
+      ASSERT_TRUE(det->AddBatchParallel(batch, &pool, &stats).ok());
+      saw_multi_shard |= stats.shards > 1;
+      PointSet prefix(2);
+      for (size_t j = 0; j < pos; ++j) {
+        prefix.Add(stream[j]);
+      }
+      auto oracle = DetectSequential(prefix, params);
+      ASSERT_TRUE(oracle.ok());
+      ASSERT_EQ(det->kinds(), oracle->kinds) << "epoch " << pos;
+      ASSERT_EQ(det->Outliers(), oracle->outliers) << "epoch " << pos;
+      ASSERT_EQ(det->num_core(), oracle->num_core) << "epoch " << pos;
+    }
+    // The point of the sweep is exercising the concurrent path; a stream
+    // this size must shard (blocks >= 2) at least once.
+    EXPECT_TRUE(saw_multi_shard) << "seed " << seed;
+  }
+}
+
+// Sliding-window shape: sharded inserts interleaved with oldest-first
+// removals (exactly what TTL expiry does). After every step the live
+// window must label identically to a from-scratch sequential detection of
+// just the live points.
+TEST(ShardedApplyPropertyTest, WindowedRemovalsMatchOracleOnLiveWindow) {
+  Rng rng(77);
+  const PointSet stream = testing::ClusteredPoints(&rng, 360, 2, 3, 0.25);
+  Params params;
+  params.eps = 0.9;
+  params.min_pts = 5;
+  auto det = IncrementalDetector::Create(2, params);
+  ASSERT_TRUE(det.ok());
+  ThreadPool pool(3);
+  std::deque<uint32_t> live;  // ids in insertion order (= ascending)
+  size_t pos = 0;
+  while (pos < stream.size()) {
+    const size_t take = std::min<size_t>(1 + rng.NextBounded(64),
+                                         stream.size() - pos);
+    PointSet batch(2);
+    for (size_t i = 0; i < take; ++i) {
+      batch.Add(stream[pos + i]);
+      live.push_back(static_cast<uint32_t>(pos + i));
+    }
+    pos += take;
+    ASSERT_TRUE(det->AddBatchParallel(batch, &pool).ok());
+    // Expire the oldest third of the window, batch-style.
+    for (size_t drop = live.size() / 3; drop > 0; --drop) {
+      ASSERT_TRUE(det->Remove(live.front()).ok());
+      live.pop_front();
+    }
+    PointSet window(2);
+    for (const uint32_t id : live) {
+      window.Add(stream[id]);
+    }
+    auto oracle = DetectSequential(window, params);
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(det->live_points(), live.size());
+    ASSERT_EQ(det->num_core(), oracle->num_core) << "epoch " << pos;
+    std::vector<uint32_t> expected_outliers;
+    for (size_t k = 0; k < live.size(); ++k) {
+      ASSERT_EQ(det->KindOf(live[k]), oracle->kinds[k])
+          << "epoch " << pos << " live id " << live[k];
+      if (oracle->kinds[k] == PointKind::kOutlier) {
+        expected_outliers.push_back(live[k]);
+      }
+    }
+    ASSERT_EQ(det->Outliers(), expected_outliers) << "epoch " << pos;
   }
 }
 

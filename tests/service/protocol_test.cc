@@ -251,6 +251,87 @@ TEST(ProtocolTest, RejectsLyingCountsWithoutOverflow) {
   EXPECT_FALSE(DecodeRequest(bytes).ok());
 }
 
+TEST(ProtocolTest, ConfigureRequestRoundTripAndTruncation) {
+  Request request;
+  request.verb = Verb::kConfigure;
+  request.collection = "window";
+  request.ttl_seconds = 37.5;
+  const std::vector<uint8_t> bytes = EncodeRequest(request);
+  auto decoded = DecodeRequest(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kConfigure);
+  EXPECT_EQ(decoded->collection, "window");
+  EXPECT_EQ(decoded->ttl_seconds, 37.5);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(ProtocolTest, ConfigureResponseRoundTripAndTruncation) {
+  Response response;
+  response.verb = Verb::kConfigure;
+  response.configure.ttl_seconds = 12.25;
+  const std::vector<uint8_t> bytes = EncodeResponse(response);
+  auto decoded = DecodeResponse(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->configure.ttl_seconds, 12.25);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(ProtocolTest, StatsWindowFieldsRoundTrip) {
+  Response response;
+  response.verb = Verb::kStats;
+  response.stats.epoch = 100;
+  response.stats.num_points = 100;
+  response.stats.live_points = 60;
+  response.stats.window_begin = 40;
+  response.stats.queue_depth = 7;
+  response.stats.ttl_seconds = 300.0;
+  const std::vector<uint8_t> bytes = EncodeResponse(response);
+  auto decoded = DecodeResponse(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->stats.live_points, 60u);
+  EXPECT_EQ(decoded->stats.window_begin, 40u);
+  EXPECT_EQ(decoded->stats.queue_depth, 7u);
+  EXPECT_EQ(decoded->stats.ttl_seconds, 300.0);
+  // Truncation through the window fields must fail cleanly.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(ProtocolTest, SnapshotAliveMaskRoundTrip) {
+  Response response;
+  response.verb = Verb::kSnapshot;
+  response.snapshot.epoch = 4;
+  response.snapshot.num_core = 1;
+  response.snapshot.kinds = {PointKind::kCore, PointKind::kBorder,
+                             PointKind::kOutlier, PointKind::kOutlier};
+  response.snapshot.alive = {1, 0, 1, 0};
+  const std::vector<uint8_t> bytes = EncodeResponse(response);
+  auto decoded = DecodeResponse(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->snapshot.kinds, response.snapshot.kinds);
+  EXPECT_EQ(decoded->snapshot.alive, response.snapshot.alive);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(ProtocolTest, RejectsBadAliveByteInSnapshot) {
+  Response response;
+  response.verb = Verb::kSnapshot;
+  response.snapshot.epoch = 1;
+  response.snapshot.kinds = {PointKind::kCore};
+  response.snapshot.alive = {1};
+  std::vector<uint8_t> bytes = EncodeResponse(response);
+  bytes.back() = 2;  // alive mask entries must be 0 or 1
+  EXPECT_FALSE(DecodeResponse(bytes).ok());
+}
+
 TEST(ProtocolTest, RejectsBadPointKindInResponse) {
   Response response;
   response.verb = Verb::kSnapshot;

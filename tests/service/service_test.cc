@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -394,6 +395,140 @@ TEST(ServiceTest, ReadsOnFreshCollectionSeeEpochZero) {
   snapshot = handle.Call(SnapshotRequest("c"));
   ASSERT_TRUE(snapshot.ok());
   EXPECT_EQ(snapshot->snapshot.epoch, 1u);
+}
+
+Request ConfigureRequest(const std::string& collection, double ttl) {
+  Request request;
+  request.verb = Verb::kConfigure;
+  request.collection = collection;
+  request.ttl_seconds = ttl;
+  return request;
+}
+
+TEST(ServiceTest, ConfigureValidatesAndEchoesTtl) {
+  DetectionService service(MakeOptions(1.0, 2));
+  ServiceHandle handle(&service);
+  // Unknown collection.
+  auto missing = handle.Call(ConfigureRequest("nope", 5.0));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status.code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(handle.Call(IngestRequest("c", 1, {0.0}))->status.ok());
+  // Invalid TTLs are refused without touching the collection.
+  for (double bad : {-1.0, std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity()}) {
+    auto r = handle.Call(ConfigureRequest("c", bad));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status.code(), StatusCode::kInvalidArgument);
+  }
+  auto ok = handle.Call(ConfigureRequest("c", 7.5));
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(ok->status.ok()) << ok->status;
+  EXPECT_EQ(ok->configure.ttl_seconds, 7.5);
+  auto stats = handle.Call(StatsRequest("c"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->stats.ttl_seconds, 7.5);
+  // TTL 0 turns the window back off.
+  ASSERT_TRUE(handle.Call(ConfigureRequest("c", 0.0))->status.ok());
+  EXPECT_EQ(handle.Call(StatsRequest("c"))->stats.ttl_seconds, 0.0);
+}
+
+TEST(ServiceTest, SlidingWindowExpiresAgedBatches) {
+  // The injected clock is read from the apply loop's expiry wakeups too,
+  // hence atomic.
+  std::atomic<double> now{0.0};
+  ServiceOptions options = MakeOptions(1.0, 2);
+  options.clock = [&now] { return now.load(); };
+  obs::Registry registry;
+  options.registry = &registry;
+  DetectionService service(options);
+  ServiceHandle handle(&service);
+
+  // Batch A stamped at t=0, batch B at t=2, TTL 5 seconds.
+  ASSERT_TRUE(
+      handle.Call(IngestRequest("c", 2, {0.0, 0.0, 0.1, 0.0, 0.2, 0.0}))
+          ->status.ok());
+  ASSERT_TRUE(handle.Call(ConfigureRequest("c", 5.0))->status.ok());
+  now.store(2.0);
+  ASSERT_TRUE(
+      handle.Call(IngestRequest("c", 2, {5.0, 5.0, 5.1, 5.0, 5.2, 5.0}))
+          ->status.ok());
+
+  // t=6: A (age 6) is out, B (age 4) stays.
+  now.store(6.0);
+  service.SweepExpiredNow();
+  auto stats = handle.Call(StatsRequest("c"));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->status.ok());
+  EXPECT_EQ(stats->stats.num_points, 6u);  // epoch never rewinds
+  EXPECT_EQ(stats->stats.live_points, 3u);
+  EXPECT_EQ(stats->stats.window_begin, 3u);
+  EXPECT_EQ(stats->stats.ttl_seconds, 5.0);
+
+  auto snapshot = handle.Call(SnapshotRequest("c"));
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_TRUE(snapshot->status.ok());
+  EXPECT_EQ(snapshot->snapshot.epoch, 6u);
+  EXPECT_EQ(snapshot->snapshot.alive,
+            (std::vector<uint8_t>{0, 0, 0, 1, 1, 1}));
+  // Expired points keep the last label they carried; the live batch is
+  // still mutually core (three points within eps, minPts 2).
+  EXPECT_EQ(snapshot->snapshot.kinds[3], PointKind::kCore);
+
+  // t=20: everything ages out; the collection survives empty and accepts
+  // new points.
+  now.store(20.0);
+  service.SweepExpiredNow();
+  stats = handle.Call(StatsRequest("c"));
+  EXPECT_EQ(stats->stats.live_points, 0u);
+  EXPECT_EQ(stats->stats.window_begin, 6u);
+  ASSERT_TRUE(
+      handle.Call(IngestRequest("c", 2, {9.0, 9.0, 9.1, 9.0}))->status.ok());
+  stats = handle.Call(StatsRequest("c"));
+  EXPECT_EQ(stats->stats.live_points, 2u);
+  EXPECT_EQ(stats->stats.num_points, 8u);
+}
+
+TEST(ServiceTest, DefaultTtlFromOptionsAppliesToNewCollections) {
+  std::atomic<double> now{0.0};
+  ServiceOptions options = MakeOptions(1.0, 2);
+  options.ttl_seconds = 5.0;
+  options.clock = [&now] { return now.load(); };
+  obs::Registry registry;
+  options.registry = &registry;
+  DetectionService service(options);
+  ServiceHandle handle(&service);
+  ASSERT_TRUE(handle.Call(IngestRequest("c", 1, {0.0, 0.5}))->status.ok());
+  EXPECT_EQ(handle.Call(StatsRequest("c"))->stats.ttl_seconds, 5.0);
+  now.store(10.0);
+  service.SweepExpiredNow();
+  auto stats = handle.Call(StatsRequest("c"));
+  EXPECT_EQ(stats->stats.live_points, 0u);
+  EXPECT_EQ(stats->stats.window_begin, 2u);
+}
+
+TEST(ServiceTest, StatsReportsQueueDepthWhilePaused) {
+  ServiceOptions options = MakeOptions(1.0, 2);
+  obs::Registry registry;
+  options.registry = &registry;
+  DetectionService service(options);
+  service.SetApplyPausedForTest(true);
+  ASSERT_TRUE(service.IngestAsync("c", 1, {0.0}).ok());
+  ASSERT_TRUE(service.IngestAsync("c", 1, {0.5}).ok());
+  ServiceHandle handle(&service);
+  auto stats = handle.Call(StatsRequest("c"));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->status.ok());
+  EXPECT_EQ(stats->stats.queue_depth, 2u);
+  // The per-collection pending gauge mirrors it.
+  const std::string text = registry.Expose();
+  EXPECT_NE(text.find("dbscout_pending_batches{collection=\"c\"} 2"),
+            std::string::npos)
+      << text;
+  service.SetApplyPausedForTest(false);
+  service.Drain();
+  stats = handle.Call(StatsRequest("c"));
+  EXPECT_EQ(stats->stats.queue_depth, 0u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // scalar reference across dims 1-9, block lengths 0-65, and eps boundary
 // cases — the engines rely on this to stay bit-identical under dispatch.
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -92,6 +93,16 @@ TEST_P(DistanceKernelTest, ScalarMatchesBruteForce) {
                 expected > 0);
       EXPECT_EQ(scalar.min_sqdist[d](w.query.data(), w.block.data(), n),
                 expected_min);
+      std::vector<uint8_t> flags(n + 1, 0xAB);
+      EXPECT_EQ(scalar.within_flags[d](w.query.data(), w.block.data(), n,
+                                       eps2, flags.data()),
+                expected);
+      for (size_t i = 0; i < n; ++i) {
+        const double d2 =
+            BruteSqDist(w.query.data(), w.block.data() + i * d, d);
+        EXPECT_EQ(flags[i], d2 <= eps2 ? 1 : 0) << "i=" << i;
+      }
+      EXPECT_EQ(flags[n], 0xAB);  // no write past the block
     }
   }
 }
@@ -115,6 +126,12 @@ TEST_P(DistanceKernelTest, DispatchedMatchesScalarExactly) {
       // Bit-exact min (compares +inf == +inf for empty blocks too).
       EXPECT_EQ(dispatched.min_sqdist[d](w.query.data(), w.block.data(), n),
                 scalar.min_sqdist[d](w.query.data(), w.block.data(), n));
+      std::vector<uint8_t> sflags(n), vflags(n);
+      EXPECT_EQ(dispatched.within_flags[d](w.query.data(), w.block.data(), n,
+                                           eps2, vflags.data()),
+                scalar.within_flags[d](w.query.data(), w.block.data(), n,
+                                       eps2, sflags.data()));
+      EXPECT_EQ(sflags, vflags) << dispatched.name << " n=" << n;
     }
   }
 }
@@ -172,6 +189,7 @@ TEST(DistanceKernelDispatchTest, TablesAreFullyPopulated) {
       EXPECT_NE(table->count_within[d], nullptr) << table->name << " d=" << d;
       EXPECT_NE(table->any_within[d], nullptr);
       EXPECT_NE(table->min_sqdist[d], nullptr);
+      EXPECT_NE(table->within_flags[d], nullptr);
     }
   }
 }

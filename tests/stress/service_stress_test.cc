@@ -258,5 +258,144 @@ TEST(ServiceStressTest, AsyncBurstsCoalesceAndDrainExact) {
   EXPECT_EQ(snap.snapshot.kinds, expected->kinds);
 }
 
+TEST(ServiceStressTest, WindowedIngestExpiryVsReadersStaysConsistent) {
+  // Sliding-window variant: a short TTL makes the apply loop interleave
+  // prefix expiry (detector Remove + re-derivation) with coalesced inserts
+  // while readers hold and walk COW snapshots. TSan sees writer/reader
+  // interleavings on the shared chunk storage and the alive mask; in every
+  // build mode the structural invariants below must hold for every answer:
+  // expiry only ever removes a prefix, so an alive mask is always 0* 1*.
+  Rng rng(20260811);
+  const PointSet points = testing::ClusteredPoints(&rng, 900, 2, 3, 0.25);
+  core::Params params;
+  params.eps = 1.0;
+  params.min_pts = 5;
+
+  ServiceOptions options;
+  options.params = params;
+  options.ttl_seconds = 0.02;  // ages whole batches out mid-stream
+  options.max_pending_ingests = 1u << 20;
+  DetectionService service(options);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> reads{0};
+
+  ThreadPool pool(4);  // 1 ingest driver + 3 readers
+  pool.Submit([&] {
+    for (size_t begin = 0; begin < points.size(); begin += 30) {
+      Request request;
+      request.verb = Verb::kIngest;
+      request.collection = "window";
+      request.dims = 2;
+      for (size_t i = begin; i < begin + 30; ++i) {
+        for (double v : points[i]) {
+          request.coords.push_back(v);
+        }
+      }
+      const Response response = service.Dispatch(request);
+      if (!response.status.ok()) {
+        ++failures;
+        break;
+      }
+      // Force extra expiry passes between batches (beyond the periodic
+      // wakeups) so removals and inserts interleave densely.
+      if ((begin / 30) % 5 == 0) {
+        service.SweepExpiredNow();
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  for (int reader = 0; reader < 3; ++reader) {
+    pool.Submit([&, reader] {
+      Rng reader_rng(3000 + reader);
+      bool last_pass = false;
+      while (true) {
+        if (done.load(std::memory_order_acquire)) {
+          if (last_pass) {
+            break;
+          }
+          last_pass = true;
+        }
+        Request snap_req;
+        snap_req.verb = Verb::kSnapshot;
+        snap_req.collection = "window";
+        const Response snap = service.Dispatch(snap_req);
+        if (snap.status.code() == StatusCode::kNotFound) {
+          continue;
+        }
+        if (!snap.status.ok()) {
+          ++failures;
+          continue;
+        }
+        ++reads;
+        const uint64_t epoch = snap.snapshot.epoch;
+        if (epoch % 30 != 0 || snap.snapshot.kinds.size() != epoch ||
+            snap.snapshot.alive.size() != epoch) {
+          ++failures;
+          continue;
+        }
+        // Prefix expiry: alive flags never go 1 -> 0 along the id axis.
+        for (size_t i = 1; i < epoch; ++i) {
+          if (snap.snapshot.alive[i] < snap.snapshot.alive[i - 1]) {
+            ++failures;
+            break;
+          }
+        }
+        Request stats_req;
+        stats_req.verb = Verb::kStats;
+        stats_req.collection = "window";
+        const Response stats = service.Dispatch(stats_req);
+        // window_begin is a live atomic and may run ahead of the snapshot
+        // the other fields came from, so only snapshot-internal invariants
+        // are checked here.
+        if (!stats.status.ok() ||
+            stats.stats.live_points > stats.stats.num_points ||
+            stats.stats.ttl_seconds != 0.02) {
+          ++failures;
+        }
+        if (epoch > 0) {
+          // By-id queries answer for expired ids too (last label carried).
+          Request query;
+          query.verb = Verb::kQuery;
+          query.collection = "window";
+          query.query_by_id = true;
+          query.query_id =
+              static_cast<uint32_t>(reader_rng.NextBounded(epoch));
+          const Response answer = service.Dispatch(query);
+          if (!answer.status.ok()) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+
+  pool.WaitIdle();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Quiesce, then age everything out: the emptied window must equal a
+  // fresh detector (no residue from a thousand interleaved removals).
+  service.Drain();
+  Request configure;
+  configure.verb = Verb::kConfigure;
+  configure.collection = "window";
+  configure.ttl_seconds = 1e-9;
+  ASSERT_TRUE(service.Dispatch(configure).status.ok());
+  service.SweepExpiredNow();
+  Request stats_req;
+  stats_req.verb = Verb::kStats;
+  stats_req.collection = "window";
+  const Response stats = service.Dispatch(stats_req);
+  ASSERT_TRUE(stats.status.ok());
+  EXPECT_EQ(stats.stats.num_points, points.size());
+  EXPECT_EQ(stats.stats.live_points, 0u);
+  EXPECT_EQ(stats.stats.window_begin, points.size());
+  EXPECT_EQ(stats.stats.num_core, 0u);
+  EXPECT_EQ(stats.stats.num_outliers, 0u);
+}
+
 }  // namespace
 }  // namespace dbscout::service

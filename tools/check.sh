@@ -7,6 +7,9 @@
 #                   service/stress test subset (`ctest -L`) (build-tsan/)
 #   4. clang-tidy   tools/run_clang_tidy.sh over src/       (needs build/)
 #   5. lint         tools/lint_invariants.py (+ self-test)
+#   6. bench-gate   tools/bench_gate.sh: fresh bench_service/bench_kernels
+#                   runs vs the checked-in BENCH_*.json, fail on >10%
+#                   regression. Run on an idle machine.
 #
 # Prints a per-stage summary table and exits non-zero if any stage failed.
 # Stages that cannot run in this environment (e.g. no clang-tidy binary)
@@ -22,7 +25,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 TSAN_LABELS='^(common|core|dataflow|service|stress)$'
 
-ALL_STAGES=(tier1 asan-ubsan tsan clang-tidy lint)
+ALL_STAGES=(tier1 asan-ubsan tsan clang-tidy lint bench-gate)
 if [ $# -gt 0 ]; then
   STAGES=("$@")
 else
@@ -96,9 +99,14 @@ stage_lint() {
   python3 tools/lint_invariants.py --root .
 }
 
+stage_bench_gate() {
+  # Needs the tier1 build tree (configures one if missing).
+  tools/bench_gate.sh build
+}
+
 for s in "${STAGES[@]}"; do
   case "$s" in
-    tier1|asan-ubsan|tsan|clang-tidy|lint) run_stage "$s" ;;
+    tier1|asan-ubsan|tsan|clang-tidy|lint|bench-gate) run_stage "$s" ;;
     *)
       echo "check.sh: unknown stage '$s' (known: ${ALL_STAGES[*]})" >&2
       exit 2

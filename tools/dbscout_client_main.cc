@@ -6,6 +6,7 @@
 //   dbscout_client --port=P --collection=C --query-id=I [--score]
 //   dbscout_client --port=P --collection=C --stats
 //   dbscout_client --port=P --collection=C --snapshot
+//   dbscout_client --port=P --collection=C --set-ttl=SECONDS
 //   dbscout_client --port=P --metrics
 //
 // Output is line-oriented key=value, grep-friendly for scripts
@@ -47,8 +48,9 @@ int Usage() {
   std::cerr
       << "usage: dbscout_client --port=P --collection=C "
          "(--ingest=FILE [--format=csv|binary] | --query=X,Y[,...] "
-         "[--score] | --query-id=I [--score] | --stats | --snapshot), "
-         "or dbscout_client --port=P --metrics [--host=H]\n";
+         "[--score] | --query-id=I [--score] | --stats | --snapshot | "
+         "--set-ttl=SECONDS), or dbscout_client --port=P --metrics "
+         "[--host=H]\n";
   return 2;
 }
 
@@ -174,6 +176,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (const char* ttl_text = FlagValue(argc, argv, "set-ttl")) {
+    auto ttl = ParseDouble(ttl_text);
+    if (!ttl.ok()) {
+      return Usage();
+    }
+    auto applied = client->Configure(collection, *ttl);
+    if (!applied.ok()) {
+      std::cerr << "dbscout_client: " << applied.status() << "\n";
+      return 1;
+    }
+    std::cout << "ttl=" << *applied << "\n";
+    return 0;
+  }
+
   if (HasFlag(argc, argv, "stats")) {
     auto stats = client->Stats(collection);
     if (!stats.ok()) {
@@ -185,6 +201,10 @@ int main(int argc, char** argv) {
               << " outliers=" << stats->num_outliers
               << " cells=" << stats->num_cells
               << " shed=" << stats->admission_rejections
+              << " live=" << stats->live_points
+              << " window-begin=" << stats->window_begin
+              << " queue-depth=" << stats->queue_depth
+              << " ttl=" << stats->ttl_seconds
               << " uptime=" << stats->uptime_seconds << "\n";
     for (const auto& row : stats->phases) {
       std::cout << "phase " << row.name << " seconds=" << row.seconds

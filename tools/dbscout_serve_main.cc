@@ -5,7 +5,14 @@
 //
 // usage: dbscout_serve --eps=X --min-pts=N [--host=H] [--port=P]
 //                      [--max-sessions=S] [--max-pending=Q]
+//                      [--apply-shards=K] [--ttl-seconds=T]
 //                      [--trace-out=FILE]
+//
+// --apply-shards=K sets the shard worker count the apply loop fans
+// slab-block tasks out on (0 = hardware concurrency, 1 = serial apply).
+// --ttl-seconds=T gives every collection a sliding window: points older
+// than T seconds are expired by the apply loop (0 = append-only; override
+// per collection with dbscout_client --set-ttl).
 //
 // --trace-out=FILE writes a Chrome/Perfetto trace of apply-pass and
 // per-phase spans when the server shuts down.
@@ -48,7 +55,7 @@ const char* FlagValue(int argc, char** argv, const std::string& name) {
 int Usage() {
   std::cerr << "usage: dbscout_serve --eps=X --min-pts=N [--host=H] "
                "[--port=P] [--max-sessions=S] [--max-pending=Q] "
-               "[--trace-out=FILE]\n";
+               "[--apply-shards=K] [--ttl-seconds=T] [--trace-out=FILE]\n";
   return 2;
 }
 
@@ -78,6 +85,20 @@ int main(int argc, char** argv) {
       return Usage();
     }
     service_options.max_pending_ingests = *value;
+  }
+  if (const char* text = FlagValue(argc, argv, "apply-shards")) {
+    auto value = ParseUint64(text);
+    if (!value.ok()) {
+      return Usage();
+    }
+    service_options.apply_shards = *value;
+  }
+  if (const char* text = FlagValue(argc, argv, "ttl-seconds")) {
+    auto value = ParseDouble(text);
+    if (!value.ok() || *value < 0.0) {
+      return Usage();
+    }
+    service_options.ttl_seconds = *value;
   }
   dbscout::obs::TraceCollector trace;
   std::string trace_out;

@@ -47,7 +47,10 @@ Enforces, statically, the contracts that the compiler cannot:
                      acquisition (std::mutex, lock_guard, unique_lock,
                      scoped_lock, shared_mutex, .lock(), pthread_mutex_*)
                      inside src/simd/ or the phase kernels
-                     (src/core/phases/phase_kernels.*). Observability for
+                     (src/core/phases/phase_kernels.* and the sharded-apply
+                     insert kernels src/core/phases/insert_kernels.*, which
+                     run inside concurrent slab-block shard tasks where a
+                     lock would serialize the waves). Observability for
                      these paths flows through the sharded obs::Counter
                      cells and the PhaseRecorder, which publish outside the
                      scan loops. phase_recorder.h / driver.h orchestrate
@@ -382,16 +385,18 @@ def check_phase_logic_locality(path: str, lines: List[str]
                               "comparison against min_pts re-derives the "
                               "Lemma 1 density verdict; call "
                               "core::phases::IsDense (or "
-                              "CrossesDensityThreshold for the == minPts "
-                              "transition)")
+                              "CrossesDensityThreshold / "
+                              "CrossesDensityThresholdBy for insert "
+                              "transitions)")
         for m in MIN_PTS_RIGHT_RE.finditer(code):
             if not _NUM_LITERAL_RE.fullmatch(m.group(1)):
                 yield Finding(path, i, rule,
                               "comparison against min_pts re-derives the "
                               "Lemma 1 density verdict; call "
                               "core::phases::IsDense (or "
-                              "CrossesDensityThreshold for the == minPts "
-                              "transition)")
+                              "CrossesDensityThreshold / "
+                              "CrossesDensityThresholdBy for insert "
+                              "transitions)")
 
         # Family 2: branching on the per-cell flag arrays outside the
         # kernels. Writing them (the engines populate kernel input) is the
@@ -420,7 +425,7 @@ def check_phase_logic_locality(path: str, lines: List[str]
 
 HOT_PATH_FILE_RE = re.compile(
     r"^(src/simd/[^/]+\.(?:cc|cpp|h|hpp)"
-    r"|src/core/phases/phase_kernels\.(?:cc|cpp|h|hpp))$")
+    r"|src/core/phases/(?:phase_kernels|insert_kernels)\.(?:cc|cpp|h|hpp))$")
 HOT_PATH_LOG_RE = re.compile(r"\bDBSCOUT_(?:LOG|CHECK)\b")
 HOT_PATH_MUTEX_RE = re.compile(
     r"(std::(?:recursive_|shared_|timed_)*mutex\b"
@@ -586,10 +591,18 @@ def self_test() -> int:
     expect("phase-logic-locality",
            list(check_phase_logic_locality("src/external/y.cc", ok)), 0,
            "clean")
+    batched = lines("if (old + added >= min_pts) promoted.push_back(q);\n")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality("src/core/x.cc", batched)), 1,
+           "batched-threshold-seeded")
     exempt = lines("if (count >= min_pts) mark(c);\n")
     expect("phase-logic-locality",
            list(check_phase_logic_locality(
                "src/core/phases/phase_kernels.cc", exempt)), 0, "phase-home")
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality(
+               "src/core/phases/insert_kernels.h", exempt)), 0,
+           "insert-kernels-home")
     expect("phase-logic-locality",
            list(check_phase_logic_locality("src/baselines/dbscan.cc",
                                            exempt)), 0, "out-of-scope")
@@ -615,6 +628,9 @@ def self_test() -> int:
     expect("hot-path-purity",
            list(check_hot_path_purity("src/core/phases/phase_kernels.cc",
                                       bad)), 4, "kernels-seeded")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/core/phases/insert_kernels.h",
+                                      bad)), 4, "insert-kernels-seeded")
     ok = lines("hits += CountNeighborsBatch(pts, i, eps2);\n"
                "counter->Increment();  // sharded atomic cell, wait-free\n"
                "std::atomic<uint64_t> total{0};\n")
