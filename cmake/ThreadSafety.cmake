@@ -1,0 +1,37 @@
+# Clang thread-safety-analysis build mode for dbscout.
+#
+# Usage:
+#   CC=clang CXX=clang++ cmake -B build-tsa -S . -DDBSCOUT_THREAD_SAFETY=ON
+#   cmake --build build-tsa
+#
+# Turns on `-Wthread-safety -Werror=thread-safety` for the targets whose
+# locking is expressed through src/common/thread_annotations.h (common,
+# grid, core, dataflow, obs, service — everything that owns a Mutex).
+# Any access to a DBSCOUT_GUARDED_BY member outside its mutex, any missing
+# DBSCOUT_REQUIRES on a helper called under a lock, any lock leak on an
+# early return then fails the build instead of a nightly TSan run.
+#
+# The analysis only exists in clang; requesting the mode under another
+# compiler is a configure-time error (a silent no-op would report green
+# without checking anything). Targets opt in via
+# dbscout_enable_thread_safety(<target>), a no-op when the mode is off.
+
+option(DBSCOUT_THREAD_SAFETY
+  "Enable clang -Wthread-safety (as errors) on the annotated targets" OFF)
+
+if(DBSCOUT_THREAD_SAFETY AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR
+    "DBSCOUT_THREAD_SAFETY=ON requires clang (got "
+    "${CMAKE_CXX_COMPILER_ID}); configure with CC=clang CXX=clang++")
+endif()
+
+function(dbscout_enable_thread_safety target)
+  if(DBSCOUT_THREAD_SAFETY)
+    target_compile_options(${target} PRIVATE
+      -Wthread-safety -Werror=thread-safety)
+  endif()
+endfunction()
+
+if(DBSCOUT_THREAD_SAFETY)
+  message(STATUS "dbscout: clang thread-safety analysis enabled (-Werror)")
+endif()

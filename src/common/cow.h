@@ -5,9 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dbscout {
 
@@ -124,7 +125,7 @@ class CowChunkedVector {
   T* MutableSlot(size_t i) {
     Slot& slot = chunks_[i >> kChunkShift];
     if (slot.serial.load(std::memory_order_acquire) != freeze_serial_) {
-      std::lock_guard<std::mutex> lock(*clone_mu_);
+      MutexLock lock(*clone_mu_);
       if (slot.serial.load(std::memory_order_relaxed) != freeze_serial_) {
         auto fresh = std::make_shared<Chunk>(*slot.owner);
         retired_.push_back(std::move(slot.owner));
@@ -163,7 +164,13 @@ class CowChunkedVector {
     }
     view.size_ = size_;
     ++freeze_serial_;
-    retired_.clear();
+    {
+      // Structurally single-writer (no clone can race a Freeze), but taking
+      // the mutex keeps the guarded-by contract checkable and costs one
+      // uncontended lock per freeze.
+      MutexLock lock(*clone_mu_);
+      retired_.clear();
+    }
     return view;
   }
 
@@ -171,10 +178,10 @@ class CowChunkedVector {
   std::vector<Slot> chunks_;
   /// Old chunks displaced by mid-phase clones, kept alive until the next
   /// structural operation so concurrent readers' raw `live` pointers stay
-  /// valid. Guarded by clone_mu_ during the concurrent phase.
-  std::vector<std::shared_ptr<Chunk>> retired_;
+  /// valid.
+  std::vector<std::shared_ptr<Chunk>> retired_ DBSCOUT_GUARDED_BY(*clone_mu_);
   /// Serializes first-touch clones; unique_ptr keeps the vector movable.
-  std::unique_ptr<std::mutex> clone_mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<Mutex> clone_mu_ = std::make_unique<Mutex>();
   size_t size_ = 0;
   /// Bumped by Freeze(); a chunk is exclusively owned (safe to overwrite
   /// in place) iff its serial matches. Written only during structural

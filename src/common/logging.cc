@@ -5,25 +5,26 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <mutex>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace dbscout {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
-/// Emit mutex plus the installed sink it guards. Function-local statics so
+/// Emit mutex plus the installed sink it guards, as one struct so the
+/// guarded-by relation is expressible. Function-local static (leaked) so
 /// logging works during static initialization of other TUs.
-std::mutex& EmitMutex() {
-  static std::mutex* const mu = new std::mutex;
-  return *mu;
-}
+struct Emitter {
+  Mutex mu;
+  std::function<void(const LogRecord&)> sink DBSCOUT_GUARDED_BY(mu);
+};
 
-std::function<void(const LogRecord&)>& SinkSlot() {
-  static std::function<void(const LogRecord&)>* const sink =
-      new std::function<void(const LogRecord&)>;
-  return *sink;
+Emitter& GlobalEmitter() {
+  static Emitter* const emitter = new Emitter;
+  return *emitter;
 }
 
 const char* LevelTag(LogLevel level) {
@@ -72,8 +73,9 @@ double MonotonicSeconds() {
 }
 
 void SetLogSink(std::function<void(const LogRecord&)> sink) {
-  std::lock_guard<std::mutex> lock(EmitMutex());
-  SinkSlot() = std::move(sink);
+  Emitter& emitter = GlobalEmitter();
+  MutexLock lock(emitter.mu);
+  emitter.sink = std::move(sink);
 }
 
 namespace internal {
@@ -108,10 +110,10 @@ void EmitLog(LogLevel level, const char* file, int line,
   record.message = message;
 
   {
-    std::lock_guard<std::mutex> lock(EmitMutex());
-    const auto& sink = SinkSlot();
-    if (sink) {
-      sink(record);
+    Emitter& emitter = GlobalEmitter();
+    MutexLock lock(emitter.mu);
+    if (emitter.sink) {
+      emitter.sink(record);
     } else {
       std::fprintf(stderr, "%s %s.%03d %10.6f T%u %s:%d] %s\n",
                    LevelTag(level), ts, static_cast<int>(ms),

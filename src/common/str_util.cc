@@ -107,4 +107,17 @@ std::string HumanCount(double value) {
   return StrFormat("%.2f%s", value, suffix);
 }
 
+std::string ErrnoToString(int errnum) {
+  char buf[256];
+#if defined(_GNU_SOURCE) || (defined(__GLIBC__) && defined(__USE_GNU))
+  // GNU strerror_r may return a static string instead of filling buf.
+  return strerror_r(errnum, buf, sizeof(buf));
+#else
+  if (strerror_r(errnum, buf, sizeof(buf)) != 0) {
+    return StrFormat("errno %d", errnum);
+  }
+  return buf;
+#endif
+}
+
 }  // namespace dbscout

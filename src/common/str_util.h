@@ -29,6 +29,12 @@ Result<uint64_t> ParseUint64(std::string_view text);
 /// Human-readable count, e.g. 1234567 -> "1.23M".
 std::string HumanCount(double value);
 
+/// Thread-safe strerror: formats `errnum` via strerror_r into a fresh
+/// string. std::strerror returns a pointer into static storage and is
+/// flagged by concurrency-mt-unsafe; every errno-to-text path goes
+/// through here instead.
+std::string ErrnoToString(int errnum);
+
 }  // namespace dbscout
 
 #endif  // DBSCOUT_COMMON_STR_UTIL_H_

@@ -1,0 +1,123 @@
+#ifndef DBSCOUT_COMMON_THREAD_ANNOTATIONS_H_
+#define DBSCOUT_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Clang thread-safety-analysis attributes plus the annotated lock types the
+/// rest of the library uses. Under `clang -Wthread-safety` every access to a
+/// DBSCOUT_GUARDED_BY member outside its mutex is a compile error; under GCC
+/// (and anything else without the attribute) the macros expand to nothing and
+/// the wrappers are zero-cost shims over std::mutex, so the normal Release
+/// build is unaffected. cmake/ThreadSafety.cmake turns the analysis on as
+/// `-Werror=thread-safety` for the annotated targets.
+///
+/// Conventions (see DESIGN.md §13):
+///  - every long-lived mutex member is a `Mutex`, never a bare std::mutex;
+///  - every member it protects carries DBSCOUT_GUARDED_BY(mu_);
+///  - helpers called with the lock held are annotated DBSCOUT_REQUIRES(mu_);
+///  - condition waits go through `CondVar` with an explicit while loop, never
+///    the predicate-lambda overloads (the analysis treats lambdas as separate
+///    unlocked functions, so a predicate reading guarded state cannot be
+///    proven safe).
+
+#if defined(__clang__) && !defined(SWIG)
+#define DBSCOUT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DBSCOUT_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define DBSCOUT_CAPABILITY(x) DBSCOUT_THREAD_ANNOTATION_(capability(x))
+#define DBSCOUT_SCOPED_CAPABILITY DBSCOUT_THREAD_ANNOTATION_(scoped_lockable)
+#define DBSCOUT_GUARDED_BY(x) DBSCOUT_THREAD_ANNOTATION_(guarded_by(x))
+#define DBSCOUT_PT_GUARDED_BY(x) DBSCOUT_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define DBSCOUT_ACQUIRED_BEFORE(...) \
+  DBSCOUT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DBSCOUT_ACQUIRED_AFTER(...) \
+  DBSCOUT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define DBSCOUT_REQUIRES(...) \
+  DBSCOUT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DBSCOUT_ACQUIRE(...) \
+  DBSCOUT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DBSCOUT_RELEASE(...) \
+  DBSCOUT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DBSCOUT_TRY_ACQUIRE(...) \
+  DBSCOUT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define DBSCOUT_EXCLUDES(...) \
+  DBSCOUT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define DBSCOUT_ASSERT_CAPABILITY(x) \
+  DBSCOUT_THREAD_ANNOTATION_(assert_capability(x))
+#define DBSCOUT_RETURN_CAPABILITY(x) DBSCOUT_THREAD_ANNOTATION_(lock_returned(x))
+#define DBSCOUT_NO_THREAD_SAFETY_ANALYSIS \
+  DBSCOUT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dbscout {
+
+/// std::mutex with the `capability` attribute so the analysis can track it.
+/// Lowercase lock()/unlock()/try_lock() keep it BasicLockable, which is what
+/// lets CondVar (condition_variable_any) wait on it directly.
+class DBSCOUT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DBSCOUT_ACQUIRE() { mu_.lock(); }
+  void unlock() DBSCOUT_RELEASE() { mu_.unlock(); }
+  bool try_lock() DBSCOUT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; the annotated replacement for std::lock_guard (which
+/// the analysis cannot see through when wrapping our Mutex).
+class DBSCOUT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DBSCOUT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DBSCOUT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Callers hold the mutex (enforced by
+/// DBSCOUT_REQUIRES) and loop on their predicate explicitly:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+///
+/// Implemented over condition_variable_any, which waits on any BasicLockable;
+/// the extra indirection vs condition_variable is one virtual-free shared
+/// mutex inside libstdc++'s wait path and is invisible next to the wait
+/// itself.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires it before returning.
+  void Wait(Mutex& mu) DBSCOUT_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Wait with a timeout; returns cv_status::timeout if `d` elapsed first.
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      DBSCOUT_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_COMMON_THREAD_ANNOTATIONS_H_

@@ -23,10 +23,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() {
   WaitIdle();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& t : threads_) {
     t.join();
   }
@@ -34,15 +34,17 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) {
+    idle_.Wait(mu_);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -50,9 +52,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        task_available_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // Shutting down with a drained queue.
       }
@@ -62,10 +65,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) {
-        idle_.notify_all();
+        idle_.NotifyAll();
       }
     }
   }
@@ -97,21 +100,23 @@ void ThreadPool::ParallelForChunked(
   // otherwise the caller can destroy them while the worker still holds or
   // is about to take the mutex.
   size_t done = 0;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = c * chunk;
     const size_t end = std::min(count, begin + chunk);
     Submit([&, begin, end] {
       fn(begin, end);
-      std::lock_guard<std::mutex> lock(done_mu);
+      MutexLock lock(done_mu);
       if (++done == num_chunks) {
-        done_cv.notify_all();
+        done_cv.NotifyAll();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done == num_chunks; });
+  MutexLock lock(done_mu);
+  while (done != num_chunks) {
+    done_cv.Wait(done_mu);
+  }
 }
 
 void ThreadPool::ParallelForDynamic(
@@ -133,8 +138,8 @@ void ThreadPool::ParallelForDynamic(
   // Guarded by done_mu; see ParallelForChunked for why this cannot be a
   // bare atomic checked outside the lock.
   size_t done = 0;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   for (size_t w = 0; w < num_workers; ++w) {
     Submit([&, chunk_size] {
       for (;;) {
@@ -144,14 +149,16 @@ void ThreadPool::ParallelForDynamic(
         }
         fn(begin, std::min(count, begin + chunk_size));
       }
-      std::lock_guard<std::mutex> lock(done_mu);
+      MutexLock lock(done_mu);
       if (++done == num_workers) {
-        done_cv.notify_all();
+        done_cv.NotifyAll();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done == num_workers; });
+  MutexLock lock(done_mu);
+  while (done != num_workers) {
+    done_cv.Wait(done_mu);
+  }
 }
 
 }  // namespace dbscout

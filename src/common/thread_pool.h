@@ -1,13 +1,13 @@
 #ifndef DBSCOUT_COMMON_THREAD_POOL_H_
 #define DBSCOUT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dbscout {
 
@@ -25,10 +25,10 @@ class ThreadPool {
 
   /// Enqueues one task. Tasks must not throw; a throwing task aborts the
   /// process (the library itself is exception-free).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DBSCOUT_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running.
-  void WaitIdle();
+  void WaitIdle() DBSCOUT_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -53,15 +53,15 @@ class ThreadPool {
       const std::function<void(size_t, size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DBSCOUT_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutting_down_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ DBSCOUT_GUARDED_BY(mu_);
+  size_t active_ DBSCOUT_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ DBSCOUT_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // immutable after the constructor
 };
 
 }  // namespace dbscout

@@ -5,10 +5,10 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <utility>
 
 #include "common/str_util.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/phases/insert_kernels.h"
@@ -632,7 +632,7 @@ Status IncrementalDetector::AddBatchParallel(const PointSet& batch,
   if (stats != nullptr) {
     stats->shards = blocks.size();
   }
-  std::mutex merge_mu;
+  Mutex merge_mu;
   for (int wave = 0; wave < grid::kNumWaves; ++wave) {
     for (const auto& [block, gis] : blocks) {
       if (grid::WaveOf(block) != wave) {
@@ -646,7 +646,7 @@ Status IncrementalDetector::AddBatchParallel(const PointSet& batch,
         for (size_t gi : *task_groups) {
           run_group(groups[gi], &ctx);
         }
-        std::lock_guard<std::mutex> lock(merge_mu);
+        MutexLock lock(merge_mu);
         MergeCtx(ctx);
         if (stats != nullptr) {
           stats->shard_seconds.push_back(timer.ElapsedSeconds());

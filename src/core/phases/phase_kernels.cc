@@ -47,8 +47,9 @@ uint64_t CoreScanCell(const grid::Grid& g,
   }
   std::vector<uint32_t>& neighbor_cells = *neighbor_scratch;
   neighbor_cells.clear();
-  g.ForEachNeighborCell(c, stencil,
-                        [&](uint32_t nc) { neighbor_cells.push_back(nc); });
+  g.ForEachNeighborCell(c, stencil, [&](uint32_t nc) {
+    neighbor_cells.push_back(nc);  // lint:allow(hot-path-purity) caller-owned scratch, capacity amortized across cells
+  });
   const size_t d = g.dims();
   const double* cell_block = g.CellBlock(c);
   uint64_t distances = 0;
@@ -91,8 +92,8 @@ void FinishSparseCoreLayout(size_t dims, size_t num_cells,
   for (size_t c = 0; c < num_cells; ++c) {
     csr->begin[c + 1] += csr->begin[c];
   }
-  csr->idx.resize(csr->begin[num_cells]);
-  csr->coords.resize(static_cast<size_t>(csr->begin[num_cells]) * dims);
+  csr->idx.resize(csr->begin[num_cells]);  // lint:allow(hot-path-purity) one-shot CSR builder, sized exactly once per pass
+  csr->coords.resize(static_cast<size_t>(csr->begin[num_cells]) * dims);  // lint:allow(hot-path-purity) one-shot CSR builder, sized exactly once per pass
 }
 
 void FillSparseCoreCell(const grid::Grid& g, uint32_t c,
@@ -152,7 +153,7 @@ uint64_t OutlierScanCell(const grid::Grid& g,
   core_neighbor_cells.clear();
   g.ForEachNeighborCell(c, stencil, [&](uint32_t nc) {
     if (cell_core[nc]) {
-      core_neighbor_cells.push_back(nc);
+      core_neighbor_cells.push_back(nc);  // lint:allow(hot-path-purity) caller-owned scratch, capacity amortized across cells
     }
   });
   if (core_neighbor_cells.empty()) {

@@ -16,17 +16,17 @@ ExecutionContext::ExecutionContext(size_t num_threads,
 }
 
 void ExecutionContext::RecordStage(StageMetrics metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stages_.push_back(std::move(metrics));
 }
 
 std::vector<StageMetrics> ExecutionContext::stages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stages_;
 }
 
 MetricsSummary ExecutionContext::Summary() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSummary summary;
   summary.stages = stages_.size();
   for (const auto& stage : stages_) {
@@ -37,7 +37,7 @@ MetricsSummary ExecutionContext::Summary() const {
 }
 
 void ExecutionContext::ResetMetrics() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stages_.clear();
 }
 

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 
@@ -83,8 +83,8 @@ class ExecutionContext {
   size_t default_partitions_;
   obs::TraceCollector* trace_ = nullptr;
   std::string trace_category_ = "dataflow";
-  mutable std::mutex mu_;
-  std::vector<StageMetrics> stages_;
+  mutable Mutex mu_;
+  std::vector<StageMetrics> stages_ DBSCOUT_GUARDED_BY(mu_);
 };
 
 }  // namespace dbscout::dataflow

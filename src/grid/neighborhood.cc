@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <memory>
-#include <mutex>
 
 #include "common/str_util.h"
+#include "common/thread_annotations.h"
 
 namespace dbscout::grid {
 namespace {
@@ -51,10 +51,10 @@ Status ValidateDims(size_t dims) {
 
 Result<const NeighborStencil*> GetNeighborStencil(size_t dims) {
   DBSCOUT_RETURN_IF_ERROR(ValidateDims(dims));
-  static std::mutex mu;
+  static Mutex mu;
   static std::array<std::unique_ptr<NeighborStencil>, kMaxDims + 1>* cache =
       new std::array<std::unique_ptr<NeighborStencil>, kMaxDims + 1>();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   auto& slot = (*cache)[dims];
   if (slot == nullptr) {
     auto stencil = std::make_unique<NeighborStencil>();

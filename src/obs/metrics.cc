@@ -162,7 +162,7 @@ Registry::SeriesSlot* Registry::GetSeries(std::string_view name,
                                           Labels labels) {
   DBSCOUT_CHECK(ValidMetricName(name)) << "bad metric name: " << name;
   std::sort(labels.begin(), labels.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = families_.find(name);
   if (it == families_.end()) {
     FamilySlot family;
@@ -187,7 +187,7 @@ Registry::SeriesSlot* Registry::GetSeries(std::string_view name,
 Counter* Registry::GetCounter(std::string_view name, std::string_view help,
                               Labels labels) {
   SeriesSlot* slot = GetSeries(name, help, Type::kCounter, std::move(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (slot->counter == nullptr) {
     slot->counter = std::make_unique<Counter>();
   }
@@ -197,7 +197,7 @@ Counter* Registry::GetCounter(std::string_view name, std::string_view help,
 Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
                           Labels labels) {
   SeriesSlot* slot = GetSeries(name, help, Type::kGauge, std::move(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (slot->gauge == nullptr) {
     slot->gauge = std::make_unique<Gauge>();
   }
@@ -207,7 +207,7 @@ Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
 Histogram* Registry::GetHistogram(std::string_view name, std::string_view help,
                                   HistogramLayout layout, Labels labels) {
   SeriesSlot* slot = GetSeries(name, help, Type::kHistogram, std::move(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (slot->histogram == nullptr) {
     slot->histogram = std::make_unique<Histogram>(layout);
   }
@@ -218,7 +218,7 @@ Histogram* Registry::GetHistogram(std::string_view name, std::string_view help,
 
 std::vector<Registry::Family> Registry::Snapshot() const {
   std::vector<Family> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(families_.size());
   for (const auto& [name, family] : families_) {
     Family f;

@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dbscout::obs {
 
@@ -214,8 +215,9 @@ class Registry {
   SeriesSlot* GetSeries(std::string_view name, std::string_view help,
                         Type type, Labels labels);
 
-  mutable std::mutex mu_;
-  std::map<std::string, FamilySlot, std::less<>> families_;
+  mutable Mutex mu_;
+  std::map<std::string, FamilySlot, std::less<>> families_
+      DBSCOUT_GUARDED_BY(mu_);
 };
 
 }  // namespace dbscout::obs

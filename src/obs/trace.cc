@@ -56,7 +56,7 @@ void AppendMicros(std::string* out, double seconds) {
 }  // namespace
 
 void TraceCollector::AddSpan(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back(std::move(span));
 }
 
@@ -79,12 +79,12 @@ void TraceCollector::AddSpanEndingNow(std::string_view name,
 }
 
 std::vector<TraceSpan> TraceCollector::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 

@@ -2,12 +2,12 @@
 #define DBSCOUT_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/logging.h"  // CurrentThreadId
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/timer.h"
 
@@ -66,8 +66,8 @@ class TraceCollector {
 
  private:
   WallTimer origin_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ DBSCOUT_GUARDED_BY(mu_);
 };
 
 }  // namespace dbscout::obs

@@ -17,7 +17,8 @@ namespace dbscout::service {
 Result<Client> Client::Connect(const std::string& host, uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+    return Status::IoError(
+        StrFormat("socket: %s", ErrnoToString(errno).c_str()));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -30,7 +31,7 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     const Status status = Status::IoError(StrFormat(
-        "connect %s:%u: %s", host.c_str(), port, std::strerror(errno)));
+        "connect %s:%u: %s", host.c_str(), port, ErrnoToString(errno).c_str()));
     ::close(fd);
     return status;
   }

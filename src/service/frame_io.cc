@@ -28,7 +28,8 @@ Result<bool> ReadExact(int fd, uint8_t* out, size_t len, bool eof_ok,
       if (errno == EINTR) {
         continue;
       }
-      return Status::IoError(StrFormat("poll: %s", std::strerror(errno)));
+      return Status::IoError(
+          StrFormat("poll: %s", ErrnoToString(errno).c_str()));
     }
     if (stop != nullptr && stop->load(std::memory_order_acquire)) {
       return Status::Unavailable("shutting down");
@@ -41,7 +42,8 @@ Result<bool> ReadExact(int fd, uint8_t* out, size_t len, bool eof_ok,
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         continue;
       }
-      return Status::IoError(StrFormat("read: %s", std::strerror(errno)));
+      return Status::IoError(
+          StrFormat("read: %s", ErrnoToString(errno).c_str()));
     }
     if (n == 0) {
       if (got == 0 && eof_ok) {
@@ -79,7 +81,8 @@ Status WriteFrame(int fd, std::span<const uint8_t> payload) {
         if (errno == EINTR) {
           continue;
         }
-        return Status::IoError(StrFormat("write: %s", std::strerror(errno)));
+        return Status::IoError(
+            StrFormat("write: %s", ErrnoToString(errno).c_str()));
       }
       sent += static_cast<size_t>(n);
     }

@@ -20,7 +20,8 @@ Result<std::unique_ptr<Server>> Server::Start(DetectionService* service,
                                               const ServerOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+    return Status::IoError(
+        StrFormat("socket: %s", ErrnoToString(errno).c_str()));
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -37,13 +38,13 @@ Result<std::unique_ptr<Server>> Server::Start(DetectionService* service,
       0) {
     const Status status =
         Status::IoError(StrFormat("bind %s:%u: %s", options.host.c_str(),
-                                  options.port, std::strerror(errno)));
+                                  options.port, ErrnoToString(errno).c_str()));
     ::close(fd);
     return status;
   }
   if (::listen(fd, 64) != 0) {
     const Status status =
-        Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
+        Status::IoError(StrFormat("listen: %s", ErrnoToString(errno).c_str()));
     ::close(fd);
     return status;
   }
@@ -52,7 +53,8 @@ Result<std::unique_ptr<Server>> Server::Start(DetectionService* service,
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
       0) {
     const Status status =
-        Status::IoError(StrFormat("getsockname: %s", std::strerror(errno)));
+        Status::IoError(StrFormat("getsockname: %s",
+                                  ErrnoToString(errno).c_str()));
     ::close(fd);
     return status;
   }

@@ -141,7 +141,7 @@ Response DetectionService::DoMetrics() {
 
 DetectionService::Collection* DetectionService::FindCollection(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(collections_mu_);
+  MutexLock lock(collections_mu_);
   auto it = collections_.find(name);
   return it == collections_.end() ? nullptr : it->second.get();
 }
@@ -156,7 +156,7 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
         StrFormat("coordinate count %zu is not a multiple of dims %u",
                   coords_size, dims));
   }
-  std::lock_guard<std::mutex> lock(collections_mu_);
+  MutexLock lock(collections_mu_);
   auto it = collections_.find(name);
   if (it != collections_.end()) {
     Collection* collection = it->second.get();
@@ -197,7 +197,7 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
 Status DetectionService::Enqueue(Collection* collection,
                                  std::vector<double> coords,
                                  std::shared_ptr<Ticket> ticket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stop_) {
     return Status::Unavailable("service is shutting down");
   }
@@ -224,7 +224,7 @@ Status DetectionService::Enqueue(Collection* collection,
   // loop is already awake, and skipping the wakeup lets it coalesce them
   // instead of thrashing through one-batch passes.
   if (was_empty || ticketed) {
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
   return Status::OK();
 }
@@ -244,8 +244,10 @@ Response DetectionService::DoIngest(const Request& request) {
   if (!response.status.ok()) {
     return response;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  tickets_cv_.wait(lock, [&] { return ticket->done; });
+  MutexLock lock(mu_);
+  while (!ticket->done) {
+    tickets_cv_.Wait(mu_);
+  }
   response.status = ticket->status;
   response.epoch = ticket->epoch;
   return response;
@@ -301,7 +303,7 @@ Response DetectionService::DoQuery(const Request& request) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(collection->stats_mu);
+    MutexLock lock(collection->stats_mu);
     collection->recorder.Accumulate("query", timer.ElapsedSeconds(),
                                     distance_comps, 1);
   }
@@ -333,7 +335,7 @@ Response DetectionService::DoStats(const Request& request) {
   stats.queue_depth = collection->queue_depth.load(std::memory_order_relaxed);
   stats.ttl_seconds = collection->ttl_seconds.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(collection->stats_mu);
+    MutexLock lock(collection->stats_mu);
     for (const core::PhaseStats& row : collection->recorder.phases()) {
       stats.phases.push_back(StatsRow{row.name, row.seconds,
                                       row.distance_computations,
@@ -389,23 +391,25 @@ Response DetectionService::DoConfigure(const Request& request) {
   if (request.ttl_seconds > 0.0) {
     has_window_.store(true, std::memory_order_relaxed);
     // Wake the apply loop so it switches to periodic expiry wakeups.
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_cv_.notify_all();
+    MutexLock lock(mu_);
+    queue_cv_.NotifyAll();
   }
   response.configure.ttl_seconds = request.ttl_seconds;
   return response;
 }
 
 void DetectionService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t target = enqueued_;
-  tickets_cv_.wait(lock, [&] { return applied_ >= target; });
+  while (applied_ < target) {
+    tickets_cv_.Wait(mu_);
+  }
 }
 
 void DetectionService::SweepExpiredNow() {
   auto ticket = std::make_shared<Ticket>();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) {
       return;
     }
@@ -413,25 +417,27 @@ void DetectionService::SweepExpiredNow() {
     ++ticketed_pending_;
     queue_.push_back(PendingIngest{nullptr, {}, ticket, MonotonicSeconds()});
     ++enqueued_;
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  tickets_cv_.wait(lock, [&] { return ticket->done; });
+  MutexLock lock(mu_);
+  while (!ticket->done) {
+    tickets_cv_.Wait(mu_);
+  }
 }
 
 void DetectionService::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
   }
   apply_pool_.WaitIdle();
 }
 
 void DetectionService::SetApplyPausedForTest(bool paused) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   apply_paused_ = paused;
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void DetectionService::ApplyLoop() {
@@ -439,7 +445,7 @@ void DetectionService::ApplyLoop() {
     std::vector<PendingIngest> batch;
     bool expiry_tick = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Stop overrides a test pause: shutdown always drains the queue.
       // While any collection has a TTL window, sleep in bounded slices so
       // expiry runs even with no traffic.
@@ -448,13 +454,13 @@ void DetectionService::ApplyLoop() {
           break;
         }
         if (has_window_.load(std::memory_order_relaxed)) {
-          if (queue_cv_.wait_for(lock, std::chrono::milliseconds(100)) ==
+          if (queue_cv_.WaitFor(mu_, std::chrono::milliseconds(100)) ==
               std::cv_status::timeout) {
             expiry_tick = true;
             break;
           }
         } else {
-          queue_cv_.wait(lock);
+          queue_cv_.Wait(mu_);
         }
       }
       // Throughput coalescing: while everything queued is fire-and-forget
@@ -472,7 +478,7 @@ void DetectionService::ApplyLoop() {
           if (before >= options_.max_pending_ingests / 2) {
             break;  // half-full queue: apply before admission sheds
           }
-          queue_cv_.wait_for(lock, kCoalesceSlice);
+          queue_cv_.WaitFor(mu_, kCoalesceSlice);
           if (stop_ || apply_paused_ || ticketed_pending_ > 0 ||
               queue_.size() == before) {
             break;
@@ -653,7 +659,7 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
   // SweepExpiredNow ticks with an empty/tick-only batch). ----
   std::vector<Collection*> all;
   {
-    std::lock_guard<std::mutex> lock(collections_mu_);
+    MutexLock lock(collections_mu_);
     all.reserve(collections_.size());
     for (auto& [name, collection] : collections_) {
       all.push_back(collection.get());
@@ -685,7 +691,7 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     collection->snapshot.store(collection->detector.SnapshotNow(),
                                std::memory_order_release);
     const uint64_t total_comps = collection->detector.distance_computations();
-    std::lock_guard<std::mutex> lock(collection->stats_mu);
+    MutexLock lock(collection->stats_mu);
     collection->recorder.Accumulate(
         "apply", work.seconds,
         total_comps - collection->last_distance_comps,
@@ -714,14 +720,14 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
   // Complete tickets only now, so the epoch a blocking INGEST returns is
   // already covered by a published snapshot.
   if (has_ops) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     applied_ += batch.size();
     for (PendingIngest& op : batch) {
       if (op.ticket != nullptr) {
         op.ticket->done = true;
       }
     }
-    tickets_cv_.notify_all();
+    tickets_cv_.NotifyAll();
   }
 }
 

@@ -3,17 +3,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/incremental.h"
@@ -112,19 +111,19 @@ class DetectionService {
 
   /// Blocks until every batch enqueued so far has been applied and
   /// published.
-  void Drain();
+  void Drain() DBSCOUT_EXCLUDES(mu_);
 
   /// Forces one expiry sweep on the apply loop and blocks until its
   /// snapshots are published. Deterministic hook for tests and operators
   /// with an injected clock; the loop also sweeps on its own every
   /// ~100ms while any collection has a TTL window. Must not be called
   /// while the apply loop is paused for test.
-  void SweepExpiredNow();
+  void SweepExpiredNow() DBSCOUT_EXCLUDES(mu_);
 
   /// Drains the queue, completes all tickets, and stops the apply loop.
   /// Further INGESTs are refused with kUnavailable; reads keep working
   /// against the last published snapshots. Idempotent.
-  void Stop();
+  void Stop() DBSCOUT_EXCLUDES(mu_);
 
   /// INGESTs shed by admission control since construction.
   uint64_t admission_rejections() const {
@@ -141,7 +140,7 @@ class DetectionService {
   /// Test hook: while paused the apply loop leaves the queue untouched, so
   /// tests can fill it to the admission cap deterministically. Stop()
   /// overrides a pause (shutdown still drains).
-  void SetApplyPausedForTest(bool paused);
+  void SetApplyPausedForTest(bool paused) DBSCOUT_EXCLUDES(mu_);
 
  private:
   /// Per-collection state. The detector is written only by the apply loop;
@@ -171,17 +170,19 @@ class DetectionService {
     };
     std::deque<StampRange> stamps;
 
-    std::mutex stats_mu;
-    core::phases::PhaseRecorder recorder;  // guarded by stats_mu
-    uint64_t last_distance_comps = 0;      // guarded by stats_mu
-    uint64_t ingest_errors = 0;            // guarded by stats_mu
+    Mutex stats_mu;
+    core::phases::PhaseRecorder recorder DBSCOUT_GUARDED_BY(stats_mu);
+    uint64_t last_distance_comps DBSCOUT_GUARDED_BY(stats_mu) = 0;
+    uint64_t ingest_errors DBSCOUT_GUARDED_BY(stats_mu) = 0;
 
     explicit Collection(core::IncrementalDetector det)
         : detector(std::move(det)) {}
   };
 
   /// Completion token a blocking INGEST waits on; signalled after the
-  /// batch's snapshot is published.
+  /// batch's snapshot is published. `done` flips under the service's mu_
+  /// (not annotatable from a nested struct; the waiters' while-loops under
+  /// mu_ are the contract).
   struct Ticket {
     bool done = false;  // guarded by mu_
     Status status;
@@ -207,23 +208,26 @@ class DetectionService {
   Response DoConfigure(const Request& request);
 
   /// Looks up a collection (null when absent). Never creates.
-  Collection* FindCollection(const std::string& name);
+  Collection* FindCollection(const std::string& name)
+      DBSCOUT_EXCLUDES(collections_mu_);
 
   /// Validates the batch shape and returns the collection, creating it on
   /// first ingest (dims fixed by the first batch).
   Result<Collection*> CollectionForIngest(const std::string& name,
-                                          uint16_t dims, size_t coords_size);
+                                          uint16_t dims, size_t coords_size)
+      DBSCOUT_EXCLUDES(collections_mu_);
 
   /// Enqueues under the admission cap, or sheds. `ticket` may be null.
   Status Enqueue(Collection* collection, std::vector<double> coords,
-                 std::shared_ptr<Ticket> ticket);
+                 std::shared_ptr<Ticket> ticket) DBSCOUT_EXCLUDES(mu_);
 
-  void ApplyLoop();
+  void ApplyLoop() DBSCOUT_EXCLUDES(mu_);
   /// One coalesced apply pass: groups `batch` per collection, applies each
   /// collection's points in one sharded AddBatchParallel call, runs the
   /// TTL expiry sweep, then publishes one snapshot per touched collection.
   /// An empty `batch` is an expiry-only pass (periodic window wakeup).
-  void ApplyPass(std::vector<PendingIngest> batch);
+  void ApplyPass(std::vector<PendingIngest> batch)
+      DBSCOUT_EXCLUDES(mu_, collections_mu_);
   /// Expires aged-out ingest ranges of `collection`; returns the number of
   /// points removed (0 when no TTL or nothing aged out). Apply loop only.
   uint64_t ExpireAged(Collection* collection, double now, double* seconds);
@@ -231,21 +235,22 @@ class DetectionService {
   const ServiceOptions options_;
   std::function<double()> clock_;
 
-  std::mutex collections_mu_;
-  std::unordered_map<std::string, std::unique_ptr<Collection>> collections_;
+  Mutex collections_mu_;
+  std::unordered_map<std::string, std::unique_ptr<Collection>> collections_
+      DBSCOUT_GUARDED_BY(collections_mu_);
 
-  std::mutex mu_;
-  std::condition_variable queue_cv_;    // apply loop wakeups
-  std::condition_variable tickets_cv_;  // ticket completion + drain
-  std::deque<PendingIngest> queue_;
+  Mutex mu_;
+  CondVar queue_cv_;    // apply loop wakeups
+  CondVar tickets_cv_;  // ticket completion + drain
+  std::deque<PendingIngest> queue_ DBSCOUT_GUARDED_BY(mu_);
   /// Queued ops somebody blocks on (ticketed). While zero, the apply loop
   /// may linger briefly to coalesce fire-and-forget batches into bigger
   /// passes; the first ticketed arrival cuts that window short.
-  uint64_t ticketed_pending_ = 0;
-  uint64_t enqueued_ = 0;  // batches ever enqueued
-  uint64_t applied_ = 0;   // batches fully processed (published)
-  bool stop_ = false;
-  bool apply_paused_ = false;
+  uint64_t ticketed_pending_ DBSCOUT_GUARDED_BY(mu_) = 0;
+  uint64_t enqueued_ DBSCOUT_GUARDED_BY(mu_) = 0;  // batches ever enqueued
+  uint64_t applied_ DBSCOUT_GUARDED_BY(mu_) = 0;   // batches published
+  bool stop_ DBSCOUT_GUARDED_BY(mu_) = false;
+  bool apply_paused_ DBSCOUT_GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> admission_rejections_{0};
   /// True once any collection has a TTL window; flips the apply loop from

@@ -1,0 +1,48 @@
+// Seeded memory-order violations on the snapshot-publication pattern.
+// Expected findings: exactly 3 (relaxed load, order-less store, seq_cst
+// store). The waived relaxed load must NOT be reported.
+
+namespace std {
+enum memory_order {
+  memory_order_relaxed,
+  memory_order_consume,
+  memory_order_acquire,
+  memory_order_release,
+  memory_order_acq_rel,
+  memory_order_seq_cst
+};
+template <class T>
+struct shared_ptr {
+  T* ptr;
+};
+template <class T>
+struct atomic {
+  T load(memory_order order = memory_order_seq_cst) const;
+  void store(T value, memory_order order = memory_order_seq_cst);
+};
+}  // namespace std
+
+struct Snapshot {
+  int epoch;
+};
+
+struct Collection {
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot;
+};
+
+std::shared_ptr<const Snapshot> ReadRelaxed(Collection* c) {
+  return c->snapshot.load(std::memory_order_relaxed);  // finding 1
+}
+
+void PublishDefault(Collection* c, std::shared_ptr<const Snapshot> s) {
+  c->snapshot.store(s);  // finding 2: defaults to seq_cst
+}
+
+void PublishSeqCst(Collection* c, std::shared_ptr<const Snapshot> s) {
+  c->snapshot.store(s, std::memory_order_seq_cst);  // finding 3
+}
+
+std::shared_ptr<const Snapshot> ReadWaived(Collection* c) {
+  // Stats-only read where staleness is fine: waived on the flagged line.
+  return c->snapshot.load(std::memory_order_relaxed);  // lint:allow(memory-order)
+}

@@ -1,0 +1,44 @@
+// Known-good snapshot publication: acquire loads, release stores, and a
+// relaxed counter that is NOT a shared_ptr (out of the check's scope).
+// Expected findings: 0.
+
+namespace std {
+enum memory_order {
+  memory_order_relaxed,
+  memory_order_consume,
+  memory_order_acquire,
+  memory_order_release,
+  memory_order_acq_rel,
+  memory_order_seq_cst
+};
+template <class T>
+struct shared_ptr {
+  T* ptr;
+};
+template <class T>
+struct atomic {
+  T load(memory_order order = memory_order_seq_cst) const;
+  void store(T value, memory_order order = memory_order_seq_cst);
+};
+}  // namespace std
+
+struct Snapshot {
+  int epoch;
+};
+
+struct Collection {
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot;
+  std::atomic<unsigned long> queue_depth;
+};
+
+std::shared_ptr<const Snapshot> Read(Collection* c) {
+  return c->snapshot.load(std::memory_order_acquire);
+}
+
+void Publish(Collection* c, std::shared_ptr<const Snapshot> s) {
+  c->snapshot.store(s, std::memory_order_release);
+}
+
+unsigned long Depth(Collection* c) {
+  return c->queue_depth.load(std::memory_order_relaxed);
+}

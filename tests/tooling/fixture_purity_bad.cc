@@ -1,0 +1,52 @@
+// Seeded hot-path-purity violations (the self-test treats this file as a
+// hot-path kernel file). Expected findings: exactly 4 —
+//   1. container allocation (push_back on std::vector)
+//   2. transitive locking (HelperLocks, defined in the support TU)
+//   3. logging (dbscout::internal::EmitLog)
+//   4. raw allocation (operator new)
+// plus one waived allocation that must NOT be reported.
+
+namespace std {
+template <class T>
+struct vector {
+  void push_back(const T&);
+  void clear();
+  T* data();
+};
+}  // namespace std
+
+namespace dbscout {
+namespace internal {
+void EmitLog(int level);
+}  // namespace internal
+}  // namespace dbscout
+
+void HelperLocks();
+void HelperPure(int* out);
+
+int ScanKernelAllocates(std::vector<int>* scratch) {
+  scratch->push_back(1);  // finding 1: allocation
+  return 0;
+}
+
+void ScanKernelLocksTransitively() {
+  HelperLocks();  // finding 2: locking, one hop away
+}
+
+void ScanKernelLogs() {
+  dbscout::internal::EmitLog(2);  // finding 3: logging
+}
+
+int* ScanKernelNews() {
+  return new int[4];  // finding 4: allocation (operator new)
+}
+
+void ScanKernelWaived(std::vector<int>* scratch) {
+  // Builder-style amortized append, explicitly waived:
+  scratch->push_back(7);  // lint:allow(hot-path-purity) caller-owned scratch
+}
+
+void ScanKernelClean(int* out) {
+  HelperPure(out);
+  *out *= 2;
+}

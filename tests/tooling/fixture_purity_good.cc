@@ -1,0 +1,26 @@
+// Known-good purity fixture: arithmetic, pointer walks, and calls into the
+// pure support helper only. Expected findings: 0.
+
+void HelperPure(int* out);
+
+double KernelDistance(const double* a, const double* b, int dims) {
+  double acc = 0.0;
+  for (int i = 0; i < dims; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+int KernelCountWithin(const double* block, int n, int dims,
+                      const double* probe, double eps_sq) {
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (KernelDistance(block + i * dims, probe, dims) <= eps_sq) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void KernelAccumulate(int* out) { HelperPure(out); }

@@ -1,0 +1,37 @@
+// Support TU for the purity fixtures: helpers the "hot" fixture files call
+// into, proving the analyzer follows calls across translation units. This
+// file itself is NOT matched by the self-test's hot-path pattern, so its
+// violations only surface transitively.
+//
+// Self-contained std stubs: fixtures are parsed by libclang without any
+// include path, so the handful of std entities the checks recognize are
+// declared here with the exact qualified names the real headers produce.
+
+namespace std {
+struct mutex {
+  void lock();
+  void unlock();
+};
+template <class T>
+struct lock_guard {
+  explicit lock_guard(T&);
+  ~lock_guard();
+};
+}  // namespace std
+
+namespace dbscout {
+namespace internal {
+struct LogMessage {
+  LogMessage(const char* file, int line);
+};
+void EmitLog(int level);
+}  // namespace internal
+}  // namespace dbscout
+
+static std::mutex g_support_mu;
+
+// Transitive violation target: a kernel calling this takes a lock.
+void HelperLocks() { std::lock_guard<std::mutex> hold(g_support_mu); }
+
+// Pure helper: reachable from kernels without findings.
+void HelperPure(int* out) { *out += 1; }

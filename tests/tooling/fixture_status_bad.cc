@@ -1,0 +1,27 @@
+// Seeded discarded-status violations. Expected findings: exactly 3 —
+// C-style void cast of a returned Status, static_cast<void> of a Status,
+// and a C-style void cast of a Result. The bool cast and the waived line
+// must NOT be reported.
+
+namespace dbscout {
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+template <class T>
+struct Result {
+  bool ok() const;
+};
+}  // namespace dbscout
+
+dbscout::Status DoWork();
+dbscout::Result<int> Compute();
+bool Flag();
+
+void DiscardsEverything() {
+  (void)DoWork();                  // finding 1
+  static_cast<void>(DoWork());     // finding 2
+  (void)Compute();                 // finding 3
+  (void)Flag();                    // bool: fine
+  (void)DoWork();  // lint:allow(discarded-status) shutdown best-effort
+}

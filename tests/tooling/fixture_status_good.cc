@@ -1,0 +1,19 @@
+// Known-good status handling: every Status is branched on or returned.
+// Expected findings: 0.
+
+namespace dbscout {
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+}  // namespace dbscout
+
+dbscout::Status DoWork();
+
+dbscout::Status HandleAll() {
+  dbscout::Status status = DoWork();
+  if (!status.ok()) {
+    return status;
+  }
+  return dbscout::Status::OK();
+}

@@ -1,0 +1,38 @@
+// Seeded lock-across-wait violations. Expected findings: exactly 2 —
+// a wait with two RAII locks live, and a predicate-lambda wait overload
+// (this file does not match the ThreadPool exemption).
+
+namespace std {
+struct mutex {
+  void lock();
+  void unlock();
+};
+template <class T>
+struct unique_lock {
+  explicit unique_lock(T&);
+  ~unique_lock();
+};
+struct condition_variable {
+  void wait(unique_lock<mutex>& lock);
+  template <class Predicate>
+  void wait(unique_lock<mutex>& lock, Predicate pred);
+};
+}  // namespace std
+
+struct Widget {
+  std::mutex state_mu;
+  std::mutex io_mu;
+  std::condition_variable cv;
+  int ready = 0;
+
+  void WaitsWithTwoLocks() {
+    std::unique_lock<std::mutex> io(io_mu);
+    std::unique_lock<std::mutex> state(state_mu);
+    cv.wait(state);  // finding 1: io_mu still held across the wait
+  }
+
+  void WaitsOnPredicateLambda() {
+    std::unique_lock<std::mutex> state(state_mu);
+    cv.wait(state, [this] { return ready != 0; });  // finding 2
+  }
+};

@@ -1,0 +1,30 @@
+// Known-good condition wait: exactly one lock, explicit while loop.
+// Expected findings: 0.
+
+namespace std {
+struct mutex {
+  void lock();
+  void unlock();
+};
+template <class T>
+struct unique_lock {
+  explicit unique_lock(T&);
+  ~unique_lock();
+};
+struct condition_variable {
+  void wait(unique_lock<mutex>& lock);
+};
+}  // namespace std
+
+struct Widget {
+  std::mutex state_mu;
+  std::condition_variable cv;
+  int ready = 0;
+
+  void WaitsCorrectly() {
+    std::unique_lock<std::mutex> state(state_mu);
+    while (ready == 0) {
+      cv.wait(state);
+    }
+  }
+};

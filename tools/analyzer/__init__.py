@@ -1,0 +1,13 @@
+"""AST-level invariant analyzer for dbscout (libclang python bindings).
+
+Modules:
+  core     libclang discovery, compile_commands loading, call-graph build
+  checks   the four checks: purity, memory-order, discarded-status,
+           lock-across-wait
+  analyze  CLI over the real tree (tools/check.sh `analyzer` stage)
+  selftest fixture-driven self-test (ctest `analyzer_selftest`)
+
+Everything degrades to a clean SKIP when libclang or the clang python
+bindings are absent (exit code 77 for the ctest entry points, a `SKIPPED`
+line for check.sh).
+"""

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""AST invariant analyzer over the real tree.
+
+Usage:
+    python3 tools/analyzer/analyze.py [--build-dir build] [--root .]
+                                      [--checks purity,memory-order,...]
+                                      [--skip-exit-code N]
+
+Drives libclang over compile_commands.json, builds the cross-TU call graph,
+and runs the four checks (see checks.py). Exit codes:
+    0   clean (or SKIPPED: no libclang — prints a SKIPPED line so
+        tools/check.sh records SKIP, not PASS)
+    1   findings
+    2   usage / missing compile_commands.json
+
+With --skip-exit-code 77 the SKIP case exits 77 instead (the ctest
+SKIP_RETURN_CODE protocol).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from analyzer import checks, core  # noqa: E402
+
+ALL_CHECKS = ("purity", "memory-order", "discarded-status",
+              "lock-across-wait")
+
+
+def run(build_dir: str, root: str, selected) -> list:
+    cindex = core.load_cindex()
+    assert cindex is not None
+    src_root = os.path.normpath(os.path.join(root, "src"))
+    sources = core.load_compdb(build_dir)
+    if not sources:
+        print("analyzer: no src/ entries in compile_commands.json",
+              file=sys.stderr)
+        return []
+    waivers = core.WaiverIndex()
+    findings = []
+    graph = {}
+    for path, args in sources:
+        tu = core.parse_tu(cindex, path, args)
+        if "memory-order" in selected:
+            findings.extend(
+                checks.check_memory_order(cindex, tu, waivers, src_root))
+        if "discarded-status" in selected:
+            findings.extend(
+                checks.check_discarded_status(cindex, tu, waivers, src_root))
+        if "lock-across-wait" in selected:
+            findings.extend(
+                checks.check_lock_across_wait(cindex, tu, waivers, src_root))
+        if "purity" in selected:
+            for usr, info in core.collect_functions(
+                    cindex, tu, src_root).items():
+                graph.setdefault(usr, info)
+    if "purity" in selected:
+        findings.extend(checks.check_purity(graph, waivers))
+    # Headers are parsed once per including TU; dedupe repeated findings.
+    unique = sorted(set(findings),
+                    key=lambda f: (f.file, f.line, f.check, f.message))
+    return unique
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/)")
+    parser.add_argument("--checks", default=",".join(ALL_CHECKS),
+                        help="comma-separated subset of: "
+                             + ", ".join(ALL_CHECKS))
+    parser.add_argument("--skip-exit-code", type=int, default=0,
+                        help="exit code when libclang is unavailable "
+                             "(default 0, with a SKIPPED line; ctest "
+                             "entries pass 77)")
+    args = parser.parse_args()
+
+    selected = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = [c for c in selected if c not in ALL_CHECKS]
+    if unknown:
+        print(f"analyzer: unknown check(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    if core.load_cindex() is None:
+        print("analyzer: SKIPPED (no usable libclang python bindings; "
+              "install python3-clang + libclang, or set "
+              "CLANG_LIBRARY_FILE)")
+        return args.skip_exit_code
+
+    compdb = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.isfile(compdb):
+        print(f"analyzer: {compdb} not found; configure the build tree "
+              f"first (cmake -B {args.build_dir} -S {args.root})",
+              file=sys.stderr)
+        return 2
+
+    findings = run(args.build_dir, args.root, selected)
+    root_prefix = os.path.normpath(os.path.abspath(args.root)) + os.sep
+    for f in findings:
+        text = str(f)
+        if text.startswith(root_prefix):
+            text = text[len(root_prefix):]
+        print(text)
+    if findings:
+        print(f"analyzer: {len(findings)} finding(s) across "
+              f"{len(selected)} check(s)")
+        return 1
+    print(f"analyzer: OK ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

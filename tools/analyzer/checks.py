@@ -1,0 +1,343 @@
+"""The four AST checks.
+
+purity             Transitive hot-path purity: no locking, logging, or
+                   syscalls reachable from any function defined in a
+                   hot-path file (src/simd/, phase_kernels.*,
+                   insert_kernels.*), and no allocation inside those files
+                   (builders waive specific lines with
+                   lint:allow(hot-path-purity)).
+memory-order       Loads/stores on atomic<shared_ptr<...>> snapshot
+                   pointers must say memory_order_acquire /
+                   memory_order_release explicitly — a missing argument is
+                   a silent seq_cst fence on the hot path, relaxed is a
+                   publication bug.
+discarded-status   No Status / Result value discarded through a cast to
+                   void; handle it or DBSCOUT_CHECK it.
+lock-across-wait   No condition_variable wait while a second lock is held
+                   (lock-ordering deadlock bait), and no predicate-lambda
+                   wait overload outside the ThreadPool implementation —
+                   the annotated CondVar contract is an explicit while
+                   loop under exactly one mutex.
+
+Waiver syntax everywhere: `lint:allow(<check-name>)` on the flagged line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import core
+from .core import CallSite, Finding, FunctionInfo, Op, WaiverIndex
+
+# ---------------------------------------------------------------------------
+# purity
+# ---------------------------------------------------------------------------
+
+PURITY = "hot-path-purity"
+
+#: Callee names (suffix match on the qualified name, or exact spelling)
+#: that mean the hot path took a lock.
+_LOCK_NAME_RE = re.compile(
+    r"(?:std::(?:recursive_|shared_|timed_)*mutex"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)"
+    r"|dbscout::Mutex\b|dbscout::MutexLock|dbscout::CondVar"
+    r"|pthread_(?:mutex|rwlock|cond)_\w+)")
+
+#: Logging machinery: constructing a LogMessage (what DBSCOUT_LOG/CHECK
+#: expand to) or calling the emitter directly.
+_LOG_NAME_RE = re.compile(
+    r"dbscout::internal::(?:LogMessage|EmitLog|CheckMessage)")
+
+#: Syscall-ish leaf functions (I/O, process control, clock-free sleeps).
+_SYSCALL_NAMES = frozenset({
+    "fopen", "fclose", "fread", "fwrite", "fprintf", "printf", "fputs",
+    "puts", "fflush", "open", "close", "read", "write", "socket", "send",
+    "recv", "connect", "accept", "abort", "exit", "_exit", "system",
+    "sleep", "usleep", "nanosleep",
+})
+
+#: Allocator entry points (direct).
+_ALLOC_NAMES = frozenset({"malloc", "calloc", "realloc", "free", "strdup",
+                          "aligned_alloc", "posix_memalign"})
+
+#: Container members that may allocate, when invoked on a std:: container.
+_ALLOC_MEMBERS = frozenset({
+    "push_back", "emplace_back", "resize", "reserve", "insert", "emplace",
+    "append", "assign", "push_front", "emplace_front",
+})
+
+_STD_CONTAINER_RE = re.compile(
+    r"std::(?:vector|deque|basic_string|map|unordered_map|set|"
+    r"unordered_set|list|multimap|multiset)\b")
+
+
+def _classify_call(site: CallSite) -> Optional[Tuple[str, str]]:
+    """(category, description) when the call is forbidden on the hot path."""
+    qual = site.qualified
+    name = site.name
+    if qual and _LOCK_NAME_RE.search(qual):
+        return "locking", f"acquires a lock via {qual}"
+    if site.base_type and _LOCK_NAME_RE.search(site.base_type):
+        return "locking", f"{name}() on {site.base_type}"
+    if qual and _LOG_NAME_RE.search(qual):
+        return "logging", f"logs via {qual} (DBSCOUT_LOG/DBSCOUT_CHECK)"
+    if name in _SYSCALL_NAMES and "::" not in qual.replace(
+            "std::", "", 1).replace(name, ""):
+        return "syscall", f"calls {name}()"
+    if name in _ALLOC_NAMES:
+        return "allocation", f"calls {name}()"
+    return None
+
+
+def _classify_alloc(site: CallSite) -> Optional[str]:
+    if site.name in _ALLOC_MEMBERS and (
+            _STD_CONTAINER_RE.search(site.base_type or "")):
+        return f"{site.name}() on {site.base_type} may allocate"
+    return None
+
+
+def check_purity(graph: Dict[str, FunctionInfo], waivers: WaiverIndex,
+                 hot_file_re: re.Pattern = core.HOT_PATH_FILE_RE
+                 ) -> List[Finding]:
+    """Walks the call graph from every function defined in a hot-path file.
+
+    Locking / logging / syscalls are flagged wherever they are reachable
+    (transitively through any src-defined callee). Allocation is flagged in
+    functions defined in hot-path files themselves — callees outside those
+    files own their allocation contracts — with per-line waivers for the
+    builder kernels that allocate by design.
+    """
+    findings: List[Finding] = []
+    seen_sites: Set[Tuple[str, str, int, str]] = set()
+    by_usr = graph
+
+    entries = [f for f in graph.values() if hot_file_re.search(f.file)]
+
+    def visit(fn: FunctionInfo, entry: FunctionInfo, chain: Tuple[str, ...],
+              visited: Set[str]) -> None:
+        if fn.usr in visited:
+            return
+        visited.add(fn.usr)
+        in_hot_file = bool(hot_file_re.search(fn.file))
+        for op in fn.ops:
+            if op.kind in ("new", "delete") and in_hot_file:
+                cat, desc = "allocation", op.detail
+            elif op.kind == "lock-decl":
+                cat, desc = "locking", f"constructs {op.detail}"
+            else:
+                continue
+            _emit(fn, op.file, op.line, cat, desc, entry, chain)
+        for site in fn.calls:
+            forbidden = _classify_call(site)
+            if forbidden is None and in_hot_file:
+                alloc = _classify_alloc(site)
+                if alloc is not None:
+                    forbidden = ("allocation", alloc)
+            if forbidden is not None:
+                _emit(fn, site.file, site.line, forbidden[0], forbidden[1],
+                      entry, chain)
+                continue
+            callee = by_usr.get(site.usr)
+            if callee is not None:
+                visit(callee, entry, chain + (callee.qualified,), visited)
+
+    def _emit(fn: FunctionInfo, file: str, line: int, category: str,
+              desc: str, entry: FunctionInfo, chain: Tuple[str, ...]) -> None:
+        if waivers.waived(file, line, PURITY):
+            return
+        # Key on category, not description: a `MutexLock l(mu)` is both a
+        # lock-typed declaration and a constructor call on the same line —
+        # one violation, not two.
+        key = (entry.usr, file, line, category)
+        if key in seen_sites:
+            return
+        seen_sites.add(key)
+        findings.append(Finding(
+            file, line, PURITY,
+            f"{category} reachable from hot-path kernel "
+            f"{entry.qualified}(): {desc}",
+            chain=chain))
+
+    for entry in entries:
+        visit(entry, entry, (entry.qualified,), set())
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# memory-order
+# ---------------------------------------------------------------------------
+
+MEMORY_ORDER = "memory-order"
+
+_ORDER_TOKEN_RE = re.compile(r"\bmemory_order_(\w+)\b")
+_ATOMIC_SNAPSHOT_RE = re.compile(r"atomic<.*shared_ptr<")
+
+
+def _walk_calls(cindex, node, fn):
+    K = cindex.CursorKind
+    if node.kind == K.CALL_EXPR:
+        fn(node)
+    for child in node.get_children():
+        _walk_calls(cindex, child, fn)
+
+
+def check_memory_order(cindex, tu, waivers: WaiverIndex,
+                       root: str) -> List[Finding]:
+    """load() must say acquire, store() must say release, on every
+    atomic<shared_ptr<...>> (the snapshot-publication pattern). A missing
+    order argument defaults to seq_cst — stronger than needed and silently
+    slower; relaxed breaks publication; seq_cst hides the intent."""
+    findings: List[Finding] = []
+    root_norm = root.replace("\\", "/").rstrip("/") + "/"
+
+    def on_call(node):
+        file = core.cursor_file(node)
+        if not file.startswith(root_norm):
+            return
+        name, base_type = core._member_call_parts(cindex, node)
+        if name not in ("load", "store"):
+            return
+        if not _ATOMIC_SNAPSHOT_RE.search(base_type or ""):
+            return
+        line = node.location.line
+        if waivers.waived(file, line, MEMORY_ORDER):
+            return
+        orders = _ORDER_TOKEN_RE.findall(" ".join(core.call_tokens(node)))
+        want = "acquire" if name == "load" else "release"
+        if not orders:
+            findings.append(Finding(
+                file, line, MEMORY_ORDER,
+                f"{name}() on {base_type} has no explicit memory order "
+                f"(defaults to seq_cst); snapshot pointers use "
+                f"memory_order_{want}"))
+        elif orders != [want]:
+            findings.append(Finding(
+                file, line, MEMORY_ORDER,
+                f"{name}() on {base_type} uses memory_order_{orders[0]}; "
+                f"snapshot publication requires memory_order_{want}"))
+
+    _walk_calls(cindex, tu.cursor, on_call)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# discarded-status
+# ---------------------------------------------------------------------------
+
+DISCARDED_STATUS = "discarded-status"
+
+_STATUS_TYPE_RE = re.compile(r"(?:^|::)(?:Status|Result<)")
+
+
+def check_discarded_status(cindex, tu, waivers: WaiverIndex,
+                           root: str) -> List[Finding]:
+    """(void)expr / static_cast<void>(expr) where expr is a Status or
+    Result silences the [[nodiscard]] contract; the regex linter catches
+    textual `(void)` but not casts laundered through typedefs or
+    functional notation."""
+    K = cindex.CursorKind
+    TK = cindex.TypeKind
+    cast_kinds = {K.CSTYLE_CAST_EXPR, K.CXX_STATIC_CAST_EXPR,
+                  K.CXX_FUNCTIONAL_CAST_EXPR}
+    findings: List[Finding] = []
+    root_norm = root.replace("\\", "/").rstrip("/") + "/"
+
+    def visit(node):
+        if node.kind in cast_kinds and node.type.kind == TK.VOID:
+            file = core.cursor_file(node)
+            if file.startswith(root_norm):
+                children = list(node.get_children())
+                if children:
+                    sub = children[-1].type.get_canonical().spelling
+                    if _STATUS_TYPE_RE.search(sub):
+                        line = node.location.line
+                        if not waivers.waived(file, line, DISCARDED_STATUS):
+                            findings.append(Finding(
+                                file, line, DISCARDED_STATUS,
+                                f"cast to void discards a value of type "
+                                f"{sub}; handle the status or CHECK it"))
+        for child in node.get_children():
+            visit(child)
+
+    visit(tu.cursor)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# lock-across-wait
+# ---------------------------------------------------------------------------
+
+LOCK_ACROSS_WAIT = "lock-across-wait"
+
+_WAIT_NAMES = frozenset({"wait", "wait_for", "wait_until", "Wait", "WaitFor"})
+_CV_TYPE_RE = re.compile(r"condition_variable|\bCondVar\b")
+_POOL_FILE_RE = re.compile(r"(?:^|/)thread_pool\.(?:cc|h)$")
+_RAII_LOCK_RE = re.compile(
+    r"(?:std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bMutexLock\b)")
+
+
+def check_lock_across_wait(cindex, tu, waivers: WaiverIndex,
+                           root: str) -> List[Finding]:
+    """Two rules at every condition-variable wait call:
+
+    1. At most one RAII lock may be live in the enclosing scopes — waiting
+       with a second mutex held blocks every user of that mutex for the
+       whole wait (and is one lock-ordering inversion away from deadlock).
+    2. The predicate-lambda overload (wait(lock, [..]{...})) is reserved
+       for the ThreadPool implementation; everywhere else the contract is
+       the explicit while-loop under the annotated Mutex, which the clang
+       thread-safety analysis can actually see through.
+    """
+    K = cindex.CursorKind
+    findings: List[Finding] = []
+    root_norm = root.replace("\\", "/").rstrip("/") + "/"
+
+    def scan(node, live_locks: List[Tuple[str, int]]):
+        for child in node.get_children():
+            kind = child.kind
+            if kind == K.VAR_DECL:
+                try:
+                    type_spelling = child.type.spelling
+                except Exception:
+                    type_spelling = ""
+                if _RAII_LOCK_RE.search(type_spelling):
+                    live_locks.append((type_spelling, child.location.line))
+            elif kind == K.CALL_EXPR:
+                name, base_type = core._member_call_parts(cindex, child)
+                if name in _WAIT_NAMES and _CV_TYPE_RE.search(
+                        base_type or ""):
+                    file = core.cursor_file(child)
+                    line = child.location.line
+                    in_scope = (file.startswith(root_norm)
+                                and not _POOL_FILE_RE.search(file)
+                                and not waivers.waived(
+                                    file, line, LOCK_ACROSS_WAIT))
+                    if in_scope and len(live_locks) >= 2:
+                        held = ", ".join(
+                            f"{t} (line {ln})" for t, ln in live_locks)
+                        findings.append(Finding(
+                            file, line, LOCK_ACROSS_WAIT,
+                            f"{name}() with {len(live_locks)} locks held "
+                            f"[{held}]; release the outer lock before "
+                            f"waiting"))
+                    try:
+                        num_args = len(list(child.get_arguments()))
+                    except Exception:
+                        num_args = 0
+                    predicate_arity = 2 if name in ("wait", "Wait") else 3
+                    if in_scope and num_args >= predicate_arity:
+                        findings.append(Finding(
+                            file, line, LOCK_ACROSS_WAIT,
+                            f"predicate-lambda {name}() overload outside "
+                            f"the ThreadPool idiom; write the explicit "
+                            f"while-loop so -Wthread-safety can check the "
+                            f"predicate's guarded reads"))
+            if kind == K.COMPOUND_STMT:
+                scan(child, list(live_locks))
+            else:
+                scan(child, live_locks)
+
+    scan(tu.cursor, [])
+    return findings

@@ -1,0 +1,361 @@
+"""libclang infrastructure: discovery, parsing, call graph, waivers.
+
+The analyzer is correctness tooling, not a build dependency: when the clang
+python bindings or libclang itself are missing, load_cindex() returns None
+and every entry point reports SKIPPED instead of failing. All consumers must
+go through load_cindex() so the probe (and its library-path fallback) runs
+exactly once.
+"""
+
+from __future__ import annotations
+
+import ctypes.util
+import json
+import os
+import re
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Exit code ctest interprets as SKIP (SKIP_RETURN_CODE in tests/CMakeLists).
+SKIP_EXIT = 77
+
+#: Same waiver syntax as tools/lint_invariants.py: a finding whose source
+#: line carries `lint:allow(<check>)` is suppressed.
+WAIVER_RE = re.compile(r"lint:allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+#: The hot-path files whose functions are purity entry points (mirrors
+#: HOT_PATH_FILE_RE in tools/lint_invariants.py).
+HOT_PATH_FILE_RE = re.compile(
+    r"(?:^|/)src/(?:simd/[^/]+\.(?:cc|cpp|h|hpp)"
+    r"|core/phases/(?:phase_kernels|insert_kernels)\.(?:cc|cpp|h|hpp))$")
+
+_CINDEX = None
+_PROBED = False
+
+
+def load_cindex():
+    """Returns the clang.cindex module with a working libclang, or None."""
+    global _CINDEX, _PROBED
+    if _PROBED:
+        return _CINDEX
+    _PROBED = True
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    override = os.environ.get("CLANG_LIBRARY_FILE")
+    if override:
+        cindex.Config.set_library_file(override)
+    else:
+        # The bindings default to plain `libclang.so`, which most distros
+        # only ship in versioned form; probe the sonames before first use
+        # (Config must not be touched after Index.create()).
+        found = None
+        for name in ("clang", "clang-20", "clang-19", "clang-18", "clang-17",
+                     "clang-16", "clang-15", "clang-14"):
+            found = ctypes.util.find_library(name)
+            if found:
+                break
+        if found:
+            cindex.Config.set_library_file(found)
+    try:
+        cindex.Index.create()
+    except Exception:  # LibclangError, OSError: no usable library
+        return None
+    _CINDEX = cindex
+    return _CINDEX
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: `file:line: [check] message`."""
+    file: str
+    line: int
+    check: str
+    message: str
+    chain: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        s = f"{self.file}:{self.line}: [{self.check}] {self.message}"
+        if self.chain:
+            s += f" (via {' -> '.join(self.chain)})"
+        return s
+
+
+class WaiverIndex:
+    """Lazy per-file cache of lint:allow() waiver lines."""
+
+    def __init__(self) -> None:
+        self._by_file: Dict[str, Dict[int, List[str]]] = {}
+
+    def _load(self, path: str) -> Dict[int, List[str]]:
+        cached = self._by_file.get(path)
+        if cached is not None:
+            return cached
+        waivers: Dict[int, List[str]] = {}
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                for i, line in enumerate(f, 1):
+                    m = WAIVER_RE.search(line)
+                    if m:
+                        waivers[i] = [r.strip() for r in m.group(1).split(",")]
+        except OSError:
+            pass
+        self._by_file[path] = waivers
+        return waivers
+
+    def waived(self, path: str, line: int, check: str) -> bool:
+        return check in self._load(path).get(line, [])
+
+
+# ---------------------------------------------------------------------------
+# compile_commands.json
+# ---------------------------------------------------------------------------
+
+#: Flags meaningful to a libclang parse. Everything else (codegen, warning
+#: config, -o/-c bookkeeping) is dropped — gcc-only flags would otherwise
+#: error the parse.
+_KEEP_WITH_VALUE = ("-I", "-D", "-U", "-isystem", "-iquote", "-include")
+_KEEP_PREFIX = ("-std=", "-I", "-D", "-U", "-isystem", "-iquote", "-m")
+
+
+def _sanitize_args(arguments: List[str]) -> List[str]:
+    out: List[str] = []
+    skip_next = False
+    for arg in arguments[1:]:  # [0] is the compiler
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-o", "-c"):
+            skip_next = arg == "-o"
+            continue
+        if arg in _KEEP_WITH_VALUE:
+            out.append(arg)
+            skip_next = False
+            continue
+        if arg.startswith(_KEEP_PREFIX):
+            out.append(arg)
+    return out
+
+
+def load_compdb(build_dir: str,
+                source_re: Optional[re.Pattern] = None
+                ) -> List[Tuple[str, List[str]]]:
+    """(source_path, clang_args) for every compile_commands.json entry whose
+    source matches `source_re` (default: everything under .../src/)."""
+    path = os.path.join(build_dir, "compile_commands.json")
+    with open(path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    out = []
+    for entry in entries:
+        src = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"]))
+        rel = src.replace(os.sep, "/")
+        if source_re is not None:
+            if not source_re.search(rel):
+                continue
+        elif "/src/" not in rel:
+            continue
+        if "arguments" in entry:
+            args = list(entry["arguments"])
+        else:
+            args = shlex.split(entry["command"])
+        out.append((src, _sanitize_args(args)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parsing and the call graph
+# ---------------------------------------------------------------------------
+
+def parse_tu(cindex, path: str, args: List[str]):
+    """Parses one TU; returns the TranslationUnit (never raises on
+    diagnostics — the real compiler owns error reporting)."""
+    index = cindex.Index.create()
+    return index.parse(path, args=args)
+
+
+def qualified_name(cursor) -> str:
+    parts: List[str] = []
+    c = cursor
+    while c is not None and c.kind is not None:
+        try:
+            from clang.cindex import CursorKind
+            if c.kind == CursorKind.TRANSLATION_UNIT:
+                break
+        except Exception:
+            break
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def cursor_file(cursor) -> str:
+    loc = cursor.location
+    if loc is None or loc.file is None:
+        return ""
+    return os.path.normpath(loc.file.name).replace(os.sep, "/")
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+    line: int
+    file: str
+    name: str            # member or function spelling, e.g. "push_back"
+    qualified: str       # best-effort qualified name of the callee
+    usr: str             # callee USR ("" when unresolved)
+    base_type: str       # canonical type of `x` in x.f(...); "" otherwise
+    num_args: int
+
+
+@dataclass
+class Op:
+    """A non-call operation the checks care about (new/delete/lock decls)."""
+    line: int
+    file: str
+    kind: str            # "new" | "delete" | "lock-decl"
+    detail: str
+
+
+@dataclass
+class FunctionInfo:
+    usr: str
+    name: str
+    qualified: str
+    file: str
+    line: int
+    calls: List[CallSite] = field(default_factory=list)
+    ops: List[Op] = field(default_factory=list)
+
+
+_FUNCTION_KINDS = None
+_LOCK_TYPE_RE = re.compile(
+    r"(?:std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bdbscout::MutexLock\b|\bMutexLock\b)")
+
+
+def _function_kinds(cindex):
+    global _FUNCTION_KINDS
+    if _FUNCTION_KINDS is None:
+        K = cindex.CursorKind
+        _FUNCTION_KINDS = {
+            K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR,
+            K.FUNCTION_TEMPLATE, K.CONVERSION_FUNCTION,
+        }
+    return _FUNCTION_KINDS
+
+
+def _member_call_parts(cindex, node) -> Tuple[str, str]:
+    """(member_name, canonical_base_type) for x.f(...) calls; ("", "")
+    when the callee is not a member access (or cannot be resolved)."""
+    K = cindex.CursorKind
+    children = list(node.get_children())
+    if not children:
+        return "", ""
+    callee = children[0]
+    # Unwrap implicit casts around the member reference.
+    while callee.kind == K.UNEXPOSED_EXPR:
+        inner = list(callee.get_children())
+        if not inner:
+            break
+        callee = inner[0]
+    if callee.kind != K.MEMBER_REF_EXPR:
+        return "", ""
+    base_children = list(callee.get_children())
+    base_type = ""
+    if base_children:
+        try:
+            base_type = base_children[0].type.get_canonical().spelling
+        except Exception:
+            base_type = ""
+    return callee.spelling or "", base_type
+
+
+def collect_functions(cindex, tu, root: str) -> Dict[str, FunctionInfo]:
+    """All function definitions located under `root`, with their call sites
+    and interesting ops. Lambdas and local classes fold into the enclosing
+    function (which is what transitive purity wants: the kernel owns what
+    its lambdas do)."""
+    K = cindex.CursorKind
+    root_norm = os.path.normpath(root).replace(os.sep, "/") + "/"
+    functions: Dict[str, FunctionInfo] = {}
+
+    def in_root(path: str) -> bool:
+        return path.startswith(root_norm)
+
+    def record_body(node, info: FunctionInfo) -> None:
+        for child in node.get_children():
+            kind = child.kind
+            file = cursor_file(child)
+            line = child.location.line if child.location else 0
+            if kind == K.CALL_EXPR:
+                ref = child.referenced
+                name, base_type = _member_call_parts(cindex, child)
+                try:
+                    num_args = len(list(child.get_arguments()))
+                except Exception:
+                    num_args = 0
+                site = CallSite(
+                    line=line, file=file,
+                    name=name or (ref.spelling if ref is not None else
+                                  child.spelling) or "",
+                    qualified=qualified_name(ref) if ref is not None else "",
+                    usr=(ref.get_usr() or "") if ref is not None else "",
+                    base_type=base_type, num_args=num_args)
+                info.calls.append(site)
+            elif kind == K.CXX_NEW_EXPR:
+                info.ops.append(Op(line, file, "new", "operator new"))
+            elif kind == K.CXX_DELETE_EXPR:
+                info.ops.append(Op(line, file, "delete", "operator delete"))
+            elif kind == K.VAR_DECL:
+                try:
+                    type_spelling = child.type.spelling
+                except Exception:
+                    type_spelling = ""
+                if _LOCK_TYPE_RE.search(type_spelling):
+                    info.ops.append(
+                        Op(line, file, "lock-decl", type_spelling))
+            record_body(child, info)
+
+    def visit(node) -> None:
+        kind = node.kind
+        if kind in _function_kinds(cindex) and node.is_definition():
+            file = cursor_file(node)
+            if in_root(file):
+                usr = node.get_usr() or f"{file}:{node.location.line}"
+                if usr not in functions:
+                    info = FunctionInfo(
+                        usr=usr, name=node.spelling or "",
+                        qualified=qualified_name(node), file=file,
+                        line=node.location.line)
+                    functions[usr] = info
+                    record_body(node, info)
+            return  # bodies handled above; no nested free functions in C++
+        for child in node.get_children():
+            visit(child)
+
+    visit(tu.cursor)
+    return functions
+
+
+def build_graph(cindex, sources: Iterable[Tuple[str, List[str]]],
+                root: str) -> Dict[str, FunctionInfo]:
+    """Merged function map over many TUs (first definition wins, which is
+    fine: ODR makes duplicates identical for our purposes)."""
+    graph: Dict[str, FunctionInfo] = {}
+    for path, args in sources:
+        tu = parse_tu(cindex, path, args)
+        for usr, info in collect_functions(cindex, tu, root).items():
+            graph.setdefault(usr, info)
+    return graph
+
+
+def call_tokens(node) -> List[str]:
+    """Token spellings of a cursor's extent (memory-order inspection)."""
+    try:
+        return [t.spelling for t in node.get_tokens()]
+    except Exception:
+        return []

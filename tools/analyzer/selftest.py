@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Self-test for the AST analyzer: runs every check against the seeded
+fixtures under tests/tooling/ and asserts exact diagnostic counts.
+
+Exit codes:
+  0  all checks produced exactly the expected findings
+  1  a count or location mismatch (details on stdout)
+  77 libclang python bindings unavailable (SKIPPED; matches ctest
+     SKIP_RETURN_CODE)
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from analyzer import checks, core  # noqa: E402
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FIXTURE_DIR = os.path.join(REPO_ROOT, "tests", "tooling")
+
+# The purity fixture pretends fixture_purity_bad.cc / fixture_purity_good.cc
+# are hot-path kernel files; the support TU is deliberately not hot, so its
+# violations only surface through the call graph.
+FIXTURE_HOT_RE = re.compile(r"fixture_purity_(?:bad|good)\.cc$")
+
+PARSE_ARGS = ["-std=c++17"]
+
+
+def fixture(name):
+    return os.path.join(FIXTURE_DIR, name)
+
+
+def parse(cindex, name):
+    path = fixture(name)
+    tu = core.parse_tu(cindex, path, PARSE_ARGS)
+    errors = [d for d in tu.diagnostics if d.severity >= 3]
+    if errors:
+        raise RuntimeError("fixture %s failed to parse: %s" %
+                           (name, "; ".join(str(d) for d in errors)))
+    return tu
+
+
+def run_purity(cindex, waivers, names):
+    graph = {}
+    for name in names:
+        tu = parse(cindex, name)
+        for usr, info in core.collect_functions(
+                cindex, tu, FIXTURE_DIR).items():
+            graph.setdefault(usr, info)
+    return checks.check_purity(graph, waivers, hot_file_re=FIXTURE_HOT_RE)
+
+
+def expect(failures, label, findings, want_lines):
+    """Assert findings hit exactly the expected (file, line) pairs."""
+    got = sorted((os.path.basename(f.file), f.line) for f in findings)
+    want = sorted(want_lines)
+    if got != want:
+        failures.append("%s: expected findings at %s, got %s" %
+                        (label, want, got))
+        for f in findings:
+            print("  %s" % f)
+
+
+def main():
+    cindex = core.load_cindex()
+    if cindex is None:
+        print("analyzer selftest: SKIPPED (no usable libclang python "
+              "bindings; install python3-clang + libclang, or set "
+              "CLANG_LIBRARY_FILE)")
+        return core.SKIP_EXIT
+
+    waivers = core.WaiverIndex()
+    failures = []
+
+    # --- hot-path-purity -------------------------------------------------
+    bad = run_purity(cindex, waivers,
+                     ["fixture_purity_bad.cc", "fixture_purity_support.cc"])
+    expect(failures, "purity/bad", bad, [
+        ("fixture_purity_bad.cc", 28),      # push_back allocation
+        ("fixture_purity_support.cc", 34),  # transitive lock in HelperLocks
+        ("fixture_purity_bad.cc", 37),      # EmitLog logging
+        ("fixture_purity_bad.cc", 41),      # operator new
+    ])
+    good = run_purity(cindex, waivers,
+                      ["fixture_purity_good.cc", "fixture_purity_support.cc"])
+    expect(failures, "purity/good", good, [])
+
+    # --- memory-order ----------------------------------------------------
+    tu = parse(cindex, "fixture_memorder_bad.cc")
+    bad = checks.check_memory_order(cindex, tu, waivers, FIXTURE_DIR)
+    expect(failures, "memory-order/bad", bad, [
+        ("fixture_memorder_bad.cc", 34),  # relaxed load
+        ("fixture_memorder_bad.cc", 38),  # order-less store (seq_cst)
+        ("fixture_memorder_bad.cc", 42),  # explicit seq_cst store
+    ])
+    tu = parse(cindex, "fixture_memorder_good.cc")
+    good = checks.check_memory_order(cindex, tu, waivers, FIXTURE_DIR)
+    expect(failures, "memory-order/good", good, [])
+
+    # --- discarded-status ------------------------------------------------
+    tu = parse(cindex, "fixture_status_bad.cc")
+    bad = checks.check_discarded_status(cindex, tu, waivers, FIXTURE_DIR)
+    expect(failures, "discarded-status/bad", bad, [
+        ("fixture_status_bad.cc", 22),  # (void)Status
+        ("fixture_status_bad.cc", 23),  # static_cast<void>(Status)
+        ("fixture_status_bad.cc", 24),  # (void)Result<int>
+    ])
+    tu = parse(cindex, "fixture_status_good.cc")
+    good = checks.check_discarded_status(cindex, tu, waivers, FIXTURE_DIR)
+    expect(failures, "discarded-status/good", good, [])
+
+    # --- lock-across-wait ------------------------------------------------
+    tu = parse(cindex, "fixture_wait_bad.cc")
+    bad = checks.check_lock_across_wait(cindex, tu, waivers, FIXTURE_DIR)
+    expect(failures, "lock-across-wait/bad", bad, [
+        ("fixture_wait_bad.cc", 31),  # two locks live across the wait
+        ("fixture_wait_bad.cc", 36),  # predicate-lambda overload
+    ])
+    tu = parse(cindex, "fixture_wait_good.cc")
+    good = checks.check_lock_across_wait(cindex, tu, waivers, FIXTURE_DIR)
+    expect(failures, "lock-across-wait/good", good, [])
+
+    if failures:
+        for line in failures:
+            print("FAIL %s" % line)
+        print("analyzer selftest: %d mismatch(es)" % len(failures))
+        return 1
+    print("analyzer selftest: OK "
+          "(purity, memory-order, discarded-status, lock-across-wait)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,12 @@
 #                   service/stress test subset (`ctest -L`) (build-tsan/)
 #   4. clang-tidy   tools/run_clang_tidy.sh over src/       (needs build/)
 #   5. lint         tools/lint_invariants.py (+ self-test)
-#   6. bench-gate   tools/bench_gate.sh: fresh bench_service/bench_kernels
+#   6. analyzer     tools/analyzer/: libclang AST checks (purity,
+#                   memory-order, discarded-status, lock-across-wait)
+#                   plus the fixture self-test            (needs build/)
+#   7. thread-safety  clang -Wthread-safety -Werror build of the
+#                   annotated targets                     (build-tsa/)
+#   8. bench-gate   tools/bench_gate.sh: fresh bench_service/bench_kernels
 #                   runs vs the checked-in BENCH_*.json, fail on >10%
 #                   regression. Run on an idle machine.
 #
@@ -25,7 +30,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 TSAN_LABELS='^(common|core|dataflow|service|stress)$'
 
-ALL_STAGES=(tier1 asan-ubsan tsan clang-tidy lint bench-gate)
+ALL_STAGES=(tier1 asan-ubsan tsan clang-tidy lint analyzer thread-safety bench-gate)
 if [ $# -gt 0 ]; then
   STAGES=("$@")
 else
@@ -99,6 +104,35 @@ stage_lint() {
   python3 tools/lint_invariants.py --root .
 }
 
+stage_analyzer() {
+  # Fixture self-test first (exit 77 = SKIP: no libclang bindings), then
+  # the real tree. analyze.py prints its own SKIPPED line with exit 0.
+  python3 tools/analyzer/selftest.py
+  local rc=$?
+  if [ $rc -eq 77 ]; then
+    return 0  # the SKIPPED line is already in the log
+  elif [ $rc -ne 0 ]; then
+    return $rc
+  fi
+  if [ ! -f build/compile_commands.json ]; then
+    cmake -B build -S . || return $?
+  fi
+  python3 tools/analyzer/analyze.py --build-dir build --root .
+}
+
+stage_thread_safety() {
+  # Clang-only: the thread-safety annotations in src/common/thread_annotations.h
+  # compile to nothing under gcc, so this stage needs a real clang.
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "thread-safety: SKIPPED (clang++ not found)"
+    return 0
+  fi
+  CC=clang CXX=clang++ cmake -B build-tsa -S . -DDBSCOUT_THREAD_SAFETY=ON &&
+  cmake --build build-tsa -j "$JOBS" --target \
+    dbscout_common dbscout_grid dbscout_core dbscout_dataflow \
+    dbscout_obs dbscout_service
+}
+
 stage_bench_gate() {
   # Needs the tier1 build tree (configures one if missing).
   tools/bench_gate.sh build
@@ -106,7 +140,7 @@ stage_bench_gate() {
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    tier1|asan-ubsan|tsan|clang-tidy|lint|bench-gate) run_stage "$s" ;;
+    tier1|asan-ubsan|tsan|clang-tidy|lint|analyzer|thread-safety|bench-gate) run_stage "$s" ;;
     *)
       echo "check.sh: unknown stage '$s' (known: ${ALL_STAGES[*]})" >&2
       exit 2
@@ -115,12 +149,12 @@ for s in "${STAGES[@]}"; do
 done
 
 echo
-echo "┌──────────────┬────────┬─────────┐"
-printf "│ %-12s │ %-6s │ %7s │\n" "stage" "result" "seconds"
-echo "├──────────────┼────────┼─────────┤"
+echo "┌───────────────┬────────┬─────────┐"
+printf "│ %-13s │ %-6s │ %7s │\n" "stage" "result" "seconds"
+echo "├───────────────┼────────┼─────────┤"
 for i in "${!NAMES[@]}"; do
-  printf "│ %-12s │ %-6s │ %7s │\n" "${NAMES[$i]}" "${RESULTS[$i]}" "${TIMES[$i]}"
+  printf "│ %-13s │ %-6s │ %7s │\n" "${NAMES[$i]}" "${RESULTS[$i]}" "${TIMES[$i]}"
 done
-echo "└──────────────┴────────┴─────────┘"
+echo "└───────────────┴────────┴─────────┘"
 
 exit $FAILED

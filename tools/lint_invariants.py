@@ -431,6 +431,7 @@ HOT_PATH_MUTEX_RE = re.compile(
     r"(std::(?:recursive_|shared_|timed_)*mutex\b"
     r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
     r"|\.\s*(?:try_)?lock(?:_shared)?\s*\("
+    r"|\b(?:dbscout::)?(?:Mutex|MutexLock|CondVar)\b"
     r"|\bpthread_mutex_\w+)")
 
 
@@ -483,7 +484,11 @@ def load_tree(root: str) -> List[Tuple[str, List[str]]]:
     return files
 
 
-def lint_files(files: List[Tuple[str, List[str]]]) -> List[Finding]:
+def lint_files(files: List[Tuple[str, List[str]]],
+               regex_purity: bool = True) -> List[Finding]:
+    """Runs every textual rule. When `regex_purity` is False the caller is
+    delegating hot-path-purity to the AST analyzer (tools/analyzer/), which
+    sees through transitive calls the line regexes cannot."""
     check_discarded = make_check_discarded_status(files)
     findings: List[Finding] = []
     for path, lines in files:
@@ -495,9 +500,44 @@ def lint_files(files: List[Tuple[str, List[str]]]) -> List[Finding]:
         findings.extend(check_raw_thread(path, lines))
         findings.extend(check_raw_rng(path, lines))
         findings.extend(check_phase_logic_locality(path, lines))
-        findings.extend(check_hot_path_purity(path, lines))
+        if regex_purity:
+            findings.extend(check_hot_path_purity(path, lines))
         findings.extend(check_discarded(path, lines))
     return findings
+
+
+def ast_purity_findings(root: str, build_dir: str):
+    """hot-path-purity via the libclang analyzer; None when unavailable
+    (no bindings, no libclang, or no compile_commands.json) so the caller
+    can fall back to the regex rule."""
+    tools_dir = os.path.dirname(os.path.abspath(__file__))
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    try:
+        from analyzer import checks as ast_checks
+        from analyzer import core as ast_core
+    except ImportError:
+        return None
+    if ast_core.load_cindex() is None:
+        return None
+    compdb = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(compdb):
+        return None
+    cindex = ast_core.load_cindex()
+    src_root = os.path.normpath(os.path.abspath(os.path.join(root, "src")))
+    sources = ast_core.load_compdb(build_dir)
+    if not sources:
+        return None
+    graph = ast_core.build_graph(cindex, sources, src_root)
+    raw = ast_checks.check_purity(graph, ast_core.WaiverIndex())
+    root_prefix = os.path.normpath(os.path.abspath(root)) + os.sep
+    out: List[Finding] = []
+    for f in sorted(set(raw), key=lambda f: (f.file, f.line, f.message)):
+        path = f.file
+        if path.startswith(root_prefix):
+            path = path[len(root_prefix):]
+        out.append(Finding(path, f.line, "hot-path-purity", f.message))
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -650,6 +690,12 @@ def self_test() -> int:
     expect("hot-path-purity",
            list(check_hot_path_purity("src/obs/metrics.cc", out_of_scope)),
            0, "obs-exempt")
+    wrappers = lines("MutexLock lock(mu_);\n"
+                     "dbscout::CondVar cv;\n"
+                     "Mutex merge_mu;\n")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/simd/distance_kernel.cc",
+                                      wrappers)), 3, "dbscout-wrappers")
 
     # discarded-status
     header = ("src/api.h", lines("Status Frobnicate(int x);\n"
@@ -698,6 +744,16 @@ def main(argv: List[str]) -> int:
                         help="repo root to lint (default: cwd)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the rule self-test instead of linting")
+    parser.add_argument("--purity", choices=("auto", "regex", "ast"),
+                        default="auto",
+                        help="hot-path-purity backend: 'ast' delegates to "
+                             "tools/analyzer (transitive, needs libclang + "
+                             "compile_commands.json), 'regex' keeps the "
+                             "textual rule, 'auto' (default) prefers ast "
+                             "and falls back to regex")
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree with compile_commands.json for "
+                             "--purity=ast/auto (default: build)")
     args = parser.parse_args(argv)
 
     if args.self_test:
@@ -708,8 +764,20 @@ def main(argv: List[str]) -> int:
               "(wrong --root?)", file=sys.stderr)
         return 2
 
+    purity_findings = None
+    if args.purity in ("auto", "ast"):
+        purity_findings = ast_purity_findings(args.root, args.build_dir)
+        if purity_findings is None and args.purity == "ast":
+            print("lint_invariants: --purity=ast but the analyzer is "
+                  "unavailable (need python clang bindings, libclang, and "
+                  f"{args.build_dir}/compile_commands.json)",
+                  file=sys.stderr)
+            return 2
+
     files = load_tree(args.root)
-    findings = lint_files(files)
+    findings = lint_files(files, regex_purity=purity_findings is None)
+    if purity_findings is not None:
+        findings.extend(purity_findings)
     for finding in findings:
         print(finding)
     if findings:
