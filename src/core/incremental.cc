@@ -170,7 +170,7 @@ IncrementalDetector::IncrementalDetector(size_t dims, const Params& params,
       kernels_(phases::BindKernels(dims)),
       side_(params.eps / std::sqrt(static_cast<double>(dims))),
       eps2_(params.eps * params.eps),
-      block_width_(grid::SlabHalo(dims)),
+      block_width_(grid::HaloSlabs(dims)),
       points_(dims) {}
 
 grid::CellCoord IncrementalDetector::CoordOf(

@@ -118,7 +118,7 @@ Result<ExternalDetection> DetectExternal(const std::string& binary_path,
                            grid::GetNeighborStencil(std::max<size_t>(d, 1)));
   const double side = params.eps / std::sqrt(static_cast<double>(d));
   const int64_t radius = grid::SlabReach(d);
-  const int64_t halo = grid::SlabHalo(d);
+  const int64_t halo = grid::HaloSlabs(d);
   const uint32_t min_pts = static_cast<uint32_t>(params.min_pts);
 
   ExternalDetection out;

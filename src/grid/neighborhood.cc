@@ -5,13 +5,10 @@
 
 #include "common/str_util.h"
 #include "common/thread_annotations.h"
+#include "grid/regions.h"
 
 namespace dbscout::grid {
 namespace {
-
-int64_t CeilSqrt(size_t d) {
-  return static_cast<int64_t>(std::ceil(std::sqrt(static_cast<double>(d))));
-}
 
 /// Recursively enumerates offsets dimension by dimension, pruning once the
 /// accumulated gap already reaches d. `gap` carries sum max(0,|j_i|-1)^2 for
@@ -61,7 +58,8 @@ Result<const NeighborStencil*> GetNeighborStencil(size_t dims) {
     stencil->dims = dims;
     CellOffset current{};
     uint64_t count = 0;
-    Enumerate(dims, 0, CeilSqrt(dims), 0, &current, &stencil->offsets, &count);
+    Enumerate(dims, 0, SlabReach(dims), 0, &current, &stencil->offsets,
+              &count);
     slot = std::move(stencil);
   }
   return slot.get();
@@ -70,12 +68,12 @@ Result<const NeighborStencil*> GetNeighborStencil(size_t dims) {
 Result<uint64_t> CountNeighborOffsets(size_t dims) {
   DBSCOUT_RETURN_IF_ERROR(ValidateDims(dims));
   uint64_t count = 0;
-  Enumerate(dims, 0, CeilSqrt(dims), 0, nullptr, nullptr, &count);
+  Enumerate(dims, 0, SlabReach(dims), 0, nullptr, nullptr, &count);
   return count;
 }
 
 uint64_t NeighborUpperBound(size_t dims) {
-  const uint64_t base = static_cast<uint64_t>(2 * CeilSqrt(dims) + 1);
+  const uint64_t base = static_cast<uint64_t>(2 * SlabReach(dims) + 1);
   uint64_t result = 1;
   for (size_t i = 0; i < dims; ++i) {
     result *= base;

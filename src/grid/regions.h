@@ -29,11 +29,14 @@ inline int64_t SlabReach(size_t dims) {
   return static_cast<int64_t>(std::ceil(std::sqrt(static_cast<double>(dims))));
 }
 
-/// Slabs of context a stripe needs on each side so that every point whose
-/// label depends on the stripe's owned cells — including second-order
-/// effects (a core decision in the first halo ring) — is present locally:
-/// two stencil reaches.
-inline int64_t SlabHalo(size_t dims) { return 2 * SlabReach(dims); }
+/// Slabs of context a partition needs on each side so that every point
+/// whose label depends on the partition's owned cells — including
+/// second-order effects (a core decision in the first halo ring) — is
+/// present locally: two stencil reaches. This is THE halo width of the
+/// codebase; the external engine's spill ghost zones, the incremental
+/// engine's slab-block width, and the service's detector-shard replicas
+/// all use it.
+inline int64_t HaloSlabs(size_t dims) { return 2 * SlabReach(dims); }
 
 /// Greedy stripe planning over an ordered dim-0 slab histogram: accumulate
 /// consecutive slabs until adding the next would exceed `target` points,
@@ -56,7 +59,7 @@ inline int64_t SlabBlock(int64_t slab, int64_t width) {
   return (slab % width != 0 && (slab < 0) != (width < 0)) ? q - 1 : q;
 }
 
-/// Wave color for a slab block. With block width >= SlabHalo(d), a task
+/// Wave color for a slab block. With block width >= HaloSlabs(d), a task
 /// processing points homed in block b writes state only in blocks
 /// [b-1, b+1] (insert scans reach SlabReach slabs; promotion rescues reach
 /// another SlabReach), so two tasks conflict only when their blocks are

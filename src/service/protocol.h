@@ -62,6 +62,20 @@ struct StatsRow {
   friend bool operator==(const StatsRow&, const StatsRow&) = default;
 };
 
+/// One per-shard row in a STATS response: how the collection's points
+/// are spread over its detector shards. `points` counts what the shard
+/// holds (owned points plus ghost replicas); `epoch` is the shard-local
+/// insertion count; `queue_depth` is the shard apply loop's live depth.
+struct ShardStatsRow {
+  uint64_t shard = 0;
+  uint64_t points = 0;
+  uint64_t epoch = 0;
+  uint64_t queue_depth = 0;
+
+  friend bool operator==(const ShardStatsRow&, const ShardStatsRow&) =
+      default;
+};
+
 /// QUERY result payload.
 struct QueryAnswer {
   core::PointKind kind = core::PointKind::kOutlier;
@@ -93,6 +107,11 @@ struct StatsAnswer {
   uint64_t queue_depth = 0;
   /// The collection's sliding-window TTL (0 = append-only).
   double ttl_seconds = 0.0;
+  /// Detector shards backing the collection (1 = unsharded layout).
+  uint64_t shards = 1;
+  /// One row per shard (present for single-shard collections too; clients
+  /// typically render them only when shards > 1).
+  std::vector<ShardStatsRow> shard_rows;
   std::vector<StatsRow> phases;
 };
 

@@ -160,10 +160,10 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
   auto it = collections_.find(name);
   if (it != collections_.end()) {
     Collection* collection = it->second.get();
-    if (dims != collection->detector.dims()) {
+    if (dims != collection->router.dims()) {
       return Status::InvalidArgument(
           StrFormat("collection '%s' has %zu dims, batch has %u",
-                    name.c_str(), collection->detector.dims(), dims));
+                    name.c_str(), collection->router.dims(), dims));
     }
     return collection;
   }
@@ -173,14 +173,15 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
                   options_.max_collections));
   }
   DBSCOUT_ASSIGN_OR_RETURN(
-      core::IncrementalDetector detector,
-      core::IncrementalDetector::Create(dims, options_.params));
-  auto collection = std::make_unique<Collection>(std::move(detector));
+      ShardRouter router,
+      ShardRouter::Create(name, dims, options_.params, options_.num_shards,
+                          registry_));
+  auto collection = std::make_unique<Collection>(std::move(router));
   // Publish the epoch-0 snapshot right away so reads on a collection whose
   // first batch is still queued get a well-defined (empty) answer. The
-  // apply loop cannot know this collection yet, so the writer-thread
-  // contract of SnapshotNow() holds trivially.
-  collection->snapshot.store(collection->detector.SnapshotNow(),
+  // apply loop cannot know this collection yet, so the coordinator-thread
+  // contract of PublishableSnapshot() holds trivially.
+  collection->snapshot.store(collection->router.PublishableSnapshot(),
                              std::memory_order_release);
   collection->ttl_seconds.store(options_.ttl_seconds,
                                 std::memory_order_relaxed);
@@ -271,7 +272,7 @@ Response DetectionService::DoQuery(const Request& request) {
         StrFormat("no collection '%s'", request.collection.c_str()));
     return response;
   }
-  const std::shared_ptr<const core::IncrementalSnapshot> snap =
+  const std::shared_ptr<const MergedSnapshot> snap =
       collection->snapshot.load(std::memory_order_acquire);
   WallTimer timer;
   uint64_t distance_comps = 0;
@@ -319,7 +320,7 @@ Response DetectionService::DoStats(const Request& request) {
         StrFormat("no collection '%s'", request.collection.c_str()));
     return response;
   }
-  const std::shared_ptr<const core::IncrementalSnapshot> snap =
+  const std::shared_ptr<const MergedSnapshot> snap =
       collection->snapshot.load(std::memory_order_acquire);
   StatsAnswer& stats = response.stats;
   stats.epoch = snap->epoch();
@@ -334,6 +335,13 @@ Response DetectionService::DoStats(const Request& request) {
       collection->window_begin.load(std::memory_order_relaxed);
   stats.queue_depth = collection->queue_depth.load(std::memory_order_relaxed);
   stats.ttl_seconds = collection->ttl_seconds.load(std::memory_order_relaxed);
+  stats.shards = snap->num_shards();
+  for (size_t s = 0; s < snap->num_shards(); ++s) {
+    const core::IncrementalSnapshot& shard = snap->shard_view(s);
+    stats.shard_rows.push_back(ShardStatsRow{
+        static_cast<uint64_t>(s), shard.live_points(), shard.epoch(),
+        collection->router.shard_queue_depth(s)});
+  }
   {
     MutexLock lock(collection->stats_mu);
     for (const core::PhaseStats& row : collection->recorder.phases()) {
@@ -358,7 +366,7 @@ Response DetectionService::DoSnapshot(const Request& request) {
         StrFormat("no collection '%s'", request.collection.c_str()));
     return response;
   }
-  const std::shared_ptr<const core::IncrementalSnapshot> snap =
+  const std::shared_ptr<const MergedSnapshot> snap =
       collection->snapshot.load(std::memory_order_acquire);
   response.snapshot.epoch = snap->epoch();
   response.snapshot.num_core = snap->num_core();
@@ -511,36 +519,26 @@ void DetectionService::ApplyLoop() {
   }
 }
 
-uint64_t DetectionService::ExpireAged(Collection* collection, double now,
-                                      double* seconds) {
+bool DetectionService::ComputeExpiry(Collection* collection, double now,
+                                     uint64_t* begin, uint64_t* end) {
+  *begin = *end = collection->window_begin.load(std::memory_order_relaxed);
   const double ttl = collection->ttl_seconds.load(std::memory_order_relaxed);
   if (ttl <= 0.0 || collection->stamps.empty()) {
-    return 0;
+    return false;
   }
-  WallTimer timer;
-  uint64_t removed = 0;
-  uint64_t begin = collection->window_begin.load(std::memory_order_relaxed);
   while (!collection->stamps.empty() &&
          now - collection->stamps.front().seconds >= ttl) {
-    const uint64_t end = collection->stamps.front().end_epoch;
-    for (uint64_t id = begin; id < end; ++id) {
-      const uint32_t id32 = static_cast<uint32_t>(id);
-      if (collection->detector.IsAlive(id32)) {
-        const Status status = collection->detector.Remove(id32);
-        if (!status.ok()) {
-          DBSCOUT_LOG(kWarning) << "window expiry failed for id " << id
-                                << ": " << status.message();
-        } else {
-          ++removed;
-        }
-      }
-    }
-    begin = end;
+    *end = collection->stamps.front().end_epoch;
     collection->stamps.pop_front();
   }
-  collection->window_begin.store(begin, std::memory_order_relaxed);
-  *seconds += timer.ElapsedSeconds();
-  return removed;
+  if (*end == *begin) {
+    return false;
+  }
+  // Advance the window before the removals execute: every id below *end
+  // is already handed to the router pass, and window_begin must never
+  // re-offer an id for expiry.
+  collection->window_begin.store(*end, std::memory_order_relaxed);
+  return true;
 }
 
 void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
@@ -560,6 +558,8 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     uint64_t errors = 0;
     uint64_t expired = 0;
     double expire_seconds = 0.0;
+    uint64_t expire_begin = 0;  // global-id range the router pass removes
+    uint64_t expire_end = 0;
   };
   std::vector<Work> works;
   std::unordered_map<Collection*, size_t> work_of;
@@ -582,16 +582,16 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     if (fresh) {
       works.emplace_back();
       works.back().collection = collection;
-      works.back().coalesced = PointSet(collection->detector.dims());
+      works.back().coalesced = PointSet(collection->router.dims());
     }
     Work& work = works[it->second];
-    const size_t dims = collection->detector.dims();
+    const size_t dims = collection->router.dims();
     const size_t count = op.coords.size() / dims;
     OpShape shape;
     shape.op = &op;
     for (size_t i = 0; i < count; ++i) {
       const std::span<const double> row(op.coords.data() + i * dims, dims);
-      shape.status = collection->detector.ValidatePoint(row);
+      shape.status = collection->router.ValidatePoint(row);
       if (!shape.status.ok()) {
         break;
       }
@@ -606,25 +606,66 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     work.ops.push_back(std::move(shape));
   }
 
-  // ---- One sharded detector apply per touched collection. ----
+  // ---- Expiry sweep: every collection with a TTL window hands the
+  // aged-out global-id ranges to its router pass below (also reached via
+  // timer wakeups and SweepExpiredNow ticks with an empty/tick-only
+  // batch). A stamp taken at `now` can never age out at `now` (ttl > 0),
+  // so computing expiry before this pass's adds are stamped is equivalent
+  // to the historical adds-then-sweep order. ----
+  const double now = clock_();
+  std::vector<Collection*> all;
+  {
+    MutexLock lock(collections_mu_);
+    all.reserve(collections_.size());
+    for (auto& [name, collection] : collections_) {
+      all.push_back(collection.get());
+    }
+  }
+  for (Collection* collection : all) {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    if (!ComputeExpiry(collection, now, &begin, &end)) {
+      continue;
+    }
+    auto [it, fresh] = work_of.try_emplace(collection, works.size());
+    if (fresh) {
+      works.emplace_back();
+      works.back().collection = collection;
+      works.back().coalesced = PointSet(collection->router.dims());
+    }
+    works[it->second].expire_begin = begin;
+    works[it->second].expire_end = end;
+  }
+
+  // ---- One epoch-barriered router pass per touched collection: the
+  // adds scatter to their home + halo regions, the expired ranges remove
+  // home copies and ghost replicas, and the pass returns only after every
+  // touched shard republished its snapshot. Collections run strictly one
+  // after another so the (optional) shared wave pool is never contended
+  // by two detectors. ----
   uint64_t pass_points = 0;
   uint64_t pass_errors = 0;
-  const double now = clock_();
   for (Work& work : works) {
     Collection* collection = work.collection;
-    const uint64_t base = collection->detector.epoch();
+    const uint64_t base = collection->router.epoch();
     WallTimer timer;
-    core::ApplyStats stats;
+    ShardRouter::PassStats rstats;
     Status apply_status = Status::OK();
+    if (work.coalesced.size() > 0 || work.expire_end > work.expire_begin) {
+      apply_status = collection->router.ApplyPass(
+          work.coalesced, work.expire_begin, work.expire_end,
+          shard_pool_.get(), &rstats);
+    }
+    work.seconds = timer.ElapsedSeconds();
+    work.expired = rstats.expired;
+    work.expire_seconds = rstats.expire_seconds;
     if (work.coalesced.size() > 0) {
-      apply_status = collection->detector.AddBatchParallel(
-          work.coalesced, shard_pool_.get(), &stats);
-      apply_shards_gauge_->Set(static_cast<int64_t>(stats.shards));
-      for (double shard_seconds : stats.shard_seconds) {
+      apply_shards_gauge_->Set(
+          static_cast<int64_t>(rstats.apply_stats.shards));
+      for (double shard_seconds : rstats.apply_stats.shard_seconds) {
         apply_shard_seconds_->Observe(shard_seconds);
       }
     }
-    work.seconds = timer.ElapsedSeconds();
     if (!apply_status.ok()) {
       // Pre-validation makes this unreachable short of detector-level
       // capacity errors; fail every op of the collection explicitly.
@@ -654,32 +695,6 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     }
   }
 
-  // ---- Expiry sweep: every collection with a TTL window drops the
-  // ranges whose stamp aged out (also reached via timer wakeups and
-  // SweepExpiredNow ticks with an empty/tick-only batch). ----
-  std::vector<Collection*> all;
-  {
-    MutexLock lock(collections_mu_);
-    all.reserve(collections_.size());
-    for (auto& [name, collection] : collections_) {
-      all.push_back(collection.get());
-    }
-  }
-  for (Collection* collection : all) {
-    double expire_seconds = 0.0;
-    const uint64_t expired = ExpireAged(collection, now, &expire_seconds);
-    if (expired == 0) {
-      continue;
-    }
-    auto [it, fresh] = work_of.try_emplace(collection, works.size());
-    if (fresh) {
-      works.emplace_back();
-      works.back().collection = collection;
-    }
-    works[it->second].expired = expired;
-    works[it->second].expire_seconds = expire_seconds;
-  }
-
   // ---- Publish: one snapshot per touched collection, after all of this
   // pass's mutations. The release store pairs with readers' acquire. ----
   for (Work& work : works) {
@@ -688,9 +703,9 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
       continue;  // nothing happened to this collection
     }
     Collection* collection = work.collection;
-    collection->snapshot.store(collection->detector.SnapshotNow(),
+    collection->snapshot.store(collection->router.PublishableSnapshot(),
                                std::memory_order_release);
-    const uint64_t total_comps = collection->detector.distance_computations();
+    const uint64_t total_comps = collection->router.distance_computations();
     MutexLock lock(collection->stats_mu);
     collection->recorder.Accumulate(
         "apply", work.seconds,

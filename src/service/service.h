@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/protocol.h"
+#include "service/router.h"
 
 namespace dbscout::service {
 
@@ -38,8 +39,19 @@ struct ServiceOptions {
 
   /// Worker threads the apply loop fans slab-block shard tasks out on
   /// (AddBatchParallel). 0 picks the hardware concurrency; 1 keeps each
-  /// apply pass single-threaded (no worker pool at all).
+  /// apply pass single-threaded (no worker pool at all). Only the
+  /// single-detector configuration (num_shards == 1) uses this pool; with
+  /// several detector shards each shard runs its waves serially on its
+  /// own loop thread instead.
   size_t apply_shards = 0;
+
+  /// Detector shards per collection: cell space is partitioned into this
+  /// many contiguous dim-0 slab regions, each backed by its own
+  /// IncrementalDetector and apply loop, with ghost-halo replication
+  /// keeping the merged outlier set exactly equal to a single detector
+  /// (see ShardRouter). 1 (or 0) keeps the pre-shard single-detector
+  /// layout.
+  size_t num_shards = 1;
 
   /// Sliding-window TTL (seconds) applied to every collection at creation;
   /// 0 means append-only. Points older than the TTL are expired by the
@@ -62,16 +74,17 @@ struct ServiceOptions {
   obs::TraceCollector* trace = nullptr;
 };
 
-/// The long-running detection service: one exact IncrementalDetector per
-/// named collection, maintained by a single-writer apply loop, with
-/// lock-free snapshot reads.
+/// The long-running detection service: one ShardRouter per named
+/// collection (N region-partitioned detector shards; N == 1 is the plain
+/// single-detector layout), maintained by a single-writer apply loop,
+/// with lock-free snapshot reads.
 ///
 /// Concurrency design:
 ///  - All mutations flow through one apply loop (a long-running task on a
 ///    private one-thread pool). Each pass swaps out the *entire* pending
 ///    queue, concatenates each collection's batches into one coalesced
-///    apply (AddBatchParallel fans its slab-block shards out on the shard
-///    worker pool), then publishes one fresh snapshot per touched
+///    router pass (scatter to the detector shards, ghost exchange, epoch
+///    barrier), then publishes one fresh merged snapshot per touched
 ///    collection — so N queued batches cost one detector pass and one
 ///    snapshot, not N.
 ///  - Sliding windows: collections with a TTL expire ingest batches whose
@@ -79,10 +92,12 @@ struct ServiceOptions {
 ///    pass, plus periodic wakeups while any window is configured), so the
 ///    single-writer contract of the detector is preserved; removals use
 ///    the detector's exact Remove() re-derivation.
-///  - QUERY / STATS / SNAPSHOT never touch the detector: they read the
-///    latest published IncrementalSnapshot through an atomic shared_ptr
+///  - QUERY / STATS / SNAPSHOT never touch the detectors: they read the
+///    latest published MergedSnapshot through an atomic shared_ptr
 ///    (release store in the apply loop, acquire load here), so read
-///    latency is independent of ingest bursts.
+///    latency is independent of ingest bursts. The merged snapshot is
+///    epoch-consistent: it is built only behind the router's epoch
+///    barrier, never mid-scatter.
 ///  - Admission control: when the pending queue is at max_pending_ingests,
 ///    further INGESTs are refused with kUnavailable (explicit backpressure,
 ///    bounded memory). admission_rejections() counts the sheds.
@@ -143,12 +158,12 @@ class DetectionService {
   void SetApplyPausedForTest(bool paused) DBSCOUT_EXCLUDES(mu_);
 
  private:
-  /// Per-collection state. The detector is written only by the apply loop;
-  /// `snapshot` is the publication point between that writer and all
-  /// reader threads.
+  /// Per-collection state. The router (and through it every detector
+  /// shard) is mutated only by the apply loop; `snapshot` is the
+  /// publication point between that writer and all reader threads.
   struct Collection {
-    core::IncrementalDetector detector;
-    std::atomic<std::shared_ptr<const core::IncrementalSnapshot>> snapshot;
+    ShardRouter router;
+    std::atomic<std::shared_ptr<const MergedSnapshot>> snapshot;
 
     /// Sliding-window TTL in seconds; 0 = append-only. Written by
     /// CONFIGURE, read by the apply loop.
@@ -175,8 +190,7 @@ class DetectionService {
     uint64_t last_distance_comps DBSCOUT_GUARDED_BY(stats_mu) = 0;
     uint64_t ingest_errors DBSCOUT_GUARDED_BY(stats_mu) = 0;
 
-    explicit Collection(core::IncrementalDetector det)
-        : detector(std::move(det)) {}
+    explicit Collection(ShardRouter r) : router(std::move(r)) {}
   };
 
   /// Completion token a blocking INGEST waits on; signalled after the
@@ -222,15 +236,18 @@ class DetectionService {
                  std::shared_ptr<Ticket> ticket) DBSCOUT_EXCLUDES(mu_);
 
   void ApplyLoop() DBSCOUT_EXCLUDES(mu_);
-  /// One coalesced apply pass: groups `batch` per collection, applies each
-  /// collection's points in one sharded AddBatchParallel call, runs the
-  /// TTL expiry sweep, then publishes one snapshot per touched collection.
-  /// An empty `batch` is an expiry-only pass (periodic window wakeup).
+  /// One coalesced apply pass: groups `batch` per collection, folds each
+  /// collection's adds plus its aged-out TTL ranges into one
+  /// epoch-barriered router pass, then publishes one merged snapshot per
+  /// touched collection. An empty `batch` is an expiry-only pass
+  /// (periodic window wakeup).
   void ApplyPass(std::vector<PendingIngest> batch)
       DBSCOUT_EXCLUDES(mu_, collections_mu_);
-  /// Expires aged-out ingest ranges of `collection`; returns the number of
-  /// points removed (0 when no TTL or nothing aged out). Apply loop only.
-  uint64_t ExpireAged(Collection* collection, double now, double* seconds);
+  /// Pops `collection`'s aged-out stamp ranges and advances window_begin,
+  /// returning true and the global-id range [*begin, *end) to remove
+  /// (the router pass performs the actual removals). Apply loop only.
+  bool ComputeExpiry(Collection* collection, double now, uint64_t* begin,
+                     uint64_t* end);
 
   const ServiceOptions options_;
   std::function<double()> clock_;
@@ -276,8 +293,11 @@ class DetectionService {
   std::array<obs::Histogram*, 7> request_seconds_{};
 
   /// Shard workers AddBatchParallel fans block tasks out on; null when the
-  /// resolved apply_shards is 1 (serial apply). Declared before
-  /// apply_pool_ so the apply loop never outlives its workers.
+  /// resolved apply_shards is 1 (serial apply). Only forwarded to
+  /// single-detector (num_shards == 1) routers: AddBatchParallel's wave
+  /// barriers WaitIdle() the pool, so it must never be shared by
+  /// concurrently-applying detectors. Declared before apply_pool_ so the
+  /// apply loop never outlives its workers.
   std::unique_ptr<ThreadPool> shard_pool_;
 
   /// Declared last so it is destroyed first: the apply-loop task has

@@ -1,0 +1,152 @@
+#include "grid/partition.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbscout::grid {
+namespace {
+
+std::map<int64_t, uint64_t> UniformHistogram(int64_t lo, int64_t hi,
+                                             uint64_t per_slab) {
+  std::map<int64_t, uint64_t> hist;
+  for (int64_t s = lo; s <= hi; ++s) {
+    hist[s] = per_slab;
+  }
+  return hist;
+}
+
+TEST(RegionPlanTest, EmptyHistogramYieldsEmptyPlan) {
+  const RegionPlan plan = RegionPlan::Build({}, 4, 2);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.num_regions(), 0u);
+}
+
+TEST(RegionPlanTest, BalancesAndCoversRange) {
+  const RegionPlan plan = RegionPlan::Build(UniformHistogram(0, 15, 10), 4, 2);
+  ASSERT_EQ(plan.num_regions(), 4u);
+  EXPECT_EQ(plan.halo(), HaloSlabs(2));
+  EXPECT_EQ(plan.stripes().front().slab_lo, 0);
+  EXPECT_EQ(plan.stripes().back().slab_hi, 15);
+}
+
+TEST(RegionPlanTest, FewerPopulatedSlabsThanRegions) {
+  const RegionPlan plan = RegionPlan::Build(UniformHistogram(3, 4, 5), 7, 2);
+  // Two populated slabs can fill at most two regions.
+  EXPECT_LE(plan.num_regions(), 2u);
+  EXPECT_GE(plan.num_regions(), 1u);
+}
+
+TEST(RegionPlanTest, NeverPlansMoreRegionsThanRequested) {
+  // Skewed histograms defeat a fixed-target greedy (every stripe stops
+  // short of total/num_regions, spilling the excess into extra stripes).
+  // The plan caps at num_regions regardless — shard arrays are sized by
+  // the request, so an overshoot here is an out-of-bounds write there.
+  std::map<int64_t, uint64_t> skew;
+  for (int64_t s = 0; s < 40; ++s) {
+    skew[s] = (s % 7 == 0) ? 55 : 3;  // bursts just under any fixed target
+  }
+  for (const size_t want : {size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                            size_t{7}, size_t{13}}) {
+    const RegionPlan plan = RegionPlan::Build(skew, want, 2);
+    EXPECT_LE(plan.num_regions(), want) << "requested " << want;
+    EXPECT_GE(plan.num_regions(), 1u);
+    EXPECT_EQ(plan.stripes().front().slab_lo, 0);
+    EXPECT_EQ(plan.stripes().back().slab_hi, 39);
+  }
+}
+
+TEST(RegionPlanTest, RegionOfClampsAndIsMonotone) {
+  const RegionPlan plan = RegionPlan::Build(UniformHistogram(0, 11, 10), 3, 4);
+  ASSERT_EQ(plan.num_regions(), 3u);
+  // Below and above the planned range clamp to the end regions.
+  EXPECT_EQ(plan.RegionOf(-1000), 0u);
+  EXPECT_EQ(plan.RegionOf(1000), 2u);
+  size_t prev = 0;
+  for (int64_t slab = -20; slab <= 20; ++slab) {
+    const size_t r = plan.RegionOf(slab);
+    ASSERT_LT(r, plan.num_regions());
+    ASSERT_GE(r, prev) << "RegionOf must be monotone in slab";
+    prev = r;
+  }
+}
+
+TEST(RegionPlanTest, GapSlabsBelongToTheNextRegionUp) {
+  // Populated slabs 0..3 and 10..13 with a gap between; two regions.
+  std::map<int64_t, uint64_t> hist;
+  for (int64_t s = 0; s <= 3; ++s) {
+    hist[s] = 10;
+  }
+  for (int64_t s = 10; s <= 13; ++s) {
+    hist[s] = 10;
+  }
+  const RegionPlan plan = RegionPlan::Build(hist, 2, 1);
+  ASSERT_EQ(plan.num_regions(), 2u);
+  for (int64_t slab = 4; slab <= 9; ++slab) {
+    EXPECT_EQ(plan.RegionOf(slab), 1u) << "gap slab " << slab;
+  }
+}
+
+TEST(RegionPlanTest, CoveringRegionsStartsWithHomeAndRespectsHalo) {
+  const RegionPlan plan =
+      RegionPlan::Build(UniformHistogram(0, 29, 10), 3, 2);  // halo = 4
+  ASSERT_EQ(plan.num_regions(), 3u);
+  ASSERT_EQ(plan.halo(), 4);
+  for (int64_t slab = -10; slab <= 40; ++slab) {
+    std::vector<size_t> covering;
+    plan.CoveringRegions(slab, &covering);
+    ASSERT_FALSE(covering.empty());
+    EXPECT_EQ(covering.front(), plan.RegionOf(slab)) << "slab " << slab;
+    // Brute-force oracle: region r covers slab iff the slab lies within
+    // halo of r's owned range {s : RegionOf(s) == r} (end regions
+    // extended to +/-inf).
+    for (size_t r = 0; r < plan.num_regions(); ++r) {
+      bool want = false;
+      for (int64_t owned = slab - plan.halo(); owned <= slab + plan.halo();
+           ++owned) {
+        // Clamp the probe: the end regions own everything beyond the
+        // planned range, which the +/-halo window already reaches.
+        if (plan.RegionOf(owned) == r) {
+          want = true;
+          break;
+        }
+      }
+      const bool got =
+          std::find(covering.begin(), covering.end(), r) != covering.end();
+      EXPECT_EQ(got, want) << "slab " << slab << " region " << r;
+    }
+    // No duplicates.
+    std::vector<size_t> sorted = covering;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+TEST(RegionPlanTest, InteriorSlabFarFromBoundariesHasOneCoveringRegion) {
+  const RegionPlan plan =
+      RegionPlan::Build(UniformHistogram(0, 99, 10), 2, 2);  // halo = 4
+  ASSERT_EQ(plan.num_regions(), 2u);
+  std::vector<size_t> covering;
+  plan.CoveringRegions(0, &covering);
+  EXPECT_EQ(covering.size(), 1u);  // deep inside region 0
+  covering.clear();
+  plan.CoveringRegions(99, &covering);
+  EXPECT_EQ(covering.size(), 1u);  // deep inside the last region
+}
+
+TEST(SlabOfCoordTest, MatchesGridFloor) {
+  const double side = 2.5;
+  EXPECT_EQ(SlabOfCoord(0.0, side), 0);
+  EXPECT_EQ(SlabOfCoord(2.49, side), 0);
+  EXPECT_EQ(SlabOfCoord(2.5, side), 1);
+  EXPECT_EQ(SlabOfCoord(-0.1, side), -1);
+  EXPECT_EQ(SlabOfCoord(-2.5, side), -1);
+  EXPECT_EQ(SlabOfCoord(-2.51, side), -2);
+}
+
+}  // namespace
+}  // namespace dbscout::grid

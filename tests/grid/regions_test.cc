@@ -16,8 +16,20 @@ TEST(RegionsTest, SlabReachMatchesStencilRadius) {
   EXPECT_EQ(SlabReach(4), 2);
   EXPECT_EQ(SlabReach(5), 3);
   EXPECT_EQ(SlabReach(9), 3);
-  EXPECT_EQ(SlabHalo(2), 4);
-  EXPECT_EQ(SlabHalo(9), 6);
+}
+
+TEST(RegionsTest, HaloSlabsIsTwoStencilReaches) {
+  // The shared ghost-zone width: external spill stripes, incremental
+  // slab blocks, and service detector shards all replicate this many
+  // slabs of context per side.
+  EXPECT_EQ(HaloSlabs(1), 2);
+  EXPECT_EQ(HaloSlabs(2), 4);
+  EXPECT_EQ(HaloSlabs(4), 4);
+  EXPECT_EQ(HaloSlabs(5), 6);
+  EXPECT_EQ(HaloSlabs(9), 6);
+  for (size_t d = 1; d <= 16; ++d) {
+    EXPECT_EQ(HaloSlabs(d), 2 * SlabReach(d)) << "d=" << d;
+  }
 }
 
 TEST(RegionsTest, PlanStripesEmptyHistogram) {

@@ -1,0 +1,315 @@
+// Oracle-equality tests for the horizontally sharded service: for every
+// shard count, a randomized mixed INGEST / TTL-expiry workload must
+// produce — at every published epoch — exactly the labeling
+// DetectSequential computes on the live points. Region-boundary points
+// (coordinates landing on dim-0 slab edges) are injected deliberately:
+// they exercise the ghost-halo exchange, where a sharding bug shows up
+// as a wrong label on a point whose eps-neighborhood straddles regions.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dbscout.h"
+#include "obs/metrics.h"
+#include "service/handle.h"
+#include "service/service.h"
+#include "testutil.h"
+
+namespace dbscout::service {
+namespace {
+
+using core::PointKind;
+
+Request IngestRequest(const std::string& collection, uint16_t dims,
+                      std::vector<double> coords) {
+  Request request;
+  request.verb = Verb::kIngest;
+  request.collection = collection;
+  request.dims = dims;
+  request.coords = std::move(coords);
+  return request;
+}
+
+Request SnapshotRequest(const std::string& collection) {
+  Request request;
+  request.verb = Verb::kSnapshot;
+  request.collection = collection;
+  return request;
+}
+
+Request StatsRequest(const std::string& collection) {
+  Request request;
+  request.verb = Verb::kStats;
+  request.collection = collection;
+  return request;
+}
+
+Request ConfigureRequest(const std::string& collection, double ttl) {
+  Request request;
+  request.verb = Verb::kConfigure;
+  request.collection = collection;
+  request.ttl_seconds = ttl;
+  return request;
+}
+
+/// Asserts the collection's published snapshot equals DetectSequential on
+/// its live points: same per-point kinds (live points only — expired ones
+/// keep their last label) and the same live outlier set.
+void ExpectMatchesOracle(ServiceHandle* handle, const std::string& name,
+                         const PointSet& ingested,
+                         const core::Params& params, const char* where) {
+  auto snapshot = handle->Call(SnapshotRequest(name));
+  ASSERT_TRUE(snapshot.ok()) << where;
+  ASSERT_TRUE(snapshot->status.ok()) << where << ": " << snapshot->status;
+  const SnapshotAnswer& snap = snapshot->snapshot;
+  ASSERT_EQ(snap.epoch, ingested.size()) << where;
+
+  PointSet live(ingested.dims());
+  for (size_t i = 0; i < ingested.size(); ++i) {
+    if (snap.alive[i] != 0) {
+      live.Add(ingested[i]);
+    }
+  }
+  auto oracle = core::DetectSequential(live, params);
+  ASSERT_TRUE(oracle.ok()) << where;
+  size_t j = 0;
+  for (size_t i = 0; i < ingested.size(); ++i) {
+    if (snap.alive[i] == 0) {
+      continue;
+    }
+    ASSERT_EQ(snap.kinds[i], oracle->kinds[j])
+        << where << ": live point " << i << " (oracle index " << j << ")";
+    ++j;
+  }
+  ASSERT_EQ(j, live.size()) << where;
+
+  auto stats = handle->Call(StatsRequest(name));
+  ASSERT_TRUE(stats.ok() && stats->status.ok()) << where;
+  EXPECT_EQ(stats->stats.live_points, live.size()) << where;
+  EXPECT_EQ(stats->stats.num_outliers,
+            static_cast<uint64_t>(std::count(oracle->kinds.begin(),
+                                             oracle->kinds.end(),
+                                             PointKind::kOutlier)))
+      << where;
+}
+
+/// One randomized mixed workload against `num_shards` detector shards:
+/// a first wide batch (plans the regions), then rounds of clustered +
+/// uniform + slab-boundary points under a sliding window, with the
+/// oracle re-checked after every ingest and every expiry sweep.
+void RunShardedWorkload(size_t num_shards, uint64_t seed) {
+  SCOPED_TRACE(::testing::Message() << "shards=" << num_shards);
+  const size_t dims = 2;
+  core::Params params;
+  params.eps = 1.0;
+  params.min_pts = 4;
+  // Cell side the detectors will use; multiples of it are exact dim-0
+  // slab boundaries.
+  const double side = params.eps / std::sqrt(static_cast<double>(dims));
+
+  std::atomic<double> now{0.0};
+  ServiceOptions options;
+  options.params = params;
+  options.num_shards = num_shards;
+  options.clock = [&now] { return now.load(); };
+  obs::Registry registry;
+  options.registry = &registry;
+  DetectionService service(options);
+  ServiceHandle handle(&service);
+
+  Rng rng(seed);
+  PointSet ingested(dims);
+  auto ingest = [&](const PointSet& batch) {
+    std::vector<double> coords;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      for (double v : batch[i]) {
+        coords.push_back(v);
+      }
+      ingested.Add(batch[i]);
+    }
+    auto response =
+        handle.Call(IngestRequest("c", dims, std::move(coords)));
+    ASSERT_TRUE(response.ok() && response->status.ok());
+    ASSERT_EQ(response->epoch, ingested.size());
+  };
+
+  // Round 0: a wide uniform batch so the region plan sees the full range.
+  ingest(testing::UniformPoints(&rng, 120, dims, 0.0, 12.0));
+  ExpectMatchesOracle(&handle, "c", ingested, params, "after plan batch");
+  {
+    auto stats = handle.Call(StatsRequest("c"));
+    ASSERT_TRUE(stats.ok() && stats->status.ok());
+    EXPECT_EQ(stats->stats.shards, num_shards);
+    EXPECT_EQ(stats->stats.shard_rows.size(), num_shards);
+    uint64_t held = 0;
+    for (const auto& row : stats->stats.shard_rows) {
+      held += row.points;
+    }
+    // Every shard's holdings include its ghosts, so together they hold at
+    // least every live point once.
+    EXPECT_GE(held, stats->stats.live_points);
+  }
+
+  ASSERT_TRUE(handle.Call(ConfigureRequest("c", 5.0))->status.ok());
+
+  for (int round = 1; round <= 5; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    PointSet batch(dims);
+    // Tight clusters at random centers: dense cores whose neighborhoods
+    // can straddle region boundaries.
+    const PointSet clusters =
+        testing::ClusteredPoints(&rng, 50, dims, 3, 0.2);
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      batch.Add(clusters[i]);
+    }
+    // Sparse background noise over the planned range.
+    const PointSet noise = testing::UniformPoints(&rng, 20, dims, -2.0, 14.0);
+    for (size_t i = 0; i < noise.size(); ++i) {
+      batch.Add(noise[i]);
+    }
+    // Region-boundary points: x exactly on a dim-0 slab edge, plus one
+    // point epsilon to each side of it.
+    for (int k = 0; k < 6; ++k) {
+      const double edge =
+          static_cast<double>(rng.NextBounded(17)) * side;
+      const double y = rng.Uniform(0.0, 3.0);
+      batch.Add({edge, y});
+      batch.Add({std::nextafter(edge, -1e9), y});
+      batch.Add({std::nextafter(edge, 1e9), y});
+    }
+    ingest(batch);
+    ExpectMatchesOracle(&handle, "c", ingested, params, "after ingest");
+
+    // Age the window by 2s per round: round r's sweep expires everything
+    // stamped at or before t = 2r - 5 (the plan batch first, then each
+    // round's batch in turn) — removals flow through the same router pass
+    // as the adds, dropping ghost replicas with their home copies.
+    now.store(2.0 * round);
+    service.SweepExpiredNow();
+    ExpectMatchesOracle(&handle, "c", ingested, params, "after sweep");
+  }
+
+  // Final drain: everything ages out, then one fresh batch over the old
+  // coordinate range still labels exactly.
+  now.store(1000.0);
+  service.SweepExpiredNow();
+  {
+    auto stats = handle.Call(StatsRequest("c"));
+    ASSERT_TRUE(stats.ok() && stats->status.ok());
+    EXPECT_EQ(stats->stats.live_points, 0u);
+  }
+  ingest(testing::ClusteredPoints(&rng, 60, dims, 2, 0.3));
+  ExpectMatchesOracle(&handle, "c", ingested, params, "after refill");
+}
+
+TEST(ServiceShardedTest, OneShardMatchesOracle) {
+  RunShardedWorkload(1, 20260809);
+}
+
+TEST(ServiceShardedTest, TwoShardsMatchOracle) {
+  RunShardedWorkload(2, 20260810);
+}
+
+TEST(ServiceShardedTest, FourShardsMatchOracle) {
+  RunShardedWorkload(4, 20260811);
+}
+
+TEST(ServiceShardedTest, SevenShardsMatchOracle) {
+  RunShardedWorkload(7, 20260812);
+}
+
+TEST(ServiceShardedTest, ShardCountsAgreeAcrossConfigurations) {
+  // The same deterministic stream through 1, 2, and 4 shards must publish
+  // identical global counters (epoch, live, core, outliers) — the
+  // sharding is an implementation detail of the collection.
+  struct Totals {
+    uint64_t epoch, live, core, outliers;
+  };
+  std::vector<Totals> totals;
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    ServiceOptions options;
+    options.params.eps = 1.0;
+    options.params.min_pts = 4;
+    options.num_shards = shards;
+    obs::Registry registry;
+    options.registry = &registry;
+    DetectionService service(options);
+    ServiceHandle handle(&service);
+    Rng rng(777);
+    const PointSet points = testing::ClusteredPoints(&rng, 400, 2, 4, 0.25);
+    std::vector<double> coords;
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (double v : points[i]) {
+        coords.push_back(v);
+      }
+    }
+    ASSERT_TRUE(handle.Call(IngestRequest("c", 2, coords))->status.ok());
+    auto stats = handle.Call(StatsRequest("c"));
+    ASSERT_TRUE(stats.ok() && stats->status.ok());
+    totals.push_back(Totals{stats->stats.epoch, stats->stats.live_points,
+                            stats->stats.num_core,
+                            stats->stats.num_outliers});
+  }
+  for (size_t i = 1; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i].epoch, totals[0].epoch);
+    EXPECT_EQ(totals[i].live, totals[0].live);
+    EXPECT_EQ(totals[i].core, totals[0].core);
+    EXPECT_EQ(totals[i].outliers, totals[0].outliers);
+  }
+}
+
+TEST(ServiceShardedTest, ShardedProbeQueriesMatchUnsharded) {
+  // Probe classification routes to the probe's home shard; answers must
+  // be identical to the single-detector service for probes everywhere in
+  // the range, including on region boundaries.
+  Rng rng(4242);
+  const PointSet points = testing::ClusteredPoints(&rng, 300, 2, 3, 0.2);
+  std::vector<double> coords;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (double v : points[i]) {
+      coords.push_back(v);
+    }
+  }
+  auto make_service = [&](size_t shards, obs::Registry* registry) {
+    ServiceOptions options;
+    options.params.eps = 1.0;
+    options.params.min_pts = 5;
+    options.num_shards = shards;
+    options.registry = registry;
+    return std::make_unique<DetectionService>(options);
+  };
+  obs::Registry r1, r4;
+  auto single = make_service(1, &r1);
+  auto sharded = make_service(4, &r4);
+  ServiceHandle single_handle(single.get());
+  ServiceHandle sharded_handle(sharded.get());
+  ASSERT_TRUE(
+      single_handle.Call(IngestRequest("c", 2, coords))->status.ok());
+  ASSERT_TRUE(
+      sharded_handle.Call(IngestRequest("c", 2, coords))->status.ok());
+
+  for (int i = 0; i < 200; ++i) {
+    Request probe;
+    probe.verb = Verb::kQuery;
+    probe.collection = "c";
+    probe.query_by_id = false;
+    probe.want_score = true;
+    probe.query_point = {rng.Uniform(-12.0, 12.0), rng.Uniform(-12.0, 12.0)};
+    const Response a = single_handle.Call(probe).value();
+    const Response b = sharded_handle.Call(probe).value();
+    ASSERT_TRUE(a.status.ok() && b.status.ok());
+    EXPECT_EQ(a.query.kind, b.query.kind) << "probe " << i;
+    EXPECT_EQ(a.query.score, b.query.score) << "probe " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dbscout::service

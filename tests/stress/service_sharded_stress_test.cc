@@ -1,0 +1,191 @@
+// TSan stress test for the horizontally sharded service: one ingest
+// driver streams batches through a 4-shard collection while reader tasks
+// hammer SNAPSHOT / QUERY / STATS concurrently. Every published epoch
+// must equal the sequential oracle on that prefix — a torn merged
+// snapshot, a racy shard-snapshot gather, or a loc-table read racing the
+// scatter loop fails here, and TSan sees the coordinator/shard-loop/
+// reader interleavings on the shared chunk storage and the atomic
+// snapshot pointers.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dbscout.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "testutil.h"
+
+namespace dbscout::service {
+namespace {
+
+using core::PointKind;
+
+constexpr size_t kNumPoints = 1000;
+constexpr size_t kBatch = 50;
+constexpr size_t kShards = 4;
+
+/// Sequential-oracle labelings per epoch, memoized across readers.
+class Oracle {
+ public:
+  Oracle(const PointSet& points, const core::Params& params)
+      : points_(points), params_(params) {}
+
+  std::vector<PointKind> KindsAt(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(epoch);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    PointSet prefix(points_.dims());
+    for (uint64_t i = 0; i < epoch; ++i) {
+      prefix.Add(points_[i]);
+    }
+    auto detection = core::DetectSequential(prefix, params_);
+    EXPECT_TRUE(detection.ok());
+    auto kinds = detection.ok() ? detection->kinds : std::vector<PointKind>{};
+    cache_.emplace(epoch, kinds);
+    return kinds;
+  }
+
+ private:
+  const PointSet& points_;
+  const core::Params params_;
+  std::mutex mu_;
+  std::map<uint64_t, std::vector<PointKind>> cache_;
+};
+
+TEST(ServiceShardedStressTest, MergedSnapshotsExactUnderConcurrentReaders) {
+  Rng rng(20260813);
+  const PointSet points =
+      testing::ClusteredPoints(&rng, kNumPoints, 2, 4, 0.25);
+  core::Params params;
+  params.eps = 1.0;
+  params.min_pts = 6;
+  Oracle oracle(points, params);
+
+  obs::Registry registry;
+  DetectionService service([&] {
+    ServiceOptions options;
+    options.params = params;
+    options.num_shards = kShards;
+    options.registry = &registry;
+    return options;
+  }());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> reads{0};
+
+  ThreadPool pool(4);  // 1 ingest driver + 3 readers
+  pool.Submit([&] {
+    for (size_t begin = 0; begin < kNumPoints; begin += kBatch) {
+      Request request;
+      request.verb = Verb::kIngest;
+      request.collection = "stream";
+      request.dims = 2;
+      for (size_t i = begin; i < begin + kBatch; ++i) {
+        for (double v : points[i]) {
+          request.coords.push_back(v);
+        }
+      }
+      const Response response = service.Dispatch(request);
+      if (!response.status.ok() || response.epoch != begin + kBatch) {
+        ++failures;
+        break;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  for (int reader = 0; reader < 3; ++reader) {
+    pool.Submit([&, reader] {
+      Rng reader_rng(9000 + reader);
+      bool last_pass = false;
+      while (true) {
+        if (done.load(std::memory_order_acquire)) {
+          if (last_pass) {
+            break;
+          }
+          last_pass = true;  // one trailing pass checks the final epoch
+        }
+        Request snap_req;
+        snap_req.verb = Verb::kSnapshot;
+        snap_req.collection = "stream";
+        const Response snap = service.Dispatch(snap_req);
+        if (snap.status.code() == StatusCode::kNotFound) {
+          continue;  // first batch not applied yet
+        }
+        if (!snap.status.ok()) {
+          ++failures;
+          continue;
+        }
+        ++reads;
+        const uint64_t epoch = snap.snapshot.epoch;
+        // Epoch barrier: merged snapshots are only published at batch
+        // boundaries, never mid-scatter.
+        if (epoch % kBatch != 0 ||
+            snap.snapshot.kinds != oracle.KindsAt(epoch)) {
+          ++failures;
+          continue;
+        }
+        if (epoch > 0) {
+          // QUERY by id routes through the loc table to the home shard;
+          // it must agree with the oracle at ITS epoch.
+          Request query;
+          query.verb = Verb::kQuery;
+          query.collection = "stream";
+          query.query_by_id = true;
+          query.query_id =
+              static_cast<uint32_t>(reader_rng.NextBounded(epoch));
+          const Response answer = service.Dispatch(query);
+          if (!answer.status.ok() ||
+              answer.query.kind !=
+                  oracle.KindsAt(answer.query.epoch)[query.query_id]) {
+            ++failures;
+          }
+        }
+        // STATS scatter-gathers per-shard rows from the same merged
+        // snapshot; the gather must be internally consistent.
+        Request stats_req;
+        stats_req.verb = Verb::kStats;
+        stats_req.collection = "stream";
+        const Response stats = service.Dispatch(stats_req);
+        if (!stats.status.ok() || stats.stats.shards != kShards ||
+            stats.stats.shard_rows.size() != kShards) {
+          ++failures;
+          continue;
+        }
+        uint64_t held = 0;
+        for (const auto& row : stats.stats.shard_rows) {
+          held += row.points;
+        }
+        if (held < stats.stats.live_points) {
+          ++failures;  // shards together hold every live point at least once
+        }
+      }
+    });
+  }
+
+  pool.WaitIdle();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Final state is the full stream at the final epoch.
+  Request snap_req;
+  snap_req.verb = Verb::kSnapshot;
+  snap_req.collection = "stream";
+  const Response final_snap = service.Dispatch(snap_req);
+  ASSERT_TRUE(final_snap.status.ok());
+  EXPECT_EQ(final_snap.snapshot.epoch, kNumPoints);
+  EXPECT_EQ(final_snap.snapshot.kinds, oracle.KindsAt(kNumPoints));
+}
+
+}  // namespace
+}  // namespace dbscout::service

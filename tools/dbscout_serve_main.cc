@@ -5,11 +5,15 @@
 //
 // usage: dbscout_serve --eps=X --min-pts=N [--host=H] [--port=P]
 //                      [--max-sessions=S] [--max-pending=Q]
-//                      [--apply-shards=K] [--ttl-seconds=T]
+//                      [--shards=N] [--apply-shards=K] [--ttl-seconds=T]
 //                      [--trace-out=FILE]
 //
+// --shards=N backs every collection with N region-partitioned detector
+// shards (ghost-halo replication keeps the merged outlier set exact);
+// STATS then reports one row per shard. Default 1 = single detector.
 // --apply-shards=K sets the shard worker count the apply loop fans
-// slab-block tasks out on (0 = hardware concurrency, 1 = serial apply).
+// slab-block tasks out on (0 = hardware concurrency, 1 = serial apply);
+// it only applies to the --shards=1 layout.
 // --ttl-seconds=T gives every collection a sliding window: points older
 // than T seconds are expired by the apply loop (0 = append-only; override
 // per collection with dbscout_client --set-ttl).
@@ -55,7 +59,8 @@ const char* FlagValue(int argc, char** argv, const std::string& name) {
 int Usage() {
   std::cerr << "usage: dbscout_serve --eps=X --min-pts=N [--host=H] "
                "[--port=P] [--max-sessions=S] [--max-pending=Q] "
-               "[--apply-shards=K] [--ttl-seconds=T] [--trace-out=FILE]\n";
+               "[--shards=N] [--apply-shards=K] [--ttl-seconds=T] "
+               "[--trace-out=FILE]\n";
   return 2;
 }
 
@@ -85,6 +90,13 @@ int main(int argc, char** argv) {
       return Usage();
     }
     service_options.max_pending_ingests = *value;
+  }
+  if (const char* text = FlagValue(argc, argv, "shards")) {
+    auto value = ParseUint64(text);
+    if (!value.ok() || *value == 0) {
+      return Usage();
+    }
+    service_options.num_shards = *value;
   }
   if (const char* text = FlagValue(argc, argv, "apply-shards")) {
     auto value = ParseUint64(text);
