@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "datasets/geo.h"
 #include "service/handle.h"
 #include "service/service.h"
+#include "storage/store.h"
 
 namespace {
 
@@ -194,6 +196,56 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(windowed_live), rounds * n);
   }
 
+  // --- Durable ingest sweep: the same async flow with a per-collection
+  // WAL under each fsync policy. "never" prices the framing + append
+  // write()s alone, "interval" the recommended group-commit mode (fsync at
+  // most every 50ms, piggybacked on apply passes), "always" a full
+  // fdatasync inside every durability barrier — the synchronous-commit
+  // floor, reported but not gated (it measures the disk, not the code). --
+  double durable_never_rate = 0;
+  double durable_interval_rate = 0;
+  double durable_always_rate = 0;
+  {
+    const std::string durable_root =
+        (std::filesystem::temp_directory_path() / "dbscout_bench_durable")
+            .string();
+    const struct {
+      const char* name;
+      storage::FsyncPolicy policy;
+      double* rate;
+    } modes[] = {
+        {"never", storage::FsyncPolicy::kNever, &durable_never_rate},
+        {"interval", storage::FsyncPolicy::kInterval, &durable_interval_rate},
+        {"always", storage::FsyncPolicy::kAlways, &durable_always_rate},
+    };
+    for (const auto& mode : modes) {
+      const std::string dir = durable_root + "_" + mode.name;
+      std::filesystem::remove_all(dir);
+      service::ServiceOptions dopts = options;
+      dopts.data_dir = dir;
+      dopts.wal_fsync = mode.policy;
+      {
+        service::DetectionService dsvc(dopts);
+        WallTimer timer;
+        for (size_t begin = 0; begin < n; begin += batch) {
+          const size_t end = std::min(n, begin + batch);
+          const Status s =
+              dsvc.IngestAsync("bench", dims, Batch(stream, begin, end));
+          if (!s.ok()) {
+            std::fprintf(stderr, "durable ingest (%s): %s\n", mode.name,
+                         s.ToString().c_str());
+            return 1;
+          }
+        }
+        dsvc.Drain();
+        *mode.rate = n / timer.ElapsedSeconds();
+        std::fprintf(stderr, "  durable  fsync=%-8s %.0f pts/s\n", mode.name,
+                     *mode.rate);
+      }
+      std::filesystem::remove_all(dir);
+    }
+  }
+
   // --- Ingest, blocking per batch; then queries against the result. -------
   service::DetectionService svc(options);
   service::ServiceHandle handle(&svc);
@@ -282,6 +334,12 @@ int main(int argc, char** argv) {
   std::printf("    \"shards1_points_per_sec\": %.0f,\n", shards1_rate);
   std::printf("    \"shardsN_points_per_sec\": %.0f,\n", shardsN_rate);
   std::printf("    \"speedup_Nv1\": %.3f\n", shardsN_rate / shards1_rate);
+  std::printf("  },\n");
+  std::printf("  \"durable\": {\n");
+  std::printf("    \"never_points_per_sec\": %.0f,\n", durable_never_rate);
+  std::printf("    \"interval_points_per_sec\": %.0f,\n",
+              durable_interval_rate);
+  std::printf("    \"always_points_per_sec\": %.0f\n", durable_always_rate);
   std::printf("  },\n");
   std::printf("  \"windowed\": {\n");
   std::printf("    \"rounds\": %zu,\n", rounds);

@@ -6,7 +6,8 @@
 #
 # Turns on `-Wthread-safety -Werror=thread-safety` for the targets whose
 # locking is expressed through src/common/thread_annotations.h (common,
-# grid, core, dataflow, obs, service — everything that owns a Mutex).
+# grid, core, dataflow, obs, service, storage — everything that owns a
+# Mutex).
 # Any access to a DBSCOUT_GUARDED_BY member outside its mutex, any missing
 # DBSCOUT_REQUIRES on a helper called under a lock, any lock leak on an
 # early return then fails the build instead of a nightly TSan run.

@@ -1,0 +1,23 @@
+#ifndef DBSCOUT_COMMON_CRC32C_H_
+#define DBSCOUT_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dbscout {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum the storage layer stamps on every WAL frame and snapshot
+/// file. Chosen over plain CRC-32 for its better burst-error detection;
+/// this is the same polynomial iSCSI, ext4, and LevelDB/RocksDB use, so
+/// recorded files are checkable with standard tooling.
+uint32_t Crc32c(std::span<const uint8_t> data);
+
+/// Incremental form: feed `crc` the previous return value (or 0 for the
+/// first chunk) to checksum data arriving in pieces.
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t len);
+
+}  // namespace dbscout
+
+#endif  // DBSCOUT_COMMON_CRC32C_H_

@@ -93,6 +93,9 @@ struct HistogramLayout {
   static HistogramLayout Latency() { return {1e-6}; }
   /// Sizes/counts: 1 * 2^i, topping out at ~134M before +Inf.
   static HistogramLayout Count() { return {1.0}; }
+  /// Byte sizes (WAL frames, fsync batches): 64B * 2^i, topping out at
+  /// ~8GB before +Inf — frames below a cache line all land in bucket 0.
+  static HistogramLayout Bytes() { return {64.0}; }
 
   friend bool operator==(const HistogramLayout&,
                          const HistogramLayout&) = default;

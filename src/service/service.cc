@@ -1,14 +1,19 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "grid/partition.h"
+#include "storage/wal.h"
 
 namespace dbscout::service {
 namespace {
@@ -86,6 +91,28 @@ DetectionService::DetectionService(const ServiceOptions& options)
     request_seconds_[static_cast<size_t>(verb)] = registry_->GetHistogram(
         "dbscout_request_seconds", "Dispatch latency by verb",
         obs::HistogramLayout::Latency(), {{"verb", VerbLabel(verb)}});
+  }
+  replay_records_total_ = registry_->GetCounter(
+      "dbscout_replay_records_total",
+      "WAL records replayed during crash recovery");
+  replay_points_total_ = registry_->GetCounter(
+      "dbscout_replay_points_total",
+      "Points re-ingested during crash recovery (snapshot + WAL)");
+  replay_seconds_ = registry_->GetHistogram(
+      "dbscout_replay_seconds", "Crash-recovery replay time per collection",
+      obs::HistogramLayout::Latency());
+  wal_commit_failures_total_ = registry_->GetCounter(
+      "dbscout_wal_commit_failures_total",
+      "Apply passes whose WAL append/commit failed (tickets carry the "
+      "error)");
+  // Crash recovery runs before the apply loop starts, so replay's router
+  // passes keep the coordinator-thread contract trivially.
+  if (!options_.data_dir.empty()) {
+    recovery_status_ = RecoverCollections();
+    if (!recovery_status_.ok()) {
+      DBSCOUT_LOG(kError) << "crash recovery failed: "
+                          << recovery_status_.message();
+    }
   }
   apply_pool_.Submit([this] { ApplyLoop(); });
 }
@@ -189,6 +216,27 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
       "dbscout_pending_batches",
       "Ingest batches waiting in the apply queue, by collection",
       {{"collection", name}});
+  if (!options_.data_dir.empty()) {
+    storage::RecoveredCollection recovered;
+    DBSCOUT_ASSIGN_OR_RETURN(collection->store, OpenStore(name, &recovered));
+    if (recovered.base.epoch != 0 || recovered.base.dims != 0 ||
+        !recovered.suffix.empty()) {
+      // A fresh collection must start from an empty directory; anything
+      // else means startup recovery did not register it (e.g. recovery
+      // failed) and ingesting would silently fork from the on-disk state.
+      return Status::FailedPrecondition(StrFormat(
+          "collection '%s' has unrecovered on-disk state; refusing to "
+          "ingest over it",
+          name.c_str()));
+    }
+    // The create record makes dims and the creation-time TTL recoverable
+    // even before the first batch commits.
+    storage::WalRecord create;
+    create.type = storage::WalRecordType::kCreate;
+    create.dims = dims;
+    create.ttl_seconds = options_.ttl_seconds;
+    DBSCOUT_RETURN_IF_ERROR(collection->store->LogRecord(create));
+  }
   Collection* raw = collection.get();
   collections_.emplace(name, std::move(collection));
   collections_gauge_->Set(static_cast<int64_t>(collections_.size()));
@@ -394,6 +442,16 @@ Response DetectionService::DoConfigure(const Request& request) {
         StrFormat("no collection '%s'", request.collection.c_str()));
     return response;
   }
+  if (collection->store != nullptr) {
+    // Durable first, visible second: a TTL the apply loop acts on is
+    // always recoverable. LogConfigure syncs unconditionally (rare
+    // control-plane write); the store's own mutex serializes this
+    // caller-thread append with the apply loop's.
+    response.status = collection->store->LogConfigure(request.ttl_seconds);
+    if (!response.status.ok()) {
+      return response;
+    }
+  }
   collection->ttl_seconds.store(request.ttl_seconds,
                                 std::memory_order_relaxed);
   if (request.ttl_seconds > 0.0) {
@@ -560,6 +618,9 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     double expire_seconds = 0.0;
     uint64_t expire_begin = 0;  // global-id range the router pass removes
     uint64_t expire_end = 0;
+    /// First WAL append/commit error of this collection's pass; fails
+    /// every ticket of the collection (durability barrier).
+    Status wal_status;
   };
   std::vector<Work> works;
   std::unordered_map<Collection*, size_t> work_of;
@@ -672,11 +733,42 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
       DBSCOUT_LOG(kWarning) << "coalesced apply failed: "
                             << apply_status.message();
     }
+    // ---- WAL: record what this pass just did, in replay order (plan,
+    // then the expiry, then each batch). Appends only; the group commit
+    // below makes them durable before any ticket completes. ----
+    storage::CollectionStore* store = collection->store.get();
+    if (store != nullptr && apply_status.ok()) {
+      if (!collection->plan_logged && collection->router.plan() != nullptr) {
+        storage::WalRecord rec;
+        rec.type = storage::WalRecordType::kPlan;
+        rec.halo = collection->router.plan()->halo();
+        rec.stripes = collection->router.plan()->stripes();
+        work.wal_status = store->LogRecord(rec);
+        collection->plan_logged = work.wal_status.ok();
+      }
+      if (work.wal_status.ok() && work.expire_end > work.expire_begin) {
+        // The decision is recorded, not recomputed: replay removes exactly
+        // this range regardless of wall-clock at recovery time.
+        storage::WalRecord rec;
+        rec.type = storage::WalRecordType::kExpire;
+        rec.expire_begin = work.expire_begin;
+        rec.expire_end = work.expire_end;
+        work.wal_status = store->LogRecord(rec);
+      }
+    }
     uint64_t cum = base;
     for (OpShape& shape : work.ops) {
       Status op_status =
           apply_status.ok() ? std::move(shape.status) : apply_status;
       if (op_status.ok()) {
+        if (store != nullptr && shape.points > 0 && work.wal_status.ok()) {
+          storage::WalRecord rec;
+          rec.type = storage::WalRecordType::kIngest;
+          rec.dims = static_cast<uint16_t>(collection->router.dims());
+          rec.base_epoch = cum;  // replay cross-checks against its epoch
+          rec.coords = std::move(shape.op->coords);
+          work.wal_status = store->LogRecord(rec);
+        }
         cum += shape.points;
         pass_points += shape.points;
       } else {
@@ -692,6 +784,28 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     }
     if (apply_status.ok() && cum > base) {
       collection->stamps.push_back(Collection::StampRange{cum, now});
+    }
+  }
+
+  // ---- Durability barrier: one group commit per touched store before
+  // any ticket completes, so an acknowledged batch is exactly as durable
+  // as the fsync policy promises. A failed append or commit fails every
+  // ticket of that collection this pass; the in-memory state may already
+  // hold the batch, so a client retry re-ingests it, and restart recovers
+  // only what the WAL holds. ----
+  std::unordered_map<Collection*, Status> wal_failures;
+  for (Work& work : works) {
+    if (work.collection->store == nullptr) {
+      continue;
+    }
+    Status durable = work.wal_status;
+    if (durable.ok()) {
+      durable = work.collection->store->Commit();
+    }
+    if (!durable.ok()) {
+      wal_commit_failures_total_->Increment();
+      DBSCOUT_LOG(kError) << "wal commit failed: " << durable.message();
+      wal_failures.emplace(work.collection, std::move(durable));
     }
   }
 
@@ -739,11 +853,274 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     applied_ += batch.size();
     for (PendingIngest& op : batch) {
       if (op.ticket != nullptr) {
+        if (op.collection != nullptr && !wal_failures.empty()) {
+          const auto failed = wal_failures.find(op.collection);
+          if (failed != wal_failures.end() && op.ticket->status.ok()) {
+            op.ticket->status = failed->second;
+          }
+        }
         op.ticket->done = true;
       }
     }
     tickets_cv_.NotifyAll();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: store plumbing and crash recovery
+
+Result<std::unique_ptr<storage::CollectionStore>> DetectionService::OpenStore(
+    const std::string& name, storage::RecoveredCollection* recovered) {
+  storage::StoreOptions store_options;
+  store_options.fsync = options_.wal_fsync;
+  store_options.fsync_interval_seconds = options_.wal_fsync_interval_seconds;
+  store_options.snapshot_interval_bytes = options_.snapshot_interval_bytes;
+  store_options.clock = clock_;
+  store_options.registry = registry_;
+  store_options.collection = name;
+  return storage::CollectionStore::Open(
+      options_.data_dir + "/" + storage::EncodeCollectionDirName(name),
+      store_options, recovered);
+}
+
+Status DetectionService::RecoverCollections() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options_.data_dir, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("create data dir %s: %s",
+                                     options_.data_dir.c_str(),
+                                     ec.message().c_str()));
+  }
+  std::vector<std::pair<std::string, std::string>> found;  // name -> dir
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options_.data_dir, ec)) {
+    std::error_code type_ec;
+    if (!entry.is_directory(type_ec) || type_ec) {
+      continue;  // stray files in the data dir are not ours to interpret
+    }
+    const std::string dir_name = entry.path().filename().string();
+    auto name = storage::DecodeCollectionDirName(dir_name);
+    if (!name.ok()) {
+      return Status::IoError(
+          StrFormat("unrecognized entry '%s' in data dir %s: %s",
+                    dir_name.c_str(), options_.data_dir.c_str(),
+                    name.status().message().c_str()));
+    }
+    found.emplace_back(std::move(*name), entry.path().string());
+  }
+  if (ec) {
+    return Status::IoError(StrFormat("scan data dir %s: %s",
+                                     options_.data_dir.c_str(),
+                                     ec.message().c_str()));
+  }
+  std::sort(found.begin(), found.end());  // deterministic recovery order
+  for (const auto& [name, dir] : found) {
+    DBSCOUT_RETURN_IF_ERROR(RecoverCollection(name, dir));
+  }
+  return Status::OK();
+}
+
+Status DetectionService::RecoverCollection(const std::string& name,
+                                           const std::string& dir) {
+  WallTimer timer;
+  storage::RecoveredCollection recovered;
+  std::unique_ptr<storage::CollectionStore> store;
+  DBSCOUT_ASSIGN_OR_RETURN(store, OpenStore(name, &recovered));
+  // Dims come from the snapshot when one exists, else the first CREATE or
+  // INGEST record of the suffix.
+  uint16_t dims = recovered.base.dims;
+  if (dims == 0) {
+    for (const storage::WalRecord& record : recovered.suffix) {
+      if (record.type == storage::WalRecordType::kCreate ||
+          record.type == storage::WalRecordType::kIngest) {
+        dims = record.dims;
+        break;
+      }
+    }
+  }
+  if (dims == 0) {
+    // A crash before the create record became durable: nothing usable on
+    // disk. The next ingest of this name re-creates the collection (and
+    // reopens this directory, which recovers as empty again).
+    DBSCOUT_LOG(kInfo) << "collection '" << name
+                       << "': empty durability dir, nothing to recover";
+    return store->Close();
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(
+      ShardRouter router,
+      ShardRouter::Create(name, dims, options_.params, options_.num_shards,
+                          registry_));
+  auto collection = std::make_unique<Collection>(std::move(router));
+  collection->store = std::move(store);
+  collection->depth_gauge = registry_->GetGauge(
+      "dbscout_pending_batches",
+      "Ingest batches waiting in the apply queue, by collection",
+      {{"collection", name}});
+  Status replayed = ReplayCollection(collection.get(), recovered);
+  if (!replayed.ok()) {
+    return Status(replayed.code(),
+                  StrFormat("recover collection '%s' from %s: %s",
+                            name.c_str(), dir.c_str(),
+                            replayed.message().c_str()));
+  }
+  replay_seconds_->Observe(timer.ElapsedSeconds());
+  MutexLock lock(collections_mu_);
+  collections_.emplace(name, std::move(collection));
+  collections_gauge_->Set(static_cast<int64_t>(collections_.size()));
+  return Status::OK();
+}
+
+Status DetectionService::ReplayCollection(
+    Collection* collection, const storage::RecoveredCollection& recovered) {
+  ShardRouter& router = collection->router;
+  const size_t dims = router.dims();
+  double ttl = recovered.base.ttl_seconds;
+  uint64_t window_begin = recovered.base.window_begin;
+  uint64_t replayed_records = 0;
+  uint64_t replayed_points = 0;
+
+  // The recorded region plan first, so every replayed point routes to the
+  // region the live run chose. (The live plan was built from the first
+  // coalesced batch, which replay batching cannot reconstruct.)
+  if (recovered.base.has_plan) {
+    DBSCOUT_RETURN_IF_ERROR(router.AdoptPlan(grid::RegionPlan::FromStripes(
+        recovered.base.plan_stripes, recovered.base.plan_halo)));
+    collection->plan_logged = true;  // durable in the snapshot already
+  }
+
+  // Base state: the snapshot keeps the coordinates of every id < epoch, so
+  // one add pass plus one expiry pass over [0, window_begin) reproduces
+  // its live set — through the exact same apply pipeline as live traffic.
+  if (recovered.base.epoch > 0) {
+    PointSet adds{dims};
+    for (uint64_t i = 0; i < recovered.base.epoch; ++i) {
+      adds.Add(std::span<const double>(
+          recovered.base.coords.data() + i * dims, dims));
+    }
+    ShardRouter::PassStats stats;
+    DBSCOUT_RETURN_IF_ERROR(
+        router.ApplyPass(adds, 0, 0, shard_pool_.get(), &stats));
+    if (window_begin > 0) {
+      ShardRouter::PassStats expire_stats;
+      DBSCOUT_RETURN_IF_ERROR(router.ApplyPass(PointSet{dims}, 0,
+                                               window_begin,
+                                               shard_pool_.get(),
+                                               &expire_stats));
+    }
+    replayed_points += recovered.base.epoch;
+  }
+
+  // WAL suffix: every record becomes its own pass, in log order. Labels
+  // are a function of the live point set (batching-independent), so the
+  // replayed outlier set equals the pre-crash one at the durable epoch.
+  for (const storage::WalRecord& record : recovered.suffix) {
+    ++replayed_records;
+    switch (record.type) {
+      case storage::WalRecordType::kCreate: {
+        if (record.dims != dims) {
+          return Status::IoError(
+              StrFormat("wal create record dims %u != collection dims %zu",
+                        record.dims, dims));
+        }
+        ttl = record.ttl_seconds;
+        break;
+      }
+      case storage::WalRecordType::kConfigure:
+        ttl = record.ttl_seconds;
+        break;
+      case storage::WalRecordType::kPlan: {
+        if (router.plan() == nullptr) {
+          DBSCOUT_RETURN_IF_ERROR(router.AdoptPlan(
+              grid::RegionPlan::FromStripes(record.stripes, record.halo)));
+        }
+        collection->plan_logged = true;
+        break;
+      }
+      case storage::WalRecordType::kIngest: {
+        if (record.dims != dims) {
+          return Status::IoError(
+              StrFormat("wal ingest record dims %u != collection dims %zu",
+                        record.dims, dims));
+        }
+        if (record.base_epoch != router.epoch()) {
+          return Status::IoError(StrFormat(
+              "wal ingest record expects base epoch %llu but replay is at "
+              "%llu (lost or reordered records)",
+              static_cast<unsigned long long>(record.base_epoch),
+              static_cast<unsigned long long>(router.epoch())));
+        }
+        const size_t count = record.coords.size() / dims;
+        PointSet adds{dims};
+        for (size_t i = 0; i < count; ++i) {
+          adds.Add(std::span<const double>(record.coords.data() + i * dims,
+                                           dims));
+        }
+        ShardRouter::PassStats stats;
+        DBSCOUT_RETURN_IF_ERROR(
+            router.ApplyPass(adds, 0, 0, shard_pool_.get(), &stats));
+        replayed_points += count;
+        break;
+      }
+      case storage::WalRecordType::kExpire: {
+        if (record.expire_begin != window_begin ||
+            record.expire_end > router.epoch()) {
+          return Status::IoError(StrFormat(
+              "wal expire record [%llu, %llu) does not extend window begin "
+              "%llu at epoch %llu",
+              static_cast<unsigned long long>(record.expire_begin),
+              static_cast<unsigned long long>(record.expire_end),
+              static_cast<unsigned long long>(window_begin),
+              static_cast<unsigned long long>(router.epoch())));
+        }
+        if (record.expire_end > record.expire_begin) {
+          ShardRouter::PassStats stats;
+          DBSCOUT_RETURN_IF_ERROR(router.ApplyPass(
+              PointSet{dims}, record.expire_begin, record.expire_end,
+              shard_pool_.get(), &stats));
+        }
+        window_begin = record.expire_end;
+        break;
+      }
+    }
+  }
+
+  collection->ttl_seconds.store(ttl, std::memory_order_relaxed);
+  if (ttl > 0.0) {
+    has_window_.store(true, std::memory_order_relaxed);
+  }
+  // window_begin only ever advances, and replay ends exactly where the
+  // durable log ended: the epoch never rewinds across a restart.
+  collection->window_begin.store(window_begin, std::memory_order_relaxed);
+  if (router.epoch() > window_begin) {
+    // Re-stamp the surviving range at recovery time: the WAL records no
+    // wall-clock provenance, so recovered points live one more full TTL
+    // from now (never less than they would have).
+    collection->stamps.push_back(
+        Collection::StampRange{router.epoch(), clock_()});
+  }
+  collection->snapshot.store(router.PublishableSnapshot(),
+                             std::memory_order_release);
+  replay_records_total_->Increment(replayed_records);
+  replay_points_total_->Increment(replayed_points);
+  return Status::OK();
+}
+
+Status DetectionService::CompactNow() {
+  std::vector<Collection*> all;
+  {
+    MutexLock lock(collections_mu_);
+    all.reserve(collections_.size());
+    for (auto& [name, collection] : collections_) {
+      all.push_back(collection.get());
+    }
+  }
+  for (Collection* collection : all) {
+    if (collection->store != nullptr) {
+      DBSCOUT_RETURN_IF_ERROR(collection->store->CompactNow());
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace dbscout::service

@@ -22,6 +22,7 @@
 #include "obs/trace.h"
 #include "service/protocol.h"
 #include "service/router.h"
+#include "storage/store.h"
 
 namespace dbscout::service {
 
@@ -63,6 +64,27 @@ struct ServiceOptions {
   /// MonotonicSeconds(). Tests inject a fake clock to drive expiry
   /// deterministically.
   std::function<double()> clock;
+
+  /// Durability root. Empty keeps the service purely in-memory (the
+  /// pre-durability behavior). When set, every collection gets a
+  /// subdirectory under it with a write-ahead log and periodic snapshots
+  /// (storage::CollectionStore), the apply loop gains a durability
+  /// barrier (a ticket completes only after its WAL frames are committed
+  /// under wal_fsync), and construction replays whatever the directory
+  /// holds back through the normal apply pipeline. Check
+  /// recovery_status() after construction.
+  std::string data_dir;
+
+  /// When WAL appends are fdatasync'd relative to ingest acknowledgement
+  /// (see storage::FsyncPolicy for the loss contract per mode).
+  storage::FsyncPolicy wal_fsync = storage::FsyncPolicy::kAlways;
+
+  /// kInterval policy: max seconds between group fsyncs.
+  double wal_fsync_interval_seconds = 0.05;
+
+  /// Compact a collection's WAL into a snapshot once its active segment
+  /// exceeds this many bytes (0 disables automatic compaction).
+  uint64_t snapshot_interval_bytes = 64u << 20;
 
   /// Metrics registry the service publishes into (and the METRICS verb
   /// scrapes). Null selects obs::Registry::Global(); tests pass a local
@@ -157,6 +179,16 @@ class DetectionService {
   /// overrides a pause (shutdown still drains).
   void SetApplyPausedForTest(bool paused) DBSCOUT_EXCLUDES(mu_);
 
+  /// Outcome of the constructor's crash recovery (OK when data_dir is
+  /// empty or recovery replayed cleanly). A durable server should refuse
+  /// to start on failure: serving on top of partial recovery would
+  /// silently drop acknowledged data.
+  const Status& recovery_status() const { return recovery_status_; }
+
+  /// Forces WAL-to-snapshot compaction on every durable collection
+  /// (test/operator hook; no-op in-memory).
+  Status CompactNow() DBSCOUT_EXCLUDES(collections_mu_);
+
  private:
   /// Per-collection state. The router (and through it every detector
   /// shard) is mutated only by the apply loop; `snapshot` is the
@@ -189,6 +221,14 @@ class DetectionService {
     core::phases::PhaseRecorder recorder DBSCOUT_GUARDED_BY(stats_mu);
     uint64_t last_distance_comps DBSCOUT_GUARDED_BY(stats_mu) = 0;
     uint64_t ingest_errors DBSCOUT_GUARDED_BY(stats_mu) = 0;
+
+    /// Durability engine; null when the service runs in-memory. The
+    /// store has its own mutex (the apply loop appends/commits, service
+    /// threads log CONFIGUREs).
+    std::unique_ptr<storage::CollectionStore> store;
+    /// Apply-loop-private: whether the router's region plan has been
+    /// recorded in the WAL yet (set at replay when one was recovered).
+    bool plan_logged = false;
 
     explicit Collection(ShardRouter r) : router(std::move(r)) {}
   };
@@ -224,6 +264,24 @@ class DetectionService {
   /// Looks up a collection (null when absent). Never creates.
   Collection* FindCollection(const std::string& name)
       DBSCOUT_EXCLUDES(collections_mu_);
+
+  /// Opens `name`'s CollectionStore under data_dir (null options_.data_dir
+  /// = null store). `recovered` receives the on-disk state to replay.
+  Result<std::unique_ptr<storage::CollectionStore>> OpenStore(
+      const std::string& name, storage::RecoveredCollection* recovered);
+
+  /// Constructor-time crash recovery: scans data_dir, recreates every
+  /// collection found there, and replays snapshot + WAL suffix through
+  /// the normal apply pipeline. Runs before the apply loop starts, so the
+  /// coordinator-thread contract holds.
+  Status RecoverCollections() DBSCOUT_EXCLUDES(collections_mu_);
+  Status RecoverCollection(const std::string& name,
+                           const std::string& dir)
+      DBSCOUT_EXCLUDES(collections_mu_);
+  /// Replays one recovered collection: base state as one add pass plus
+  /// one expiry pass, then each WAL suffix record as its own pass.
+  Status ReplayCollection(Collection* collection,
+                          const storage::RecoveredCollection& recovered);
 
   /// Validates the batch shape and returns the collection, creating it on
   /// first ingest (dims fixed by the first batch).
@@ -274,6 +332,9 @@ class DetectionService {
   /// indefinite waits to periodic expiry wakeups. Never unset.
   std::atomic<bool> has_window_{false};
 
+  /// Constructor-time recovery outcome (OK when data_dir is empty).
+  Status recovery_status_;
+
   WallTimer uptime_;
 
   /// Resolved observability handles (cached once in the constructor; the
@@ -289,6 +350,10 @@ class DetectionService {
   obs::Histogram* apply_batch_size_ = nullptr;
   obs::Gauge* apply_shards_gauge_ = nullptr;
   obs::Histogram* apply_shard_seconds_ = nullptr;
+  obs::Counter* replay_records_total_ = nullptr;
+  obs::Counter* replay_points_total_ = nullptr;
+  obs::Histogram* replay_seconds_ = nullptr;
+  obs::Counter* wal_commit_failures_total_ = nullptr;
   /// Request latency by verb, indexed by Verb's numeric value.
   std::array<obs::Histogram*, 7> request_seconds_{};
 

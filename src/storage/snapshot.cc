@@ -1,0 +1,270 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/str_util.h"
+
+namespace dbscout::storage {
+namespace {
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::IoError(
+      StrFormat("%s %s: %s", what, path.c_str(), std::strerror(errno)));
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t len,
+                const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("write", path);
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// fsync the directory containing `path`, making the rename durable.
+Status SyncParentDir(const std::string& path) {
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Errno("open dir", dir);
+  }
+  Status status = Status::OK();
+  if (::fsync(fd) != 0) {
+    status = Errno("fsync dir", dir);
+  }
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+Status ApplyRecordToState(const WalRecord& record, CollectionState* state) {
+  switch (record.type) {
+    case WalRecordType::kCreate:
+      if (state->epoch != 0) {
+        return Status::IoError("wal create record after ingests");
+      }
+      state->dims = record.dims;
+      state->ttl_seconds = record.ttl_seconds;
+      return Status::OK();
+    case WalRecordType::kIngest: {
+      if (state->dims == 0) {
+        state->dims = record.dims;
+      }
+      if (record.dims != state->dims) {
+        return Status::IoError(
+            StrFormat("wal ingest record dims %u != collection dims %u",
+                      record.dims, state->dims));
+      }
+      if (record.base_epoch != state->epoch) {
+        return Status::IoError(StrFormat(
+            "wal ingest record at epoch %llu but collection is at %llu "
+            "(lost or reordered records)",
+            static_cast<unsigned long long>(record.base_epoch),
+            static_cast<unsigned long long>(state->epoch)));
+      }
+      state->coords.insert(state->coords.end(), record.coords.begin(),
+                           record.coords.end());
+      state->epoch += record.coords.size() / state->dims;
+      return Status::OK();
+    }
+    case WalRecordType::kExpire:
+      // Prefix-only expiry: the window never rewinds, and ranges arrive
+      // in order, so `end` monotonically advances window_begin.
+      if (record.expire_end > state->epoch) {
+        return Status::IoError("wal expire record past the epoch");
+      }
+      if (record.expire_begin != state->window_begin) {
+        return Status::IoError("wal expire record does not extend the "
+                               "expired prefix");
+      }
+      state->window_begin = record.expire_end;
+      return Status::OK();
+    case WalRecordType::kConfigure:
+      state->ttl_seconds = record.ttl_seconds;
+      return Status::OK();
+    case WalRecordType::kPlan:
+      state->has_plan = true;
+      state->plan_halo = record.halo;
+      state->plan_stripes = record.stripes;
+      return Status::OK();
+  }
+  return Status::IoError("unknown wal record type");
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const CollectionState& state) {
+  std::vector<uint8_t> payload;
+  Put<uint16_t>(&payload, state.dims);
+  Put<uint64_t>(&payload, state.epoch);
+  Put<uint64_t>(&payload, state.window_begin);
+  Put<double>(&payload, state.ttl_seconds);
+  Put<uint8_t>(&payload, state.has_plan ? 1 : 0);
+  if (state.has_plan) {
+    Put<int64_t>(&payload, state.plan_halo);
+    Put<uint32_t>(&payload, static_cast<uint32_t>(state.plan_stripes.size()));
+    for (const grid::Stripe& stripe : state.plan_stripes) {
+      Put<int64_t>(&payload, stripe.slab_lo);
+      Put<int64_t>(&payload, stripe.slab_hi);
+    }
+  }
+  Put<uint64_t>(&payload, static_cast<uint64_t>(state.coords.size()));
+  PutDoubles(&payload, state.coords);
+
+  std::vector<uint8_t> file;
+  file.reserve(payload.size() + 20);
+  Put<uint32_t>(&file, kSnapshotMagic);
+  Put<uint32_t>(&file, kSnapshotVersion);
+  Put<uint64_t>(&file, static_cast<uint64_t>(payload.size()));
+  const size_t old_size = file.size();
+  file.resize(old_size + payload.size());
+  if (!payload.empty()) {
+    std::memcpy(file.data() + old_size, payload.data(), payload.size());
+  }
+  Put<uint32_t>(&file, Crc32c(payload));
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Errno("create snapshot", tmp);
+  }
+  Status status = WriteAll(fd, file.data(), file.size(), tmp);
+  if (status.ok() && ::fdatasync(fd) != 0) {
+    status = Errno("fdatasync snapshot", tmp);
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Errno("close snapshot", tmp);
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Errno("rename snapshot", path);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  return SyncParentDir(path);
+}
+
+Result<CollectionState> ReadSnapshotFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Errno("open snapshot", path);
+  }
+  std::vector<uint8_t> data;
+  uint8_t buf[1u << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status status = Errno("read snapshot", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
+      break;
+    }
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+
+  ByteReader outer(data);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_len = 0;
+  {
+    auto m = outer.Read<uint32_t>();
+    auto v = outer.Read<uint32_t>();
+    auto l = outer.Read<uint64_t>();
+    if (!m.ok() || !v.ok() || !l.ok()) {
+      return Status::IoError(
+          StrFormat("%s: truncated snapshot header", path.c_str()));
+    }
+    magic = *m;
+    version = *v;
+    payload_len = *l;
+  }
+  if (magic != kSnapshotMagic) {
+    return Status::IoError(
+        StrFormat("%s: not a snapshot (bad magic)", path.c_str()));
+  }
+  if (version != kSnapshotVersion) {
+    return Status::IoError(StrFormat("%s: unsupported snapshot version %u",
+                                     path.c_str(), version));
+  }
+  if (data.size() < 16 || data.size() - 16 < payload_len + 4) {
+    return Status::IoError(
+        StrFormat("%s: truncated snapshot", path.c_str()));
+  }
+  const std::span<const uint8_t> payload(data.data() + 16, payload_len);
+  uint32_t crc = 0;
+  std::memcpy(&crc, data.data() + 16 + payload_len, 4);
+  if (Crc32c(payload) != crc) {
+    return Status::IoError(
+        StrFormat("%s: snapshot crc mismatch", path.c_str()));
+  }
+  if (data.size() - 16 != payload_len + 4) {
+    return Status::IoError(
+        StrFormat("%s: trailing bytes after snapshot", path.c_str()));
+  }
+
+  ByteReader reader(payload);
+  CollectionState state;
+  DBSCOUT_ASSIGN_OR_RETURN(state.dims, reader.Read<uint16_t>());
+  DBSCOUT_ASSIGN_OR_RETURN(state.epoch, reader.Read<uint64_t>());
+  DBSCOUT_ASSIGN_OR_RETURN(state.window_begin, reader.Read<uint64_t>());
+  DBSCOUT_ASSIGN_OR_RETURN(state.ttl_seconds, reader.Read<double>());
+  DBSCOUT_ASSIGN_OR_RETURN(const uint8_t has_plan, reader.Read<uint8_t>());
+  if (has_plan > 1) {
+    return Status::IoError(
+        StrFormat("%s: malformed snapshot plan flag", path.c_str()));
+  }
+  state.has_plan = has_plan == 1;
+  if (state.has_plan) {
+    DBSCOUT_ASSIGN_OR_RETURN(state.plan_halo, reader.Read<int64_t>());
+    DBSCOUT_ASSIGN_OR_RETURN(const uint32_t count, reader.Read<uint32_t>());
+    state.plan_stripes.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      grid::Stripe stripe;
+      DBSCOUT_ASSIGN_OR_RETURN(stripe.slab_lo, reader.Read<int64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(stripe.slab_hi, reader.Read<int64_t>());
+      state.plan_stripes.push_back(stripe);
+    }
+  }
+  DBSCOUT_ASSIGN_OR_RETURN(const uint64_t ncoords, reader.Read<uint64_t>());
+  DBSCOUT_ASSIGN_OR_RETURN(state.coords, reader.ReadDoubles(ncoords));
+  if (!reader.AtEnd()) {
+    return Status::IoError(
+        StrFormat("%s: trailing bytes in snapshot payload", path.c_str()));
+  }
+  if (state.dims != 0 && state.coords.size() / state.dims != state.epoch) {
+    return Status::IoError(
+        StrFormat("%s: snapshot coords do not match epoch", path.c_str()));
+  }
+  if (state.window_begin > state.epoch) {
+    return Status::IoError(
+        StrFormat("%s: snapshot window past epoch", path.c_str()));
+  }
+  return state;
+}
+
+}  // namespace dbscout::storage

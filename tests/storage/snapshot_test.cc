@@ -1,0 +1,202 @@
+// Snapshot files and the WAL-record fold: round-trips, CRC rejection of
+// every single-bit flip, truncation rejection, and the continuity checks
+// ApplyRecordToState enforces (base-epoch gaps, non-prefix expiry).
+
+#include "storage/snapshot.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grid/regions.h"
+
+namespace dbscout::storage {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+CollectionState SampleState() {
+  CollectionState state;
+  state.dims = 3;
+  state.epoch = 4;
+  state.window_begin = 1;
+  state.ttl_seconds = 7.5;
+  state.has_plan = true;
+  state.plan_halo = 2;
+  state.plan_stripes = {grid::Stripe{-2, 3}, grid::Stripe{4, 11}};
+  for (uint64_t i = 0; i < state.epoch * state.dims; ++i) {
+    state.coords.push_back(0.25 * static_cast<double>(i));
+  }
+  return state;
+}
+
+TEST(SnapshotFileTest, RoundTrips) {
+  const std::string path = TestPath("snap_roundtrip.snap");
+  const CollectionState state = SampleState();
+  ASSERT_TRUE(WriteSnapshotFile(path, state).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->dims, state.dims);
+  EXPECT_EQ(loaded->epoch, state.epoch);
+  EXPECT_EQ(loaded->window_begin, state.window_begin);
+  EXPECT_DOUBLE_EQ(loaded->ttl_seconds, state.ttl_seconds);
+  ASSERT_TRUE(loaded->has_plan);
+  EXPECT_EQ(loaded->plan_halo, state.plan_halo);
+  ASSERT_EQ(loaded->plan_stripes.size(), 2u);
+  EXPECT_EQ(loaded->plan_stripes[1].slab_hi, 11);
+  EXPECT_EQ(loaded->coords, state.coords);
+}
+
+TEST(SnapshotFileTest, EmptyStateRoundTrips) {
+  const std::string path = TestPath("snap_empty.snap");
+  CollectionState state;
+  state.dims = 2;
+  ASSERT_TRUE(WriteSnapshotFile(path, state).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->epoch, 0u);
+  EXPECT_FALSE(loaded->has_plan);
+  EXPECT_TRUE(loaded->coords.empty());
+}
+
+TEST(SnapshotFileTest, EveryBitFlipIsRejected) {
+  const std::string path = TestPath("snap_bitflip.snap");
+  ASSERT_TRUE(WriteSnapshotFile(path, SampleState()).ok());
+  const std::vector<uint8_t> clean = ReadFileBytes(path);
+  auto clean_state = ReadSnapshotFile(path);
+  ASSERT_TRUE(clean_state.ok());
+  for (size_t byte = 0; byte < clean.size(); ++byte) {
+    std::vector<uint8_t> flipped = clean;
+    flipped[byte] ^= 1u << (byte % 8);
+    WriteFileBytes(path, flipped);
+    auto loaded = ReadSnapshotFile(path);
+    // A flip anywhere must either be rejected outright or (only possible
+    // for flips inside the coordinate payload that somehow collide — the
+    // CRC makes this impossible for single bits) reproduce the state.
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << byte << " accepted";
+  }
+}
+
+TEST(SnapshotFileTest, TruncationIsRejected) {
+  const std::string path = TestPath("snap_truncated.snap");
+  ASSERT_TRUE(WriteSnapshotFile(path, SampleState()).ok());
+  const std::vector<uint8_t> clean = ReadFileBytes(path);
+  for (size_t keep = 0; keep < clean.size(); keep += 7) {
+    WriteFileBytes(path,
+                   std::vector<uint8_t>(clean.begin(), clean.begin() + keep));
+    EXPECT_FALSE(ReadSnapshotFile(path).ok()) << "kept " << keep;
+  }
+}
+
+TEST(SnapshotFileTest, MissingFileIsError) {
+  EXPECT_FALSE(ReadSnapshotFile(TestPath("snap_missing.snap")).ok());
+}
+
+TEST(ApplyRecordToStateTest, FoldsALogIntoState) {
+  CollectionState state;
+  WalRecord create;
+  create.type = WalRecordType::kCreate;
+  create.dims = 2;
+  create.ttl_seconds = 1.0;
+  ASSERT_TRUE(ApplyRecordToState(create, &state).ok());
+  EXPECT_EQ(state.dims, 2u);
+  EXPECT_DOUBLE_EQ(state.ttl_seconds, 1.0);
+
+  WalRecord plan;
+  plan.type = WalRecordType::kPlan;
+  plan.halo = 4;
+  plan.stripes = {grid::Stripe{0, 5}};
+  ASSERT_TRUE(ApplyRecordToState(plan, &state).ok());
+  EXPECT_TRUE(state.has_plan);
+
+  WalRecord ingest;
+  ingest.type = WalRecordType::kIngest;
+  ingest.dims = 2;
+  ingest.base_epoch = 0;
+  ingest.coords = {1.0, 2.0, 3.0, 4.0};
+  ASSERT_TRUE(ApplyRecordToState(ingest, &state).ok());
+  EXPECT_EQ(state.epoch, 2u);
+  EXPECT_EQ(state.coords.size(), 4u);
+
+  WalRecord expire;
+  expire.type = WalRecordType::kExpire;
+  expire.expire_begin = 0;
+  expire.expire_end = 1;
+  ASSERT_TRUE(ApplyRecordToState(expire, &state).ok());
+  EXPECT_EQ(state.window_begin, 1u);
+  // Coordinates of expired ids are kept: the id space stays dense.
+  EXPECT_EQ(state.coords.size(), 4u);
+
+  WalRecord configure;
+  configure.type = WalRecordType::kConfigure;
+  configure.ttl_seconds = 9.0;
+  ASSERT_TRUE(ApplyRecordToState(configure, &state).ok());
+  EXPECT_DOUBLE_EQ(state.ttl_seconds, 9.0);
+}
+
+TEST(ApplyRecordToStateTest, RejectsEpochGaps) {
+  CollectionState state;
+  WalRecord ingest;
+  ingest.type = WalRecordType::kIngest;
+  ingest.dims = 2;
+  ingest.base_epoch = 5;  // state is at epoch 0: a lost record
+  ingest.coords = {1.0, 2.0};
+  EXPECT_FALSE(ApplyRecordToState(ingest, &state).ok());
+}
+
+TEST(ApplyRecordToStateTest, RejectsNonPrefixExpiry) {
+  CollectionState state;
+  WalRecord ingest;
+  ingest.type = WalRecordType::kIngest;
+  ingest.dims = 1;
+  ingest.base_epoch = 0;
+  ingest.coords = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(ApplyRecordToState(ingest, &state).ok());
+  WalRecord expire;
+  expire.type = WalRecordType::kExpire;
+  expire.expire_begin = 1;  // window_begin is 0: not a prefix extension
+  expire.expire_end = 2;
+  EXPECT_FALSE(ApplyRecordToState(expire, &state).ok());
+  expire.expire_begin = 0;
+  expire.expire_end = 9;  // past the epoch
+  EXPECT_FALSE(ApplyRecordToState(expire, &state).ok());
+}
+
+TEST(ApplyRecordToStateTest, RejectsDimsMismatch) {
+  CollectionState state;
+  WalRecord first;
+  first.type = WalRecordType::kIngest;
+  first.dims = 2;
+  first.base_epoch = 0;
+  first.coords = {1.0, 2.0};
+  ASSERT_TRUE(ApplyRecordToState(first, &state).ok());
+  WalRecord second = first;
+  second.dims = 3;
+  second.base_epoch = 1;
+  second.coords = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(ApplyRecordToState(second, &state).ok());
+}
+
+}  // namespace
+}  // namespace dbscout::storage

@@ -62,6 +62,8 @@ GATES = [
     ("service", "windowed.points_per_sec", "higher"),
     ("service", "sharded.shards1_points_per_sec", "higher"),
     ("service", "sharded.shardsN_points_per_sec", "higher"),
+    ("service", "durable.never_points_per_sec", "higher"),
+    ("service", "durable.interval_points_per_sec", "higher"),
     ("service", "query.by_id.p50_us", "lower"),
     ("service", "query.probe.p50_us", "lower"),
     ("kernels", "end_to_end.phase35_speedup", "higher"),

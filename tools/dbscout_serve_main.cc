@@ -6,7 +6,8 @@
 // usage: dbscout_serve --eps=X --min-pts=N [--host=H] [--port=P]
 //                      [--max-sessions=S] [--max-pending=Q]
 //                      [--shards=N] [--apply-shards=K] [--ttl-seconds=T]
-//                      [--trace-out=FILE]
+//                      [--data-dir=DIR] [--wal-fsync=always|interval|never]
+//                      [--snapshot-interval=BYTES] [--trace-out=FILE]
 //
 // --shards=N backs every collection with N region-partitioned detector
 // shards (ghost-halo replication keeps the merged outlier set exact);
@@ -17,6 +18,16 @@
 // --ttl-seconds=T gives every collection a sliding window: points older
 // than T seconds are expired by the apply loop (0 = append-only; override
 // per collection with dbscout_client --set-ttl).
+//
+// --data-dir=DIR makes every collection durable: a per-collection
+// write-ahead log plus periodic snapshots under DIR, replayed on the next
+// start from the same DIR. --wal-fsync picks when acknowledged ingests
+// become power-loss durable (always = fsync before every ack, interval =
+// group fsync, never = only on clean close; kill -9 never loses
+// acknowledged data in any mode). --snapshot-interval=BYTES compacts the
+// WAL into a snapshot whenever the active segment outgrows BYTES
+// (0 disables). The server refuses to start if recovery fails — serving
+// over partial recovery would silently drop acknowledged data.
 //
 // --trace-out=FILE writes a Chrome/Perfetto trace of apply-pass and
 // per-phase spans when the server shuts down.
@@ -36,6 +47,7 @@
 #include "obs/trace.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "storage/store.h"
 
 namespace {
 
@@ -60,7 +72,8 @@ int Usage() {
   std::cerr << "usage: dbscout_serve --eps=X --min-pts=N [--host=H] "
                "[--port=P] [--max-sessions=S] [--max-pending=Q] "
                "[--shards=N] [--apply-shards=K] [--ttl-seconds=T] "
-               "[--trace-out=FILE]\n";
+               "[--data-dir=DIR] [--wal-fsync=always|interval|never] "
+               "[--snapshot-interval=BYTES] [--trace-out=FILE]\n";
   return 2;
 }
 
@@ -112,6 +125,23 @@ int main(int argc, char** argv) {
     }
     service_options.ttl_seconds = *value;
   }
+  if (const char* text = FlagValue(argc, argv, "data-dir")) {
+    service_options.data_dir = text;
+  }
+  if (const char* text = FlagValue(argc, argv, "wal-fsync")) {
+    auto policy = dbscout::storage::ParseFsyncPolicy(text);
+    if (!policy.ok()) {
+      return Usage();
+    }
+    service_options.wal_fsync = *policy;
+  }
+  if (const char* text = FlagValue(argc, argv, "snapshot-interval")) {
+    auto value = ParseUint64(text);
+    if (!value.ok()) {
+      return Usage();
+    }
+    service_options.snapshot_interval_bytes = *value;
+  }
   dbscout::obs::TraceCollector trace;
   std::string trace_out;
   if (const char* text = FlagValue(argc, argv, "trace-out")) {
@@ -139,6 +169,11 @@ int main(int argc, char** argv) {
   }
 
   dbscout::service::DetectionService service(service_options);
+  if (!service.recovery_status().ok()) {
+    std::cerr << "dbscout_serve: crash recovery failed: "
+              << service.recovery_status() << "\n";
+    return 1;
+  }
   auto server = dbscout::service::Server::Start(&service, server_options);
   if (!server.ok()) {
     std::cerr << "dbscout_serve: " << server.status() << "\n";

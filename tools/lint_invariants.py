@@ -40,7 +40,9 @@ Enforces, statically, the contracts that the compiler cannot:
                      (call phases::IsDenseCell / IsCoreCell). Scope:
                      src/core (minus src/core/phases/), src/external,
                      src/grid, src/service (the serving layer answers from
-                     snapshots and must not re-classify); baselines are
+                     snapshots and must not re-classify), src/storage (WAL
+                     replay re-applies points through the normal pipeline
+                     and must not re-derive labels); baselines are
                      independent implementations by design and exempt.
   hot-path-purity    The scan kernels must stay wait-free and silent: no
                      DBSCOUT_LOG / DBSCOUT_CHECK streaming and no mutex
@@ -342,7 +344,7 @@ def make_check_discarded_status(files: List[Tuple[str, List[str]]]
 
 PHASE_HOME = "src/core/phases/"
 PHASE_SCOPE_PREFIXES = ("src/core/", "src/external/", "src/grid/",
-                        "src/service/")
+                        "src/service/", "src/storage/")
 # CellMap is the storage type the CellType verdicts live in; its own
 # accessors necessarily compare the enum.
 PHASE_CELLTYPE_EXEMPT = ("src/grid/cell_map.h", "src/grid/cell_map.cc")
@@ -609,6 +611,10 @@ def self_test() -> int:
     expect("raw-thread",
            list(check_raw_thread("src/service/server.cc", service_bad)), 1,
            "service-in-scope")
+    storage_bad = lines("std::thread fsyncer([this] { SyncLoop(); });\n")
+    expect("raw-thread",
+           list(check_raw_thread("src/storage/store.cc", storage_bad)), 1,
+           "storage-in-scope")
 
     # raw-rng
     bad = lines("int x = rand() % 6;\n"
@@ -664,6 +670,11 @@ def self_test() -> int:
     expect("phase-logic-locality",
            list(check_phase_logic_locality("src/service/router.cc",
                                            exempt)), 1, "router-in-scope")
+    # Durable replay feeds recovered points back through the apply
+    # pipeline; deciding density during replay would fork the phase logic.
+    expect("phase-logic-locality",
+           list(check_phase_logic_locality("src/storage/store.cc",
+                                           exempt)), 1, "storage-in-scope")
     storage = lines("return TypeOf(coord) >= CellType::kCore;\n")
     expect("phase-logic-locality",
            list(check_phase_logic_locality("src/grid/cell_map.h", storage)),

@@ -3,7 +3,10 @@
 # ephemeral port, ingests a generated shape dataset through dbscout_client,
 # checks that stats report outliers, probes a far-away point, scrapes the
 # METRICS endpoint twice (Prometheus text format, monotone counters), then
-# shuts the server down with SIGTERM and verifies a clean exit.
+# shuts the server down with SIGTERM and verifies a clean exit. A second
+# durable leg ingests into a --data-dir server, kill -9s it, checks the
+# WAL with wal_inspect, restarts over the same directory, and asserts the
+# stats and a probe query are unchanged.
 #
 # usage: tools/serve_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -87,6 +90,80 @@ QUERIES2="$(scrape_counter "$WORK/metrics2.txt" \
 [[ "$QUERIES2" -gt "$QUERIES1" ]] \
   || { echo "FAIL: query count did not advance ($QUERIES1 -> $QUERIES2)"; exit 1; }
 echo "   ingest_points_total=$POINTS2 query_count=$QUERIES1->$QUERIES2"
+
+echo "== durability: ingest, kill -9, restart over the same --data-dir"
+WAL_INSPECT="$BUILD_DIR/tools/wal_inspect"
+[[ -x "$WAL_INSPECT" ]] || { echo "missing binary: $WAL_INSPECT"; exit 1; }
+DATA_DIR="$WORK/data"
+DURABLE_PID=""
+cleanup_durable() {
+  [[ -n "$DURABLE_PID" ]] && kill -9 "$DURABLE_PID" 2>/dev/null || true
+}
+trap 'cleanup_durable; cleanup' EXIT
+
+wait_port() {  # wait_port LOGFILE PID -> port on stdout
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$1")"
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    kill -0 "$2" 2>/dev/null || { cat "$1" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "server never reported its port" >&2
+  return 1
+}
+
+"$SERVE" --eps=0.7 --min-pts=5 --port=0 --data-dir="$DATA_DIR" \
+  --wal-fsync=interval >"$WORK/serve_durable1.log" 2>&1 &
+DURABLE_PID=$!
+DPORT="$(wait_port "$WORK/serve_durable1.log" "$DURABLE_PID")"
+echo "   port=$DPORT"
+"$CLIENT" --port="$DPORT" --collection=smoke --ingest="$WORK/blobs.dbsc"
+DSTATS1="$("$CLIENT" --port="$DPORT" --collection=smoke --stats | head -1)"
+DPROBE1="$("$CLIENT" --port="$DPORT" --collection=smoke --query=1000,1000)"
+echo "   before kill: $DSTATS1"
+
+kill -9 "$DURABLE_PID"
+wait "$DURABLE_PID" 2>/dev/null || true
+DURABLE_PID=""
+
+echo "== wal_inspect after kill -9 (torn tail ok, corruption is not)"
+"$WAL_INSPECT" --quiet "$DATA_DIR" \
+  || { echo "FAIL: wal_inspect found corruption"; exit 1; }
+
+"$SERVE" --eps=0.7 --min-pts=5 --port=0 --data-dir="$DATA_DIR" \
+  --wal-fsync=interval >"$WORK/serve_durable2.log" 2>&1 &
+DURABLE_PID=$!
+DPORT="$(wait_port "$WORK/serve_durable2.log" "$DURABLE_PID")" \
+  || { echo "FAIL: restart after kill -9 did not come up"; exit 1; }
+echo "   restarted port=$DPORT"
+DSTATS2="$("$CLIENT" --port="$DPORT" --collection=smoke --stats | head -1)"
+DPROBE2="$("$CLIENT" --port="$DPORT" --collection=smoke --query=1000,1000)"
+echo "   after restart: $DSTATS2"
+
+stat_field() {  # stat_field LINE NAME -> value
+  sed -n "s/.*$2=\([0-9][0-9]*\).*/\1/p" <<<"$1"
+}
+LIVE1="$(stat_field "$DSTATS1" live)"
+LIVE2="$(stat_field "$DSTATS2" live)"
+[[ -n "$LIVE1" && "$LIVE1" -eq "$LIVE2" ]] \
+  || { echo "FAIL: live points changed across restart ($LIVE1 -> $LIVE2)"; exit 1; }
+EPOCH1="$(stat_field "$DSTATS1" epoch)"
+EPOCH2="$(stat_field "$DSTATS2" epoch)"
+[[ "$EPOCH1" -eq "$EPOCH2" ]] \
+  || { echo "FAIL: epoch changed across restart ($EPOCH1 -> $EPOCH2)"; exit 1; }
+OUT1="$(stat_field "$DSTATS1" outliers)"
+OUT2="$(stat_field "$DSTATS2" outliers)"
+[[ "$OUT1" -eq "$OUT2" ]] \
+  || { echo "FAIL: outlier count changed across restart ($OUT1 -> $OUT2)"; exit 1; }
+grep -q "kind=outlier" <<<"$DPROBE2" \
+  || { echo "FAIL: far probe after restart not an outlier"; exit 1; }
+[[ "$DPROBE1" == "$DPROBE2" ]] \
+  || { echo "FAIL: probe answer changed across restart ($DPROBE1 -> $DPROBE2)"; exit 1; }
+
+kill -9 "$DURABLE_PID"
+wait "$DURABLE_PID" 2>/dev/null || true
+DURABLE_PID=""
 
 echo "== graceful shutdown"
 kill -TERM "$SERVER_PID"
