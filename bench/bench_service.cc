@@ -9,7 +9,7 @@
 //
 // Queries run through ServiceHandle, so every call pays the full wire
 // encode/decode round trip (everything a TCP client costs minus the
-// socket). Latencies are reported as p50/p99 over the sorted sample.
+// socket). Latencies are reported as p50/p99/p999 over the sorted sample.
 //
 // Human-readable progress goes to stderr; stdout is a single JSON object,
 // so `bench_service > BENCH_service.json` captures the committed artifact.
@@ -35,6 +35,7 @@ using namespace dbscout;
 struct LatencyStats {
   double p50_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   double mean_us = 0;
 };
 
@@ -50,6 +51,7 @@ LatencyStats Summarize(std::vector<double>& seconds) {
   };
   stats.p50_us = at(0.50);
   stats.p99_us = at(0.99);
+  stats.p999_us = at(0.999);
   double total = 0;
   for (double s : seconds) {
     total += s;
@@ -327,7 +329,8 @@ int main(int argc, char** argv) {
   std::printf("    \"blocking_points_per_sec\": %.0f,\n",
               n / blocking_seconds);
   std::printf("    \"blocking_batch_p50_us\": %.1f,\n", ingest_lat.p50_us);
-  std::printf("    \"blocking_batch_p99_us\": %.1f\n", ingest_lat.p99_us);
+  std::printf("    \"blocking_batch_p99_us\": %.1f,\n", ingest_lat.p99_us);
+  std::printf("    \"blocking_batch_p999_us\": %.1f\n", ingest_lat.p999_us);
   std::printf("  },\n");
   std::printf("  \"sharded\": {\n");
   std::printf("    \"shards\": %zu,\n", sweep_shards);
@@ -354,11 +357,12 @@ int main(int argc, char** argv) {
   std::printf("  \"query\": {\n");
   std::printf("    \"count\": %zu,\n", num_queries);
   std::printf("    \"by_id\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
-              "\"mean_us\": %.1f},\n",
-              id_lat.p50_us, id_lat.p99_us, id_lat.mean_us);
+              "\"p999_us\": %.1f, \"mean_us\": %.1f},\n",
+              id_lat.p50_us, id_lat.p99_us, id_lat.p999_us, id_lat.mean_us);
   std::printf("    \"probe\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
-              "\"mean_us\": %.1f}\n",
-              probe_lat.p50_us, probe_lat.p99_us, probe_lat.mean_us);
+              "\"p999_us\": %.1f, \"mean_us\": %.1f}\n",
+              probe_lat.p50_us, probe_lat.p99_us, probe_lat.p999_us,
+              probe_lat.mean_us);
   std::printf("  }\n");
   std::printf("}\n");
   return 0;

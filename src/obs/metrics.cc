@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "common/logging.h"
@@ -131,6 +132,70 @@ void Histogram::Observe(double value) {
                              std::memory_order_relaxed);
 }
 
+void Histogram::ObserveWithExemplar(double value, uint64_t exemplar_id) {
+  if (!(value >= 0.0)) {
+    value = 0.0;
+  }
+  Observe(value);
+  if (exemplar_id == 0) {
+    return;
+  }
+  const size_t bucket = BucketIndex(value);
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  // Two independent relaxed stores: a reader may pair an id with the
+  // value of a racing exemplar. Exemplars are debugging breadcrumbs, not
+  // invariants — the id always names a real request that landed in this
+  // bucket, which is what matters.
+  exemplar_value_bits_[bucket].store(bits, std::memory_order_relaxed);
+  exemplar_ids_[bucket].store(exemplar_id, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  if (!(q >= 0.0)) {  // also catches NaN
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // The rank of the q-th sample, 1-based, clamped into [1, count].
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) {
+    rank = 1;
+  }
+  size_t bucket = kNumBuckets;
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    if (cumulative[i] >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  const auto bound = [this](size_t i) {
+    return bound_base * static_cast<double>(uint64_t{1} << i);
+  };
+  if (bucket == kNumBuckets) {
+    // +Inf bucket: no finite upper bound to interpolate toward; the
+    // highest finite bound is the best non-lying answer.
+    return bound(kNumBuckets - 1);
+  }
+  const uint64_t below = bucket == 0 ? 0 : cumulative[bucket - 1];
+  const uint64_t in_bucket = cumulative[bucket] - below;
+  const double fraction =
+      in_bucket == 0 ? 1.0
+                     : static_cast<double>(rank - below) /
+                           static_cast<double>(in_bucket);
+  const double upper = bound(bucket);
+  if (bucket == 0) {
+    return upper * fraction;  // lower bound 0: linear
+  }
+  const double lower = bound(bucket - 1);
+  return lower * std::pow(upper / lower, fraction);
+}
+
 Histogram::Snapshot Histogram::Snap() const {
   Snapshot snap;
   uint64_t scaled_sum = 0;
@@ -149,6 +214,12 @@ Histogram::Snapshot Histogram::Snap() const {
   }
   snap.sum = static_cast<double>(scaled_sum) / kSumScale;
   snap.bound_base = layout_.base;
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    snap.exemplar_ids[i] = exemplar_ids_[i].load(std::memory_order_relaxed);
+    const uint64_t bits =
+        exemplar_value_bits_[i].load(std::memory_order_relaxed);
+    std::memcpy(&snap.exemplar_values[i], &bits, sizeof(bits));
+  }
   return snap;
 }
 
@@ -286,8 +357,20 @@ std::string Registry::Expose() const {
                 .append("_bucket")
                 .append(LabelBlock(series.labels, "le", FormatDouble(bound)))
                 .append(" ")
-                .append(std::to_string(series.histogram.cumulative[i]))
-                .push_back('\n');
+                .append(std::to_string(series.histogram.cumulative[i]));
+            // OpenMetrics-style exemplar: the most recent trace id seen in
+            // this bucket. Plain-Prometheus parsers that split on the
+            // first space still read the sample value unchanged.
+            if (series.histogram.exemplar_ids[i] != 0) {
+              char exemplar[96];
+              std::snprintf(exemplar, sizeof(exemplar),
+                            " # {trace_id=\"%016llx\"} %.9g",
+                            static_cast<unsigned long long>(
+                                series.histogram.exemplar_ids[i]),
+                            series.histogram.exemplar_values[i]);
+              out.append(exemplar);
+            }
+            out.push_back('\n');
           }
           out.append(family.name)
               .append("_sum")

@@ -117,6 +117,12 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Observe() plus an exemplar: remembers `exemplar_id` (a request trace
+  /// id) as the most recent example landing in the value's bucket.
+  /// Last-writer-wins relaxed stores — still wait-free, still
+  /// allocation-free. An id of 0 records no exemplar.
+  void ObserveWithExemplar(double value, uint64_t exemplar_id);
+
   /// Upper bound of bucket `i` (i < kNumBuckets); bucket kNumBuckets is
   /// +Inf.
   double BucketBound(size_t i) const;
@@ -129,8 +135,23 @@ class Histogram {
     double sum = 0.0;
     /// layout().base, carried so exporters can reconstruct bucket bounds.
     double bound_base = 1e-6;
+    /// Most recent exemplar per bucket: trace id (0 = none) and the
+    /// observed value it carried.
+    std::array<uint64_t, kNumBuckets + 1> exemplar_ids{};
+    std::array<double, kNumBuckets + 1> exemplar_values{};
+
+    /// Estimated q-quantile (q in [0,1]) by log-linear interpolation
+    /// inside the bucket holding the q-th sample: log-spaced bounds make
+    /// geometric interpolation the unbiased choice (bucket 0, whose lower
+    /// bound is 0, interpolates linearly). Samples in the +Inf bucket
+    /// clamp to the highest finite bound. Returns 0 when empty.
+    double Quantile(double q) const;
   };
   Snapshot Snap() const;
+
+  /// Convenience: Snap().Quantile(q). Prefer one Snap() + several
+  /// Quantile() calls when reporting p50/p99/p999 together.
+  double Quantile(double q) const { return Snap().Quantile(q); }
 
   const HistogramLayout& layout() const { return layout_; }
 
@@ -146,6 +167,12 @@ class Histogram {
 
   HistogramLayout layout_;
   std::array<Shard, kMetricShards> shards_;
+  /// Exemplar slots, not sharded: last-writer-wins is the semantic, so
+  /// one relaxed store per Observe is enough and readers see *some*
+  /// recent example. value is stored as bit-cast uint64 to stay lock-free
+  /// without atomic<double>.
+  std::array<std::atomic<uint64_t>, kNumBuckets + 1> exemplar_ids_{};
+  std::array<std::atomic<uint64_t>, kNumBuckets + 1> exemplar_value_bits_{};
 };
 
 /// Process-wide metric registry. Get*() lazily registers (name, labels)

@@ -53,11 +53,66 @@ void AppendMicros(std::string* out, double seconds) {
   out->append(buf);
 }
 
+/// Trace ids render as fixed-width hex strings: 64-bit values do not
+/// survive a JSON number round trip (doubles lose bits past 2^53).
+void AppendTraceId(std::string* out, uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"%016llx\"",
+                static_cast<unsigned long long>(id));
+  out->append(buf);
+}
+
+bool Matches(const TraceSpan& span, const TraceFilter& filter) {
+  if (!filter.scope.empty() && span.scope != filter.scope) {
+    return false;
+  }
+  if (!filter.name.empty() && span.name != filter.name &&
+      span.cat != filter.name) {
+    return false;
+  }
+  if (filter.trace_id != 0 && span.trace_id != filter.trace_id) {
+    return false;
+  }
+  return true;
+}
+
+void AppendSpanJson(std::string* out, const TraceSpan& span) {
+  out->append("{\"name\":");
+  AppendJsonString(out, span.name);
+  out->append(",\"cat\":");
+  AppendJsonString(out, span.cat);
+  out->append(",\"ph\":\"X\",\"ts\":");
+  AppendMicros(out, span.start_seconds);
+  out->append(",\"dur\":");
+  AppendMicros(out, span.duration_seconds);
+  out->append(",\"pid\":1,\"tid\":");
+  out->append(std::to_string(span.thread_id));
+  out->append(",\"args\":{\"distance_computations\":");
+  out->append(std::to_string(span.distance_computations));
+  out->append(",\"records\":");
+  out->append(std::to_string(span.records));
+  if (span.trace_id != 0) {
+    out->append(",\"trace_id\":");
+    AppendTraceId(out, span.trace_id);
+  }
+  if (!span.scope.empty()) {
+    out->append(",\"scope\":");
+    AppendJsonString(out, span.scope);
+  }
+  out->append("}}");
+}
+
 }  // namespace
 
 void TraceCollector::AddSpan(TraceSpan span) {
   MutexLock lock(mu_);
-  spans_.push_back(std::move(span));
+  if (capacity_ == 0 || spans_.size() < capacity_) {
+    spans_.push_back(std::move(span));
+    return;
+  }
+  spans_[next_slot_] = std::move(span);
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  ++dropped_;
 }
 
 void TraceCollector::AddSpanEndingNow(std::string_view name,
@@ -78,9 +133,36 @@ void TraceCollector::AddSpanEndingNow(std::string_view name,
   AddSpan(std::move(span));
 }
 
+void TraceCollector::AddTracedSpan(std::string_view name,
+                                   std::string_view cat, uint64_t trace_id,
+                                   std::string_view scope,
+                                   double duration_seconds,
+                                   uint64_t records) {
+  TraceSpan span;
+  span.name = std::string(name);
+  span.cat = std::string(cat);
+  span.duration_seconds = duration_seconds > 0.0 ? duration_seconds : 0.0;
+  span.start_seconds = NowSeconds() - span.duration_seconds;
+  if (span.start_seconds < 0.0) {
+    span.start_seconds = 0.0;
+  }
+  span.thread_id = CurrentThreadId();
+  span.records = records;
+  span.trace_id = trace_id;
+  span.scope = std::string(scope);
+  AddSpan(std::move(span));
+}
+
 std::vector<TraceSpan> TraceCollector::Spans() const {
   MutexLock lock(mu_);
-  return spans_;
+  std::vector<TraceSpan> out;
+  out.reserve(spans_.size());
+  // Unwind the ring: the oldest retained span sits at the write cursor
+  // once the buffer has wrapped.
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    out.push_back(spans_[(next_slot_ + i) % spans_.size()]);
+  }
+  return out;
 }
 
 size_t TraceCollector::size() const {
@@ -88,30 +170,34 @@ size_t TraceCollector::size() const {
   return spans_.size();
 }
 
+uint64_t TraceCollector::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
 std::string TraceCollector::ToChromeJson() const {
-  const std::vector<TraceSpan> spans = Spans();
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
+  return ToChromeJson(TraceFilter{});
+}
+
+std::string TraceCollector::ToChromeJson(const TraceFilter& filter) const {
+  std::vector<TraceSpan> spans = Spans();
+  std::vector<const TraceSpan*> selected;
+  selected.reserve(spans.size());
   for (const TraceSpan& span : spans) {
-    if (!first) {
+    if (Matches(span, filter)) {
+      selected.push_back(&span);
+    }
+  }
+  size_t begin = 0;
+  if (filter.limit != 0 && selected.size() > filter.limit) {
+    begin = selected.size() - filter.limit;  // keep the most recent tail
+  }
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = begin; i < selected.size(); ++i) {
+    if (i != begin) {
       out.push_back(',');
     }
-    first = false;
-    out.append("{\"name\":");
-    AppendJsonString(&out, span.name);
-    out.append(",\"cat\":");
-    AppendJsonString(&out, span.cat);
-    out.append(",\"ph\":\"X\",\"ts\":");
-    AppendMicros(&out, span.start_seconds);
-    out.append(",\"dur\":");
-    AppendMicros(&out, span.duration_seconds);
-    out.append(",\"pid\":1,\"tid\":");
-    out.append(std::to_string(span.thread_id));
-    out.append(",\"args\":{\"distance_computations\":");
-    out.append(std::to_string(span.distance_computations));
-    out.append(",\"records\":");
-    out.append(std::to_string(span.records));
-    out.append("}}");
+    AppendSpanJson(&out, *selected[i]);
   }
   out.append("],\"displayTimeUnit\":\"ms\"}");
   return out;

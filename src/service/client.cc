@@ -2,10 +2,12 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -35,10 +37,19 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
     ::close(fd);
     return status;
   }
+  // Request/response over small frames: Nagle would hold each frame for
+  // the peer's delayed ACK, adding tens of ms per round trip.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Client(fd);
 }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      tracing_(other.tracing_),
+      last_trace_id_(other.last_trace_id_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -46,6 +57,8 @@ Client& Client::operator=(Client&& other) noexcept {
       ::close(fd_);
     }
     fd_ = other.fd_;
+    tracing_ = other.tracing_;
+    last_trace_id_ = other.last_trace_id_;
     other.fd_ = -1;
   }
   return *this;
@@ -61,13 +74,35 @@ Result<Response> Client::Call(const Request& request) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client is disconnected");
   }
-  DBSCOUT_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  std::vector<uint8_t> bytes;
+  if (tracing_ && request.context.trace_id == 0) {
+    // Stamping copies the request (coords and all); acceptable because
+    // tracing is an explicit opt-in, never the hot default.
+    Request stamped = request;
+    stamped.context.trace_id = NextTraceId();
+    stamped.context.origin_seconds =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    last_trace_id_ = stamped.context.trace_id;
+    bytes = EncodeRequest(stamped);
+  } else {
+    if (request.context.trace_id != 0) {
+      last_trace_id_ = request.context.trace_id;
+    }
+    bytes = EncodeRequest(request);
+  }
+  DBSCOUT_RETURN_IF_ERROR(WriteFrame(fd_, bytes));
   DBSCOUT_ASSIGN_OR_RETURN(auto frame, ReadFrame(fd_, nullptr));
   if (!frame.has_value()) {
     return Status::IoError(
         "server closed the connection (possibly shed: session cap)");
   }
-  return DecodeResponse(*frame);
+  auto response = DecodeResponse(*frame);
+  if (response.ok() && response->trace_id != 0) {
+    last_trace_id_ = response->trace_id;
+  }
+  return response;
 }
 
 Result<uint64_t> Client::Ingest(const std::string& collection, uint16_t dims,
@@ -144,6 +179,28 @@ Result<std::string> Client::Metrics() {
   DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
   DBSCOUT_RETURN_IF_ERROR(Status(response.status));
   return response.metrics.text;
+}
+
+Result<TraceAnswer> Client::TraceDump(const std::string& scope,
+                                      const std::string& name,
+                                      uint64_t trace_id, uint32_t limit) {
+  Request request;
+  request.verb = Verb::kTrace;
+  request.collection = scope;
+  request.trace_name_filter = name;
+  request.trace_id_filter = trace_id;
+  request.trace_limit = limit;
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.trace;
+}
+
+Result<HealthAnswer> Client::Health() {
+  Request request;
+  request.verb = Verb::kHealth;
+  DBSCOUT_ASSIGN_OR_RETURN(const Response response, Call(request));
+  DBSCOUT_RETURN_IF_ERROR(Status(response.status));
+  return response.health;
 }
 
 }  // namespace dbscout::service

@@ -28,6 +28,26 @@ class Client {
   /// shed load); a non-OK Result means the transport itself failed.
   Result<Response> Call(const Request& request);
 
+  /// Opt-in: stamp every outgoing request with a fresh trace id + origin
+  /// timestamp, so the server's spans for it are linked and the id comes
+  /// back in the response. Off by default — stamped frames set the verb
+  /// high bit, which pre-trace servers reject as an unknown verb.
+  void EnableTracing(bool on = true) { tracing_ = on; }
+
+  /// The trace id most recently stamped by this client or echoed by the
+  /// server (0 = none). Feed it to TraceDump to fetch one request's spans.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
+  /// Dumps the server's span ring buffer as Chrome trace-event JSON.
+  /// `scope` filters by collection, `name` by span name/category,
+  /// `trace_id` to one request, `limit` to the most recent N (0 = all).
+  Result<TraceAnswer> TraceDump(const std::string& scope = "",
+                                const std::string& name = "",
+                                uint64_t trace_id = 0, uint32_t limit = 0);
+
+  /// Readiness / degradation state plus process self-gauges.
+  Result<HealthAnswer> Health();
+
   /// Convenience wrappers; they fold the service-level status into the
   /// Result, so callers get value-or-error directly.
   Result<uint64_t> Ingest(const std::string& collection, uint16_t dims,
@@ -48,6 +68,8 @@ class Client {
   explicit Client(int fd) : fd_(fd) {}
 
   int fd_ = -1;
+  bool tracing_ = false;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace dbscout::service

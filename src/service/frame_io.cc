@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -69,27 +70,49 @@ Status WriteFrame(int fd, std::span<const uint8_t> payload) {
   uint8_t header[4];
   std::memcpy(header, &len, sizeof(len));
 
-  // Gather header + payload into one buffer boundary-free: write header
-  // first, then payload, retrying partial writes.
-  const auto write_all = [fd](const uint8_t* data, size_t size) -> Status {
-    size_t sent = 0;
-    while (sent < size) {
-      // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE instead of
-      // a process-killing SIGPIPE.
-      const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        return Status::IoError(
-            StrFormat("write: %s", ErrnoToString(errno).c_str()));
-      }
-      sent += static_cast<size_t>(n);
-    }
-    return Status::OK();
+  // The header and payload must leave in one writev: two separate send()s
+  // put the 4-byte prefix on the wire as its own segment, and with Nagle
+  // active the payload then stalls behind the peer's delayed ACK — ~40ms
+  // per frame on loopback, which dominated request latency before
+  // bench_load caught it.
+  iovec iov[2] = {
+      {header, sizeof(header)},
+      {const_cast<uint8_t*>(payload.data()), payload.size()},
   };
-  DBSCOUT_RETURN_IF_ERROR(write_all(header, sizeof(header)));
-  return write_all(payload.data(), payload.size());
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = payload.empty() ? 1 : 2;
+  size_t sent = 0;
+  const size_t total = sizeof(header) + payload.size();
+  while (sent < total) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE instead of
+    // a process-killing SIGPIPE.
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(
+          StrFormat("write: %s", ErrnoToString(errno).c_str()));
+    }
+    sent += static_cast<size_t>(n);
+    // Advance the iovecs past what the kernel took (partial writes are
+    // rare on stream sockets but legal).
+    size_t consumed = static_cast<size_t>(n);
+    while (consumed > 0 && msg.msg_iovlen > 0) {
+      if (consumed >= msg.msg_iov[0].iov_len) {
+        consumed -= msg.msg_iov[0].iov_len;
+        ++msg.msg_iov;
+        --msg.msg_iovlen;
+      } else {
+        msg.msg_iov[0].iov_base =
+            static_cast<uint8_t*>(msg.msg_iov[0].iov_base) + consumed;
+        msg.msg_iov[0].iov_len -= consumed;
+        consumed = 0;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::optional<std::vector<uint8_t>>> ReadFrame(

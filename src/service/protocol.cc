@@ -1,5 +1,7 @@
 #include "service/protocol.h"
 
+#include <atomic>
+
 #include "common/codec.h"
 #include "common/str_util.h"
 
@@ -18,9 +20,52 @@ Result<Verb> CheckVerb(uint8_t raw) {
     case Verb::kSnapshot:
     case Verb::kMetrics:
     case Verb::kConfigure:
+    case Verb::kTrace:
+    case Verb::kHealth:
       return static_cast<Verb>(raw);
   }
   return Status::InvalidArgument(StrFormat("unknown verb %u", raw));
+}
+
+/// Emits the verb byte, setting kTraceHeaderFlag and appending the trace
+/// header when a context is present. Shared by request and response
+/// encoders so both sides speak the identical header layout.
+void PutVerbAndTraceHeader(std::vector<uint8_t>* out, Verb verb,
+                           uint64_t trace_id, double seconds) {
+  uint8_t raw = static_cast<uint8_t>(verb);
+  if (trace_id != 0) {
+    raw |= kTraceHeaderFlag;
+  }
+  Put<uint8_t>(out, raw);
+  if (trace_id != 0) {
+    Put<uint64_t>(out, trace_id);
+    Put<double>(out, seconds);
+  }
+}
+
+/// Reads the verb byte and, when flagged, the trace header. The verb is
+/// validated after the flag is stripped, so a flagged frame with a bad
+/// verb and an unflagged one fail identically.
+struct VerbAndTraceHeader {
+  Verb verb = Verb::kStats;
+  uint64_t trace_id = 0;
+  double seconds = 0.0;
+};
+Result<VerbAndTraceHeader> ReadVerbAndTraceHeader(ByteReader* reader) {
+  VerbAndTraceHeader out;
+  DBSCOUT_ASSIGN_OR_RETURN(const uint8_t raw, reader->Read<uint8_t>());
+  DBSCOUT_ASSIGN_OR_RETURN(
+      out.verb, CheckVerb(raw & static_cast<uint8_t>(~kTraceHeaderFlag)));
+  if ((raw & kTraceHeaderFlag) != 0) {
+    DBSCOUT_ASSIGN_OR_RETURN(out.trace_id, reader->Read<uint64_t>());
+    DBSCOUT_ASSIGN_OR_RETURN(out.seconds, reader->Read<double>());
+    if (out.trace_id == 0) {
+      // id 0 means "no context"; a flagged header carrying it is a frame
+      // the reference encoder can never produce.
+      return Status::InvalidArgument("trace header with zero trace id");
+    }
+  }
+  return out;
 }
 
 Result<core::PointKind> CheckKind(uint8_t raw) {
@@ -32,9 +77,25 @@ Result<core::PointKind> CheckKind(uint8_t raw) {
 
 }  // namespace
 
+uint64_t NextTraceId() {
+  constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+  static std::atomic<uint64_t> counter{
+      kGamma ^ reinterpret_cast<uintptr_t>(&counter)};
+  for (;;) {
+    uint64_t z = counter.fetch_add(kGamma, std::memory_order_relaxed) + kGamma;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    if (z != 0) {  // 0 means "untraced" on the wire; skip it
+      return z;
+    }
+  }
+}
+
 std::vector<uint8_t> EncodeRequest(const Request& request) {
   std::vector<uint8_t> out;
-  Put<uint8_t>(&out, static_cast<uint8_t>(request.verb));
+  PutVerbAndTraceHeader(&out, request.verb, request.context.trace_id,
+                        request.context.origin_seconds);
   Put<uint8_t>(&out, request.want_score ? 1 : 0);
   PutString(&out, request.collection);
   switch (request.verb) {
@@ -64,9 +125,15 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
     case Verb::kConfigure:
       Put<double>(&out, request.ttl_seconds);
       break;
+    case Verb::kTrace:
+      PutString(&out, request.trace_name_filter);
+      Put<uint64_t>(&out, request.trace_id_filter);
+      Put<uint32_t>(&out, request.trace_limit);
+      break;
     case Verb::kStats:
     case Verb::kSnapshot:
     case Verb::kMetrics:
+    case Verb::kHealth:
       break;
   }
   return out;
@@ -75,8 +142,11 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
 Result<Request> DecodeRequest(std::span<const uint8_t> payload) {
   ByteReader reader(payload);
   Request request;
-  DBSCOUT_ASSIGN_OR_RETURN(const uint8_t verb, reader.Read<uint8_t>());
-  DBSCOUT_ASSIGN_OR_RETURN(request.verb, CheckVerb(verb));
+  DBSCOUT_ASSIGN_OR_RETURN(const VerbAndTraceHeader head,
+                           ReadVerbAndTraceHeader(&reader));
+  request.verb = head.verb;
+  request.context.trace_id = head.trace_id;
+  request.context.origin_seconds = head.seconds;
   DBSCOUT_ASSIGN_OR_RETURN(const uint8_t flags, reader.Read<uint8_t>());
   request.want_score = (flags & 1) != 0;
   DBSCOUT_ASSIGN_OR_RETURN(request.collection,
@@ -110,9 +180,18 @@ Result<Request> DecodeRequest(std::span<const uint8_t> payload) {
       DBSCOUT_ASSIGN_OR_RETURN(request.ttl_seconds, reader.Read<double>());
       break;
     }
+    case Verb::kTrace: {
+      DBSCOUT_ASSIGN_OR_RETURN(request.trace_name_filter,
+                               reader.ReadString(kMaxCollectionName));
+      DBSCOUT_ASSIGN_OR_RETURN(request.trace_id_filter,
+                               reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(request.trace_limit, reader.Read<uint32_t>());
+      break;
+    }
     case Verb::kStats:
     case Verb::kSnapshot:
     case Verb::kMetrics:
+    case Verb::kHealth:
       break;
   }
   if (!reader.AtEnd()) {
@@ -123,7 +202,8 @@ Result<Request> DecodeRequest(std::span<const uint8_t> payload) {
 
 std::vector<uint8_t> EncodeResponse(const Response& response) {
   std::vector<uint8_t> out;
-  Put<uint8_t>(&out, static_cast<uint8_t>(response.verb));
+  PutVerbAndTraceHeader(&out, response.verb, response.trace_id,
+                        response.server_seconds);
   Put<uint8_t>(&out, static_cast<uint8_t>(response.status.code()));
   if (!response.status.ok()) {
     const std::string& msg = response.status.message();
@@ -171,6 +251,14 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
         Put<uint64_t>(&out, row.distance_comps);
         Put<uint64_t>(&out, row.records);
       }
+      Put<uint32_t>(&out, static_cast<uint32_t>(s.latencies.size()));
+      for (const LatencyRow& row : s.latencies) {
+        PutString(&out, row.verb);
+        Put<uint64_t>(&out, row.count);
+        Put<double>(&out, row.p50_seconds);
+        Put<double>(&out, row.p99_seconds);
+        Put<double>(&out, row.p999_seconds);
+      }
       break;
     }
     case Verb::kSnapshot: {
@@ -197,6 +285,26 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
     case Verb::kConfigure:
       Put<double>(&out, response.configure.ttl_seconds);
       break;
+    case Verb::kTrace: {
+      const std::string& json = response.trace.json;
+      Put<uint32_t>(&out, static_cast<uint32_t>(json.size()));
+      PutBytes(&out, json);
+      Put<uint64_t>(&out, response.trace.spans_retained);
+      Put<uint64_t>(&out, response.trace.spans_dropped);
+      break;
+    }
+    case Verb::kHealth: {
+      const HealthAnswer& h = response.health;
+      Put<uint8_t>(&out, static_cast<uint8_t>(h.state));
+      Put<uint8_t>(&out, static_cast<uint8_t>(h.recovery));
+      PutString(&out, h.reason);
+      Put<uint64_t>(&out, h.collections);
+      Put<uint64_t>(&out, h.rss_bytes);
+      Put<uint64_t>(&out, h.open_fds);
+      Put<uint64_t>(&out, h.threads);
+      Put<double>(&out, h.uptime_seconds);
+      break;
+    }
   }
   return out;
 }
@@ -204,8 +312,11 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
 Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
   ByteReader reader(payload);
   Response response;
-  DBSCOUT_ASSIGN_OR_RETURN(const uint8_t verb, reader.Read<uint8_t>());
-  DBSCOUT_ASSIGN_OR_RETURN(response.verb, CheckVerb(verb));
+  DBSCOUT_ASSIGN_OR_RETURN(const VerbAndTraceHeader head,
+                           ReadVerbAndTraceHeader(&reader));
+  response.verb = head.verb;
+  response.trace_id = head.trace_id;
+  response.server_seconds = head.seconds;
   DBSCOUT_ASSIGN_OR_RETURN(const uint8_t code, reader.Read<uint8_t>());
   if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::InvalidArgument(StrFormat("unknown status code %u", code));
@@ -279,6 +390,18 @@ Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
         DBSCOUT_ASSIGN_OR_RETURN(row.records, reader.Read<uint64_t>());
         s.phases.push_back(std::move(row));
       }
+      DBSCOUT_ASSIGN_OR_RETURN(const uint32_t lat_rows,
+                               reader.Read<uint32_t>());
+      for (uint32_t i = 0; i < lat_rows; ++i) {
+        LatencyRow row;
+        DBSCOUT_ASSIGN_OR_RETURN(row.verb,
+                                 reader.ReadString(kMaxCollectionName));
+        DBSCOUT_ASSIGN_OR_RETURN(row.count, reader.Read<uint64_t>());
+        DBSCOUT_ASSIGN_OR_RETURN(row.p50_seconds, reader.Read<double>());
+        DBSCOUT_ASSIGN_OR_RETURN(row.p99_seconds, reader.Read<double>());
+        DBSCOUT_ASSIGN_OR_RETURN(row.p999_seconds, reader.Read<double>());
+        s.latencies.push_back(std::move(row));
+      }
       break;
     }
     case Verb::kSnapshot: {
@@ -318,6 +441,40 @@ Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
     case Verb::kConfigure: {
       DBSCOUT_ASSIGN_OR_RETURN(response.configure.ttl_seconds,
                                reader.Read<double>());
+      break;
+    }
+    case Verb::kTrace: {
+      DBSCOUT_ASSIGN_OR_RETURN(const uint32_t len, reader.Read<uint32_t>());
+      if (len > kMaxFramePayload) {
+        return Status::InvalidArgument("oversized trace dump");
+      }
+      DBSCOUT_ASSIGN_OR_RETURN(response.trace.json, reader.ReadBytes(len));
+      DBSCOUT_ASSIGN_OR_RETURN(response.trace.spans_retained,
+                               reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(response.trace.spans_dropped,
+                               reader.Read<uint64_t>());
+      break;
+    }
+    case Verb::kHealth: {
+      HealthAnswer& h = response.health;
+      DBSCOUT_ASSIGN_OR_RETURN(const uint8_t state, reader.Read<uint8_t>());
+      if (state > static_cast<uint8_t>(HealthState::kDegraded)) {
+        return Status::InvalidArgument(
+            StrFormat("unknown health state %u", state));
+      }
+      h.state = static_cast<HealthState>(state);
+      DBSCOUT_ASSIGN_OR_RETURN(const uint8_t recovery, reader.Read<uint8_t>());
+      if (recovery > static_cast<uint8_t>(RecoveryState::kFailed)) {
+        return Status::InvalidArgument(
+            StrFormat("unknown recovery state %u", recovery));
+      }
+      h.recovery = static_cast<RecoveryState>(recovery);
+      DBSCOUT_ASSIGN_OR_RETURN(h.reason, reader.ReadString(1024));
+      DBSCOUT_ASSIGN_OR_RETURN(h.collections, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(h.rss_bytes, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(h.open_fds, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(h.threads, reader.Read<uint64_t>());
+      DBSCOUT_ASSIGN_OR_RETURN(h.uptime_seconds, reader.Read<double>());
       break;
     }
   }

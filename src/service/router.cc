@@ -196,6 +196,7 @@ Status ShardRouter::ApplyPass(const PointSet& adds, uint64_t expire_begin,
   std::vector<DetectorShard::Work> works(shards_.size());
   for (auto& work : works) {
     work.adds = PointSet(dims_);
+    work.trace_id = pass_trace_id_;
   }
 
   // Removals: the home copy plus every ghost replica of each expired id.
@@ -245,6 +246,13 @@ Status ShardRouter::ApplyPass(const PointSet& adds, uint64_t expire_begin,
   }
   stats->ghost_bytes = stats->ghost_points * dims_ * sizeof(double);
   stats->scatter_seconds = scatter_timer.ElapsedSeconds();
+  // Emitted here (not after the barrier) so the span sits at its true
+  // position on the timeline, before the shard_apply spans it feeds.
+  if (!single && trace_ != nullptr && adds.size() > 0) {
+    trace_->AddTracedSpan("ghost_exchange", "router", pass_trace_id_,
+                          trace_scope_, stats->scatter_seconds,
+                          stats->ghost_points);
+  }
   live_ += adds.size();
   live_ -= stats->expired;
 

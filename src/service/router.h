@@ -129,6 +129,23 @@ class ShardRouter {
   ShardRouter(ShardRouter&&) = default;
   ShardRouter& operator=(ShardRouter&&) = default;
 
+  /// Attaches a span sink (null detaches) to the router and every shard.
+  /// The router emits a ghost_exchange span per multi-shard pass; the
+  /// shards emit shard_apply spans on their loop threads. Coordinator
+  /// only, between passes.
+  void AttachTrace(obs::TraceCollector* trace, const std::string& scope) {
+    trace_ = trace;
+    trace_scope_ = scope;
+    for (auto& shard : shards_) {
+      shard->AttachTrace(trace, scope);
+    }
+  }
+
+  /// Sets the request trace id the NEXT ApplyPass's spans are attributed
+  /// to (0 = untraced). A setter rather than an ApplyPass parameter so
+  /// replay and test call sites stay untouched. Coordinator only.
+  void SetPassTraceId(uint64_t trace_id) { pass_trace_id_ = trace_id; }
+
   size_t dims() const { return dims_; }
   size_t num_shards() const { return shards_.size(); }
   /// Global insertion epoch (= points ever ingested). Coordinator only.
@@ -180,6 +197,9 @@ class ShardRouter {
 
   size_t dims_ = 0;
   double side_ = 0.0;
+  obs::TraceCollector* trace_ = nullptr;  // coordinator-thread only
+  std::string trace_scope_;
+  uint64_t pass_trace_id_ = 0;
   std::shared_ptr<const grid::RegionPlan> plan_;
   std::vector<std::unique_ptr<DetectorShard>> shards_;
 

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -11,6 +12,8 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "common/timer.h"
+#include "obs/trace.h"
 #include "service/frame_io.h"
 #include "service/protocol.h"
 
@@ -108,6 +111,10 @@ void Server::AcceptLoop() {
     if (fd < 0) {
       continue;
     }
+    // Responses are single small frames; without TCP_NODELAY each one can
+    // stall behind the client's delayed ACK (see WriteFrame).
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     if (active_sessions_.load(std::memory_order_acquire) >= max_sessions_) {
       // Full house: shed at the connection level rather than queueing
       // unbounded sessions. The client sees EOF before any response.
@@ -131,16 +138,42 @@ void Server::Session(int fd) {
       break;  // peer EOF, connection error, or shutdown
     }
     frame_bytes_in_->Increment((*frame)->size() + kFrameOverhead);
+    obs::TraceCollector* const trace = service_->trace();
     Response response;
+    WallTimer decode_timer;
     auto request = DecodeRequest(**frame);
+    const double decode_seconds = decode_timer.ElapsedSeconds();
+    bool client_traced = false;
     if (request.ok()) {
+      // Stamp untraced requests here (rather than letting Dispatch do it)
+      // so the decode/encode spans share the request's id. The wire
+      // response still omits the header unless the client sent one.
+      client_traced = request->context.trace_id != 0;
+      if (trace != nullptr && !client_traced) {
+        request->context.trace_id = NextTraceId();
+      }
+      if (trace != nullptr && request->context.trace_id != 0) {
+        trace->AddTracedSpan("frame_decode", "server",
+                             request->context.trace_id, request->collection,
+                             decode_seconds, (*frame)->size());
+      }
       response = service_->Dispatch(*request);
+      if (!client_traced) {
+        response.trace_id = 0;
+      }
     } else {
       // Can't trust anything in the frame, including the verb; answer with
       // the decode error and drop the connection (framing may be skewed).
       response.status = request.status();
     }
+    WallTimer encode_timer;
     const std::vector<uint8_t> payload = EncodeResponse(response);
+    if (trace != nullptr && request.ok() &&
+        request->context.trace_id != 0) {
+      trace->AddTracedSpan("reply_encode", "server",
+                           request->context.trace_id, request->collection,
+                           encode_timer.ElapsedSeconds(), payload.size());
+    }
     if (!WriteFrame(fd, payload).ok()) {
       break;
     }

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <span>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -32,6 +37,10 @@ const char* VerbLabel(Verb verb) {
       return "metrics";
     case Verb::kConfigure:
       return "configure";
+    case Verb::kTrace:
+      return "trace";
+    case Verb::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -43,6 +52,51 @@ size_t ResolveApplyShards(size_t requested) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
+
+/// Process self-inspection via /proc/self. Each returns 0 when the
+/// platform (or a hardened /proc) cannot say — HEALTH documents 0 as
+/// "unknown", never as a measured zero.
+uint64_t ReadProcRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  unsigned long long total_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int parsed = std::fscanf(f, "%llu %llu", &total_pages, &rss_pages);
+  std::fclose(f);
+  if (parsed != 2) {
+    return 0;
+  }
+  const long page = sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+uint64_t CountDirEntries(const char* dir) {
+#if defined(__linux__)
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return 0;
+  }
+  uint64_t n = 0;
+  for (const auto& entry : it) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+#else
+  (void)dir;
+  return 0;
+#endif
+}
+
+uint64_t CountOpenFds() { return CountDirEntries("/proc/self/fd"); }
+uint64_t CountThreads() { return CountDirEntries("/proc/self/task"); }
 
 }  // namespace
 
@@ -86,12 +140,22 @@ DetectionService::DetectionService(const ServiceOptions& options)
   apply_shard_seconds_ = registry_->GetHistogram(
       "dbscout_apply_shard_seconds", "Wall seconds per apply shard task",
       obs::HistogramLayout::Latency());
-  for (const Verb verb : {Verb::kIngest, Verb::kQuery, Verb::kStats,
-                          Verb::kSnapshot, Verb::kMetrics, Verb::kConfigure}) {
+  for (const Verb verb :
+       {Verb::kIngest, Verb::kQuery, Verb::kStats, Verb::kSnapshot,
+        Verb::kMetrics, Verb::kConfigure, Verb::kTrace, Verb::kHealth}) {
     request_seconds_[static_cast<size_t>(verb)] = registry_->GetHistogram(
         "dbscout_request_seconds", "Dispatch latency by verb",
         obs::HistogramLayout::Latency(), {{"verb", VerbLabel(verb)}});
   }
+  process_rss_bytes_ = registry_->GetGauge(
+      "dbscout_process_rss_bytes",
+      "Resident set size of the service process (0 = unknown)");
+  process_open_fds_ = registry_->GetGauge(
+      "dbscout_process_open_fds",
+      "Open file descriptors of the service process (0 = unknown)");
+  process_threads_ = registry_->GetGauge(
+      "dbscout_process_threads",
+      "Threads of the service process (0 = unknown)");
   replay_records_total_ = registry_->GetCounter(
       "dbscout_replay_records_total",
       "WAL records replayed during crash recovery");
@@ -106,13 +170,29 @@ DetectionService::DetectionService(const ServiceOptions& options)
       "Apply passes whose WAL append/commit failed (tickets carry the "
       "error)");
   // Crash recovery runs before the apply loop starts, so replay's router
-  // passes keep the coordinator-thread contract trivially.
+  // passes keep the coordinator-thread contract trivially. With
+  // defer_recovery both recovery AND the loop start wait for
+  // RunDeferredRecovery() — the loop must not run expiry passes (which
+  // share shard_pool_) concurrently with replay.
+  if (!options_.data_dir.empty()) {
+    recovery_state_.store(RecoveryState::kRecovering,
+                          std::memory_order_relaxed);
+  }
+  if (!options_.defer_recovery) {
+    RunDeferredRecovery();
+  }
+}
+
+void DetectionService::RunDeferredRecovery() {
   if (!options_.data_dir.empty()) {
     recovery_status_ = RecoverCollections();
     if (!recovery_status_.ok()) {
       DBSCOUT_LOG(kError) << "crash recovery failed: "
                           << recovery_status_.message();
     }
+    recovery_state_.store(recovery_status_.ok() ? RecoveryState::kDone
+                                                : RecoveryState::kFailed,
+                          std::memory_order_relaxed);
   }
   apply_pool_.Submit([this] { ApplyLoop(); });
 }
@@ -121,10 +201,35 @@ DetectionService::~DetectionService() { Stop(); }
 
 Response DetectionService::Dispatch(const Request& request) {
   WallTimer timer;
+  // Resolve the trace context once: a client-stamped id wins; otherwise
+  // the server stamps its own when a collector is attached, so TRACE
+  // dumps link a request's spans without requiring client opt-in. With
+  // tracing idle (no collector, unstamped request) trace_id stays 0 and
+  // this path allocates nothing.
+  uint64_t trace_id = request.context.trace_id;
+  const bool client_stamped = trace_id != 0;
+  if (trace_id == 0 && trace_ != nullptr) {
+    trace_id = NextTraceId();
+  }
   Response response = [&] {
-    // METRICS is service-wide: no collection name involved.
-    if (request.verb == Verb::kMetrics) {
-      return DoMetrics();
+    // Service-wide verbs first: no collection name involved, and — for
+    // TRACE/HEALTH — they must answer while startup recovery still runs.
+    switch (request.verb) {
+      case Verb::kMetrics:
+        return DoMetrics();
+      case Verb::kTrace:
+        return DoTrace(request);
+      case Verb::kHealth:
+        return DoHealth();
+      default:
+        break;
+    }
+    if (recovery_state_.load(std::memory_order_relaxed) ==
+        RecoveryState::kRecovering) {
+      Response busy;
+      busy.verb = request.verb;
+      busy.status = Status::Unavailable("startup recovery in progress");
+      return busy;
     }
     if (request.collection.empty() ||
         request.collection.size() > kMaxCollectionName) {
@@ -135,7 +240,7 @@ Response DetectionService::Dispatch(const Request& request) {
     }
     switch (request.verb) {
       case Verb::kIngest:
-        return DoIngest(request);
+        return DoIngest(request, trace_id);
       case Verb::kQuery:
         return DoQuery(request);
       case Verb::kStats:
@@ -145,16 +250,41 @@ Response DetectionService::Dispatch(const Request& request) {
       case Verb::kConfigure:
         return DoConfigure(request);
       case Verb::kMetrics:
+      case Verb::kTrace:
+      case Verb::kHealth:
         break;  // handled above
     }
     Response bad;
     bad.status = Status::InvalidArgument("unknown verb");
     return bad;
   }();
+  const double elapsed = timer.ElapsedSeconds();
+  // The response header echoes the trace context only when the request
+  // carried one (old clients must keep receiving byte-identical frames).
+  response.trace_id = client_stamped ? trace_id : 0;
+  response.server_seconds = elapsed;
   const size_t verb_slot = static_cast<size_t>(request.verb);
   if (verb_slot < request_seconds_.size() &&
       request_seconds_[verb_slot] != nullptr) {
-    request_seconds_[verb_slot]->Observe(timer.ElapsedSeconds());
+    // trace_id doubles as the bucket exemplar (0 = none recorded).
+    request_seconds_[verb_slot]->ObserveWithExemplar(elapsed, trace_id);
+  }
+  if (trace_ != nullptr && trace_id != 0) {
+    // The root span of the request's trace; the decode/queue/shard/WAL
+    // spans nest under it by sharing the trace id.
+    trace_->AddTracedSpan(VerbLabel(request.verb), "request", trace_id,
+                          request.collection, elapsed);
+  }
+  if (options_.slow_request_seconds >= 0.0 &&
+      elapsed >= options_.slow_request_seconds) {
+    DBSCOUT_LOG(kWarning) << "slow request verb=" << VerbLabel(request.verb)
+                          << " collection=" << request.collection
+                          << " trace="
+                          << StrFormat("%016llx",
+                                       static_cast<unsigned long long>(
+                                           trace_id))
+                          << " seconds=" << elapsed
+                          << " status=" << response.status.ToString();
   }
   return response;
 }
@@ -162,8 +292,93 @@ Response DetectionService::Dispatch(const Request& request) {
 Response DetectionService::DoMetrics() {
   Response response;
   response.verb = Verb::kMetrics;
+  RefreshProcessGauges();  // scrapes always carry fresh self-gauges
   response.metrics.text = registry_->Expose();
   return response;
+}
+
+Response DetectionService::DoTrace(const Request& request) {
+  Response response;
+  response.verb = Verb::kTrace;
+  if (trace_ == nullptr) {
+    response.status = Status::FailedPrecondition(
+        "tracing is not enabled on this server");
+    return response;
+  }
+  obs::TraceFilter filter;
+  filter.scope = request.collection;  // empty = every collection
+  filter.name = request.trace_name_filter;
+  filter.trace_id = request.trace_id_filter;
+  filter.limit = request.trace_limit;
+  response.trace.json = trace_->ToChromeJson(filter);
+  response.trace.spans_retained = trace_->size();
+  response.trace.spans_dropped = trace_->dropped();
+  if (response.trace.json.size() > kMaxFramePayload / 2) {
+    // The filtered dump must still fit a response frame (with headroom
+    // for the envelope); the client narrows with --trace-limit.
+    response.trace.json.clear();
+    response.status = Status::FailedPrecondition(
+        "trace dump too large for one frame; narrow with a filter or "
+        "limit");
+  }
+  return response;
+}
+
+Response DetectionService::DoHealth() {
+  Response response;
+  response.verb = Verb::kHealth;
+  HealthAnswer& health = response.health;
+  health.recovery = recovery_state_.load(std::memory_order_relaxed);
+  health.uptime_seconds = UptimeSeconds();
+  {
+    MutexLock lock(collections_mu_);
+    health.collections = collections_.size();
+  }
+  RefreshProcessGauges();
+  health.rss_bytes = static_cast<uint64_t>(process_rss_bytes_->Value());
+  health.open_fds = static_cast<uint64_t>(process_open_fds_->Value());
+  health.threads = static_cast<uint64_t>(process_threads_->Value());
+
+  if (health.recovery == RecoveryState::kRecovering) {
+    health.state = HealthState::kNotReady;
+    health.reason = "startup recovery in progress";
+    return response;
+  }
+  if (health.recovery == RecoveryState::kFailed) {
+    health.state = HealthState::kNotReady;
+    health.reason =
+        StrFormat("startup recovery failed: %s",
+                  std::string(recovery_status_.message()).c_str());
+    return response;
+  }
+  const uint64_t wal_failures = wal_commit_failures_total_->Value();
+  if (wal_failures > 0) {
+    health.state = HealthState::kDegraded;
+    health.reason = StrFormat(
+        "%llu apply passes failed their WAL commit",
+        static_cast<unsigned long long>(wal_failures));
+    return response;
+  }
+  size_t depth = 0;
+  {
+    MutexLock lock(mu_);
+    depth = queue_.size();
+  }
+  if (depth >= options_.max_pending_ingests) {
+    health.state = HealthState::kDegraded;
+    health.reason = StrFormat(
+        "ingest queue at admission cap (%zu); shedding",
+        options_.max_pending_ingests);
+    return response;
+  }
+  health.state = HealthState::kReady;
+  return response;
+}
+
+void DetectionService::RefreshProcessGauges() {
+  process_rss_bytes_->Set(static_cast<int64_t>(ReadProcRssBytes()));
+  process_open_fds_->Set(static_cast<int64_t>(CountOpenFds()));
+  process_threads_->Set(static_cast<int64_t>(CountThreads()));
 }
 
 DetectionService::Collection* DetectionService::FindCollection(
@@ -203,7 +418,8 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
       ShardRouter router,
       ShardRouter::Create(name, dims, options_.params, options_.num_shards,
                           registry_));
-  auto collection = std::make_unique<Collection>(std::move(router));
+  auto collection = std::make_unique<Collection>(name, std::move(router));
+  collection->router.AttachTrace(trace_, name);
   // Publish the epoch-0 snapshot right away so reads on a collection whose
   // first batch is still queued get a well-defined (empty) answer. The
   // apply loop cannot know this collection yet, so the coordinator-thread
@@ -245,7 +461,8 @@ Result<DetectionService::Collection*> DetectionService::CollectionForIngest(
 
 Status DetectionService::Enqueue(Collection* collection,
                                  std::vector<double> coords,
-                                 std::shared_ptr<Ticket> ticket) {
+                                 std::shared_ptr<Ticket> ticket,
+                                 uint64_t trace_id) {
   MutexLock lock(mu_);
   if (stop_) {
     return Status::Unavailable("service is shutting down");
@@ -263,7 +480,8 @@ Status DetectionService::Enqueue(Collection* collection,
     ++ticketed_pending_;
   }
   queue_.push_back(PendingIngest{collection, std::move(coords),
-                                 std::move(ticket), MonotonicSeconds()});
+                                 std::move(ticket), MonotonicSeconds(),
+                                 trace_id});
   ++enqueued_;
   collection->depth_gauge->Set(static_cast<int64_t>(
       collection->queue_depth.fetch_add(1, std::memory_order_relaxed) + 1));
@@ -278,7 +496,8 @@ Status DetectionService::Enqueue(Collection* collection,
   return Status::OK();
 }
 
-Response DetectionService::DoIngest(const Request& request) {
+Response DetectionService::DoIngest(const Request& request,
+                                    uint64_t trace_id) {
   Response response;
   response.verb = Verb::kIngest;
   auto found =
@@ -289,7 +508,7 @@ Response DetectionService::DoIngest(const Request& request) {
     return response;
   }
   auto ticket = std::make_shared<Ticket>();
-  response.status = Enqueue(*found, request.coords, ticket);
+  response.status = Enqueue(*found, request.coords, ticket, trace_id);
   if (!response.status.ok()) {
     return response;
   }
@@ -401,6 +620,25 @@ Response DetectionService::DoStats(const Request& request) {
       stats.phases.push_back(
           StatsRow{"ingest_errors", 0.0, 0, collection->ingest_errors});
     }
+  }
+  // Service-wide per-verb latency quantiles; verbs never dispatched are
+  // omitted (count 0 carries no information).
+  for (size_t v = 1; v < request_seconds_.size(); ++v) {
+    obs::Histogram* histogram = request_seconds_[v];
+    if (histogram == nullptr) {
+      continue;
+    }
+    const obs::Histogram::Snapshot snap = histogram->Snap();
+    if (snap.count == 0) {
+      continue;
+    }
+    LatencyRow row;
+    row.verb = VerbLabel(static_cast<Verb>(v));
+    row.count = snap.count;
+    row.p50_seconds = snap.Quantile(0.5);
+    row.p99_seconds = snap.Quantile(0.99);
+    row.p999_seconds = snap.Quantile(0.999);
+    stats.latencies.push_back(std::move(row));
   }
   return response;
 }
@@ -621,6 +859,11 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     /// First WAL append/commit error of this collection's pass; fails
     /// every ticket of the collection (durability barrier).
     Status wal_status;
+    /// Trace id of the first traced op in this collection's pass: the
+    /// coalesced pass's shard/ghost/WAL/publish spans are attributed to
+    /// it (a pass serves many requests; one representative links the
+    /// trace end-to-end).
+    uint64_t trace_id = 0;
   };
   std::vector<Work> works;
   std::unordered_map<Collection*, size_t> work_of;
@@ -638,7 +881,14 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     Collection* collection = op.collection;
     collection->depth_gauge->Set(static_cast<int64_t>(
         collection->queue_depth.fetch_sub(1, std::memory_order_relaxed) - 1));
-    queue_wait_seconds_->Observe(apply_start - op.enqueue_seconds);
+    const double wait_seconds = apply_start - op.enqueue_seconds;
+    queue_wait_seconds_->Observe(wait_seconds);
+    if (trace_ != nullptr && op.trace_id != 0) {
+      // Ends (approximately) at apply_start, i.e. where the apply work
+      // for this op begins — the gap the request spent queued.
+      trace_->AddTracedSpan("queue_wait", "service", op.trace_id,
+                            collection->name, wait_seconds);
+    }
     auto [it, fresh] = work_of.try_emplace(collection, works.size());
     if (fresh) {
       works.emplace_back();
@@ -646,6 +896,9 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
       works.back().coalesced = PointSet(collection->router.dims());
     }
     Work& work = works[it->second];
+    if (work.trace_id == 0) {
+      work.trace_id = op.trace_id;
+    }
     const size_t dims = collection->router.dims();
     const size_t count = op.coords.size() / dims;
     OpShape shape;
@@ -713,6 +966,10 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     ShardRouter::PassStats rstats;
     Status apply_status = Status::OK();
     if (work.coalesced.size() > 0 || work.expire_end > work.expire_begin) {
+      // The router stamps this id onto each shard's Work (shard_apply
+      // spans) and its own ghost_exchange span. Set per pass, so an
+      // untraced pass (id 0) never inherits the previous pass's id.
+      collection->router.SetPassTraceId(work.trace_id);
       apply_status = collection->router.ApplyPass(
           work.coalesced, work.expire_begin, work.expire_end,
           shard_pool_.get(), &rstats);
@@ -800,7 +1057,7 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     }
     Status durable = work.wal_status;
     if (durable.ok()) {
-      durable = work.collection->store->Commit();
+      durable = work.collection->store->Commit(work.trace_id);
     }
     if (!durable.ok()) {
       wal_commit_failures_total_->Increment();
@@ -817,8 +1074,14 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
       continue;  // nothing happened to this collection
     }
     Collection* collection = work.collection;
+    WallTimer publish_timer;
     collection->snapshot.store(collection->router.PublishableSnapshot(),
                                std::memory_order_release);
+    if (trace_ != nullptr) {
+      trace_->AddTracedSpan("snapshot_publish", "service", work.trace_id,
+                            collection->name, publish_timer.ElapsedSeconds(),
+                            work.coalesced.size());
+    }
     const uint64_t total_comps = collection->router.distance_computations();
     MutexLock lock(collection->stats_mu);
     collection->recorder.Accumulate(
@@ -839,10 +1102,18 @@ void DetectionService::ApplyPass(std::vector<PendingIngest> batch) {
     ingest_points_total_->Increment(pass_points);
     ingest_errors_total_->Increment(pass_errors);
     if (trace_ != nullptr) {
-      // One span per coalesced apply pass, attributed to the apply thread.
-      trace_->AddSpanEndingNow("apply_pass", "service",
-                               pass_timer.ElapsedSeconds(), /*distances=*/0,
-                               pass_points);
+      // One span per coalesced apply pass, attributed to the apply thread
+      // and (when any op was traced) to the first traced op's id.
+      uint64_t pass_trace_id = 0;
+      for (const Work& work : works) {
+        if (work.trace_id != 0) {
+          pass_trace_id = work.trace_id;
+          break;
+        }
+      }
+      trace_->AddTracedSpan("apply_pass", "service", pass_trace_id,
+                            /*scope=*/"", pass_timer.ElapsedSeconds(),
+                            pass_points);
     }
   }
 
@@ -877,6 +1148,7 @@ Result<std::unique_ptr<storage::CollectionStore>> DetectionService::OpenStore(
   store_options.snapshot_interval_bytes = options_.snapshot_interval_bytes;
   store_options.clock = clock_;
   store_options.registry = registry_;
+  store_options.trace = trace_;
   store_options.collection = name;
   return storage::CollectionStore::Open(
       options_.data_dir + "/" + storage::EncodeCollectionDirName(name),
@@ -951,7 +1223,8 @@ Status DetectionService::RecoverCollection(const std::string& name,
       ShardRouter router,
       ShardRouter::Create(name, dims, options_.params, options_.num_shards,
                           registry_));
-  auto collection = std::make_unique<Collection>(std::move(router));
+  auto collection = std::make_unique<Collection>(name, std::move(router));
+  collection->router.AttachTrace(trace_, name);
   collection->store = std::move(store);
   collection->depth_gauge = registry_->GetGauge(
       "dbscout_pending_batches",

@@ -94,6 +94,19 @@ struct ServiceOptions {
   /// When non-null, the apply loop emits one span per apply pass (and the
   /// per-collection detection work inherits it). Not owned.
   obs::TraceCollector* trace = nullptr;
+
+  /// Requests whose Dispatch latency reaches this many seconds are logged
+  /// as structured slow-request records (verb, collection, trace id,
+  /// seconds). Negative disables the log; 0 logs every request.
+  double slow_request_seconds = -1.0;
+
+  /// When true, the constructor neither runs crash recovery nor starts
+  /// the apply loop; the owner must call RunDeferredRecovery() exactly
+  /// once (from the constructing thread, before any ingest). This lets a
+  /// server bind its socket and answer HEALTH with kNotReady while a long
+  /// WAL replay runs; collection verbs are refused with kUnavailable
+  /// until recovery completes.
+  bool defer_recovery = false;
 };
 
 /// The long-running detection service: one ShardRouter per named
@@ -185,6 +198,22 @@ class DetectionService {
   /// silently drop acknowledged data.
   const Status& recovery_status() const { return recovery_status_; }
 
+  /// Runs the crash recovery the constructor skipped under
+  /// options.defer_recovery, then starts the apply loop. Must be called
+  /// exactly once when defer_recovery is set, before any ingest, from the
+  /// constructing thread. recovery_status() holds the outcome.
+  void RunDeferredRecovery();
+
+  /// Where startup recovery stands (the HEALTH verb's recovery field).
+  /// kNone when the service runs without a data_dir.
+  RecoveryState recovery_state() const {
+    return recovery_state_.load(std::memory_order_relaxed);
+  }
+
+  /// The span collector this service publishes into (null = tracing off).
+  /// The server's frame-decode/reply-encode spans go here too.
+  obs::TraceCollector* trace() const { return trace_; }
+
   /// Forces WAL-to-snapshot compaction on every durable collection
   /// (test/operator hook; no-op in-memory).
   Status CompactNow() DBSCOUT_EXCLUDES(collections_mu_);
@@ -194,6 +223,7 @@ class DetectionService {
   /// shard) is mutated only by the apply loop; `snapshot` is the
   /// publication point between that writer and all reader threads.
   struct Collection {
+    std::string name;  // span scope + log context; immutable after create
     ShardRouter router;
     std::atomic<std::shared_ptr<const MergedSnapshot>> snapshot;
 
@@ -230,7 +260,8 @@ class DetectionService {
     /// recorded in the WAL yet (set at replay when one was recovered).
     bool plan_logged = false;
 
-    explicit Collection(ShardRouter r) : router(std::move(r)) {}
+    Collection(std::string n, ShardRouter r)
+        : name(std::move(n)), router(std::move(r)) {}
   };
 
   /// Completion token a blocking INGEST waits on; signalled after the
@@ -252,14 +283,23 @@ class DetectionService {
     /// MonotonicSeconds() at enqueue; the apply loop observes the
     /// difference into the queue-wait histogram.
     double enqueue_seconds = 0.0;
+    /// Request trace id (0 = untraced): the apply loop tags this op's
+    /// queue_wait span and the pass's shard/WAL/publish spans with it.
+    uint64_t trace_id = 0;
   };
 
-  Response DoIngest(const Request& request);
+  Response DoIngest(const Request& request, uint64_t trace_id);
   Response DoQuery(const Request& request);
   Response DoStats(const Request& request);
   Response DoSnapshot(const Request& request);
   Response DoMetrics();
   Response DoConfigure(const Request& request);
+  Response DoTrace(const Request& request);
+  Response DoHealth();
+
+  /// Re-reads the process self-gauges (RSS, open fds, threads) from
+  /// /proc/self; no-op values stay 0 on platforms without procfs.
+  void RefreshProcessGauges();
 
   /// Looks up a collection (null when absent). Never creates.
   Collection* FindCollection(const std::string& name)
@@ -289,9 +329,11 @@ class DetectionService {
                                           uint16_t dims, size_t coords_size)
       DBSCOUT_EXCLUDES(collections_mu_);
 
-  /// Enqueues under the admission cap, or sheds. `ticket` may be null.
+  /// Enqueues under the admission cap, or sheds. `ticket` may be null;
+  /// `trace_id` tags the op's apply-side spans (0 = untraced).
   Status Enqueue(Collection* collection, std::vector<double> coords,
-                 std::shared_ptr<Ticket> ticket) DBSCOUT_EXCLUDES(mu_);
+                 std::shared_ptr<Ticket> ticket, uint64_t trace_id = 0)
+      DBSCOUT_EXCLUDES(mu_);
 
   void ApplyLoop() DBSCOUT_EXCLUDES(mu_);
   /// One coalesced apply pass: groups `batch` per collection, folds each
@@ -334,6 +376,9 @@ class DetectionService {
 
   /// Constructor-time recovery outcome (OK when data_dir is empty).
   Status recovery_status_;
+  /// HEALTH-visible recovery progress. kRecovering while a deferred
+  /// recovery is pending/running; collection verbs are refused meanwhile.
+  std::atomic<RecoveryState> recovery_state_{RecoveryState::kNone};
 
   WallTimer uptime_;
 
@@ -354,8 +399,11 @@ class DetectionService {
   obs::Counter* replay_points_total_ = nullptr;
   obs::Histogram* replay_seconds_ = nullptr;
   obs::Counter* wal_commit_failures_total_ = nullptr;
+  obs::Gauge* process_rss_bytes_ = nullptr;
+  obs::Gauge* process_open_fds_ = nullptr;
+  obs::Gauge* process_threads_ = nullptr;
   /// Request latency by verb, indexed by Verb's numeric value.
-  std::array<obs::Histogram*, 7> request_seconds_{};
+  std::array<obs::Histogram*, kNumVerbSlots> request_seconds_{};
 
   /// Shard workers AddBatchParallel fans block tasks out on; null when the
   /// resolved apply_shards is 1 (serial apply). Only forwarded to

@@ -49,6 +49,16 @@ void DetectorShard::RunApply(ThreadPool* inner_pool) {
                                                 &outcome.apply_stats);
     outcome.apply_seconds = timer.ElapsedSeconds();
   }
+  // One span per pass with real work, timed on this (the shard loop)
+  // thread so the trace shows the shards' true overlap. The span name
+  // carries no shard number; tid + the records arg distinguish shards.
+  if (trace_ != nullptr &&
+      (work_.adds.size() > 0 || !work_.removals.empty())) {
+    trace_->AddTracedSpan("shard_apply", "shard", work_.trace_id,
+                          trace_scope_,
+                          outcome.apply_seconds + outcome.remove_seconds,
+                          work_.adds.size());
+  }
   snapshot_.store(detector_.SnapshotNow(), std::memory_order_release);
   outcome_ = outcome;
   queue_depth_.fetch_sub(1, std::memory_order_relaxed);

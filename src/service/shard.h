@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "core/incremental.h"
 #include "data/point_set.h"
+#include "obs/trace.h"
 
 namespace dbscout::service {
 
@@ -45,6 +46,10 @@ class DetectorShard {
   struct Work {
     PointSet adds{1};
     std::vector<uint32_t> removals;
+    /// Request trace id this pass is attributed to (0 = untraced). Set by
+    /// the router from the pass context; the shard loop tags its
+    /// shard_apply span with it.
+    uint64_t trace_id = 0;
   };
 
   /// What one pass did, read by the coordinator after AwaitApply().
@@ -61,6 +66,16 @@ class DetectorShard {
 
   DetectorShard(const DetectorShard&) = delete;
   DetectorShard& operator=(const DetectorShard&) = delete;
+
+  /// Attaches a span sink (null detaches). The shard loop emits one
+  /// shard_apply span per pass with nonzero work, timed on the loop thread
+  /// itself — the true per-shard apply segment, not the coordinator's view
+  /// of it. Coordinator only, while the shard is quiescent; `scope` is the
+  /// owning collection's name.
+  void AttachTrace(obs::TraceCollector* trace, std::string scope) {
+    trace_ = trace;
+    trace_scope_ = std::move(scope);
+  }
 
   /// Enqueues one pass on the shard loop. `inner_pool` parallelizes the
   /// detector's slab-block waves and must be null when several shards run
@@ -101,6 +116,8 @@ class DetectorShard {
   void RunApply(ThreadPool* inner_pool);
 
   const size_t index_;
+  obs::TraceCollector* trace_ = nullptr;  // written while quiescent only
+  std::string trace_scope_;
   core::IncrementalDetector detector_;  // mutated on loop_ thread only
   Work work_;     // handoff slot: written by BeginApply, read by RunApply
   Outcome outcome_;  // written by RunApply, read after AwaitApply

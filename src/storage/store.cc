@@ -155,6 +155,8 @@ Result<std::unique_ptr<CollectionStore>> CollectionStore::Open(
         StrFormat("mkdir %s: %s", dir.c_str(), ec.message().c_str()));
   }
   std::unique_ptr<CollectionStore> store(new CollectionStore(dir));
+  store->collection_ = options.collection;
+  store->trace_ = options.trace;
   store->fsync_ = options.fsync;
   store->fsync_interval_seconds_ = options.fsync_interval_seconds;
   store->snapshot_interval_bytes_ = options.snapshot_interval_bytes;
@@ -322,30 +324,40 @@ Status CollectionStore::LogConfigure(double ttl_seconds) {
   return SyncLocked();
 }
 
-Status CollectionStore::Commit() {
-  MutexLock lock(mu_);
-  if (closed_) {
-    return Status::FailedPrecondition("store is closed");
-  }
-  if (dirty_since_sync_) {
-    switch (fsync_) {
-      case FsyncPolicy::kAlways:
-        DBSCOUT_RETURN_IF_ERROR(SyncLocked());
-        break;
-      case FsyncPolicy::kInterval:
-        if (clock_() - last_sync_seconds_ >= fsync_interval_seconds_) {
-          DBSCOUT_RETURN_IF_ERROR(SyncLocked());
-        }
-        break;
-      case FsyncPolicy::kNever:
-        break;
+Status CollectionStore::Commit(uint64_t trace_id) {
+  WallTimer timer;
+  Status status = [&]() -> Status {
+    MutexLock lock(mu_);
+    if (closed_) {
+      return Status::FailedPrecondition("store is closed");
     }
+    if (dirty_since_sync_) {
+      switch (fsync_) {
+        case FsyncPolicy::kAlways:
+          DBSCOUT_RETURN_IF_ERROR(SyncLocked());
+          break;
+        case FsyncPolicy::kInterval:
+          if (clock_() - last_sync_seconds_ >= fsync_interval_seconds_) {
+            DBSCOUT_RETURN_IF_ERROR(SyncLocked());
+          }
+          break;
+        case FsyncPolicy::kNever:
+          break;
+      }
+    }
+    if (snapshot_interval_bytes_ > 0 &&
+        writer_->bytes() > snapshot_interval_bytes_) {
+      return CompactLocked();
+    }
+    return Status::OK();
+  }();
+  // The span is emitted outside mu_ so a TRACE dump never serializes
+  // behind an in-flight fsync.
+  if (trace_ != nullptr) {
+    trace_->AddTracedSpan("wal_commit", "storage", trace_id, collection_,
+                          timer.ElapsedSeconds());
   }
-  if (snapshot_interval_bytes_ > 0 &&
-      writer_->bytes() > snapshot_interval_bytes_) {
-    return CompactLocked();
-  }
-  return Status::OK();
+  return status;
 }
 
 Status CollectionStore::CompactNow() {
@@ -419,6 +431,11 @@ Status CollectionStore::Close() {
     return Status::OK();
   }
   closed_ = true;
+  if (!writer_.has_value()) {
+    // Open failed before the WAL writer was engaged; the partially
+    // constructed store has nothing to flush.
+    return Status::OK();
+  }
   return writer_->Close();
 }
 

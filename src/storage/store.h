@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
 
@@ -51,7 +52,10 @@ struct StoreOptions {
   std::function<double()> clock;
   /// Metrics registry (null = obs::Registry::Global()). Not owned.
   obs::Registry* registry = nullptr;
-  /// Collection name, used as the metrics label.
+  /// Span sink for wal_commit spans (null = no tracing). Not owned; must
+  /// outlive the store.
+  obs::TraceCollector* trace = nullptr;
+  /// Collection name, used as the metrics label and span scope.
   std::string collection;
 };
 
@@ -108,8 +112,10 @@ class CollectionStore {
 
   /// Group-commit point, called once per apply pass after its appends:
   /// fsync per policy, then compact if the active segment is past the
-  /// threshold.
-  Status Commit() DBSCOUT_EXCLUDES(mu_);
+  /// threshold. `trace_id` (nonzero, with a trace collector configured)
+  /// tags the emitted wal_commit span with the request that triggered
+  /// the pass.
+  Status Commit(uint64_t trace_id = 0) DBSCOUT_EXCLUDES(mu_);
 
   /// Forces a compaction cycle now (test/operator hook).
   Status CompactNow() DBSCOUT_EXCLUDES(mu_);
@@ -131,6 +137,8 @@ class CollectionStore {
   std::string SnapshotPath(uint64_t seq) const;
 
   const std::string dir_;
+  std::string collection_;
+  obs::TraceCollector* trace_ = nullptr;
   FsyncPolicy fsync_ = FsyncPolicy::kAlways;
   double fsync_interval_seconds_ = 0.05;
   uint64_t snapshot_interval_bytes_ = 64u << 20;

@@ -109,6 +109,110 @@ TEST(HistogramTest, CumulativeCountsAreMonotone) {
   EXPECT_EQ(snap.count, 100u);
 }
 
+TEST(QuantileTest, EmptyHistogramReturnsZero) {
+  Histogram h{HistogramLayout::Count()};
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.999), 0.0);
+}
+
+TEST(QuantileTest, BucketZeroInterpolatesLinearly) {
+  // Bucket 0 has no finite lower bound, so the estimate is linear in the
+  // rank fraction: the q-th sample of a bucket spanning [0, bound] sits
+  // at q * bound.
+  Histogram h{HistogramLayout::Count()};
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(0.5);  // all land in bucket 0 (bound 1.0)
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+}
+
+TEST(QuantileTest, InteriorBucketInterpolatesGeometrically) {
+  // All mass in bucket 2 (bounds (2, 4]): p100 hits the upper bound, p50
+  // the geometric midpoint sqrt(2*4), matching the log-spaced layout.
+  Histogram h{HistogramLayout::Count()};
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(3.0);
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+  EXPECT_NEAR(h.Quantile(0.5), 2.0 * std::pow(2.0, 0.5), 1e-9);
+}
+
+TEST(QuantileTest, SplitsAcrossBuckets) {
+  Histogram h{HistogramLayout::Count()};
+  for (int i = 0; i < 90; ++i) {
+    h.Observe(0.5);  // bucket 0
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(100.0);  // bucket 7 (bounds (64, 128])
+  }
+  // p50 stays inside bucket 0; p99 lands in the tail bucket.
+  EXPECT_LE(h.Quantile(0.5), 1.0);
+  EXPECT_GT(h.Quantile(0.99), 64.0);
+  EXPECT_LE(h.Quantile(0.99), 128.0);
+}
+
+TEST(QuantileTest, OverflowClampsToHighestFiniteBound) {
+  // +Inf bucket has no upper bound to interpolate toward; answering the
+  // largest finite bound under-reports rather than inventing a number.
+  Histogram h{HistogramLayout::Count()};
+  const double top = h.BucketBound(Histogram::kNumBuckets - 1);
+  h.Observe(top * 8.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), top);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), top);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  Histogram h{HistogramLayout::Count()};
+  h.Observe(0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(std::numeric_limits<double>::quiet_NaN()),
+                   h.Quantile(0.0));
+}
+
+TEST(QuantileTest, SingleSampleEveryQReturnsItsBucket) {
+  Histogram h{HistogramLayout::Count()};
+  h.Observe(1.5);  // bucket 1: (1, 2]
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double estimate = h.Quantile(q);
+    EXPECT_GT(estimate, 1.0) << "q=" << q;
+    EXPECT_LE(estimate, 2.0) << "q=" << q;
+  }
+}
+
+TEST(ExemplarTest, RemembersLastTraceIdPerBucket) {
+  Histogram h{HistogramLayout::Count()};
+  h.ObserveWithExemplar(0.5, 0xaau);   // bucket 0
+  h.ObserveWithExemplar(0.7, 0xbbu);   // bucket 0 again: last writer wins
+  h.ObserveWithExemplar(100.0, 0xccu); // bucket 7
+  const auto snap = h.Snap();
+  EXPECT_EQ(snap.exemplar_ids[0], 0xbbu);
+  EXPECT_DOUBLE_EQ(snap.exemplar_values[0], 0.7);
+  EXPECT_EQ(snap.exemplar_ids[7], 0xccu);
+  EXPECT_EQ(snap.exemplar_ids[1], 0u);  // untouched bucket: no exemplar
+}
+
+TEST(ExemplarTest, IdZeroRecordsCountButNoExemplar) {
+  Histogram h{HistogramLayout::Count()};
+  h.ObserveWithExemplar(0.5, 0);
+  const auto snap = h.Snap();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.exemplar_ids[0], 0u);
+}
+
+TEST(ExemplarTest, ExposeAppendsOpenMetricsExemplar) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("dbscout_exemplar_seconds", "h",
+                                       HistogramLayout::Latency());
+  h->ObserveWithExemplar(0.5e-6, 0x1234u);
+  const std::string text = registry.Expose();
+  EXPECT_NE(text.find("dbscout_exemplar_seconds_bucket{le=\"1e-06\"} 1 "
+                      "# {trace_id=\"0000000000001234\"} 5e-07"),
+            std::string::npos)
+      << text;
+}
+
 TEST(RegistryTest, SameNameAndLabelsYieldSamePointer) {
   Registry registry;
   Counter* a = registry.GetCounter("dbscout_test_total", "help");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -429,6 +430,129 @@ TEST(TraceCollectorTest, ConcurrentAddsAllLand) {
   }
   EXPECT_EQ(trace.size(), static_cast<size_t>(kThreads) * kPerThread);
   EXPECT_TRUE(IsValidJson(trace.ToChromeJson()));
+}
+
+// ---------------------------------------------------------------------------
+// Ring-buffer mode and request-scoped spans (trace ids, scopes, filters).
+
+TEST(TraceRingTest, WrapsOverwritingOldestAndCountsDropped) {
+  TraceCollector trace(4);
+  EXPECT_EQ(trace.capacity(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "s%d", i);
+    trace.AddSpanEndingNow(name, "ring", 1e-6, 0, 0);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first unwind: s0 and s1 were overwritten.
+  EXPECT_EQ(spans[0].name, "s2");
+  EXPECT_EQ(spans[3].name, "s5");
+}
+
+TEST(TraceRingTest, ExactlyFullDoesNotDrop) {
+  TraceCollector trace(3);
+  for (int i = 0; i < 3; ++i) {
+    trace.AddSpanEndingNow("s", "ring", 0.0, 0, 0);
+  }
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceRingTest, UnboundedNeverDrops) {
+  TraceCollector trace;  // capacity 0 = unbounded
+  for (int i = 0; i < 100; ++i) {
+    trace.AddSpanEndingNow("s", "ring", 0.0, 0, 0);
+  }
+  EXPECT_EQ(trace.size(), 100u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TracedSpanTest, CarriesTraceIdAndScope) {
+  TraceCollector trace;
+  trace.AddTracedSpan("wal_commit", "storage", 0xabcdef0123456789ull, "orders",
+                      0.002, 17);
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "wal_commit");
+  EXPECT_EQ(spans[0].cat, "storage");
+  EXPECT_EQ(spans[0].trace_id, 0xabcdef0123456789ull);
+  EXPECT_EQ(spans[0].scope, "orders");
+  EXPECT_DOUBLE_EQ(spans[0].duration_seconds, 0.002);
+  EXPECT_EQ(spans[0].records, 17u);
+  // The id shows up as a fixed-width hex string in the JSON args, so
+  // Perfetto queries and grep treat it as one opaque token.
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"trace_id\":\"abcdef0123456789\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"scope\":\"orders\""), std::string::npos);
+}
+
+TEST(TraceFilterTest, SelectsByScopeNameIdAndLimit) {
+  TraceCollector trace;
+  trace.AddTracedSpan("queue_wait", "service", 0x11ull, "a", 0.001);
+  trace.AddTracedSpan("shard_apply", "shard", 0x11ull, "a", 0.001);
+  trace.AddTracedSpan("queue_wait", "service", 0x22ull, "b", 0.001);
+  trace.AddSpanEndingNow("core_points", "sequential", 0.001, 0, 0);
+
+  TraceFilter by_scope;
+  by_scope.scope = "a";
+  std::string json = trace.ToChromeJson(by_scope);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_EQ(ExtractStringField(json, "name").size(), 2u);
+  EXPECT_EQ(json.find("\"scope\":\"b\""), std::string::npos);
+
+  TraceFilter by_name;
+  by_name.name = "queue_wait";
+  json = trace.ToChromeJson(by_name);
+  EXPECT_EQ(ExtractStringField(json, "name").size(), 2u);
+  EXPECT_EQ(json.find("shard_apply"), std::string::npos);
+
+  // `name` also matches the category, so one filter can select a layer.
+  TraceFilter by_cat;
+  by_cat.name = "service";
+  json = trace.ToChromeJson(by_cat);
+  EXPECT_EQ(ExtractStringField(json, "name").size(), 2u);
+
+  TraceFilter by_id;
+  by_id.trace_id = 0x22ull;
+  json = trace.ToChromeJson(by_id);
+  const auto names = ExtractStringField(json, "name");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "queue_wait");
+  EXPECT_NE(json.find("\"trace_id\":\"0000000000000022\""), std::string::npos);
+
+  TraceFilter by_limit;
+  by_limit.limit = 1;
+  json = trace.ToChromeJson(by_limit);
+  const auto last = ExtractStringField(json, "name");
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0], "core_points");  // most recent span wins
+
+  // Filters compose: scope AND name must both match.
+  TraceFilter both;
+  both.scope = "a";
+  both.name = "shard_apply";
+  json = trace.ToChromeJson(both);
+  EXPECT_EQ(ExtractStringField(json, "name").size(), 1u);
+}
+
+TEST(TraceFilterTest, DefaultFilterKeepsEverything) {
+  TraceCollector trace;
+  trace.AddTracedSpan("a", "c", 1, "s", 0.0);
+  trace.AddSpanEndingNow("b", "c", 0.0, 0, 0);
+  EXPECT_EQ(trace.ToChromeJson(TraceFilter{}), trace.ToChromeJson());
+}
+
+TEST(TracedSpanTest, UntracedSpansOmitTraceArgs) {
+  TraceCollector trace;
+  trace.AddSpanEndingNow("core_points", "sequential", 0.001, 1, 2);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_EQ(json.find("trace_id"), std::string::npos) << json;
+  EXPECT_EQ(json.find("scope"), std::string::npos) << json;
 }
 
 }  // namespace

@@ -378,5 +378,226 @@ TEST(ProtocolTest, RejectsBadPointKindInResponse) {
   EXPECT_FALSE(DecodeResponse(bytes).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Trace header (optional RequestContext riding on the verb byte's high
+// bit) and the TRACE/HEALTH verbs.
+
+TEST(TraceHeaderTest, RequestRoundTripsContext) {
+  Request request;
+  request.verb = Verb::kIngest;
+  request.collection = "sensors";
+  request.dims = 2;
+  request.coords = {1.0, 2.0};
+  request.context.trace_id = 0xfeedfacecafebeefull;
+  request.context.origin_seconds = 1723180000.25;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->context, request.context);
+  EXPECT_EQ(decoded->coords, request.coords);
+}
+
+TEST(TraceHeaderTest, UntracedRequestIsByteIdenticalToPreTraceEncoding) {
+  // The compat contract: a request without a context must encode exactly
+  // as it did before the header existed — no flag bit, no extra bytes —
+  // so old servers keep decoding new clients.
+  Request request;
+  request.verb = Verb::kStats;
+  request.collection = "c";
+  const std::vector<uint8_t> bytes = EncodeRequest(request);
+  EXPECT_EQ(bytes[0], static_cast<uint8_t>(Verb::kStats));
+  EXPECT_EQ(bytes[0] & kTraceHeaderFlag, 0);
+  auto decoded = DecodeRequest(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->context.trace_id, 0u);
+
+  Request traced = request;
+  traced.context.trace_id = 1;
+  const std::vector<uint8_t> traced_bytes = EncodeRequest(traced);
+  // The header costs exactly u64 + f64 and sets only the flag bit.
+  EXPECT_EQ(traced_bytes.size(), bytes.size() + 16);
+  EXPECT_EQ(traced_bytes[0], bytes[0] | kTraceHeaderFlag);
+}
+
+TEST(TraceHeaderTest, FlaggedFrameLooksLikeUnknownVerbToOldDecoders) {
+  // A pre-trace decoder sees verb byte 0x81 and rejects it as an unknown
+  // verb. We can't run the old decoder, but we can pin the wire fact it
+  // relies on: the flagged byte is outside the verb range.
+  Request request;
+  request.verb = Verb::kIngest;
+  request.collection = "c";
+  request.dims = 1;
+  request.coords = {1.0};
+  request.context.trace_id = 42;
+  const std::vector<uint8_t> bytes = EncodeRequest(request);
+  EXPECT_GT(bytes[0], static_cast<uint8_t>(Verb::kHealth));
+}
+
+TEST(TraceHeaderTest, RejectsFlagWithZeroTraceId) {
+  // trace_id 0 means "no context"; a flagged header carrying it is a
+  // frame error, not a silent downgrade.
+  Request request;
+  request.verb = Verb::kStats;
+  request.collection = "c";
+  request.context.trace_id = 7;
+  std::vector<uint8_t> bytes = EncodeRequest(request);
+  // Zero out the 8 trace-id bytes right after the verb byte.
+  for (size_t i = 1; i <= 8; ++i) {
+    bytes[i] = 0;
+  }
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+TEST(TraceHeaderTest, RejectsTruncatedHeaderEverywhere) {
+  Request request;
+  request.verb = Verb::kIngest;
+  request.collection = "sensors";
+  request.dims = 2;
+  request.coords = {1.0, 2.0};
+  request.context.trace_id = 0x1234;
+  request.context.origin_seconds = 99.5;
+  const std::vector<uint8_t> bytes = EncodeRequest(request);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest({bytes.data(), len}).ok()) << "len " << len;
+  }
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeRequest(trailing).ok());
+}
+
+TEST(TraceHeaderTest, ResponseRoundTripsTraceIdAndServerSeconds) {
+  Response response;
+  response.verb = Verb::kIngest;
+  response.epoch = 9;
+  response.trace_id = 0xdeadbeefull;
+  response.server_seconds = 0.0125;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->trace_id, 0xdeadbeefull);
+  EXPECT_DOUBLE_EQ(decoded->server_seconds, 0.0125);
+
+  // Untraced responses omit the header entirely (old-client compat).
+  Response plain;
+  plain.verb = Verb::kIngest;
+  plain.epoch = 9;
+  const std::vector<uint8_t> plain_bytes = EncodeResponse(plain);
+  EXPECT_EQ(plain_bytes[0] & kTraceHeaderFlag, 0);
+  EXPECT_EQ(EncodeResponse(response).size(), plain_bytes.size() + 16);
+}
+
+TEST(TraceHeaderTest, TruncatedTracedResponsesRejected) {
+  Response response;
+  response.verb = Verb::kQuery;
+  response.trace_id = 5;
+  response.server_seconds = 1.0;
+  response.query.kind = PointKind::kCore;
+  const std::vector<uint8_t> bytes = EncodeResponse(response);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(TraceVerbTest, RequestRoundTripsFilters) {
+  Request request;
+  request.verb = Verb::kTrace;
+  request.collection = "orders";  // doubles as the scope filter
+  request.trace_name_filter = "wal_commit";
+  request.trace_id_filter = 0x77ull;
+  request.trace_limit = 128;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kTrace);
+  EXPECT_EQ(decoded->collection, "orders");
+  EXPECT_EQ(decoded->trace_name_filter, "wal_commit");
+  EXPECT_EQ(decoded->trace_id_filter, 0x77ull);
+  EXPECT_EQ(decoded->trace_limit, 128u);
+}
+
+TEST(TraceVerbTest, EmptyFilterAllowsNoCollection) {
+  Request request;
+  request.verb = Verb::kTrace;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->collection.empty());
+  EXPECT_EQ(decoded->trace_id_filter, 0u);
+}
+
+TEST(TraceVerbTest, ResponseRoundTripsJsonAndCounters) {
+  Response response;
+  response.verb = Verb::kTrace;
+  response.trace.json = "{\"traceEvents\":[]}";
+  response.trace.spans_retained = 3;
+  response.trace.spans_dropped = 11;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->trace.json, response.trace.json);
+  EXPECT_EQ(decoded->trace.spans_retained, 3u);
+  EXPECT_EQ(decoded->trace.spans_dropped, 11u);
+
+  const std::vector<uint8_t> bytes = EncodeResponse(response);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(HealthVerbTest, RequestRoundTrips) {
+  Request request;
+  request.verb = Verb::kHealth;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kHealth);
+}
+
+TEST(HealthVerbTest, ResponseRoundTripsAllFields) {
+  Response response;
+  response.verb = Verb::kHealth;
+  response.health.state = HealthState::kDegraded;
+  response.health.recovery = RecoveryState::kDone;
+  response.health.reason = "wal commit failures";
+  response.health.collections = 4;
+  response.health.rss_bytes = 123456789;
+  response.health.open_fds = 42;
+  response.health.threads = 17;
+  response.health.uptime_seconds = 3600.5;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->health.state, HealthState::kDegraded);
+  EXPECT_EQ(decoded->health.recovery, RecoveryState::kDone);
+  EXPECT_EQ(decoded->health.reason, "wal commit failures");
+  EXPECT_EQ(decoded->health.collections, 4u);
+  EXPECT_EQ(decoded->health.rss_bytes, 123456789u);
+  EXPECT_EQ(decoded->health.open_fds, 42u);
+  EXPECT_EQ(decoded->health.threads, 17u);
+  EXPECT_DOUBLE_EQ(decoded->health.uptime_seconds, 3600.5);
+
+  const std::vector<uint8_t> bytes = EncodeResponse(response);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse({bytes.data(), len}).ok()) << "len " << len;
+  }
+}
+
+TEST(HealthVerbTest, RejectsBadStateBytes) {
+  Response response;
+  response.verb = Verb::kHealth;
+  response.health.state = HealthState::kReady;
+  response.health.recovery = RecoveryState::kNone;
+  std::vector<uint8_t> bytes = EncodeResponse(response);
+  // Layout: verb byte, status code, then the state and recovery enums;
+  // out-of-range enum values must be rejected, not cast.
+  std::vector<uint8_t> bad_state = bytes;
+  bad_state[2] = 9;
+  EXPECT_FALSE(DecodeResponse(bad_state).ok());
+  std::vector<uint8_t> bad_recovery = bytes;
+  bad_recovery[3] = 9;
+  EXPECT_FALSE(DecodeResponse(bad_recovery).ok());
+}
+
+TEST(TraceIdGeneratorTest, NonzeroAndDistinct) {
+  const uint64_t a = NextTraceId();
+  const uint64_t b = NextTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
 }  // namespace
 }  // namespace dbscout::service

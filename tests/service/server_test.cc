@@ -8,6 +8,8 @@
 
 #include "common/rng.h"
 #include "core/dbscout.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/client.h"
 #include "testutil.h"
 
@@ -20,6 +22,15 @@ ServiceOptions MakeOptions(double eps, int min_pts) {
   ServiceOptions options;
   options.params.eps = eps;
   options.params.min_pts = min_pts;
+  return options;
+}
+
+ServiceOptions MakeTracedOptions(double eps, int min_pts,
+                                 obs::TraceCollector* trace,
+                                 obs::Registry* registry) {
+  ServiceOptions options = MakeOptions(eps, min_pts);
+  options.trace = trace;
+  options.registry = registry;
   return options;
 }
 
@@ -150,6 +161,71 @@ TEST(ServerTest, StopIsIdempotentAndServiceSurvives) {
   request.verb = Verb::kSnapshot;
   request.collection = "c";
   EXPECT_EQ(service.Dispatch(request).snapshot.epoch, 2u);
+}
+
+TEST(ServerTest, TracedClientRoundTripsIdAndServerAddsWireSpans) {
+  obs::TraceCollector trace;
+  obs::Registry registry;
+  DetectionService service(MakeTracedOptions(1.0, 4, &trace, &registry));
+  auto server = Server::Start(&service, ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  client->EnableTracing();
+  auto epoch = client->Ingest("t", 2, {0.0, 0.0, 0.1, 0.1});
+  ASSERT_TRUE(epoch.ok()) << epoch.status();
+  const uint64_t id = client->last_trace_id();
+  ASSERT_NE(id, 0u);  // stamped by the client, echoed by the server
+
+  // The TCP layer contributes wire spans under the same id as the
+  // service-side spans — one connected trace across both layers.
+  bool decode = false, encode = false, root = false;
+  for (const auto& span : trace.Spans()) {
+    if (span.trace_id != id) {
+      continue;
+    }
+    decode |= span.name == "frame_decode";
+    encode |= span.name == "reply_encode";
+    root |= span.name == "ingest";
+  }
+  EXPECT_TRUE(decode);
+  EXPECT_TRUE(encode);
+  EXPECT_TRUE(root);
+
+  // The TRACE verb fetches exactly this request's spans over the wire.
+  auto dump = client->TraceDump("", "", id, 0);
+  ASSERT_TRUE(dump.ok()) << dump.status();
+  EXPECT_NE(dump->json.find("\"name\":\"frame_decode\""), std::string::npos);
+  EXPECT_EQ(dump->spans_dropped, 0u);
+
+  (*server)->Stop();
+  service.Stop();
+}
+
+TEST(ServerTest, UntracedClientNeverSeesTraceHeader) {
+  obs::TraceCollector trace;
+  obs::Registry registry;
+  DetectionService service(MakeTracedOptions(1.0, 4, &trace, &registry));
+  auto server = Server::Start(&service, ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  // No EnableTracing: the server self-stamps internally (its ring still
+  // collects spans) but the response must not echo an id the client never
+  // sent — that is the old-client compatibility contract.
+  auto epoch = client->Ingest("t", 2, {0.0, 0.0, 0.1, 0.1});
+  ASSERT_TRUE(epoch.ok()) << epoch.status();
+  EXPECT_EQ(client->last_trace_id(), 0u);
+  EXPECT_GT(trace.size(), 0u);
+
+  auto health = client->Health();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->state, HealthState::kReady);
+
+  (*server)->Stop();
+  service.Stop();
 }
 
 }  // namespace

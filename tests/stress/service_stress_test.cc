@@ -18,6 +18,8 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/dbscout.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/service.h"
 #include "testutil.h"
 
@@ -395,6 +397,82 @@ TEST(ServiceStressTest, WindowedIngestExpiryVsReadersStaysConsistent) {
   EXPECT_EQ(stats.stats.window_begin, points.size());
   EXPECT_EQ(stats.stats.num_core, 0u);
   EXPECT_EQ(stats.stats.num_outliers, 0u);
+}
+
+// Observability verbs under fire: while stamped INGESTs stream through a
+// traced service, reader tasks hammer TRACE (ring dump with varying
+// filters) and HEALTH concurrently. TSan watches the span ring's mutex,
+// the health gauges' relaxed atomics, and the histogram exemplar slots;
+// the assertions pin that dumps are always well-formed and health always
+// answers while the writer keeps mutating.
+TEST(ServiceStressTest, ConcurrentTraceAndHealthReadersStayConsistent) {
+  ServiceOptions options;
+  options.params.eps = 1.0;
+  options.params.min_pts = 4;
+  obs::Registry registry;
+  options.registry = &registry;
+  obs::TraceCollector trace(512);  // small ring: wraps many times
+  options.trace = &trace;
+  options.slow_request_seconds = 1e9;  // slow-log path armed, never firing
+  DetectionService service(options);
+
+  constexpr size_t kBatches = 60;
+  constexpr size_t kReaders = 4;
+  std::atomic<bool> done{false};
+  ThreadPool pool(kReaders + 1);
+
+  pool.Submit([&] {
+    Rng rng(20260809);
+    for (size_t b = 0; b < kBatches; ++b) {
+      const PointSet batch = testing::UniformPoints(&rng, 25, 2, 0.0, 8.0);
+      Request request;
+      request.verb = Verb::kIngest;
+      request.collection = (b % 2) == 0 ? "even" : "odd";
+      request.dims = 2;
+      request.coords = batch.values();
+      request.context.trace_id = 0x1000 + b;
+      const Response response = service.Dispatch(request);
+      ASSERT_TRUE(response.status.ok()) << response.status;
+      ASSERT_EQ(response.trace_id, 0x1000 + b);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  for (size_t r = 0; r < kReaders; ++r) {
+    pool.Submit([&, r] {
+      uint64_t dumps = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (r % 2 == 0) {
+          Request dump;
+          dump.verb = Verb::kTrace;
+          if (dumps % 3 == 1) {
+            dump.collection = "even";  // scope filter
+          } else if (dumps % 3 == 2) {
+            dump.trace_limit = 16;
+          }
+          const Response response = service.Dispatch(dump);
+          ASSERT_TRUE(response.status.ok()) << response.status;
+          // Cheap well-formedness pin; the full JSON checker runs in the
+          // non-stress observability test.
+          ASSERT_EQ(response.trace.json.rfind("{\"traceEvents\":[", 0), 0u);
+          ASSERT_EQ(response.trace.json.back(), '}');
+          ASSERT_LE(response.trace.spans_retained, 512u);
+        } else {
+          Request probe;
+          probe.verb = Verb::kHealth;
+          const Response response = service.Dispatch(probe);
+          ASSERT_TRUE(response.status.ok()) << response.status;
+          ASSERT_EQ(response.health.state, HealthState::kReady);
+          ASSERT_LE(response.health.collections, 2u);
+        }
+        ++dumps;
+      }
+    });
+  }
+
+  pool.WaitIdle();
+  service.Stop();
+  EXPECT_GT(trace.dropped(), 0u);  // the ring really wrapped under load
 }
 
 }  // namespace

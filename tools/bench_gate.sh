@@ -29,7 +29,7 @@ if [ ! -d "$BUILD_DIR" ]; then
   cmake -B "$BUILD_DIR" -S .
 fi
 cmake --build "$BUILD_DIR" -j "${JOBS:-$(nproc)}" \
-  --target bench_service bench_kernels
+  --target bench_service bench_kernels bench_load
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -37,6 +37,21 @@ trap 'rm -rf "$tmp"' EXIT
 run_benches() {
   echo "==> bench_service (fresh run)"
   "$BUILD_DIR"/bench/bench_service > "$tmp/service.json"
+  echo "==> bench_load (fresh run)"
+  # bench_load emits {"load": {...}}; fold that section into the fresh
+  # service document so both compare against the one committed
+  # BENCH_service.json artifact.
+  "$BUILD_DIR"/bench/bench_load > "$tmp/load.json"
+  python3 - "$tmp" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+with open(f"{tmp}/service.json") as f:
+    service = json.load(f)
+with open(f"{tmp}/load.json") as f:
+    service["load"] = json.load(f)["load"]
+with open(f"{tmp}/service.json", "w") as f:
+    json.dump(service, f)
+EOF
   echo "==> bench_kernels (fresh run)"
   # bench_kernels prints human-readable text on stdout and writes its JSON
   # artifact as BENCH_kernels.json in the *current directory* — run it from
@@ -66,6 +81,12 @@ GATES = [
     ("service", "durable.interval_points_per_sec", "higher"),
     ("service", "query.by_id.p50_us", "lower"),
     ("service", "query.probe.p50_us", "lower"),
+    # Open-loop TCP load (bench_load): the offered rate must stay
+    # sustainable and the p99s bounded. p999 is recorded but not gated —
+    # a single scheduler hiccup owns that percentile at this sample size.
+    ("service", "load.achieved_rps", "higher"),
+    ("service", "load.ingest.p99_us", "lower"),
+    ("service", "load.query.p99_us", "lower"),
     ("kernels", "end_to_end.phase35_speedup", "higher"),
 ]
 # Every micro kernel row's dispatched throughput is gated too.

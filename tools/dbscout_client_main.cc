@@ -8,11 +8,22 @@
 //   dbscout_client --port=P --collection=C --snapshot
 //   dbscout_client --port=P --collection=C --set-ttl=SECONDS
 //   dbscout_client --port=P --metrics
+//   dbscout_client --port=P --health
+//   dbscout_client --port=P --trace-dump [--collection=C] [--span-name=N]
+//                  [--trace-id=HEX] [--trace-limit=K]
 //
 // Output is line-oriented key=value, grep-friendly for scripts
-// (tools/serve_smoke.sh asserts against it). --metrics is the exception:
-// it prints the raw Prometheus text-format scrape of the whole service.
+// (tools/serve_smoke.sh asserts against it). Two exceptions: --metrics
+// prints the raw Prometheus text-format scrape, and --trace-dump prints
+// Chrome trace-event JSON (pipe to a file, open in Perfetto) after one
+// "trace retained=N dropped=M" summary line on stderr.
+//
+// --trace stamps the request with a fresh trace id (printed as
+// trace=HEX) so a follow-up --trace-dump --trace-id=HEX isolates that
+// request's spans. Only use it against trace-aware servers: the stamp
+// sets the verb high bit, which pre-trace servers reject.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -49,8 +60,10 @@ int Usage() {
       << "usage: dbscout_client --port=P --collection=C "
          "(--ingest=FILE [--format=csv|binary] | --query=X,Y[,...] "
          "[--score] | --query-id=I [--score] | --stats | --snapshot | "
-         "--set-ttl=SECONDS), or dbscout_client --port=P --metrics "
-         "[--host=H]\n";
+         "--set-ttl=SECONDS), or dbscout_client --port=P "
+         "(--metrics | --health | --trace-dump [--collection=C] "
+         "[--span-name=N] [--trace-id=HEX] [--trace-limit=K]) [--host=H]; "
+         "add --trace to stamp the request with a trace id\n";
   return 2;
 }
 
@@ -61,6 +74,32 @@ dbscout::Result<dbscout::PointSet> LoadPoints(const std::string& path,
       (format.empty() && path.size() >= 4 &&
        path.compare(path.size() - 4, 4, ".csv") == 0);
   return csv ? dbscout::LoadPointsCsv(path) : dbscout::LoadPointsBinary(path);
+}
+
+const char* HealthStateName(dbscout::service::HealthState state) {
+  switch (state) {
+    case dbscout::service::HealthState::kReady:
+      return "ready";
+    case dbscout::service::HealthState::kNotReady:
+      return "not-ready";
+    case dbscout::service::HealthState::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
+const char* RecoveryStateName(dbscout::service::RecoveryState state) {
+  switch (state) {
+    case dbscout::service::RecoveryState::kNone:
+      return "none";
+    case dbscout::service::RecoveryState::kRecovering:
+      return "recovering";
+    case dbscout::service::RecoveryState::kDone:
+      return "done";
+    case dbscout::service::RecoveryState::kFailed:
+      return "failed";
+  }
+  return "?";
 }
 
 const char* KindName(dbscout::core::PointKind kind) {
@@ -86,8 +125,13 @@ int main(int argc, char** argv) {
   const char* port_text = FlagValue(argc, argv, "port");
   const char* collection = FlagValue(argc, argv, "collection");
   const bool want_metrics = HasFlag(argc, argv, "metrics");
-  // --metrics scrapes the whole service, so it takes no collection.
-  if (port_text == nullptr || (collection == nullptr && !want_metrics)) {
+  const bool want_health = HasFlag(argc, argv, "health");
+  const bool want_trace_dump = HasFlag(argc, argv, "trace-dump");
+  // --metrics/--health/--trace-dump are service-wide, so they take no
+  // collection (for --trace-dump it is an optional scope filter).
+  if (port_text == nullptr ||
+      (collection == nullptr && !want_metrics && !want_health &&
+       !want_trace_dump)) {
     return Usage();
   }
   auto port = ParseUint64(port_text);
@@ -104,6 +148,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bool want_score = HasFlag(argc, argv, "score");
+  if (HasFlag(argc, argv, "trace")) {
+    client->EnableTracing();
+  }
 
   if (want_metrics) {
     auto text = client->Metrics();
@@ -112,6 +159,57 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << *text;
+    return 0;
+  }
+
+  if (want_health) {
+    auto health = client->Health();
+    if (!health.ok()) {
+      std::cerr << "dbscout_client: " << health.status() << "\n";
+      return 1;
+    }
+    std::cout << "state=" << HealthStateName(health->state)
+              << " recovery=" << RecoveryStateName(health->recovery)
+              << " collections=" << health->collections
+              << " rss-bytes=" << health->rss_bytes
+              << " open-fds=" << health->open_fds
+              << " threads=" << health->threads
+              << " uptime=" << health->uptime_seconds;
+    if (!health->reason.empty()) {
+      std::cout << " reason=\"" << health->reason << "\"";
+    }
+    std::cout << "\n";
+    return 0;
+  }
+
+  if (want_trace_dump) {
+    uint64_t trace_id = 0;
+    if (const char* text = FlagValue(argc, argv, "trace-id")) {
+      char* end = nullptr;
+      trace_id = std::strtoull(text, &end, 16);
+      if (end == text || *end != '\0') {
+        return Usage();
+      }
+    }
+    uint32_t limit = 0;
+    if (const char* text = FlagValue(argc, argv, "trace-limit")) {
+      auto value = ParseUint64(text);
+      if (!value.ok()) {
+        return Usage();
+      }
+      limit = static_cast<uint32_t>(*value);
+    }
+    const char* name = FlagValue(argc, argv, "span-name");
+    auto answer = client->TraceDump(
+        collection != nullptr ? collection : "",
+        name != nullptr ? name : "", trace_id, limit);
+    if (!answer.ok()) {
+      std::cerr << "dbscout_client: " << answer.status() << "\n";
+      return 1;
+    }
+    std::cerr << "trace retained=" << answer->spans_retained
+              << " dropped=" << answer->spans_dropped << "\n";
+    std::cout << answer->json << "\n";
     return 0;
   }
 
@@ -129,7 +227,14 @@ int main(int argc, char** argv) {
       std::cerr << "dbscout_client: " << epoch.status() << "\n";
       return 1;
     }
-    std::cout << "epoch=" << *epoch << "\n";
+    std::cout << "epoch=" << *epoch;
+    if (client->last_trace_id() != 0) {
+      std::cout << " trace="
+                << dbscout::StrFormat(
+                       "%016llx", static_cast<unsigned long long>(
+                                      client->last_trace_id()));
+    }
+    std::cout << "\n";
     return 0;
   }
 
@@ -218,6 +323,11 @@ int main(int argc, char** argv) {
       std::cout << "phase " << row.name << " seconds=" << row.seconds
                 << " dist-comps=" << row.distance_comps
                 << " records=" << row.records << "\n";
+    }
+    for (const auto& row : stats->latencies) {
+      std::cout << "latency " << row.verb << " count=" << row.count
+                << " p50=" << row.p50_seconds << " p99=" << row.p99_seconds
+                << " p999=" << row.p999_seconds << "\n";
     }
     return 0;
   }

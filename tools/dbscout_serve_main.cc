@@ -8,6 +8,7 @@
 //                      [--shards=N] [--apply-shards=K] [--ttl-seconds=T]
 //                      [--data-dir=DIR] [--wal-fsync=always|interval|never]
 //                      [--snapshot-interval=BYTES] [--trace-out=FILE]
+//                      [--slow-request-ms=N] [--trace-spans=CAP]
 //
 // --shards=N backs every collection with N region-partitioned detector
 // shards (ghost-halo replication keeps the merged outlier set exact);
@@ -29,12 +30,21 @@
 // (0 disables). The server refuses to start if recovery fails — serving
 // over partial recovery would silently drop acknowledged data.
 //
-// --trace-out=FILE writes a Chrome/Perfetto trace of apply-pass and
-// per-phase spans when the server shuts down.
+// Tracing is always on: every request's spans (frame decode, queue wait,
+// per-shard apply, WAL commit, snapshot publish, reply encode) land in an
+// in-memory ring buffer (--trace-spans=CAP spans, default 16384) that
+// `dbscout_client --trace-dump` reads live over the TRACE verb.
+// --trace-out=FILE additionally writes the ring's tail as Chrome/Perfetto
+// JSON at shutdown. --slow-request-ms=N logs a structured warning line
+// (with the request's trace id) for any request slower than N ms; N=0
+// logs every request (smoke-test mode).
 //
 // --port=0 (the default) binds an ephemeral port; the chosen port is
 // printed as "listening on H:P" so wrappers (tools/serve_smoke.sh) can
-// discover it.
+// discover it. The banner is printed only after crash recovery finishes,
+// so a wrapper that waits for it knows HEALTH is already "ready"; while
+// recovery replays the WAL the port is bound and HEALTH answers
+// "not-ready".
 
 #include <time.h>
 
@@ -73,7 +83,8 @@ int Usage() {
                "[--port=P] [--max-sessions=S] [--max-pending=Q] "
                "[--shards=N] [--apply-shards=K] [--ttl-seconds=T] "
                "[--data-dir=DIR] [--wal-fsync=always|interval|never] "
-               "[--snapshot-interval=BYTES] [--trace-out=FILE]\n";
+               "[--snapshot-interval=BYTES] [--trace-out=FILE] "
+               "[--slow-request-ms=N] [--trace-spans=CAP]\n";
   return 2;
 }
 
@@ -142,11 +153,29 @@ int main(int argc, char** argv) {
     }
     service_options.snapshot_interval_bytes = *value;
   }
-  dbscout::obs::TraceCollector trace;
+  size_t trace_spans = 16384;
+  if (const char* text = FlagValue(argc, argv, "trace-spans")) {
+    auto value = ParseUint64(text);
+    if (!value.ok()) {
+      return Usage();
+    }
+    trace_spans = *value;  // 0 = unbounded (batch-style full retention)
+  }
+  // The ring is always attached so `dbscout_client --trace-dump` works
+  // without a restart; at the default capacity an idle request path costs
+  // only the span emissions themselves (no per-request allocation growth).
+  dbscout::obs::TraceCollector trace(trace_spans);
+  service_options.trace = &trace;
   std::string trace_out;
   if (const char* text = FlagValue(argc, argv, "trace-out")) {
     trace_out = text;
-    service_options.trace = &trace;
+  }
+  if (const char* text = FlagValue(argc, argv, "slow-request-ms")) {
+    auto value = ParseDouble(text);
+    if (!value.ok() || *value < 0.0) {
+      return Usage();
+    }
+    service_options.slow_request_seconds = *value / 1000.0;
   }
 
   dbscout::service::ServerOptions server_options;
@@ -168,15 +197,24 @@ int main(int argc, char** argv) {
     server_options.max_sessions = *value;
   }
 
+  // Bind the port before replaying the WAL: during recovery the server is
+  // reachable and HEALTH reports not-ready (collection verbs answer
+  // kUnavailable), which is what load balancers and the smoke test probe.
+  // The "listening" banner is printed only after recovery, so wrappers
+  // that wait for it see a ready server.
+  service_options.defer_recovery = true;
   dbscout::service::DetectionService service(service_options);
-  if (!service.recovery_status().ok()) {
-    std::cerr << "dbscout_serve: crash recovery failed: "
-              << service.recovery_status() << "\n";
-    return 1;
-  }
   auto server = dbscout::service::Server::Start(&service, server_options);
   if (!server.ok()) {
     std::cerr << "dbscout_serve: " << server.status() << "\n";
+    return 1;
+  }
+  service.RunDeferredRecovery();
+  if (!service.recovery_status().ok()) {
+    std::cerr << "dbscout_serve: crash recovery failed: "
+              << service.recovery_status() << "\n";
+    (*server)->Stop();
+    service.Stop();
     return 1;
   }
   std::cout << "listening on " << server_options.host << ":"

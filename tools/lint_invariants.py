@@ -441,6 +441,15 @@ HOT_PATH_MUTEX_RE = re.compile(
     r"|\.\s*(?:try_)?lock(?:_shared)?\s*\("
     r"|\b(?:dbscout::)?(?:Mutex|MutexLock|CondVar)\b"
     r"|\bpthread_mutex_\w+)")
+# Trace stamping stays above the kernels: spans wrap whole phases in the
+# service/apply layers, never per-point or per-cell work. A kernel that
+# takes a RequestContext or writes to the span ring would put clock reads
+# and ring CAS traffic inside the distance loops that bench_kernels gates.
+HOT_PATH_TRACE_RE = re.compile(
+    r"(\b(?:obs::)?TraceCollector\b"
+    r"|\bAdd(?:Traced)?Span\s*\("
+    r"|\b(?:service::)?RequestContext\b"
+    r"|\bNextTraceId\s*\()")
 
 
 def check_hot_path_purity(path: str, lines: List[str]) -> Iterable[Finding]:
@@ -464,6 +473,13 @@ def check_hot_path_purity(path: str, lines: List[str]) -> Iterable[Finding]:
                           "scan kernel: the hot path must stay wait-free; "
                           "use the sharded atomic cells in obs::Counter or "
                           "aggregate after the loop")
+        m = HOT_PATH_TRACE_RE.search(code)
+        if m:
+            yield Finding(path, i, rule,
+                          f"trace plumbing '{m.group(0).strip()}' in a scan "
+                          "kernel: spans wrap whole phases in the service "
+                          "and apply layers; kernels must not read clocks "
+                          "or touch the span ring per element")
 
 
 # ---------------------------------------------------------------------------
@@ -703,6 +719,24 @@ def self_test() -> int:
     expect("hot-path-purity",
            list(check_hot_path_purity("src/simd/distance_kernel.cc", ok)), 0,
            "clean")
+    traced = lines("void Scan(const service::RequestContext& ctx);\n"
+                   "trace->AddTracedSpan(\"cell\", \"simd\", id, s, dt);\n"
+                   "obs::TraceCollector* trace_;\n"
+                   "const uint64_t id = NextTraceId();\n")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/simd/distance_kernel.h", traced)),
+           4, "trace-seeded")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/core/phases/insert_kernels.cc",
+                                      traced)), 4, "trace-kernels-seeded")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/service/service.cc", traced)), 0,
+           "trace-service-exempt")
+    trace_ok = lines("// spans are emitted by the driver around this call\n"
+                     "const double elapsed = timer.ElapsedSeconds();\n")
+    expect("hot-path-purity",
+           list(check_hot_path_purity("src/simd/distance_kernel.cc",
+                                      trace_ok)), 0, "trace-clean")
     waived_line = lines(
         "std::mutex mu;  // lint:allow(hot-path-purity) cold init path\n")
     expect("hot-path-purity",

@@ -32,7 +32,10 @@ echo "== generate dataset"
   --seed=11 --output="$WORK/blobs.dbsc"
 
 echo "== boot server"
-"$SERVE" --eps=0.7 --min-pts=5 --port=0 >"$WORK/serve.log" 2>&1 &
+# --slow-request-ms=0 logs every request as "slow" so the tracing leg can
+# assert the slow-request log carries the same trace id the client prints.
+"$SERVE" --eps=0.7 --min-pts=5 --port=0 --slow-request-ms=0 \
+  >"$WORK/serve.log" 2>&1 &
 SERVER_PID=$!
 
 PORT=""
@@ -90,6 +93,30 @@ QUERIES2="$(scrape_counter "$WORK/metrics2.txt" \
 [[ "$QUERIES2" -gt "$QUERIES1" ]] \
   || { echo "FAIL: query count did not advance ($QUERIES1 -> $QUERIES2)"; exit 1; }
 echo "   ingest_points_total=$POINTS2 query_count=$QUERIES1->$QUERIES2"
+
+echo "== tracing: stamped ingest, trace dump, slow-request log"
+TRACED="$("$CLIENT" --port="$PORT" --collection=smoke --trace \
+  --ingest="$WORK/blobs.dbsc")"
+echo "   $TRACED"
+TRACE_ID="$(sed -n 's/.* trace=\([0-9a-f]\{16\}\).*/\1/p' <<<"$TRACED")"
+[[ -n "$TRACE_ID" ]] || { echo "FAIL: traced ingest printed no trace id"; exit 1; }
+"$CLIENT" --port="$PORT" --trace-dump --trace-id="$TRACE_ID" \
+  >"$WORK/trace.json" 2>"$WORK/trace.err"
+[[ -s "$WORK/trace.json" ]] || { echo "FAIL: empty trace dump"; exit 1; }
+for span in ingest frame_decode queue_wait snapshot_publish; do
+  grep -q "\"name\":\"$span\"" "$WORK/trace.json" \
+    || { echo "FAIL: trace dump missing $span span"; cat "$WORK/trace.json"; exit 1; }
+done
+grep -q "\"$TRACE_ID\"" "$WORK/trace.json" \
+  || { echo "FAIL: trace dump lacks the request's trace id"; exit 1; }
+grep -q "slow request.*trace=$TRACE_ID" "$WORK/serve.log" \
+  || { echo "FAIL: slow-request log has no line for trace=$TRACE_ID"; exit 1; }
+echo "   trace=$TRACE_ID spans + slow-request log line ok"
+
+echo "== health: running server must be ready"
+HEALTH="$("$CLIENT" --port="$PORT" --health)"
+echo "   $HEALTH"
+grep -q "state=ready" <<<"$HEALTH" || { echo "FAIL: server not ready"; exit 1; }
 
 echo "== durability: ingest, kill -9, restart over the same --data-dir"
 WAL_INSPECT="$BUILD_DIR/tools/wal_inspect"
@@ -160,6 +187,43 @@ grep -q "kind=outlier" <<<"$DPROBE2" \
   || { echo "FAIL: far probe after restart not an outlier"; exit 1; }
 [[ "$DPROBE1" == "$DPROBE2" ]] \
   || { echo "FAIL: probe answer changed across restart ($DPROBE1 -> $DPROBE2)"; exit 1; }
+
+echo "== health across recovery: not-ready while replaying, then ready"
+# Grow the WAL so the next crash recovery is long enough to observe: the
+# server accepts connections before replay finishes (HEALTH answers
+# not-ready/recovering; collection verbs are unavailable), and prints its
+# banner only once it is ready.
+for i in $(seq 1 25); do
+  "$CLIENT" --port="$DPORT" --collection="bulk$i" \
+    --ingest="$WORK/blobs.dbsc" >/dev/null
+done
+kill -9 "$DURABLE_PID"
+wait "$DURABLE_PID" 2>/dev/null || true
+DURABLE_PID=""
+
+# A fixed port chosen up front lets us poll HEALTH before the banner
+# (with --port=0 the port is only known after recovery completes).
+FPORT="$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')"
+"$SERVE" --eps=0.7 --min-pts=5 --port="$FPORT" --data-dir="$DATA_DIR" \
+  --wal-fsync=interval >"$WORK/serve_durable3.log" 2>&1 &
+DURABLE_PID=$!
+SAW_NOTREADY=0
+READY=0
+for _ in $(seq 1 300); do
+  H="$("$CLIENT" --port="$FPORT" --health 2>/dev/null)" || { sleep 0.05; continue; }
+  if grep -q "state=not-ready" <<<"$H"; then
+    grep -q "recovery=recovering" <<<"$H" \
+      || { echo "FAIL: not-ready without recovering: $H"; exit 1; }
+    SAW_NOTREADY=1
+  elif grep -q "state=ready" <<<"$H"; then
+    READY=1
+    break
+  fi
+done
+[[ "$READY" -eq 1 ]] || { echo "FAIL: server never became ready"; exit 1; }
+[[ "$SAW_NOTREADY" -eq 1 ]] \
+  || { echo "FAIL: never observed the not-ready recovery window"; exit 1; }
+echo "   observed not-ready/recovering, then ready on port $FPORT"
 
 kill -9 "$DURABLE_PID"
 wait "$DURABLE_PID" 2>/dev/null || true
